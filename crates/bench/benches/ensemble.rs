@@ -1,0 +1,48 @@
+//! Host-side aggregation benchmarks: the paper requires the ensemble to be
+//! "light weight" so the host is not burdened — these numbers quantify it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use origin_core::{majority_vote, weighted_vote, ConfidenceMatrix, Vote};
+use origin_types::{ActivityClass, ActivitySet, NodeId, SimTime};
+
+fn votes() -> Vec<Vote> {
+    vec![
+        Vote {
+            node: NodeId::new(0),
+            activity: ActivityClass::Walking,
+            confidence: 0.08,
+            reported_at: SimTime::from_millis(10),
+        },
+        Vote {
+            node: NodeId::new(1),
+            activity: ActivityClass::Walking,
+            confidence: 0.11,
+            reported_at: SimTime::from_millis(20),
+        },
+        Vote {
+            node: NodeId::new(2),
+            activity: ActivityClass::Running,
+            confidence: 0.13,
+            reported_at: SimTime::from_millis(30),
+        },
+    ]
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let votes = votes();
+    let matrix = ConfidenceMatrix::uniform(ActivitySet::mhealth(), 3, 0.05);
+
+    c.bench_function("majority_vote_3", |b| {
+        b.iter(|| majority_vote(black_box(&votes)))
+    });
+    c.bench_function("weighted_vote_3", |b| {
+        b.iter(|| weighted_vote(black_box(&votes), black_box(&matrix)))
+    });
+    c.bench_function("confidence_update", |b| {
+        let mut matrix = matrix.clone();
+        b.iter(|| matrix.update(NodeId::new(1), ActivityClass::Walking, black_box(0.09)))
+    });
+}
+
+criterion_group!(benches, bench_ensemble);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Inference-path benchmarks: the per-window work a sensor node does.
+//!
+//! Covers the latency story behind the energy model: pruning shrinks the
+//! active-MAC count, so pruned inference must be measurably faster, and
+//! feature extraction must stay cheap relative to inference.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use origin_bench::bench_models;
+use origin_core::ModelVariant;
+use origin_nn::softmax_variance;
+use origin_sensors::{sample_window, window_features, DatasetSpec, UserProfile};
+use origin_types::{ActivityClass, SensorLocation, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_inference(c: &mut Criterion) {
+    let models = bench_models(11);
+    let spec = DatasetSpec::mhealth_like();
+    let user = UserProfile::nominal(UserId::new(0));
+    let mut rng = StdRng::seed_from_u64(1);
+    let window = sample_window(
+        &spec,
+        ActivityClass::Running,
+        SensorLocation::LeftAnkle,
+        &user,
+        &mut rng,
+    );
+    let features = window_features(&window);
+
+    let mut group = c.benchmark_group("inference");
+    for variant in [ModelVariant::Unpruned, ModelVariant::Pruned] {
+        let clf = models.classifier(variant, SensorLocation::LeftAnkle);
+        group.bench_function(format!("{variant:?}"), |b| {
+            b.iter(|| clf.classify(black_box(&features)).expect("width matches"))
+        });
+    }
+    group.finish();
+
+    c.bench_function("feature_extraction_64x6", |b| {
+        b.iter(|| window_features(black_box(&window)))
+    });
+
+    c.bench_function("window_synthesis_64x6", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            sample_window(
+                black_box(&spec),
+                ActivityClass::Walking,
+                SensorLocation::Chest,
+                &user,
+                &mut rng,
+            )
+        })
+    });
+
+    c.bench_function("softmax_variance_6", |b| {
+        let probs = [0.5, 0.2, 0.1, 0.1, 0.05, 0.05];
+        b.iter(|| softmax_variance(black_box(&probs)))
+    });
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Whole-system simulator throughput: simulated windows per second for
+//! the policies the paper sweeps. The experiment harness runs dozens of
+//! one-hour simulations; this is the loop that pays for them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use origin_bench::bench_models;
+use origin_core::{Deployment, PolicyKind, SimConfig, Simulator};
+use origin_types::SimDuration;
+
+fn bench_simulation(c: &mut Criterion) {
+    let models = bench_models(13);
+    let deployment = Deployment::builder().seed(13).build();
+    let sim = Simulator::new(deployment, models);
+    let horizon = SimDuration::from_secs(120); // 240 windows per iteration
+
+    let mut group = c.benchmark_group("simulate_120s");
+    group.sample_size(20);
+    for policy in [
+        PolicyKind::NaiveAllOn,
+        PolicyKind::RoundRobin { cycle: 12 },
+        PolicyKind::Aasr { cycle: 12 },
+        PolicyKind::Origin { cycle: 12 },
+    ] {
+        group.bench_function(policy.label(), |b| {
+            let config = SimConfig::new(policy).with_horizon(horizon).with_seed(3);
+            b.iter(|| sim.run(&config).expect("valid cycle"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Substrate benchmarks: trace generation/integration, energy-node
+//! stepping, and classifier training — the costs behind experiment setup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use origin_energy::{Capacitor, DutyState, EnergyCostTable, EnergyNode, Harvester, Nvp};
+use origin_nn::{Mlp, Trainer};
+use origin_sensors::{ActivityTimeline, TimelineConfig};
+use origin_trace::{PowerSource, TraceSource, WifiOfficeModel};
+use origin_types::{Energy, SimDuration, SimTime};
+
+fn bench_substrate(c: &mut Criterion) {
+    c.bench_function("wifi_trace_generate_60s", |b| {
+        let model = WifiOfficeModel::default();
+        b.iter(|| model.generate(black_box(7), SimDuration::from_secs(60)))
+    });
+
+    let trace = WifiOfficeModel::default().generate(7, SimDuration::from_secs(600));
+    let source = TraceSource::looping(trace);
+    c.bench_function("trace_energy_integration_500ms", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 500_000;
+            source.energy_between(
+                SimTime::from_micros(t),
+                SimTime::from_micros(t + 500_000),
+            )
+        })
+    });
+
+    c.bench_function("energy_node_step", |b| {
+        let mut node = EnergyNode::new(
+            Harvester::new(source.clone(), 0.7),
+            Capacitor::new(Energy::from_microjoules(500.0)),
+            Nvp::non_volatile(),
+            EnergyCostTable::default(),
+        );
+        let mut t = 0u64;
+        b.iter(|| {
+            let t0 = SimTime::from_micros(t);
+            t += 500_000;
+            node.advance(t0, SimTime::from_micros(t), DutyState::Sleep)
+        })
+    });
+
+    c.bench_function("timeline_generate_1h", |b| {
+        let cfg = TimelineConfig::default();
+        b.iter(|| ActivityTimeline::generate(&cfg, black_box(5), SimDuration::from_secs(3_600)))
+    });
+
+    c.bench_function("mlp_train_epoch_28x20x6", |b| {
+        // One epoch over a small synthetic set.
+        let data: Vec<(Vec<f64>, usize)> = (0..120)
+            .map(|i| {
+                let label = i % 6;
+                let mut x = vec![0.0; 28];
+                x[label] = 1.0;
+                x[(label + 7) % 28] = 0.5;
+                (x, label)
+            })
+            .collect();
+        b.iter(|| {
+            let mut mlp = Mlp::new(&[28, 20, 6], 3).expect("valid dims");
+            Trainer::new()
+                .with_epochs(1)
+                .fit(&mut mlp, black_box(&data))
+                .expect("valid data")
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Calibration diagnostic: per-sensor accuracy pattern (Fig. 2 target)
+//! and the pruning accuracy drop, used when retuning the signature table.
+//!
+//! Usage: `cargo run -p origin-bench --bin calib --release`
+
+use origin_nn::{prune_to_energy, InferenceEnergyModel, SensorClassifier, Trainer};
+use origin_sensors::{DatasetSpec, HarDataset};
+use origin_types::{ActivityClass, Energy, SensorLocation};
+
+fn main() {
+    let spec = DatasetSpec::mhealth_like();
+    let ds = HarDataset::generate(&spec, 42);
+    let trainer = Trainer::new().with_epochs(80);
+    let em = InferenceEnergyModel::default();
+
+    let hidden_for = |loc: SensorLocation| match loc {
+        SensorLocation::Chest => vec![18usize],
+        SensorLocation::LeftAnkle => vec![24],
+        SensorLocation::RightWrist => vec![16],
+    };
+
+    for loc in SensorLocation::ALL {
+        let sd = ds.sensor(loc);
+        let train: Vec<(Vec<f64>, usize)> = sd
+            .train
+            .iter()
+            .map(|s| (s.features.clone(), s.dense_label))
+            .collect();
+        let test: Vec<(Vec<f64>, usize)> = sd
+            .test
+            .iter()
+            .map(|s| (s.features.clone(), s.dense_label))
+            .collect();
+        let mut clf = SensorClassifier::train(
+            &hidden_for(loc),
+            &train,
+            ds.activities().clone(),
+            &trainer,
+            42 + loc.index() as u64,
+        )
+        .unwrap();
+        let cm = clf.evaluate(&test).unwrap();
+        println!(
+            "\n== {loc} == unpruned acc {:.2}%  energy {}",
+            cm.accuracy().unwrap() * 100.0,
+            clf.inference_energy(&em)
+        );
+        for a in ActivityClass::ALL {
+            let d = ds.activities().dense_index(a).unwrap();
+            print!("  {a}: {:.1}%", cm.class_accuracy(d).unwrap_or(0.0) * 100.0);
+        }
+        println!();
+
+        // Prune to ~90 uJ.
+        let budget = Energy::from_microjoules(90.0);
+        let norm_train = clf.normalize_data(&train);
+        let report = prune_to_energy(
+            clf.mlp_mut(),
+            &em,
+            budget,
+            &norm_train,
+            &trainer,
+            0.15,
+            10,
+        )
+        .unwrap();
+        let cm2 = clf.evaluate(&test).unwrap();
+        println!(
+            "  pruned: acc {:.2}%  energy {} sparsity {:.2} iters {}",
+            cm2.accuracy().unwrap() * 100.0,
+            report.energy_after,
+            report.sparsity,
+            report.iterations
+        );
+        for a in ActivityClass::ALL {
+            let d = ds.activities().dense_index(a).unwrap();
+            print!("  {a}: {:.1}%", cm2.class_accuracy(d).unwrap_or(0.0) * 100.0);
+        }
+        println!();
+    }
+}

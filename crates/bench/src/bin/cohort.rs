@@ -1,0 +1,34 @@
+//! Cross-user generalization study: RR12-Origin vs Baseline-2 across a
+//! cohort of sampled wearers.
+//!
+//! Usage: `cargo run -p origin-bench --bin cohort --release [users] [seed]`
+
+use origin_core::experiments::{run_cohort, Dataset, ExperimentContext};
+
+fn main() {
+    let users: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let seed = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let r = run_cohort(&ctx, users).expect("simulation succeeds");
+
+    println!("# Cross-user cohort (n = {users}, seed {seed})");
+    println!("{:<12} {:>12} {:>8}", "user", "RR12 Origin", "BL-2");
+    for p in &r.points {
+        println!(
+            "{:<12} {:>11.2}% {:>7.2}%",
+            p.user.to_string(),
+            p.origin * 100.0,
+            p.bl2 * 100.0
+        );
+    }
+    let (om, os) = r.origin_stats();
+    let (bm, bs) = r.bl2_stats();
+    println!("\nOrigin: {:.2}% ± {:.2}   BL-2: {:.2}% ± {:.2}", om * 100.0, os * 100.0, bm * 100.0, bs * 100.0);
+    println!("Origin wins for {:.0}% of wearers", r.origin_win_rate() * 100.0);
+}

@@ -1,0 +1,34 @@
+//! The RR-depth sweet-spot sweep: where does more harvesting time stop
+//! paying for itself? (Section IV-C's RR-12 recommendation.)
+//!
+//! Usage: `cargo run -p origin-bench --bin depth --release [seed]`
+
+use origin_core::experiments::{run_depth_sweep, Dataset, ExperimentContext};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let cycles = [3u8, 6, 9, 12, 18, 24, 36, 48, 72];
+    let sweep = run_depth_sweep(&ctx, &cycles).expect("simulation succeeds");
+
+    println!("# Origin accuracy vs ER-r depth (seed {seed})");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "cycle", "accuracy", "jumping", "completion"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>6} {:>9.2}% {:>11.2}% {:>11.1}%",
+            format!("RR{}", p.cycle),
+            p.accuracy * 100.0,
+            p.jumping_accuracy * 100.0,
+            p.completion * 100.0
+        );
+    }
+    println!("\nbest depth: RR{}", sweep.best_cycle());
+    println!("Shallow cycles starve; deep cycles go stale. The sweet spot sits");
+    println!("where completion saturates — the paper's RR-12 recommendation.");
+}

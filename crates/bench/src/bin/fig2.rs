@@ -1,0 +1,40 @@
+//! Regenerates Fig. 2: per-sensor DNN accuracy + majority-voting ensemble
+//! per activity (fully powered, MHEALTH-like).
+//!
+//! Usage: `cargo run -p origin-bench --bin fig2 --release [seed]`
+
+use origin_core::experiments::{run_fig2, Dataset, ExperimentContext};
+use origin_types::SensorLocation;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let r = run_fig2(&ctx, 120).expect("evaluation succeeds");
+
+    println!("# Fig. 2 — per-sensor accuracy (%) and majority ensemble, seed {seed}");
+    print!("{:<14}", "sensor");
+    for a in &r.activities {
+        print!("{:>10}", a.label());
+    }
+    println!("{:>10}", "overall");
+    for loc in SensorLocation::ALL {
+        print!("{:<14}", loc.label());
+        for v in &r.per_sensor[loc.index()] {
+            print!("{:>10.2}", v * 100.0);
+        }
+        println!(
+            "{:>10.2}",
+            r.confusions[loc.index()].accuracy().unwrap_or(0.0) * 100.0
+        );
+    }
+    print!("{:<14}", "Majority Vote");
+    let mut sum = 0.0;
+    for v in &r.majority {
+        print!("{:>10.2}", v * 100.0);
+        sum += v;
+    }
+    println!("{:>10.2}", sum / r.majority.len() as f64 * 100.0);
+}

@@ -1,0 +1,40 @@
+//! Prints the Fig. 3 extended round-robin slot layouts.
+//!
+//! Usage: `cargo run -p origin-bench --bin fig3 --release`
+
+use origin_core::{SlotKind, Slots};
+use origin_types::SensorLocation;
+
+fn main() {
+    println!("# Fig. 3 — extended round-robin schedules (S = sensor slot, -- = no-op)");
+    for cycle in [3u8, 6, 9, 12] {
+        let slots = Slots::paper(cycle);
+        let layout: Vec<String> = slots
+            .layout()
+            .iter()
+            .map(|kind| match kind {
+                SlotKind::Sensor { ordinal } => {
+                    let loc = SensorLocation::from_index(*ordinal).expect("three slots");
+                    format!("[{}]", short(loc))
+                }
+                SlotKind::NoOp => "[  --  ]".to_owned(),
+            })
+            .collect();
+        println!(
+            "RR{cycle:<3} ({} no-ops, duty {:>5.1}%):",
+            slots.noops(),
+            slots.duty_fraction() * 100.0
+        );
+        println!("  {}", layout.join(" "));
+    }
+    println!("\nEach policy is named after the number of slots in the cycle;");
+    println!("RR3 has 3 nodes and no no-ops, RR6 has 3 nodes and 3 no-ops, etc.");
+}
+
+fn short(loc: SensorLocation) -> &'static str {
+    match loc {
+        SensorLocation::Chest => " Chest",
+        SensorLocation::LeftAnkle => "L.Ankle",
+        SensorLocation::RightWrist => "R.Wrist",
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 4: plain ER-r vs AAS per activity across RR depths.
+//!
+//! Usage: `cargo run -p origin-bench --bin fig4 --release [seed]`
+
+use origin_core::experiments::{run_fig4, Dataset, ExperimentContext};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let r = run_fig4(&ctx).expect("simulation succeeds");
+
+    println!("# Fig. 4 — accuracy (%) of ER-r vs AAS, MHEALTH-like, seed {seed}");
+    print!("{:<14}", "policy");
+    for a in &r.activities {
+        print!("{:>10}", a.label());
+    }
+    println!("{:>10}", "overall");
+    for (i, &cycle) in r.cycles.iter().enumerate() {
+        print!("{:<14}", format!("RR{cycle}"));
+        for v in &r.rr[i] {
+            print!("{:>10.2}", v * 100.0);
+        }
+        println!("{:>10.2}", r.rr_overall[i] * 100.0);
+        print!("{:<14}", format!("RR{cycle} AAS"));
+        for v in &r.aas[i] {
+            print!("{:>10.2}", v * 100.0);
+        }
+        println!("{:>10.2}", r.aas_overall[i] * 100.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates Fig. 5: the full policy sweep vs both baselines, on the
+//! MHEALTH-like (5a) and PAMAP2-like (5b) datasets.
+//!
+//! Usage: `cargo run -p origin-bench --bin fig5 --release [mhealth|pamap2|both] [seed]`
+
+use origin_core::experiments::{run_fig5, Dataset, ExperimentContext, Fig5Result};
+
+fn print_result(r: &Fig5Result) {
+    println!("\n# Fig. 5 — accuracy (%) per policy, {} dataset", r.dataset);
+    print!("{:<14}", "policy");
+    for a in &r.activities {
+        print!("{:>10}", a.label());
+    }
+    println!("{:>10}", "overall");
+    for row in &r.rows {
+        print!("{:<14}", row.label);
+        for v in &row.per_activity {
+            print!("{:>10.2}", v * 100.0);
+        }
+        println!("{:>10.2}", row.overall * 100.0);
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "both".to_owned());
+    let seed = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+
+    let datasets: Vec<Dataset> = match which.as_str() {
+        "mhealth" => vec![Dataset::Mhealth],
+        "pamap2" => vec![Dataset::Pamap2],
+        _ => vec![Dataset::Mhealth, Dataset::Pamap2],
+    };
+    for dataset in datasets {
+        let ctx = ExperimentContext::new(dataset, seed).expect("training succeeds");
+        let r = run_fig5(&ctx).expect("simulation succeeds");
+        print_result(&r);
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates Fig. 6: confidence-matrix adaptation for unseen users.
+//!
+//! Usage: `cargo run -p origin-bench --bin fig6 --release [seed]`
+
+use origin_core::experiments::{run_fig6, Dataset, ExperimentContext};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let r = run_fig6(&ctx, 3, 1_000, 10, 20.0).expect("study succeeds");
+
+    println!("# Fig. 6 — accuracy (%) over iterations, 3 unseen users, 20 dB SNR, seed {seed}");
+    println!("base model (clean data): {:.2}%", r.base_accuracy * 100.0);
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "user", "iter 1", "iter 10", "iter 100", "iter 1000", "late mean"
+    );
+    for user in &r.users {
+        let at = |i: usize| user.accuracy_per_iteration[i - 1] * 100.0;
+        println!(
+            "{:<8} {:>8.1} {:>8.1} {:>8.1} {:>9.1} {:>10.2}",
+            user.user.to_string(),
+            at(1),
+            at(10),
+            at(100),
+            at(1_000),
+            user.mean_accuracy(900, 1_000) * 100.0
+        );
+    }
+    // Convergence summary: mean accuracy in iteration bands.
+    println!("\nmean accuracy per band (all users):");
+    for (label, from, to) in [
+        ("iters   1-10", 0, 10),
+        ("iters  10-100", 10, 100),
+        ("iters 100-1000", 100, 1_000),
+    ] {
+        let mean: f64 = r
+            .users
+            .iter()
+            .map(|u| u.mean_accuracy(from, to))
+            .sum::<f64>()
+            / r.users.len() as f64;
+        println!("  {label}: {:.2}%", mean * 100.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Calibration diagnostic: the full policy ladder with completion and
+//! confidence-matrix internals, used when retuning the energy or
+//! signature constants (see EXPERIMENTS.md "Calibration notes").
+//!
+//! Usage: `cargo run -p origin-bench --bin ladder --release`
+
+use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_core::{run_baseline, BaselineKind, PolicyKind, SimConfig};
+use origin_types::SimDuration;
+
+fn main() {
+    let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+        .unwrap()
+        .with_horizon(SimDuration::from_secs(3_600));
+    let sim = ctx.simulator();
+    let base = SimConfig::new(PolicyKind::NaiveAllOn)
+        .with_horizon(ctx.horizon)
+        .with_seed(ctx.seed);
+
+    let policies = [
+        PolicyKind::NaiveAllOn,
+        PolicyKind::RoundRobin { cycle: 3 },
+        PolicyKind::RoundRobin { cycle: 6 },
+        PolicyKind::RoundRobin { cycle: 9 },
+        PolicyKind::RoundRobin { cycle: 12 },
+        PolicyKind::Aas { cycle: 12 },
+        PolicyKind::Aasr { cycle: 12 },
+        PolicyKind::Origin { cycle: 12 },
+        PolicyKind::Aas { cycle: 6 },
+        PolicyKind::Aasr { cycle: 6 },
+        PolicyKind::Origin { cycle: 6 },
+    ];
+    for p in policies {
+        let r = sim.run(&SimConfig { policy: p, ..base.clone() }).unwrap();
+        let (all, some, none) = r.completion_breakdown();
+        println!(
+            "{:<14} acc {:.4} completion {:.3} (all {:.3} some {:.3} none {:.3}) attempts {} completions {} no_out {}",
+            p.label(),
+            r.accuracy(),
+            r.completion_rate(),
+            all, some, none,
+            r.attempts,
+            r.completions,
+            r.no_output_windows,
+        );
+    }
+    // Confidence matrix inspection.
+    let cm = ctx.models.confidence_matrix(0.08);
+    println!("confidence matrix (rows=node, cols=class):");
+    for n in 0..3 {
+        let row: Vec<String> = origin_types::ActivityClass::ALL
+            .iter()
+            .map(|&a| format!("{:.4}", cm.weight(origin_types::NodeId::new(n), a).unwrap()))
+            .collect();
+        println!("  node{}: {}", n, row.join(" "));
+    }
+    for alpha in [0.001f64, 0.02, 0.3] {
+        let mut cfg = SimConfig { policy: PolicyKind::Origin { cycle: 12 }, ..base.clone() };
+        cfg.alpha = alpha;
+        let r = sim.run(&cfg).unwrap();
+        println!("Origin RR12 alpha {:.3}: acc {:.4}", alpha, r.accuracy());
+    }
+    for kind in [BaselineKind::Baseline2, BaselineKind::Baseline1] {
+        let b = run_baseline(kind, &ctx.models, &base).unwrap();
+        println!(
+            "{:<14} acc {:.4} completion {:.3}",
+            kind.label(),
+            b.report.accuracy(),
+            b.report.completion_rate()
+        );
+    }
+}

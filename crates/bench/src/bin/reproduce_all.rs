@@ -1,0 +1,149 @@
+//! Runs the complete evaluation — every figure, the table, and all
+//! extension studies — and writes each report under `results/`.
+//!
+//! Usage: `cargo run -p origin-bench --bin reproduce_all --release [seed] [out_dir]`
+//!
+//! Expect a few minutes in release mode: it trains four model banks
+//! (MHEALTH and PAMAP2, once per seed used) and runs several dozen
+//! one-hour simulations.
+
+use origin_core::experiments::{
+    run_ablation, run_cohort, run_depth_sweep, run_fig1, run_fig2, run_fig4, run_fig5, run_fig6,
+    run_power_study, run_table1, Dataset, ExperimentContext,
+};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn save(dir: &Path, name: &str, content: &str) {
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+    println!("wrote {}", path.display());
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+    let out = std::env::args().nth(2).unwrap_or_else(|| "results".into());
+    let dir = Path::new(&out);
+    std::fs::create_dir_all(dir).expect("results directory is creatable");
+
+    println!("training MHEALTH-like models (seed {seed})...");
+    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+
+    // Fig. 1.
+    let f1 = run_fig1(&ctx).expect("fig1");
+    let mut s = String::new();
+    let _ = writeln!(s, "# Fig. 1 (seed {seed})");
+    let _ = writeln!(s, "naive: all {:.1}% / some {:.1}% / none {:.1}%", f1.naive_all * 100.0, f1.naive_some * 100.0, f1.naive_none * 100.0);
+    let _ = writeln!(s, "RR3: succeed {:.1}% / fail {:.1}%", f1.rr3_succeed * 100.0, f1.rr3_fail * 100.0);
+    save(dir, "summary_fig1.txt", &s);
+
+    // Fig. 2.
+    let f2 = run_fig2(&ctx, 120).expect("fig2");
+    let mut s = String::new();
+    let _ = writeln!(s, "# Fig. 2 per-sensor accuracy (seed {seed})");
+    for (i, cm) in f2.confusions.iter().enumerate() {
+        let _ = writeln!(s, "sensor {i}: {:.2}%", cm.accuracy().unwrap_or(0.0) * 100.0);
+    }
+    let majority_mean = f2.majority.iter().sum::<f64>() / f2.majority.len() as f64;
+    let _ = writeln!(s, "majority: {:.2}%", majority_mean * 100.0);
+    save(dir, "summary_fig2.txt", &s);
+
+    // Fig. 4.
+    let f4 = run_fig4(&ctx).expect("fig4");
+    let mut s = String::new();
+    let _ = writeln!(s, "# Fig. 4 overall accuracy (seed {seed})");
+    for (i, &cycle) in f4.cycles.iter().enumerate() {
+        let _ = writeln!(s, "RR{cycle}: RR {:.2}% / AAS {:.2}%", f4.rr_overall[i] * 100.0, f4.aas_overall[i] * 100.0);
+    }
+    save(dir, "summary_fig4.txt", &s);
+
+    // Fig. 5 on both datasets.
+    for dataset in [Dataset::Mhealth, Dataset::Pamap2] {
+        let dctx = if dataset == Dataset::Mhealth {
+            ctx.clone()
+        } else {
+            println!("training PAMAP2-like models (seed {seed})...");
+            ExperimentContext::new(dataset, seed).expect("training succeeds")
+        };
+        let f5 = run_fig5(&dctx).expect("fig5");
+        let mut s = String::new();
+        let _ = writeln!(s, "# Fig. 5 {} (seed {seed})", f5.dataset);
+        for row in &f5.rows {
+            let _ = writeln!(s, "{:<14} {:.2}%", row.label, row.overall * 100.0);
+        }
+        save(dir, &format!("summary_fig5_{}.txt", f5.dataset.to_lowercase()), &s);
+    }
+
+    // Fig. 6.
+    let f6 = run_fig6(&ctx, 3, 1_000, 10, 20.0).expect("fig6");
+    let mut s = String::new();
+    let _ = writeln!(s, "# Fig. 6 (seed {seed}); base {:.2}%", f6.base_accuracy * 100.0);
+    for user in &f6.users {
+        let _ = writeln!(
+            s,
+            "{}: early {:.1}% -> late {:.1}%",
+            user.user,
+            user.mean_accuracy(0, 10) * 100.0,
+            user.mean_accuracy(900, 1_000) * 100.0
+        );
+    }
+    save(dir, "summary_fig6.txt", &s);
+
+    // Table I.
+    let t1 = run_table1(&ctx).expect("table1");
+    let mut s = String::new();
+    let _ = writeln!(s, "# Table I (seed {seed})");
+    for row in &t1.rows {
+        let _ = writeln!(
+            s,
+            "{:<10} origin {:.2}% bl2 {:.2}% bl1 {:.2}% (vs bl2 {:+.2})",
+            row.activity.label(),
+            row.origin * 100.0,
+            row.bl2 * 100.0,
+            row.bl1 * 100.0,
+            row.vs_bl2()
+        );
+    }
+    let (o, b2, b1) = t1.overall;
+    let _ = writeln!(s, "overall: origin {:.2}% bl2 {:.2}% bl1 {:.2}%", o * 100.0, b2 * 100.0, b1 * 100.0);
+    save(dir, "summary_table1.txt", &s);
+
+    // Extensions.
+    let ab = run_ablation(&ctx, 12).expect("ablation");
+    let mut s = String::new();
+    let _ = writeln!(s, "# Ablations at RR12 (seed {seed})");
+    let _ = writeln!(s, "AAS {:.2}% -> AASR {:.2}% -> Origin {:.2}%", ab.aas_accuracy * 100.0, ab.aasr_accuracy * 100.0, ab.origin_accuracy * 100.0);
+    let _ = writeln!(s, "naive completion: NVP {:.2}% vs volatile {:.2}%", ab.naive_nvp_completion * 100.0, ab.naive_volatile_completion * 100.0);
+    let _ = writeln!(s, "oracle anticipation: {:.2}%", ab.origin_oracle_accuracy * 100.0);
+    save(dir, "summary_ablation.txt", &s);
+
+    let depth = run_depth_sweep(&ctx, &[3, 6, 9, 12, 18, 24, 36]).expect("depth");
+    let mut s = String::new();
+    let _ = writeln!(s, "# Depth sweep (seed {seed}); best RR{}", depth.best_cycle());
+    for p in &depth.points {
+        let _ = writeln!(s, "RR{:<3} {:.2}% (completion {:.1}%)", p.cycle, p.accuracy * 100.0, p.completion * 100.0);
+    }
+    save(dir, "summary_depth.txt", &s);
+
+    let power = run_power_study(&ctx).expect("power");
+    let mut s = String::new();
+    let _ = writeln!(s, "# Power study (seed {seed}); incident {}", power.incident_power);
+    for row in &power.rows {
+        let _ = writeln!(s, "{:<12} consumed {} accuracy {:.2}%", row.label, row.mean_consumed_per_node, row.accuracy * 100.0);
+    }
+    save(dir, "summary_power.txt", &s);
+
+    let cohort = run_cohort(&ctx, 6).expect("cohort");
+    let (om, os) = cohort.origin_stats();
+    let (bm, bs) = cohort.bl2_stats();
+    let mut s = String::new();
+    let _ = writeln!(s, "# Cohort (seed {seed}, n = {})", cohort.points.len());
+    let _ = writeln!(s, "Origin {:.2}% +/- {:.2}; BL-2 {:.2}% +/- {:.2}; win rate {:.0}%", om * 100.0, os * 100.0, bm * 100.0, bs * 100.0, cohort.origin_win_rate() * 100.0);
+    save(dir, "summary_cohort.txt", &s);
+
+    println!("\nall experiments reproduced; summaries in {}/", dir.display());
+}

@@ -1,0 +1,33 @@
+//! Robustness diagnostic: the headline Origin-vs-BL-2 comparison across
+//! eight seeds (models retrained per seed). See EXPERIMENTS.md, Table I
+//! notes.
+//!
+//! Usage: `cargo run -p origin-bench --bin seedsweep --release`
+
+use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_core::{run_baseline, BaselineKind, PolicyKind, SimConfig};
+
+fn main() {
+    for seed in [1u64, 7, 21, 42, 77, 101, 123, 200] {
+        let ctx = ExperimentContext::new(Dataset::Mhealth, seed).unwrap();
+        let sim = ctx.simulator();
+        let base = SimConfig::new(PolicyKind::Origin { cycle: 12 }).with_seed(seed);
+        let origin = sim.run(&base).unwrap();
+        let aasr = sim
+            .run(&SimConfig {
+                policy: PolicyKind::Aasr { cycle: 12 },
+                ..base.clone()
+            })
+            .unwrap();
+        let bl2 = run_baseline(BaselineKind::Baseline2, &ctx.models, &base).unwrap();
+        let bl1 = run_baseline(BaselineKind::Baseline1, &ctx.models, &base).unwrap();
+        println!(
+            "seed {seed:>4}: Origin {:.2} AASR {:.2} BL-2 {:.2} BL-1 {:.2}  (O-BL2 {:+.2})",
+            origin.accuracy() * 100.0,
+            aasr.accuracy() * 100.0,
+            bl2.report.accuracy() * 100.0,
+            bl1.report.accuracy() * 100.0,
+            (origin.accuracy() - bl2.report.accuracy()) * 100.0,
+        );
+    }
+}

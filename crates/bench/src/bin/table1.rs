@@ -1,0 +1,70 @@
+//! Regenerates Table I: RR12-Origin vs BL-2 vs BL-1 per activity.
+//!
+//! Usage: `cargo run -p origin-bench --bin table1 --release [seed] [n_seeds]`
+//!
+//! With `n_seeds > 1`, the table is averaged over `n_seeds` consecutive
+//! seeds (models retrained and trace regenerated per seed) — BL-2's
+//! accuracy is fairly seed-sensitive, so the averaged table is the one to
+//! compare against the paper.
+
+use origin_core::experiments::{run_table1, Dataset, ExperimentContext, Table1Result};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+    let n_seeds: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let mut results: Vec<Table1Result> = Vec::new();
+    for s in 0..n_seeds {
+        let ctx = ExperimentContext::new(Dataset::Mhealth, seed + s).expect("training succeeds");
+        results.push(run_table1(&ctx).expect("simulation succeeds"));
+    }
+    let n = results.len() as f64;
+
+    println!(
+        "# Table I — RR12-Origin vs baselines (%), MHEALTH-like, {} seed(s) from {seed}",
+        results.len()
+    );
+    println!(
+        "{:<10} {:>12} {:>8} {:>8} {:>9} {:>9}",
+        "Activity", "RR12 Origin", "BL-2", "BL-1", "vs BL-2", "vs BL-1"
+    );
+    let rows = results[0].rows.len();
+    for i in 0..rows {
+        let activity = results[0].rows[i].activity;
+        let avg = |f: &dyn Fn(&Table1Result) -> f64| -> f64 {
+            results.iter().map(f).sum::<f64>() / n
+        };
+        let origin = avg(&|r| r.rows[i].origin);
+        let bl2 = avg(&|r| r.rows[i].bl2);
+        let bl1 = avg(&|r| r.rows[i].bl1);
+        println!(
+            "{:<10} {:>12.2} {:>8.2} {:>8.2} {:>+9.2} {:>+9.2}",
+            activity.label(),
+            origin * 100.0,
+            bl2 * 100.0,
+            bl1 * 100.0,
+            (origin - bl2) * 100.0,
+            (origin - bl1) * 100.0
+        );
+    }
+    let o = results.iter().map(|r| r.overall.0).sum::<f64>() / n;
+    let b2 = results.iter().map(|r| r.overall.1).sum::<f64>() / n;
+    let b1 = results.iter().map(|r| r.overall.2).sum::<f64>() / n;
+    println!(
+        "{:<10} {:>12.2} {:>8.2} {:>8.2} {:>+9.2} {:>+9.2}",
+        "OVERALL",
+        o * 100.0,
+        b2 * 100.0,
+        b1 * 100.0,
+        (o - b2) * 100.0,
+        (o - b1) * 100.0
+    );
+    let mean_adv = results.iter().map(Table1Result::mean_vs_bl2).sum::<f64>() / n;
+    println!("mean per-activity advantage vs BL-2: {mean_adv:+.2} pp");
+}

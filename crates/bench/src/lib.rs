@@ -1,0 +1,40 @@
+//! Shared helpers for the Origin experiment binaries and benchmarks.
+//!
+//! The runnable experiment reproductions live in `src/bin/` (one binary
+//! per paper figure/table — see DESIGN.md §5); the Criterion performance
+//! benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use origin_core::ModelBank;
+use origin_sensors::DatasetSpec;
+
+/// Trains a deliberately small model bank for benchmarks: enough data to
+/// converge, small enough that Criterion's warm-up stays quick.
+///
+/// # Panics
+///
+/// Panics when training fails (benchmarks have no error channel).
+#[must_use]
+pub fn bench_models(seed: u64) -> ModelBank {
+    let spec = DatasetSpec::mhealth_like().with_windows(20, 8);
+    ModelBank::train(&spec, seed).expect("bench training succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_types::SensorLocation;
+
+    #[test]
+    fn bench_models_train() {
+        let bank = bench_models(5);
+        for loc in SensorLocation::ALL {
+            assert!(bank
+                .validation_confusion(origin_core::ModelVariant::Pruned, loc)
+                .accuracy()
+                .is_some());
+        }
+    }
+}

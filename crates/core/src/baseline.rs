@@ -1,0 +1,123 @@
+//! The paper's two fully-powered baselines (Section IV-C).
+
+use crate::deployment::Deployment;
+use crate::error::CoreError;
+use crate::models::{ModelBank, ModelVariant};
+use crate::policy::PolicyKind;
+use crate::sim::{SimConfig, SimReport, Simulator};
+
+/// Which baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// Baseline-1: original unpruned DNNs, fully powered, majority vote.
+    Baseline1,
+    /// Baseline-2: energy-aware-pruned DNNs (fit to the average harvested
+    /// power budget), fully powered, majority vote.
+    Baseline2,
+}
+
+impl BaselineKind {
+    /// The classifier variant this baseline runs.
+    #[must_use]
+    pub fn variant(self) -> ModelVariant {
+        match self {
+            BaselineKind::Baseline1 => ModelVariant::Unpruned,
+            BaselineKind::Baseline2 => ModelVariant::Pruned,
+        }
+    }
+
+    /// Table label ("BL-1" / "BL-2").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineKind::Baseline1 => "BL-1",
+            BaselineKind::Baseline2 => "BL-2",
+        }
+    }
+}
+
+/// A baseline run's outcome (a relabelled [`SimReport`]).
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Which baseline ran.
+    pub kind: BaselineKind,
+    /// The underlying simulation report.
+    pub report: SimReport,
+}
+
+/// Runs a baseline: every sensor classifies every window on steady power
+/// and the host majority-votes.
+///
+/// `template` supplies the horizon, seed, user, noise and dwell scale; the
+/// policy and variant are overridden to the baseline's definition, and the
+/// deployment is switched to a steady supply.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_baseline(
+    kind: BaselineKind,
+    models: &ModelBank,
+    template: &SimConfig,
+) -> Result<BaselineReport, CoreError> {
+    let deployment = Deployment::builder().fully_powered().build();
+    let sim = Simulator::new(deployment, models.clone());
+    let config = SimConfig {
+        policy: PolicyKind::NaiveAllOn,
+        variant: kind.variant(),
+        ..template.clone()
+    };
+    let report = sim.run(&config)?;
+    Ok(BaselineReport { kind, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_sensors::DatasetSpec;
+    use origin_types::SimDuration;
+
+    fn models() -> ModelBank {
+        let spec = DatasetSpec::mhealth_like().with_windows(10, 6);
+        ModelBank::train(&spec, 33).unwrap()
+    }
+
+    fn template() -> SimConfig {
+        SimConfig::new(PolicyKind::NaiveAllOn)
+            .with_horizon(SimDuration::from_secs(300))
+            .with_seed(9)
+    }
+
+    #[test]
+    fn baselines_complete_everything() {
+        let models = models();
+        for kind in [BaselineKind::Baseline1, BaselineKind::Baseline2] {
+            let b = run_baseline(kind, &models, &template()).unwrap();
+            let (all, _, _) = b.report.completion_breakdown();
+            assert!(all > 0.99, "{}: all = {all}", kind.label());
+        }
+    }
+
+    #[test]
+    fn baseline1_beats_baseline2_on_average() {
+        let models = models();
+        let b1 = run_baseline(BaselineKind::Baseline1, &models, &template()).unwrap();
+        let b2 = run_baseline(BaselineKind::Baseline2, &models, &template()).unwrap();
+        // The unpruned nets should not lose to their pruned selves by a
+        // wide margin; typically they win.
+        assert!(
+            b1.report.accuracy() >= b2.report.accuracy() - 0.05,
+            "BL-1 {} vs BL-2 {}",
+            b1.report.accuracy(),
+            b2.report.accuracy()
+        );
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert_eq!(BaselineKind::Baseline1.variant(), ModelVariant::Unpruned);
+        assert_eq!(BaselineKind::Baseline2.variant(), ModelVariant::Pruned);
+        assert_eq!(BaselineKind::Baseline1.label(), "BL-1");
+        assert_eq!(BaselineKind::Baseline2.label(), "BL-2");
+    }
+}

@@ -1,0 +1,282 @@
+//! The adaptive confidence matrix.
+//!
+//! "We build a lookup table by averaging the variance of output vectors of
+//! multiple test cases. This table, which we call the confidence matrix,
+//! gives us the confidence of each sensor for each class, and can be used
+//! as a weight for majority voting. ... after each successful
+//! classification, the sensors would send the confidence score ... [which]
+//! would further update the weight matrix of the host device using a
+//! moving average method" (Section III-C).
+
+use origin_nn::SensorClassifier;
+use origin_types::{ActivityClass, ActivitySet, NodeId};
+
+/// Per (sensor × class) confidence weights with exponential moving-average
+/// adaptation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidenceMatrix {
+    activities: ActivitySet,
+    // weights[node][dense_class]
+    weights: Vec<Vec<f64>>,
+    alpha: f64,
+    updates: u64,
+}
+
+impl ConfidenceMatrix {
+    /// Default moving-average rate. Fast enough that the matrix reaches
+    /// steady state well within 100 Fig.-6 iterations while still
+    /// averaging over tens of reports per (sensor, class) cell.
+    pub const DEFAULT_ALPHA: f64 = 0.05;
+
+    /// A matrix with uniform weights (used before any calibration data is
+    /// available).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is zero or `alpha` ∉ `(0, 1]`.
+    #[must_use]
+    pub fn uniform(activities: ActivitySet, nodes: usize, alpha: f64) -> Self {
+        assert!(nodes > 0, "confidence matrix needs at least one node");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "moving-average rate must be in (0, 1], got {alpha}"
+        );
+        let classes = activities.len();
+        Self {
+            activities,
+            weights: vec![vec![1.0 / classes as f64; classes]; nodes],
+            alpha,
+            updates: 0,
+        }
+    }
+
+    /// The paper's initialization: for each sensor, run its classifier
+    /// over held-out samples and average the softmax variance per
+    /// *predicted* class.
+    ///
+    /// `validation[node]` holds that node's raw `(features, dense_label)`
+    /// pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty inputs, classifier/class-count mismatch, or a
+    /// feature-width mismatch inside classification.
+    #[must_use]
+    pub fn from_validation(
+        classifiers: &[SensorClassifier],
+        validation: &[Vec<(Vec<f64>, usize)>],
+        alpha: f64,
+    ) -> Self {
+        assert!(!classifiers.is_empty(), "need at least one classifier");
+        assert_eq!(
+            classifiers.len(),
+            validation.len(),
+            "one validation set per classifier"
+        );
+        let activities = classifiers[0].activities().clone();
+        let classes = activities.len();
+        let mut matrix = Self::uniform(activities.clone(), classifiers.len(), alpha);
+        for (node, (clf, data)) in classifiers.iter().zip(validation).enumerate() {
+            assert_eq!(
+                clf.activities(),
+                &activities,
+                "classifiers must share one activity set"
+            );
+            let mut sums = vec![0.0; classes];
+            let mut counts = vec![0u64; classes];
+            for (x, _) in data {
+                let c = clf
+                    .classify(x)
+                    .expect("validation features match the classifier");
+                sums[c.dense_label] += c.confidence;
+                counts[c.dense_label] += 1;
+            }
+            let fallback = {
+                let total: f64 = sums.iter().sum();
+                let n: u64 = counts.iter().sum();
+                if n == 0 {
+                    1.0 / classes as f64
+                } else {
+                    total / n as f64
+                }
+            };
+            for dense in 0..classes {
+                matrix.weights[node][dense] = if counts[dense] == 0 {
+                    fallback
+                } else {
+                    sums[dense] / counts[dense] as f64
+                };
+            }
+        }
+        matrix
+    }
+
+    /// The activity set the columns index.
+    #[must_use]
+    pub fn activities(&self) -> &ActivitySet {
+        &self.activities
+    }
+
+    /// Number of sensor rows.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Moving-average rate.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Updates applied so far.
+    #[must_use]
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// The weight of `node` voting for `activity`, or `None` when the
+    /// activity is outside the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    #[must_use]
+    pub fn weight(&self, node: NodeId, activity: ActivityClass) -> Option<f64> {
+        let dense = self.activities.dense_index(activity)?;
+        Some(self.weights[node.as_usize()][dense])
+    }
+
+    /// Applies one moving-average update from a successful classification:
+    /// `w ← (1 − α) w + α · observed`.
+    ///
+    /// Out-of-set activities are ignored (a sensor cannot report one).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range or `observed` is not finite and
+    /// non-negative.
+    pub fn update(&mut self, node: NodeId, activity: ActivityClass, observed: f64) {
+        assert!(
+            observed.is_finite() && observed >= 0.0,
+            "confidence must be finite and non-negative"
+        );
+        let Some(dense) = self.activities.dense_index(activity) else {
+            return;
+        };
+        let w = &mut self.weights[node.as_usize()][dense];
+        *w = (1.0 - self.alpha) * *w + self.alpha * observed;
+        self.updates += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_nn::{SensorClassifier, Trainer};
+
+    fn set2() -> ActivitySet {
+        ActivitySet::new([ActivityClass::Walking, ActivityClass::Running]).unwrap()
+    }
+
+    #[test]
+    fn uniform_starts_flat() {
+        let m = ConfidenceMatrix::uniform(set2(), 3, 0.1);
+        assert_eq!(m.node_count(), 3);
+        assert_eq!(m.weight(NodeId::new(0), ActivityClass::Walking), Some(0.5));
+        assert_eq!(m.weight(NodeId::new(2), ActivityClass::Running), Some(0.5));
+        assert_eq!(m.weight(NodeId::new(0), ActivityClass::Cycling), None);
+        assert_eq!(m.update_count(), 0);
+    }
+
+    #[test]
+    fn update_moves_weight_toward_observation() {
+        let mut m = ConfidenceMatrix::uniform(set2(), 1, 0.5);
+        m.update(NodeId::new(0), ActivityClass::Walking, 0.9);
+        let w = m.weight(NodeId::new(0), ActivityClass::Walking).unwrap();
+        assert!((w - 0.7).abs() < 1e-12, "w = {w}");
+        // Repeated updates converge to the observation.
+        for _ in 0..50 {
+            m.update(NodeId::new(0), ActivityClass::Walking, 0.9);
+        }
+        let w = m.weight(NodeId::new(0), ActivityClass::Walking).unwrap();
+        assert!((w - 0.9).abs() < 1e-6);
+        assert_eq!(m.update_count(), 51);
+    }
+
+    #[test]
+    fn out_of_set_updates_are_ignored() {
+        let mut m = ConfidenceMatrix::uniform(set2(), 1, 0.5);
+        m.update(NodeId::new(0), ActivityClass::Cycling, 0.9);
+        assert_eq!(m.update_count(), 0);
+    }
+
+    #[test]
+    fn from_validation_reflects_classifier_confidence() {
+        // A tiny, nearly deterministic classifier: one feature separates
+        // the classes completely.
+        let data: Vec<(Vec<f64>, usize)> = (0..40)
+            .map(|i| {
+                let label = i % 2;
+                (vec![label as f64 * 4.0 - 2.0 + (i as f64 * 0.01)], label)
+            })
+            .collect();
+        let clf = SensorClassifier::train(
+            &[6],
+            &data,
+            set2(),
+            &Trainer::new().with_epochs(120),
+            3,
+        )
+        .unwrap();
+        let m = ConfidenceMatrix::from_validation(
+            std::slice::from_ref(&clf),
+            std::slice::from_ref(&data),
+            0.1,
+        );
+        // A well-separated classifier is confident: weights well above the
+        // uniform floor of variance 0 and near the one-hot maximum (0.25
+        // for two classes).
+        let walk = m.weight(NodeId::new(0), ActivityClass::Walking).unwrap();
+        let run = m.weight(NodeId::new(0), ActivityClass::Running).unwrap();
+        assert!(walk > 0.15, "walk weight {walk}");
+        assert!(run > 0.15, "run weight {run}");
+    }
+
+    #[test]
+    fn from_validation_handles_never_predicted_class() {
+        // Classifier trained on one class only will rarely predict the
+        // other; the fallback must fill that cell.
+        let data: Vec<(Vec<f64>, usize)> = (0..20).map(|i| (vec![i as f64], 0)).collect();
+        let clf = SensorClassifier::train(
+            &[4],
+            &data,
+            set2(),
+            &Trainer::new().with_epochs(30),
+            1,
+        )
+        .unwrap();
+        let m = ConfidenceMatrix::from_validation(
+            std::slice::from_ref(&clf),
+            std::slice::from_ref(&data),
+            0.1,
+        );
+        for a in [ActivityClass::Walking, ActivityClass::Running] {
+            let w = m.weight(NodeId::new(0), a).unwrap();
+            assert!(w.is_finite() && w >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "moving-average rate")]
+    fn bad_alpha_panics() {
+        let _ = ConfidenceMatrix::uniform(set2(), 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn bad_observation_panics() {
+        let mut m = ConfidenceMatrix::uniform(set2(), 1, 0.5);
+        m.update(NodeId::new(0), ActivityClass::Walking, f64::NAN);
+    }
+}

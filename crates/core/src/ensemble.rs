@@ -1,0 +1,172 @@
+//! Ensemble aggregation: majority voting and confidence-weighted voting.
+
+use crate::confidence::ConfidenceMatrix;
+use origin_types::{ActivityClass, NodeId, SimTime};
+
+/// One vote available to the aggregator — a (possibly recalled) sensor
+/// classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vote {
+    /// The voting sensor.
+    pub node: NodeId,
+    /// The voted class.
+    pub activity: ActivityClass,
+    /// The sensor's reported confidence (softmax variance).
+    pub confidence: f64,
+    /// When the vote was originally reported (recalled votes are old).
+    pub reported_at: SimTime,
+}
+
+/// Which aggregation the host runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnsembleKind {
+    /// No ensemble: the most recent single classification wins (plain
+    /// ER-r and AAS).
+    SingleLatest,
+    /// Naive majority voting over the recalled votes (AASR and both
+    /// baselines).
+    Majority,
+    /// Weighted majority voting with the adaptive confidence matrix
+    /// (Origin).
+    ConfidenceWeighted,
+}
+
+/// Naive majority vote. Ties resolve toward the class whose supporting
+/// vote is most recent (the freshest evidence).
+///
+/// Returns `None` when `votes` is empty.
+#[must_use]
+pub fn majority_vote(votes: &[Vote]) -> Option<ActivityClass> {
+    if votes.is_empty() {
+        return None;
+    }
+    let mut counts: Vec<(ActivityClass, usize, SimTime)> = Vec::new();
+    for vote in votes {
+        match counts.iter_mut().find(|(c, _, _)| *c == vote.activity) {
+            Some((_, n, newest)) => {
+                *n += 1;
+                if vote.reported_at > *newest {
+                    *newest = vote.reported_at;
+                }
+            }
+            None => counts.push((vote.activity, 1, vote.reported_at)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(a.2.cmp(&b.2)))
+        .map(|(c, _, _)| c)
+}
+
+/// Confidence-weighted majority vote: each vote contributes the matrix
+/// weight of its (sensor, class) cell, modulated by the confidence score
+/// the sensor reported with that classification (sensors "send the
+/// confidence score for that classifier along with the output class",
+/// Section III-C). The class with the highest total wins. The weights
+/// "boost the classification accuracy and also resolve ties while voting"
+/// (Section III-D) — exact ties are broken by the freshest supporting
+/// vote, mirroring [`majority_vote`].
+///
+/// Votes for classes outside the matrix's activity set are skipped.
+/// Returns `None` when no usable votes remain.
+#[must_use]
+pub fn weighted_vote(votes: &[Vote], matrix: &ConfidenceMatrix) -> Option<ActivityClass> {
+    let mut scores: Vec<(ActivityClass, f64, SimTime)> = Vec::new();
+    for vote in votes {
+        let Some(cell) = matrix.weight(vote.node, vote.activity) else {
+            continue;
+        };
+        let weight = cell * vote.confidence.max(0.0);
+        match scores.iter_mut().find(|(c, _, _)| *c == vote.activity) {
+            Some((_, total, newest)) => {
+                *total += weight;
+                if vote.reported_at > *newest {
+                    *newest = vote.reported_at;
+                }
+            }
+            None => scores.push((vote.activity, weight, vote.reported_at)),
+        }
+    }
+    scores
+        .into_iter()
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("weights are finite")
+                .then(a.2.cmp(&b.2))
+        })
+        .map(|(c, _, _)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_types::ActivitySet;
+
+    fn vote(node: u32, activity: ActivityClass, at_ms: u64) -> Vote {
+        Vote {
+            node: NodeId::new(node),
+            activity,
+            confidence: 0.1,
+            reported_at: SimTime::from_millis(at_ms),
+        }
+    }
+
+    #[test]
+    fn majority_picks_most_common() {
+        let votes = [
+            vote(0, ActivityClass::Walking, 10),
+            vote(1, ActivityClass::Walking, 20),
+            vote(2, ActivityClass::Running, 30),
+        ];
+        assert_eq!(majority_vote(&votes), Some(ActivityClass::Walking));
+    }
+
+    #[test]
+    fn majority_tie_breaks_by_recency() {
+        let votes = [
+            vote(0, ActivityClass::Walking, 10),
+            vote(1, ActivityClass::Running, 30),
+        ];
+        assert_eq!(majority_vote(&votes), Some(ActivityClass::Running));
+        assert_eq!(majority_vote(&[]), None);
+    }
+
+    #[test]
+    fn weighted_vote_respects_matrix() {
+        let set = ActivitySet::mhealth();
+        let mut matrix = ConfidenceMatrix::uniform(set, 3, 1.0);
+        // Node 2 is extremely trusted for Running; nodes 0+1 weakly trusted
+        // for Walking.
+        matrix.update(NodeId::new(2), ActivityClass::Running, 0.9);
+        matrix.update(NodeId::new(0), ActivityClass::Walking, 0.2);
+        matrix.update(NodeId::new(1), ActivityClass::Walking, 0.2);
+        let votes = [
+            vote(0, ActivityClass::Walking, 10),
+            vote(1, ActivityClass::Walking, 20),
+            vote(2, ActivityClass::Running, 30),
+        ];
+        // 0.9 > 0.2 + 0.2: the single confident vote outweighs the pair.
+        assert_eq!(weighted_vote(&votes, &matrix), Some(ActivityClass::Running));
+        // Plain majority would say Walking.
+        assert_eq!(majority_vote(&votes), Some(ActivityClass::Walking));
+    }
+
+    #[test]
+    fn weighted_vote_skips_out_of_set_votes() {
+        let set = ActivitySet::pamap2(); // no jogging
+        let matrix = ConfidenceMatrix::uniform(set, 2, 0.5);
+        let votes = [
+            vote(0, ActivityClass::Jogging, 10),
+            vote(1, ActivityClass::Walking, 5),
+        ];
+        assert_eq!(weighted_vote(&votes, &matrix), Some(ActivityClass::Walking));
+        let only_out = [vote(0, ActivityClass::Jogging, 10)];
+        assert_eq!(weighted_vote(&only_out, &matrix), None);
+    }
+
+    #[test]
+    fn weighted_vote_empty_is_none() {
+        let matrix = ConfidenceMatrix::uniform(ActivitySet::mhealth(), 1, 0.5);
+        assert_eq!(weighted_vote(&[], &matrix), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for policy construction and experiment drivers.
+
+use core::fmt;
+use origin_nn::NnError;
+
+/// Errors surfaced by the Origin policy layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying NN operation failed.
+    Nn(NnError),
+    /// An ER-r cycle length that is not a positive multiple of the node
+    /// count was requested.
+    BadCycle {
+        /// The requested cycle length.
+        cycle: u8,
+        /// The deployment's node count.
+        nodes: usize,
+    },
+    /// A deployment/model pair disagrees on the number of nodes.
+    NodeCountMismatch {
+        /// Nodes in the deployment.
+        deployment: usize,
+        /// Classifiers in the model bank.
+        models: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "classifier error: {e}"),
+            CoreError::BadCycle { cycle, nodes } => write!(
+                f,
+                "ER-r cycle {cycle} is not a positive multiple of the {nodes} sensor nodes"
+            ),
+            CoreError::NodeCountMismatch { deployment, models } => write!(
+                f,
+                "deployment has {deployment} nodes but the model bank has {models} classifiers"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(NnError::EmptyTrainingSet);
+        assert!(e.to_string().contains("classifier error"));
+        assert!(e.source().is_some());
+        let e = CoreError::BadCycle { cycle: 7, nodes: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.source().is_none());
+        let e = CoreError::NodeCountMismatch {
+            deployment: 3,
+            models: 2,
+        };
+        assert!(e.to_string().contains("model bank"));
+    }
+}

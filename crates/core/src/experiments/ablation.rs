@@ -1,0 +1,143 @@
+//! Ablations of the design choices DESIGN.md calls out.
+
+use super::ExperimentContext;
+use crate::deployment::Deployment;
+use crate::error::CoreError;
+use crate::policy::PolicyKind;
+use crate::sim::{SimConfig, Simulator};
+
+/// Results of the ablation battery at a fixed RR depth.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// RR depth used.
+    pub cycle: u8,
+    /// AAS only (no recall, no weighting).
+    pub aas_accuracy: f64,
+    /// + recall (majority voting).
+    pub aasr_accuracy: f64,
+    /// + adaptive confidence weighting (full Origin).
+    pub origin_accuracy: f64,
+    /// Naive completion rate with the NVP.
+    pub naive_nvp_completion: f64,
+    /// Naive completion rate with a volatile CPU (failed attempts waste
+    /// all invested energy).
+    pub naive_volatile_completion: f64,
+    /// Origin accuracy across confidence-adaptation rates.
+    pub alpha_sweep: Vec<(f64, f64)>,
+    /// Origin accuracy with oracle anticipation (the scheduler is told
+    /// the true current activity) — the upper bound on what a better
+    /// next-activity predictor could buy.
+    pub origin_oracle_accuracy: f64,
+}
+
+/// Runs the ablation battery.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_ablation(ctx: &ExperimentContext, cycle: u8) -> Result<AblationReport, CoreError> {
+    let sim = ctx.simulator();
+    let base = SimConfig::new(PolicyKind::Aas { cycle })
+        .with_horizon(ctx.horizon)
+        .with_seed(ctx.seed);
+
+    let aas = sim.run(&base)?;
+    let aasr = sim.run(&SimConfig {
+        policy: PolicyKind::Aasr { cycle },
+        ..base.clone()
+    })?;
+    let origin = sim.run(&SimConfig {
+        policy: PolicyKind::Origin { cycle },
+        ..base.clone()
+    })?;
+
+    // NVP vs volatile under the naive policy.
+    let naive_cfg = SimConfig {
+        policy: PolicyKind::NaiveAllOn,
+        ..base.clone()
+    };
+    let naive_nvp = sim.run(&naive_cfg)?;
+    let volatile_deployment = Deployment::builder().seed(ctx.seed).volatile_cpu().build();
+    let volatile_sim = Simulator::new(volatile_deployment, ctx.models.clone());
+    let naive_volatile = volatile_sim.run(&naive_cfg)?;
+
+    // Adaptation-rate sweep.
+    let mut alpha_sweep = Vec::new();
+    for alpha in [0.02, 0.08, 0.3] {
+        let report = sim.run(&SimConfig {
+            policy: PolicyKind::Origin { cycle },
+            alpha,
+            ..base.clone()
+        })?;
+        alpha_sweep.push((alpha, report.accuracy()));
+    }
+
+    // Oracle anticipation: how much headroom is left in the "anticipate
+    // the next activity" part of AAS.
+    let oracle = sim.run(
+        &SimConfig {
+            policy: PolicyKind::Origin { cycle },
+            ..base.clone()
+        }
+        .with_oracle_anticipation(),
+    )?;
+
+    Ok(AblationReport {
+        cycle,
+        aas_accuracy: aas.accuracy(),
+        aasr_accuracy: aasr.accuracy(),
+        origin_accuracy: origin.accuracy(),
+        naive_nvp_completion: naive_nvp.completion_rate(),
+        naive_volatile_completion: naive_volatile.completion_rate(),
+        alpha_sweep,
+        origin_oracle_accuracy: oracle.accuracy(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Dataset;
+    use origin_types::SimDuration;
+
+    #[test]
+    fn ablation_ladder_and_nvp_value() {
+        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+            .unwrap()
+            .with_horizon(SimDuration::from_secs(1_800));
+        let r = run_ablation(&ctx, 12).unwrap();
+        // Each mechanism earns its keep (small tolerance for noise).
+        assert!(
+            r.aasr_accuracy >= r.aas_accuracy - 0.02,
+            "recall: {} vs {}",
+            r.aasr_accuracy,
+            r.aas_accuracy
+        );
+        assert!(
+            r.origin_accuracy >= r.aasr_accuracy - 0.02,
+            "weighting: {} vs {}",
+            r.origin_accuracy,
+            r.aasr_accuracy
+        );
+        // The NVP matters: volatile naive wastes partial investments.
+        assert!(
+            r.naive_nvp_completion >= r.naive_volatile_completion,
+            "nvp {} vs volatile {}",
+            r.naive_nvp_completion,
+            r.naive_volatile_completion
+        );
+        assert_eq!(r.alpha_sweep.len(), 3);
+        for (_, acc) in &r.alpha_sweep {
+            assert!(*acc > 0.3, "alpha sweep accuracy degenerate: {acc}");
+        }
+        // Oracle anticipation is an upper bound on scheduling quality; the
+        // learned anticipation must already be close to it (temporal
+        // continuity makes "same as last classification" a good predictor).
+        assert!(
+            r.origin_oracle_accuracy >= r.origin_accuracy - 0.03,
+            "oracle {} vs learned {}",
+            r.origin_oracle_accuracy,
+            r.origin_accuracy
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! The RR-depth sweet spot.
+//!
+//! "Further evaluations suggest Origin with RR-12 to be the best fit for
+//! HAR. Going beyond RR-12 might lead to missing an activity window for
+//! high intensity or rapid activities, and going below RR-12 might lead
+//! to energy scarcity at times" (Section IV-C). This driver sweeps the
+//! cycle depth well past 12 and reports where accuracy turns over, and
+//! how fast activities (jumping) pay for excessive depth first.
+
+use super::ExperimentContext;
+use crate::error::CoreError;
+use crate::policy::PolicyKind;
+use crate::sim::SimConfig;
+use origin_types::ActivityClass;
+
+/// One depth's operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthPoint {
+    /// The ER-r cycle length.
+    pub cycle: u8,
+    /// Overall Origin accuracy.
+    pub accuracy: f64,
+    /// Accuracy on the fastest activity (jumping) — the first casualty of
+    /// excessive depth.
+    pub jumping_accuracy: f64,
+    /// Completion rate.
+    pub completion: f64,
+}
+
+/// The depth sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthSweep {
+    /// Points in increasing depth order.
+    pub points: Vec<DepthPoint>,
+}
+
+impl DepthSweep {
+    /// The depth with the highest overall accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sweep is empty (the driver never produces one).
+    #[must_use]
+    pub fn best_cycle(&self) -> u8 {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.accuracy
+                    .partial_cmp(&b.accuracy)
+                    .expect("accuracies are finite")
+            })
+            .expect("sweep is non-empty")
+            .cycle
+    }
+}
+
+/// Sweeps Origin over `cycles` (must be multiples of three).
+///
+/// # Errors
+///
+/// Propagates simulation failures (including invalid cycles).
+pub fn run_depth_sweep(ctx: &ExperimentContext, cycles: &[u8]) -> Result<DepthSweep, CoreError> {
+    let sim = ctx.simulator();
+    let mut points = Vec::with_capacity(cycles.len());
+    for &cycle in cycles {
+        let report = sim.run(
+            &SimConfig::new(PolicyKind::Origin { cycle })
+                .with_horizon(ctx.horizon)
+                .with_seed(ctx.seed),
+        )?;
+        points.push(DepthPoint {
+            cycle,
+            accuracy: report.accuracy(),
+            jumping_accuracy: report
+                .per_activity_accuracy(ActivityClass::Jumping)
+                .unwrap_or(0.0),
+            completion: report.completion_rate(),
+        });
+    }
+    Ok(DepthSweep { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Dataset;
+    use origin_types::SimDuration;
+
+    #[test]
+    fn completion_saturates_and_depth_stops_paying() {
+        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+            .unwrap()
+            .with_horizon(SimDuration::from_secs(1_800));
+        let sweep = run_depth_sweep(&ctx, &[3, 12, 36, 72]).unwrap();
+        assert_eq!(sweep.points.len(), 4);
+        // Completion rises monotonically with depth (more harvesting per
+        // attempt) and is near-total by RR36.
+        assert!(sweep.points[1].completion > sweep.points[0].completion);
+        assert!(sweep.points[2].completion > 0.9);
+        // But accuracy does NOT keep rising: once completion saturates,
+        // extra depth only adds staleness. The best cycle is well below
+        // the deepest swept.
+        let rr12 = sweep.points[1].accuracy;
+        let rr72 = sweep.points[3].accuracy;
+        assert!(
+            rr72 < rr12,
+            "RR72 ({rr72}) should lose to RR12 ({rr12}) through staleness"
+        );
+        // The fast activity degrades at extreme depth relative to its
+        // RR12 value — "missing an activity window".
+        assert!(
+            sweep.points[3].jumping_accuracy < sweep.points[1].jumping_accuracy + 0.02,
+            "jumping at RR72 {} vs RR12 {}",
+            sweep.points[3].jumping_accuracy,
+            sweep.points[1].jumping_accuracy
+        );
+    }
+}

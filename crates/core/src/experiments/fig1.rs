@@ -1,0 +1,85 @@
+//! Fig. 1 — inference completion under naive scheduling.
+//!
+//! (a) all three sensors attempt every window: ~1% all succeed, ~9% at
+//! least one, ~90% none; (b) plain RR3: ~28% succeed / 72% fail.
+
+use super::ExperimentContext;
+use crate::error::CoreError;
+use crate::policy::PolicyKind;
+use crate::sim::SimConfig;
+
+/// Completion fractions for the two naive schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Result {
+    /// Fig. 1a: fraction of windows where all three completed.
+    pub naive_all: f64,
+    /// Fig. 1a: fraction where at least one (but not all) completed.
+    pub naive_some: f64,
+    /// Fig. 1a: fraction where none completed.
+    pub naive_none: f64,
+    /// Fig. 1b: fraction of RR3 attempts that completed.
+    pub rr3_succeed: f64,
+    /// Fig. 1b: fraction that failed.
+    pub rr3_fail: f64,
+}
+
+/// Runs both motivation experiments.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_fig1(ctx: &ExperimentContext) -> Result<Fig1Result, CoreError> {
+    let sim = ctx.simulator();
+    let base = SimConfig::new(PolicyKind::NaiveAllOn)
+        .with_horizon(ctx.horizon)
+        .with_seed(ctx.seed);
+
+    let naive = sim.run(&base)?;
+    let (all, some, none) = naive.completion_breakdown();
+
+    let rr3 = sim.run(&SimConfig {
+        policy: PolicyKind::RoundRobin { cycle: 3 },
+        ..base
+    })?;
+    let succeed = rr3.completion_rate();
+
+    Ok(Fig1Result {
+        naive_all: all,
+        naive_some: some,
+        naive_none: none,
+        rr3_succeed: succeed,
+        rr3_fail: 1.0 - succeed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Dataset;
+    use origin_types::SimDuration;
+
+    #[test]
+    fn fig1_shape_matches_paper() {
+        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+            .unwrap()
+            .with_horizon(SimDuration::from_secs(1_200));
+        let r = run_fig1(&ctx).unwrap();
+        // Fractions are fractions.
+        for v in [r.naive_all, r.naive_some, r.naive_none, r.rr3_succeed, r.rr3_fail] {
+            assert!((0.0..=1.0).contains(&v), "{r:?}");
+        }
+        assert!((r.naive_all + r.naive_some + r.naive_none - 1.0).abs() < 1e-9);
+        assert!((r.rr3_succeed + r.rr3_fail - 1.0).abs() < 1e-9);
+        // Paper shape: naive mostly fails; RR3 does clearly better than
+        // naive but still fails most of the time.
+        assert!(r.naive_none > 0.6, "naive none = {}", r.naive_none);
+        assert!(r.naive_all < 0.15, "naive all = {}", r.naive_all);
+        assert!(
+            r.rr3_succeed > r.naive_all + r.naive_some,
+            "RR3 ({}) must beat naive (>=1: {})",
+            r.rr3_succeed,
+            r.naive_all + r.naive_some
+        );
+        assert!(r.rr3_fail > 0.3, "RR3 should still fail often");
+    }
+}

@@ -1,0 +1,131 @@
+//! Fig. 2 — per-sensor DNN accuracy and majority-voting ensemble per
+//! activity (fully powered, MHEALTH).
+
+use super::ExperimentContext;
+use crate::ensemble::{majority_vote, Vote};
+use crate::error::CoreError;
+use crate::models::ModelVariant;
+use origin_nn::ConfusionMatrix;
+use origin_sensors::{sample_window, window_features, UserProfile};
+use origin_types::{ActivityClass, NodeId, SensorLocation, SimTime, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-activity accuracy of each sensor and of the majority ensemble.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Activities evaluated, in dense order.
+    pub activities: Vec<ActivityClass>,
+    /// `per_sensor[location][dense]` accuracy.
+    pub per_sensor: Vec<Vec<f64>>,
+    /// Majority-voting accuracy per dense class.
+    pub majority: Vec<f64>,
+    /// Confusion matrices per sensor (diagnostics).
+    pub confusions: Vec<ConfusionMatrix>,
+}
+
+/// Evaluates the deployed (pruned) classifiers on freshly generated,
+/// *aligned* evaluation windows: for each trial all three sensors observe
+/// the same activity instant, as they would on a body.
+///
+/// # Errors
+///
+/// Propagates classification failures.
+pub fn run_fig2(ctx: &ExperimentContext, trials_per_class: usize) -> Result<Fig2Result, CoreError> {
+    let activities: Vec<ActivityClass> = ctx.models.activities().iter().collect();
+    let classes = activities.len();
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xF162);
+    let user = UserProfile::sampled(UserId::new(100), 0.08, ctx.seed);
+
+    let mut confusions = vec![ConfusionMatrix::new(classes); SensorLocation::COUNT];
+    let mut majority_cm = ConfusionMatrix::new(classes);
+
+    for (dense, &activity) in activities.iter().enumerate() {
+        for trial in 0..trials_per_class {
+            let mut votes = Vec::with_capacity(SensorLocation::COUNT);
+            for location in SensorLocation::ALL {
+                let window =
+                    sample_window(ctx.models.spec(), activity, location, &user, &mut rng);
+                let features = window_features(&window);
+                let c = ctx
+                    .models
+                    .classifier(ModelVariant::Pruned, location)
+                    .classify(&features)?;
+                confusions[location.index()].record(dense, c.dense_label);
+                votes.push(Vote {
+                    node: NodeId::new(location.index() as u32),
+                    activity: c.activity,
+                    confidence: c.confidence,
+                    reported_at: SimTime::from_millis(trial as u64),
+                });
+            }
+            let verdict = majority_vote(&votes).expect("three votes always present");
+            let verdict_dense = ctx
+                .models
+                .activities()
+                .dense_index(verdict)
+                .expect("votes are in-set");
+            majority_cm.record(dense, verdict_dense);
+        }
+    }
+
+    let per_sensor = confusions
+        .iter()
+        .map(|cm| {
+            (0..classes)
+                .map(|c| cm.class_accuracy(c).unwrap_or(0.0))
+                .collect()
+        })
+        .collect();
+    let majority = (0..classes)
+        .map(|c| majority_cm.class_accuracy(c).unwrap_or(0.0))
+        .collect();
+
+    Ok(Fig2Result {
+        activities,
+        per_sensor,
+        majority,
+        confusions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Dataset;
+
+    #[test]
+    fn fig2_reproduces_sensor_pattern() {
+        let ctx = ExperimentContext::new(Dataset::Mhealth, 77).unwrap();
+        let r = run_fig2(&ctx, 40).unwrap();
+        assert_eq!(r.activities.len(), 6);
+        assert_eq!(r.per_sensor.len(), 3);
+
+        let overall = |loc: SensorLocation| -> f64 {
+            r.confusions[loc.index()].accuracy().unwrap()
+        };
+        let chest = overall(SensorLocation::Chest);
+        let ankle = overall(SensorLocation::LeftAnkle);
+        let wrist = overall(SensorLocation::RightWrist);
+        // Paper pattern: ankle best overall, wrist weakest.
+        assert!(ankle > wrist, "ankle {ankle} vs wrist {wrist}");
+        assert!(chest > wrist, "chest {chest} vs wrist {wrist}");
+
+        // Chest is the best climbing sensor.
+        let climb = ctx
+            .models
+            .activities()
+            .dense_index(ActivityClass::Climbing)
+            .unwrap();
+        assert!(
+            r.per_sensor[SensorLocation::Chest.index()][climb]
+                >= r.per_sensor[SensorLocation::LeftAnkle.index()][climb],
+            "chest must lead climbing"
+        );
+
+        // Majority voting beats the weakest sensor overall and is at
+        // least competitive with the best.
+        let majority_overall: f64 = r.majority.iter().sum::<f64>() / r.majority.len() as f64;
+        assert!(majority_overall > wrist, "ensemble {majority_overall} vs wrist {wrist}");
+    }
+}

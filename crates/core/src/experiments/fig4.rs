@@ -1,0 +1,98 @@
+//! Fig. 4 — plain ER-r vs AAS per activity across RR3/6/9/12.
+
+use super::ExperimentContext;
+use crate::error::CoreError;
+use crate::policy::PolicyKind;
+use crate::sim::{SimConfig, SimReport};
+use origin_types::ActivityClass;
+
+/// Accuracy of RR and RR+AAS per cycle depth and activity.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Activities in dense order.
+    pub activities: Vec<ActivityClass>,
+    /// Cycle depths evaluated (3, 6, 9, 12).
+    pub cycles: Vec<u8>,
+    /// `rr[cycle_idx][dense]` — plain ER-r per-activity accuracy.
+    pub rr: Vec<Vec<f64>>,
+    /// `aas[cycle_idx][dense]` — ER-r + AAS per-activity accuracy.
+    pub aas: Vec<Vec<f64>>,
+    /// Overall accuracies, parallel to `cycles`.
+    pub rr_overall: Vec<f64>,
+    /// Overall AAS accuracies, parallel to `cycles`.
+    pub aas_overall: Vec<f64>,
+}
+
+fn per_activity(report: &SimReport, activities: &[ActivityClass]) -> Vec<f64> {
+    activities
+        .iter()
+        .map(|&a| report.per_activity_accuracy(a).unwrap_or(0.0))
+        .collect()
+}
+
+/// Runs the Fig. 4 sweep.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_fig4(ctx: &ExperimentContext) -> Result<Fig4Result, CoreError> {
+    let sim = ctx.simulator();
+    let activities: Vec<ActivityClass> = ctx.models.activities().iter().collect();
+    let cycles = vec![3u8, 6, 9, 12];
+    let mut rr = Vec::new();
+    let mut aas = Vec::new();
+    let mut rr_overall = Vec::new();
+    let mut aas_overall = Vec::new();
+
+    for &cycle in &cycles {
+        let base = SimConfig::new(PolicyKind::RoundRobin { cycle })
+            .with_horizon(ctx.horizon)
+            .with_seed(ctx.seed);
+        let rr_report = sim.run(&base)?;
+        rr.push(per_activity(&rr_report, &activities));
+        rr_overall.push(rr_report.accuracy());
+
+        let aas_report = sim.run(&SimConfig {
+            policy: PolicyKind::Aas { cycle },
+            ..base
+        })?;
+        aas.push(per_activity(&aas_report, &activities));
+        aas_overall.push(aas_report.accuracy());
+    }
+
+    Ok(Fig4Result {
+        activities,
+        cycles,
+        rr,
+        aas,
+        rr_overall,
+        aas_overall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Dataset;
+
+    #[test]
+    fn fig4_accuracy_rises_with_cycle_and_aas_helps() {
+        let ctx = ExperimentContext::new(Dataset::Mhealth, 77).unwrap();
+        let r = run_fig4(&ctx).unwrap();
+        assert_eq!(r.cycles, vec![3, 6, 9, 12]);
+        // Deeper cycles complete more inferences → higher accuracy.
+        assert!(
+            r.rr_overall[3] > r.rr_overall[0],
+            "RR12 {} vs RR3 {}",
+            r.rr_overall[3],
+            r.rr_overall[0]
+        );
+        // AAS beats plain RR on average across depths.
+        let rr_mean: f64 = r.rr_overall.iter().sum::<f64>() / 4.0;
+        let aas_mean: f64 = r.aas_overall.iter().sum::<f64>() / 4.0;
+        assert!(aas_mean > rr_mean, "AAS {aas_mean} vs RR {rr_mean}");
+        // "More than 70% accuracy for most of the activities" at RR12+AAS.
+        let good = r.aas[3].iter().filter(|&&a| a > 0.55).count();
+        assert!(good >= 4, "RR12 AAS per-activity: {:?}", r.aas[3]);
+    }
+}

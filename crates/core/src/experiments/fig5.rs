@@ -1,0 +1,150 @@
+//! Fig. 5 — the full policy sweep (AAS / AASR / Origin × RR depth) against
+//! both fully-powered baselines, on MHEALTH (5a) and PAMAP2 (5b).
+
+use super::ExperimentContext;
+use crate::baseline::{run_baseline, BaselineKind};
+use crate::error::CoreError;
+use crate::policy::PolicyKind;
+use crate::sim::SimConfig;
+use origin_types::ActivityClass;
+
+/// One policy's row of the sweep.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Policy label ("RR12 Origin", "BL-1", ...).
+    pub label: String,
+    /// Per-activity accuracy in dense order.
+    pub per_activity: Vec<f64>,
+    /// Overall top-1 accuracy.
+    pub overall: f64,
+}
+
+/// The complete sweep for one dataset.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Dataset label ("MHEALTH" / "PAMAP2").
+    pub dataset: &'static str,
+    /// Activities in dense order.
+    pub activities: Vec<ActivityClass>,
+    /// One row per policy, EH policies first, then BL-2 and BL-1.
+    pub rows: Vec<PolicyRow>,
+}
+
+impl Fig5Result {
+    /// The row with the given label, if present.
+    #[must_use]
+    pub fn row(&self, label: &str) -> Option<&PolicyRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+/// Runs the Fig. 5 sweep for the context's dataset.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_fig5(ctx: &ExperimentContext) -> Result<Fig5Result, CoreError> {
+    let sim = ctx.simulator();
+    let activities: Vec<ActivityClass> = ctx.models.activities().iter().collect();
+    let base = SimConfig::new(PolicyKind::NaiveAllOn)
+        .with_horizon(ctx.horizon)
+        .with_seed(ctx.seed);
+
+    let mut rows = Vec::new();
+    for cycle in [3u8, 6, 9, 12] {
+        for policy in [
+            PolicyKind::Aas { cycle },
+            PolicyKind::Aasr { cycle },
+            PolicyKind::Origin { cycle },
+        ] {
+            let report = sim.run(&SimConfig { policy, ..base.clone() })?;
+            rows.push(PolicyRow {
+                label: policy.label(),
+                per_activity: activities
+                    .iter()
+                    .map(|&a| report.per_activity_accuracy(a).unwrap_or(0.0))
+                    .collect(),
+                overall: report.accuracy(),
+            });
+        }
+    }
+
+    for kind in [BaselineKind::Baseline2, BaselineKind::Baseline1] {
+        let b = run_baseline(kind, &ctx.models, &base)?;
+        rows.push(PolicyRow {
+            label: kind.label().to_owned(),
+            per_activity: activities
+                .iter()
+                .map(|&a| b.report.per_activity_accuracy(a).unwrap_or(0.0))
+                .collect(),
+            overall: b.report.accuracy(),
+        });
+    }
+
+    Ok(Fig5Result {
+        dataset: ctx.dataset.label(),
+        activities,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Dataset;
+    use origin_types::SimDuration;
+
+    #[test]
+    fn fig5_pamap2_headline_holds() {
+        let ctx = ExperimentContext::new(Dataset::Pamap2, 77)
+            .unwrap()
+            .with_horizon(SimDuration::from_secs(1_800));
+        let r = run_fig5(&ctx).unwrap();
+        assert_eq!(r.dataset, "PAMAP2");
+        assert_eq!(r.activities.len(), 5);
+        let overall = |label: &str| r.row(label).unwrap().overall;
+        // The ladder and the headline hold on the second dataset too.
+        assert!(overall("RR12 Origin") >= overall("RR12 AASR") - 0.02);
+        assert!(
+            overall("RR12 Origin") > overall("BL-2") - 0.01,
+            "Origin {} vs BL-2 {}",
+            overall("RR12 Origin"),
+            overall("BL-2")
+        );
+    }
+
+    #[test]
+    fn fig5_policy_ladder_holds_on_mhealth() {
+        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+            .unwrap()
+            .with_horizon(SimDuration::from_secs(1_800));
+        let r = run_fig5(&ctx).unwrap();
+        assert_eq!(r.dataset, "MHEALTH");
+        assert_eq!(r.rows.len(), 12 + 2);
+
+        let overall = |label: &str| r.row(label).unwrap().overall;
+        // Recall helps: AASR ≥ AAS at RR12.
+        assert!(
+            overall("RR12 AASR") >= overall("RR12 AAS") - 0.02,
+            "AASR {} vs AAS {}",
+            overall("RR12 AASR"),
+            overall("RR12 AAS")
+        );
+        // The confidence matrix helps: Origin ≥ AASR at RR12.
+        assert!(
+            overall("RR12 Origin") >= overall("RR12 AASR") - 0.02,
+            "Origin {} vs AASR {}",
+            overall("RR12 Origin"),
+            overall("RR12 AASR")
+        );
+        // Headline: RR12 Origin beats BL-2 despite harvested energy.
+        assert!(
+            overall("RR12 Origin") > overall("BL-2"),
+            "Origin {} vs BL-2 {}",
+            overall("RR12 Origin"),
+            overall("BL-2")
+        );
+        // Depth helps Origin.
+        assert!(overall("RR12 Origin") > overall("RR3 Origin"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Experiment drivers that regenerate every figure and table in the
+//! paper's evaluation (see DESIGN.md §5 for the index).
+//!
+//! Each driver returns plain data; the `origin-bench` binaries format it
+//! into the paper-style rows. Everything is deterministic in the supplied
+//! seed.
+
+mod ablation;
+mod cohort;
+mod depth;
+mod fig1;
+mod fig2;
+mod fig4;
+mod fig5;
+mod fig6;
+mod power;
+mod table1;
+
+pub use ablation::{run_ablation, AblationReport};
+pub use cohort::{run_cohort, CohortPoint, CohortReport};
+pub use depth::{run_depth_sweep, DepthPoint, DepthSweep};
+pub use fig1::{run_fig1, Fig1Result};
+pub use fig2::{run_fig2, Fig2Result};
+pub use fig4::{run_fig4, Fig4Result};
+pub use fig5::{run_fig5, Fig5Result};
+pub use fig6::{run_fig6, Fig6Result};
+pub use power::{run_power_study, PowerReport, PowerRow};
+pub use table1::{run_table1, Table1Result};
+
+use crate::deployment::Deployment;
+use crate::error::CoreError;
+use crate::models::ModelBank;
+use crate::sim::Simulator;
+use origin_sensors::DatasetSpec;
+use origin_types::SimDuration;
+
+/// Which dataset analogue an experiment evaluates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Six-class MHEALTH analogue (Figs. 2, 4, 5a, 6, Table I).
+    Mhealth,
+    /// Five-class PAMAP2 analogue (Fig. 5b).
+    Pamap2,
+}
+
+impl Dataset {
+    /// The generator spec for this dataset.
+    #[must_use]
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Mhealth => DatasetSpec::mhealth_like(),
+            Dataset::Pamap2 => DatasetSpec::pamap2_like(),
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Dataset::Mhealth => "MHEALTH",
+            Dataset::Pamap2 => "PAMAP2",
+        }
+    }
+}
+
+/// Shared setup for the experiment drivers: a trained model bank plus the
+/// calibrated EH deployment.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Which dataset analogue is loaded.
+    pub dataset: Dataset,
+    /// The trained models.
+    pub models: ModelBank,
+    /// The energy-harvesting deployment.
+    pub deployment: Deployment,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-policy simulated duration.
+    pub horizon: SimDuration,
+}
+
+impl ExperimentContext {
+    /// Default evaluation horizon (one simulated hour).
+    pub const DEFAULT_HORIZON_SECS: u64 = 3_600;
+
+    /// Trains models and builds the deployment for `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn new(dataset: Dataset, seed: u64) -> Result<Self, CoreError> {
+        let models = ModelBank::train(&dataset.spec(), seed)?;
+        let deployment = Deployment::builder().seed(seed).build();
+        Ok(Self {
+            dataset,
+            models,
+            deployment,
+            seed,
+            horizon: SimDuration::from_secs(Self::DEFAULT_HORIZON_SECS),
+        })
+    }
+
+    /// Overrides the horizon (shorter for tests). Builder-style.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// A simulator bound to this context.
+    #[must_use]
+    pub fn simulator(&self) -> Simulator {
+        Simulator::new(self.deployment.clone(), self.models.clone())
+    }
+}

@@ -1,0 +1,123 @@
+//! Table I — RR12-Origin vs both baselines per activity (MHEALTH).
+
+use super::ExperimentContext;
+use crate::baseline::{run_baseline, BaselineKind};
+use crate::error::CoreError;
+use crate::policy::PolicyKind;
+use crate::sim::SimConfig;
+use origin_types::ActivityClass;
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The activity.
+    pub activity: ActivityClass,
+    /// RR12-Origin accuracy (harvested energy).
+    pub origin: f64,
+    /// Baseline-2 accuracy (fully powered, pruned).
+    pub bl2: f64,
+    /// Baseline-1 accuracy (fully powered, unpruned).
+    pub bl1: f64,
+}
+
+impl Table1Row {
+    /// Percentage-point delta vs Baseline-2 (the paper's "vs BL-2").
+    #[must_use]
+    pub fn vs_bl2(&self) -> f64 {
+        (self.origin - self.bl2) * 100.0
+    }
+
+    /// Percentage-point delta vs Baseline-1.
+    #[must_use]
+    pub fn vs_bl1(&self) -> f64 {
+        (self.origin - self.bl1) * 100.0
+    }
+}
+
+/// The full table plus averages.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// Per-activity rows in dense order.
+    pub rows: Vec<Table1Row>,
+    /// Overall top-1 accuracies: (Origin, BL-2, BL-1).
+    pub overall: (f64, f64, f64),
+}
+
+impl Table1Result {
+    /// Mean per-activity advantage over Baseline-2, percentage points
+    /// (the paper reports +2.72 for MHEALTH).
+    #[must_use]
+    pub fn mean_vs_bl2(&self) -> f64 {
+        self.rows.iter().map(Table1Row::vs_bl2).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Runs RR12-Origin and both baselines and assembles the table.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_table1(ctx: &ExperimentContext) -> Result<Table1Result, CoreError> {
+    let sim = ctx.simulator();
+    let base = SimConfig::new(PolicyKind::Origin { cycle: 12 })
+        .with_horizon(ctx.horizon)
+        .with_seed(ctx.seed);
+
+    let origin = sim.run(&base)?;
+    let bl2 = run_baseline(BaselineKind::Baseline2, &ctx.models, &base)?.report;
+    let bl1 = run_baseline(BaselineKind::Baseline1, &ctx.models, &base)?.report;
+
+    let rows = ctx
+        .models
+        .activities()
+        .iter()
+        .map(|activity| Table1Row {
+            activity,
+            origin: origin.per_activity_accuracy(activity).unwrap_or(0.0),
+            bl2: bl2.per_activity_accuracy(activity).unwrap_or(0.0),
+            bl1: bl1.per_activity_accuracy(activity).unwrap_or(0.0),
+        })
+        .collect();
+
+    Ok(Table1Result {
+        rows,
+        overall: (origin.accuracy(), bl2.accuracy(), bl1.accuracy()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Dataset;
+    use origin_types::SimDuration;
+
+    #[test]
+    fn table1_headline_result_holds() {
+        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+            .unwrap()
+            .with_horizon(SimDuration::from_secs(3_600));
+        let t = run_table1(&ctx).unwrap();
+        assert_eq!(t.rows.len(), 6);
+        let (origin, bl2, bl1) = t.overall;
+        // Headline: Origin on harvested energy beats BL-2 on steady power.
+        assert!(origin > bl2, "Origin {origin} vs BL-2 {bl2}");
+        // BL-1 (unpruned) remains the accuracy ceiling overall.
+        assert!(bl1 >= bl2 - 0.03, "BL-1 {bl1} vs BL-2 {bl2}");
+        // Overall advantage is positive, in the paper's low-single-digit
+        // percentage-point ballpark; per-activity deltas are mixed (the
+        // paper's walking row is negative too), so the per-activity mean
+        // only needs to stay in that neighbourhood.
+        assert!(
+            (origin - bl2) * 100.0 > 0.5,
+            "overall advantage too small: {:.2}",
+            (origin - bl2) * 100.0
+        );
+        let adv = t.mean_vs_bl2();
+        assert!(adv > -2.0, "mean vs BL-2 = {adv}");
+        assert!(adv < 20.0, "implausibly large advantage {adv}");
+        // Deltas are consistent with the stored accuracies.
+        for row in &t.rows {
+            assert!((row.vs_bl2() - (row.origin - row.bl2) * 100.0).abs() < 1e-12);
+        }
+    }
+}

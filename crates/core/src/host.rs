@@ -1,0 +1,243 @@
+//! The battery-backed host device (phone).
+//!
+//! The host is deliberately thin: it remembers the most recent
+//! classification per sensor ([`RecallStore`]), keeps the adaptive
+//! [`ConfidenceMatrix`], and aggregates votes — "we did not want to burden
+//! the host device with complex computation" (Section III-B).
+
+use crate::confidence::ConfidenceMatrix;
+use crate::ensemble::{majority_vote, weighted_vote, EnsembleKind, Vote};
+use crate::recall::{RecallEntry, RecallStore};
+use origin_types::{ActivityClass, ActivitySet, NodeId, SimTime};
+
+/// Host-side state: recall + confidence matrix + the configured ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostDevice {
+    recall: RecallStore,
+    confidence: ConfidenceMatrix,
+    ensemble: EnsembleKind,
+    adapt: bool,
+    reports_received: u64,
+    aggregations: std::cell::Cell<u64>,
+}
+
+impl HostDevice {
+    /// A host over `nodes` sensors using `ensemble`, starting from the
+    /// given confidence matrix.
+    ///
+    /// `adapt` controls whether reports update the matrix (Origin adapts;
+    /// the static-weights ablation does not).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix's node count differs from `nodes`.
+    #[must_use]
+    pub fn new(
+        nodes: usize,
+        ensemble: EnsembleKind,
+        confidence: ConfidenceMatrix,
+        adapt: bool,
+    ) -> Self {
+        assert_eq!(
+            confidence.node_count(),
+            nodes,
+            "confidence matrix must cover every node"
+        );
+        Self {
+            recall: RecallStore::new(nodes),
+            confidence,
+            ensemble,
+            adapt,
+            reports_received: 0,
+            aggregations: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Convenience constructor for ensembles that ignore the matrix.
+    #[must_use]
+    pub fn without_weights(nodes: usize, ensemble: EnsembleKind, activities: ActivitySet) -> Self {
+        Self::new(
+            nodes,
+            ensemble,
+            ConfidenceMatrix::uniform(activities, nodes, ConfidenceMatrix::DEFAULT_ALPHA),
+            false,
+        )
+    }
+
+    /// The recall store.
+    #[must_use]
+    pub fn recall(&self) -> &RecallStore {
+        &self.recall
+    }
+
+    /// The confidence matrix.
+    #[must_use]
+    pub fn confidence(&self) -> &ConfidenceMatrix {
+        &self.confidence
+    }
+
+    /// The configured aggregation.
+    #[must_use]
+    pub fn ensemble(&self) -> EnsembleKind {
+        self.ensemble
+    }
+
+    /// Reports ingested so far — the host's entire input workload
+    /// ("poses minimal overhead on the host device", Section III-B).
+    #[must_use]
+    pub fn reports_received(&self) -> u64 {
+        self.reports_received
+    }
+
+    /// Aggregations performed so far. Together with
+    /// [`HostDevice::reports_received`] this bounds the host's compute:
+    /// every operation is O(nodes × classes).
+    #[must_use]
+    pub fn aggregations(&self) -> u64 {
+        self.aggregations.get()
+    }
+
+    /// Ingests a classification report from `node`: records it for recall
+    /// and (if adaptive) folds its confidence into the matrix.
+    pub fn on_report(
+        &mut self,
+        node: NodeId,
+        activity: ActivityClass,
+        confidence: f64,
+        now: SimTime,
+    ) {
+        self.reports_received += 1;
+        self.recall.record(
+            node,
+            RecallEntry {
+                activity,
+                confidence,
+                reported_at: now,
+            },
+        );
+        if self.adapt {
+            self.confidence.update(node, activity, confidence);
+        }
+    }
+
+    /// The host's current final classification, or `None` before any
+    /// report has arrived.
+    #[must_use]
+    pub fn classify(&self) -> Option<ActivityClass> {
+        self.aggregations.set(self.aggregations.get() + 1);
+        match self.ensemble {
+            EnsembleKind::SingleLatest => self.recall.most_recent().map(|(_, e)| e.activity),
+            EnsembleKind::Majority => majority_vote(&self.votes()),
+            EnsembleKind::ConfidenceWeighted => weighted_vote(&self.votes(), &self.confidence),
+        }
+    }
+
+    /// The anticipated next activity — "it anticipates the next activity
+    /// to be the current classified activity" (Section III-B).
+    #[must_use]
+    pub fn anticipated(&self) -> Option<ActivityClass> {
+        self.classify()
+    }
+
+    fn votes(&self) -> Vec<Vote> {
+        self.recall
+            .votes()
+            .map(|(node, e)| Vote {
+                node,
+                activity: e.activity,
+                confidence: e.confidence,
+                reported_at: e.reported_at,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(kind: EnsembleKind) -> HostDevice {
+        HostDevice::without_weights(3, kind, ActivitySet::mhealth())
+    }
+
+    #[test]
+    fn single_latest_reports_freshest() {
+        let mut h = host(EnsembleKind::SingleLatest);
+        assert_eq!(h.classify(), None);
+        h.on_report(NodeId::new(0), ActivityClass::Walking, 0.1, SimTime::from_millis(10));
+        h.on_report(NodeId::new(1), ActivityClass::Running, 0.1, SimTime::from_millis(20));
+        assert_eq!(h.classify(), Some(ActivityClass::Running));
+        assert_eq!(h.anticipated(), Some(ActivityClass::Running));
+    }
+
+    #[test]
+    fn majority_uses_recalled_votes() {
+        let mut h = host(EnsembleKind::Majority);
+        h.on_report(NodeId::new(0), ActivityClass::Walking, 0.1, SimTime::from_millis(10));
+        h.on_report(NodeId::new(1), ActivityClass::Walking, 0.1, SimTime::from_millis(20));
+        h.on_report(NodeId::new(2), ActivityClass::Running, 0.1, SimTime::from_millis(30));
+        assert_eq!(h.classify(), Some(ActivityClass::Walking));
+        // The non-participating sensors' old votes persist: node 2 reports
+        // again, others recalled.
+        h.on_report(NodeId::new(2), ActivityClass::Walking, 0.1, SimTime::from_millis(40));
+        assert_eq!(h.classify(), Some(ActivityClass::Walking));
+    }
+
+    #[test]
+    fn adaptive_host_updates_matrix() {
+        let matrix = ConfidenceMatrix::uniform(ActivitySet::mhealth(), 3, 0.5);
+        let mut h = HostDevice::new(3, EnsembleKind::ConfidenceWeighted, matrix, true);
+        let before = h
+            .confidence()
+            .weight(NodeId::new(0), ActivityClass::Walking)
+            .unwrap();
+        h.on_report(NodeId::new(0), ActivityClass::Walking, 0.9, SimTime::ZERO);
+        let after = h
+            .confidence()
+            .weight(NodeId::new(0), ActivityClass::Walking)
+            .unwrap();
+        assert!(after > before);
+        assert_eq!(h.confidence().update_count(), 1);
+    }
+
+    #[test]
+    fn non_adaptive_host_keeps_matrix_static() {
+        let matrix = ConfidenceMatrix::uniform(ActivitySet::mhealth(), 3, 0.5);
+        let mut h = HostDevice::new(3, EnsembleKind::ConfidenceWeighted, matrix, false);
+        h.on_report(NodeId::new(0), ActivityClass::Walking, 0.9, SimTime::ZERO);
+        assert_eq!(h.confidence().update_count(), 0);
+    }
+
+    #[test]
+    fn weighted_ensemble_overrides_majority() {
+        let mut matrix = ConfidenceMatrix::uniform(ActivitySet::mhealth(), 3, 1.0);
+        matrix.update(NodeId::new(2), ActivityClass::Running, 0.9);
+        matrix.update(NodeId::new(0), ActivityClass::Walking, 0.05);
+        matrix.update(NodeId::new(1), ActivityClass::Walking, 0.05);
+        let mut h = HostDevice::new(3, EnsembleKind::ConfidenceWeighted, matrix, false);
+        h.on_report(NodeId::new(0), ActivityClass::Walking, 0.05, SimTime::from_millis(1));
+        h.on_report(NodeId::new(1), ActivityClass::Walking, 0.05, SimTime::from_millis(2));
+        h.on_report(NodeId::new(2), ActivityClass::Running, 0.9, SimTime::from_millis(3));
+        assert_eq!(h.classify(), Some(ActivityClass::Running));
+    }
+
+    #[test]
+    fn host_counters_track_workload() {
+        let mut h = host(EnsembleKind::Majority);
+        assert_eq!(h.reports_received(), 0);
+        h.on_report(NodeId::new(0), ActivityClass::Walking, 0.1, SimTime::ZERO);
+        h.on_report(NodeId::new(1), ActivityClass::Walking, 0.1, SimTime::ZERO);
+        assert_eq!(h.reports_received(), 2);
+        let before = h.aggregations();
+        let _ = h.classify();
+        let _ = h.classify();
+        assert_eq!(h.aggregations(), before + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn node_count_mismatch_panics() {
+        let matrix = ConfidenceMatrix::uniform(ActivitySet::mhealth(), 2, 0.5);
+        let _ = HostDevice::new(3, EnsembleKind::Majority, matrix, false);
+    }
+}

@@ -1,0 +1,70 @@
+//! # origin-core — the Origin policy and its evaluation harness
+//!
+//! This crate implements the primary contribution of *Origin: Enabling
+//! On-Device Intelligence for Human Activity Recognition Using Energy
+//! Harvesting Wireless Sensor Networks* (DATE 2021) on top of the
+//! workspace's substrates (traces, energy, sensors, NN, network):
+//!
+//! * **Extended round-robin (ER-r)** slot schedules ([`Slots`]) — RR3,
+//!   RR6, RR9, RR12 per Fig. 3;
+//! * **Activity-aware scheduling (AAS)** — the per-activity sensor
+//!   [`RankTable`] and the best-available-sensor hand-off;
+//! * **Recall (AASR)** — the host-side [`RecallStore`] that keeps every
+//!   sensor's most recent classification in the ensemble;
+//! * the **adaptive [`ConfidenceMatrix`]** — softmax-variance weights per
+//!   (sensor × class), updated online by moving average, used for weighted
+//!   majority voting ([`EnsembleKind::ConfidenceWeighted`]);
+//! * the **discrete-time [`Simulator`]** that steps sensor energy state,
+//!   scheduling, inference, communication and host aggregation together;
+//! * the **baselines** (fully powered, majority voting; unpruned = BL-1,
+//!   energy-aware-pruned = BL-2) and the [`experiments`] drivers that
+//!   regenerate every figure and table in the paper.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use origin_core::{Deployment, ModelBank, PolicyKind, SimConfig, Simulator};
+//! use origin_sensors::DatasetSpec;
+//! use origin_types::SimDuration;
+//!
+//! # fn main() -> Result<(), origin_core::CoreError> {
+//! let spec = DatasetSpec::mhealth_like();
+//! let models = ModelBank::train(&spec, 42)?;
+//! let deployment = Deployment::builder().seed(42).build();
+//! let config = SimConfig::new(PolicyKind::Origin { cycle: 12 })
+//!     .with_horizon(SimDuration::from_secs(3_600));
+//! let report = Simulator::new(deployment, models).run(&config)?;
+//! println!("top-1 accuracy: {:.2}%", report.accuracy() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod confidence;
+mod deployment;
+mod ensemble;
+mod error;
+pub mod experiments;
+mod host;
+mod models;
+mod policy;
+mod rank;
+mod recall;
+mod schedule;
+mod sim;
+
+pub use baseline::{run_baseline, BaselineKind, BaselineReport};
+pub use confidence::ConfidenceMatrix;
+pub use deployment::{Deployment, DeploymentBuilder};
+pub use ensemble::{majority_vote, weighted_vote, EnsembleKind, Vote};
+pub use error::CoreError;
+pub use host::HostDevice;
+pub use models::{ModelBank, ModelVariant};
+pub use policy::{PolicyKind, PolicyState};
+pub use rank::RankTable;
+pub use recall::{RecallEntry, RecallStore};
+pub use schedule::{SlotKind, Slots};
+pub use sim::{SimConfig, SimReport, Simulator};

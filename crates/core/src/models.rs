@@ -1,0 +1,283 @@
+//! The per-sensor model bank: Baseline-1 and Baseline-2 classifiers.
+//!
+//! "Baseline-1 consists of the original DNNs ... (without any pruning).
+//! Baseline-2 uses state of the art pruning techniques ... to prune the
+//! DNNs of Baseline-1 to fit the average harvested power budget. ...
+//! Origin uses the DNNs of Baseline-2 for the classification tasks"
+//! (Section IV-C).
+
+use crate::confidence::ConfidenceMatrix;
+use crate::error::CoreError;
+use crate::rank::RankTable;
+use origin_nn::{
+    prune_to_energy, ConfusionMatrix, InferenceEnergyModel, SensorClassifier, Trainer,
+};
+use origin_sensors::{DatasetSpec, HarDataset};
+use origin_types::{ActivitySet, Energy, SensorLocation};
+
+/// Which classifier variant an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelVariant {
+    /// The original unpruned networks (Baseline-1).
+    Unpruned,
+    /// The energy-aware-pruned networks (Baseline-2 and all EH policies).
+    Pruned,
+}
+
+/// Trained unpruned + pruned classifiers for every sensor location, with
+/// their validation confusion matrices and derived tables.
+#[derive(Debug, Clone)]
+pub struct ModelBank {
+    spec: DatasetSpec,
+    activities: ActivitySet,
+    energy_model: InferenceEnergyModel,
+    budget: Energy,
+    unpruned: Vec<SensorClassifier>,
+    pruned: Vec<SensorClassifier>,
+    unpruned_cm: Vec<ConfusionMatrix>,
+    pruned_cm: Vec<ConfusionMatrix>,
+    validation: Vec<Vec<(Vec<f64>, usize)>>,
+}
+
+impl ModelBank {
+    /// Default per-inference pruning budget, µJ. Matches
+    /// [`InferenceEnergyModel::budget_from_power`] applied to the default
+    /// WiFi office trace (≈40 µW mean) over a 500 ms window with the
+    /// default slack.
+    pub const DEFAULT_BUDGET_UJ: f64 = 80.0;
+
+    /// Hidden-layer widths per location — "three different smaller DNNs
+    /// that work on their individual data" (Section IV-B).
+    #[must_use]
+    pub fn hidden_for(location: SensorLocation) -> &'static [usize] {
+        match location {
+            SensorLocation::Chest => &[18],
+            SensorLocation::LeftAnkle => &[24],
+            SensorLocation::RightWrist => &[16],
+        }
+    }
+
+    /// Trains the full bank with the default pruning budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and pruning failures.
+    pub fn train(spec: &DatasetSpec, seed: u64) -> Result<Self, CoreError> {
+        Self::train_with_budget(spec, seed, Energy::from_microjoules(Self::DEFAULT_BUDGET_UJ))
+    }
+
+    /// Trains the full bank, pruning Baseline-2 to `budget` per inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures and [`origin_nn::NnError::BudgetUnreachable`]
+    /// for budgets below the static energy floor.
+    pub fn train_with_budget(
+        spec: &DatasetSpec,
+        seed: u64,
+        budget: Energy,
+    ) -> Result<Self, CoreError> {
+        let dataset = HarDataset::generate(spec, seed);
+        let energy_model = InferenceEnergyModel::default();
+        // Label smoothing keeps the softmax calibrated so its variance
+        // carries real confidence signal (Section III-C's metric).
+        let trainer = Trainer::new()
+            .with_epochs(140)
+            .with_seed(seed)
+            .with_label_smoothing(0.1);
+        let mut unpruned = Vec::with_capacity(SensorLocation::COUNT);
+        let mut pruned = Vec::with_capacity(SensorLocation::COUNT);
+        let mut unpruned_cm = Vec::with_capacity(SensorLocation::COUNT);
+        let mut pruned_cm = Vec::with_capacity(SensorLocation::COUNT);
+        let mut validation = Vec::with_capacity(SensorLocation::COUNT);
+
+        for location in SensorLocation::ALL {
+            let sensor = dataset.sensor(location);
+            let train: Vec<(Vec<f64>, usize)> = sensor
+                .train
+                .iter()
+                .map(|s| (s.features.clone(), s.dense_label))
+                .collect();
+            let test: Vec<(Vec<f64>, usize)> = sensor
+                .test
+                .iter()
+                .map(|s| (s.features.clone(), s.dense_label))
+                .collect();
+
+            let full = SensorClassifier::train(
+                Self::hidden_for(location),
+                &train,
+                spec.activities.clone(),
+                &trainer,
+                seed ^ (location.index() as u64 + 1).wrapping_mul(0x9E37_79B9),
+            )?;
+            unpruned_cm.push(full.evaluate(&test)?);
+
+            // Baseline-2: energy-aware pruning with brief fine-tuning
+            // rounds (short on purpose — the accuracy drop is the point).
+            let mut lean = full.clone();
+            let norm_train = lean.normalize_data(&train);
+            prune_to_energy(
+                lean.mlp_mut(),
+                &energy_model,
+                budget,
+                &norm_train,
+                &trainer,
+                0.15,
+                1,
+            )?;
+            pruned_cm.push(lean.evaluate(&test)?);
+
+            unpruned.push(full);
+            pruned.push(lean);
+            validation.push(test);
+        }
+
+        Ok(Self {
+            spec: spec.clone(),
+            activities: spec.activities.clone(),
+            energy_model,
+            budget,
+            unpruned,
+            pruned,
+            unpruned_cm,
+            pruned_cm,
+            validation,
+        })
+    }
+
+    /// The dataset spec the bank was trained from.
+    #[must_use]
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// The class set.
+    #[must_use]
+    pub fn activities(&self) -> &ActivitySet {
+        &self.activities
+    }
+
+    /// The energy model costs are predicted with.
+    #[must_use]
+    pub fn energy_model(&self) -> &InferenceEnergyModel {
+        &self.energy_model
+    }
+
+    /// The pruning budget Baseline-2 was fitted to.
+    #[must_use]
+    pub fn budget(&self) -> Energy {
+        self.budget
+    }
+
+    /// The classifier for `location` in the requested variant.
+    #[must_use]
+    pub fn classifier(&self, variant: ModelVariant, location: SensorLocation) -> &SensorClassifier {
+        match variant {
+            ModelVariant::Unpruned => &self.unpruned[location.index()],
+            ModelVariant::Pruned => &self.pruned[location.index()],
+        }
+    }
+
+    /// Validation confusion matrix for `location` in the requested
+    /// variant.
+    #[must_use]
+    pub fn validation_confusion(
+        &self,
+        variant: ModelVariant,
+        location: SensorLocation,
+    ) -> &ConfusionMatrix {
+        match variant {
+            ModelVariant::Unpruned => &self.unpruned_cm[location.index()],
+            ModelVariant::Pruned => &self.pruned_cm[location.index()],
+        }
+    }
+
+    /// Predicted per-inference energy for `location` in the requested
+    /// variant.
+    #[must_use]
+    pub fn inference_energy(&self, variant: ModelVariant, location: SensorLocation) -> Energy {
+        self.classifier(variant, location)
+            .inference_energy(&self.energy_model)
+    }
+
+    /// The AAS rank table, built from the *deployed* (pruned) models'
+    /// validation accuracy.
+    #[must_use]
+    pub fn rank_table(&self) -> RankTable {
+        RankTable::from_validation(self.activities.clone(), &self.pruned_cm)
+    }
+
+    /// The initial confidence matrix, from the pruned models' validation
+    /// softmax variance (Section III-C).
+    #[must_use]
+    pub fn confidence_matrix(&self, alpha: f64) -> ConfidenceMatrix {
+        ConfidenceMatrix::from_validation(&self.pruned, &self.validation, alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec::mhealth_like().with_windows(12, 8)
+    }
+
+    #[test]
+    fn bank_trains_both_variants() {
+        let bank = ModelBank::train(&small_spec(), 7).unwrap();
+        for loc in SensorLocation::ALL {
+            let full = bank.inference_energy(ModelVariant::Unpruned, loc);
+            let lean = bank.inference_energy(ModelVariant::Pruned, loc);
+            assert!(lean < full, "{loc}: pruning must reduce energy");
+            assert!(lean <= bank.budget(), "{loc}: pruned model over budget");
+            assert!(bank.classifier(ModelVariant::Pruned, loc).mlp().sparsity() > 0.3);
+        }
+    }
+
+    #[test]
+    fn validation_matrices_are_populated() {
+        let bank = ModelBank::train(&small_spec(), 8).unwrap();
+        for loc in SensorLocation::ALL {
+            for variant in [ModelVariant::Unpruned, ModelVariant::Pruned] {
+                let cm = bank.validation_confusion(variant, loc);
+                assert_eq!(cm.total(), 8 * 6);
+                assert!(cm.accuracy().unwrap() > 0.3, "{loc} degenerate accuracy");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_tables_are_consistent() {
+        let bank = ModelBank::train(&small_spec(), 9).unwrap();
+        let rank = bank.rank_table();
+        assert_eq!(rank.node_count(), 3);
+        assert_eq!(rank.activities(), bank.activities());
+        let cm = bank.confidence_matrix(0.1);
+        assert_eq!(cm.node_count(), 3);
+        assert_eq!(cm.activities(), bank.activities());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = ModelBank::train(&small_spec(), 11).unwrap();
+        let b = ModelBank::train(&small_spec(), 11).unwrap();
+        for loc in SensorLocation::ALL {
+            assert_eq!(
+                a.classifier(ModelVariant::Pruned, loc).mlp(),
+                b.classifier(ModelVariant::Pruned, loc).mlp()
+            );
+        }
+    }
+
+    #[test]
+    fn hidden_sizes_differ_per_location() {
+        let sizes: Vec<&[usize]> = SensorLocation::ALL
+            .iter()
+            .map(|&l| ModelBank::hidden_for(l))
+            .collect();
+        assert_ne!(sizes[0], sizes[1]);
+        assert_ne!(sizes[1], sizes[2]);
+    }
+}

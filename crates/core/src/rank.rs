@@ -1,0 +1,165 @@
+//! The per-activity sensor rank table behind activity-aware scheduling.
+//!
+//! "To enable the activity awareness we keep a small lookup table of
+//! accuracy of all the sensors over all the classes. However, accuracy
+//! being a floating point number, is expensive ... instead of storing the
+//! accuracy, we store the rank of the sensors" (Section III-B). The table
+//! is built once from each deployed classifier's validation confusion
+//! matrix and holds only small integers, exactly like the paper's.
+
+use origin_nn::ConfusionMatrix;
+use origin_types::{ActivityClass, ActivitySet, NodeId};
+
+/// For every activity, the sensor nodes ordered best-first by validation
+/// per-class accuracy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankTable {
+    activities: ActivitySet,
+    // ranking[dense_class][position] = node id
+    ranking: Vec<Vec<NodeId>>,
+}
+
+impl RankTable {
+    /// Builds the table from one validation confusion matrix per node
+    /// (indexed by node id).
+    ///
+    /// Ties are broken toward the lower node id, which keeps the table
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `matrices` is empty or a matrix's class count differs
+    /// from `activities`.
+    #[must_use]
+    pub fn from_validation(activities: ActivitySet, matrices: &[ConfusionMatrix]) -> Self {
+        assert!(!matrices.is_empty(), "need at least one node");
+        for m in matrices {
+            assert_eq!(
+                m.classes(),
+                activities.len(),
+                "confusion matrix class count must match the activity set"
+            );
+        }
+        let mut ranking = Vec::with_capacity(activities.len());
+        for dense in 0..activities.len() {
+            let mut nodes: Vec<(NodeId, f64)> = matrices
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    (
+                        NodeId::new(i as u32),
+                        m.class_accuracy(dense).unwrap_or(0.0),
+                    )
+                })
+                .collect();
+            nodes.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("accuracies are finite")
+                    .then(a.0.cmp(&b.0))
+            });
+            ranking.push(nodes.into_iter().map(|(id, _)| id).collect());
+        }
+        Self {
+            activities,
+            ranking,
+        }
+    }
+
+    /// The activity set the table covers.
+    #[must_use]
+    pub fn activities(&self) -> &ActivitySet {
+        &self.activities
+    }
+
+    /// The best sensor for `activity`, or `None` when the activity is not
+    /// in the set.
+    #[must_use]
+    pub fn best(&self, activity: ActivityClass) -> Option<NodeId> {
+        self.ordered(activity).and_then(|r| r.first().copied())
+    }
+
+    /// All sensors for `activity`, best first.
+    #[must_use]
+    pub fn ordered(&self, activity: ActivityClass) -> Option<&[NodeId]> {
+        let dense = self.activities.dense_index(activity)?;
+        Some(&self.ranking[dense])
+    }
+
+    /// Number of nodes ranked.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.ranking.first().map_or(0, Vec::len)
+    }
+
+    /// Memory footprint of the table in bytes if stored as packed node
+    /// indices — the quantity the paper minimizes by storing ranks instead
+    /// of floating-point accuracies.
+    #[must_use]
+    pub fn packed_size_bytes(&self) -> usize {
+        self.activities.len() * self.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(diag: &[u64]) -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(diag.len());
+        for (c, &correct) in diag.iter().enumerate() {
+            for _ in 0..correct {
+                m.record(c, c);
+            }
+            for _ in 0..(10 - correct) {
+                m.record(c, (c + 1) % diag.len());
+            }
+        }
+        m
+    }
+
+    fn small_set() -> ActivitySet {
+        ActivitySet::new([ActivityClass::Walking, ActivityClass::Running]).unwrap()
+    }
+
+    #[test]
+    fn ranks_by_class_accuracy() {
+        // Node 0: walking 9/10, running 2/10. Node 1: walking 5/10, running 8/10.
+        let table = RankTable::from_validation(small_set(), &[matrix(&[9, 2]), matrix(&[5, 8])]);
+        assert_eq!(table.best(ActivityClass::Walking), Some(NodeId::new(0)));
+        assert_eq!(table.best(ActivityClass::Running), Some(NodeId::new(1)));
+        assert_eq!(
+            table.ordered(ActivityClass::Walking).unwrap(),
+            &[NodeId::new(0), NodeId::new(1)]
+        );
+    }
+
+    #[test]
+    fn ties_break_to_lower_id() {
+        let table = RankTable::from_validation(small_set(), &[matrix(&[7, 7]), matrix(&[7, 7])]);
+        assert_eq!(table.best(ActivityClass::Walking), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn missing_activity_is_none() {
+        let table = RankTable::from_validation(small_set(), &[matrix(&[5, 5])]);
+        assert_eq!(table.best(ActivityClass::Cycling), None);
+        assert!(table.ordered(ActivityClass::Jumping).is_none());
+    }
+
+    #[test]
+    fn packed_size_is_tiny() {
+        let table = RankTable::from_validation(
+            ActivitySet::mhealth(),
+            &[matrix(&[5; 6]), matrix(&[5; 6]), matrix(&[6; 6])],
+        );
+        // 6 activities x 3 nodes x 1 byte — "a small lookup table".
+        assert_eq!(table.packed_size_bytes(), 18);
+        assert_eq!(table.node_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "class count")]
+    fn class_count_mismatch_panics() {
+        let _ = RankTable::from_validation(ActivitySet::mhealth(), &[matrix(&[5, 5])]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Host-side recall of each sensor's most recent classification.
+//!
+//! "By memorizing or recalling the most recent classification result, we
+//! can get the inference result of a sensor even without activating it.
+//! ... we build the recall strategy into the host device" (Section III-B).
+
+use origin_types::{ActivityClass, NodeId, SimTime};
+
+/// One remembered classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecallEntry {
+    /// The classified activity.
+    pub activity: ActivityClass,
+    /// The softmax-variance confidence the sensor reported.
+    pub confidence: f64,
+    /// When the report arrived at the host.
+    pub reported_at: SimTime,
+}
+
+/// Per-node storage of the latest classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecallStore {
+    entries: Vec<Option<RecallEntry>>,
+}
+
+impl RecallStore {
+    /// An empty store for `nodes` sensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is zero.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "recall store needs at least one node");
+        Self {
+            entries: vec![None; nodes],
+        }
+    }
+
+    /// Number of tracked nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Records a fresh classification from `node`, replacing any previous
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn record(&mut self, node: NodeId, entry: RecallEntry) {
+        let slot = self
+            .entries
+            .get_mut(node.as_usize())
+            .expect("node is tracked by the store");
+        *slot = Some(entry);
+    }
+
+    /// The remembered entry for `node`, if it has ever reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    #[must_use]
+    pub fn recall(&self, node: NodeId) -> Option<&RecallEntry> {
+        self.entries
+            .get(node.as_usize())
+            .expect("node is tracked by the store")
+            .as_ref()
+    }
+
+    /// Iterates `(node, entry)` over nodes that have reported at least
+    /// once — the votes available to the ensemble.
+    pub fn votes(&self) -> impl Iterator<Item = (NodeId, &RecallEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (NodeId::new(i as u32), e)))
+    }
+
+    /// The most recent entry across all nodes (the single-result output
+    /// plain RR / AAS policies report).
+    #[must_use]
+    pub fn most_recent(&self) -> Option<(NodeId, &RecallEntry)> {
+        self.votes().max_by_key(|(_, e)| e.reported_at)
+    }
+
+    /// Age of the oldest vote participating in the ensemble at `now`, or
+    /// `None` when no node has reported. Diagnostic for recall staleness.
+    #[must_use]
+    pub fn oldest_vote_age(&self, now: SimTime) -> Option<origin_types::SimDuration> {
+        self.votes()
+            .map(|(_, e)| now.saturating_since(e.reported_at))
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(activity: ActivityClass, at_ms: u64) -> RecallEntry {
+        RecallEntry {
+            activity,
+            confidence: 0.1,
+            reported_at: SimTime::from_millis(at_ms),
+        }
+    }
+
+    #[test]
+    fn records_and_recalls() {
+        let mut store = RecallStore::new(3);
+        assert_eq!(store.node_count(), 3);
+        assert!(store.recall(NodeId::new(0)).is_none());
+        store.record(NodeId::new(0), entry(ActivityClass::Walking, 100));
+        let got = store.recall(NodeId::new(0)).unwrap();
+        assert_eq!(got.activity, ActivityClass::Walking);
+        // Overwrite.
+        store.record(NodeId::new(0), entry(ActivityClass::Running, 200));
+        assert_eq!(
+            store.recall(NodeId::new(0)).unwrap().activity,
+            ActivityClass::Running
+        );
+    }
+
+    #[test]
+    fn votes_skip_silent_nodes() {
+        let mut store = RecallStore::new(3);
+        store.record(NodeId::new(1), entry(ActivityClass::Cycling, 50));
+        let votes: Vec<_> = store.votes().collect();
+        assert_eq!(votes.len(), 1);
+        assert_eq!(votes[0].0, NodeId::new(1));
+    }
+
+    #[test]
+    fn most_recent_picks_latest() {
+        let mut store = RecallStore::new(3);
+        assert!(store.most_recent().is_none());
+        store.record(NodeId::new(0), entry(ActivityClass::Walking, 100));
+        store.record(NodeId::new(2), entry(ActivityClass::Jumping, 300));
+        store.record(NodeId::new(1), entry(ActivityClass::Cycling, 200));
+        let (node, e) = store.most_recent().unwrap();
+        assert_eq!(node, NodeId::new(2));
+        assert_eq!(e.activity, ActivityClass::Jumping);
+    }
+
+    #[test]
+    fn oldest_vote_age_tracks_staleness() {
+        let mut store = RecallStore::new(2);
+        assert!(store.oldest_vote_age(SimTime::from_secs(1)).is_none());
+        store.record(NodeId::new(0), entry(ActivityClass::Walking, 1_000));
+        store.record(NodeId::new(1), entry(ActivityClass::Running, 4_000));
+        let age = store.oldest_vote_age(SimTime::from_millis(5_000)).unwrap();
+        assert_eq!(age.as_millis(), 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "tracked by the store")]
+    fn out_of_range_node_panics() {
+        let store = RecallStore::new(1);
+        let _ = store.recall(NodeId::new(9));
+    }
+}

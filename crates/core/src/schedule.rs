@@ -1,0 +1,193 @@
+//! Extended round-robin slot schedules (Fig. 3).
+//!
+//! "Each policy is named after the number of nodes the cycle has, i.e.
+//! RR3 has 3 nodes with no no-ops and RR6 has 3 nodes with 3 no-ops."
+//! Sensor slots are spread evenly through the cycle so each node gets a
+//! maximal harvesting gap between its turns:
+//!
+//! ```text
+//! RR3:  [S0] [S1] [S2]
+//! RR6:  [S0] [--] [S1] [--] [S2] [--]
+//! RR9:  [S0] [--] [--] [S1] [--] [--] [S2] [--] [--]
+//! RR12: [S0] [--] [--] [--] [S1] [--] [--] [--] [S2] [--] [--] [--]
+//! ```
+
+use crate::error::CoreError;
+
+/// What happens in one slot of the ER-r cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// Sensor slot: the `ordinal`-th inference turn of the cycle
+    /// (`0..nodes`). Which physical node takes it is the policy's call —
+    /// fixed rotation for plain ER-r, rank lookup for AAS.
+    Sensor {
+        /// Turn index within the cycle, `0..nodes`.
+        ordinal: usize,
+    },
+    /// No-op slot: every node harvests.
+    NoOp,
+}
+
+/// An ER-r cycle: `nodes` sensor slots spread evenly over `cycle` slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slots {
+    cycle: u8,
+    nodes: u8,
+}
+
+impl Slots {
+    /// A cycle of `cycle` slots over `nodes` sensor nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadCycle`] unless `cycle` is a positive
+    /// multiple of `nodes`.
+    pub fn new(cycle: u8, nodes: usize) -> Result<Self, CoreError> {
+        let n = u8::try_from(nodes).map_err(|_| CoreError::BadCycle { cycle, nodes })?;
+        if n == 0 || cycle == 0 || !cycle.is_multiple_of(n) {
+            return Err(CoreError::BadCycle { cycle, nodes });
+        }
+        Ok(Self { cycle, nodes: n })
+    }
+
+    /// The paper's RR3/RR6/RR9/RR12 over three nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cycle` ∈ {3, 6, 9, 12, ...} (multiples of 3).
+    #[must_use]
+    pub fn paper(cycle: u8) -> Self {
+        Self::new(cycle, 3).expect("paper cycles are multiples of 3")
+    }
+
+    /// Cycle length in slots.
+    #[must_use]
+    pub fn cycle(&self) -> u8 {
+        self.cycle
+    }
+
+    /// Number of sensor slots per cycle (= node count).
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        usize::from(self.nodes)
+    }
+
+    /// No-op slots per cycle.
+    #[must_use]
+    pub fn noops(&self) -> usize {
+        usize::from(self.cycle - self.nodes)
+    }
+
+    /// Gap between consecutive sensor slots (`cycle / nodes`).
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        usize::from(self.cycle / self.nodes)
+    }
+
+    /// The kind of slot at global window index `window`.
+    #[must_use]
+    pub fn slot_at(&self, window: u64) -> SlotKind {
+        let pos = (window % u64::from(self.cycle)) as usize;
+        let stride = self.stride();
+        if pos.is_multiple_of(stride) {
+            SlotKind::Sensor {
+                ordinal: pos / stride,
+            }
+        } else {
+            SlotKind::NoOp
+        }
+    }
+
+    /// The full cycle layout, for display and tests.
+    #[must_use]
+    pub fn layout(&self) -> Vec<SlotKind> {
+        (0..u64::from(self.cycle)).map(|w| self.slot_at(w)).collect()
+    }
+
+    /// Fraction of slots that attempt an inference.
+    #[must_use]
+    pub fn duty_fraction(&self) -> f64 {
+        f64::from(self.nodes) / f64::from(self.cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rr3_has_no_noops() {
+        let s = Slots::paper(3);
+        assert_eq!(s.noops(), 0);
+        assert_eq!(s.stride(), 1);
+        assert_eq!(
+            s.layout(),
+            vec![
+                SlotKind::Sensor { ordinal: 0 },
+                SlotKind::Sensor { ordinal: 1 },
+                SlotKind::Sensor { ordinal: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rr6_interleaves_noops() {
+        let s = Slots::paper(6);
+        assert_eq!(s.noops(), 3);
+        assert_eq!(
+            s.layout(),
+            vec![
+                SlotKind::Sensor { ordinal: 0 },
+                SlotKind::NoOp,
+                SlotKind::Sensor { ordinal: 1 },
+                SlotKind::NoOp,
+                SlotKind::Sensor { ordinal: 2 },
+                SlotKind::NoOp,
+            ]
+        );
+    }
+
+    #[test]
+    fn rr12_has_three_noops_per_sensor() {
+        let s = Slots::paper(12);
+        assert_eq!(s.noops(), 9);
+        assert_eq!(s.stride(), 4);
+        let layout = s.layout();
+        assert_eq!(layout[0], SlotKind::Sensor { ordinal: 0 });
+        assert_eq!(layout[4], SlotKind::Sensor { ordinal: 1 });
+        assert_eq!(layout[8], SlotKind::Sensor { ordinal: 2 });
+        assert_eq!(layout.iter().filter(|&&k| k == SlotKind::NoOp).count(), 9);
+    }
+
+    #[test]
+    fn slot_at_wraps_across_cycles() {
+        let s = Slots::paper(6);
+        assert_eq!(s.slot_at(0), s.slot_at(6));
+        assert_eq!(s.slot_at(2), SlotKind::Sensor { ordinal: 1 });
+        assert_eq!(s.slot_at(8), SlotKind::Sensor { ordinal: 1 });
+        assert_eq!(s.slot_at(7), SlotKind::NoOp);
+    }
+
+    #[test]
+    fn duty_fraction_shrinks_with_cycle() {
+        assert!(Slots::paper(3).duty_fraction() > Slots::paper(12).duty_fraction());
+        assert!((Slots::paper(12).duty_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_cycles_are_rejected() {
+        assert!(matches!(
+            Slots::new(7, 3),
+            Err(CoreError::BadCycle { cycle: 7, nodes: 3 })
+        ));
+        assert!(Slots::new(0, 3).is_err());
+        assert!(Slots::new(4, 0).is_err());
+        assert!(Slots::new(8, 4).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 3")]
+    fn paper_rejects_non_multiple() {
+        let _ = Slots::paper(5);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the Origin policy layer.
+
+use origin_core::{
+    majority_vote, weighted_vote, ConfidenceMatrix, PolicyKind, PolicyState, RankTable,
+    RecallEntry, RecallStore, SlotKind, Slots, Vote,
+};
+use origin_nn::ConfusionMatrix;
+use origin_types::{ActivityClass, ActivitySet, NodeId, SimTime};
+use proptest::prelude::*;
+
+fn arb_vote() -> impl Strategy<Value = Vote> {
+    (0u32..3, 0usize..6, 0.0f64..0.2, 0u64..10_000).prop_map(|(node, class, conf, at)| Vote {
+        node: NodeId::new(node),
+        activity: ActivityClass::from_index(class).expect("valid"),
+        confidence: conf,
+        reported_at: SimTime::from_millis(at),
+    })
+}
+
+fn rank_table(seed: u64) -> RankTable {
+    let matrices: Vec<ConfusionMatrix> = (0..3)
+        .map(|node| {
+            let mut m = ConfusionMatrix::new(6);
+            for c in 0..6 {
+                let correct = 3 + ((seed as usize + node * 7 + c * 3) % 7);
+                for _ in 0..correct {
+                    m.record(c, c);
+                }
+                for _ in 0..(10 - correct) {
+                    m.record(c, (c + 1) % 6);
+                }
+            }
+            m
+        })
+        .collect();
+    RankTable::from_validation(ActivitySet::mhealth(), &matrices)
+}
+
+proptest! {
+    #[test]
+    fn slots_have_exactly_three_sensor_slots_per_cycle(multiple in 1u8..20) {
+        let cycle = multiple.saturating_mul(3).max(3);
+        let slots = Slots::new(cycle, 3).expect("valid cycle");
+        let sensor_count = slots
+            .layout()
+            .iter()
+            .filter(|k| matches!(k, SlotKind::Sensor { .. }))
+            .count();
+        prop_assert_eq!(sensor_count, 3);
+        prop_assert_eq!(slots.noops(), usize::from(cycle) - 3);
+        // Periodicity.
+        for w in 0..u64::from(cycle) {
+            prop_assert_eq!(slots.slot_at(w), slots.slot_at(w + u64::from(cycle)));
+        }
+        // Ordinals appear in order 0,1,2 within a cycle.
+        let ordinals: Vec<usize> = slots
+            .layout()
+            .iter()
+            .filter_map(|k| match k {
+                SlotKind::Sensor { ordinal } => Some(*ordinal),
+                SlotKind::NoOp => None,
+            })
+            .collect();
+        prop_assert_eq!(ordinals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn majority_vote_returns_a_cast_class(votes in proptest::collection::vec(arb_vote(), 1..8)) {
+        let verdict = majority_vote(&votes).expect("non-empty");
+        prop_assert!(votes.iter().any(|v| v.activity == verdict));
+        // The winner's support is maximal.
+        let support = |class: ActivityClass| votes.iter().filter(|v| v.activity == class).count();
+        let winner_support = support(verdict);
+        for v in &votes {
+            prop_assert!(support(v.activity) <= winner_support);
+        }
+    }
+
+    #[test]
+    fn weighted_vote_returns_in_set_class(
+        votes in proptest::collection::vec(arb_vote(), 1..8),
+        alpha in 0.01f64..1.0,
+    ) {
+        let matrix = ConfidenceMatrix::uniform(ActivitySet::mhealth(), 3, alpha);
+        let verdict = weighted_vote(&votes, &matrix).expect("all votes in set");
+        prop_assert!(votes.iter().any(|v| v.activity == verdict));
+    }
+
+    #[test]
+    fn confidence_updates_stay_within_observed_range(
+        updates in proptest::collection::vec((0u32..3, 0usize..6, 0.0f64..0.14), 0..200),
+        alpha in 0.01f64..1.0,
+    ) {
+        let mut matrix = ConfidenceMatrix::uniform(ActivitySet::mhealth(), 3, alpha);
+        for (node, class, conf) in &updates {
+            matrix.update(
+                NodeId::new(*node),
+                ActivityClass::from_index(*class).expect("valid"),
+                *conf,
+            );
+        }
+        // Every weight stays within [0, max(initial, observed max)].
+        let ceiling = 1.0f64 / 6.0;
+        for node in 0..3 {
+            for class in ActivityClass::ALL {
+                let w = matrix.weight(NodeId::new(node), class).expect("in set");
+                prop_assert!(w >= 0.0);
+                prop_assert!(w <= ceiling.max(0.14) + 1e-12);
+            }
+        }
+        prop_assert_eq!(matrix.update_count(), updates.len() as u64);
+    }
+
+    #[test]
+    fn recall_store_most_recent_is_maximal(
+        entries in proptest::collection::vec((0u32..3, 0usize..6, 0u64..100_000), 1..30),
+    ) {
+        let mut store = RecallStore::new(3);
+        for (node, class, at) in &entries {
+            store.record(
+                NodeId::new(*node),
+                RecallEntry {
+                    activity: ActivityClass::from_index(*class).expect("valid"),
+                    confidence: 0.1,
+                    reported_at: SimTime::from_millis(*at),
+                },
+            );
+        }
+        let (_, freshest) = store.most_recent().expect("at least one entry");
+        for (node, e) in store.votes() {
+            prop_assert!(e.reported_at <= freshest.reported_at, "{node} newer than freshest");
+        }
+        prop_assert!(store.votes().count() <= 3);
+    }
+
+    #[test]
+    fn policy_plans_are_well_formed(
+        seed in 0u64..100,
+        cycle_mult in 1u8..5,
+        windows in 1u64..100,
+        headroom in proptest::collection::vec(0.0f64..3.0, 3),
+    ) {
+        let cycle = cycle_mult * 3;
+        for kind in [
+            PolicyKind::RoundRobin { cycle },
+            PolicyKind::Aas { cycle },
+            PolicyKind::Aasr { cycle },
+            PolicyKind::Origin { cycle },
+        ] {
+            let mut policy = PolicyState::new(kind, rank_table(seed), 3).expect("valid");
+            let mut attempts = 0u64;
+            for w in 0..windows {
+                let plan = policy.plan(w, Some(ActivityClass::Walking), &headroom);
+                prop_assert!(plan.attempters.len() <= 1, "{kind}: at most one attempter");
+                attempts += plan.attempters.len() as u64;
+                for a in &plan.attempters {
+                    prop_assert!(a.as_usize() < 3);
+                }
+            }
+            // ER-r policies attempt on exactly the sensor slots.
+            let expected = (0..windows)
+                .filter(|w| {
+                    matches!(
+                        Slots::new(cycle, 3).expect("valid").slot_at(*w),
+                        SlotKind::Sensor { .. }
+                    )
+                })
+                .count() as u64;
+            prop_assert_eq!(attempts, expected, "{} attempt cadence", kind);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Bounded energy storage with leakage.
+
+use origin_types::{Energy, Power, SimDuration};
+
+/// A storage capacitor with bounded capacity, charge efficiency and
+/// self-discharge leakage.
+///
+/// All energy flowing into the node lands here first; every operation draws
+/// from here. Overcharging is silently clipped at `capacity` (the harvester
+/// front-end shunts excess), and the charge can never go negative.
+///
+/// ```
+/// use origin_energy::Capacitor;
+/// use origin_types::{Energy, SimDuration};
+///
+/// let mut cap = Capacitor::new(Energy::from_microjoules(200.0));
+/// cap.charge(Energy::from_microjoules(500.0)); // clips at capacity
+/// assert_eq!(cap.stored(), Energy::from_microjoules(200.0));
+/// assert!(cap.try_draw(Energy::from_microjoules(150.0)));
+/// assert!(!cap.try_draw(Energy::from_microjoules(100.0))); // only 50 left
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    capacity: Energy,
+    stored: Energy,
+    charge_efficiency: f64,
+    leakage: Power,
+}
+
+impl Capacitor {
+    /// A capacitor of the given capacity, starting empty, with ideal
+    /// charging and a small default leakage (0.5 µW).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is not positive.
+    #[must_use]
+    pub fn new(capacity: Energy) -> Self {
+        assert!(
+            capacity > Energy::ZERO,
+            "capacitor capacity must be positive"
+        );
+        Self {
+            capacity,
+            stored: Energy::ZERO,
+            charge_efficiency: 1.0,
+            leakage: Power::from_microwatts(0.5),
+        }
+    }
+
+    /// Sets the charge efficiency (fraction of incoming energy actually
+    /// stored). Builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `efficiency` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_charge_efficiency(mut self, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "charge efficiency must be in (0, 1], got {efficiency}"
+        );
+        self.charge_efficiency = efficiency;
+        self
+    }
+
+    /// Sets the self-discharge leakage power. Builder-style.
+    #[must_use]
+    pub fn with_leakage(mut self, leakage: Power) -> Self {
+        self.leakage = leakage.clamp_non_negative();
+        self
+    }
+
+    /// Sets the initial charge (clipped to capacity). Builder-style.
+    #[must_use]
+    pub fn with_initial_charge(mut self, charge: Energy) -> Self {
+        self.stored = charge.clamp_non_negative().min(self.capacity);
+        self
+    }
+
+    /// Maximum storable energy.
+    #[must_use]
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// Currently stored energy.
+    #[must_use]
+    pub fn stored(&self) -> Energy {
+        self.stored
+    }
+
+    /// Fraction full, in `[0, 1]`.
+    #[must_use]
+    pub fn state_of_charge(&self) -> f64 {
+        self.stored.as_microjoules() / self.capacity.as_microjoules()
+    }
+
+    /// Adds harvested energy (after charge efficiency), clipping at
+    /// capacity. Returns the energy actually stored.
+    pub fn charge(&mut self, incoming: Energy) -> Energy {
+        let effective = incoming.clamp_non_negative() * self.charge_efficiency;
+        let before = self.stored;
+        self.stored = (self.stored + effective).min(self.capacity);
+        self.stored - before
+    }
+
+    /// Draws `amount` if fully available; returns whether the draw
+    /// happened. Partial draws never occur through this method — operations
+    /// are atomic at the energy level.
+    pub fn try_draw(&mut self, amount: Energy) -> bool {
+        let amount = amount.clamp_non_negative();
+        if self.stored >= amount {
+            self.stored -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws up to `amount`, returning how much was actually drawn. Used by
+    /// the NVP to invest whatever energy is available into partial
+    /// inference progress.
+    pub fn draw_up_to(&mut self, amount: Energy) -> Energy {
+        let drawn = self.stored.min(amount.clamp_non_negative());
+        self.stored -= drawn;
+        drawn
+    }
+
+    /// Applies self-discharge over `span`.
+    pub fn leak(&mut self, span: SimDuration) {
+        self.stored = (self.stored - self.leakage.over(span)).clamp_non_negative();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uj(v: f64) -> Energy {
+        Energy::from_microjoules(v)
+    }
+
+    #[test]
+    fn charge_clips_at_capacity() {
+        let mut cap = Capacitor::new(uj(100.0));
+        let stored = cap.charge(uj(60.0));
+        assert_eq!(stored, uj(60.0));
+        let stored = cap.charge(uj(60.0));
+        assert_eq!(stored, uj(40.0));
+        assert_eq!(cap.stored(), uj(100.0));
+        assert!((cap.state_of_charge() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_efficiency_discounts_input() {
+        let mut cap = Capacitor::new(uj(100.0)).with_charge_efficiency(0.5);
+        cap.charge(uj(40.0));
+        assert_eq!(cap.stored(), uj(20.0));
+    }
+
+    #[test]
+    fn try_draw_is_atomic() {
+        let mut cap = Capacitor::new(uj(100.0)).with_initial_charge(uj(30.0));
+        assert!(!cap.try_draw(uj(31.0)));
+        assert_eq!(cap.stored(), uj(30.0));
+        assert!(cap.try_draw(uj(30.0)));
+        assert_eq!(cap.stored(), Energy::ZERO);
+    }
+
+    #[test]
+    fn draw_up_to_takes_partial() {
+        let mut cap = Capacitor::new(uj(100.0)).with_initial_charge(uj(25.0));
+        assert_eq!(cap.draw_up_to(uj(40.0)), uj(25.0));
+        assert_eq!(cap.stored(), Energy::ZERO);
+        assert_eq!(cap.draw_up_to(uj(40.0)), Energy::ZERO);
+    }
+
+    #[test]
+    fn leak_discharges_over_time() {
+        let mut cap = Capacitor::new(uj(100.0))
+            .with_initial_charge(uj(10.0))
+            .with_leakage(Power::from_microwatts(2.0));
+        cap.leak(SimDuration::from_secs(2));
+        assert!((cap.stored().as_microjoules() - 6.0).abs() < 1e-9);
+        cap.leak(SimDuration::from_secs(100));
+        assert_eq!(cap.stored(), Energy::ZERO);
+    }
+
+    #[test]
+    fn initial_charge_is_clipped() {
+        let cap = Capacitor::new(uj(50.0)).with_initial_charge(uj(500.0));
+        assert_eq!(cap.stored(), uj(50.0));
+        assert_eq!(cap.capacity(), uj(50.0));
+    }
+
+    #[test]
+    fn negative_charge_is_ignored() {
+        let mut cap = Capacitor::new(uj(50.0)).with_initial_charge(uj(10.0));
+        let stored = cap.charge(uj(5.0) - uj(9.0));
+        assert_eq!(stored, Energy::ZERO);
+        assert_eq!(cap.stored(), uj(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Capacitor::new(Energy::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "charge efficiency")]
+    fn bad_efficiency_panics() {
+        let _ = Capacitor::new(uj(1.0)).with_charge_efficiency(0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-operation energy cost table and duty states.
+
+use origin_types::Energy;
+
+/// What a node is doing over a simulation step, apart from inference.
+///
+/// Which duty a node runs is a *policy* decision: under round-robin
+/// scheduling the inactive nodes sleep (and therefore accumulate harvest),
+/// which is precisely the mechanism that lifts completion from Fig. 1a's 10%
+/// to Fig. 1b's 28% and beyond.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DutyState {
+    /// Deep sleep: retention only. Cheapest.
+    Sleep,
+    /// Radio listen (waiting for an external activation signal from the
+    /// AAS hand-off, Section III-B).
+    IdleListen,
+    /// Sampling the IMU into the window buffer (prerequisite to inference).
+    Sense,
+}
+
+/// Energy cost of each primitive operation, per HAR window step.
+///
+/// Values are µJ per 500 ms window at the defaults and are loosely derived
+/// from published ULP component budgets (sub-µA sleep, ~10 µW IMU sampling,
+/// nJ/bit short-range radios). Absolute values are not the point — the
+/// *ratios* between harvest, overheads and inference cost are what position
+/// the completion fractions, and the `calibration` tests in `origin-core`
+/// pin those.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyCostTable {
+    /// Deep-sleep retention cost per window.
+    pub sleep_per_window: Energy,
+    /// Radio-listen cost per window.
+    pub idle_listen_per_window: Energy,
+    /// IMU sampling cost per window.
+    pub sense_per_window: Energy,
+    /// Radio transmit cost per byte.
+    pub tx_per_byte: Energy,
+    /// Radio receive cost per byte.
+    pub rx_per_byte: Energy,
+    /// NVP checkpoint cost (suspending a partial inference).
+    pub checkpoint: Energy,
+    /// NVP restore cost (resuming a partial inference).
+    pub restore: Energy,
+}
+
+impl Default for EnergyCostTable {
+    fn default() -> Self {
+        Self {
+            sleep_per_window: Energy::from_microjoules(0.8),
+            idle_listen_per_window: Energy::from_microjoules(4.0),
+            sense_per_window: Energy::from_microjoules(12.0),
+            tx_per_byte: Energy::from_microjoules(0.25),
+            rx_per_byte: Energy::from_microjoules(0.2),
+            checkpoint: Energy::from_microjoules(1.5),
+            restore: Energy::from_microjoules(1.0),
+        }
+    }
+}
+
+impl EnergyCostTable {
+    /// Cost of the given duty over one window.
+    #[must_use]
+    pub fn duty_cost(&self, duty: DutyState) -> Energy {
+        match duty {
+            DutyState::Sleep => self.sleep_per_window,
+            DutyState::IdleListen => self.idle_listen_per_window,
+            DutyState::Sense => self.sense_per_window,
+        }
+    }
+
+    /// Cost of transmitting a message of `bytes` bytes.
+    #[must_use]
+    pub fn tx_cost(&self, bytes: usize) -> Energy {
+        self.tx_per_byte * bytes as f64
+    }
+
+    /// Cost of receiving a message of `bytes` bytes.
+    #[must_use]
+    pub fn rx_cost(&self, bytes: usize) -> Energy {
+        self.rx_per_byte * bytes as f64
+    }
+
+    /// Validates internal consistency (sleep cheapest, sense most
+    /// expensive duty). Returns `self` for builder-style chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ordering sleep ≤ idle ≤ sense is violated or any
+    /// cost is negative.
+    #[must_use]
+    pub fn validated(self) -> Self {
+        let all = [
+            self.sleep_per_window,
+            self.idle_listen_per_window,
+            self.sense_per_window,
+            self.tx_per_byte,
+            self.rx_per_byte,
+            self.checkpoint,
+            self.restore,
+        ];
+        for e in all {
+            assert!(e >= Energy::ZERO, "costs must be non-negative");
+        }
+        assert!(
+            self.sleep_per_window <= self.idle_listen_per_window
+                && self.idle_listen_per_window <= self.sense_per_window,
+            "expected sleep <= idle-listen <= sense cost ordering"
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_is_consistent() {
+        let t = EnergyCostTable::default().validated();
+        assert!(t.duty_cost(DutyState::Sleep) < t.duty_cost(DutyState::Sense));
+        assert!(t.duty_cost(DutyState::IdleListen) > t.duty_cost(DutyState::Sleep));
+    }
+
+    #[test]
+    fn radio_costs_scale_with_bytes() {
+        let t = EnergyCostTable::default();
+        assert_eq!(t.tx_cost(0), Energy::ZERO);
+        let four = t.tx_cost(4).as_microjoules();
+        let one = t.tx_cost(1).as_microjoules();
+        assert!((four - 4.0 * one).abs() < 1e-12);
+        assert!(t.rx_cost(10) < t.tx_cost(10), "rx is cheaper than tx");
+    }
+
+    #[test]
+    #[should_panic(expected = "ordering")]
+    fn validated_rejects_inverted_ordering() {
+        let t = EnergyCostTable {
+            sleep_per_window: Energy::from_microjoules(100.0),
+            ..EnergyCostTable::default()
+        };
+        let _ = t.validated();
+    }
+
+    #[test]
+    fn duty_costs_match_fields() {
+        let t = EnergyCostTable::default();
+        assert_eq!(t.duty_cost(DutyState::Sense), t.sense_per_window);
+        assert_eq!(t.duty_cost(DutyState::Sleep), t.sleep_per_window);
+        assert_eq!(
+            t.duty_cost(DutyState::IdleListen),
+            t.idle_listen_per_window
+        );
+    }
+}

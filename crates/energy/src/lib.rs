@@ -1,0 +1,51 @@
+//! Energy-harvesting node substrate for the Origin reproduction.
+//!
+//! The paper's sensor nodes follow the ReSiRCa platform \[6\]: an RF (WiFi)
+//! harvester front-end charging a small storage capacitor, a non-volatile
+//! processor (NVP) that preserves inference progress across power
+//! emergencies, an IMU, and a low-power radio. This crate models exactly
+//! the pieces of that stack the scheduling policies react to:
+//!
+//! * [`Capacitor`] — bounded energy storage with leakage and charge
+//!   efficiency;
+//! * [`Harvester`] — converts a [`PowerSource`](origin_trace::PowerSource)
+//!   into stored energy with conversion efficiency and a rectifier floor;
+//! * [`Nvp`] + [`InferenceJob`] — checkpointed partial inference progress
+//!   ("sufficient forward progress in the face of frequent power
+//!   emergencies", Section I);
+//! * [`EnergyCostTable`] — per-operation energy costs (sense, sleep, idle
+//!   listen, radio bytes, checkpoint/restore);
+//! * [`EnergyNode`] — the per-node energy state machine the simulator
+//!   steps.
+//!
+//! # Examples
+//!
+//! ```
+//! use origin_energy::{Capacitor, EnergyCostTable, EnergyNode, Harvester, Nvp};
+//! use origin_trace::ConstantPower;
+//! use origin_types::{Energy, Power, SimDuration, SimTime};
+//!
+//! let mut node = EnergyNode::new(
+//!     Harvester::new(ConstantPower::new(Power::from_microwatts(100.0)), 0.8),
+//!     Capacitor::new(Energy::from_microjoules(400.0)),
+//!     Nvp::default(),
+//!     EnergyCostTable::default(),
+//! );
+//! node.advance(SimTime::ZERO, SimTime::from_millis(500), origin_energy::DutyState::Sleep);
+//! assert!(node.stored().as_microjoules() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacitor;
+mod costs;
+mod harvester;
+mod node;
+mod nvp;
+
+pub use capacitor::Capacitor;
+pub use costs::{DutyState, EnergyCostTable};
+pub use harvester::Harvester;
+pub use node::{AttemptOutcome, EnergyNode, NodeCounters};
+pub use nvp::{InferenceJob, Nvp};

@@ -1,0 +1,433 @@
+//! The per-node energy state machine stepped by the simulator.
+
+use crate::capacitor::Capacitor;
+use crate::costs::{DutyState, EnergyCostTable};
+use crate::harvester::Harvester;
+use crate::nvp::{InferenceJob, Nvp};
+use origin_trace::PowerSource;
+use origin_types::{Energy, SimTime};
+
+/// Result of driving an inference attempt for one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttemptOutcome {
+    /// The inference finished this step; a classification is available.
+    Completed,
+    /// Energy ran out mid-inference but the NVP checkpointed the progress;
+    /// the job will resume on the next attempt.
+    Suspended,
+    /// Energy ran out and the processor is volatile — all progress was
+    /// lost (Fig. 1a's "always trying and failing" regime).
+    FailedLostProgress,
+    /// No energy at all could be invested this step (cold capacitor).
+    NotStarted,
+}
+
+impl AttemptOutcome {
+    /// Whether the attempt produced a usable classification.
+    #[must_use]
+    pub fn is_complete(self) -> bool {
+        matches!(self, AttemptOutcome::Completed)
+    }
+}
+
+/// Energy bookkeeping counters accumulated by an [`EnergyNode`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeCounters {
+    /// Inference attempts that completed.
+    pub completed: u64,
+    /// Attempts suspended with progress preserved.
+    pub suspended: u64,
+    /// Attempts that lost progress (volatile processor).
+    pub lost: u64,
+    /// Steps where a duty cost could not be fully paid (brownout).
+    pub brownouts: u64,
+    /// Total energy captured into the capacitor (post-efficiency,
+    /// pre-clipping losses excluded).
+    pub harvested: Energy,
+    /// Total energy drawn for duties, inference, radio, checkpoints.
+    pub consumed: Energy,
+}
+
+impl NodeCounters {
+    /// Mean power consumed over `span` — the "average power" figure the
+    /// paper's abstract compares systems at.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `span` is zero.
+    #[must_use]
+    pub fn mean_consumed_power(&self, span: origin_types::SimDuration) -> origin_types::Power {
+        self.consumed.average_power(span)
+    }
+}
+
+/// One sensor node's complete energy model: harvester → capacitor → loads.
+///
+/// The node knows nothing about scheduling or classification — policies
+/// decide *when* to attempt and the NN crate decides *what* an inference
+/// costs; this type only enforces energy feasibility.
+#[derive(Debug, Clone)]
+pub struct EnergyNode<S> {
+    harvester: Harvester<S>,
+    capacitor: Capacitor,
+    nvp: Nvp,
+    costs: EnergyCostTable,
+    job: Option<InferenceJob>,
+    job_resumed: bool,
+    counters: NodeCounters,
+}
+
+impl<S: PowerSource> EnergyNode<S> {
+    /// Assembles a node from its energy components.
+    #[must_use]
+    pub fn new(
+        harvester: Harvester<S>,
+        capacitor: Capacitor,
+        nvp: Nvp,
+        costs: EnergyCostTable,
+    ) -> Self {
+        Self {
+            harvester,
+            capacitor,
+            nvp,
+            costs,
+            job: None,
+            job_resumed: false,
+            counters: NodeCounters::default(),
+        }
+    }
+
+    /// Currently stored energy.
+    #[must_use]
+    pub fn stored(&self) -> Energy {
+        self.capacitor.stored()
+    }
+
+    /// The node's cost table.
+    #[must_use]
+    pub fn costs(&self) -> &EnergyCostTable {
+        &self.costs
+    }
+
+    /// The harvester front-end.
+    #[must_use]
+    pub fn harvester(&self) -> &Harvester<S> {
+        &self.harvester
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn counters(&self) -> NodeCounters {
+        self.counters
+    }
+
+    /// Whether a checkpointed partial inference is pending.
+    #[must_use]
+    pub fn has_pending_job(&self) -> bool {
+        self.job.is_some()
+    }
+
+    /// Progress of the pending job in `[0, 1]`, or `None` when idle.
+    #[must_use]
+    pub fn pending_progress(&self) -> Option<f64> {
+        self.job.as_ref().map(InferenceJob::progress)
+    }
+
+    /// Advances the node over `[from, to)`: harvests into the capacitor,
+    /// pays the duty cost, applies leakage. Returns `true` when the duty
+    /// cost was fully covered (a browned-out `Sense` produces no usable
+    /// window).
+    pub fn advance(&mut self, from: SimTime, to: SimTime, duty: DutyState) -> bool {
+        let harvested = self.harvester.harvest_between(from, to);
+        self.counters.harvested += self.capacitor.charge(harvested);
+        let duty_cost = self.costs.duty_cost(duty);
+        let paid = self.capacitor.try_draw(duty_cost);
+        if paid {
+            self.counters.consumed += duty_cost;
+        } else {
+            // Brownout: the duty consumes whatever is left.
+            self.counters.consumed += self.capacitor.draw_up_to(duty_cost);
+            self.counters.brownouts += 1;
+        }
+        if to > from {
+            self.capacitor.leak(to - from);
+        }
+        paid
+    }
+
+    /// Drives an inference needing `cost` energy for one step.
+    ///
+    /// Starts a new job (or resumes a checkpointed one, paying the restore
+    /// cost) and invests all affordable energy. On exhaustion the job is
+    /// checkpointed (NVP) or discarded (volatile).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cost` is not positive, or when a pending job was
+    /// created for a different `cost` (policies must abandon a stale job
+    /// before switching models).
+    pub fn attempt_inference(&mut self, cost: Energy) -> AttemptOutcome {
+        let mut job = match self.job.take() {
+            Some(job) => {
+                assert!(
+                    (job.required().as_microjoules() - cost.as_microjoules()).abs() < 1e-9,
+                    "pending job requires {} but attempt supplies {}; abandon first",
+                    job.required(),
+                    cost
+                );
+                // Resuming a checkpoint costs restore energy.
+                if !self.capacitor.try_draw(self.costs.restore) {
+                    self.job = Some(job);
+                    return AttemptOutcome::NotStarted;
+                }
+                self.counters.consumed += self.costs.restore;
+                self.job_resumed = true;
+                job
+            }
+            None => {
+                self.job_resumed = false;
+                InferenceJob::new(cost)
+            }
+        };
+
+        let invested = self.capacitor.draw_up_to(job.remaining());
+        self.counters.consumed += invested;
+        if invested == Energy::ZERO && job.invested() == Energy::ZERO {
+            // Could not even begin.
+            return AttemptOutcome::NotStarted;
+        }
+        if job.invest(invested) {
+            self.counters.completed += 1;
+            return AttemptOutcome::Completed;
+        }
+        // Out of energy mid-inference: checkpoint or lose.
+        // The checkpoint itself costs energy (best effort — losing the race
+        // to a dying supply is exactly what adaptive checkpointing guards
+        // against; we model the optimistic case).
+        self.counters.consumed += self.capacitor.draw_up_to(self.costs.checkpoint);
+        match self.nvp.suspend(job) {
+            Some(job) => {
+                self.job = Some(job);
+                self.counters.suspended += 1;
+                AttemptOutcome::Suspended
+            }
+            None => {
+                self.counters.lost += 1;
+                AttemptOutcome::FailedLostProgress
+            }
+        }
+    }
+
+    /// Discards any checkpointed job (the policy moved to a new window and
+    /// the stale partial inference is no longer useful).
+    pub fn abandon_job(&mut self) {
+        self.job = None;
+    }
+
+    /// One whole-window inference attempt on *fresh* window data.
+    ///
+    /// Unlike [`EnergyNode::attempt_inference`], partial progress is
+    /// useless here — the next window carries different sensor data — so
+    /// the outcome is binary:
+    ///
+    /// * with an NVP, a failed attempt costs only the checkpoint overhead:
+    ///   the processor rides through the brownout and the capacitor keeps
+    ///   its charge (atomic semantics at window granularity);
+    /// * with a volatile processor, a failed attempt wastes *all* stored
+    ///   energy — the "always trying and failing" regime the paper's
+    ///   motivation section describes.
+    ///
+    /// Returns whether the inference completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cost` is not positive.
+    pub fn attempt_window(&mut self, cost: Energy) -> bool {
+        assert!(cost > Energy::ZERO, "inference cost must be positive");
+        if self.capacitor.try_draw(cost) {
+            self.counters.completed += 1;
+            self.counters.consumed += cost;
+            return true;
+        }
+        if self.nvp.preserves_progress() {
+            self.counters.consumed += self.capacitor.draw_up_to(self.costs.checkpoint);
+            self.counters.suspended += 1;
+        } else {
+            let wasted = self.capacitor.stored();
+            self.counters.consumed += self.capacitor.draw_up_to(wasted);
+            self.counters.lost += 1;
+        }
+        false
+    }
+
+    /// Pays an ancillary cost (radio, etc.); returns whether it was
+    /// affordable (atomic, like [`Capacitor::try_draw`]).
+    pub fn pay(&mut self, cost: Energy) -> bool {
+        let paid = self.capacitor.try_draw(cost);
+        if paid {
+            self.counters.consumed += cost;
+        }
+        paid
+    }
+
+    /// Whether `cost` is currently affordable on top of nothing else.
+    #[must_use]
+    pub fn can_afford(&self, cost: Energy) -> bool {
+        self.capacitor.stored() >= cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_trace::ConstantPower;
+    use origin_types::Power;
+
+    fn uj(v: f64) -> Energy {
+        Energy::from_microjoules(v)
+    }
+
+    fn node(power_uw: f64, cap_uj: f64, nvp: Nvp) -> EnergyNode<ConstantPower> {
+        EnergyNode::new(
+            Harvester::new(ConstantPower::new(Power::from_microwatts(power_uw)), 1.0),
+            Capacitor::new(uj(cap_uj)),
+            nvp,
+            EnergyCostTable::default(),
+        )
+    }
+
+    #[test]
+    fn advance_accumulates_and_pays_duty() {
+        let mut n = node(100.0, 1000.0, Nvp::default());
+        // 100uW over 500ms = 50uJ; sleep costs 0.8, leak 0.5uW*0.5s=0.25.
+        let paid = n.advance(SimTime::ZERO, SimTime::from_millis(500), DutyState::Sleep);
+        assert!(paid);
+        let stored = n.stored().as_microjoules();
+        assert!((stored - (50.0 - 0.8 - 0.25)).abs() < 1e-9, "stored={stored}");
+    }
+
+    #[test]
+    fn brownout_is_counted_and_drains() {
+        let mut n = node(1.0, 1000.0, Nvp::default());
+        let paid = n.advance(SimTime::ZERO, SimTime::from_millis(500), DutyState::Sense);
+        assert!(!paid);
+        assert_eq!(n.counters().brownouts, 1);
+        assert_eq!(n.stored(), Energy::ZERO);
+    }
+
+    #[test]
+    fn inference_completes_when_affordable() {
+        let mut n = node(0.0, 1000.0, Nvp::default());
+        n.capacitor.charge(uj(200.0));
+        assert_eq!(n.attempt_inference(uj(90.0)), AttemptOutcome::Completed);
+        assert!((n.stored().as_microjoules() - 110.0).abs() < 1e-9);
+        assert_eq!(n.counters().completed, 1);
+        assert!(!n.has_pending_job());
+    }
+
+    #[test]
+    fn nvp_checkpoints_partial_progress() {
+        let mut n = node(0.0, 1000.0, Nvp::non_volatile());
+        n.capacitor.charge(uj(40.0));
+        assert_eq!(n.attempt_inference(uj(90.0)), AttemptOutcome::Suspended);
+        assert!(n.has_pending_job());
+        let progress = n.pending_progress().unwrap();
+        assert!((progress - 40.0 / 90.0).abs() < 1e-9);
+        // Top up and resume: needs restore (1.0) + remaining (50).
+        n.capacitor.charge(uj(60.0));
+        assert_eq!(n.attempt_inference(uj(90.0)), AttemptOutcome::Completed);
+        assert_eq!(n.counters().completed, 1);
+        assert_eq!(n.counters().suspended, 1);
+    }
+
+    #[test]
+    fn volatile_processor_loses_progress() {
+        let mut n = node(0.0, 1000.0, Nvp::volatile());
+        n.capacitor.charge(uj(40.0));
+        assert_eq!(
+            n.attempt_inference(uj(90.0)),
+            AttemptOutcome::FailedLostProgress
+        );
+        assert!(!n.has_pending_job());
+        assert_eq!(n.counters().lost, 1);
+        // All 40uJ were wasted.
+        assert_eq!(n.stored(), Energy::ZERO);
+    }
+
+    #[test]
+    fn cold_capacitor_does_not_start() {
+        let mut n = node(0.0, 1000.0, Nvp::default());
+        assert_eq!(n.attempt_inference(uj(90.0)), AttemptOutcome::NotStarted);
+        assert!(!n.has_pending_job());
+        assert_eq!(n.counters().completed, 0);
+    }
+
+    #[test]
+    fn resume_requires_restore_energy() {
+        let mut n = node(0.0, 1000.0, Nvp::non_volatile());
+        n.capacitor.charge(uj(40.0));
+        assert_eq!(n.attempt_inference(uj(90.0)), AttemptOutcome::Suspended);
+        // Nothing left: resume cannot even pay the restore cost.
+        assert_eq!(n.attempt_inference(uj(90.0)), AttemptOutcome::NotStarted);
+        assert!(n.has_pending_job(), "job must survive a failed resume");
+    }
+
+    #[test]
+    fn abandon_discards_job() {
+        let mut n = node(0.0, 1000.0, Nvp::non_volatile());
+        n.capacitor.charge(uj(40.0));
+        let _ = n.attempt_inference(uj(90.0));
+        n.abandon_job();
+        assert!(!n.has_pending_job());
+    }
+
+    #[test]
+    #[should_panic(expected = "abandon first")]
+    fn switching_cost_without_abandon_panics() {
+        let mut n = node(0.0, 1000.0, Nvp::non_volatile());
+        n.capacitor.charge(uj(40.0));
+        let _ = n.attempt_inference(uj(90.0));
+        n.capacitor.charge(uj(100.0));
+        let _ = n.attempt_inference(uj(120.0));
+    }
+
+    #[test]
+    fn attempt_window_is_atomic_under_nvp() {
+        let mut n = node(0.0, 1000.0, Nvp::non_volatile());
+        n.capacitor.charge(uj(50.0));
+        assert!(!n.attempt_window(uj(90.0)));
+        // Only the checkpoint overhead (1.5uJ) was lost.
+        assert!((n.stored().as_microjoules() - 48.5).abs() < 1e-9);
+        assert_eq!(n.counters().suspended, 1);
+        n.capacitor.charge(uj(50.0));
+        assert!(n.attempt_window(uj(90.0)));
+        assert_eq!(n.counters().completed, 1);
+    }
+
+    #[test]
+    fn attempt_window_wastes_everything_when_volatile() {
+        let mut n = node(0.0, 1000.0, Nvp::volatile());
+        n.capacitor.charge(uj(50.0));
+        assert!(!n.attempt_window(uj(90.0)));
+        assert_eq!(n.stored(), Energy::ZERO);
+        assert_eq!(n.counters().lost, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be positive")]
+    fn attempt_window_rejects_zero_cost() {
+        let mut n = node(0.0, 1000.0, Nvp::default());
+        let _ = n.attempt_window(Energy::ZERO);
+    }
+
+    #[test]
+    fn pay_and_can_afford() {
+        let mut n = node(0.0, 1000.0, Nvp::default());
+        n.capacitor.charge(uj(10.0));
+        assert!(n.can_afford(uj(10.0)));
+        assert!(!n.can_afford(uj(10.1)));
+        assert!(n.pay(uj(4.0)));
+        assert!(!n.pay(uj(7.0)));
+        assert!((n.stored().as_microjoules() - 6.0).abs() < 1e-9);
+    }
+}

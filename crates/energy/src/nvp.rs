@@ -1,0 +1,170 @@
+//! Non-volatile processor model: checkpointed partial inference progress.
+
+use origin_types::Energy;
+
+/// A pending DNN inference with energy-denominated progress.
+///
+/// An inference requires `required` µJ of compute. The node invests
+/// whatever energy it can afford each step; once `invested >= required`
+/// the job completes. With an [`Nvp`], progress survives suspension (minus
+/// checkpoint/restore overheads); without one, a suspension discards all
+/// progress — the "always trying and failing" regime of Fig. 1a.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceJob {
+    required: Energy,
+    invested: Energy,
+}
+
+impl InferenceJob {
+    /// A fresh job needing `required` energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `required` is not positive.
+    #[must_use]
+    pub fn new(required: Energy) -> Self {
+        assert!(
+            required > Energy::ZERO,
+            "inference energy requirement must be positive"
+        );
+        Self {
+            required,
+            invested: Energy::ZERO,
+        }
+    }
+
+    /// Total energy the job needs.
+    #[must_use]
+    pub fn required(&self) -> Energy {
+        self.required
+    }
+
+    /// Energy invested so far.
+    #[must_use]
+    pub fn invested(&self) -> Energy {
+        self.invested
+    }
+
+    /// Energy still missing.
+    #[must_use]
+    pub fn remaining(&self) -> Energy {
+        (self.required - self.invested).clamp_non_negative()
+    }
+
+    /// Progress fraction in `[0, 1]`.
+    #[must_use]
+    pub fn progress(&self) -> f64 {
+        (self.invested.as_microjoules() / self.required.as_microjoules()).min(1.0)
+    }
+
+    /// Invests `amount` into the job; returns `true` when the job is now
+    /// complete.
+    pub fn invest(&mut self, amount: Energy) -> bool {
+        self.invested += amount.clamp_non_negative();
+        self.is_complete()
+    }
+
+    /// Whether the invested energy covers the requirement.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.invested >= self.required
+    }
+}
+
+/// Non-volatile processor configuration.
+///
+/// `Nvp::default()` models the ReSiRCa-style NVP the paper assumes:
+/// progress is preserved across power emergencies at a small
+/// checkpoint/restore energy cost. [`Nvp::volatile`] models a conventional
+/// volatile MCU for the ablation where suspension loses all progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nvp {
+    preserves_progress: bool,
+}
+
+impl Default for Nvp {
+    fn default() -> Self {
+        Self {
+            preserves_progress: true,
+        }
+    }
+}
+
+impl Nvp {
+    /// A non-volatile processor (progress preserved across suspensions).
+    #[must_use]
+    pub fn non_volatile() -> Self {
+        Self::default()
+    }
+
+    /// A volatile processor: suspending a job discards its progress.
+    #[must_use]
+    pub fn volatile() -> Self {
+        Self {
+            preserves_progress: false,
+        }
+    }
+
+    /// Whether partial progress survives a suspension.
+    #[must_use]
+    pub fn preserves_progress(&self) -> bool {
+        self.preserves_progress
+    }
+
+    /// Applies suspension semantics to a job: returns the job that will be
+    /// resumed later, or `None` when progress is lost.
+    #[must_use]
+    pub fn suspend(&self, job: InferenceJob) -> Option<InferenceJob> {
+        if self.preserves_progress {
+            Some(job)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uj(v: f64) -> Energy {
+        Energy::from_microjoules(v)
+    }
+
+    #[test]
+    fn job_tracks_progress() {
+        let mut job = InferenceJob::new(uj(100.0));
+        assert_eq!(job.remaining(), uj(100.0));
+        assert!(!job.invest(uj(40.0)));
+        assert!((job.progress() - 0.4).abs() < 1e-12);
+        assert_eq!(job.remaining(), uj(60.0));
+        assert!(job.invest(uj(60.0)));
+        assert!(job.is_complete());
+        assert_eq!(job.remaining(), Energy::ZERO);
+        assert!((job.progress() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_investment_is_ignored() {
+        let mut job = InferenceJob::new(uj(10.0));
+        job.invest(uj(1.0) - uj(5.0));
+        assert_eq!(job.invested(), Energy::ZERO);
+    }
+
+    #[test]
+    fn nvp_preserves_and_volatile_discards() {
+        let mut job = InferenceJob::new(uj(100.0));
+        job.invest(uj(30.0));
+        let preserved = Nvp::non_volatile().suspend(job.clone());
+        assert_eq!(preserved.as_ref().map(InferenceJob::invested), Some(uj(30.0)));
+        assert!(Nvp::volatile().suspend(job).is_none());
+        assert!(Nvp::default().preserves_progress());
+        assert!(!Nvp::volatile().preserves_progress());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_requirement_panics() {
+        let _ = InferenceJob::new(Energy::ZERO);
+    }
+}

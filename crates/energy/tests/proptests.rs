@@ -1,0 +1,130 @@
+//! Property tests for the energy substrate: storage bounds and attempt
+//! semantics hold under arbitrary operation sequences.
+
+use origin_energy::{Capacitor, DutyState, EnergyCostTable, EnergyNode, Harvester, Nvp};
+use origin_trace::ConstantPower;
+use origin_types::{Energy, Power, SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum CapOp {
+    Charge(f64),
+    TryDraw(f64),
+    DrawUpTo(f64),
+    Leak(u64),
+}
+
+fn arb_cap_op() -> impl Strategy<Value = CapOp> {
+    prop_oneof![
+        (0.0f64..500.0).prop_map(CapOp::Charge),
+        (0.0f64..500.0).prop_map(CapOp::TryDraw),
+        (0.0f64..500.0).prop_map(CapOp::DrawUpTo),
+        (0u64..10_000).prop_map(CapOp::Leak),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn capacitor_charge_stays_bounded(
+        capacity in 1.0f64..2_000.0,
+        ops in proptest::collection::vec(arb_cap_op(), 0..64),
+    ) {
+        let cap_energy = Energy::from_microjoules(capacity);
+        let mut cap = Capacitor::new(cap_energy);
+        for op in ops {
+            match op {
+                CapOp::Charge(uj) => {
+                    cap.charge(Energy::from_microjoules(uj));
+                }
+                CapOp::TryDraw(uj) => {
+                    let before = cap.stored();
+                    let ok = cap.try_draw(Energy::from_microjoules(uj));
+                    if !ok {
+                        prop_assert_eq!(cap.stored(), before, "failed draw must not change charge");
+                    }
+                }
+                CapOp::DrawUpTo(uj) => {
+                    let drawn = cap.draw_up_to(Energy::from_microjoules(uj));
+                    prop_assert!(drawn <= Energy::from_microjoules(uj + 1e-12));
+                }
+                CapOp::Leak(ms) => cap.leak(SimDuration::from_millis(ms)),
+            }
+            prop_assert!(cap.stored() >= Energy::ZERO, "stored went negative");
+            prop_assert!(cap.stored() <= cap_energy, "stored exceeded capacity");
+            let soc = cap.state_of_charge();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&soc));
+        }
+    }
+
+    #[test]
+    fn node_attempt_window_semantics(
+        power_uw in 0.0f64..400.0,
+        cost_uj in 1.0f64..300.0,
+        windows in 1usize..50,
+        volatile in proptest::bool::ANY,
+    ) {
+        let nvp = if volatile { Nvp::volatile() } else { Nvp::non_volatile() };
+        let mut node = EnergyNode::new(
+            Harvester::new(ConstantPower::new(Power::from_microwatts(power_uw)), 0.8),
+            Capacitor::new(Energy::from_microjoules(600.0)),
+            nvp,
+            EnergyCostTable::default(),
+        );
+        let cost = Energy::from_microjoules(cost_uj);
+        let step = SimDuration::from_millis(500);
+        let mut completed = 0u64;
+        for w in 0..windows as u64 {
+            let t0 = SimTime::from_micros(w * step.as_micros());
+            node.advance(t0, t0 + step, DutyState::Sense);
+            let before = node.stored();
+            if node.attempt_window(cost) {
+                completed += 1;
+                // A completed attempt drains exactly the cost.
+                let drained = before - node.stored();
+                prop_assert!((drained.as_microjoules() - cost_uj).abs() < 1e-9);
+            } else if volatile {
+                // Volatile failure wastes everything.
+                prop_assert_eq!(node.stored(), Energy::ZERO);
+            } else {
+                // NVP failure costs at most the checkpoint overhead.
+                let lost = before - node.stored();
+                prop_assert!(lost <= node.costs().checkpoint + Energy::from_microjoules(1e-9));
+            }
+        }
+        let counters = node.counters();
+        prop_assert_eq!(counters.completed, completed);
+        prop_assert_eq!(
+            counters.completed + counters.suspended + counters.lost,
+            windows as u64
+        );
+    }
+
+    #[test]
+    fn harvester_output_monotone_in_efficiency(
+        power_uw in 0.0f64..500.0,
+        eff_lo in 0.01f64..0.5,
+        eff_hi in 0.5f64..1.0,
+        span_ms in 1u64..10_000,
+    ) {
+        let source = ConstantPower::new(Power::from_microwatts(power_uw));
+        let lo = Harvester::new(source, eff_lo);
+        let hi = Harvester::new(source, eff_hi);
+        let to = SimTime::from_millis(span_ms);
+        prop_assert!(hi.harvest_between(SimTime::ZERO, to) >= lo.harvest_between(SimTime::ZERO, to));
+    }
+
+    #[test]
+    fn harvester_floor_only_reduces(
+        power_uw in 0.0f64..500.0,
+        floor_uw in 0.0f64..100.0,
+        span_ms in 1u64..10_000,
+    ) {
+        let source = ConstantPower::new(Power::from_microwatts(power_uw));
+        let plain = Harvester::new(source, 0.8);
+        let floored = Harvester::new(source, 0.8).with_floor(Power::from_microwatts(floor_uw));
+        let to = SimTime::from_millis(span_ms);
+        prop_assert!(
+            floored.harvest_between(SimTime::ZERO, to) <= plain.harvest_between(SimTime::ZERO, to)
+        );
+    }
+}

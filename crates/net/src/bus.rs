@@ -1,0 +1,236 @@
+//! Deterministic store-and-forward message queues.
+
+use crate::link::LinkModel;
+use crate::message::Message;
+use origin_types::{NodeId, SimTime};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// An addressable participant on the body-area network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A sensor node.
+    Node(NodeId),
+    /// The battery-backed host device (phone).
+    Host,
+}
+
+/// A frame in transit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InFlight {
+    /// Sender.
+    pub from: Endpoint,
+    /// The payload.
+    pub message: Message,
+    /// When the frame becomes deliverable at the destination.
+    pub arrives_at: SimTime,
+}
+
+/// Store-and-forward queues between all endpoints over one shared
+/// [`LinkModel`].
+///
+/// Frames sent at `t` become visible to [`MessageBus::poll`] at
+/// `t + latency`, in send order. Dropped frames vanish at send time (the
+/// radio energy was still spent by the sender — charged at the node).
+#[derive(Debug, Clone)]
+pub struct MessageBus {
+    link: LinkModel,
+    node_queues: Vec<VecDeque<InFlight>>,
+    host_queue: VecDeque<InFlight>,
+    sent: u64,
+    dropped: u64,
+}
+
+impl MessageBus {
+    /// A bus connecting `node_count` nodes and the host.
+    #[must_use]
+    pub fn new(link: LinkModel, node_count: usize) -> Self {
+        Self {
+            link,
+            node_queues: vec![VecDeque::new(); node_count],
+            host_queue: VecDeque::new(),
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The shared link model.
+    #[must_use]
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Total frames offered to the bus.
+    #[must_use]
+    pub fn sent_count(&self) -> u64 {
+        self.sent
+    }
+
+    /// Frames lost to the link.
+    #[must_use]
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sends `message` from `from` to `to` at time `now`. Returns whether
+    /// the link delivered it (a dropped frame still cost the sender its
+    /// transmit energy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `to` names a node outside the bus.
+    pub fn send<R: Rng + ?Sized>(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        message: Message,
+        now: SimTime,
+        rng: &mut R,
+    ) -> bool {
+        self.sent += 1;
+        if !self.link.delivers(rng) {
+            self.dropped += 1;
+            return false;
+        }
+        let frame = InFlight {
+            from,
+            message,
+            arrives_at: now + self.link.latency(),
+        };
+        match to {
+            Endpoint::Host => self.host_queue.push_back(frame),
+            Endpoint::Node(id) => {
+                let queue = self
+                    .node_queues
+                    .get_mut(id.as_usize())
+                    .expect("destination node is on the bus");
+                queue.push_back(frame);
+            }
+        }
+        true
+    }
+
+    /// Drains every frame addressed to `endpoint` that has arrived by
+    /// `now`, in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `endpoint` names a node outside the bus.
+    pub fn poll(&mut self, endpoint: Endpoint, now: SimTime) -> Vec<InFlight> {
+        let queue = match endpoint {
+            Endpoint::Host => &mut self.host_queue,
+            Endpoint::Node(id) => self
+                .node_queues
+                .get_mut(id.as_usize())
+                .expect("endpoint node is on the bus"),
+        };
+        let mut out = Vec::new();
+        while let Some(front) = queue.front() {
+            if front.arrives_at <= now {
+                out.push(queue.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_types::{ActivityClass, SimDuration};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn report(node: u32) -> Message {
+        Message::ClassificationReport {
+            node: NodeId::new(node),
+            activity: ActivityClass::Walking,
+            confidence: 0.1,
+        }
+    }
+
+    #[test]
+    fn frames_arrive_after_latency() {
+        let mut bus = MessageBus::new(LinkModel::reliable(), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(bus.send(
+            Endpoint::Node(NodeId::new(0)),
+            Endpoint::Host,
+            report(0),
+            SimTime::ZERO,
+            &mut rng,
+        ));
+        // Not yet visible before the latency elapses.
+        assert!(bus.poll(Endpoint::Host, SimTime::from_millis(5)).is_empty());
+        let delivered = bus.poll(Endpoint::Host, SimTime::from_millis(10));
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].from, Endpoint::Node(NodeId::new(0)));
+        // Drained.
+        assert!(bus.poll(Endpoint::Host, SimTime::from_millis(20)).is_empty());
+    }
+
+    #[test]
+    fn frames_preserve_send_order() {
+        let mut bus = MessageBus::new(LinkModel::reliable(), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..3 {
+            bus.send(
+                Endpoint::Host,
+                Endpoint::Node(NodeId::new(0)),
+                Message::ActivationSignal {
+                    target: NodeId::new(0),
+                    anticipated: ActivityClass::from_index(i).unwrap(),
+                },
+                SimTime::from_millis(i as u64),
+                &mut rng,
+            );
+        }
+        let frames = bus.poll(Endpoint::Node(NodeId::new(0)), SimTime::from_secs(1));
+        assert_eq!(frames.len(), 3);
+        for (i, f) in frames.iter().enumerate() {
+            match &f.message {
+                Message::ActivationSignal { anticipated, .. } => {
+                    assert_eq!(anticipated.index(), i);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_link_counts_drops() {
+        let link = LinkModel::new(SimDuration::from_millis(1), 0.5);
+        let mut bus = MessageBus::new(link, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            bus.send(
+                Endpoint::Node(NodeId::new(0)),
+                Endpoint::Host,
+                report(0),
+                SimTime::ZERO,
+                &mut rng,
+            );
+        }
+        assert_eq!(bus.sent_count(), 1000);
+        let dropped = bus.dropped_count();
+        assert!((350..650).contains(&dropped), "dropped = {dropped}");
+        let delivered = bus.poll(Endpoint::Host, SimTime::from_secs(1)).len() as u64;
+        assert_eq!(delivered + dropped, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination node")]
+    fn unknown_destination_panics() {
+        let mut bus = MessageBus::new(LinkModel::reliable(), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        bus.send(
+            Endpoint::Host,
+            Endpoint::Node(NodeId::new(5)),
+            report(0),
+            SimTime::ZERO,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Byte-level frame codec.
+//!
+//! [`Message::wire_size`](crate::Message::wire_size) quotes the encoded
+//! length; this module provides the actual encoding, so the "a few bytes
+//! of data" assumption is backed by a real byte layout rather than a
+//! constant. Confidence values travel as `f32` — the extra precision of
+//! `f64` is below the sensor's own noise floor and costs four bytes per
+//! report.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! report:     [0x01, node, class, conf_f32 x4, crc8, 0x00]
+//! activation: [0x02, target, class, crc8]
+//! rank:       [0x03, class, n, node x n, crc8 ...padding to wire_size]
+//! ```
+
+use crate::message::Message;
+use origin_types::{ActivityClass, NodeId};
+
+/// Errors produced while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer is too short for its frame type.
+    Truncated,
+    /// Unknown frame-type byte.
+    UnknownKind(u8),
+    /// A class or node field is out of range.
+    BadField(&'static str),
+    /// The checksum does not match.
+    BadChecksum,
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            CodecError::BadField(which) => write!(f, "invalid frame field `{which}`"),
+            CodecError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Simple CRC-8 (polynomial 0x07) over a byte slice.
+#[must_use]
+fn crc8(bytes: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in bytes {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Encodes `message` to its wire bytes.
+///
+/// The result's length always equals
+/// [`Message::wire_size`](crate::Message::wire_size).
+#[must_use]
+pub fn encode(message: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(message.wire_size());
+    match message {
+        Message::ClassificationReport {
+            node,
+            activity,
+            confidence,
+        } => {
+            out.push(0x01);
+            out.push(node.as_u32() as u8);
+            out.push(activity.index() as u8);
+            out.extend_from_slice(&(*confidence as f32).to_le_bytes());
+        }
+        Message::ActivationSignal {
+            target,
+            anticipated,
+        } => {
+            out.push(0x02);
+            out.push(target.as_u32() as u8);
+            out.push(anticipated.index() as u8);
+        }
+        Message::RankUpdate { activity, ranking } => {
+            out.push(0x03);
+            out.push(activity.index() as u8);
+            for node in ranking {
+                out.push(node.as_u32() as u8);
+            }
+        }
+    }
+    out.push(crc8(&out));
+    // Pad to the quoted wire size (frame alignment).
+    while out.len() < message.wire_size() {
+        out.push(0x00);
+    }
+    debug_assert_eq!(out.len(), message.wire_size());
+    out
+}
+
+/// Decodes wire bytes produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first malformation found.
+pub fn decode(bytes: &[u8]) -> Result<Message, CodecError> {
+    let kind = *bytes.first().ok_or(CodecError::Truncated)?;
+    let class_at = |idx: usize| -> Result<ActivityClass, CodecError> {
+        let raw = *bytes.get(idx).ok_or(CodecError::Truncated)? as usize;
+        ActivityClass::from_index(raw).ok_or(CodecError::BadField("class"))
+    };
+    let check = |payload_len: usize| -> Result<(), CodecError> {
+        let expected = *bytes.get(payload_len).ok_or(CodecError::Truncated)?;
+        if crc8(&bytes[..payload_len]) == expected {
+            Ok(())
+        } else {
+            Err(CodecError::BadChecksum)
+        }
+    };
+    match kind {
+        0x01 => {
+            if bytes.len() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            check(7)?;
+            let node = NodeId::new(u32::from(bytes[1]));
+            let activity = class_at(2)?;
+            let confidence =
+                f64::from(f32::from_le_bytes([bytes[3], bytes[4], bytes[5], bytes[6]]));
+            if !(confidence.is_finite() && confidence >= 0.0) {
+                return Err(CodecError::BadField("confidence"));
+            }
+            Ok(Message::ClassificationReport {
+                node,
+                activity,
+                confidence,
+            })
+        }
+        0x02 => {
+            if bytes.len() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            check(3)?;
+            Ok(Message::ActivationSignal {
+                target: NodeId::new(u32::from(bytes[1])),
+                anticipated: class_at(2)?,
+            })
+        }
+        0x03 => {
+            // Everything between the class byte and the trailing crc is
+            // the ranking.
+            if bytes.len() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            let payload_len = bytes.len() - 1;
+            check(payload_len)?;
+            let activity = class_at(1)?;
+            let ranking = bytes[2..payload_len]
+                .iter()
+                .map(|&b| NodeId::new(u32::from(b)))
+                .collect();
+            Ok(Message::RankUpdate { activity, ranking })
+        }
+        other => Err(CodecError::UnknownKind(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Message> {
+        vec![
+            Message::ClassificationReport {
+                node: NodeId::new(2),
+                activity: ActivityClass::Cycling,
+                confidence: 0.09375, // exactly representable in f32
+            },
+            Message::ActivationSignal {
+                target: NodeId::new(1),
+                anticipated: ActivityClass::Jumping,
+            },
+            Message::RankUpdate {
+                activity: ActivityClass::Walking,
+                ranking: vec![NodeId::new(1), NodeId::new(0), NodeId::new(2)],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_frame_kinds() {
+        for frame in frames() {
+            let bytes = encode(&frame);
+            assert_eq!(bytes.len(), frame.wire_size(), "{frame:?} size mismatch");
+            let back = decode(&bytes).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn confidence_survives_f32_narrowing_within_tolerance() {
+        let frame = Message::ClassificationReport {
+            node: NodeId::new(0),
+            activity: ActivityClass::Running,
+            confidence: 0.123_456_789,
+        };
+        let back = decode(&encode(&frame)).unwrap();
+        match back {
+            Message::ClassificationReport { confidence, .. } => {
+                assert!((confidence - 0.123_456_789).abs() < 1e-6);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        for frame in frames() {
+            let mut bytes = encode(&frame);
+            bytes[1] ^= 0xFF;
+            let err = decode(&bytes).unwrap_err();
+            assert!(
+                matches!(err, CodecError::BadChecksum | CodecError::BadField(_)),
+                "{frame:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        for frame in frames() {
+            let bytes = encode(&frame);
+            for cut in 0..bytes.len().min(3) {
+                assert!(decode(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        assert_eq!(decode(&[0x7F, 0, 0, 0]), Err(CodecError::UnknownKind(0x7F)));
+    }
+
+    #[test]
+    fn crc8_catches_single_bit_flips() {
+        let data = [0x01u8, 0x02, 0x03, 0x04];
+        let base = crc8(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data;
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc8(&flipped), base, "flip {byte}.{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-link latency and loss model.
+
+use origin_types::SimDuration;
+use rand::Rng;
+
+/// A body-area radio link's delivery characteristics.
+///
+/// Energy is *not* charged here — the sending/receiving node pays through
+/// its `EnergyCostTable` (in `origin-energy`) using the
+/// message's wire size — this model covers timing and reliability only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    latency: SimDuration,
+    drop_probability: f64,
+}
+
+impl LinkModel {
+    /// A link with the given latency and drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `drop_probability` ∉ `[0, 1]`.
+    #[must_use]
+    pub fn new(latency: SimDuration, drop_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability must be in [0, 1], got {drop_probability}"
+        );
+        Self {
+            latency,
+            drop_probability,
+        }
+    }
+
+    /// An ideal link: 10 ms latency, no loss. The paper's default
+    /// assumption.
+    #[must_use]
+    pub fn reliable() -> Self {
+        Self::new(SimDuration::from_millis(10), 0.0)
+    }
+
+    /// A BLE-flavoured lossy link (30 ms, 2% loss) for robustness
+    /// experiments.
+    #[must_use]
+    pub fn lossy_ble() -> Self {
+        Self::new(SimDuration::from_millis(30), 0.02)
+    }
+
+    /// One-way delivery latency.
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Probability a frame is lost.
+    #[must_use]
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Rolls delivery for one frame.
+    pub fn delivers<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.drop_probability == 0.0 {
+            return true;
+        }
+        rng.gen::<f64>() >= self.drop_probability
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reliable_link_always_delivers() {
+        let link = LinkModel::reliable();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((0..1000).all(|_| link.delivers(&mut rng)));
+        assert_eq!(link.drop_probability(), 0.0);
+        assert_eq!(link.latency(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn lossy_link_drops_at_the_configured_rate() {
+        let link = LinkModel::new(SimDuration::from_millis(30), 0.25);
+        let mut rng = StdRng::seed_from_u64(1);
+        let delivered = (0..10_000).filter(|_| link.delivers(&mut rng)).count();
+        let rate = delivered as f64 / 10_000.0;
+        assert!((rate - 0.75).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn default_is_reliable() {
+        assert_eq!(LinkModel::default(), LinkModel::reliable());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_probability_panics() {
+        let _ = LinkModel::new(SimDuration::ZERO, 1.5);
+    }
+}

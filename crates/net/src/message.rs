@@ -1,0 +1,84 @@
+//! The frames exchanged between sensor nodes and the host.
+
+use origin_types::{ActivityClass, NodeId};
+
+/// A frame on the body-area network.
+///
+/// Wire sizes are the small fixed encodings an embedded implementation
+/// would use; they feed the per-byte radio energy costs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A sensor reports a completed classification to the host, carrying
+    /// the confidence score the adaptive ensemble consumes.
+    ClassificationReport {
+        /// Reporting node.
+        node: NodeId,
+        /// Predicted activity.
+        activity: ActivityClass,
+        /// Softmax-variance confidence of the prediction.
+        confidence: f64,
+    },
+    /// The AAS hand-off: the node that just classified signals the
+    /// best-ranked sensor for the anticipated activity to wake and take
+    /// the next inference (Section III-B).
+    ActivationSignal {
+        /// Node being activated.
+        target: NodeId,
+        /// The anticipated activity (the current classification).
+        anticipated: ActivityClass,
+    },
+    /// Host pushes an updated rank-table row to a node (rank maintenance
+    /// traffic; a few bytes, sent rarely).
+    RankUpdate {
+        /// Activity whose ranking changed.
+        activity: ActivityClass,
+        /// Node ids, best first.
+        ranking: Vec<NodeId>,
+    },
+}
+
+impl Message {
+    /// Encoded size in bytes.
+    ///
+    /// Report: 1 node + 1 class + 4 confidence (f32 on the wire) + 2
+    /// header. Activation: 1 target + 1 class + 2 header. Rank update: 1
+    /// class + n nodes + 2 header.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::ClassificationReport { .. } => 8,
+            Message::ActivationSignal { .. } => 4,
+            Message::RankUpdate { ranking, .. } => 3 + ranking.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_are_a_few_bytes() {
+        let report = Message::ClassificationReport {
+            node: NodeId::new(0),
+            activity: ActivityClass::Walking,
+            confidence: 0.12,
+        };
+        let signal = Message::ActivationSignal {
+            target: NodeId::new(1),
+            anticipated: ActivityClass::Running,
+        };
+        let rank = Message::RankUpdate {
+            activity: ActivityClass::Cycling,
+            ranking: vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+        };
+        // "A few bytes" (Section IV-A): every frame is tiny.
+        for m in [&report, &signal, &rank] {
+            assert!(m.wire_size() <= 16, "{m:?} too large");
+            assert!(m.wire_size() >= 3);
+        }
+        assert_eq!(report.wire_size(), 8);
+        assert_eq!(signal.wire_size(), 4);
+        assert_eq!(rank.wire_size(), 6);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the network substrate.
+
+use origin_net::{decode, encode, LinkModel, Message};
+use origin_types::{ActivityClass, NodeId, SimDuration};
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (0u32..3, 0usize..6, 0.0f32..0.14).prop_map(|(node, class, conf)| {
+            Message::ClassificationReport {
+                node: NodeId::new(node),
+                activity: ActivityClass::from_index(class).expect("valid"),
+                confidence: f64::from(conf),
+            }
+        }),
+        (0u32..3, 0usize..6).prop_map(|(node, class)| Message::ActivationSignal {
+            target: NodeId::new(node),
+            anticipated: ActivityClass::from_index(class).expect("valid"),
+        }),
+        (0usize..6, proptest::collection::vec(0u32..3, 1..4)).prop_map(|(class, nodes)| {
+            Message::RankUpdate {
+                activity: ActivityClass::from_index(class).expect("valid"),
+                ranking: nodes.into_iter().map(NodeId::new).collect(),
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrips(message in arb_message()) {
+        let bytes = encode(&message);
+        prop_assert_eq!(bytes.len(), message.wire_size());
+        let back = decode(&bytes).expect("well-formed frame");
+        // f64→f32→f64 narrowing: compare with tolerance on confidence.
+        match (&message, &back) {
+            (
+                Message::ClassificationReport { node: a, activity: b, confidence: c },
+                Message::ClassificationReport { node: x, activity: y, confidence: z },
+            ) => {
+                prop_assert_eq!(a, x);
+                prop_assert_eq!(b, y);
+                prop_assert!((c - z).abs() < 1e-6);
+            }
+            (a, b) => prop_assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let _ = decode(&bytes); // must return Err or Ok, never panic
+    }
+
+    #[test]
+    fn link_drop_rate_is_calibrated(p in 0.0f64..1.0, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let link = LinkModel::new(SimDuration::from_millis(1), p);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 2_000;
+        let delivered = (0..n).filter(|_| link.delivers(&mut rng)).count() as f64 / n as f64;
+        prop_assert!((delivered - (1.0 - p)).abs() < 0.06, "p={p} delivered={delivered}");
+    }
+}

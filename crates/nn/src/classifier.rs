@@ -1,0 +1,316 @@
+//! A deployable per-sensor classifier: MLP + normalizer + label mapping.
+
+use crate::energy_model::InferenceEnergyModel;
+use crate::error::NnError;
+use crate::metrics::ConfusionMatrix;
+use crate::mlp::Mlp;
+use crate::norm::Normalizer;
+use crate::softmax_variance;
+use crate::train::Trainer;
+use origin_types::{ActivityClass, ActivitySet, Energy};
+
+/// One classification result, as transmitted to the host: the predicted
+/// class plus the softmax-variance confidence score Origin's adaptive
+/// ensemble consumes ("the sensors would send the confidence score for
+/// that classifier along with the output class", Section III-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Predicted activity.
+    pub activity: ActivityClass,
+    /// Dense label index of the prediction.
+    pub dense_label: usize,
+    /// Full softmax distribution over the dense labels.
+    pub probabilities: Vec<f64>,
+    /// Variance of `probabilities` — higher is more confident.
+    pub confidence: f64,
+}
+
+/// A trained per-sensor activity classifier.
+///
+/// Bundles the [`Mlp`] with the feature [`Normalizer`] fitted on its
+/// training set and the [`ActivitySet`] its dense labels index into, so a
+/// deployed classifier is a single self-contained value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorClassifier {
+    mlp: Mlp,
+    normalizer: Normalizer,
+    activities: ActivitySet,
+}
+
+impl SensorClassifier {
+    /// Wraps pre-trained components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] when the normalizer width
+    /// does not match the model input, or the model output does not match
+    /// the class count.
+    pub fn new(
+        mlp: Mlp,
+        normalizer: Normalizer,
+        activities: ActivitySet,
+    ) -> Result<Self, NnError> {
+        if normalizer.dim() != mlp.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: mlp.input_dim(),
+                actual: normalizer.dim(),
+            });
+        }
+        if mlp.output_dim() != activities.len() {
+            return Err(NnError::DimensionMismatch {
+                expected: activities.len(),
+                actual: mlp.output_dim(),
+            });
+        }
+        Ok(Self {
+            mlp,
+            normalizer,
+            activities,
+        })
+    }
+
+    /// Trains a fresh classifier end-to-end: fits the normalizer on
+    /// `data`, builds an MLP `[features, hidden..., classes]` and trains
+    /// it.
+    ///
+    /// `data` holds *raw* (unnormalized) feature vectors and dense labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction and training failures ([`NnError`]).
+    pub fn train(
+        hidden: &[usize],
+        data: &[(Vec<f64>, usize)],
+        activities: ActivitySet,
+        trainer: &Trainer,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        let first = data.first().ok_or(NnError::EmptyTrainingSet)?;
+        let mut dims = Vec::with_capacity(hidden.len() + 2);
+        dims.push(first.0.len());
+        dims.extend_from_slice(hidden);
+        dims.push(activities.len());
+        let normalizer = Normalizer::fit(data.iter().map(|(x, _)| x.as_slice()))?;
+        let normalized: Vec<(Vec<f64>, usize)> = data
+            .iter()
+            .map(|(x, y)| (normalizer.transform(x), *y))
+            .collect();
+        let mut mlp = Mlp::new(&dims, seed)?;
+        trainer.fit(&mut mlp, &normalized)?;
+        Self::new(mlp, normalizer, activities)
+    }
+
+    /// Classifies a raw feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] on a wrong-width input.
+    pub fn classify(&self, raw_features: &[f64]) -> Result<Classification, NnError> {
+        if raw_features.len() != self.mlp.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.mlp.input_dim(),
+                actual: raw_features.len(),
+            });
+        }
+        let x = self.normalizer.transform(raw_features);
+        let (dense_label, probabilities) = self.mlp.predict(&x);
+        let activity = self
+            .activities
+            .class_at(dense_label)
+            .expect("model output dim equals class count");
+        let confidence = softmax_variance(&probabilities);
+        Ok(Classification {
+            activity,
+            dense_label,
+            probabilities,
+            confidence,
+        })
+    }
+
+    /// Evaluates over raw `(features, dense_label)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] on a wrong-width input.
+    pub fn evaluate(&self, data: &[(Vec<f64>, usize)]) -> Result<ConfusionMatrix, NnError> {
+        let mut cm = ConfusionMatrix::new(self.activities.len());
+        for (x, label) in data {
+            let c = self.classify(x)?;
+            cm.record(*label, c.dense_label);
+        }
+        Ok(cm)
+    }
+
+    /// The wrapped network.
+    #[must_use]
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Mutable network access (pruning).
+    pub fn mlp_mut(&mut self) -> &mut Mlp {
+        &mut self.mlp
+    }
+
+    /// The label mapping.
+    #[must_use]
+    pub fn activities(&self) -> &ActivitySet {
+        &self.activities
+    }
+
+    /// The fitted normalizer.
+    #[must_use]
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// Predicted per-inference energy under `energy_model`.
+    #[must_use]
+    pub fn inference_energy(&self, energy_model: &InferenceEnergyModel) -> Energy {
+        energy_model.inference_energy(&self.mlp)
+    }
+
+    /// Normalizes `data` with this classifier's normalizer — the form
+    /// fine-tuning after pruning expects.
+    #[must_use]
+    pub fn normalize_data(&self, data: &[(Vec<f64>, usize)]) -> Vec<(Vec<f64>, usize)> {
+        data.iter()
+            .map(|(x, y)| (self.normalizer.transform(x), *y))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_data(seed: u64, per_class: usize, classes: usize) -> Vec<(Vec<f64>, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for label in 0..classes {
+            for _ in 0..per_class {
+                // Class-dependent offsets on mismatched feature scales to
+                // exercise the normalizer.
+                let mut x = vec![
+                    100.0 + label as f64 * 10.0,
+                    0.01 * label as f64,
+                    rng.gen::<f64>(),
+                ];
+                for v in &mut x {
+                    *v += rng.gen::<f64>() * 0.3;
+                }
+                data.push((x, label));
+            }
+        }
+        data
+    }
+
+    fn small_set() -> ActivitySet {
+        ActivitySet::new([
+            ActivityClass::Walking,
+            ActivityClass::Running,
+            ActivityClass::Jumping,
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn trains_and_classifies() {
+        let data = toy_data(1, 30, 3);
+        let clf = SensorClassifier::train(
+            &[8],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(60),
+            7,
+        )
+        .unwrap();
+        let cm = clf.evaluate(&data).unwrap();
+        assert!(cm.accuracy().unwrap() > 0.9, "{}", cm);
+        let c = clf.classify(&data[0].0).unwrap();
+        assert_eq!(c.dense_label, 0);
+        assert_eq!(c.activity, ActivityClass::Walking);
+        assert!(c.confidence > 0.0);
+        assert_eq!(c.probabilities.len(), 3);
+    }
+
+    #[test]
+    fn classification_maps_dense_labels_to_activities() {
+        let data = toy_data(2, 20, 3);
+        let clf = SensorClassifier::train(
+            &[6],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(40),
+            1,
+        )
+        .unwrap();
+        // Dense label 2 is Jumping in this set.
+        let sample = data.iter().find(|(_, y)| *y == 2).unwrap();
+        let c = clf.classify(&sample.0).unwrap();
+        if c.dense_label == 2 {
+            assert_eq!(c.activity, ActivityClass::Jumping);
+        }
+    }
+
+    #[test]
+    fn construction_validates_dims() {
+        let mlp = Mlp::new(&[3, 4, 2], 0).unwrap();
+        let norm = Normalizer::fit([[0.0, 1.0].as_slice()]).unwrap();
+        assert!(matches!(
+            SensorClassifier::new(mlp.clone(), norm, small_set()),
+            Err(NnError::DimensionMismatch { .. })
+        ));
+        let norm3 = Normalizer::fit([[0.0, 1.0, 2.0].as_slice()]).unwrap();
+        // Output 2 != 3 classes.
+        assert!(matches!(
+            SensorClassifier::new(mlp, norm3, small_set()),
+            Err(NnError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn classify_rejects_wrong_width() {
+        let data = toy_data(3, 10, 3);
+        let clf = SensorClassifier::train(
+            &[4],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(5),
+            0,
+        )
+        .unwrap();
+        assert!(matches!(
+            clf.classify(&[1.0]),
+            Err(NnError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_training_set_is_rejected() {
+        assert!(matches!(
+            SensorClassifier::train(&[4], &[], small_set(), &Trainer::new(), 0),
+            Err(NnError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn inference_energy_tracks_pruning() {
+        let data = toy_data(4, 10, 3);
+        let mut clf = SensorClassifier::train(
+            &[8],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(5),
+            0,
+        )
+        .unwrap();
+        let em = InferenceEnergyModel::default();
+        let before = clf.inference_energy(&em);
+        let n = clf.mlp().layers()[0].total_weights();
+        clf.mlp_mut().layers_mut()[0].set_mask(vec![false; n - 1].into_iter().chain([true]).collect());
+        assert!(clf.inference_energy(&em) < before);
+    }
+}

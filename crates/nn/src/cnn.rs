@@ -1,0 +1,518 @@
+//! A small 1-D convolutional network over raw IMU windows.
+//!
+//! The paper's per-sensor classifiers are CNNs in the style of Ha & Choi
+//! [11] and Rueda et al. [14]: temporal convolutions over the 6 IMU
+//! channels followed by pooling and a dense head. The workspace's default
+//! pipeline classifies hand-computed features with an [`Mlp`](crate::Mlp)
+//! (faster to train, same policy-level behaviour — see DESIGN.md §2);
+//! this module provides the faithful raw-window alternative, trained with
+//! the same SGD machinery and verified by numerical gradient checking.
+//!
+//! Architecture: `Conv1d(C_in→F, k) → ReLU → MaxPool(2) → Conv1d(F→F, k)
+//! → ReLU → GlobalAvgPool → Dense(F→classes)`.
+
+use crate::error::NnError;
+use crate::layer::softmax;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One temporal convolution layer (valid padding, stride 1).
+#[derive(Debug, Clone, PartialEq)]
+struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    // weight[o][i][t] flattened
+    weight: Vec<f64>,
+    bias: Vec<f64>,
+}
+
+impl Conv1d {
+    fn init(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        let fan_in = (in_channels * kernel) as f64;
+        let limit = (6.0 / fan_in).sqrt();
+        let weight = (0..out_channels * in_channels * kernel)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * limit)
+            .collect();
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            weight,
+            bias: vec![0.0; out_channels],
+        }
+    }
+
+    fn w(&self, o: usize, i: usize, t: usize) -> f64 {
+        self.weight[(o * self.in_channels + i) * self.kernel + t]
+    }
+
+    fn out_len(&self, in_len: usize) -> usize {
+        in_len + 1 - self.kernel
+    }
+
+    /// `input[channel][time]` → `output[channel][time]`.
+    fn forward(&self, input: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let in_len = input[0].len();
+        let out_len = self.out_len(in_len);
+        let mut out = vec![vec![0.0; out_len]; self.out_channels];
+        for (o, out_ch) in out.iter_mut().enumerate() {
+            for (p, out_v) in out_ch.iter_mut().enumerate() {
+                let mut acc = self.bias[o];
+                for (i, in_ch) in input.iter().enumerate() {
+                    for t in 0..self.kernel {
+                        acc += self.w(o, i, t) * in_ch[p + t];
+                    }
+                }
+                *out_v = acc;
+            }
+        }
+        out
+    }
+
+    /// SGD update; returns the gradient w.r.t. the input.
+    fn backward(
+        &mut self,
+        input: &[Vec<f64>],
+        grad_out: &[Vec<f64>],
+        lr: f64,
+    ) -> Vec<Vec<f64>> {
+        let in_len = input[0].len();
+        let out_len = grad_out[0].len();
+        let mut grad_in = vec![vec![0.0; in_len]; self.in_channels];
+        // dX first (uses the pre-update weights).
+        for (o, g_ch) in grad_out.iter().enumerate() {
+            for (p, &g) in g_ch.iter().enumerate() {
+                for (i, gi_ch) in grad_in.iter_mut().enumerate() {
+                    for t in 0..self.kernel {
+                        gi_ch[p + t] += g * self.w(o, i, t);
+                    }
+                }
+            }
+        }
+        // dW, dB.
+        for o in 0..self.out_channels {
+            for i in 0..self.in_channels {
+                for t in 0..self.kernel {
+                    let mut dw = 0.0;
+                    for p in 0..out_len {
+                        dw += grad_out[o][p] * input[i][p + t];
+                    }
+                    self.weight[(o * self.in_channels + i) * self.kernel + t] -= lr * dw;
+                }
+            }
+            let db: f64 = grad_out[o].iter().sum();
+            self.bias[o] -= lr * db;
+        }
+        grad_in
+    }
+}
+
+fn relu_fwd(x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    x.iter()
+        .map(|ch| ch.iter().map(|&v| v.max(0.0)).collect())
+        .collect()
+}
+
+fn relu_bwd(pre: &[Vec<f64>], grad: &mut [Vec<f64>]) {
+    for (g_ch, p_ch) in grad.iter_mut().zip(pre) {
+        for (g, &p) in g_ch.iter_mut().zip(p_ch) {
+            if p <= 0.0 {
+                *g = 0.0;
+            }
+        }
+    }
+}
+
+/// Max-pool by 2 (truncating an odd tail); returns output + argmax map.
+fn maxpool2_fwd(x: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
+    let out_len = x[0].len() / 2;
+    let mut out = Vec::with_capacity(x.len());
+    let mut arg = Vec::with_capacity(x.len());
+    for ch in x {
+        let mut o = Vec::with_capacity(out_len);
+        let mut a = Vec::with_capacity(out_len);
+        for p in 0..out_len {
+            let (l, r) = (ch[2 * p], ch[2 * p + 1]);
+            if l >= r {
+                o.push(l);
+                a.push(2 * p);
+            } else {
+                o.push(r);
+                a.push(2 * p + 1);
+            }
+        }
+        out.push(o);
+        arg.push(a);
+    }
+    (out, arg)
+}
+
+fn maxpool2_bwd(grad_out: &[Vec<f64>], arg: &[Vec<usize>], in_len: usize) -> Vec<Vec<f64>> {
+    let mut grad_in = vec![vec![0.0; in_len]; grad_out.len()];
+    for (ch, (g_ch, a_ch)) in grad_out.iter().zip(arg).enumerate() {
+        for (g, &a) in g_ch.iter().zip(a_ch) {
+            grad_in[ch][a] += g;
+        }
+    }
+    grad_in
+}
+
+/// A compact 1-D CNN classifier over `[channels][time]` windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cnn1d {
+    conv1: Conv1d,
+    conv2: Conv1d,
+    // dense head: weight[class][filter], bias[class]
+    head_w: Vec<f64>,
+    head_b: Vec<f64>,
+    filters: usize,
+    classes: usize,
+    in_channels: usize,
+    min_len: usize,
+}
+
+impl Cnn1d {
+    /// A randomly initialized CNN: `in_channels` input channels,
+    /// `filters` conv features, kernel width `kernel`, `classes` outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadArchitecture`] when any size is zero or the
+    /// kernel is 1 or less.
+    pub fn new(
+        in_channels: usize,
+        filters: usize,
+        kernel: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if in_channels == 0 || filters == 0 || classes == 0 || kernel < 2 {
+            return Err(NnError::BadArchitecture(vec![
+                in_channels,
+                filters,
+                kernel,
+                classes,
+            ]));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv1 = Conv1d::init(in_channels, filters, kernel, &mut rng);
+        let conv2 = Conv1d::init(filters, filters, kernel, &mut rng);
+        let limit = (6.0 / filters as f64).sqrt();
+        let head_w = (0..classes * filters)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * limit)
+            .collect();
+        // Shortest window the two convolutions + pooling can digest.
+        let min_len = 2 * kernel + 2 * (kernel - 1);
+        Ok(Self {
+            conv1,
+            conv2,
+            head_w,
+            head_b: vec![0.0; classes],
+            filters,
+            classes,
+            in_channels,
+            min_len,
+        })
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Minimum window length the architecture accepts.
+    #[must_use]
+    pub fn min_window_len(&self) -> usize {
+        self.min_len
+    }
+
+    /// Total parameter count.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.conv1.weight.len()
+            + self.conv1.bias.len()
+            + self.conv2.weight.len()
+            + self.conv2.bias.len()
+            + self.head_w.len()
+            + self.head_b.len()
+    }
+
+    fn validate(&self, window: &[Vec<f64>]) -> Result<(), NnError> {
+        if window.len() != self.in_channels {
+            return Err(NnError::DimensionMismatch {
+                expected: self.in_channels,
+                actual: window.len(),
+            });
+        }
+        let len = window.first().map_or(0, Vec::len);
+        if len < self.min_len || window.iter().any(|ch| ch.len() != len) {
+            return Err(NnError::DimensionMismatch {
+                expected: self.min_len,
+                actual: len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Forward pass to logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
+    pub fn forward(&self, window: &[Vec<f64>]) -> Result<Vec<f64>, NnError> {
+        self.validate(window)?;
+        let z1 = self.conv1.forward(window);
+        let a1 = relu_fwd(&z1);
+        let (p1, _) = maxpool2_fwd(&a1);
+        let z2 = self.conv2.forward(&p1);
+        let a2 = relu_fwd(&z2);
+        // Global average pool to one value per filter.
+        let gap: Vec<f64> = a2
+            .iter()
+            .map(|ch| ch.iter().sum::<f64>() / ch.len() as f64)
+            .collect();
+        Ok(self.head(&gap))
+    }
+
+    fn head(&self, gap: &[f64]) -> Vec<f64> {
+        (0..self.classes)
+            .map(|c| {
+                self.head_b[c]
+                    + gap
+                        .iter()
+                        .enumerate()
+                        .map(|(f, &v)| self.head_w[c * self.filters + f] * v)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Softmax prediction: `(argmax, probabilities)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
+    pub fn predict(&self, window: &[Vec<f64>]) -> Result<(usize, Vec<f64>), NnError> {
+        let proba = softmax(&self.forward(window)?);
+        let argmax = proba
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("at least one class");
+        Ok((argmax, proba))
+    }
+
+    /// One SGD step on a single `(window, label)` example; returns the
+    /// cross-entropy loss before the update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] / [`NnError::LabelOutOfRange`]
+    /// on invalid input.
+    pub fn train_step(
+        &mut self,
+        window: &[Vec<f64>],
+        label: usize,
+        lr: f64,
+    ) -> Result<f64, NnError> {
+        self.validate(window)?;
+        if label >= self.classes {
+            return Err(NnError::LabelOutOfRange {
+                label,
+                classes: self.classes,
+            });
+        }
+        // Forward with caches.
+        let z1 = self.conv1.forward(window);
+        let a1 = relu_fwd(&z1);
+        let (p1, arg1) = maxpool2_fwd(&a1);
+        let z2 = self.conv2.forward(&p1);
+        let a2 = relu_fwd(&z2);
+        let t2 = a2[0].len() as f64;
+        let gap: Vec<f64> = a2
+            .iter()
+            .map(|ch| ch.iter().sum::<f64>() / t2)
+            .collect();
+        let logits = self.head(&gap);
+        let proba = softmax(&logits);
+        let loss = -proba[label].max(1e-12).ln();
+
+        // Head gradients.
+        let mut dlogits = proba;
+        dlogits[label] -= 1.0;
+        let mut dgap = vec![0.0; self.filters];
+        for c in 0..self.classes {
+            for f in 0..self.filters {
+                dgap[f] += dlogits[c] * self.head_w[c * self.filters + f];
+            }
+        }
+        for c in 0..self.classes {
+            for f in 0..self.filters {
+                self.head_w[c * self.filters + f] -= lr * dlogits[c] * gap[f];
+            }
+            self.head_b[c] -= lr * dlogits[c];
+        }
+
+        // Back through GAP → ReLU → conv2.
+        let mut da2: Vec<Vec<f64>> = (0..self.filters)
+            .map(|f| vec![dgap[f] / t2; a2[f].len()])
+            .collect();
+        relu_bwd(&z2, &mut da2);
+        let dp1 = self.conv2.backward(&p1, &da2, lr);
+
+        // Back through pool → ReLU → conv1.
+        let mut da1 = maxpool2_bwd(&dp1, &arg1, a1[0].len());
+        relu_bwd(&z1, &mut da1);
+        let _ = self.conv1.backward(window, &da1, lr);
+        Ok(loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_window(seed: u64, class: usize, len: usize) -> Vec<Vec<f64>> {
+        // Class-dependent frequency content across 2 channels.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let freq = 0.15 + class as f64 * 0.22;
+        (0..2)
+            .map(|ch| {
+                (0..len)
+                    .map(|t| {
+                        (freq * t as f64 + ch as f64).sin() + 0.1 * (rng.gen::<f64>() - 0.5)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_and_shapes() {
+        let cnn = Cnn1d::new(2, 4, 3, 3, 0).unwrap();
+        assert_eq!(cnn.in_channels(), 2);
+        assert_eq!(cnn.classes(), 3);
+        assert!(cnn.parameter_count() > 0);
+        assert!(cnn.min_window_len() >= 6);
+        assert!(Cnn1d::new(0, 4, 3, 3, 0).is_err());
+        assert!(Cnn1d::new(2, 4, 1, 3, 0).is_err());
+    }
+
+    #[test]
+    fn forward_validates_shape() {
+        let cnn = Cnn1d::new(2, 4, 3, 3, 1).unwrap();
+        // Wrong channel count.
+        assert!(cnn.forward(&[vec![0.0; 32]]).is_err());
+        // Too short.
+        assert!(cnn.forward(&[vec![0.0; 4], vec![0.0; 4]]).is_err());
+        // Ragged channels.
+        assert!(cnn.forward(&[vec![0.0; 32], vec![0.0; 31]]).is_err());
+        // Valid.
+        let (label, proba) = cnn.predict(&toy_window(0, 0, 32)).unwrap();
+        assert!(label < 3);
+        assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_check_against_numerical() {
+        // The gold-standard test: analytic dLoss/dW matches the numerical
+        // central difference on a handful of parameters.
+        let window = toy_window(3, 1, 16);
+        let label = 1usize;
+        let base = Cnn1d::new(2, 3, 3, 3, 7).unwrap();
+        let loss_of = |cnn: &Cnn1d| -> f64 {
+            let proba = softmax(&cnn.forward(&window).unwrap());
+            -proba[label].max(1e-12).ln()
+        };
+
+        // Analytic gradient via a train_step with a tiny lr: dW = (w_before
+        // - w_after) / lr.
+        let lr = 1e-6;
+        let mut stepped = base.clone();
+        stepped.train_step(&window, label, lr).unwrap();
+
+        let eps = 1e-5;
+        // Check a spread of conv1, conv2 and head parameters.
+        for idx in [0usize, 3, 7] {
+            let analytic = (base.conv1.weight[idx] - stepped.conv1.weight[idx]) / lr;
+            let mut plus = base.clone();
+            plus.conv1.weight[idx] += eps;
+            let mut minus = base.clone();
+            minus.conv1.weight[idx] -= eps;
+            let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "conv1[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        for idx in [0usize, 5] {
+            let analytic = (base.conv2.weight[idx] - stepped.conv2.weight[idx]) / lr;
+            let mut plus = base.clone();
+            plus.conv2.weight[idx] += eps;
+            let mut minus = base.clone();
+            minus.conv2.weight[idx] -= eps;
+            let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "conv2[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        let analytic = (base.head_w[2] - stepped.head_w[2]) / lr;
+        let mut plus = base.clone();
+        plus.head_w[2] += eps;
+        let mut minus = base.clone();
+        minus.head_w[2] -= eps;
+        let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+            "head[2]: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn learns_frequency_separated_classes() {
+        let mut cnn = Cnn1d::new(2, 6, 5, 3, 11).unwrap();
+        let mut final_loss = f64::INFINITY;
+        for epoch in 0..120 {
+            let mut loss = 0.0;
+            for i in 0..30 {
+                let class = i % 3;
+                let window = toy_window(epoch * 100 + i as u64, class, 32);
+                loss += cnn.train_step(&window, class, 0.01).unwrap();
+            }
+            final_loss = loss / 30.0;
+        }
+        assert!(final_loss < 0.5, "loss = {final_loss}");
+        let mut correct = 0;
+        for i in 0..30 {
+            let class = i % 3;
+            let window = toy_window(999_000 + i as u64, class, 32);
+            if cnn.predict(&window).unwrap().0 == class {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 24, "accuracy {correct}/30");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let run = || {
+            let mut cnn = Cnn1d::new(2, 4, 3, 3, 5).unwrap();
+            for i in 0..20 {
+                let class = i % 3;
+                let _ = cnn.train_step(&toy_window(i as u64, class, 24), class, 0.02);
+            }
+            cnn
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-inference energy estimation.
+//!
+//! Energy-aware pruning needs an energy *model*, not just a parameter
+//! count: the cost of an inference is dominated by multiply-accumulates
+//! and the memory traffic of fetching live weights [15]. We charge each
+//! active (unpruned) weight one MAC plus one fetch, plus a static
+//! per-inference overhead (activation buffers, control, NVP state).
+
+use crate::mlp::Mlp;
+use origin_types::{Energy, Power, SimDuration};
+
+/// Energy model for executing one MLP inference on the sensor node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceEnergyModel {
+    /// Energy per multiply-accumulate, µJ.
+    pub energy_per_mac: Energy,
+    /// Energy per live-weight fetch, µJ.
+    pub energy_per_weight_fetch: Energy,
+    /// Static per-inference overhead, µJ.
+    pub static_overhead: Energy,
+}
+
+impl Default for InferenceEnergyModel {
+    fn default() -> Self {
+        // Calibrated so the workspace's default unpruned per-sensor MLPs
+        // (~700 weights) cost ~260 µJ and the Baseline-2 pruned variants
+        // land near 90 µJ — the regime where the Fig. 1 completion
+        // fractions reproduce under the default WiFi office trace.
+        Self {
+            energy_per_mac: Energy::from_microjoules(0.22),
+            energy_per_weight_fetch: Energy::from_microjoules(0.12),
+            static_overhead: Energy::from_microjoules(22.0),
+        }
+    }
+}
+
+impl InferenceEnergyModel {
+    /// Predicted energy of one inference of `model`.
+    #[must_use]
+    pub fn inference_energy(&self, model: &Mlp) -> Energy {
+        let macs = model.macs() as f64;
+        self.energy_per_mac * macs + self.energy_per_weight_fetch * macs + self.static_overhead
+    }
+
+    /// Predicted energy attributable to one layer (index into
+    /// [`Mlp::layers`]), excluding the static overhead. Drives the
+    /// pruner's pick-the-hungriest-layer heuristic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    #[must_use]
+    pub fn layer_energy(&self, model: &Mlp, layer: usize) -> Energy {
+        let active = model.layers()[layer].active_weights() as f64;
+        self.energy_per_mac * active + self.energy_per_weight_fetch * active
+    }
+
+    /// The floor below which no amount of pruning can push an inference.
+    #[must_use]
+    pub fn static_floor(&self) -> Energy {
+        self.static_overhead
+    }
+
+    /// The Baseline-2 pruning budget for a harvest source of mean power
+    /// `mean_harvest` and an inference window of `window`: the energy one
+    /// window of average harvest delivers, scaled by `slack`.
+    ///
+    /// The paper prunes "to fit the average harvested power budget"
+    /// (Section IV-C); `slack` absorbs the unstated duty-cycle/latency
+    /// assumptions of the original platform (see DESIGN.md §2). The
+    /// workspace default is [`InferenceEnergyModel::DEFAULT_BUDGET_SLACK`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slack` is not positive.
+    #[must_use]
+    pub fn budget_from_power(mean_harvest: Power, window: SimDuration, slack: f64) -> Energy {
+        assert!(slack > 0.0, "budget slack must be positive");
+        mean_harvest.over(window) * slack
+    }
+
+    /// Default budget slack used across the experiments.
+    pub const DEFAULT_BUDGET_SLACK: f64 = 4.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpruned_default_mlp_costs_hundreds_of_microjoules() {
+        let model = Mlp::new(&[28, 20, 6], 0).unwrap();
+        let e = InferenceEnergyModel::default().inference_energy(&model);
+        let uj = e.as_microjoules();
+        assert!((200.0..330.0).contains(&uj), "unpruned cost {uj} uJ");
+    }
+
+    #[test]
+    fn pruning_reduces_energy_toward_static_floor() {
+        let em = InferenceEnergyModel::default();
+        let mut model = Mlp::new(&[10, 10], 0).unwrap();
+        let full = em.inference_energy(&model);
+        model.layers_mut()[0].set_mask(vec![false; 100]);
+        let empty = em.inference_energy(&model);
+        assert!(full > empty);
+        assert_eq!(empty, em.static_floor());
+    }
+
+    #[test]
+    fn layer_energy_sums_to_dynamic_total() {
+        let em = InferenceEnergyModel::default();
+        let model = Mlp::new(&[8, 6, 4], 1).unwrap();
+        let dynamic: Energy = (0..2).map(|i| em.layer_energy(&model, i)).sum();
+        let total = em.inference_energy(&model);
+        let diff = (total - dynamic - em.static_floor()).as_microjoules();
+        assert!(diff.abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_scales_with_power_and_window() {
+        let b = InferenceEnergyModel::budget_from_power(
+            Power::from_microwatts(50.0),
+            SimDuration::from_millis(500),
+            4.0,
+        );
+        assert!((b.as_microjoules() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack")]
+    fn zero_slack_panics() {
+        let _ = InferenceEnergyModel::budget_from_power(
+            Power::ZERO,
+            SimDuration::from_millis(1),
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Error type for the NN engine.
+
+use core::fmt;
+
+/// Errors produced by model construction, training, pruning and
+/// persistence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A model was requested with fewer than two layer dimensions.
+    BadArchitecture(Vec<usize>),
+    /// An input vector's length does not match the model's input width.
+    DimensionMismatch {
+        /// Width the model expects.
+        expected: usize,
+        /// Width that was supplied.
+        actual: usize,
+    },
+    /// A training label is outside the output range.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of output classes.
+        classes: usize,
+    },
+    /// The training set is empty.
+    EmptyTrainingSet,
+    /// An energy budget is unreachably small (below the model's static
+    /// floor even with every weight pruned).
+    BudgetUnreachable,
+    /// A persisted model file is malformed.
+    ParseModel {
+        /// Which section failed to parse.
+        line: &'static str,
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// Underlying I/O failure while reading or writing a model.
+    Io(std::io::Error),
+}
+
+impl NnError {
+    /// Wraps an I/O error (used by the persistence layer).
+    #[must_use]
+    pub fn from_io(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+impl PartialEq for NnError {
+    fn eq(&self, other: &Self) -> bool {
+        use NnError::*;
+        match (self, other) {
+            (BadArchitecture(a), BadArchitecture(b)) => a == b,
+            (
+                DimensionMismatch { expected: a, actual: b },
+                DimensionMismatch { expected: c, actual: d },
+            ) => a == c && b == d,
+            (
+                LabelOutOfRange { label: a, classes: b },
+                LabelOutOfRange { label: c, classes: d },
+            ) => a == c && b == d,
+            (EmptyTrainingSet, EmptyTrainingSet) | (BudgetUnreachable, BudgetUnreachable) => true,
+            (
+                ParseModel { line: a, reason: b },
+                ParseModel { line: c, reason: d },
+            ) => a == c && b == d,
+            // I/O errors are never equal (they carry OS state).
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::BadArchitecture(dims) => {
+                write!(f, "architecture needs >= 2 dims and no zeros, got {dims:?}")
+            }
+            NnError::DimensionMismatch { expected, actual } => {
+                write!(f, "input width {actual} does not match model input {expected}")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::EmptyTrainingSet => write!(f, "training set is empty"),
+            NnError::BudgetUnreachable => {
+                write!(f, "energy budget is below the model's static floor")
+            }
+            NnError::ParseModel { line, reason } => {
+                write!(f, "cannot parse model file at `{line}`: {reason}")
+            }
+            NnError::Io(e) => write!(f, "model I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let variants = [
+            NnError::BadArchitecture(vec![3]),
+            NnError::DimensionMismatch {
+                expected: 4,
+                actual: 5,
+            },
+            NnError::LabelOutOfRange {
+                label: 9,
+                classes: 3,
+            },
+            NnError::EmptyTrainingSet,
+            NnError::BudgetUnreachable,
+            NnError::ParseModel { line: "x", reason: "y" },
+            NnError::Io(std::io::Error::other("boom")),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Fully-connected layer with an optional pruning mask.
+
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A dense (fully-connected) layer: `y = W x + b`.
+///
+/// The layer optionally carries a *pruning mask*; masked weights stay
+/// exactly zero through any further training, which is how fine-tuning
+/// after energy-aware pruning preserves sparsity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f64>,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dense {
+    /// A layer with He-uniform initialized weights (suits the ReLU hidden
+    /// activations).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    #[must_use]
+    pub fn init(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        assert!(inputs > 0 && outputs > 0, "layer dimensions must be positive");
+        let limit = (6.0 / inputs as f64).sqrt();
+        let mut weights = Matrix::zeros(outputs, inputs);
+        for w in weights.as_mut_slice() {
+            *w = (rng.gen::<f64>() * 2.0 - 1.0) * limit;
+        }
+        Self {
+            weights,
+            bias: vec![0.0; outputs],
+            mask: None,
+        }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The weight matrix.
+    #[must_use]
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The bias vector.
+    #[must_use]
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Number of *active* (unpruned, nonzero-capable) weights.
+    #[must_use]
+    pub fn active_weights(&self) -> usize {
+        match &self.mask {
+            Some(mask) => mask.iter().filter(|&&keep| keep).count(),
+            None => self.weights.rows() * self.weights.cols(),
+        }
+    }
+
+    /// Total weight count (dense size).
+    #[must_use]
+    pub fn total_weights(&self) -> usize {
+        self.weights.rows() * self.weights.cols()
+    }
+
+    /// Forward pass.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.weights.matvec(x);
+        for (yi, bi) in y.iter_mut().zip(&self.bias) {
+            *yi += bi;
+        }
+        y
+    }
+
+    /// Backward pass: given the upstream gradient `dy` and the cached input
+    /// `x`, applies an SGD-with-momentum update and returns the gradient
+    /// with respect to the input.
+    pub fn backward(
+        &mut self,
+        x: &[f64],
+        dy: &[f64],
+        lr: f64,
+        momentum: f64,
+        velocity: &mut LayerVelocity,
+    ) -> Vec<f64> {
+        let dx = self.weights.matvec_transposed(dy);
+        // Weight and bias updates.
+        for (r, &dyr) in dy.iter().enumerate() {
+            let vrow = velocity.weights.row_mut(r);
+            let wrow = self.weights.row_mut(r);
+            for (c, &xc) in x.iter().enumerate() {
+                let grad = dyr * xc;
+                vrow[c] = momentum * vrow[c] - lr * grad;
+                wrow[c] += vrow[c];
+            }
+            velocity.bias[r] = momentum * velocity.bias[r] - lr * dyr;
+            self.bias[r] += velocity.bias[r];
+        }
+        self.apply_mask();
+        dx
+    }
+
+    /// Installs a pruning mask (`true` = keep) and zeroes pruned weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask length does not equal the weight count.
+    pub fn set_mask(&mut self, mask: Vec<bool>) {
+        assert_eq!(
+            mask.len(),
+            self.total_weights(),
+            "mask length must equal weight count"
+        );
+        self.mask = Some(mask);
+        self.apply_mask();
+    }
+
+    /// The current mask, if any.
+    #[must_use]
+    pub fn mask(&self) -> Option<&[bool]> {
+        self.mask.as_deref()
+    }
+
+    /// Overwrites the layer's parameters (persistence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::DimensionMismatch`] when the slices do
+    /// not match the layer shape.
+    pub fn load_parameters(&mut self, weights: &[f64], bias: &[f64]) -> Result<(), crate::NnError> {
+        if weights.len() != self.total_weights() {
+            return Err(crate::NnError::DimensionMismatch {
+                expected: self.total_weights(),
+                actual: weights.len(),
+            });
+        }
+        if bias.len() != self.outputs() {
+            return Err(crate::NnError::DimensionMismatch {
+                expected: self.outputs(),
+                actual: bias.len(),
+            });
+        }
+        self.weights.as_mut_slice().copy_from_slice(weights);
+        self.bias.copy_from_slice(bias);
+        self.apply_mask();
+        Ok(())
+    }
+
+    /// Installs a mask without zeroing weights that are already zero by
+    /// construction (persistence path — the stored weights already
+    /// reflect the mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask length does not equal the weight count.
+    pub fn set_mask_preserving_weights(&mut self, mask: Vec<bool>) {
+        assert_eq!(
+            mask.len(),
+            self.total_weights(),
+            "mask length must equal weight count"
+        );
+        self.mask = Some(mask);
+        self.apply_mask();
+    }
+
+    fn apply_mask(&mut self) {
+        if let Some(mask) = &self.mask {
+            for (w, &keep) in self.weights.as_mut_slice().iter_mut().zip(mask) {
+                if !keep {
+                    *w = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Indices of active weights sorted by ascending |w| — the magnitude
+    /// pruning order.
+    #[must_use]
+    pub fn weights_by_magnitude(&self) -> Vec<usize> {
+        let mask = self.mask.as_deref();
+        let mut indices: Vec<usize> = (0..self.total_weights())
+            .filter(|&i| mask.is_none_or(|m| m[i]))
+            .collect();
+        indices.sort_by(|&a, &b| {
+            let wa = self.weights.as_slice()[a].abs();
+            let wb = self.weights.as_slice()[b].abs();
+            wa.partial_cmp(&wb).expect("weights are finite")
+        });
+        indices
+    }
+}
+
+/// Momentum state for one layer.
+#[derive(Debug, Clone)]
+pub struct LayerVelocity {
+    pub(crate) weights: Matrix,
+    pub(crate) bias: Vec<f64>,
+}
+
+impl LayerVelocity {
+    /// Zero velocity matching `layer`'s shape.
+    #[must_use]
+    pub fn zeros_like(layer: &Dense) -> Self {
+        Self {
+            weights: Matrix::zeros(layer.outputs(), layer.inputs()),
+            bias: vec![0.0; layer.outputs()],
+        }
+    }
+}
+
+/// In-place ReLU.
+pub(crate) fn relu(x: &mut [f64]) {
+    for v in x {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// ReLU gradient gate: zeroes `grad[i]` where the pre-activation was ≤ 0.
+pub(crate) fn relu_backward(pre_activation: &[f64], grad: &mut [f64]) {
+    for (g, &a) in grad.iter_mut().zip(pre_activation) {
+        if a <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Numerically-stable softmax.
+#[must_use]
+pub(crate) fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn init_shapes_and_bounds() {
+        let layer = Dense::init(4, 3, &mut rng());
+        assert_eq!(layer.inputs(), 4);
+        assert_eq!(layer.outputs(), 3);
+        assert_eq!(layer.total_weights(), 12);
+        assert_eq!(layer.active_weights(), 12);
+        let limit = (6.0f64 / 4.0).sqrt();
+        assert!(layer.weights().as_slice().iter().all(|w| w.abs() <= limit));
+        assert!(layer.bias().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn forward_applies_affine() {
+        let mut layer = Dense::init(2, 1, &mut rng());
+        layer.weights.row_mut(0).copy_from_slice(&[2.0, -1.0]);
+        layer.bias[0] = 0.5;
+        assert_eq!(layer.forward(&[3.0, 1.0]), vec![5.5]);
+    }
+
+    #[test]
+    fn mask_zeroes_and_sticks_through_updates() {
+        let mut layer = Dense::init(2, 2, &mut rng());
+        layer.set_mask(vec![true, false, false, true]);
+        assert_eq!(layer.active_weights(), 2);
+        assert_eq!(layer.weights().get(0, 1), 0.0);
+        assert_eq!(layer.weights().get(1, 0), 0.0);
+        // Train a step; masked weights must stay zero.
+        let mut vel = LayerVelocity::zeros_like(&layer);
+        let _ = layer.backward(&[1.0, 1.0], &[0.3, -0.2], 0.1, 0.9, &mut vel);
+        assert_eq!(layer.weights().get(0, 1), 0.0);
+        assert_eq!(layer.weights().get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn backward_reduces_loss_direction() {
+        // y = w x; loss = (y - t)^2 / 2; gradient descent must move y toward t.
+        let mut layer = Dense::init(1, 1, &mut rng());
+        layer.weights.row_mut(0)[0] = 0.0;
+        layer.bias[0] = 0.0;
+        let mut vel = LayerVelocity::zeros_like(&layer);
+        let target = 1.0;
+        let mut last_err = f64::INFINITY;
+        for _ in 0..50 {
+            let y = layer.forward(&[1.0])[0];
+            let err = (y - target).abs();
+            assert!(err <= last_err + 1e-9);
+            last_err = err;
+            let dy = y - target;
+            let _ = layer.backward(&[1.0], &[dy], 0.1, 0.0, &mut vel);
+        }
+        assert!(last_err < 0.05, "err = {last_err}");
+    }
+
+    #[test]
+    fn magnitude_order_is_ascending() {
+        let mut layer = Dense::init(2, 2, &mut rng());
+        layer
+            .weights
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -0.1, 0.9, 0.2]);
+        let order = layer.weights_by_magnitude();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn magnitude_order_skips_masked() {
+        let mut layer = Dense::init(2, 2, &mut rng());
+        layer
+            .weights
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -0.1, 0.9, 0.2]);
+        layer.set_mask(vec![true, false, true, true]);
+        assert_eq!(layer.weights_by_magnitude(), vec![3, 0, 2]);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with huge logits.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_and_gate() {
+        let mut x = vec![-1.0, 0.0, 2.0];
+        relu(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.0]);
+        let mut g = vec![1.0, 1.0, 1.0];
+        relu_backward(&[-1.0, 0.0, 2.0], &mut g);
+        assert_eq!(g, vec![0.0, 0.0, 1.0]);
+    }
+}

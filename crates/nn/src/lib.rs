@@ -1,0 +1,127 @@
+//! A small, from-scratch neural-network engine for the Origin reproduction.
+//!
+//! The paper trains one compact per-location DNN per sensor (Keras, designs
+//! after \[11\], \[14\]) and derives energy-efficient variants via energy-aware
+//! pruning \[15\]. Reproducing that in pure Rust requires a real — if small —
+//! ML stack, provided here:
+//!
+//! * [`Matrix`] — dense row-major matrix with the handful of ops training
+//!   needs;
+//! * [`Dense`] / [`Mlp`] — fully-connected layers with ReLU hidden
+//!   activations and a softmax head, with optional pruning masks;
+//! * [`Trainer`] — seeded mini-batch SGD with momentum on cross-entropy;
+//! * [`InferenceEnergyModel`] — per-MAC energy estimation in the spirit of
+//!   energy-aware pruning: the cost of an inference scales with the
+//!   *non-pruned* multiply-accumulates;
+//! * [`prune_to_energy`] — iterative magnitude pruning of the most
+//!   energy-hungry layer with fine-tuning between steps, the Baseline-2
+//!   construction;
+//! * [`SensorClassifier`] — an [`Mlp`] bundled with its feature
+//!   [`Normalizer`] and [`ActivitySet`](origin_types::ActivitySet), whose
+//!   [`Classification`] carries the softmax-variance confidence score the
+//!   Origin ensemble weights by;
+//! * [`ConfusionMatrix`] — accuracy accounting for every experiment table.
+//!
+//! # Examples
+//!
+//! ```
+//! use origin_nn::{Mlp, Trainer};
+//!
+//! let mut model = Mlp::new(&[4, 8, 3], 42)?;
+//! let data = vec![
+//!     (vec![1.0, 0.0, 0.0, 0.0], 0),
+//!     (vec![0.0, 1.0, 0.0, 0.0], 1),
+//!     (vec![0.0, 0.0, 1.0, 1.0], 2),
+//! ];
+//! Trainer::new().with_epochs(200).fit(&mut model, &data)?;
+//! assert_eq!(model.predict(&data[0].0).0, 0);
+//! # Ok::<(), origin_nn::NnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classifier;
+mod cnn;
+mod energy_model;
+mod error;
+mod layer;
+mod metrics;
+mod mlp;
+mod norm;
+mod prune;
+mod quantize;
+mod serialize;
+mod tensor;
+mod train;
+
+pub use classifier::{Classification, SensorClassifier};
+pub use cnn::Cnn1d;
+pub use energy_model::InferenceEnergyModel;
+pub use error::NnError;
+pub use layer::Dense;
+pub use metrics::ConfusionMatrix;
+pub use mlp::Mlp;
+pub use norm::Normalizer;
+pub use prune::{prune_to_energy, PruneReport};
+pub use quantize::{quantize_weights, QuantReport};
+pub use serialize::{load_classifier, save_classifier};
+pub use tensor::Matrix;
+pub use train::Trainer;
+
+/// Variance of a probability vector — the paper's confidence measure.
+///
+/// "A good metric for the confidence would be the variance of the output
+/// probability vector. The higher the variance the more confident is the
+/// classification" (Section III-C). A one-hot vector maximizes it; the
+/// uniform vector yields zero.
+///
+/// ```
+/// use origin_nn::softmax_variance;
+/// let confident = softmax_variance(&[0.94, 0.01, 0.02, 0.03]);
+/// let confused = softmax_variance(&[0.25, 0.25, 0.25, 0.25]);
+/// assert!(confident > confused);
+/// assert!(confused.abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `probabilities` is empty.
+#[must_use]
+pub fn softmax_variance(probabilities: &[f64]) -> f64 {
+    assert!(
+        !probabilities.is_empty(),
+        "cannot take variance of empty vector"
+    );
+    let n = probabilities.len() as f64;
+    let mean = probabilities.iter().sum::<f64>() / n;
+    probabilities.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_maximizes_variance() {
+        let one_hot = softmax_variance(&[1.0, 0.0, 0.0, 0.0]);
+        let partial = softmax_variance(&[0.8, 0.05, 0.08, 0.07]);
+        assert!(one_hot > partial);
+        assert!(partial > 0.0);
+    }
+
+    #[test]
+    fn paper_example_ordering() {
+        // V_C1 = [0.94, 0.01, 0.02, 0.01] is more confident than
+        // V_C2 = [0.80, 0.05, 0.08, 0.07] (Section III-C).
+        let c1 = softmax_variance(&[0.94, 0.01, 0.02, 0.01]);
+        let c2 = softmax_variance(&[0.80, 0.05, 0.08, 0.07]);
+        assert!(c1 > c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_vector_panics() {
+        let _ = softmax_variance(&[]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Classification accuracy accounting.
+
+use core::fmt;
+
+/// A square confusion matrix over dense class labels.
+///
+/// Rows are ground truth, columns are predictions. All the accuracy
+/// figures in the experiment tables (overall top-1, per-class) come from
+/// here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix over `classes` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes` is zero.
+    #[must_use]
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "confusion matrix needs at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "label out of range"
+        );
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// Count at `(truth, predicted)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is out of range.
+    #[must_use]
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "label out of range"
+        );
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall top-1 accuracy, or `None` when empty.
+    #[must_use]
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        Some(correct as f64 / total as f64)
+    }
+
+    /// Recall (per-class accuracy) of `class`, or `None` when the class
+    /// has no observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range.
+    #[must_use]
+    pub fn class_accuracy(&self, class: usize) -> Option<f64> {
+        assert!(class < self.classes, "label out of range");
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            return None;
+        }
+        Some(self.count(class, class) as f64 / row as f64)
+    }
+
+    /// Merges another matrix into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.classes, other.classes, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "confusion matrix ({} classes, {} samples, top-1 {:.2}%)",
+            self.classes,
+            self.total(),
+            self.accuracy().unwrap_or(0.0) * 100.0
+        )?;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                write!(f, "{:>6}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 0);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy().unwrap() - 0.6).abs() < 1e-12);
+        assert!((cm.class_accuracy(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.class_accuracy(1), Some(1.0));
+        assert_eq!(cm.class_accuracy(2), Some(0.0));
+        assert_eq!(cm.count(2, 0), 1);
+    }
+
+    #[test]
+    fn empty_matrix_reports_none() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.accuracy(), None);
+        assert_eq!(cm.class_accuracy(0), None);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(2);
+        b.record(0, 1);
+        b.record(1, 1);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(0, 1), 1);
+    }
+
+    #[test]
+    fn display_contains_summary() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        let s = cm.to_string();
+        assert!(s.contains("2 classes"));
+        assert!(s.contains("100.00%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn record_checks_range() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class count mismatch")]
+    fn merge_checks_dims() {
+        ConfusionMatrix::new(2).merge(&ConfusionMatrix::new(3));
+    }
+}

@@ -1,0 +1,238 @@
+//! Multi-layer perceptron with ReLU hidden activations and softmax output.
+
+use crate::error::NnError;
+use crate::layer::{relu, softmax, Dense};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A feed-forward classifier network.
+///
+/// Hidden layers use ReLU; the output layer produces logits which
+/// [`Mlp::predict_proba`] turns into a softmax distribution. Architectures
+/// are given as layer widths, e.g. `[28, 20, 6]` = 28 features → 20 hidden
+/// units → 6 classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    dims: Vec<usize>,
+}
+
+impl Mlp {
+    /// A randomly initialized network with the given layer widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadArchitecture`] when fewer than two widths are
+    /// given or any width is zero.
+    pub fn new(dims: &[usize], seed: u64) -> Result<Self, NnError> {
+        if dims.len() < 2 || dims.contains(&0) {
+            return Err(NnError::BadArchitecture(dims.to_vec()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::init(w[0], w[1], &mut rng))
+            .collect();
+        Ok(Self {
+            layers,
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// Layer widths, input first.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Input feature width.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        *self.dims.last().expect("dims has >= 2 entries")
+    }
+
+    /// The layers, input-side first.
+    #[must_use]
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by the pruner and trainer).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Total number of active (unpruned) weights across all layers.
+    #[must_use]
+    pub fn active_weights(&self) -> usize {
+        self.layers.iter().map(Dense::active_weights).sum()
+    }
+
+    /// Total dense weight count.
+    #[must_use]
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(Dense::total_weights).sum()
+    }
+
+    /// Multiply-accumulate operations per inference, counting only active
+    /// weights — the quantity the energy model charges for.
+    #[must_use]
+    pub fn macs(&self) -> usize {
+        self.active_weights()
+    }
+
+    /// Forward pass returning raw logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] when `x` has the wrong width.
+    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, NnError> {
+        if x.len() != self.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: x.len(),
+            });
+        }
+        let mut activation = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            activation = layer.forward(&activation);
+            if i + 1 < self.layers.len() {
+                relu(&mut activation);
+            }
+        }
+        Ok(activation)
+    }
+
+    /// Forward pass caching every layer's pre-activation and activation —
+    /// the trainer's workhorse. Returns `(pre_activations, activations)`
+    /// where `activations[0]` is the input itself.
+    pub(crate) fn forward_cached(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(acts.last().expect("non-empty"));
+            pre.push(z.clone());
+            let mut a = z;
+            if i + 1 < self.layers.len() {
+                relu(&mut a);
+            }
+            acts.push(a);
+        }
+        (pre, acts)
+    }
+
+    /// Softmax class distribution for `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] when `x` has the wrong width.
+    pub fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, NnError> {
+        Ok(softmax(&self.forward(x)?))
+    }
+
+    /// Predicted class and its softmax distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` has the wrong width (use [`Mlp::predict_proba`] for
+    /// a fallible variant).
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> (usize, Vec<f64>) {
+        let proba = self
+            .predict_proba(x)
+            .expect("input width matches model input dimension");
+        let argmax = proba
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .map(|(i, _)| i)
+            .expect("output dim >= 1");
+        (argmax, proba)
+    }
+
+    /// Fraction of weights pruned away, in `[0, 1]`.
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.active_weights() as f64 / self.total_weights() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_architecture() {
+        assert!(matches!(
+            Mlp::new(&[4], 0),
+            Err(NnError::BadArchitecture(_))
+        ));
+        assert!(matches!(
+            Mlp::new(&[4, 0, 2], 0),
+            Err(NnError::BadArchitecture(_))
+        ));
+        let m = Mlp::new(&[4, 8, 3], 0).unwrap();
+        assert_eq!(m.input_dim(), 4);
+        assert_eq!(m.output_dim(), 3);
+        assert_eq!(m.layers().len(), 2);
+        assert_eq!(m.total_weights(), 4 * 8 + 8 * 3);
+        assert_eq!(m.macs(), m.total_weights());
+        assert_eq!(m.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn forward_checks_width() {
+        let m = Mlp::new(&[4, 3], 0).unwrap();
+        assert!(matches!(
+            m.forward(&[1.0, 2.0]),
+            Err(NnError::DimensionMismatch {
+                expected: 4,
+                actual: 2
+            })
+        ));
+        assert_eq!(m.forward(&[0.0; 4]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn predict_returns_distribution() {
+        let m = Mlp::new(&[4, 6, 3], 7).unwrap();
+        let (class, proba) = m.predict(&[0.5, -0.3, 1.0, 0.0]);
+        assert!(class < 3);
+        assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = Mlp::new(&[4, 8, 3], 5).unwrap();
+        let b = Mlp::new(&[4, 8, 3], 5).unwrap();
+        assert_eq!(a, b);
+        let c = Mlp::new(&[4, 8, 3], 6).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cached_forward_matches_plain_forward() {
+        let m = Mlp::new(&[3, 5, 2], 9).unwrap();
+        let x = [0.2, -0.4, 0.9];
+        let (pre, acts) = m.forward_cached(&x);
+        assert_eq!(pre.len(), 2);
+        assert_eq!(acts.len(), 3);
+        assert_eq!(acts[0], x.to_vec());
+        assert_eq!(pre[1], m.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn sparsity_reflects_masks() {
+        let mut m = Mlp::new(&[2, 2], 0).unwrap();
+        m.layers_mut()[0].set_mask(vec![true, false, true, false]);
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+        assert_eq!(m.macs(), 2);
+    }
+}

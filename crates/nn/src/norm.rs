@@ -1,0 +1,160 @@
+//! Per-feature standardization.
+
+use crate::error::NnError;
+
+/// Per-feature z-score normalizer fitted on a training set.
+///
+/// The raw window features mix scales (gravity means near 9.8 m/s² next to
+/// frequency ratios near 0.05), which stalls SGD; classifiers always train
+/// and infer on standardized features. The normalizer is part of the
+/// deployed classifier so edge inference applies the identical transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits the normalizer on feature vectors.
+    ///
+    /// Constant features get unit std so they pass through as zeros.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::EmptyTrainingSet`] on empty input.
+    /// * [`NnError::DimensionMismatch`] when vectors disagree in width.
+    pub fn fit<'a, I>(samples: I) -> Result<Self, NnError>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut iter = samples.into_iter();
+        let first = iter.next().ok_or(NnError::EmptyTrainingSet)?;
+        let dim = first.len();
+        let mut mean = first.to_vec();
+        let mut m2 = vec![0.0; dim];
+        let mut count = 1.0;
+        for sample in iter {
+            if sample.len() != dim {
+                return Err(NnError::DimensionMismatch {
+                    expected: dim,
+                    actual: sample.len(),
+                });
+            }
+            count += 1.0;
+            // Welford's online update.
+            for ((m, s), &x) in mean.iter_mut().zip(&mut m2).zip(sample) {
+                let delta = x - *m;
+                *m += delta / count;
+                *s += delta * (x - *m);
+            }
+        }
+        let std = m2
+            .into_iter()
+            .map(|s| {
+                let v = (s / count).sqrt();
+                if v < 1e-9 {
+                    1.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        Ok(Self { mean, std })
+    }
+
+    /// Reassembles a normalizer from persisted parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyTrainingSet`] on empty vectors and
+    /// [`NnError::DimensionMismatch`] when the lengths differ.
+    pub fn from_parts(mean: Vec<f64>, std: Vec<f64>) -> Result<Self, NnError> {
+        if mean.is_empty() {
+            return Err(NnError::EmptyTrainingSet);
+        }
+        if mean.len() != std.len() {
+            return Err(NnError::DimensionMismatch {
+                expected: mean.len(),
+                actual: std.len(),
+            });
+        }
+        Ok(Self { mean, std })
+    }
+
+    /// Per-feature means (persistence).
+    #[must_use]
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-feature standard deviations (persistence).
+    #[must_use]
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Returns the standardized copy of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` has the wrong width.
+    #[must_use]
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "feature width mismatch");
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&xi, (&m, &s))| (xi - m) / s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_standardizes() {
+        let data = [vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let norm = Normalizer::fit(data.iter().map(Vec::as_slice)).unwrap();
+        let transformed: Vec<Vec<f64>> = data.iter().map(|x| norm.transform(x)).collect();
+        for dim in 0..2 {
+            let mean: f64 = transformed.iter().map(|t| t[dim]).sum::<f64>() / 3.0;
+            let var: f64 = transformed.iter().map(|t| t[dim].powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_features_pass_through_as_zero() {
+        let data = [vec![7.0], vec![7.0]];
+        let norm = Normalizer::fit(data.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(norm.transform(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(matches!(
+            Normalizer::fit(std::iter::empty()),
+            Err(NnError::EmptyTrainingSet)
+        ));
+        let data: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            Normalizer::fit(data.iter().map(Vec::as_slice)),
+            Err(NnError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn transform_checks_width() {
+        let norm = Normalizer::fit([[1.0, 2.0].as_slice()]).unwrap();
+        let _ = norm.transform(&[1.0]);
+    }
+}

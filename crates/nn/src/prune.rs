@@ -1,0 +1,240 @@
+//! Energy-aware magnitude pruning with fine-tuning.
+//!
+//! Implements the Baseline-2 construction: starting from a trained model,
+//! iteratively prune the lowest-magnitude weights of the most
+//! energy-hungry layer until the predicted per-inference energy fits the
+//! harvest budget, fine-tuning between steps so accuracy degrades
+//! gracefully. This mirrors the structure of energy-aware pruning [15]
+//! (estimate energy per layer → prune where it pays most → restore
+//! accuracy), specialized to our MLPs.
+
+use crate::energy_model::InferenceEnergyModel;
+use crate::error::NnError;
+use crate::mlp::Mlp;
+use crate::train::Trainer;
+use origin_types::Energy;
+
+/// Outcome of a pruning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneReport {
+    /// Predicted inference energy before pruning.
+    pub energy_before: Energy,
+    /// Predicted inference energy after pruning.
+    pub energy_after: Energy,
+    /// The budget that was met.
+    pub budget: Energy,
+    /// Final fraction of weights pruned, `[0, 1)`.
+    pub sparsity: f64,
+    /// Number of prune → fine-tune iterations.
+    pub iterations: usize,
+}
+
+/// Prunes `model` until its predicted inference energy fits `budget`.
+///
+/// Each iteration removes `step_fraction` of the *remaining* weights from
+/// the currently most energy-hungry layer, then runs `fine_tune` epochs of
+/// the supplied trainer over `data` (with the masks held fixed).
+///
+/// # Errors
+///
+/// * [`NnError::BudgetUnreachable`] when `budget` is at or below the
+///   model's static energy floor (no amount of pruning can reach it).
+/// * [`NnError::EmptyTrainingSet`] when fine-tuning is requested with no
+///   data.
+///
+/// # Panics
+///
+/// Panics when `step_fraction` ∉ `(0, 1)`.
+pub fn prune_to_energy(
+    model: &mut Mlp,
+    energy_model: &InferenceEnergyModel,
+    budget: Energy,
+    data: &[(Vec<f64>, usize)],
+    trainer: &Trainer,
+    step_fraction: f64,
+    fine_tune_epochs: usize,
+) -> Result<PruneReport, NnError> {
+    assert!(
+        step_fraction > 0.0 && step_fraction < 1.0,
+        "step fraction must be in (0, 1), got {step_fraction}"
+    );
+    if budget <= energy_model.static_floor() {
+        return Err(NnError::BudgetUnreachable);
+    }
+    let energy_before = energy_model.inference_energy(model);
+    let mut iterations = 0;
+    // Keep at least one active weight per layer so the network stays
+    // connected.
+    while energy_model.inference_energy(model) > budget {
+        let layer_count = model.layers().len();
+        // Pick the most energy-hungry layer that can still lose weights.
+        let target = (0..layer_count)
+            .filter(|&i| model.layers()[i].active_weights() > 1)
+            .max_by(|&a, &b| {
+                let ea = energy_model.layer_energy(model, a).as_microjoules();
+                let eb = energy_model.layer_energy(model, b).as_microjoules();
+                ea.partial_cmp(&eb).expect("energies are finite")
+            });
+        let Some(target) = target else {
+            // Every layer is down to one weight and we are still above
+            // budget — cannot be reached (guarded above except for very
+            // tight budgets).
+            return Err(NnError::BudgetUnreachable);
+        };
+
+        let layer = &mut model.layers_mut()[target];
+        let order = layer.weights_by_magnitude();
+        let active = order.len();
+        let to_prune = ((active as f64 * step_fraction).ceil() as usize)
+            .min(active - 1)
+            .max(1);
+        let mut mask: Vec<bool> = match layer.mask() {
+            Some(m) => m.to_vec(),
+            None => vec![true; layer.total_weights()],
+        };
+        for &idx in order.iter().take(to_prune) {
+            mask[idx] = false;
+        }
+        layer.set_mask(mask);
+        iterations += 1;
+
+        if fine_tune_epochs > 0 {
+            trainer
+                .clone_with_epochs(fine_tune_epochs)
+                .fit(model, data)?;
+        }
+    }
+    Ok(PruneReport {
+        energy_before,
+        energy_after: energy_model.inference_energy(model),
+        budget,
+        sparsity: model.sparsity(),
+        iterations,
+    })
+}
+
+impl Trainer {
+    /// A copy of this trainer with a different epoch count (internal
+    /// helper for fine-tuning rounds).
+    #[must_use]
+    fn clone_with_epochs(&self, epochs: usize) -> Trainer {
+        self.clone().with_epochs(epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_data(seed: u64, per_class: usize) -> Vec<(Vec<f64>, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [[2.0, 0.0, 0.0], [-2.0, 0.0, 1.0], [0.0, 2.5, -1.0]];
+        let mut data = Vec::new();
+        for (label, c) in centers.iter().enumerate() {
+            for _ in 0..per_class {
+                let mut jitter = || rng.gen::<f64>() - 0.5;
+                data.push((vec![c[0] + jitter(), c[1] + jitter(), c[2] + jitter()], label));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn pruning_meets_budget() {
+        let data = blob_data(1, 30);
+        let mut model = Mlp::new(&[3, 16, 3], 2).unwrap();
+        let trainer = Trainer::new().with_epochs(40);
+        trainer.fit(&mut model, &data).unwrap();
+        let em = InferenceEnergyModel::default();
+        let full = em.inference_energy(&model);
+        let budget = em.static_floor() + (full - em.static_floor()) * 0.3;
+        let report =
+            prune_to_energy(&mut model, &em, budget, &data, &trainer, 0.2, 5).unwrap();
+        assert!(report.energy_after <= budget);
+        assert!(report.energy_before == full);
+        assert!(report.sparsity > 0.5);
+        assert!(report.iterations > 0);
+        assert_eq!(report.budget, budget);
+    }
+
+    #[test]
+    fn pruned_model_keeps_most_accuracy() {
+        let data = blob_data(3, 40);
+        let mut model = Mlp::new(&[3, 16, 3], 4).unwrap();
+        let trainer = Trainer::new().with_epochs(60);
+        trainer.fit(&mut model, &data).unwrap();
+        let accuracy = |m: &Mlp| {
+            data.iter().filter(|(x, y)| m.predict(x).0 == *y).count() as f64 / data.len() as f64
+        };
+        let acc_full = accuracy(&model);
+        let em = InferenceEnergyModel::default();
+        let full = em.inference_energy(&model);
+        let budget = em.static_floor() + (full - em.static_floor()) * 0.35;
+        prune_to_energy(&mut model, &em, budget, &data, &trainer, 0.15, 8).unwrap();
+        let acc_pruned = accuracy(&model);
+        assert!(
+            acc_pruned > acc_full - 0.15,
+            "pruning collapsed accuracy: {acc_full} -> {acc_pruned}"
+        );
+    }
+
+    #[test]
+    fn unreachable_budget_is_rejected() {
+        let data = blob_data(5, 5);
+        let mut model = Mlp::new(&[3, 4, 3], 6).unwrap();
+        let em = InferenceEnergyModel::default();
+        let err = prune_to_energy(
+            &mut model,
+            &em,
+            em.static_floor(),
+            &data,
+            &Trainer::new(),
+            0.2,
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, NnError::BudgetUnreachable);
+    }
+
+    #[test]
+    fn already_within_budget_is_a_no_op() {
+        let data = blob_data(7, 5);
+        let mut model = Mlp::new(&[3, 4, 3], 8).unwrap();
+        let em = InferenceEnergyModel::default();
+        let generous = em.inference_energy(&model) + Energy::from_microjoules(1.0);
+        let report =
+            prune_to_energy(&mut model, &em, generous, &data, &Trainer::new(), 0.2, 0).unwrap();
+        assert_eq!(report.iterations, 0);
+        assert_eq!(report.sparsity, 0.0);
+        assert_eq!(report.energy_before, report.energy_after);
+    }
+
+    #[test]
+    fn pruning_without_finetune_works() {
+        let data = blob_data(9, 10);
+        let mut model = Mlp::new(&[3, 8, 3], 10).unwrap();
+        let em = InferenceEnergyModel::default();
+        let full = em.inference_energy(&model);
+        let budget = em.static_floor() + (full - em.static_floor()) * 0.5;
+        let report =
+            prune_to_energy(&mut model, &em, budget, &data, &Trainer::new(), 0.25, 0).unwrap();
+        assert!(report.energy_after <= budget);
+    }
+
+    #[test]
+    #[should_panic(expected = "step fraction")]
+    fn bad_step_fraction_panics() {
+        let mut model = Mlp::new(&[2, 2], 0).unwrap();
+        let _ = prune_to_energy(
+            &mut model,
+            &InferenceEnergyModel::default(),
+            Energy::from_microjoules(1000.0),
+            &[],
+            &Trainer::new(),
+            1.5,
+            0,
+        );
+    }
+}

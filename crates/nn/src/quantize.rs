@@ -1,0 +1,164 @@
+//! Simulated fixed-point weight quantization.
+//!
+//! Ultra-low-power inference engines (including the ReSiRCa-class
+//! accelerator the paper's compute node builds on) store weights in
+//! narrow fixed-point formats. This module applies symmetric per-layer
+//! quantization to an [`Mlp`]'s weights — each layer's weights are
+//! snapped to `2^(bits-1) - 1` uniform levels of its own absolute-maximum
+//! scale — so the accuracy cost of a deployment precision can be measured
+//! before committing to it.
+
+use crate::error::NnError;
+use crate::mlp::Mlp;
+
+/// Outcome of quantizing a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantReport {
+    /// Bit width applied.
+    pub bits: u8,
+    /// Per-layer scale factors (absolute max weight per layer).
+    pub scales: Vec<f64>,
+    /// Root-mean-square weight perturbation introduced.
+    pub rms_error: f64,
+}
+
+/// Quantizes every layer's weights in place to `bits`-wide symmetric
+/// fixed point (biases stay full precision, as on most NPUs).
+///
+/// Pruned (masked) weights remain exactly zero.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadArchitecture`] when `bits` is outside `2..=16`.
+pub fn quantize_weights(model: &mut Mlp, bits: u8) -> Result<QuantReport, NnError> {
+    if !(2..=16).contains(&bits) {
+        return Err(NnError::BadArchitecture(vec![bits as usize]));
+    }
+    let levels = f64::from((1u32 << (bits - 1)) - 1);
+    let mut scales = Vec::with_capacity(model.layers().len());
+    let mut sq_error = 0.0;
+    let mut count = 0usize;
+
+    for layer in model.layers_mut() {
+        let max_abs = layer
+            .weights()
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, w| m.max(w.abs()));
+        let scale = if max_abs > 0.0 { max_abs } else { 1.0 };
+        scales.push(scale);
+        let quantize = |w: f64| (w / scale * levels).round() / levels * scale;
+        let quantized: Vec<f64> = layer
+            .weights()
+            .as_slice()
+            .iter()
+            .map(|&w| {
+                let q = quantize(w);
+                sq_error += (q - w).powi(2);
+                q
+            })
+            .collect();
+        count += quantized.len();
+        let bias = layer.bias().to_vec();
+        layer
+            .load_parameters(&quantized, &bias)
+            .expect("shapes unchanged");
+    }
+
+    Ok(QuantReport {
+        bits,
+        scales,
+        rms_error: (sq_error / count.max(1) as f64).sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::Trainer;
+
+    fn trained() -> (Mlp, Vec<(Vec<f64>, usize)>) {
+        let data: Vec<(Vec<f64>, usize)> = (0..90)
+            .map(|i| {
+                let label = i % 3;
+                (
+                    vec![label as f64 * 2.0 - 2.0, (i % 7) as f64 * 0.1, -(label as f64)],
+                    label,
+                )
+            })
+            .collect();
+        let mut mlp = Mlp::new(&[3, 10, 3], 4).unwrap();
+        Trainer::new().with_epochs(60).fit(&mut mlp, &data).unwrap();
+        (mlp, data)
+    }
+
+    fn accuracy(mlp: &Mlp, data: &[(Vec<f64>, usize)]) -> f64 {
+        data.iter().filter(|(x, y)| mlp.predict(x).0 == *y).count() as f64 / data.len() as f64
+    }
+
+    #[test]
+    fn eight_bit_quantization_keeps_accuracy() {
+        let (mut mlp, data) = trained();
+        let before = accuracy(&mlp, &data);
+        let report = quantize_weights(&mut mlp, 8).unwrap();
+        assert_eq!(report.bits, 8);
+        assert_eq!(report.scales.len(), 2);
+        assert!(report.rms_error > 0.0);
+        let after = accuracy(&mlp, &data);
+        assert!(
+            after > before - 0.05,
+            "8-bit cost too much: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn narrower_widths_perturb_more() {
+        let (mlp, _) = trained();
+        let mut coarse = mlp.clone();
+        let mut fine = mlp;
+        let r2 = quantize_weights(&mut coarse, 3).unwrap();
+        let r12 = quantize_weights(&mut fine, 12).unwrap();
+        assert!(r2.rms_error > r12.rms_error * 10.0);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let (mut mlp, _) = trained();
+        quantize_weights(&mut mlp, 8).unwrap();
+        let once = mlp.clone();
+        let report = quantize_weights(&mut mlp, 8).unwrap();
+        assert_eq!(mlp, once, "re-quantizing must be a fixed point");
+        assert!(report.rms_error < 1e-12);
+    }
+
+    #[test]
+    fn masked_weights_stay_zero() {
+        let (mut mlp, _) = trained();
+        let n = mlp.layers()[0].total_weights();
+        let mask: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        mlp.layers_mut()[0].set_mask(mask.clone());
+        quantize_weights(&mut mlp, 6).unwrap();
+        for (i, &keep) in mask.iter().enumerate() {
+            if !keep {
+                assert_eq!(mlp.layers()[0].weights().as_slice()[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_silly_widths() {
+        let (mut mlp, _) = trained();
+        assert!(quantize_weights(&mut mlp, 1).is_err());
+        assert!(quantize_weights(&mut mlp, 17).is_err());
+    }
+
+    #[test]
+    fn zero_model_quantizes_cleanly() {
+        let mut mlp = Mlp::new(&[2, 2], 0).unwrap();
+        let zeros = vec![0.0; 4];
+        mlp.layers_mut()[0].load_parameters(&zeros, &[0.0, 0.0]).unwrap();
+        let report = quantize_weights(&mut mlp, 8).unwrap();
+        assert_eq!(report.rms_error, 0.0);
+        assert_eq!(report.scales, vec![1.0]);
+    }
+}

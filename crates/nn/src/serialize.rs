@@ -1,0 +1,306 @@
+//! Plain-text model persistence.
+//!
+//! A deployed sensor node receives its classifier once, over a wired
+//! programmer or a (costly) bulk radio transfer; this module provides the
+//! artifact. The format is a line-oriented text file — human-inspectable,
+//! diff-able, and free of external dependencies — that round-trips a
+//! [`SensorClassifier`] bit-exactly (f64 values are hex-encoded).
+
+use crate::classifier::SensorClassifier;
+use crate::error::NnError;
+use crate::mlp::Mlp;
+use crate::norm::Normalizer;
+use origin_types::{ActivityClass, ActivitySet};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+const MAGIC: &str = "origin-classifier v1";
+
+/// Writes `classifier` to `writer` in the v1 text format.
+///
+/// A `&mut` reference may be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] when the underlying writer fails.
+pub fn save_classifier<W: Write>(
+    classifier: &SensorClassifier,
+    writer: W,
+) -> Result<(), NnError> {
+    let mut w = BufWriter::new(writer);
+    let io = NnError::from_io;
+    writeln!(w, "{MAGIC}").map_err(io)?;
+
+    let classes: Vec<String> = classifier
+        .activities()
+        .iter()
+        .map(|c| c.index().to_string())
+        .collect();
+    writeln!(w, "activities,{}", classes.join(",")).map_err(io)?;
+
+    let dims: Vec<String> = classifier.mlp().dims().iter().map(usize::to_string).collect();
+    writeln!(w, "dims,{}", dims.join(",")).map_err(io)?;
+
+    writeln!(w, "normalizer_mean,{}", hex_floats(classifier.normalizer().mean())).map_err(io)?;
+    writeln!(w, "normalizer_std,{}", hex_floats(classifier.normalizer().std())).map_err(io)?;
+
+    for (i, layer) in classifier.mlp().layers().iter().enumerate() {
+        writeln!(w, "layer,{i}").map_err(io)?;
+        writeln!(w, "weights,{}", hex_floats(layer.weights().as_slice())).map_err(io)?;
+        writeln!(w, "bias,{}", hex_floats(layer.bias())).map_err(io)?;
+        if let Some(mask) = layer.mask() {
+            let bits: String = mask.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            writeln!(w, "mask,{bits}").map_err(io)?;
+        }
+    }
+    writeln!(w, "end").map_err(io)?;
+    w.flush().map_err(io)?;
+    Ok(())
+}
+
+/// Reads a classifier previously written with [`save_classifier`].
+///
+/// A `&mut` reference may be passed for `reader`. The round-trip is
+/// bit-exact: `load(save(c)) == c`.
+///
+/// # Errors
+///
+/// * [`NnError::ParseModel`] on a malformed file.
+/// * [`NnError::Io`] on underlying reader failure.
+pub fn load_classifier<R: Read>(reader: R) -> Result<SensorClassifier, NnError> {
+    let lines: Vec<String> = BufReader::new(reader)
+        .lines()
+        .collect::<Result<_, _>>()
+        .map_err(NnError::from_io)?;
+
+    let take = |cursor: &mut dyn Iterator<Item = &str>,
+                what: &'static str|
+     -> Result<String, NnError> {
+        cursor
+            .next()
+            .map(str::to_owned)
+            .ok_or(NnError::ParseModel {
+                line: what,
+                reason: "unexpected end of file",
+            })
+    };
+
+    let mut iter: Box<dyn Iterator<Item = &str>> = Box::new(lines.iter().map(String::as_str));
+
+    let magic = take(&mut iter, "magic")?;
+    if magic.trim() != MAGIC {
+        return Err(NnError::ParseModel {
+            line: "magic",
+            reason: "not an origin-classifier v1 file",
+        });
+    }
+
+    let activities_line = take(&mut iter, "activities")?;
+    let classes: Vec<ActivityClass> = field(&activities_line, "activities")?
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<usize>()
+                .ok()
+                .and_then(ActivityClass::from_index)
+                .ok_or(NnError::ParseModel {
+                    line: "activities",
+                    reason: "invalid class index",
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let activities = ActivitySet::new(classes).map_err(|_| NnError::ParseModel {
+        line: "activities",
+        reason: "empty activity set",
+    })?;
+
+    let dims_line = take(&mut iter, "dims")?;
+    let dims: Vec<usize> = field(&dims_line, "dims")?
+        .split(',')
+        .map(|v| {
+            v.trim().parse().map_err(|_| NnError::ParseModel {
+                line: "dims",
+                reason: "invalid dimension",
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mean = parse_floats(&take(&mut iter, "normalizer_mean")?, "normalizer_mean")?;
+    let std = parse_floats(&take(&mut iter, "normalizer_std")?, "normalizer_std")?;
+    let normalizer = Normalizer::from_parts(mean, std)?;
+
+    let mut mlp = Mlp::new(&dims, 0)?;
+    let layer_count = mlp.layers().len();
+    // Read layer blocks; a block is `layer,i` / `weights,..` / `bias,..`
+    // optionally followed by `mask,..`. The line after the final block is
+    // `end`.
+    let mut pending = take(&mut iter, "layer")?;
+    for i in 0..layer_count {
+        if field(&pending, "layer")?.trim().parse::<usize>() != Ok(i) {
+            return Err(NnError::ParseModel {
+                line: "layer",
+                reason: "layers out of order",
+            });
+        }
+        let weights = parse_floats(&take(&mut iter, "weights")?, "weights")?;
+        let bias = parse_floats(&take(&mut iter, "bias")?, "bias")?;
+        mlp.layers_mut()[i].load_parameters(&weights, &bias)?;
+
+        pending = take(&mut iter, "layer or mask or end")?;
+        if let Ok(bits) = field(&pending, "mask") {
+            let mask: Vec<bool> = bits
+                .trim()
+                .chars()
+                .map(|c| match c {
+                    '1' => Ok(true),
+                    '0' => Ok(false),
+                    _ => Err(NnError::ParseModel {
+                        line: "mask",
+                        reason: "mask bits must be 0/1",
+                    }),
+                })
+                .collect::<Result<_, _>>()?;
+            if mask.len() != mlp.layers()[i].total_weights() {
+                return Err(NnError::ParseModel {
+                    line: "mask",
+                    reason: "mask length mismatch",
+                });
+            }
+            mlp.layers_mut()[i].set_mask_preserving_weights(mask);
+            pending = take(&mut iter, "layer or end")?;
+        }
+    }
+    if pending.trim() != "end" {
+        return Err(NnError::ParseModel {
+            line: "end",
+            reason: "missing end marker",
+        });
+    }
+
+    SensorClassifier::new(mlp, normalizer, activities)
+}
+
+fn field<'a>(line: &'a str, key: &'static str) -> Result<&'a str, NnError> {
+    line.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix(','))
+        .ok_or(NnError::ParseModel {
+            line: key,
+            reason: "missing or mislabelled field",
+        })
+}
+
+fn hex_floats(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{:016x}", v.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_floats(line: &str, key: &'static str) -> Result<Vec<f64>, NnError> {
+    field(line, key)?
+        .split(',')
+        .map(|v| {
+            u64::from_str_radix(v.trim(), 16)
+                .map(f64::from_bits)
+                .map_err(|_| NnError::ParseModel {
+                    line: key,
+                    reason: "invalid hex float",
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::Trainer;
+
+    fn trained() -> SensorClassifier {
+        let data: Vec<(Vec<f64>, usize)> = (0..60)
+            .map(|i| {
+                let label = i % 3;
+                (vec![label as f64 * 2.0, (i % 5) as f64 * 0.1], label)
+            })
+            .collect();
+        let set = ActivitySet::new([
+            ActivityClass::Walking,
+            ActivityClass::Running,
+            ActivityClass::Jumping,
+        ])
+        .unwrap();
+        SensorClassifier::train(&[6], &data, set, &Trainer::new().with_epochs(30), 9).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let clf = trained();
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let loaded = load_classifier(buf.as_slice()).unwrap();
+        assert_eq!(clf, loaded);
+    }
+
+    #[test]
+    fn roundtrip_preserves_masks() {
+        let mut clf = trained();
+        let n = clf.mlp().layers()[0].total_weights();
+        let mask: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        clf.mlp_mut().layers_mut()[0].set_mask(mask.clone());
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let loaded = load_classifier(buf.as_slice()).unwrap();
+        assert_eq!(clf, loaded);
+        assert_eq!(loaded.mlp().layers()[0].mask(), Some(mask.as_slice()));
+    }
+
+    #[test]
+    fn loaded_model_classifies_identically() {
+        let clf = trained();
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let loaded = load_classifier(buf.as_slice()).unwrap();
+        for i in 0..10 {
+            let x = vec![i as f64 * 0.37, (10 - i) as f64 * 0.11];
+            assert_eq!(
+                clf.classify(&x).unwrap(),
+                loaded.classify(&x).unwrap(),
+                "divergence at sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            load_classifier("not a model".as_bytes()),
+            Err(NnError::ParseModel { line: "magic", .. })
+        ));
+        assert!(matches!(
+            load_classifier("".as_bytes()),
+            Err(NnError::ParseModel { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let clf = trained();
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(load_classifier(truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_mask() {
+        let mut clf = trained();
+        let n = clf.mlp().layers()[0].total_weights();
+        clf.mlp_mut().layers_mut()[0].set_mask(vec![true; n]);
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace("mask,1", "mask,x");
+        assert!(matches!(
+            load_classifier(text.as_bytes()),
+            Err(NnError::ParseModel { line: "mask", .. })
+        ));
+    }
+}

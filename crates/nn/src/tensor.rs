@@ -1,0 +1,227 @@
+//! A minimal dense row-major matrix.
+
+use core::fmt;
+
+/// A dense `rows × cols` matrix of `f64`, row-major.
+///
+/// Only the operations the MLP engine needs are provided; this is a
+/// substrate, not a linear-algebra library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols` or a dimension is zero.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length must equal rows * cols"
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (r, out_r) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            *out_r = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+        }
+        out
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != rows`.
+    #[must_use]
+    pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            for (c, out_c) in out.iter_mut().enumerate() {
+                *out_c += self.data[r * self.cols + c] * xr;
+            }
+        }
+        out
+    }
+
+    /// Number of non-zero entries.
+    #[must_use]
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix[{}x{}]", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_vec_layout_is_row_major() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_works() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, -1.0]);
+        let y = m.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_works() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, -1.0]);
+        let y = m.matvec_transposed(&[1.0, 2.0]);
+        assert_eq!(y, vec![1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn count_nonzero_counts() {
+        let m = Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, -2.0]);
+        assert_eq!(m.count_nonzero(), 2);
+    }
+
+    #[test]
+    fn row_mut_edits_in_place() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(0)[1] = 9.0;
+        assert_eq!(m.get(0, 1), 9.0);
+        m.as_mut_slice()[3] = 4.0;
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dims() {
+        let _ = Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Matrix::zeros(3, 4).to_string(), "Matrix[3x4]");
+    }
+}

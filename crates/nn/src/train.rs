@@ -1,0 +1,367 @@
+//! Seeded mini-batch SGD training on cross-entropy.
+
+use crate::error::NnError;
+use crate::layer::{relu_backward, softmax, LayerVelocity};
+use crate::mlp::Mlp;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Mini-batch SGD-with-momentum trainer.
+///
+/// Deterministic given its seed: shuffling is the only stochastic step.
+///
+/// ```
+/// use origin_nn::{Mlp, Trainer};
+/// let mut model = Mlp::new(&[2, 6, 2], 0)?;
+/// // XOR-ish separable toy data.
+/// let data = vec![
+///     (vec![0.0, 0.0], 0),
+///     (vec![1.0, 1.0], 0),
+///     (vec![1.0, 0.0], 1),
+///     (vec![0.0, 1.0], 1),
+/// ];
+/// let loss = Trainer::new().with_epochs(400).with_lr(0.2).fit(&mut model, &data)?;
+/// assert!(loss < 0.2);
+/// # Ok::<(), origin_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trainer {
+    epochs: usize,
+    lr: f64,
+    momentum: f64,
+    batch_size: usize,
+    seed: u64,
+    label_smoothing: f64,
+}
+
+impl Default for Trainer {
+    fn default() -> Self {
+        Self {
+            epochs: 60,
+            lr: 0.05,
+            momentum: 0.9,
+            batch_size: 16,
+            seed: 0x0816_1214,
+            label_smoothing: 0.0,
+        }
+    }
+}
+
+impl Trainer {
+    /// A trainer with the default hyper-parameters (60 epochs, lr 0.05,
+    /// momentum 0.9, batch 16).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the epoch count. Builder-style.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the learning rate. Builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr` is not positive and finite.
+    #[must_use]
+    pub fn with_lr(mut self, lr: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+        self
+    }
+
+    /// Sets the momentum coefficient. Builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `momentum` ∉ `[0, 1)`.
+    #[must_use]
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1)"
+        );
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the mini-batch size. Builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size` is zero.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the shuffle seed. Builder-style.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables label smoothing: the one-hot target becomes `1 - eps` on
+    /// the true class and `eps / (K - 1)` elsewhere. Builder-style.
+    ///
+    /// Smoothing keeps the softmax from saturating, which is what makes
+    /// the *variance* of the output vector an informative confidence
+    /// signal for Origin's ensemble (an uncalibrated net is near-one-hot
+    /// even when it is wrong).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `eps` ∉ `[0, 1)`.
+    #[must_use]
+    pub fn with_label_smoothing(mut self, eps: f64) -> Self {
+        assert!((0.0..1.0).contains(&eps), "label smoothing must be in [0, 1)");
+        self.label_smoothing = eps;
+        self
+    }
+
+    /// Trains `model` on `(features, label)` pairs; returns the final
+    /// epoch's mean cross-entropy loss.
+    ///
+    /// # Errors
+    ///
+    /// * [`NnError::EmptyTrainingSet`] on empty data.
+    /// * [`NnError::DimensionMismatch`] when a feature vector has the wrong
+    ///   width.
+    /// * [`NnError::LabelOutOfRange`] when a label ≥ the output width.
+    pub fn fit(&self, model: &mut Mlp, data: &[(Vec<f64>, usize)]) -> Result<f64, NnError> {
+        if data.is_empty() {
+            return Err(NnError::EmptyTrainingSet);
+        }
+        for (x, label) in data {
+            if x.len() != model.input_dim() {
+                return Err(NnError::DimensionMismatch {
+                    expected: model.input_dim(),
+                    actual: x.len(),
+                });
+            }
+            if *label >= model.output_dim() {
+                return Err(NnError::LabelOutOfRange {
+                    label: *label,
+                    classes: model.output_dim(),
+                });
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut velocities: Vec<LayerVelocity> = model
+            .layers()
+            .iter()
+            .map(LayerVelocity::zeros_like)
+            .collect();
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut final_loss = f64::INFINITY;
+
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(self.batch_size) {
+                // Per-sample SGD within the batch (batch size scales the
+                // effective step through the lr / batch normalization).
+                let scale = 1.0 / chunk.len() as f64;
+                for &idx in chunk {
+                    let (x, label) = &data[idx];
+                    epoch_loss += self.step(model, &mut velocities, x, *label, scale);
+                }
+            }
+            final_loss = epoch_loss / data.len() as f64;
+        }
+        Ok(final_loss)
+    }
+
+    /// One sample's forward + backward pass; returns its cross-entropy.
+    fn step(
+        &self,
+        model: &mut Mlp,
+        velocities: &mut [LayerVelocity],
+        x: &[f64],
+        label: usize,
+        scale: f64,
+    ) -> f64 {
+        let (pre, acts) = model.forward_cached(x);
+        let logits = pre.last().expect("at least one layer");
+        let proba = softmax(logits);
+        let loss = -proba[label].max(1e-12).ln();
+
+        // dL/dlogits for softmax + cross-entropy against the (optionally
+        // smoothed) target distribution.
+        let classes = grad_classes(&proba);
+        let off_target = if classes > 1 {
+            self.label_smoothing / (classes - 1) as f64
+        } else {
+            0.0
+        };
+        let mut grad: Vec<f64> = proba;
+        for (c, g) in grad.iter_mut().enumerate() {
+            let target = if c == label {
+                1.0 - self.label_smoothing
+            } else {
+                off_target
+            };
+            *g = (*g - target) * scale;
+        }
+
+        let layer_count = model.layers().len();
+        for i in (0..layer_count).rev() {
+            let input = &acts[i];
+            let layer = &mut model.layers_mut()[i];
+            let mut dx = layer.backward(input, &grad, self.lr, self.momentum, &mut velocities[i]);
+            if i > 0 {
+                relu_backward(&pre[i - 1], &mut dx);
+            }
+            grad = dx;
+        }
+        loss
+    }
+}
+
+fn grad_classes(proba: &[f64]) -> usize {
+    proba.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data(seed: u64, per_class: usize) -> Vec<(Vec<f64>, usize)> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [[2.0, 0.0], [-2.0, 0.0], [0.0, 2.5]];
+        let mut data = Vec::new();
+        for (label, c) in centers.iter().enumerate() {
+            for _ in 0..per_class {
+                let mut jitter = || rng.gen::<f64>() - 0.5;
+                data.push((vec![c[0] + jitter(), c[1] + jitter()], label));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let data = blob_data(1, 30);
+        let mut model = Mlp::new(&[2, 8, 3], 2).unwrap();
+        let loss = Trainer::new().with_epochs(80).fit(&mut model, &data).unwrap();
+        assert!(loss < 0.1, "loss = {loss}");
+        let correct = data
+            .iter()
+            .filter(|(x, y)| model.predict(x).0 == *y)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = blob_data(3, 10);
+        let mut a = Mlp::new(&[2, 6, 3], 4).unwrap();
+        let mut b = Mlp::new(&[2, 6, 3], 4).unwrap();
+        let la = Trainer::new().with_epochs(10).fit(&mut a, &data).unwrap();
+        let lb = Trainer::new().with_epochs(10).fit(&mut b, &data).unwrap();
+        assert_eq!(la, lb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut model = Mlp::new(&[2, 3], 0).unwrap();
+        assert!(matches!(
+            Trainer::new().fit(&mut model, &[]),
+            Err(NnError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            Trainer::new().fit(&mut model, &[(vec![1.0], 0)]),
+            Err(NnError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Trainer::new().fit(&mut model, &[(vec![1.0, 2.0], 9)]),
+            Err(NnError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn masked_weights_stay_zero_through_training() {
+        let data = blob_data(5, 15);
+        let mut model = Mlp::new(&[2, 6, 3], 6).unwrap();
+        let mask: Vec<bool> = (0..model.layers()[0].total_weights())
+            .map(|i| i % 2 == 0)
+            .collect();
+        model.layers_mut()[0].set_mask(mask.clone());
+        let _ = Trainer::new().with_epochs(20).fit(&mut model, &data).unwrap();
+        for (i, &keep) in mask.iter().enumerate() {
+            if !keep {
+                assert_eq!(model.layers()[0].weights().as_slice()[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn bad_lr_panics() {
+        let _ = Trainer::new().with_lr(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_panics() {
+        let _ = Trainer::new().with_batch_size(0);
+    }
+}
+
+#[cfg(test)]
+mod smoothing_tests {
+    use super::*;
+    use crate::mlp::Mlp;
+    use crate::softmax_variance;
+
+    /// Label smoothing is what keeps the softmax calibrated enough for
+    /// Origin's variance-confidence to carry signal: the smoothed model
+    /// must be measurably less saturated than the unsmoothed one on the
+    /// same data.
+    #[test]
+    fn label_smoothing_reduces_softmax_saturation() {
+        let data: Vec<(Vec<f64>, usize)> = (0..90)
+            .map(|i| {
+                let label = i % 3;
+                (vec![label as f64 * 2.0 - 2.0, (i % 7) as f64 * 0.05], label)
+            })
+            .collect();
+        let train = |eps: f64| -> f64 {
+            let mut mlp = Mlp::new(&[2, 8, 3], 3).unwrap();
+            Trainer::new()
+                .with_epochs(150)
+                .with_label_smoothing(eps)
+                .fit(&mut mlp, &data)
+                .unwrap();
+            // Mean softmax variance over the training set: higher means
+            // more saturated (closer to one-hot).
+            data.iter()
+                .map(|(x, _)| softmax_variance(&mlp.predict(x).1))
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        let hard = train(0.0);
+        let smoothed = train(0.15);
+        assert!(
+            smoothed < hard * 0.98,
+            "smoothing must de-saturate: hard {hard} vs smoothed {smoothed}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "label smoothing")]
+    fn bad_smoothing_panics() {
+        let _ = Trainer::new().with_label_smoothing(1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the NN engine.
+
+use origin_nn::{softmax_variance, ConfusionMatrix, Matrix, Mlp, Normalizer};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn predict_proba_is_a_distribution(
+        dims_seed in 0u64..1_000,
+        input in proptest::collection::vec(-100.0f64..100.0, 5),
+    ) {
+        let mlp = Mlp::new(&[5, 7, 4], dims_seed).expect("valid dims");
+        let proba = mlp.predict_proba(&input).expect("width matches");
+        prop_assert_eq!(proba.len(), 4);
+        let sum: f64 = proba.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        prop_assert!(proba.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn softmax_variance_is_bounded(
+        probs in proptest::collection::vec(0.0f64..1.0, 2..10),
+    ) {
+        // Normalize into a distribution first.
+        let sum: f64 = probs.iter().sum();
+        prop_assume!(sum > 1e-9);
+        let probs: Vec<f64> = probs.iter().map(|p| p / sum).collect();
+        let v = softmax_variance(&probs);
+        let k = probs.len() as f64;
+        // Maximum variance is achieved by a one-hot vector.
+        let max_var = (1.0 - 1.0 / k).powi(2) / k + (k - 1.0) * (1.0 / k).powi(2) / k;
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= max_var + 1e-9, "v = {v} > {max_var}");
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        scale in -3.0f64..3.0,
+        seed in 0u64..1_000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        let y = m.matvec(&x);
+        let x_scaled: Vec<f64> = x.iter().map(|v| v * scale).collect();
+        let y_scaled = m.matvec(&x_scaled);
+        for (a, b) in y.iter().zip(&y_scaled) {
+            prop_assert!((a * scale - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalizer_output_is_standardized(
+        samples in proptest::collection::vec(
+            proptest::collection::vec(-1e3f64..1e3, 3),
+            2..40,
+        ),
+    ) {
+        let norm = Normalizer::fit(samples.iter().map(Vec::as_slice)).expect("non-empty");
+        let transformed: Vec<Vec<f64>> = samples.iter().map(|s| norm.transform(s)).collect();
+        let n = transformed.len() as f64;
+        for dim in 0..3 {
+            let mean: f64 = transformed.iter().map(|t| t[dim]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-6, "dim {dim} mean {mean}");
+            let var: f64 = transformed.iter().map(|t| (t[dim] - mean).powi(2)).sum::<f64>() / n;
+            // Either standardized to unit variance or constant (passed through).
+            prop_assert!(var < 1.0 + 1e-6, "dim {dim} var {var}");
+        }
+    }
+
+    #[test]
+    fn confusion_accuracy_is_bounded(
+        observations in proptest::collection::vec((0usize..4, 0usize..4), 1..100),
+    ) {
+        let mut cm = ConfusionMatrix::new(4);
+        for (truth, pred) in &observations {
+            cm.record(*truth, *pred);
+        }
+        let acc = cm.accuracy().expect("non-empty");
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert_eq!(cm.total() as usize, observations.len());
+        // Merging with itself doubles everything and keeps accuracy.
+        let mut doubled = cm.clone();
+        doubled.merge(&cm);
+        prop_assert_eq!(doubled.total(), cm.total() * 2);
+        prop_assert!((doubled.accuracy().unwrap() - acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masks_only_shrink_active_weights(
+        seed in 0u64..1_000,
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 12),
+    ) {
+        let mut mlp = Mlp::new(&[3, 4], seed).expect("valid dims");
+        let before = mlp.active_weights();
+        mlp.layers_mut()[0].set_mask(mask_bits.clone());
+        let after = mlp.active_weights();
+        prop_assert!(after <= before);
+        prop_assert_eq!(after, mask_bits.iter().filter(|&&b| b).count());
+        let sparsity = mlp.sparsity();
+        prop_assert!((0.0..=1.0).contains(&sparsity));
+    }
+}

@@ -1,0 +1,241 @@
+//! CSV export/import of labelled feature datasets.
+//!
+//! Lets the generated datasets be inspected, plotted, or consumed by
+//! external ML tooling, and lets externally produced feature sets (e.g.
+//! from the *real* MHEALTH recordings, if available) be fed into the
+//! same pipeline. Format: a header `features,<dim>` then one sample per
+//! line as `<dense_label>,<f0>,<f1>,...` with bit-exact hex-encoded
+//! floats.
+
+use crate::dataset::{LabeledSample, SensorDataset};
+use origin_types::{ActivityClass, ActivitySet};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors produced by dataset CSV I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExportError {
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl core::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExportError::Parse { line, reason } => {
+                write!(f, "cannot parse dataset CSV line {line}: {reason}")
+            }
+            ExportError::Io(e) => write!(f, "dataset I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ExportError {
+    fn from(e: std::io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+/// Writes `samples` to `writer`.
+///
+/// A `&mut` reference may be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`ExportError::Io`] on writer failure and
+/// [`ExportError::Parse`] when samples disagree on feature width.
+pub fn write_samples_csv<W: Write>(
+    samples: &[LabeledSample],
+    writer: W,
+) -> Result<(), ExportError> {
+    let mut w = BufWriter::new(writer);
+    let dim = samples.first().map_or(0, |s| s.features.len());
+    writeln!(w, "features,{dim}")?;
+    for (i, sample) in samples.iter().enumerate() {
+        if sample.features.len() != dim {
+            return Err(ExportError::Parse {
+                line: i + 2,
+                reason: "inconsistent feature width",
+            });
+        }
+        let fields: Vec<String> = std::iter::once(sample.dense_label.to_string())
+            .chain(sample.features.iter().map(|f| format!("{:016x}", f.to_bits())))
+            .collect();
+        writeln!(w, "{}", fields.join(","))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads samples previously written with [`write_samples_csv`], resolving
+/// dense labels through `activities`.
+///
+/// A `&mut` reference may be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns [`ExportError::Parse`] on malformed content (including labels
+/// outside `activities`) and [`ExportError::Io`] on reader failure.
+pub fn read_samples_csv<R: Read>(
+    reader: R,
+    activities: &ActivitySet,
+) -> Result<Vec<LabeledSample>, ExportError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    let (_, header) = lines.next().ok_or(ExportError::Parse {
+        line: 1,
+        reason: "empty file",
+    })?;
+    let header = header?;
+    let dim: usize = header
+        .strip_prefix("features,")
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or(ExportError::Parse {
+            line: 1,
+            reason: "bad header",
+        })?;
+
+    let mut samples = Vec::new();
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let dense_label: usize = fields
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or(ExportError::Parse {
+                line: i + 1,
+                reason: "bad label",
+            })?;
+        let activity: ActivityClass =
+            activities.class_at(dense_label).ok_or(ExportError::Parse {
+                line: i + 1,
+                reason: "label outside activity set",
+            })?;
+        let features: Vec<f64> = fields
+            .map(|v| {
+                u64::from_str_radix(v.trim(), 16)
+                    .map(f64::from_bits)
+                    .map_err(|_| ExportError::Parse {
+                        line: i + 1,
+                        reason: "bad hex float",
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        if features.len() != dim {
+            return Err(ExportError::Parse {
+                line: i + 1,
+                reason: "wrong feature count",
+            });
+        }
+        samples.push(LabeledSample {
+            features,
+            dense_label,
+            activity,
+        });
+    }
+    Ok(samples)
+}
+
+/// Convenience: exports a whole [`SensorDataset`] (train then test) as two
+/// CSV blobs.
+///
+/// # Errors
+///
+/// Propagates [`write_samples_csv`] failures.
+pub fn export_sensor_dataset(dataset: &SensorDataset) -> Result<(Vec<u8>, Vec<u8>), ExportError> {
+    let mut train = Vec::new();
+    write_samples_csv(&dataset.train, &mut train)?;
+    let mut test = Vec::new();
+    write_samples_csv(&dataset.test, &mut test)?;
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetSpec, HarDataset};
+    use origin_types::SensorLocation;
+
+    fn samples() -> (Vec<LabeledSample>, ActivitySet) {
+        let spec = DatasetSpec::mhealth_like().with_windows(3, 2);
+        let ds = HarDataset::generate(&spec, 5);
+        (
+            ds.sensor(SensorLocation::Chest).train.clone(),
+            ds.activities().clone(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let (samples, set) = samples();
+        let mut buf = Vec::new();
+        write_samples_csv(&samples, &mut buf).unwrap();
+        let back = read_samples_csv(buf.as_slice(), &set).unwrap();
+        assert_eq!(samples, back);
+    }
+
+    #[test]
+    fn export_sensor_dataset_produces_both_splits() {
+        let spec = DatasetSpec::mhealth_like().with_windows(3, 2);
+        let ds = HarDataset::generate(&spec, 6);
+        let (train, test) = export_sensor_dataset(ds.sensor(SensorLocation::LeftAnkle)).unwrap();
+        let set = ds.activities();
+        assert_eq!(read_samples_csv(train.as_slice(), set).unwrap().len(), 18);
+        assert_eq!(read_samples_csv(test.as_slice(), set).unwrap().len(), 12);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let set = ActivitySet::mhealth();
+        assert!(matches!(
+            read_samples_csv("".as_bytes(), &set),
+            Err(ExportError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_samples_csv("bogus\n".as_bytes(), &set),
+            Err(ExportError::Parse { line: 1, .. })
+        ));
+        let bad_label = "features,1\n99,0000000000000000\n";
+        assert!(matches!(
+            read_samples_csv(bad_label.as_bytes(), &set),
+            Err(ExportError::Parse { line: 2, .. })
+        ));
+        let bad_float = "features,1\n0,zzzz\n";
+        assert!(matches!(
+            read_samples_csv(bad_float.as_bytes(), &set),
+            Err(ExportError::Parse { line: 2, .. })
+        ));
+        let wrong_count = "features,2\n0,0000000000000000\n";
+        assert!(matches!(
+            read_samples_csv(wrong_count.as_bytes(), &set),
+            Err(ExportError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn pamap2_labels_resolve_through_its_set() {
+        let set = ActivitySet::pamap2();
+        // Dense label 4 is Jumping in PAMAP2's five-class set.
+        let csv = "features,1\n4,0000000000000000\n";
+        let samples = read_samples_csv(csv.as_bytes(), &set).unwrap();
+        assert_eq!(samples[0].activity, ActivityClass::Jumping);
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic feature extraction from IMU windows.
+//!
+//! The per-sensor classifiers in the paper are small CNNs over raw
+//! windows; we train equally small MLPs over hand-computed features
+//! instead. The feature set (per channel: mean, standard deviation,
+//! mean-crossing rate, dominant-frequency power ratio) carries the same
+//! information the first convolutional layers of [11]'s nets learn —
+//! posture, intensity and rhythm — which is what the activity classes
+//! differ in.
+
+use crate::imu::ImuSample;
+use crate::window::ImuWindow;
+
+/// Features computed per channel.
+pub const FEATURES_PER_CHANNEL: usize = 4;
+
+/// Total feature vector length: 6 IMU channels plus the accelerometer
+/// magnitude pseudo-channel.
+pub const FEATURE_DIM: usize = (ImuSample::CHANNELS + 1) * FEATURES_PER_CHANNEL;
+
+/// Extracts the fixed-length feature vector from a window.
+///
+/// The output is deterministic in the window contents and independent of
+/// global state, so a feature vector can be recomputed bit-exactly
+/// anywhere in the pipeline.
+///
+/// ```
+/// use origin_sensors::{window_features, FEATURE_DIM, ImuWindow};
+/// # use origin_sensors::{ImuConfig, SignatureTable, UserProfile};
+/// # use origin_types::{ActivityClass, SensorLocation, UserId};
+/// # use rand::SeedableRng;
+/// # let table = SignatureTable::calibrated();
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// # let w = ImuWindow::synthesize(
+/// #     table.signature(ActivityClass::Walking, SensorLocation::Chest),
+/// #     &UserProfile::nominal(UserId::new(0)),
+/// #     &ImuConfig::mhealth_like(),
+/// #     ActivityClass::Walking,
+/// #     &mut rng,
+/// # );
+/// let features = window_features(&w);
+/// assert_eq!(features.len(), FEATURE_DIM);
+/// ```
+#[must_use]
+pub fn window_features(window: &ImuWindow) -> Vec<f64> {
+    let n = window.len();
+    let mut features = Vec::with_capacity(FEATURE_DIM);
+    let mut channel_buf = Vec::with_capacity(n);
+    for ch in 0..=ImuSample::CHANNELS {
+        channel_buf.clear();
+        if ch < ImuSample::CHANNELS {
+            channel_buf.extend(window.samples().iter().map(|s| s.channels()[ch]));
+        } else {
+            channel_buf.extend(window.samples().iter().map(ImuSample::accel_magnitude));
+        }
+        push_channel_features(&channel_buf, window.sample_rate_hz(), &mut features);
+    }
+    debug_assert_eq!(features.len(), FEATURE_DIM);
+    features
+}
+
+fn push_channel_features(signal: &[f64], sample_rate_hz: f64, out: &mut Vec<f64>) {
+    let n = signal.len() as f64;
+    let mean = signal.iter().sum::<f64>() / n;
+    let var = signal.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let std = var.sqrt();
+
+    // Mean-crossing rate (normalized to [0, 1]).
+    let mut crossings = 0usize;
+    for pair in signal.windows(2) {
+        if (pair[0] - mean).signum() != (pair[1] - mean).signum() {
+            crossings += 1;
+        }
+    }
+    let mcr = crossings as f64 / (signal.len() - 1).max(1) as f64;
+
+    // Dominant-frequency power ratio via a small Goertzel bank over the
+    // gait band (0.5–5 Hz). Reported as dominant bin frequency normalized
+    // by the Nyquist rate, weighted by its share of band power.
+    let (dom_freq, dom_share) = dominant_frequency(signal, mean, sample_rate_hz);
+    let dom = dom_freq / (sample_rate_hz / 2.0) * dom_share;
+
+    out.push(mean);
+    out.push(std);
+    out.push(mcr);
+    out.push(dom);
+}
+
+/// Goertzel power at candidate gait frequencies; returns the strongest
+/// frequency and its share of the total band power.
+fn dominant_frequency(signal: &[f64], mean: f64, sample_rate_hz: f64) -> (f64, f64) {
+    const BANK_HZ: [f64; 10] = [0.6, 0.9, 1.1, 1.4, 1.6, 1.9, 2.3, 2.7, 3.1, 3.6];
+    let mut best = (0.0, 0.0);
+    let mut total = 0.0;
+    for &freq in &BANK_HZ {
+        let p = goertzel_power(signal, mean, freq, sample_rate_hz);
+        total += p;
+        if p > best.1 {
+            best = (freq, p);
+        }
+    }
+    if total <= 0.0 {
+        (0.0, 0.0)
+    } else {
+        (best.0, best.1 / total)
+    }
+}
+
+fn goertzel_power(signal: &[f64], mean: f64, freq_hz: f64, sample_rate_hz: f64) -> f64 {
+    let w = core::f64::consts::TAU * freq_hz / sample_rate_hz;
+    let coeff = 2.0 * w.cos();
+    let (mut s_prev, mut s_prev2) = (0.0, 0.0);
+    for &x in signal {
+        let s = (x - mean) + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    (s_prev2.powi(2) + s_prev.powi(2) - coeff * s_prev * s_prev2).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imu::ImuConfig;
+    use crate::signature::SignatureTable;
+    use crate::user::UserProfile;
+    use origin_types::{ActivityClass, SensorLocation, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn window(activity: ActivityClass, location: SensorLocation, seed: u64) -> ImuWindow {
+        let table = SignatureTable::calibrated();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ImuWindow::synthesize(
+            table.signature(activity, location),
+            &UserProfile::nominal(UserId::new(0)),
+            &ImuConfig::mhealth_like(),
+            activity,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_dim() {
+        let w = window(ActivityClass::Cycling, SensorLocation::LeftAnkle, 1);
+        assert_eq!(window_features(&w).len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn features_are_deterministic() {
+        let w = window(ActivityClass::Running, SensorLocation::Chest, 2);
+        assert_eq!(window_features(&w), window_features(&w));
+    }
+
+    #[test]
+    fn gravity_appears_in_mean_feature() {
+        let w = window(ActivityClass::Walking, SensorLocation::Chest, 3);
+        let f = window_features(&w);
+        // Channel 2 (accel z) mean is feature index 2 * FEATURES_PER_CHANNEL.
+        let z_mean = f[2 * FEATURES_PER_CHANNEL];
+        assert!((z_mean - 9.8).abs() < 1.0, "z mean = {z_mean}");
+    }
+
+    #[test]
+    fn running_is_more_intense_than_walking_at_ankle() {
+        // Compare the accel-magnitude std feature (last channel, feature 1).
+        let run = window(ActivityClass::Running, SensorLocation::LeftAnkle, 4);
+        let walk = window(ActivityClass::Walking, SensorLocation::LeftAnkle, 4);
+        let idx = 6 * FEATURES_PER_CHANNEL + 1;
+        assert!(window_features(&run)[idx] > window_features(&walk)[idx]);
+    }
+
+    #[test]
+    fn goertzel_finds_injected_tone() {
+        let fs = 50.0;
+        let f0 = 1.9;
+        let signal: Vec<f64> = (0..128)
+            .map(|i| (core::f64::consts::TAU * f0 * i as f64 / fs).sin())
+            .collect();
+        let (freq, share) = dominant_frequency(&signal, 0.0, fs);
+        assert!((freq - 1.9).abs() < 1e-9, "freq = {freq}");
+        assert!(share > 0.5, "share = {share}");
+    }
+
+    #[test]
+    fn flat_signal_has_zero_dominant_share() {
+        let signal = vec![3.0; 64];
+        let (freq, share) = dominant_frequency(&signal, 3.0, 50.0);
+        assert_eq!(freq, 0.0);
+        assert_eq!(share, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod pamap2_tests {
+    use super::*;
+    use crate::dataset::{sample_window, DatasetSpec};
+    use crate::user::UserProfile;
+    use origin_types::{ActivityClass, SensorLocation, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The feature vector is the classifier contract: its width must not
+    /// depend on the dataset's sampling rate or window length, so one
+    /// classifier architecture serves both dataset analogues.
+    #[test]
+    fn feature_dim_is_invariant_across_datasets() {
+        let user = UserProfile::nominal(UserId::new(0));
+        for spec in [DatasetSpec::mhealth_like(), DatasetSpec::pamap2_like()] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let w = sample_window(
+                &spec,
+                ActivityClass::Running,
+                SensorLocation::LeftAnkle,
+                &user,
+                &mut rng,
+            );
+            assert_eq!(window_features(&w).len(), FEATURE_DIM, "{}", spec.name);
+        }
+    }
+
+    /// PAMAP2's 128-sample windows still resolve the same gait band.
+    #[test]
+    fn dominant_frequency_resolves_at_100hz() {
+        let fs = 100.0;
+        let signal: Vec<f64> = (0..128)
+            .map(|i| (core::f64::consts::TAU * 2.7 * i as f64 / fs).sin())
+            .collect();
+        let (freq, share) = dominant_frequency(&signal, 0.0, fs);
+        assert!((freq - 2.7).abs() < 1e-9, "freq = {freq}");
+        assert!(share > 0.4, "share = {share}");
+    }
+}

@@ -1,0 +1,121 @@
+//! IMU sample representation and sensor-level configuration.
+
+/// One 6-axis IMU reading: 3-axis accelerometer (m/s²) + 3-axis gyroscope
+/// (rad/s).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ImuSample {
+    /// Accelerometer reading, m/s² per axis.
+    pub accel: [f64; 3],
+    /// Gyroscope reading, rad/s per axis.
+    pub gyro: [f64; 3],
+}
+
+impl ImuSample {
+    /// Number of scalar channels per sample.
+    pub const CHANNELS: usize = 6;
+
+    /// The six channels flattened in `[ax, ay, az, gx, gy, gz]` order.
+    #[must_use]
+    pub fn channels(&self) -> [f64; 6] {
+        [
+            self.accel[0],
+            self.accel[1],
+            self.accel[2],
+            self.gyro[0],
+            self.gyro[1],
+            self.gyro[2],
+        ]
+    }
+
+    /// Accelerometer vector magnitude.
+    #[must_use]
+    pub fn accel_magnitude(&self) -> f64 {
+        (self.accel[0].powi(2) + self.accel[1].powi(2) + self.accel[2].powi(2)).sqrt()
+    }
+
+    /// Gyroscope vector magnitude.
+    #[must_use]
+    pub fn gyro_magnitude(&self) -> f64 {
+        (self.gyro[0].powi(2) + self.gyro[1].powi(2) + self.gyro[2].powi(2)).sqrt()
+    }
+}
+
+/// Sampling configuration of one IMU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuConfig {
+    /// Sampling rate, Hz.
+    pub sample_rate_hz: f64,
+    /// Samples per classification window.
+    pub window_len: usize,
+}
+
+impl ImuConfig {
+    /// MHEALTH-like configuration: 50 Hz, 64-sample (1.28 s) windows.
+    #[must_use]
+    pub fn mhealth_like() -> Self {
+        Self {
+            sample_rate_hz: 50.0,
+            window_len: 64,
+        }
+    }
+
+    /// PAMAP2-like configuration: 100 Hz, 128-sample (1.28 s) windows.
+    #[must_use]
+    pub fn pamap2_like() -> Self {
+        Self {
+            sample_rate_hz: 100.0,
+            window_len: 128,
+        }
+    }
+
+    /// Duration of one window in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sample rate is not positive.
+    #[must_use]
+    pub fn window_secs(&self) -> f64 {
+        assert!(self.sample_rate_hz > 0.0, "sample rate must be positive");
+        self.window_len as f64 / self.sample_rate_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_flatten_in_order() {
+        let s = ImuSample {
+            accel: [1.0, 2.0, 3.0],
+            gyro: [4.0, 5.0, 6.0],
+        };
+        assert_eq!(s.channels(), [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn magnitudes() {
+        let s = ImuSample {
+            accel: [3.0, 4.0, 0.0],
+            gyro: [0.0, 0.0, 2.0],
+        };
+        assert!((s.accel_magnitude() - 5.0).abs() < 1e-12);
+        assert!((s.gyro_magnitude() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_durations() {
+        assert!((ImuConfig::mhealth_like().window_secs() - 1.28).abs() < 1e-12);
+        assert!((ImuConfig::pamap2_like().window_secs() - 1.28).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn zero_rate_panics() {
+        let cfg = ImuConfig {
+            sample_rate_hz: 0.0,
+            window_len: 10,
+        };
+        let _ = cfg.window_secs();
+    }
+}

@@ -1,0 +1,123 @@
+//! SNR-targeted Gaussian corruption of IMU windows.
+
+use crate::window::{ImuWindow, NormalShim};
+use rand::Rng;
+
+/// Adds white Gaussian noise to every channel of `window` such that the
+/// ratio of (zero-mean) signal power to injected noise power equals
+/// `snr_db`.
+///
+/// Fig. 6 "mimic\[s\] the noisy and inconsistent behaviour of real-world
+/// scenarios ... by adding a Gaussian noise (with maximum SNR of 20dB)
+/// over the unseen test data".
+///
+/// # Panics
+///
+/// Panics when `snr_db` is not finite.
+pub fn add_noise_snr<R: Rng + ?Sized>(window: &mut ImuWindow, snr_db: f64, rng: &mut R) {
+    assert!(snr_db.is_finite(), "SNR must be finite, got {snr_db}");
+    let signal_power = window.signal_power();
+    if signal_power <= 0.0 {
+        return;
+    }
+    let noise_power = signal_power / 10f64.powf(snr_db / 10.0);
+    let noise_std = noise_power.sqrt();
+    for sample in window.samples_mut() {
+        for axis in 0..3 {
+            let na: f64 = rng.sample(NormalShim);
+            sample.accel[axis] += noise_std * na;
+            let ng: f64 = rng.sample(NormalShim);
+            sample.gyro[axis] += noise_std * 0.4 * ng;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imu::ImuConfig;
+    use crate::signature::SignatureTable;
+    use crate::user::UserProfile;
+    use origin_types::{ActivityClass, SensorLocation, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn window(seed: u64) -> ImuWindow {
+        let table = SignatureTable::calibrated();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ImuWindow::synthesize(
+            table.signature(ActivityClass::Running, SensorLocation::LeftAnkle),
+            &UserProfile::nominal(UserId::new(0)),
+            &ImuConfig::mhealth_like(),
+            ActivityClass::Running,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn noise_increases_power() {
+        let clean = window(1);
+        let mut noisy = clean.clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        add_noise_snr(&mut noisy, 10.0, &mut rng);
+        assert!(noisy.signal_power() > clean.signal_power());
+        assert_ne!(clean, noisy);
+    }
+
+    #[test]
+    fn high_snr_perturbs_less_than_low_snr() {
+        let clean = window(3);
+        let mut mild = clean.clone();
+        let mut harsh = clean.clone();
+        let mut rng = StdRng::seed_from_u64(4);
+        add_noise_snr(&mut mild, 30.0, &mut rng);
+        let mut rng = StdRng::seed_from_u64(4);
+        add_noise_snr(&mut harsh, 0.0, &mut rng);
+        let dev = |w: &ImuWindow| -> f64 {
+            w.samples()
+                .iter()
+                .zip(clean.samples())
+                .map(|(a, b)| {
+                    (0..3)
+                        .map(|i| (a.accel[i] - b.accel[i]).powi(2))
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        assert!(dev(&mild) * 10.0 < dev(&harsh));
+    }
+
+    #[test]
+    fn injected_noise_power_matches_target() {
+        let clean = window(5);
+        let signal_power = clean.signal_power();
+        let mut noisy = clean.clone();
+        let mut rng = StdRng::seed_from_u64(6);
+        add_noise_snr(&mut noisy, 20.0, &mut rng);
+        // Measure accel noise power directly against the clean window.
+        let n = clean.len() as f64;
+        let noise_power: f64 = noisy
+            .samples()
+            .iter()
+            .zip(clean.samples())
+            .map(|(a, b)| {
+                (0..3)
+                    .map(|i| (a.accel[i] - b.accel[i]).powi(2))
+                    .sum::<f64>()
+                    / 3.0
+            })
+            .sum::<f64>()
+            / n;
+        let target = signal_power / 100.0; // 20 dB
+        let ratio = noise_power / target;
+        assert!((0.5..2.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "SNR must be finite")]
+    fn non_finite_snr_panics() {
+        let mut w = window(7);
+        let mut rng = StdRng::seed_from_u64(0);
+        add_noise_snr(&mut w, f64::NAN, &mut rng);
+    }
+}

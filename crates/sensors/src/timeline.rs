@@ -1,0 +1,241 @@
+//! Semi-Markov activity timelines.
+//!
+//! "Human activity has temporal continuity, i.e. most activities last for
+//! some duration" (Section III-A). The timeline samples an activity, holds
+//! it for a jittered class-typical dwell, then transitions uniformly to a
+//! different class. This continuity is exactly the workload property the
+//! recall mechanism and the activity-aware scheduler exploit.
+
+use origin_types::{ActivityClass, ActivitySet, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One contiguous span of a single activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivitySpan {
+    /// The activity performed.
+    pub activity: ActivityClass,
+    /// When the span starts.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+}
+
+impl ActivitySpan {
+    /// Exclusive end instant of the span.
+    #[must_use]
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// Configuration for timeline generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineConfig {
+    /// Classes the timeline draws from.
+    pub activities: ActivitySet,
+    /// Multiplicative dwell jitter: actual dwell is
+    /// `typical * uniform(1 - jitter, 1 + jitter)`.
+    pub dwell_jitter: f64,
+    /// Scales every dwell (1.0 = the class-typical values). Smaller values
+    /// produce faster activity switching, stressing recall staleness.
+    pub dwell_scale: f64,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        Self {
+            activities: ActivitySet::mhealth(),
+            dwell_jitter: 0.4,
+            dwell_scale: 1.0,
+        }
+    }
+}
+
+/// A generated activity timeline covering a fixed horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityTimeline {
+    spans: Vec<ActivitySpan>,
+    total: SimDuration,
+}
+
+impl ActivityTimeline {
+    /// Generates a timeline of at least `horizon` length from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `horizon` is zero, `dwell_jitter` ∉ `[0, 1)` or
+    /// `dwell_scale` ≤ 0.
+    #[must_use]
+    pub fn generate(config: &TimelineConfig, seed: u64, horizon: SimDuration) -> Self {
+        assert!(!horizon.is_zero(), "horizon must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.dwell_jitter),
+            "dwell jitter must be in [0, 1)"
+        );
+        assert!(config.dwell_scale > 0.0, "dwell scale must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes = config.activities.as_slice();
+        let mut spans = Vec::new();
+        let mut t = SimTime::ZERO;
+        let mut current = classes[rng.gen_range(0..classes.len())];
+        while t.saturating_since(SimTime::ZERO) < horizon {
+            let typical = current.typical_dwell_ms() as f64 * config.dwell_scale;
+            let jitter = 1.0 + config.dwell_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            let dwell = SimDuration::from_millis((typical * jitter).max(500.0) as u64);
+            spans.push(ActivitySpan {
+                activity: current,
+                start: t,
+                duration: dwell,
+            });
+            t += dwell;
+            // Uniform transition to a *different* class (activities do not
+            // repeat back-to-back — that would just extend the dwell).
+            if classes.len() > 1 {
+                loop {
+                    let next = classes[rng.gen_range(0..classes.len())];
+                    if next != current {
+                        current = next;
+                        break;
+                    }
+                }
+            }
+        }
+        Self {
+            spans,
+            total: t.saturating_since(SimTime::ZERO),
+        }
+    }
+
+    /// The spans in chronological order.
+    #[must_use]
+    pub fn spans(&self) -> &[ActivitySpan] {
+        &self.spans
+    }
+
+    /// Total covered duration (≥ the requested horizon).
+    #[must_use]
+    pub fn total_duration(&self) -> SimDuration {
+        self.total
+    }
+
+    /// The activity in progress at instant `t`.
+    ///
+    /// Instants beyond the covered horizon report the final span's
+    /// activity.
+    #[must_use]
+    pub fn activity_at(&self, t: SimTime) -> ActivityClass {
+        // Binary search over span starts.
+        match self
+            .spans
+            .binary_search_by(|span| span.start.cmp(&t))
+        {
+            Ok(i) => self.spans[i].activity,
+            Err(0) => self.spans[0].activity,
+            Err(i) => self.spans[i - 1].activity,
+        }
+    }
+
+    /// Iterates `(window_start, activity)` pairs at a fixed window period
+    /// across the horizon — the simulator's ground-truth stream.
+    pub fn windows(
+        &self,
+        period: SimDuration,
+    ) -> impl Iterator<Item = (SimTime, ActivityClass)> + '_ {
+        let n = self.total.steps_of(period);
+        (0..n).map(move |i| {
+            let t = SimTime::from_micros(i * period.as_micros());
+            (t, self.activity_at(t))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_covers_horizon() {
+        let cfg = TimelineConfig::default();
+        let h = SimDuration::from_secs(600);
+        let a = ActivityTimeline::generate(&cfg, 5, h);
+        let b = ActivityTimeline::generate(&cfg, 5, h);
+        assert_eq!(a, b);
+        assert!(a.total_duration() >= h);
+        assert!(!a.spans().is_empty());
+    }
+
+    #[test]
+    fn no_back_to_back_repeats() {
+        let cfg = TimelineConfig::default();
+        let tl = ActivityTimeline::generate(&cfg, 7, SimDuration::from_secs(3_600));
+        for pair in tl.spans().windows(2) {
+            assert_ne!(pair[0].activity, pair[1].activity);
+        }
+    }
+
+    #[test]
+    fn spans_are_contiguous() {
+        let cfg = TimelineConfig::default();
+        let tl = ActivityTimeline::generate(&cfg, 8, SimDuration::from_secs(600));
+        for pair in tl.spans().windows(2) {
+            assert_eq!(pair[0].end(), pair[1].start);
+        }
+    }
+
+    #[test]
+    fn activity_at_matches_spans() {
+        let cfg = TimelineConfig::default();
+        let tl = ActivityTimeline::generate(&cfg, 9, SimDuration::from_secs(600));
+        for span in tl.spans() {
+            assert_eq!(tl.activity_at(span.start), span.activity);
+            let mid = span.start + span.duration / 2;
+            assert_eq!(tl.activity_at(mid), span.activity);
+        }
+        // Past the horizon: final activity.
+        let last = tl.spans().last().unwrap();
+        assert_eq!(
+            tl.activity_at(last.end() + SimDuration::from_secs(100)),
+            last.activity
+        );
+    }
+
+    #[test]
+    fn windows_iterate_at_period() {
+        let cfg = TimelineConfig::default();
+        let tl = ActivityTimeline::generate(&cfg, 10, SimDuration::from_secs(60));
+        let period = SimDuration::from_millis(500);
+        let windows: Vec<_> = tl.windows(period).collect();
+        assert_eq!(windows.len() as u64, tl.total_duration().steps_of(period));
+        assert_eq!(windows[0].0, SimTime::ZERO);
+        assert_eq!(windows[1].0, SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn dwell_scale_shortens_spans() {
+        let mut cfg = TimelineConfig::default();
+        let slow = ActivityTimeline::generate(&cfg, 11, SimDuration::from_secs(3600));
+        cfg.dwell_scale = 0.25;
+        let fast = ActivityTimeline::generate(&cfg, 11, SimDuration::from_secs(3600));
+        assert!(fast.spans().len() > 2 * slow.spans().len());
+    }
+
+    #[test]
+    fn single_class_set_never_transitions() {
+        let cfg = TimelineConfig {
+            activities: ActivitySet::new([ActivityClass::Walking]).unwrap(),
+            ..TimelineConfig::default()
+        };
+        let tl = ActivityTimeline::generate(&cfg, 12, SimDuration::from_secs(300));
+        assert!(tl
+            .spans()
+            .iter()
+            .all(|s| s.activity == ActivityClass::Walking));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        let _ = ActivityTimeline::generate(&TimelineConfig::default(), 0, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-user gait variation.
+//!
+//! "Each user has unique expressions of behaviour classes reflected in the
+//! sensor data. For example, gaits of two different people may
+//! significantly vary" (Section III-C). A [`UserProfile`] perturbs the
+//! population-level [`ActivitySignature`](crate::ActivitySignature) with
+//! multiplicative frequency/amplitude scaling, a phase offset and extra
+//! noise, all derived deterministically from a seed.
+
+use origin_types::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A user's idiosyncratic motion characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserProfile {
+    /// Who this profile belongs to.
+    pub user: UserId,
+    /// Multiplies every signature's fundamental frequency.
+    pub freq_scale: f64,
+    /// Multiplies every signature's oscillation amplitudes.
+    pub amp_scale: f64,
+    /// Constant phase offset, radians.
+    pub phase: f64,
+    /// Multiplies every signature's noise std.
+    pub noise_scale: f64,
+}
+
+impl UserProfile {
+    /// The canonical "training population" profile: no deviation.
+    #[must_use]
+    pub fn nominal(user: UserId) -> Self {
+        Self {
+            user,
+            freq_scale: 1.0,
+            amp_scale: 1.0,
+            phase: 0.0,
+            noise_scale: 1.0,
+        }
+    }
+
+    /// A mildly varied profile, representative of users inside the
+    /// training distribution. `spread` 0.05–0.10 is typical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spread` is negative or ≥ 0.5 (scales must stay
+    /// positive).
+    #[must_use]
+    pub fn sampled(user: UserId, spread: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&spread),
+            "spread must be in [0, 0.5), got {spread}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(user.as_u32()) << 32));
+        fn scale(rng: &mut StdRng, s: f64) -> f64 {
+            1.0 + s * (rng.gen::<f64>() * 2.0 - 1.0)
+        }
+        let freq_scale = scale(&mut rng, spread);
+        let amp_scale = scale(&mut rng, spread * 1.5);
+        let phase = rng.gen::<f64>() * core::f64::consts::TAU;
+        let noise_scale = scale(&mut rng, spread);
+        Self {
+            user,
+            freq_scale,
+            amp_scale,
+            phase,
+            noise_scale,
+        }
+    }
+
+    /// A previously-unseen user, outside the training distribution — the
+    /// Fig. 6 subjects. Deviations are roughly 1.5× the training spread.
+    #[must_use]
+    pub fn unseen(user: UserId, seed: u64) -> Self {
+        let mut p = Self::sampled(user, 0.12, seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Unseen users also move a little noisier overall.
+        p.noise_scale *= 1.08;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_identity() {
+        let p = UserProfile::nominal(UserId::new(0));
+        assert_eq!(p.freq_scale, 1.0);
+        assert_eq!(p.amp_scale, 1.0);
+        assert_eq!(p.phase, 0.0);
+        assert_eq!(p.noise_scale, 1.0);
+    }
+
+    #[test]
+    fn sampled_is_deterministic_per_user_and_seed() {
+        let a = UserProfile::sampled(UserId::new(1), 0.1, 7);
+        let b = UserProfile::sampled(UserId::new(1), 0.1, 7);
+        assert_eq!(a, b);
+        let c = UserProfile::sampled(UserId::new(2), 0.1, 7);
+        assert_ne!(a, c);
+        let d = UserProfile::sampled(UserId::new(1), 0.1, 8);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn sampled_stays_within_spread() {
+        for u in 0..20 {
+            let p = UserProfile::sampled(UserId::new(u), 0.1, 3);
+            assert!((p.freq_scale - 1.0).abs() <= 0.1 + 1e-12);
+            assert!((p.amp_scale - 1.0).abs() <= 0.15 + 1e-12);
+            assert!((p.noise_scale - 1.0).abs() <= 0.1 + 1e-12);
+            assert!(p.freq_scale > 0.0 && p.amp_scale > 0.0);
+        }
+    }
+
+    #[test]
+    fn unseen_users_deviate_more_than_training_spread() {
+        let deviations: Vec<f64> = (0..50)
+            .map(|u| {
+                let p = UserProfile::unseen(UserId::new(u), 11);
+                (p.freq_scale - 1.0).abs() + (p.amp_scale - 1.0).abs()
+            })
+            .collect();
+        let mean_dev = deviations.iter().sum::<f64>() / deviations.len() as f64;
+        assert!(mean_dev > 0.1, "unseen users too close to nominal: {mean_dev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn bad_spread_panics() {
+        let _ = UserProfile::sampled(UserId::new(0), 0.6, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the sensor substrate.
+
+use origin_sensors::{
+    add_noise_snr, sample_window, window_features, ActivityTimeline, DatasetSpec, TimelineConfig,
+    UserProfile, FEATURE_DIM,
+};
+use origin_types::{ActivityClass, SensorLocation, SimDuration, SimTime, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_features_are_finite_and_fixed_width(
+        activity_idx in 0usize..6,
+        location_idx in 0usize..3,
+        user_seed in 0u64..500,
+        window_seed in 0u64..500,
+    ) {
+        let spec = DatasetSpec::mhealth_like();
+        let activity = ActivityClass::from_index(activity_idx).expect("valid");
+        let location = SensorLocation::from_index(location_idx).expect("valid");
+        let user = UserProfile::sampled(UserId::new(0), 0.1, user_seed);
+        let mut rng = StdRng::seed_from_u64(window_seed);
+        let window = sample_window(&spec, activity, location, &user, &mut rng);
+        let features = window_features(&window);
+        prop_assert_eq!(features.len(), FEATURE_DIM);
+        prop_assert!(features.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn noise_injection_preserves_length_and_label(
+        snr_db in -5.0f64..40.0,
+        seed in 0u64..500,
+    ) {
+        let spec = DatasetSpec::mhealth_like();
+        let user = UserProfile::nominal(UserId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut window = sample_window(
+            &spec,
+            ActivityClass::Jogging,
+            SensorLocation::RightWrist,
+            &user,
+            &mut rng,
+        );
+        let len = window.len();
+        add_noise_snr(&mut window, snr_db, &mut rng);
+        prop_assert_eq!(window.len(), len);
+        prop_assert_eq!(window.activity(), ActivityClass::Jogging);
+        let all_finite = window
+            .samples()
+            .iter()
+            .all(|s| s.accel.iter().chain(&s.gyro).all(|v| v.is_finite()));
+        prop_assert!(all_finite);
+    }
+
+    #[test]
+    fn timeline_covers_horizon_without_gaps(
+        seed in 0u64..1_000,
+        horizon_secs in 10u64..2_000,
+        dwell_scale in 0.2f64..3.0,
+    ) {
+        let cfg = TimelineConfig {
+            dwell_scale,
+            ..TimelineConfig::default()
+        };
+        let horizon = SimDuration::from_secs(horizon_secs);
+        let tl = ActivityTimeline::generate(&cfg, seed, horizon);
+        prop_assert!(tl.total_duration() >= horizon);
+        // Contiguity and no zero-length spans.
+        for pair in tl.spans().windows(2) {
+            prop_assert_eq!(pair[0].end(), pair[1].start);
+            prop_assert!(!pair[0].duration.is_zero());
+            prop_assert_ne!(pair[0].activity, pair[1].activity);
+        }
+        // activity_at agrees with the span list at every boundary.
+        for span in tl.spans() {
+            prop_assert_eq!(tl.activity_at(span.start), span.activity);
+        }
+        let _ = tl.activity_at(SimTime::ZERO);
+    }
+
+    #[test]
+    fn user_profiles_are_physical(
+        user in 0u32..200,
+        seed in 0u64..500,
+        spread in 0.0f64..0.45,
+    ) {
+        let p = UserProfile::sampled(UserId::new(user), spread, seed);
+        prop_assert!(p.freq_scale > 0.0);
+        prop_assert!(p.amp_scale > 0.0);
+        prop_assert!(p.noise_scale > 0.0);
+        prop_assert!(p.phase.is_finite());
+        let u = UserProfile::unseen(UserId::new(user), seed);
+        prop_assert!(u.freq_scale > 0.0 && u.amp_scale > 0.0 && u.noise_scale > 0.0);
+    }
+}

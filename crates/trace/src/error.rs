@@ -1,0 +1,98 @@
+//! Error type for trace construction and I/O.
+
+use core::fmt;
+
+/// Errors produced by trace construction, resampling and CSV I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A trace was constructed with no samples.
+    EmptyTrace,
+    /// A trace was constructed with a zero sample interval.
+    ZeroInterval,
+    /// A sample value was negative or non-finite.
+    InvalidSample {
+        /// Index of the offending sample.
+        index: usize,
+        /// The offending value in microwatts.
+        microwatts: f64,
+    },
+    /// A requested slice lies (partly) outside the trace.
+    SliceOutOfRange,
+    /// A CSV line could not be parsed.
+    ParseLine {
+        /// 1-based line number.
+        line: usize,
+        /// The unparsable content.
+        content: String,
+    },
+    /// Underlying I/O failure while reading or writing a trace file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::EmptyTrace => write!(f, "power trace must contain at least one sample"),
+            TraceError::ZeroInterval => write!(f, "power trace sample interval must be non-zero"),
+            TraceError::InvalidSample { index, microwatts } => write!(
+                f,
+                "sample {index} is invalid ({microwatts} uW); samples must be finite and non-negative"
+            ),
+            TraceError::SliceOutOfRange => write!(f, "requested slice exceeds trace bounds"),
+            TraceError::ParseLine { line, content } => {
+                write!(f, "cannot parse trace CSV line {line}: `{content}`")
+            }
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let variants: Vec<TraceError> = vec![
+            TraceError::EmptyTrace,
+            TraceError::ZeroInterval,
+            TraceError::InvalidSample {
+                index: 3,
+                microwatts: -1.0,
+            },
+            TraceError::SliceOutOfRange,
+            TraceError::ParseLine {
+                line: 2,
+                content: "x".into(),
+            },
+            TraceError::Io(std::io::Error::other("boom")),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = TraceError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+        assert!(TraceError::EmptyTrace.source().is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Minimal CSV persistence for power traces.
+//!
+//! Format: a header line `interval_us,<n>` followed by one µW sample per
+//! line. This keeps generated calibration traces inspectable with ordinary
+//! text tools without pulling a CSV dependency into the workspace.
+
+use crate::error::TraceError;
+use crate::trace::PowerTrace;
+use origin_types::SimDuration;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes `trace` to `writer` in the workspace CSV format.
+///
+/// A `&mut` reference may be passed for `writer` (the std blanket impl of
+/// [`Write`] for `&mut W` applies).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the underlying writer fails.
+pub fn write_trace_csv<W: Write>(trace: &PowerTrace, writer: W) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "interval_us,{}", trace.interval().as_micros())?;
+    for sample in trace.samples_microwatts() {
+        writeln!(w, "{sample}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace previously written with [`write_trace_csv`].
+///
+/// A `&mut` reference may be passed for `reader`.
+///
+/// # Errors
+///
+/// * [`TraceError::ParseLine`] when the header or a sample line is
+///   malformed.
+/// * [`TraceError::EmptyTrace`] / [`TraceError::InvalidSample`] when the
+///   parsed content does not form a valid trace.
+/// * [`TraceError::Io`] on underlying reader failure.
+pub fn read_trace_csv<R: Read>(reader: R) -> Result<PowerTrace, TraceError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or(TraceError::EmptyTrace)?
+        .map_err(TraceError::Io)?;
+    let interval_us: u64 = header
+        .strip_prefix("interval_us,")
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| TraceError::ParseLine {
+            line: 1,
+            content: header.clone(),
+        })?;
+    let mut samples = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line.map_err(TraceError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let value: f64 = trimmed.parse().map_err(|_| TraceError::ParseLine {
+            line: i + 2,
+            content: line.clone(),
+        })?;
+        samples.push(value);
+    }
+    PowerTrace::from_microwatts(samples, SimDuration::from_micros(interval_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wifi::WifiOfficeModel;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = WifiOfficeModel::default().generate(11, SimDuration::from_secs(5));
+        let mut buf = Vec::new();
+        write_trace_csv(&trace, &mut buf).unwrap();
+        let back = read_trace_csv(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_trace_csv("bogus\n1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::ParseLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_sample_line() {
+        let err = read_trace_csv("interval_us,1000\nnot-a-number\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::ParseLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(
+            read_trace_csv("".as_bytes()),
+            Err(TraceError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let trace = read_trace_csv("interval_us,1000\n1.5\n\n2.5\n".as_bytes()).unwrap();
+        assert_eq!(trace.samples_microwatts(), &[1.5, 2.5]);
+        assert_eq!(trace.interval(), SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn rejects_negative_sample_via_trace_validation() {
+        let err = read_trace_csv("interval_us,1000\n-4.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::InvalidSample { .. }));
+    }
+}

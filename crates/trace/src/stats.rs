@@ -1,0 +1,152 @@
+//! Summary statistics over trace samples.
+
+use origin_types::Power;
+
+/// Summary statistics of a power trace, used to calibrate synthetic traces
+/// against the shapes reported for the ReSiRCa office trace and to derive
+/// pruning budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    mean: Power,
+    min: Power,
+    max: Power,
+    std_dev: Power,
+    p50: Power,
+    p95: Power,
+    /// Fraction of samples that are (near) zero — the "power emergency"
+    /// density the NVP must ride through.
+    zero_fraction: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics from raw µW samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty (traces are never empty by
+    /// construction).
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty trace");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let pct = |q: f64| -> f64 {
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        let zero_fraction = samples.iter().filter(|&&s| s < 1e-9).count() as f64 / n;
+        Self {
+            mean: Power::from_microwatts(mean),
+            min: Power::from_microwatts(sorted[0]),
+            max: Power::from_microwatts(*sorted.last().expect("non-empty")),
+            std_dev: Power::from_microwatts(var.sqrt()),
+            p50: Power::from_microwatts(pct(0.5)),
+            p95: Power::from_microwatts(pct(0.95)),
+            zero_fraction,
+        }
+    }
+
+    /// Mean power.
+    #[must_use]
+    pub fn mean(&self) -> Power {
+        self.mean
+    }
+
+    /// Minimum sample.
+    #[must_use]
+    pub fn min(&self) -> Power {
+        self.min
+    }
+
+    /// Maximum sample.
+    #[must_use]
+    pub fn max(&self) -> Power {
+        self.max
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> Power {
+        self.std_dev
+    }
+
+    /// Median power.
+    #[must_use]
+    pub fn median(&self) -> Power {
+        self.p50
+    }
+
+    /// 95th-percentile power.
+    #[must_use]
+    pub fn p95(&self) -> Power {
+        self.p95
+    }
+
+    /// Fraction of samples below 1e-9 µW.
+    #[must_use]
+    pub fn zero_fraction(&self) -> f64 {
+        self.zero_fraction
+    }
+
+    /// Coefficient of variation (σ/µ); ≳1 indicates the bursty regime the
+    /// paper calls "fickle". Zero-mean traces report 0.
+    #[must_use]
+    pub fn burstiness(&self) -> f64 {
+        let mean = self.mean.as_microwatts();
+        if mean <= 0.0 {
+            0.0
+        } else {
+            self.std_dev.as_microwatts() / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_stats() {
+        let s = TraceStats::from_samples(&[50.0; 10]);
+        assert!((s.mean().as_microwatts() - 50.0).abs() < 1e-12);
+        assert_eq!(s.min(), s.max());
+        assert!(s.std_dev().as_microwatts() < 1e-12);
+        assert_eq!(s.zero_fraction(), 0.0);
+        assert!(s.burstiness() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = TraceStats::from_samples(&[0.0, 10.0, 20.0, 30.0, 40.0]);
+        assert!((s.median().as_microwatts() - 20.0).abs() < 1e-12);
+        assert!((s.p95().as_microwatts() - 38.0).abs() < 1e-9);
+        assert!((s.zero_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_trace_has_high_cv() {
+        let mut samples = vec![0.0; 90];
+        samples.extend(vec![500.0; 10]);
+        let s = TraceStats::from_samples(&samples);
+        assert!(s.burstiness() > 2.0, "cv = {}", s.burstiness());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = TraceStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn zero_mean_burstiness_is_zero() {
+        let s = TraceStats::from_samples(&[0.0, 0.0]);
+        assert_eq!(s.burstiness(), 0.0);
+        assert_eq!(s.zero_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Fixed-interval power traces with exact piecewise-constant integration.
+
+use crate::error::TraceError;
+use crate::stats::TraceStats;
+use origin_types::{Energy, Power, SimDuration, SimTime};
+
+/// A power time-series sampled at a fixed interval.
+///
+/// Samples are interpreted as *piecewise constant*: sample `i` is the power
+/// held over `[i * dt, (i + 1) * dt)`. Integration over arbitrary spans is
+/// exact under this interpretation, which keeps the simulator's energy
+/// accounting deterministic and order-independent.
+///
+/// ```
+/// use origin_trace::PowerTrace;
+/// use origin_types::{Power, SimDuration, SimTime};
+///
+/// let trace = PowerTrace::from_microwatts(
+///     vec![100.0, 0.0, 50.0],
+///     SimDuration::from_millis(100),
+/// )?;
+/// // 100uW for 100ms = 10uJ, then 0, then 50uW for 100ms = 5uJ.
+/// let e = trace.energy_between(SimTime::ZERO, SimTime::from_millis(300));
+/// assert!((e.as_microjoules() - 15.0).abs() < 1e-9);
+/// # Ok::<(), origin_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTrace {
+    samples_uw: Vec<f64>,
+    interval: SimDuration,
+}
+
+impl PowerTrace {
+    /// Builds a trace from µW samples at the given interval.
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::EmptyTrace`] when `samples_uw` is empty.
+    /// * [`TraceError::ZeroInterval`] when `interval` is zero.
+    /// * [`TraceError::InvalidSample`] when any sample is negative or
+    ///   non-finite.
+    pub fn from_microwatts(
+        samples_uw: Vec<f64>,
+        interval: SimDuration,
+    ) -> Result<Self, TraceError> {
+        if samples_uw.is_empty() {
+            return Err(TraceError::EmptyTrace);
+        }
+        if interval.is_zero() {
+            return Err(TraceError::ZeroInterval);
+        }
+        for (index, &uw) in samples_uw.iter().enumerate() {
+            if !uw.is_finite() || uw < 0.0 {
+                return Err(TraceError::InvalidSample {
+                    index,
+                    microwatts: uw,
+                });
+            }
+        }
+        Ok(Self {
+            samples_uw,
+            interval,
+        })
+    }
+
+    /// The sampling interval.
+    #[must_use]
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples_uw.len()
+    }
+
+    /// Whether the trace has no samples (never true for a constructed trace).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples_uw.is_empty()
+    }
+
+    /// Total covered duration (`len * interval`).
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.interval * self.samples_uw.len() as u64
+    }
+
+    /// Raw µW samples.
+    #[must_use]
+    pub fn samples_microwatts(&self) -> &[f64] {
+        &self.samples_uw
+    }
+
+    /// Instantaneous power at `t` (piecewise constant; clamps past the end
+    /// to the final sample).
+    #[must_use]
+    pub fn power_at(&self, t: SimTime) -> Power {
+        let idx = (t.as_micros() / self.interval.as_micros()) as usize;
+        let idx = idx.min(self.samples_uw.len() - 1);
+        Power::from_microwatts(self.samples_uw[idx])
+    }
+
+    /// Exact energy delivered over `[from, to)` under the piecewise-constant
+    /// interpretation. Times past the end of the trace contribute at the
+    /// final sample's power (see [`TraceSource::looping`] for wraparound
+    /// semantics instead).
+    ///
+    /// Returns zero when `to <= from`.
+    ///
+    /// [`TraceSource::looping`]: crate::TraceSource::looping
+    #[must_use]
+    pub fn energy_between(&self, from: SimTime, to: SimTime) -> Energy {
+        if to <= from {
+            return Energy::ZERO;
+        }
+        let dt_us = self.interval.as_micros();
+        let mut total_uj = 0.0;
+        let mut cursor = from.as_micros();
+        let end = to.as_micros();
+        while cursor < end {
+            let idx = ((cursor / dt_us) as usize).min(self.samples_uw.len() - 1);
+            // End of the sample bucket containing `cursor`, or the end of the
+            // requested span, whichever comes first. The final bucket extends
+            // to infinity (clamp semantics).
+            let bucket_end = if idx + 1 >= self.samples_uw.len() {
+                end
+            } else {
+                (((cursor / dt_us) + 1) * dt_us).min(end)
+            };
+            let span_s = (bucket_end - cursor) as f64 / 1e6;
+            total_uj += self.samples_uw[idx] * span_s;
+            cursor = bucket_end;
+        }
+        Energy::from_microjoules(total_uj)
+    }
+
+    /// Mean power over the whole trace.
+    ///
+    /// Baseline-2's pruning budget is "the average harvested power budget
+    /// from our harvesting trace" (Section IV-C) — this is that number.
+    #[must_use]
+    pub fn mean_power(&self) -> Power {
+        let sum: f64 = self.samples_uw.iter().sum();
+        Power::from_microwatts(sum / self.samples_uw.len() as f64)
+    }
+
+    /// Summary statistics over the samples.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_samples(&self.samples_uw)
+    }
+
+    /// A new trace with every sample multiplied by `factor`.
+    ///
+    /// Used to model location-dependent harvest efficiency (a chest-mounted
+    /// antenna sees different incident RF than an ankle).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> PowerTrace {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        PowerTrace {
+            samples_uw: self.samples_uw.iter().map(|&s| s * factor).collect(),
+            interval: self.interval,
+        }
+    }
+
+    /// A contiguous sub-trace covering `[from, from + len)` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::SliceOutOfRange`] when the range exceeds the
+    /// trace, and [`TraceError::EmptyTrace`] when `len` is zero.
+    pub fn slice(&self, from: usize, len: usize) -> Result<PowerTrace, TraceError> {
+        if len == 0 {
+            return Err(TraceError::EmptyTrace);
+        }
+        let end = from.checked_add(len).ok_or(TraceError::SliceOutOfRange)?;
+        if end > self.samples_uw.len() {
+            return Err(TraceError::SliceOutOfRange);
+        }
+        Ok(PowerTrace {
+            samples_uw: self.samples_uw[from..end].to_vec(),
+            interval: self.interval,
+        })
+    }
+
+    /// Resamples to a new interval by exact energy-preserving averaging.
+    ///
+    /// The resampled trace delivers the same energy over any span aligned to
+    /// both intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ZeroInterval`] when `new_interval` is zero.
+    pub fn resampled(&self, new_interval: SimDuration) -> Result<PowerTrace, TraceError> {
+        if new_interval.is_zero() {
+            return Err(TraceError::ZeroInterval);
+        }
+        let total = self.duration();
+        let n = total.as_micros().div_ceil(new_interval.as_micros());
+        let n = n.max(1);
+        let mut samples = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let from = SimTime::from_micros(i * new_interval.as_micros());
+            let to = SimTime::from_micros((i + 1) * new_interval.as_micros());
+            let e = self.energy_between(from, to);
+            samples.push(e.as_microjoules() / new_interval.as_secs_f64());
+        }
+        PowerTrace::from_microwatts(samples, new_interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(samples: Vec<f64>, ms: u64) -> PowerTrace {
+        PowerTrace::from_microwatts(samples, SimDuration::from_millis(ms)).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            PowerTrace::from_microwatts(vec![], SimDuration::from_millis(1)),
+            Err(TraceError::EmptyTrace)
+        ));
+        assert!(matches!(
+            PowerTrace::from_microwatts(vec![1.0], SimDuration::ZERO),
+            Err(TraceError::ZeroInterval)
+        ));
+        assert!(matches!(
+            PowerTrace::from_microwatts(vec![1.0, -2.0], SimDuration::from_millis(1)),
+            Err(TraceError::InvalidSample { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn integration_is_exact_for_aligned_spans() {
+        let t = trace(vec![100.0, 0.0, 50.0], 100);
+        let e = t.energy_between(SimTime::ZERO, SimTime::from_millis(300));
+        assert!((e.as_microjoules() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integration_handles_partial_buckets() {
+        let t = trace(vec![100.0, 0.0], 100);
+        // 50ms inside the first bucket = 5uJ.
+        let e = t.energy_between(SimTime::from_millis(25), SimTime::from_millis(75));
+        assert!((e.as_microjoules() - 5.0).abs() < 1e-9);
+        // Straddle the boundary: 50ms at 100uW + 50ms at 0uW.
+        let e = t.energy_between(SimTime::from_millis(50), SimTime::from_millis(150));
+        assert!((e.as_microjoules() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integration_clamps_past_end() {
+        let t = trace(vec![100.0], 100);
+        let e = t.energy_between(SimTime::from_millis(100), SimTime::from_millis(200));
+        assert!((e.as_microjoules() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_inverted_spans_are_zero() {
+        let t = trace(vec![100.0], 100);
+        assert_eq!(t.energy_between(SimTime::ZERO, SimTime::ZERO), Energy::ZERO);
+        assert_eq!(
+            t.energy_between(SimTime::from_millis(50), SimTime::ZERO),
+            Energy::ZERO
+        );
+    }
+
+    #[test]
+    fn mean_power_and_power_at() {
+        let t = trace(vec![10.0, 30.0], 100);
+        assert!((t.mean_power().as_microwatts() - 20.0).abs() < 1e-12);
+        assert_eq!(t.power_at(SimTime::ZERO).as_microwatts(), 10.0);
+        assert_eq!(t.power_at(SimTime::from_millis(150)).as_microwatts(), 30.0);
+        assert_eq!(t.power_at(SimTime::from_millis(900)).as_microwatts(), 30.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_samples() {
+        let t = trace(vec![10.0, 20.0], 100).scaled(1.5);
+        assert_eq!(t.samples_microwatts(), &[15.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_negative() {
+        let _ = trace(vec![10.0], 100).scaled(-1.0);
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let t = trace(vec![1.0, 2.0, 3.0, 4.0], 100);
+        let s = t.slice(1, 2).unwrap();
+        assert_eq!(s.samples_microwatts(), &[2.0, 3.0]);
+        assert!(matches!(t.slice(3, 2), Err(TraceError::SliceOutOfRange)));
+        assert!(matches!(t.slice(0, 0), Err(TraceError::EmptyTrace)));
+        assert!(matches!(
+            t.slice(usize::MAX, 2),
+            Err(TraceError::SliceOutOfRange)
+        ));
+    }
+
+    #[test]
+    fn resample_preserves_energy() {
+        let t = trace(vec![100.0, 0.0, 50.0, 50.0], 100);
+        let r = t.resampled(SimDuration::from_millis(200)).unwrap();
+        assert_eq!(r.len(), 2);
+        let span = (SimTime::ZERO, SimTime::from_millis(400));
+        let e0 = t.energy_between(span.0, span.1).as_microjoules();
+        let e1 = r.energy_between(span.0, span.1).as_microjoules();
+        assert!((e0 - e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_upsamples_too() {
+        let t = trace(vec![100.0], 200);
+        let r = t.resampled(SimDuration::from_millis(100)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!((r.samples_microwatts()[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_is_len_times_interval() {
+        let t = trace(vec![1.0; 7], 250);
+        assert_eq!(t.duration(), SimDuration::from_millis(1750));
+        assert_eq!(t.len(), 7);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for power traces and sources.
+
+use origin_trace::{PowerSource, PowerTrace, ScaledSource, TraceSource, WifiOfficeModel};
+use origin_types::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = PowerTrace> {
+    (
+        proptest::collection::vec(0.0f64..500.0, 1..200),
+        1u64..1_000,
+    )
+        .prop_map(|(samples, interval_ms)| {
+            PowerTrace::from_microwatts(samples, SimDuration::from_millis(interval_ms))
+                .expect("valid by construction")
+        })
+}
+
+proptest! {
+    #[test]
+    fn integration_is_additive(trace in arb_trace(), a in 0u64..100_000, b in 0u64..100_000, c in 0u64..100_000) {
+        let mut points = [a, b, c];
+        points.sort_unstable();
+        let [a, b, c] = points.map(SimTime::from_micros);
+        let whole = trace.energy_between(a, c).as_microjoules();
+        let split = trace.energy_between(a, b).as_microjoules()
+            + trace.energy_between(b, c).as_microjoules();
+        prop_assert!((whole - split).abs() < 1e-6, "whole {whole} vs split {split}");
+    }
+
+    #[test]
+    fn integration_is_monotone_in_span(trace in arb_trace(), a in 0u64..100_000, d1 in 0u64..50_000, d2 in 0u64..50_000) {
+        let start = SimTime::from_micros(a);
+        let shorter = trace.energy_between(start, SimTime::from_micros(a + d1.min(d2)));
+        let longer = trace.energy_between(start, SimTime::from_micros(a + d1.max(d2)));
+        prop_assert!(longer >= shorter);
+    }
+
+    #[test]
+    fn stats_are_ordered(trace in arb_trace()) {
+        let s = trace.stats();
+        prop_assert!(s.min() <= s.median());
+        prop_assert!(s.median() <= s.max());
+        prop_assert!(s.min() <= s.mean() && s.mean() <= s.max());
+        prop_assert!((0.0..=1.0).contains(&s.zero_fraction()));
+    }
+
+    #[test]
+    fn scaling_scales_energy(trace in arb_trace(), factor in 0.0f64..10.0, span_ms in 1u64..10_000) {
+        let source = ScaledSource::new(TraceSource::new(trace.clone()), factor);
+        let base = TraceSource::new(trace);
+        let to = SimTime::from_millis(span_ms);
+        let scaled = source.energy_between(SimTime::ZERO, to).as_microjoules();
+        let plain = base.energy_between(SimTime::ZERO, to).as_microjoules() * factor;
+        prop_assert!((scaled - plain).abs() < 1e-6);
+    }
+
+    #[test]
+    fn looping_source_is_additive(trace in arb_trace(), a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let src = TraceSource::looping(trace);
+        let mut points = [a, b, c];
+        points.sort_unstable();
+        let [a, b, c] = points.map(SimTime::from_micros);
+        let whole = src.energy_between(a, c).as_microjoules();
+        let split = src.energy_between(a, b).as_microjoules()
+            + src.energy_between(b, c).as_microjoules();
+        prop_assert!((whole - split).abs() < 1e-6, "whole {whole} vs split {split}");
+    }
+
+    #[test]
+    fn resampling_preserves_total_energy(trace in arb_trace(), new_interval_ms in 1u64..2_000) {
+        let resampled = trace.resampled(SimDuration::from_millis(new_interval_ms)).expect("valid");
+        // Compare total energy over the common horizon covered by both.
+        let horizon = trace.duration().min(resampled.duration());
+        let end = SimTime::from_micros(horizon.as_micros());
+        let before = trace.energy_between(SimTime::ZERO, end).as_microjoules();
+        let after = resampled.energy_between(SimTime::ZERO, end).as_microjoules();
+        // Clamp semantics at the tail allow a one-bucket discrepancy.
+        let tolerance = 500.0 * (new_interval_ms.max(trace.interval().as_millis()) as f64) / 1_000.0 + 1e-6;
+        prop_assert!((before - after).abs() <= tolerance, "{before} vs {after}");
+    }
+
+    #[test]
+    fn wifi_generation_is_deterministic_and_positive(seed in 0u64..1_000, secs in 1u64..120) {
+        let model = WifiOfficeModel::default();
+        let a = model.generate(seed, SimDuration::from_secs(secs));
+        let b = model.generate(seed, SimDuration::from_secs(secs));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.samples_microwatts().iter().all(|&s| s >= 0.0));
+    }
+}

@@ -1,0 +1,303 @@
+//! Human activity classes and dataset-specific class sets.
+
+use crate::error::TypesError;
+
+/// The human activities classified in the paper's evaluation.
+///
+/// The MHEALTH evaluation (Fig. 2, Fig. 4, Fig. 5a, Table I) uses all six
+/// classes; the PAMAP2 evaluation (Fig. 5b) omits [`ActivityClass::Jogging`].
+///
+/// ```
+/// use origin_types::ActivityClass;
+/// assert_eq!(ActivityClass::ALL.len(), 6);
+/// assert_eq!(ActivityClass::Walking.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActivityClass {
+    /// Steady walking gait.
+    Walking,
+    /// Climbing stairs.
+    Climbing,
+    /// Cycling (dominant ankle rotation, quiet torso).
+    Cycling,
+    /// Running.
+    Running,
+    /// Jogging (between walking and running in intensity).
+    Jogging,
+    /// Repeated vertical jumping.
+    Jumping,
+}
+
+impl ActivityClass {
+    /// All six activities in canonical (index) order.
+    pub const ALL: [ActivityClass; 6] = [
+        ActivityClass::Walking,
+        ActivityClass::Climbing,
+        ActivityClass::Cycling,
+        ActivityClass::Running,
+        ActivityClass::Jogging,
+        ActivityClass::Jumping,
+    ];
+
+    /// Number of activity classes across both datasets.
+    pub const COUNT: usize = 6;
+
+    /// Stable index of this class in [`ActivityClass::ALL`].
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            ActivityClass::Walking => 0,
+            ActivityClass::Climbing => 1,
+            ActivityClass::Cycling => 2,
+            ActivityClass::Running => 3,
+            ActivityClass::Jogging => 4,
+            ActivityClass::Jumping => 5,
+        }
+    }
+
+    /// Inverse of [`ActivityClass::index`].
+    #[must_use]
+    pub const fn from_index(index: usize) -> Option<ActivityClass> {
+        match index {
+            0 => Some(ActivityClass::Walking),
+            1 => Some(ActivityClass::Climbing),
+            2 => Some(ActivityClass::Cycling),
+            3 => Some(ActivityClass::Running),
+            4 => Some(ActivityClass::Jogging),
+            5 => Some(ActivityClass::Jumping),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label used in experiment tables.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            ActivityClass::Walking => "Walking",
+            ActivityClass::Climbing => "Climbing",
+            ActivityClass::Cycling => "Cycling",
+            ActivityClass::Running => "Running",
+            ActivityClass::Jogging => "Jogging",
+            ActivityClass::Jumping => "Jumping",
+        }
+    }
+
+    /// Typical dwell time of the activity in milliseconds, used by the
+    /// semi-Markov activity timeline ("temporal continuity", Section III-A).
+    ///
+    /// Values follow the MHEALTH/PAMAP2 collection protocols, where each
+    /// subject performs an activity continuously for on the order of a
+    /// minute. High-intensity, rapid activities (jumping) dwell for
+    /// shorter spans than locomotion activities — this is what makes very
+    /// deep round-robin policies risk "missing an activity window"
+    /// (Section IV-C).
+    #[must_use]
+    pub const fn typical_dwell_ms(self) -> u64 {
+        match self {
+            ActivityClass::Walking => 75_000,
+            ActivityClass::Climbing => 60_000,
+            ActivityClass::Cycling => 90_000,
+            ActivityClass::Running => 60_000,
+            ActivityClass::Jogging => 60_000,
+            ActivityClass::Jumping => 35_000,
+        }
+    }
+}
+
+impl core::fmt::Display for ActivityClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl core::str::FromStr for ActivityClass {
+    type Err = TypesError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ActivityClass::ALL
+            .into_iter()
+            .find(|c| c.label().eq_ignore_ascii_case(s.trim()))
+            .ok_or_else(|| TypesError::ParseActivity(s.to_owned()))
+    }
+}
+
+/// The subset of [`ActivityClass`]es a dataset evaluates over.
+///
+/// `ActivitySet` preserves the canonical class ordering and provides the
+/// mapping between *global* class indices (0..6) and *dense* per-dataset
+/// label indices (0..n) that classifiers are trained with.
+///
+/// ```
+/// use origin_types::{ActivityClass, ActivitySet};
+///
+/// let pamap2 = ActivitySet::pamap2();
+/// assert_eq!(pamap2.len(), 5);
+/// assert!(!pamap2.contains(ActivityClass::Jogging));
+/// assert_eq!(pamap2.dense_index(ActivityClass::Running), Some(3));
+/// assert_eq!(pamap2.class_at(3), Some(ActivityClass::Running));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ActivitySet {
+    classes: Vec<ActivityClass>,
+}
+
+impl ActivitySet {
+    /// Builds a set from the given classes, deduplicating and sorting them
+    /// into canonical order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypesError::EmptyActivitySet`] when `classes` is empty.
+    pub fn new(classes: impl IntoIterator<Item = ActivityClass>) -> Result<Self, TypesError> {
+        let mut classes: Vec<ActivityClass> = classes.into_iter().collect();
+        classes.sort();
+        classes.dedup();
+        if classes.is_empty() {
+            return Err(TypesError::EmptyActivitySet);
+        }
+        Ok(Self { classes })
+    }
+
+    /// The six-class MHEALTH evaluation set.
+    #[must_use]
+    pub fn mhealth() -> Self {
+        Self {
+            classes: ActivityClass::ALL.to_vec(),
+        }
+    }
+
+    /// The five-class PAMAP2 evaluation set (no jogging, per Fig. 5b).
+    #[must_use]
+    pub fn pamap2() -> Self {
+        Self {
+            classes: vec![
+                ActivityClass::Walking,
+                ActivityClass::Climbing,
+                ActivityClass::Cycling,
+                ActivityClass::Running,
+                ActivityClass::Jumping,
+            ],
+        }
+    }
+
+    /// Number of classes in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Whether `class` is a member.
+    #[must_use]
+    pub fn contains(&self, class: ActivityClass) -> bool {
+        self.classes.contains(&class)
+    }
+
+    /// Dense label index (0..len) of `class`, or `None` if not a member.
+    #[must_use]
+    pub fn dense_index(&self, class: ActivityClass) -> Option<usize> {
+        self.classes.iter().position(|&c| c == class)
+    }
+
+    /// Class at dense label index `index`.
+    #[must_use]
+    pub fn class_at(&self, index: usize) -> Option<ActivityClass> {
+        self.classes.get(index).copied()
+    }
+
+    /// Iterates over the member classes in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = ActivityClass> + '_ {
+        self.classes.iter().copied()
+    }
+
+    /// The member classes as a slice in canonical order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[ActivityClass] {
+        &self.classes
+    }
+}
+
+impl Default for ActivitySet {
+    fn default() -> Self {
+        Self::mhealth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_index_roundtrip() {
+        for class in ActivityClass::ALL {
+            assert_eq!(ActivityClass::from_index(class.index()), Some(class));
+        }
+        assert_eq!(ActivityClass::from_index(6), None);
+    }
+
+    #[test]
+    fn class_parses_from_label() {
+        for class in ActivityClass::ALL {
+            let parsed: ActivityClass = class.label().parse().unwrap();
+            assert_eq!(parsed, class);
+            let lower: ActivityClass = class.label().to_lowercase().parse().unwrap();
+            assert_eq!(lower, class);
+        }
+        assert!("flying".parse::<ActivityClass>().is_err());
+    }
+
+    #[test]
+    fn mhealth_set_has_all_six() {
+        let set = ActivitySet::mhealth();
+        assert_eq!(set.len(), 6);
+        for class in ActivityClass::ALL {
+            assert_eq!(set.dense_index(class), Some(class.index()));
+        }
+    }
+
+    #[test]
+    fn pamap2_set_skips_jogging() {
+        let set = ActivitySet::pamap2();
+        assert_eq!(set.len(), 5);
+        assert!(!set.contains(ActivityClass::Jogging));
+        assert_eq!(set.dense_index(ActivityClass::Jumping), Some(4));
+        assert_eq!(set.class_at(4), Some(ActivityClass::Jumping));
+        assert_eq!(set.class_at(5), None);
+    }
+
+    #[test]
+    fn new_deduplicates_and_sorts() {
+        let set = ActivitySet::new([
+            ActivityClass::Running,
+            ActivityClass::Walking,
+            ActivityClass::Running,
+        ])
+        .unwrap();
+        assert_eq!(
+            set.as_slice(),
+            &[ActivityClass::Walking, ActivityClass::Running]
+        );
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(matches!(
+            ActivitySet::new([]),
+            Err(TypesError::EmptyActivitySet)
+        ));
+    }
+
+    #[test]
+    fn dwell_times_are_positive_and_jumping_is_shortest() {
+        let jump = ActivityClass::Jumping.typical_dwell_ms();
+        for class in ActivityClass::ALL {
+            assert!(class.typical_dwell_ms() > 0);
+            assert!(class.typical_dwell_ms() >= jump);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the vocabulary crate.
+
+use core::fmt;
+
+/// Errors produced while constructing or parsing vocabulary types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TypesError {
+    /// A string did not name a known [`ActivityClass`](crate::ActivityClass).
+    ParseActivity(String),
+    /// An [`ActivitySet`](crate::ActivitySet) was constructed with no members.
+    EmptyActivitySet,
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::ParseActivity(s) => {
+                write!(f, "unknown activity class `{s}`")
+            }
+            TypesError::EmptyActivitySet => {
+                write!(f, "activity set must contain at least one class")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TypesError::ParseActivity("x".into()).to_string(),
+            "unknown activity class `x`"
+        );
+        assert_eq!(
+            TypesError::EmptyActivitySet.to_string(),
+            "activity set must contain at least one class"
+        );
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync>() {}
+        assert_traits::<TypesError>();
+    }
+}

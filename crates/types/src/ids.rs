@@ -1,0 +1,106 @@
+//! Opaque identifiers for simulation entities.
+
+use core::fmt;
+
+/// Identifier of a sensor node within a WSN deployment.
+///
+/// Node ids are dense indices assigned by the deployment builder; in the
+/// paper's three-sensor setup they coincide with
+/// [`SensorLocation::index`](crate::SensorLocation::index), but the
+/// simulator supports arbitrary node counts ("can also be extended to larger
+/// numbers of sensors", Section III footnote).
+///
+/// ```
+/// use origin_types::NodeId;
+/// let id = NodeId::new(2);
+/// assert_eq!(id.as_usize(), 2);
+/// assert_eq!(id.to_string(), "node#2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Constructs a node id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index, usable directly for array indexing.
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw u32 value.
+    #[must_use]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Identifier of a (possibly synthetic) user wearing the sensor network.
+///
+/// Users parameterize the synthetic gait models; Fig. 6 evaluates three
+/// previously-unseen users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UserId(u32);
+
+impl UserId {
+    /// Constructs a user id.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        UserId(index)
+    }
+
+    /// The raw u32 value.
+    #[must_use]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from(7u32);
+        assert_eq!(id.as_u32(), 7);
+        assert_eq!(id.as_usize(), 7);
+        assert_eq!(id, NodeId::new(7));
+    }
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(NodeId::new(0) < NodeId::new(1));
+        assert_eq!(NodeId::new(3).to_string(), "node#3");
+        assert_eq!(UserId::new(1).to_string(), "user#1");
+        assert_eq!(UserId::from(9u32).as_u32(), 9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Shared vocabulary types for the Origin reproduction.
+//!
+//! Every other crate in the workspace speaks in terms of the types defined
+//! here: activity classes ([`ActivityClass`]), body locations
+//! ([`SensorLocation`]), node identifiers ([`NodeId`]), simulated time
+//! ([`SimTime`], [`SimDuration`]) and physical quantities ([`Energy`],
+//! [`Power`]).
+//!
+//! The physical quantities are newtypes over `f64` (µJ and µW respectively)
+//! so that a harvest rate can never be accidentally added to a stored-energy
+//! figure without an explicit conversion through a duration
+//! ([`Power::over`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use origin_types::{Energy, Power, SimDuration};
+//!
+//! let harvest_rate = Power::from_microwatts(50.0);
+//! let window = SimDuration::from_millis(500);
+//! let harvested = harvest_rate.over(window);
+//! assert!((harvested.as_microjoules() - 25.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod error;
+pub mod ids;
+pub mod quantity;
+pub mod time;
+
+pub use activity::{ActivityClass, ActivitySet};
+pub use error::TypesError;
+pub use ids::{NodeId, UserId};
+pub use quantity::{Energy, Power};
+pub use time::{SimDuration, SimTime};
+
+/// Body locations of the three IMU sensor nodes used throughout the paper.
+///
+/// The evaluation setup in Section IV-A places one sensor at the chest, one
+/// on the right wrist and one on the left ankle. Every array indexed by
+/// sensor in this workspace uses [`SensorLocation::ALL`] ordering.
+///
+/// ```
+/// use origin_types::SensorLocation;
+/// assert_eq!(SensorLocation::ALL.len(), 3);
+/// assert_eq!(SensorLocation::Chest.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SensorLocation {
+    /// Sensor strapped to the chest.
+    Chest,
+    /// Sensor on the left ankle.
+    LeftAnkle,
+    /// Sensor on the right wrist.
+    RightWrist,
+}
+
+impl SensorLocation {
+    /// All locations in canonical (index) order.
+    pub const ALL: [SensorLocation; 3] = [
+        SensorLocation::Chest,
+        SensorLocation::LeftAnkle,
+        SensorLocation::RightWrist,
+    ];
+
+    /// Number of sensor locations in the paper's setup.
+    pub const COUNT: usize = 3;
+
+    /// Stable index of this location in [`SensorLocation::ALL`].
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            SensorLocation::Chest => 0,
+            SensorLocation::LeftAnkle => 1,
+            SensorLocation::RightWrist => 2,
+        }
+    }
+
+    /// Inverse of [`SensorLocation::index`].
+    ///
+    /// Returns `None` when `index >= 3`.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Option<SensorLocation> {
+        match index {
+            0 => Some(SensorLocation::Chest),
+            1 => Some(SensorLocation::LeftAnkle),
+            2 => Some(SensorLocation::RightWrist),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable label used in experiment tables.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            SensorLocation::Chest => "Chest",
+            SensorLocation::LeftAnkle => "Left Ankle",
+            SensorLocation::RightWrist => "Right Wrist",
+        }
+    }
+}
+
+impl core::fmt::Display for SensorLocation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_index_roundtrip() {
+        for loc in SensorLocation::ALL {
+            assert_eq!(SensorLocation::from_index(loc.index()), Some(loc));
+        }
+        assert_eq!(SensorLocation::from_index(3), None);
+    }
+
+    #[test]
+    fn location_labels_are_distinct() {
+        let labels: Vec<&str> = SensorLocation::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.windows(2).all(|w| w[0] != w[1]));
+        assert_eq!(SensorLocation::Chest.to_string(), "Chest");
+    }
+
+    #[test]
+    fn location_all_is_index_ordered() {
+        for (i, loc) in SensorLocation::ALL.iter().enumerate() {
+            assert_eq!(loc.index(), i);
+        }
+    }
+}

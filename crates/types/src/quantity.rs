@@ -1,0 +1,250 @@
+//! Physical quantities: energy (µJ) and power (µW).
+//!
+//! Both are thin newtypes over `f64`. The unit choice (micro-) matches the
+//! scale of the paper's platform: RF-harvested power is tens of µW and a
+//! pruned per-window inference costs tens to hundreds of µJ.
+
+use crate::time::SimDuration;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An amount of energy in microjoules.
+///
+/// ```
+/// use origin_types::{Energy, Power, SimDuration};
+/// let e = Energy::from_microjoules(90.0);
+/// assert_eq!(e + e, Energy::from_microjoules(180.0));
+/// assert!(e >= Energy::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+/// A power level in microwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Power(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Constructs an energy amount from microjoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uj` is not finite.
+    #[must_use]
+    pub fn from_microjoules(uj: f64) -> Self {
+        assert!(uj.is_finite(), "energy must be finite, got {uj}");
+        Energy(uj)
+    }
+
+    /// Constructs an energy amount from millijoules.
+    #[must_use]
+    pub fn from_millijoules(mj: f64) -> Self {
+        Self::from_microjoules(mj * 1e3)
+    }
+
+    /// Value in microjoules.
+    #[must_use]
+    pub const fn as_microjoules(self) -> f64 {
+        self.0
+    }
+
+    /// Value in millijoules.
+    #[must_use]
+    pub fn as_millijoules(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Clamps negative values to zero (storage can never go below empty).
+    #[must_use]
+    pub fn clamp_non_negative(self) -> Energy {
+        Energy(self.0.max(0.0))
+    }
+
+    /// The smaller of two energies.
+    #[must_use]
+    pub fn min(self, other: Energy) -> Energy {
+        Energy(self.0.min(other.0))
+    }
+
+    /// The larger of two energies.
+    #[must_use]
+    pub fn max(self, other: Energy) -> Energy {
+        Energy(self.0.max(other.0))
+    }
+
+    /// Average power when this energy is spread over `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `span` is zero.
+    #[must_use]
+    pub fn average_power(self, span: SimDuration) -> Power {
+        assert!(!span.is_zero(), "cannot average energy over zero duration");
+        Power(self.0 / span.as_secs_f64())
+    }
+}
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Constructs a power level from microwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uw` is not finite.
+    #[must_use]
+    pub fn from_microwatts(uw: f64) -> Self {
+        assert!(uw.is_finite(), "power must be finite, got {uw}");
+        Power(uw)
+    }
+
+    /// Constructs a power level from milliwatts.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self::from_microwatts(mw * 1e3)
+    }
+
+    /// Value in microwatts.
+    #[must_use]
+    pub const fn as_microwatts(self) -> f64 {
+        self.0
+    }
+
+    /// Energy delivered at this power over `span` (µW × s = µJ).
+    #[must_use]
+    pub fn over(self, span: SimDuration) -> Energy {
+        Energy(self.0 * span.as_secs_f64())
+    }
+
+    /// Clamps negative values to zero.
+    #[must_use]
+    pub fn clamp_non_negative(self) -> Power {
+        Power(self.0.max(0.0))
+    }
+}
+
+macro_rules! impl_linear_ops {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Neg for $ty {
+            type Output = $ty;
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+impl_linear_ops!(Energy);
+impl_linear_ops!(Power);
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}uJ", self.0)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}uW", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_over_duration_gives_energy() {
+        let p = Power::from_microwatts(50.0);
+        let e = p.over(SimDuration::from_millis(500));
+        assert!((e.as_microjoules() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_average_power_inverts_over() {
+        let span = SimDuration::from_secs(2);
+        let p = Power::from_microwatts(80.0);
+        let back = p.over(span).average_power(span);
+        assert!((back.as_microwatts() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_and_min_max() {
+        let e = Energy::from_microjoules(5.0) - Energy::from_microjoules(9.0);
+        assert!(e.as_microjoules() < 0.0);
+        assert_eq!(e.clamp_non_negative(), Energy::ZERO);
+        let a = Energy::from_microjoules(1.0);
+        let b = Energy::from_microjoules(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!((-Power::from_microwatts(3.0)).clamp_non_negative(), Power::ZERO);
+    }
+
+    #[test]
+    fn sums_and_scalars() {
+        let total: Energy = (0..4).map(|_| Energy::from_microjoules(2.5)).sum();
+        assert!((total.as_microjoules() - 10.0).abs() < 1e-12);
+        assert_eq!(
+            Power::from_milliwatts(1.0) * 2.0,
+            Power::from_microwatts(2000.0)
+        );
+        assert_eq!(
+            Energy::from_millijoules(1.0) / 4.0,
+            Energy::from_microjoules(250.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_energy_panics() {
+        let _ = Energy::from_microjoules(f64::NAN);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Energy::from_microjoules(12.345).to_string(), "12.35uJ");
+        assert_eq!(Power::from_microwatts(50.0).to_string(), "50.00uW");
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulated time: absolute instants and durations with microsecond
+//! resolution.
+//!
+//! Wall-clock types from `std::time` are deliberately not used — the
+//! discrete-event simulator owns its own clock, and integer microseconds
+//! keep stepping exact (no floating-point drift over long timelines).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in microseconds since the
+/// start of the simulation.
+///
+/// ```
+/// use origin_types::{SimDuration, SimTime};
+/// let t = SimTime::ZERO + SimDuration::from_millis(500);
+/// assert_eq!(t.as_micros(), 500_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs an instant from microseconds since simulation start.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Constructs an instant from milliseconds since simulation start.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Constructs an instant from whole seconds since simulation start.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since simulation start.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero when `earlier` is
+    /// in the future.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Constructs a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Constructs a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Length in microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Length in milliseconds (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Length in seconds as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Whether this is the zero duration.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Integer number of whole `step`s that fit in this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    #[must_use]
+    pub const fn steps_of(self, step: SimDuration) -> u64 {
+        assert!(step.0 != 0, "step duration must be non-zero");
+        self.0 / step.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics when `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::from_millis(100);
+        let t1 = t0 + SimDuration::from_millis(400);
+        assert_eq!(t1, SimTime::from_millis(500));
+        assert_eq!(t1 - t0, SimDuration::from_millis(400));
+        assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
+        assert_eq!(t1.saturating_since(t0), SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(500) * 4;
+        assert_eq!(d, SimDuration::from_secs(2));
+        assert_eq!(d / 2, SimDuration::from_secs(1));
+        assert_eq!(d.steps_of(SimDuration::from_millis(500)), 4);
+        let mut acc = SimDuration::ZERO;
+        acc += SimDuration::from_micros(3);
+        acc -= SimDuration::from_micros(1);
+        assert_eq!(acc.as_micros(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "t=1.500s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "0.250s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn steps_of_zero_panics() {
+        let _ = SimDuration::from_secs(1).steps_of(SimDuration::ZERO);
+    }
+}

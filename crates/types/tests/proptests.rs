@@ -1,0 +1,86 @@
+//! Property tests for the vocabulary types.
+
+use origin_types::{ActivityClass, ActivitySet, Energy, Power, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn finite_f64(max: f64) -> impl Strategy<Value = f64> {
+    (0.0..max).prop_map(|v| v)
+}
+
+proptest! {
+    #[test]
+    fn power_over_is_linear_in_duration(uw in finite_f64(1e6), ms in 0u64..1_000_000) {
+        let p = Power::from_microwatts(uw);
+        let half = p.over(SimDuration::from_millis(ms / 2));
+        let full = p.over(SimDuration::from_millis(ms / 2) * 2);
+        prop_assert!((full.as_microjoules() - 2.0 * half.as_microjoules()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_addition_is_commutative(a in finite_f64(1e9), b in finite_f64(1e9)) {
+        let (ea, eb) = (Energy::from_microjoules(a), Energy::from_microjoules(b));
+        prop_assert_eq!(ea + eb, eb + ea);
+    }
+
+    #[test]
+    fn clamp_non_negative_is_idempotent_and_sound(a in -1e9f64..1e9) {
+        let e = Energy::from_microjoules(a).clamp_non_negative();
+        prop_assert!(e >= Energy::ZERO);
+        prop_assert_eq!(e.clamp_non_negative(), e);
+    }
+
+    #[test]
+    fn average_power_inverts_over(uw in 0.001f64..1e6, secs in 1u64..10_000) {
+        let span = SimDuration::from_secs(secs);
+        let p = Power::from_microwatts(uw);
+        let back = p.over(span).average_power(span);
+        prop_assert!((back.as_microwatts() - uw).abs() / uw < 1e-9);
+    }
+
+    #[test]
+    fn time_add_sub_roundtrip(start in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_micros(start);
+        let d = SimDuration::from_micros(delta);
+        let t1 = t0 + d;
+        prop_assert_eq!(t1 - t0, d);
+        prop_assert_eq!(t1.saturating_since(t0), d);
+        prop_assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn steps_of_times_step_never_exceeds_total(total in 1u64..1_000_000_000, step in 1u64..1_000_000) {
+        let d = SimDuration::from_micros(total);
+        let s = SimDuration::from_micros(step);
+        let n = d.steps_of(s);
+        prop_assert!(n * step <= total);
+        prop_assert!((n + 1) * step > total);
+    }
+
+    #[test]
+    fn activity_set_roundtrips_dense_indices(mask in 1u8..(1 << 6)) {
+        let classes: Vec<ActivityClass> = ActivityClass::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        let set = ActivitySet::new(classes.clone()).expect("non-empty by construction");
+        prop_assert_eq!(set.len(), classes.len());
+        for class in classes {
+            let dense = set.dense_index(class).expect("member");
+            prop_assert_eq!(set.class_at(dense), Some(class));
+        }
+        // Dense labels are exactly 0..len, in canonical order.
+        for dense in 0..set.len() {
+            let class = set.class_at(dense).expect("in range");
+            prop_assert_eq!(set.dense_index(class), Some(dense));
+        }
+    }
+
+    #[test]
+    fn activity_parse_roundtrips(idx in 0usize..6) {
+        let class = ActivityClass::from_index(idx).expect("valid");
+        let parsed: ActivityClass = class.label().parse().expect("parses");
+        prop_assert_eq!(parsed, class);
+    }
+}

@@ -1,0 +1,83 @@
+//! The deployment workflow: train → energy-aware prune → quantize →
+//! persist → reload → verify the artifact classifies identically. This is
+//! what flashing a sensor node with its personalized classifier looks
+//! like.
+//!
+//! Run with: `cargo run --example deploy_roundtrip --release`
+
+use origin_repro::nn::{
+    load_classifier, prune_to_energy, quantize_weights, save_classifier, InferenceEnergyModel,
+    NnError, SensorClassifier, Trainer,
+};
+use origin_repro::sensors::{DatasetSpec, HarDataset};
+use origin_repro::types::{Energy, SensorLocation};
+
+fn main() -> Result<(), NnError> {
+    let spec = DatasetSpec::mhealth_like();
+    let location = SensorLocation::Chest;
+    let seed = 11;
+
+    // Train.
+    let dataset = HarDataset::generate(&spec, seed);
+    let train: Vec<(Vec<f64>, usize)> = dataset
+        .sensor(location)
+        .train
+        .iter()
+        .map(|s| (s.features.clone(), s.dense_label))
+        .collect();
+    let test: Vec<(Vec<f64>, usize)> = dataset
+        .sensor(location)
+        .test
+        .iter()
+        .map(|s| (s.features.clone(), s.dense_label))
+        .collect();
+    let trainer = Trainer::new().with_epochs(140).with_label_smoothing(0.1);
+    let mut clf = SensorClassifier::train(&[18], &train, spec.activities.clone(), &trainer, seed)?;
+    let em = InferenceEnergyModel::default();
+    println!(
+        "trained:   {:.1}% accuracy, {} per inference",
+        clf.evaluate(&test)?.accuracy().unwrap_or(0.0) * 100.0,
+        clf.inference_energy(&em)
+    );
+
+    // Prune to the harvest budget.
+    let norm_train = clf.normalize_data(&train);
+    prune_to_energy(
+        clf.mlp_mut(),
+        &em,
+        Energy::from_microjoules(80.0),
+        &norm_train,
+        &trainer,
+        0.15,
+        2,
+    )?;
+    println!(
+        "pruned:    {:.1}% accuracy, {} per inference, {:.0}% sparse",
+        clf.evaluate(&test)?.accuracy().unwrap_or(0.0) * 100.0,
+        clf.inference_energy(&em),
+        clf.mlp().sparsity() * 100.0
+    );
+
+    // Quantize for the fixed-point NPU.
+    let q = quantize_weights(clf.mlp_mut(), 8)?;
+    println!(
+        "quantized: {:.1}% accuracy at {} bits (rms weight error {:.5})",
+        clf.evaluate(&test)?.accuracy().unwrap_or(0.0) * 100.0,
+        q.bits,
+        q.rms_error
+    );
+
+    // Persist and reload — the flashable artifact.
+    let mut artifact = Vec::new();
+    save_classifier(&clf, &mut artifact)?;
+    println!("persisted: {} bytes of flashable model", artifact.len());
+    let reloaded = load_classifier(artifact.as_slice())?;
+    assert_eq!(clf, reloaded, "round-trip must be bit-exact");
+
+    // Verify behavioural identity on held-out data.
+    for (x, _) in test.iter().take(50) {
+        assert_eq!(clf.classify(x)?, reloaded.classify(x)?);
+    }
+    println!("verified:  reloaded model classifies identically on held-out data");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! # origin-repro — a reproduction of *Origin* (DATE 2021)
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//! the substrates (`types`, `trace`, `energy`, `sensors`, `nn`, `net`) and
+//! the policy layer (`core`) that together reproduce *Origin: Enabling
+//! On-Device Intelligence for Human Activity Recognition Using Energy
+//! Harvesting Wireless Sensor Networks*.
+//!
+//! Start with [`core::Simulator`] (the system simulator),
+//! [`core::ModelBank`] (the trained per-sensor classifiers) and
+//! [`core::experiments`] (drivers for every figure and table in the
+//! paper). The runnable binaries live in the `origin-bench` crate and the
+//! `examples/` directory; see the repository README for the experiment
+//! index.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use origin_repro::core::{Deployment, ModelBank, PolicyKind, SimConfig, Simulator};
+//! use origin_repro::sensors::DatasetSpec;
+//!
+//! # fn main() -> Result<(), origin_repro::core::CoreError> {
+//! let models = ModelBank::train(&DatasetSpec::mhealth_like(), 42)?;
+//! let sim = Simulator::new(Deployment::builder().seed(42).build(), models);
+//! let report = sim.run(&SimConfig::new(PolicyKind::Origin { cycle: 12 }))?;
+//! println!("RR12 Origin: {:.2}% top-1", report.accuracy() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use origin_core as core;
+pub use origin_energy as energy;
+pub use origin_net as net;
+pub use origin_nn as nn;
+pub use origin_sensors as sensors;
+pub use origin_trace as trace;
+pub use origin_types as types;

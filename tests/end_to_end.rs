@@ -1,0 +1,126 @@
+//! Cross-crate integration: the full train → deploy → simulate → score
+//! pipeline through the public facade, at a scale suitable for debug
+//! builds.
+
+use origin_repro::core::{
+    run_baseline, BaselineKind, Deployment, ModelBank, ModelVariant, PolicyKind, SimConfig,
+    Simulator,
+};
+use origin_repro::sensors::DatasetSpec;
+use origin_repro::types::{SensorLocation, SimDuration};
+
+fn small_models(seed: u64) -> ModelBank {
+    let spec = DatasetSpec::mhealth_like().with_windows(10, 6);
+    ModelBank::train(&spec, seed).expect("training succeeds")
+}
+
+fn short(policy: PolicyKind, seed: u64) -> SimConfig {
+    SimConfig::new(policy)
+        .with_horizon(SimDuration::from_secs(600))
+        .with_seed(seed)
+}
+
+#[test]
+fn full_policy_ladder_is_ordered() {
+    let models = small_models(3);
+    let sim = Simulator::new(Deployment::builder().seed(3).build(), models);
+
+    let rr = sim
+        .run(&short(PolicyKind::RoundRobin { cycle: 12 }, 4))
+        .unwrap();
+    let aasr = sim.run(&short(PolicyKind::Aasr { cycle: 12 }, 4)).unwrap();
+    let origin = sim.run(&short(PolicyKind::Origin { cycle: 12 }, 4)).unwrap();
+
+    // The mechanisms stack (generous tolerance at this short horizon).
+    assert!(
+        aasr.accuracy() > rr.accuracy() - 0.05,
+        "AASR {} vs RR {}",
+        aasr.accuracy(),
+        rr.accuracy()
+    );
+    assert!(
+        origin.accuracy() > aasr.accuracy() - 0.05,
+        "Origin {} vs AASR {}",
+        origin.accuracy(),
+        aasr.accuracy()
+    );
+    // Origin on harvested energy is competitive with a fully-powered
+    // pruned baseline.
+    let bl2 = run_baseline(
+        BaselineKind::Baseline2,
+        sim.models(),
+        &short(PolicyKind::NaiveAllOn, 4),
+    )
+    .unwrap();
+    assert!(
+        origin.accuracy() > bl2.report.accuracy() - 0.08,
+        "Origin {} vs BL-2 {}",
+        origin.accuracy(),
+        bl2.report.accuracy()
+    );
+}
+
+#[test]
+fn simulation_is_bit_deterministic_across_runs() {
+    let models = small_models(5);
+    let sim = Simulator::new(Deployment::builder().seed(5).build(), models);
+    let config = short(PolicyKind::Origin { cycle: 6 }, 6);
+    let a = sim.run(&config).unwrap();
+    let b = sim.run(&config).unwrap();
+    assert_eq!(a.accuracy(), b.accuracy());
+    assert_eq!(a.completions, b.completions);
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert_eq!(
+        a.final_confidence.update_count(),
+        b.final_confidence.update_count()
+    );
+}
+
+#[test]
+fn pruned_models_fit_the_budget_and_power_the_policies() {
+    let models = small_models(7);
+    for loc in SensorLocation::ALL {
+        let lean = models.inference_energy(ModelVariant::Pruned, loc);
+        let full = models.inference_energy(ModelVariant::Unpruned, loc);
+        assert!(lean <= models.budget(), "{loc} over budget: {lean}");
+        assert!(lean < full, "{loc}: pruning must reduce energy");
+    }
+}
+
+#[test]
+fn energy_accounting_is_conserved() {
+    let models = small_models(9);
+    let sim = Simulator::new(Deployment::builder().seed(9).build(), models);
+    let report = sim.run(&short(PolicyKind::NaiveAllOn, 9)).unwrap();
+    // Every attempt either completed, suspended, was lost, or never
+    // started; completions can never exceed attempts.
+    assert!(report.completions <= report.attempts);
+    let counted: u64 = report
+        .node_counters
+        .iter()
+        .map(|c| c.completed + c.suspended + c.lost)
+        .sum();
+    assert!(counted >= report.completions);
+    // Naive schedules all three nodes every window.
+    assert_eq!(report.attempts, report.windows * 3);
+}
+
+#[test]
+fn report_windows_are_fully_accounted() {
+    let models = small_models(11);
+    let sim = Simulator::new(Deployment::builder().seed(11).build(), models);
+    for policy in [
+        PolicyKind::RoundRobin { cycle: 3 },
+        PolicyKind::Aas { cycle: 9 },
+        PolicyKind::Origin { cycle: 12 },
+    ] {
+        let report = sim.run(&short(policy, 12)).unwrap();
+        assert_eq!(
+            report.confusion.total() + report.no_output_windows,
+            report.windows,
+            "{policy}: window accounting broken"
+        );
+        let breakdown = report.completion_breakdown();
+        assert!((breakdown.0 + breakdown.1 + breakdown.2 - 1.0).abs() < 1e-9);
+    }
+}

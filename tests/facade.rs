@@ -1,0 +1,47 @@
+//! The facade crate re-exports every subsystem coherently.
+
+use origin_repro::energy::{Capacitor, EnergyCostTable};
+use origin_repro::net::{LinkModel, Message};
+use origin_repro::nn::{softmax_variance, Mlp};
+use origin_repro::sensors::{DatasetSpec, SignatureTable};
+use origin_repro::trace::{ConstantPower, PowerSource, WifiOfficeModel};
+use origin_repro::types::{ActivityClass, Energy, NodeId, Power, SensorLocation, SimDuration, SimTime};
+
+#[test]
+fn types_flow_across_crate_boundaries() {
+    // types → trace
+    let source = ConstantPower::new(Power::from_microwatts(40.0));
+    let harvested = source.energy_between(SimTime::ZERO, SimTime::from_secs(1));
+    // trace → energy
+    let mut cap = Capacitor::new(Energy::from_microjoules(100.0));
+    cap.charge(harvested);
+    assert!(cap.stored() > Energy::ZERO);
+    // energy costs → net message sizing
+    let costs = EnergyCostTable::default();
+    let frame = Message::ClassificationReport {
+        node: NodeId::new(0),
+        activity: ActivityClass::Walking,
+        confidence: 0.1,
+    };
+    let tx = costs.tx_cost(frame.wire_size());
+    assert!(tx > Energy::ZERO && tx < Energy::from_microjoules(10.0));
+    let _ = LinkModel::reliable();
+}
+
+#[test]
+fn sensor_and_nn_stacks_interoperate() {
+    let spec = DatasetSpec::mhealth_like();
+    assert_eq!(spec.activities.len(), ActivityClass::COUNT);
+    let _ = SignatureTable::calibrated().signature(ActivityClass::Cycling, SensorLocation::Chest);
+    let mlp = Mlp::new(&[4, 3], 0).expect("valid dims");
+    let (label, probs) = mlp.predict(&[0.0; 4]);
+    assert!(label < 3);
+    assert!(softmax_variance(&probs) >= 0.0);
+}
+
+#[test]
+fn wifi_model_feeds_the_whole_stack() {
+    let trace = WifiOfficeModel::default().generate(1, SimDuration::from_secs(30));
+    assert!(trace.mean_power() > Power::ZERO);
+    assert_eq!(trace.interval(), SimDuration::from_millis(100));
+}
