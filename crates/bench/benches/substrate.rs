@@ -20,10 +20,7 @@ fn bench_substrate(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 500_000;
-            source.energy_between(
-                SimTime::from_micros(t),
-                SimTime::from_micros(t + 500_000),
-            )
+            source.energy_between(SimTime::from_micros(t), SimTime::from_micros(t + 500_000))
         })
     });
 

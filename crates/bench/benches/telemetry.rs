@@ -1,0 +1,59 @@
+//! Observer overhead on the simulation hot loop.
+//!
+//! The telemetry design promises that the uninstrumented path pays
+//! nothing: `run` delegates to `run_observed` with `NoopObserver`, whose
+//! empty `on_event` lets the optimizer delete every emission site. This
+//! bench pins that promise — `noop_observer` must stay within noise
+//! (< 2%) of `uninstrumented`, and shows what real observers cost:
+//!
+//! * `uninstrumented` — `Simulator::run`, the baseline every experiment
+//!   binary pays;
+//! * `noop_observer` — `run_observed(&mut NoopObserver)` spelled
+//!   explicitly, which must compile to the same code;
+//! * `metrics_observer` — the in-memory aggregator;
+//! * `jsonl_observer` — full event serialization into a `Vec<u8>` sink.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use origin_bench::bench_models;
+use origin_core::{Deployment, PolicyKind, SimConfig, Simulator};
+use origin_telemetry::{JsonlObserver, MetricsObserver, NoopObserver};
+use origin_types::SimDuration;
+
+fn bench_observer_overhead(c: &mut Criterion) {
+    let models = bench_models(13);
+    let deployment = Deployment::builder().seed(13).build();
+    let sim = Simulator::new(deployment, models);
+    let config = SimConfig::new(PolicyKind::Origin { cycle: 12 })
+        .with_horizon(SimDuration::from_secs(120))
+        .with_seed(3);
+
+    let mut group = c.benchmark_group("telemetry_120s");
+    group.sample_size(20);
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| sim.run(&config).expect("valid cycle"))
+    });
+    group.bench_function("noop_observer", |b| {
+        b.iter(|| {
+            sim.run_observed(&config, &mut NoopObserver)
+                .expect("valid cycle")
+        })
+    });
+    group.bench_function("metrics_observer", |b| {
+        b.iter(|| {
+            let mut observer = MetricsObserver::new();
+            sim.run_observed(&config, &mut observer)
+                .expect("valid cycle")
+        })
+    });
+    group.bench_function("jsonl_observer", |b| {
+        b.iter(|| {
+            let mut observer = JsonlObserver::new(Vec::new());
+            sim.run_observed(&config, &mut observer)
+                .expect("valid cycle")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observer_overhead);
+criterion_main!(benches);

@@ -18,13 +18,25 @@ fn main() {
 
     println!("# Ablations at RR{} (seed {seed})", r.cycle);
     println!("\nmechanism ladder (what each part of Origin buys):");
-    println!("  AAS only (no recall, no weights): {:>6.2}%", r.aas_accuracy * 100.0);
-    println!("  + recall (AASR, majority vote):   {:>6.2}%", r.aasr_accuracy * 100.0);
-    println!("  + adaptive confidence weighting:  {:>6.2}%", r.origin_accuracy * 100.0);
+    println!(
+        "  AAS only (no recall, no weights): {:>6.2}%",
+        r.aas_accuracy * 100.0
+    );
+    println!(
+        "  + recall (AASR, majority vote):   {:>6.2}%",
+        r.aasr_accuracy * 100.0
+    );
+    println!(
+        "  + adaptive confidence weighting:  {:>6.2}%",
+        r.origin_accuracy * 100.0
+    );
 
     println!("\nnon-volatile processor (naive policy completion rate):");
     println!("  with NVP:       {:>6.2}%", r.naive_nvp_completion * 100.0);
-    println!("  volatile CPU:   {:>6.2}%", r.naive_volatile_completion * 100.0);
+    println!(
+        "  volatile CPU:   {:>6.2}%",
+        r.naive_volatile_completion * 100.0
+    );
 
     println!("\nconfidence adaptation rate (Origin accuracy):");
     for (alpha, acc) in &r.alpha_sweep {
@@ -32,6 +44,12 @@ fn main() {
     }
 
     println!("\nanticipation quality:");
-    println!("  learned (last classification): {:>6.2}%", r.origin_accuracy * 100.0);
-    println!("  oracle (true activity):        {:>6.2}%", r.origin_oracle_accuracy * 100.0);
+    println!(
+        "  learned (last classification): {:>6.2}%",
+        r.origin_accuracy * 100.0
+    );
+    println!(
+        "  oracle (true activity):        {:>6.2}%",
+        r.origin_oracle_accuracy * 100.0
+    );
 }

@@ -54,16 +54,8 @@ fn main() {
         // Prune to ~90 uJ.
         let budget = Energy::from_microjoules(90.0);
         let norm_train = clf.normalize_data(&train);
-        let report = prune_to_energy(
-            clf.mlp_mut(),
-            &em,
-            budget,
-            &norm_train,
-            &trainer,
-            0.15,
-            10,
-        )
-        .unwrap();
+        let report =
+            prune_to_energy(clf.mlp_mut(), &em, budget, &norm_train, &trainer, 0.15, 10).unwrap();
         let cm2 = clf.evaluate(&test).unwrap();
         println!(
             "  pruned: acc {:.2}%  energy {} sparsity {:.2} iters {}",
@@ -74,7 +66,10 @@ fn main() {
         );
         for a in ActivityClass::ALL {
             let d = ds.activities().dense_index(a).unwrap();
-            print!("  {a}: {:.1}%", cm2.class_accuracy(d).unwrap_or(0.0) * 100.0);
+            print!(
+                "  {a}: {:.1}%",
+                cm2.class_accuracy(d).unwrap_or(0.0) * 100.0
+            );
         }
         println!();
     }

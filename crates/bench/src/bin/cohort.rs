@@ -29,6 +29,15 @@ fn main() {
     }
     let (om, os) = r.origin_stats();
     let (bm, bs) = r.bl2_stats();
-    println!("\nOrigin: {:.2}% ± {:.2}   BL-2: {:.2}% ± {:.2}", om * 100.0, os * 100.0, bm * 100.0, bs * 100.0);
-    println!("Origin wins for {:.0}% of wearers", r.origin_win_rate() * 100.0);
+    println!(
+        "\nOrigin: {:.2}% ± {:.2}   BL-2: {:.2}% ± {:.2}",
+        om * 100.0,
+        os * 100.0,
+        bm * 100.0,
+        bs * 100.0
+    );
+    println!(
+        "Origin wins for {:.0}% of wearers",
+        r.origin_win_rate() * 100.0
+    );
 }

@@ -1,23 +1,50 @@
 //! Regenerates Fig. 1: inference completion under naive scheduling.
 //!
-//! Usage: `cargo run -p origin-bench --bin fig1 --release [seed]`
+//! Usage: `cargo run -p origin-bench --bin fig1 --release [seed] [--json <path>]`
+//!
+//! `--json` writes a machine-readable run manifest (see EXPERIMENTS.md
+//! §Telemetry) with the five completion rates as results.
 
+use origin_bench::BenchArgs;
 use origin_core::experiments::{run_fig1, Dataset, ExperimentContext};
+use origin_telemetry::{JsonValue, RunManifest};
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(77);
+    let args = BenchArgs::parse();
+    let seed = args.u64_at(0, 77);
     let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
     let r = run_fig1(&ctx).expect("simulation succeeds");
 
     println!("# Fig. 1 — completion on harvested energy, naive scheduling (seed {seed})");
     println!("\n(a) all three sensors attempt every window:");
-    println!("    all succeed     {:>6.1}%   (paper:  1%)", r.naive_all * 100.0);
-    println!("    at least one    {:>6.1}%   (paper:  9%)", r.naive_some * 100.0);
-    println!("    failed          {:>6.1}%   (paper: 90%)", r.naive_none * 100.0);
+    println!(
+        "    all succeed     {:>6.1}%   (paper:  1%)",
+        r.naive_all * 100.0
+    );
+    println!(
+        "    at least one    {:>6.1}%   (paper:  9%)",
+        r.naive_some * 100.0
+    );
+    println!(
+        "    failed          {:>6.1}%   (paper: 90%)",
+        r.naive_none * 100.0
+    );
     println!("\n(b) plain round-robin (RR3):");
-    println!("    succeed         {:>6.1}%   (paper: 28%)", r.rr3_succeed * 100.0);
-    println!("    failed          {:>6.1}%   (paper: 72%)", r.rr3_fail * 100.0);
+    println!(
+        "    succeed         {:>6.1}%   (paper: 28%)",
+        r.rr3_succeed * 100.0
+    );
+    println!(
+        "    failed          {:>6.1}%   (paper: 72%)",
+        r.rr3_fail * 100.0
+    );
+
+    let manifest = RunManifest::new("fig1", seed, "Naive / RR3")
+        .with_config("dataset", Dataset::Mhealth.label())
+        .with_result("naive_all", JsonValue::from(r.naive_all))
+        .with_result("naive_some", JsonValue::from(r.naive_some))
+        .with_result("naive_none", JsonValue::from(r.naive_none))
+        .with_result("rr3_succeed", JsonValue::from(r.rr3_succeed))
+        .with_result("rr3_fail", JsonValue::from(r.rr3_fail));
+    args.write_manifest(&manifest);
 }

@@ -6,7 +6,10 @@
 use origin_core::experiments::{run_fig5, Dataset, ExperimentContext, Fig5Result};
 
 fn print_result(r: &Fig5Result) {
-    println!("\n# Fig. 5 — accuracy (%) per policy, {} dataset", r.dataset);
+    println!(
+        "\n# Fig. 5 — accuracy (%) per policy, {} dataset",
+        r.dataset
+    );
     print!("{:<14}", "policy");
     for a in &r.activities {
         print!("{:>10}", a.label());

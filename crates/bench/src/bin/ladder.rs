@@ -31,7 +31,12 @@ fn main() {
         PolicyKind::Origin { cycle: 6 },
     ];
     for p in policies {
-        let r = sim.run(&SimConfig { policy: p, ..base.clone() }).unwrap();
+        let r = sim
+            .run(&SimConfig {
+                policy: p,
+                ..base.clone()
+            })
+            .unwrap();
         let (all, some, none) = r.completion_breakdown();
         println!(
             "{:<14} acc {:.4} completion {:.3} (all {:.3} some {:.3} none {:.3}) attempts {} completions {} no_out {}",
@@ -55,7 +60,10 @@ fn main() {
         println!("  node{}: {}", n, row.join(" "));
     }
     for alpha in [0.001f64, 0.02, 0.3] {
-        let mut cfg = SimConfig { policy: PolicyKind::Origin { cycle: 12 }, ..base.clone() };
+        let mut cfg = SimConfig {
+            policy: PolicyKind::Origin { cycle: 12 },
+            ..base.clone()
+        };
         cfg.alpha = alpha;
         let r = sim.run(&cfg).unwrap();
         println!("Origin RR12 alpha {:.3}: acc {:.4}", alpha, r.accuracy());

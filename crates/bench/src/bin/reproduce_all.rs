@@ -1,16 +1,32 @@
 //! Runs the complete evaluation — every figure, the table, and all
 //! extension studies — and writes each report under `results/`.
 //!
-//! Usage: `cargo run -p origin-bench --bin reproduce_all --release [seed] [out_dir]`
+//! Usage: `cargo run -p origin-bench --bin reproduce_all --release [seed] [out_dir] [--json <path>]`
+//!
+//! Besides the per-experiment text summaries, the run emits its telemetry
+//! record (see EXPERIMENTS.md §Telemetry):
+//!
+//! * `run_manifest.json` — config, seed, metrics, stage timings and
+//!   headline results for the whole reproduction (also copied to the
+//!   `--json` path when given);
+//! * `events_<policy>.jsonl` — per-window event traces of one
+//!   short instrumented run per headline policy;
+//! * `metrics.prom` — the aggregated metrics in Prometheus text format.
 //!
 //! Expect a few minutes in release mode: it trains four model banks
 //! (MHEALTH and PAMAP2, once per seed used) and runs several dozen
 //! one-hour simulations.
 
+use origin_bench::{
+    report_results, run_instrumented, sim_config_entries, write_manifest_file, BenchArgs,
+};
 use origin_core::experiments::{
     run_ablation, run_cohort, run_depth_sweep, run_fig1, run_fig2, run_fig4, run_fig5, run_fig6,
     run_power_study, run_table1, Dataset, ExperimentContext,
 };
+use origin_core::{PolicyKind, SimConfig};
+use origin_telemetry::{write_prometheus, JsonValue, RunManifest, StageTimings};
+use origin_types::SimDuration;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -20,44 +36,70 @@ fn save(dir: &Path, name: &str, content: &str) {
     println!("wrote {}", path.display());
 }
 
+/// Horizon of the instrumented trace runs: long enough for every event
+/// kind to appear, short enough that the JSONL stays a few hundred kB.
+const TRACE_HORIZON_SECS: u64 = 600;
+
 #[allow(clippy::too_many_lines)]
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(77);
-    let out = std::env::args().nth(2).unwrap_or_else(|| "results".into());
+    let args = BenchArgs::parse();
+    let seed: u64 = args.u64_at(0, 77);
+    let out = args.str_at(1, "results");
     let dir = Path::new(&out);
     std::fs::create_dir_all(dir).expect("results directory is creatable");
 
+    let mut timings = StageTimings::new();
+
     println!("training MHEALTH-like models (seed {seed})...");
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let ctx = timings.time("train_mhealth", || {
+        ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds")
+    });
 
     // Fig. 1.
-    let f1 = run_fig1(&ctx).expect("fig1");
+    let f1 = timings.time("fig1", || run_fig1(&ctx).expect("fig1"));
     let mut s = String::new();
     let _ = writeln!(s, "# Fig. 1 (seed {seed})");
-    let _ = writeln!(s, "naive: all {:.1}% / some {:.1}% / none {:.1}%", f1.naive_all * 100.0, f1.naive_some * 100.0, f1.naive_none * 100.0);
-    let _ = writeln!(s, "RR3: succeed {:.1}% / fail {:.1}%", f1.rr3_succeed * 100.0, f1.rr3_fail * 100.0);
+    let _ = writeln!(
+        s,
+        "naive: all {:.1}% / some {:.1}% / none {:.1}%",
+        f1.naive_all * 100.0,
+        f1.naive_some * 100.0,
+        f1.naive_none * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "RR3: succeed {:.1}% / fail {:.1}%",
+        f1.rr3_succeed * 100.0,
+        f1.rr3_fail * 100.0
+    );
     save(dir, "summary_fig1.txt", &s);
 
     // Fig. 2.
-    let f2 = run_fig2(&ctx, 120).expect("fig2");
+    let f2 = timings.time("fig2", || run_fig2(&ctx, 120).expect("fig2"));
     let mut s = String::new();
     let _ = writeln!(s, "# Fig. 2 per-sensor accuracy (seed {seed})");
     for (i, cm) in f2.confusions.iter().enumerate() {
-        let _ = writeln!(s, "sensor {i}: {:.2}%", cm.accuracy().unwrap_or(0.0) * 100.0);
+        let _ = writeln!(
+            s,
+            "sensor {i}: {:.2}%",
+            cm.accuracy().unwrap_or(0.0) * 100.0
+        );
     }
     let majority_mean = f2.majority.iter().sum::<f64>() / f2.majority.len() as f64;
     let _ = writeln!(s, "majority: {:.2}%", majority_mean * 100.0);
     save(dir, "summary_fig2.txt", &s);
 
     // Fig. 4.
-    let f4 = run_fig4(&ctx).expect("fig4");
+    let f4 = timings.time("fig4", || run_fig4(&ctx).expect("fig4"));
     let mut s = String::new();
     let _ = writeln!(s, "# Fig. 4 overall accuracy (seed {seed})");
     for (i, &cycle) in f4.cycles.iter().enumerate() {
-        let _ = writeln!(s, "RR{cycle}: RR {:.2}% / AAS {:.2}%", f4.rr_overall[i] * 100.0, f4.aas_overall[i] * 100.0);
+        let _ = writeln!(
+            s,
+            "RR{cycle}: RR {:.2}% / AAS {:.2}%",
+            f4.rr_overall[i] * 100.0,
+            f4.aas_overall[i] * 100.0
+        );
     }
     save(dir, "summary_fig4.txt", &s);
 
@@ -67,21 +109,31 @@ fn main() {
             ctx.clone()
         } else {
             println!("training PAMAP2-like models (seed {seed})...");
-            ExperimentContext::new(dataset, seed).expect("training succeeds")
+            timings.time("train_pamap2", || {
+                ExperimentContext::new(dataset, seed).expect("training succeeds")
+            })
         };
-        let f5 = run_fig5(&dctx).expect("fig5");
+        let f5 = timings.time("fig5", || run_fig5(&dctx).expect("fig5"));
         let mut s = String::new();
         let _ = writeln!(s, "# Fig. 5 {} (seed {seed})", f5.dataset);
         for row in &f5.rows {
             let _ = writeln!(s, "{:<14} {:.2}%", row.label, row.overall * 100.0);
         }
-        save(dir, &format!("summary_fig5_{}.txt", f5.dataset.to_lowercase()), &s);
+        save(
+            dir,
+            &format!("summary_fig5_{}.txt", f5.dataset.to_lowercase()),
+            &s,
+        );
     }
 
     // Fig. 6.
-    let f6 = run_fig6(&ctx, 3, 1_000, 10, 20.0).expect("fig6");
+    let f6 = timings.time("fig6", || run_fig6(&ctx, 3, 1_000, 10, 20.0).expect("fig6"));
     let mut s = String::new();
-    let _ = writeln!(s, "# Fig. 6 (seed {seed}); base {:.2}%", f6.base_accuracy * 100.0);
+    let _ = writeln!(
+        s,
+        "# Fig. 6 (seed {seed}); base {:.2}%",
+        f6.base_accuracy * 100.0
+    );
     for user in &f6.users {
         let _ = writeln!(
             s,
@@ -94,7 +146,7 @@ fn main() {
     save(dir, "summary_fig6.txt", &s);
 
     // Table I.
-    let t1 = run_table1(&ctx).expect("table1");
+    let t1 = timings.time("table1", || run_table1(&ctx).expect("table1"));
     let mut s = String::new();
     let _ = writeln!(s, "# Table I (seed {seed})");
     for row in &t1.rows {
@@ -109,41 +161,156 @@ fn main() {
         );
     }
     let (o, b2, b1) = t1.overall;
-    let _ = writeln!(s, "overall: origin {:.2}% bl2 {:.2}% bl1 {:.2}%", o * 100.0, b2 * 100.0, b1 * 100.0);
+    let _ = writeln!(
+        s,
+        "overall: origin {:.2}% bl2 {:.2}% bl1 {:.2}%",
+        o * 100.0,
+        b2 * 100.0,
+        b1 * 100.0
+    );
     save(dir, "summary_table1.txt", &s);
 
     // Extensions.
-    let ab = run_ablation(&ctx, 12).expect("ablation");
+    let ab = timings.time("ablation", || run_ablation(&ctx, 12).expect("ablation"));
     let mut s = String::new();
     let _ = writeln!(s, "# Ablations at RR12 (seed {seed})");
-    let _ = writeln!(s, "AAS {:.2}% -> AASR {:.2}% -> Origin {:.2}%", ab.aas_accuracy * 100.0, ab.aasr_accuracy * 100.0, ab.origin_accuracy * 100.0);
-    let _ = writeln!(s, "naive completion: NVP {:.2}% vs volatile {:.2}%", ab.naive_nvp_completion * 100.0, ab.naive_volatile_completion * 100.0);
-    let _ = writeln!(s, "oracle anticipation: {:.2}%", ab.origin_oracle_accuracy * 100.0);
+    let _ = writeln!(
+        s,
+        "AAS {:.2}% -> AASR {:.2}% -> Origin {:.2}%",
+        ab.aas_accuracy * 100.0,
+        ab.aasr_accuracy * 100.0,
+        ab.origin_accuracy * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "naive completion: NVP {:.2}% vs volatile {:.2}%",
+        ab.naive_nvp_completion * 100.0,
+        ab.naive_volatile_completion * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "oracle anticipation: {:.2}%",
+        ab.origin_oracle_accuracy * 100.0
+    );
     save(dir, "summary_ablation.txt", &s);
 
-    let depth = run_depth_sweep(&ctx, &[3, 6, 9, 12, 18, 24, 36]).expect("depth");
+    let depth = timings.time("depth", || {
+        run_depth_sweep(&ctx, &[3, 6, 9, 12, 18, 24, 36]).expect("depth")
+    });
     let mut s = String::new();
-    let _ = writeln!(s, "# Depth sweep (seed {seed}); best RR{}", depth.best_cycle());
+    let _ = writeln!(
+        s,
+        "# Depth sweep (seed {seed}); best RR{}",
+        depth.best_cycle()
+    );
     for p in &depth.points {
-        let _ = writeln!(s, "RR{:<3} {:.2}% (completion {:.1}%)", p.cycle, p.accuracy * 100.0, p.completion * 100.0);
+        let _ = writeln!(
+            s,
+            "RR{:<3} {:.2}% (completion {:.1}%)",
+            p.cycle,
+            p.accuracy * 100.0,
+            p.completion * 100.0
+        );
     }
     save(dir, "summary_depth.txt", &s);
 
-    let power = run_power_study(&ctx).expect("power");
+    let power = timings.time("power", || run_power_study(&ctx).expect("power"));
     let mut s = String::new();
-    let _ = writeln!(s, "# Power study (seed {seed}); incident {}", power.incident_power);
+    let _ = writeln!(
+        s,
+        "# Power study (seed {seed}); incident {}",
+        power.incident_power
+    );
     for row in &power.rows {
-        let _ = writeln!(s, "{:<12} consumed {} accuracy {:.2}%", row.label, row.mean_consumed_per_node, row.accuracy * 100.0);
+        let _ = writeln!(
+            s,
+            "{:<12} consumed {} accuracy {:.2}%",
+            row.label,
+            row.mean_consumed_per_node,
+            row.accuracy * 100.0
+        );
     }
     save(dir, "summary_power.txt", &s);
 
-    let cohort = run_cohort(&ctx, 6).expect("cohort");
+    let cohort = timings.time("cohort", || run_cohort(&ctx, 6).expect("cohort"));
     let (om, os) = cohort.origin_stats();
     let (bm, bs) = cohort.bl2_stats();
     let mut s = String::new();
     let _ = writeln!(s, "# Cohort (seed {seed}, n = {})", cohort.points.len());
-    let _ = writeln!(s, "Origin {:.2}% +/- {:.2}; BL-2 {:.2}% +/- {:.2}; win rate {:.0}%", om * 100.0, os * 100.0, bm * 100.0, bs * 100.0, cohort.origin_win_rate() * 100.0);
+    let _ = writeln!(
+        s,
+        "Origin {:.2}% +/- {:.2}; BL-2 {:.2}% +/- {:.2}; win rate {:.0}%",
+        om * 100.0,
+        os * 100.0,
+        bm * 100.0,
+        bs * 100.0,
+        cohort.origin_win_rate() * 100.0
+    );
     save(dir, "summary_cohort.txt", &s);
 
-    println!("\nall experiments reproduced; summaries in {}/", dir.display());
+    // Instrumented trace runs: a short window of each headline policy
+    // with the full observer stack, so the repo ships real event data.
+    let sim = ctx.simulator();
+    let mut manifest = RunManifest::new(
+        "reproduce_all",
+        seed,
+        &PolicyKind::Origin { cycle: 12 }.label(),
+    )
+    .with_config("dataset", ctx.dataset.label())
+    .with_config("out_dir", dir.display().to_string())
+    .with_config("trace_horizon_secs", TRACE_HORIZON_SECS)
+    .with_result("fig1_naive_none", JsonValue::from(f1.naive_none))
+    .with_result("table1_origin_overall", JsonValue::from(o))
+    .with_result("table1_bl2_overall", JsonValue::from(b2))
+    .with_result(
+        "ablation_origin_accuracy",
+        JsonValue::from(ab.origin_accuracy),
+    )
+    .with_result(
+        "depth_best_cycle",
+        JsonValue::from(u64::from(depth.best_cycle())),
+    );
+    for policy in [PolicyKind::NaiveAllOn, PolicyKind::Origin { cycle: 12 }] {
+        let config = SimConfig::new(policy)
+            .with_horizon(SimDuration::from_secs(TRACE_HORIZON_SECS))
+            .with_seed(seed);
+        let label = policy.label().to_lowercase().replace(' ', "_");
+        let run = timings.time("trace", || {
+            run_instrumented(&sim, &config).expect("valid cycle")
+        });
+        let trace_name = format!("events_{label}.jsonl");
+        save(dir, &trace_name, &run.jsonl);
+        manifest = manifest.with_artifact(&trace_name);
+        for (key, value) in sim_config_entries(&config) {
+            manifest = manifest.with_config(&format!("trace_{label}_{key}"), value);
+        }
+        for (key, value) in report_results(&run.report) {
+            manifest = manifest.with_result(&format!("trace_{label}_{key}"), value);
+        }
+        // The Origin run's aggregated metrics represent the reproduction
+        // in the manifest and the Prometheus exposition.
+        if policy != PolicyKind::NaiveAllOn {
+            let mut prom = Vec::new();
+            write_prometheus(&mut prom, &run.metrics).expect("Vec<u8> writes are infallible");
+            save(
+                dir,
+                "metrics.prom",
+                &String::from_utf8(prom).expect("exposition is UTF-8"),
+            );
+            manifest = manifest
+                .with_metrics(&run.metrics)
+                .with_artifact("metrics.prom");
+        }
+    }
+
+    let manifest = manifest
+        .with_timings(&timings)
+        .with_artifact("run_manifest.json");
+    write_manifest_file(&dir.join("run_manifest.json"), &manifest);
+    args.write_manifest(&manifest);
+
+    println!(
+        "\nall experiments reproduced; summaries in {}/",
+        dir.display()
+    );
 }

@@ -1,23 +1,22 @@
 //! Regenerates Table I: RR12-Origin vs BL-2 vs BL-1 per activity.
 //!
-//! Usage: `cargo run -p origin-bench --bin table1 --release [seed] [n_seeds]`
+//! Usage: `cargo run -p origin-bench --bin table1 --release [seed] [n_seeds] [--json <path>]`
 //!
 //! With `n_seeds > 1`, the table is averaged over `n_seeds` consecutive
 //! seeds (models retrained and trace regenerated per seed) — BL-2's
 //! accuracy is fairly seed-sensitive, so the averaged table is the one to
-//! compare against the paper.
+//! compare against the paper. `--json` writes a machine-readable run
+//! manifest (see EXPERIMENTS.md §Telemetry) with the averaged
+//! per-activity rows as results.
 
+use origin_bench::BenchArgs;
 use origin_core::experiments::{run_table1, Dataset, ExperimentContext, Table1Result};
+use origin_telemetry::{JsonValue, RunManifest};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(77);
-    let n_seeds: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let args = BenchArgs::parse();
+    let seed = args.u64_at(0, 77);
+    let n_seeds = args.u64_at(1, 1);
 
     let mut results: Vec<Table1Result> = Vec::new();
     for s in 0..n_seeds {
@@ -34,12 +33,14 @@ fn main() {
         "{:<10} {:>12} {:>8} {:>8} {:>9} {:>9}",
         "Activity", "RR12 Origin", "BL-2", "BL-1", "vs BL-2", "vs BL-1"
     );
+    let mut manifest = RunManifest::new("table1", seed, "RR12 Origin")
+        .with_config("dataset", Dataset::Mhealth.label())
+        .with_config("n_seeds", n_seeds);
     let rows = results[0].rows.len();
     for i in 0..rows {
         let activity = results[0].rows[i].activity;
-        let avg = |f: &dyn Fn(&Table1Result) -> f64| -> f64 {
-            results.iter().map(f).sum::<f64>() / n
-        };
+        let avg =
+            |f: &dyn Fn(&Table1Result) -> f64| -> f64 { results.iter().map(f).sum::<f64>() / n };
         let origin = avg(&|r| r.rows[i].origin);
         let bl2 = avg(&|r| r.rows[i].bl2);
         let bl1 = avg(&|r| r.rows[i].bl1);
@@ -51,6 +52,15 @@ fn main() {
             bl1 * 100.0,
             (origin - bl2) * 100.0,
             (origin - bl1) * 100.0
+        );
+        let key = activity.label().to_lowercase().replace(' ', "_");
+        manifest = manifest.with_result(
+            &key,
+            JsonValue::Object(vec![
+                ("origin".to_owned(), JsonValue::from(origin)),
+                ("bl2".to_owned(), JsonValue::from(bl2)),
+                ("bl1".to_owned(), JsonValue::from(bl1)),
+            ]),
         );
     }
     let o = results.iter().map(|r| r.overall.0).sum::<f64>() / n;
@@ -67,4 +77,16 @@ fn main() {
     );
     let mean_adv = results.iter().map(Table1Result::mean_vs_bl2).sum::<f64>() / n;
     println!("mean per-activity advantage vs BL-2: {mean_adv:+.2} pp");
+
+    let manifest = manifest
+        .with_result(
+            "overall",
+            JsonValue::Object(vec![
+                ("origin".to_owned(), JsonValue::from(o)),
+                ("bl2".to_owned(), JsonValue::from(b2)),
+                ("bl1".to_owned(), JsonValue::from(b1)),
+            ]),
+        )
+        .with_result("mean_vs_bl2_pp", JsonValue::from(mean_adv));
+    args.write_manifest(&manifest);
 }

@@ -2,13 +2,20 @@
 //!
 //! The runnable experiment reproductions live in `src/bin/` (one binary
 //! per paper figure/table — see DESIGN.md §5); the Criterion performance
-//! benchmarks live in `benches/`.
+//! benchmarks live in `benches/`. This library carries the pieces they
+//! share: small-model training for benchmarks, the common `--json <path>`
+//! CLI flag, and the telemetry plumbing (instrumented simulation runs and
+//! run-manifest assembly — see EXPERIMENTS.md §Telemetry).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use origin_core::ModelBank;
+use origin_core::{CoreError, ModelBank, SimConfig, SimReport, Simulator};
 use origin_sensors::DatasetSpec;
+use origin_telemetry::{
+    JsonValue, JsonlObserver, MetricsObserver, MetricsRegistry, RunManifest, Tee,
+};
+use std::path::{Path, PathBuf};
 
 /// Trains a deliberately small model bank for benchmarks: enough data to
 /// converge, small enough that Criterion's warm-up stays quick.
@@ -22,10 +29,235 @@ pub fn bench_models(seed: u64) -> ModelBank {
     ModelBank::train(&spec, seed).expect("bench training succeeds")
 }
 
+/// Command-line arguments shared by the experiment binaries: positional
+/// values plus the common `--json <path>` / `--json=<path>` flag that
+/// requests a machine-readable [`RunManifest`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    positional: Vec<String>,
+    json: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments (without the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--json` is passed without a path.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`BenchArgs::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--json` is passed without a path.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut positional = Vec::new();
+        let mut json = None;
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if arg == "--json" {
+                let path = iter.next().expect("--json requires a path argument");
+                json = Some(PathBuf::from(path));
+            } else if let Some(path) = arg.strip_prefix("--json=") {
+                json = Some(PathBuf::from(path));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Self { positional, json }
+    }
+
+    /// The positional arguments in order, flags removed.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Positional argument `index` parsed as `u64`, or `default` when
+    /// absent or unparseable (matching the binaries' lenient style).
+    #[must_use]
+    pub fn u64_at(&self, index: usize, default: u64) -> u64 {
+        self.positional
+            .get(index)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Positional argument `index`, or `default` when absent.
+    #[must_use]
+    pub fn str_at(&self, index: usize, default: &str) -> String {
+        self.positional
+            .get(index)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
+
+    /// The `--json` destination, when requested.
+    #[must_use]
+    pub fn json_path(&self) -> Option<&Path> {
+        self.json.as_deref()
+    }
+
+    /// Writes `manifest` to the `--json` destination, if one was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written (the binaries have no error
+    /// channel).
+    pub fn write_manifest(&self, manifest: &RunManifest) {
+        if let Some(path) = self.json_path() {
+            write_manifest_file(path, manifest);
+        }
+    }
+}
+
+/// Writes `manifest` as pretty-printed JSON to `path`, creating parent
+/// directories.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written.
+pub fn write_manifest_file(path: &Path, manifest: &RunManifest) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {parent:?}: {e}"));
+        }
+    }
+    let mut text = manifest.render_pretty();
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+    println!("wrote {}", path.display());
+}
+
+/// One fully-instrumented simulation run: the report plus everything the
+/// observers captured.
+#[derive(Debug, Clone)]
+pub struct InstrumentedRun {
+    /// The simulation outcome (identical to an unobserved run).
+    pub report: SimReport,
+    /// Aggregated metrics from the event stream.
+    pub metrics: MetricsRegistry,
+    /// The JSONL event trace, one event per line.
+    pub jsonl: String,
+    /// Total events emitted.
+    pub events: u64,
+}
+
+/// Runs `config` on `sim` with the full observer stack: a JSONL event
+/// trace plus the in-memory metrics aggregator.
+///
+/// # Errors
+///
+/// Propagates simulation errors (e.g. an invalid ER-r cycle).
+///
+/// # Panics
+///
+/// Panics when the in-memory JSONL sink fails, which a `Vec<u8>` writer
+/// never does.
+pub fn run_instrumented(sim: &Simulator, config: &SimConfig) -> Result<InstrumentedRun, CoreError> {
+    let mut observer = Tee(JsonlObserver::new(Vec::new()), MetricsObserver::new());
+    let report = sim.run_observed(config, &mut observer)?;
+    let Tee(jsonl, metrics) = observer;
+    let events = jsonl.events_written();
+    let bytes = jsonl.finish().expect("Vec<u8> writes are infallible");
+    Ok(InstrumentedRun {
+        report,
+        metrics: metrics.into_metrics(),
+        jsonl: String::from_utf8(bytes).expect("JSON output is UTF-8"),
+        events,
+    })
+}
+
+/// The manifest `config` entries describing a [`SimConfig`].
+#[must_use]
+pub fn sim_config_entries(config: &SimConfig) -> Vec<(String, String)> {
+    let mut entries = vec![
+        ("policy".to_owned(), config.policy.label()),
+        (
+            "horizon_secs".to_owned(),
+            (config.horizon.as_micros() / 1_000_000).to_string(),
+        ),
+        ("seed".to_owned(), config.seed.to_string()),
+        ("variant".to_owned(), format!("{:?}", config.variant)),
+        ("alpha".to_owned(), config.alpha.to_string()),
+        ("dwell_scale".to_owned(), config.dwell_scale.to_string()),
+    ];
+    if let Some(snr) = config.noise_snr_db {
+        entries.push(("noise_snr_db".to_owned(), snr.to_string()));
+    }
+    if config.oracle_anticipation {
+        entries.push(("oracle_anticipation".to_owned(), "true".to_owned()));
+    }
+    if !config.disabled_nodes.is_empty() {
+        entries.push((
+            "disabled_nodes".to_owned(),
+            format!("{:?}", config.disabled_nodes),
+        ));
+    }
+    entries
+}
+
+/// The headline `results` entries for a [`SimReport`].
+#[must_use]
+pub fn report_results(report: &SimReport) -> Vec<(String, JsonValue)> {
+    vec![
+        ("accuracy".to_owned(), JsonValue::from(report.accuracy())),
+        (
+            "completion_rate".to_owned(),
+            JsonValue::from(report.completion_rate()),
+        ),
+        ("windows".to_owned(), JsonValue::from(report.windows)),
+        ("attempts".to_owned(), JsonValue::from(report.attempts)),
+        (
+            "completions".to_owned(),
+            JsonValue::from(report.completions),
+        ),
+        (
+            "no_output_windows".to_owned(),
+            JsonValue::from(report.no_output_windows),
+        ),
+        (
+            "messages_sent".to_owned(),
+            JsonValue::from(report.messages_sent),
+        ),
+        (
+            "messages_dropped".to_owned(),
+            JsonValue::from(report.messages_dropped),
+        ),
+        (
+            "sent_by_node".to_owned(),
+            JsonValue::Array(
+                report
+                    .sent_by_node
+                    .iter()
+                    .map(|&v| JsonValue::from(v))
+                    .collect(),
+            ),
+        ),
+        (
+            "dropped_by_node".to_owned(),
+            JsonValue::Array(
+                report
+                    .dropped_by_node
+                    .iter()
+                    .map(|&v| JsonValue::from(v))
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use origin_types::SensorLocation;
+    use origin_core::{Deployment, PolicyKind};
+    use origin_types::{SensorLocation, SimDuration};
 
     #[test]
     fn bench_models_train() {
@@ -36,5 +268,87 @@ mod tests {
                 .accuracy()
                 .is_some());
         }
+    }
+
+    fn args(list: &[&str]) -> BenchArgs {
+        BenchArgs::from_args(list.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn bench_args_split_flags_from_positionals() {
+        let a = args(&["42", "--json", "out/m.json", "results"]);
+        assert_eq!(a.positional(), ["42", "results"]);
+        assert_eq!(a.json_path(), Some(Path::new("out/m.json")));
+        assert_eq!(a.u64_at(0, 7), 42);
+        assert_eq!(a.u64_at(5, 7), 7);
+        assert_eq!(a.str_at(1, "fallback"), "results");
+        assert_eq!(a.str_at(9, "fallback"), "fallback");
+    }
+
+    #[test]
+    fn bench_args_accept_equals_form() {
+        let a = args(&["--json=m.json"]);
+        assert_eq!(a.json_path(), Some(Path::new("m.json")));
+        assert!(a.positional().is_empty());
+
+        let none = args(&["13"]);
+        assert_eq!(none.json_path(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--json requires a path")]
+    fn bench_args_reject_dangling_json_flag() {
+        let _ = args(&["--json"]);
+    }
+
+    /// The acceptance check: an instrumented run's manifest and JSONL
+    /// trace must both parse back.
+    #[test]
+    fn instrumented_run_manifest_and_trace_parse() {
+        let models = bench_models(9);
+        let deployment = Deployment::builder().seed(9).build();
+        let sim = Simulator::new(deployment, models);
+        let config = SimConfig::new(PolicyKind::Origin { cycle: 12 })
+            .with_horizon(SimDuration::from_secs(120))
+            .with_seed(3);
+        let run = run_instrumented(&sim, &config).expect("valid cycle");
+
+        assert_eq!(run.jsonl.lines().count() as u64, run.events);
+        for line in run.jsonl.lines() {
+            let json = JsonValue::parse(line).expect("every trace line is JSON");
+            assert!(json.get("event").is_some());
+        }
+
+        let manifest = RunManifest::new("bench_test", config.seed, &config.policy.label())
+            .with_metrics(&run.metrics)
+            .with_result("accuracy", JsonValue::from(run.report.accuracy()));
+        let parsed = RunManifest::parse(&manifest.render_pretty()).expect("manifest parses");
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.policy, "RR12 Origin");
+        // The metrics snapshot survives the round-trip with its counters.
+        assert!(parsed
+            .metrics
+            .get("counters")
+            .and_then(|c| c.get("origin_events_total{event=\"window_start\"}"))
+            .and_then(JsonValue::as_u64)
+            .is_some());
+    }
+
+    #[test]
+    fn sim_config_entries_cover_the_knobs() {
+        let config = SimConfig::new(PolicyKind::Aas { cycle: 6 })
+            .with_seed(11)
+            .with_noise_snr(20.0);
+        let entries = sim_config_entries(&config);
+        let get = |k: &str| {
+            entries
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(get("policy"), Some("RR6 AAS"));
+        assert_eq!(get("seed"), Some("11"));
+        assert_eq!(get("noise_snr_db"), Some("20"));
+        assert_eq!(get("horizon_secs"), Some("3600"));
     }
 }

@@ -221,14 +221,8 @@ mod tests {
                 (vec![label as f64 * 4.0 - 2.0 + (i as f64 * 0.01)], label)
             })
             .collect();
-        let clf = SensorClassifier::train(
-            &[6],
-            &data,
-            set2(),
-            &Trainer::new().with_epochs(120),
-            3,
-        )
-        .unwrap();
+        let clf = SensorClassifier::train(&[6], &data, set2(), &Trainer::new().with_epochs(120), 3)
+            .unwrap();
         let m = ConfidenceMatrix::from_validation(
             std::slice::from_ref(&clf),
             std::slice::from_ref(&data),
@@ -248,14 +242,8 @@ mod tests {
         // Classifier trained on one class only will rarely predict the
         // other; the fallback must fill that cell.
         let data: Vec<(Vec<f64>, usize)> = (0..20).map(|i| (vec![i as f64], 0)).collect();
-        let clf = SensorClassifier::train(
-            &[4],
-            &data,
-            set2(),
-            &Trainer::new().with_epochs(30),
-            1,
-        )
-        .unwrap();
+        let clf = SensorClassifier::train(&[4], &data, set2(), &Trainer::new().with_epochs(30), 1)
+            .unwrap();
         let m = ConfidenceMatrix::from_validation(
             std::slice::from_ref(&clf),
             std::slice::from_ref(&data),

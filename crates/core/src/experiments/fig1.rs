@@ -65,7 +65,13 @@ mod tests {
             .with_horizon(SimDuration::from_secs(1_200));
         let r = run_fig1(&ctx).unwrap();
         // Fractions are fractions.
-        for v in [r.naive_all, r.naive_some, r.naive_none, r.rr3_succeed, r.rr3_fail] {
+        for v in [
+            r.naive_all,
+            r.naive_some,
+            r.naive_none,
+            r.rr3_succeed,
+            r.rr3_fail,
+        ] {
             assert!((0.0..=1.0).contains(&v), "{r:?}");
         }
         assert!((r.naive_all + r.naive_some + r.naive_none - 1.0).abs() < 1e-9);

@@ -44,8 +44,7 @@ pub fn run_fig2(ctx: &ExperimentContext, trials_per_class: usize) -> Result<Fig2
         for trial in 0..trials_per_class {
             let mut votes = Vec::with_capacity(SensorLocation::COUNT);
             for location in SensorLocation::ALL {
-                let window =
-                    sample_window(ctx.models.spec(), activity, location, &user, &mut rng);
+                let window = sample_window(ctx.models.spec(), activity, location, &user, &mut rng);
                 let features = window_features(&window);
                 let c = ctx
                     .models
@@ -101,9 +100,8 @@ mod tests {
         assert_eq!(r.activities.len(), 6);
         assert_eq!(r.per_sensor.len(), 3);
 
-        let overall = |loc: SensorLocation| -> f64 {
-            r.confusions[loc.index()].accuracy().unwrap()
-        };
+        let overall =
+            |loc: SensorLocation| -> f64 { r.confusions[loc.index()].accuracy().unwrap() };
         let chest = overall(SensorLocation::Chest);
         let ankle = overall(SensorLocation::LeftAnkle);
         let wrist = overall(SensorLocation::RightWrist);
@@ -126,6 +124,9 @@ mod tests {
         // Majority voting beats the weakest sensor overall and is at
         // least competitive with the best.
         let majority_overall: f64 = r.majority.iter().sum::<f64>() / r.majority.len() as f64;
-        assert!(majority_overall > wrist, "ensemble {majority_overall} vs wrist {wrist}");
+        assert!(
+            majority_overall > wrist,
+            "ensemble {majority_overall} vs wrist {wrist}"
+        );
     }
 }

@@ -57,7 +57,10 @@ pub fn run_fig5(ctx: &ExperimentContext) -> Result<Fig5Result, CoreError> {
             PolicyKind::Aasr { cycle },
             PolicyKind::Origin { cycle },
         ] {
-            let report = sim.run(&SimConfig { policy, ..base.clone() })?;
+            let report = sim.run(&SimConfig {
+                policy,
+                ..base.clone()
+            })?;
             rows.push(PolicyRow {
                 label: policy.label(),
                 per_activity: activities

@@ -52,7 +52,10 @@ pub fn run_power_study(ctx: &ExperimentContext) -> Result<PowerReport, CoreError
 
     for cycle in [3u8, 6, 9, 12] {
         let policy = PolicyKind::Origin { cycle };
-        let report = sim.run(&SimConfig { policy, ..base.clone() })?;
+        let report = sim.run(&SimConfig {
+            policy,
+            ..base.clone()
+        })?;
         let consumed: Power = report
             .node_counters
             .iter()
@@ -125,7 +128,11 @@ mod tests {
         );
         // The fully-powered baselines burn far more than the harvest
         // could ever supply — that is the whole point of the paper.
-        let bl2 = r.rows.iter().find(|row| row.label == "BL-2").expect("present");
+        let bl2 = r
+            .rows
+            .iter()
+            .find(|row| row.label == "BL-2")
+            .expect("present");
         assert!(
             bl2.mean_consumed_per_node.as_microwatts()
                 > 3.0 * origin12.mean_consumed_per_node.as_microwatts(),

@@ -8,6 +8,7 @@
 use crate::confidence::ConfidenceMatrix;
 use crate::ensemble::{majority_vote, weighted_vote, EnsembleKind, Vote};
 use crate::recall::{RecallEntry, RecallStore};
+use origin_telemetry::{SimEvent, SimObserver};
 use origin_types::{ActivityClass, ActivitySet, NodeId, SimTime};
 
 /// Host-side state: recall + confidence matrix + the configured ensemble.
@@ -120,6 +121,32 @@ impl HostDevice {
         }
     }
 
+    /// [`HostDevice::on_report`] with telemetry: when the host adapts,
+    /// emits one [`SimEvent::ConfidenceUpdate`] carrying the post-update
+    /// matrix weight. The observer is a pure consumer — host state is
+    /// identical to the unobserved path.
+    pub fn on_report_observed<O: SimObserver>(
+        &mut self,
+        node: NodeId,
+        activity: ActivityClass,
+        confidence: f64,
+        now: SimTime,
+        observer: &mut O,
+    ) {
+        self.on_report(node, activity, confidence, now);
+        if self.adapt {
+            let weight = self
+                .confidence
+                .weight(node, activity)
+                .expect("the report's (node, activity) is in the matrix");
+            observer.on_event(&SimEvent::ConfidenceUpdate {
+                node,
+                activity,
+                weight,
+            });
+        }
+    }
+
     /// The host's current final classification, or `None` before any
     /// report has arrived.
     #[must_use]
@@ -130,6 +157,25 @@ impl HostDevice {
             EnsembleKind::Majority => majority_vote(&self.votes()),
             EnsembleKind::ConfidenceWeighted => weighted_vote(&self.votes(), &self.confidence),
         }
+    }
+
+    /// [`HostDevice::classify`] with telemetry: emits one
+    /// [`SimEvent::RecallServed`] (how many per-node votes the recall
+    /// store held) and one [`SimEvent::EnsembleVote`] per call, tagged
+    /// with `window`. The observer is a pure consumer — the
+    /// classification is identical to the unobserved path.
+    pub fn classify_observed<O: SimObserver>(
+        &self,
+        window: u64,
+        observer: &mut O,
+    ) -> Option<ActivityClass> {
+        let prediction = self.classify();
+        observer.on_event(&SimEvent::RecallServed {
+            window,
+            votes: self.recall.votes().count() as u32,
+        });
+        observer.on_event(&SimEvent::EnsembleVote { window, prediction });
+        prediction
     }
 
     /// The anticipated next activity — "it anticipates the next activity
@@ -164,8 +210,18 @@ mod tests {
     fn single_latest_reports_freshest() {
         let mut h = host(EnsembleKind::SingleLatest);
         assert_eq!(h.classify(), None);
-        h.on_report(NodeId::new(0), ActivityClass::Walking, 0.1, SimTime::from_millis(10));
-        h.on_report(NodeId::new(1), ActivityClass::Running, 0.1, SimTime::from_millis(20));
+        h.on_report(
+            NodeId::new(0),
+            ActivityClass::Walking,
+            0.1,
+            SimTime::from_millis(10),
+        );
+        h.on_report(
+            NodeId::new(1),
+            ActivityClass::Running,
+            0.1,
+            SimTime::from_millis(20),
+        );
         assert_eq!(h.classify(), Some(ActivityClass::Running));
         assert_eq!(h.anticipated(), Some(ActivityClass::Running));
     }
@@ -173,13 +229,33 @@ mod tests {
     #[test]
     fn majority_uses_recalled_votes() {
         let mut h = host(EnsembleKind::Majority);
-        h.on_report(NodeId::new(0), ActivityClass::Walking, 0.1, SimTime::from_millis(10));
-        h.on_report(NodeId::new(1), ActivityClass::Walking, 0.1, SimTime::from_millis(20));
-        h.on_report(NodeId::new(2), ActivityClass::Running, 0.1, SimTime::from_millis(30));
+        h.on_report(
+            NodeId::new(0),
+            ActivityClass::Walking,
+            0.1,
+            SimTime::from_millis(10),
+        );
+        h.on_report(
+            NodeId::new(1),
+            ActivityClass::Walking,
+            0.1,
+            SimTime::from_millis(20),
+        );
+        h.on_report(
+            NodeId::new(2),
+            ActivityClass::Running,
+            0.1,
+            SimTime::from_millis(30),
+        );
         assert_eq!(h.classify(), Some(ActivityClass::Walking));
         // The non-participating sensors' old votes persist: node 2 reports
         // again, others recalled.
-        h.on_report(NodeId::new(2), ActivityClass::Walking, 0.1, SimTime::from_millis(40));
+        h.on_report(
+            NodeId::new(2),
+            ActivityClass::Walking,
+            0.1,
+            SimTime::from_millis(40),
+        );
         assert_eq!(h.classify(), Some(ActivityClass::Walking));
     }
 
@@ -215,9 +291,24 @@ mod tests {
         matrix.update(NodeId::new(0), ActivityClass::Walking, 0.05);
         matrix.update(NodeId::new(1), ActivityClass::Walking, 0.05);
         let mut h = HostDevice::new(3, EnsembleKind::ConfidenceWeighted, matrix, false);
-        h.on_report(NodeId::new(0), ActivityClass::Walking, 0.05, SimTime::from_millis(1));
-        h.on_report(NodeId::new(1), ActivityClass::Walking, 0.05, SimTime::from_millis(2));
-        h.on_report(NodeId::new(2), ActivityClass::Running, 0.9, SimTime::from_millis(3));
+        h.on_report(
+            NodeId::new(0),
+            ActivityClass::Walking,
+            0.05,
+            SimTime::from_millis(1),
+        );
+        h.on_report(
+            NodeId::new(1),
+            ActivityClass::Walking,
+            0.05,
+            SimTime::from_millis(2),
+        );
+        h.on_report(
+            NodeId::new(2),
+            ActivityClass::Running,
+            0.9,
+            SimTime::from_millis(3),
+        );
         assert_eq!(h.classify(), Some(ActivityClass::Running));
     }
 
@@ -232,6 +323,58 @@ mod tests {
         let _ = h.classify();
         let _ = h.classify();
         assert_eq!(h.aggregations(), before + 2);
+    }
+
+    #[test]
+    fn observed_host_emits_confidence_and_vote_events() {
+        use origin_telemetry::{EventKind, RecordingObserver, SimEvent};
+        let matrix = ConfidenceMatrix::uniform(ActivitySet::mhealth(), 3, 0.5);
+        let mut h = HostDevice::new(3, EnsembleKind::ConfidenceWeighted, matrix, true);
+        let mut rec = RecordingObserver::new();
+        h.on_report_observed(
+            NodeId::new(0),
+            ActivityClass::Walking,
+            0.9,
+            SimTime::ZERO,
+            &mut rec,
+        );
+        assert_eq!(rec.count(EventKind::ConfidenceUpdate), 1);
+        match rec.events()[0] {
+            SimEvent::ConfidenceUpdate { node, weight, .. } => {
+                assert_eq!(node, NodeId::new(0));
+                assert_eq!(
+                    weight,
+                    h.confidence()
+                        .weight(NodeId::new(0), ActivityClass::Walking)
+                        .unwrap()
+                );
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        let prediction = h.classify_observed(7, &mut rec);
+        assert_eq!(prediction, Some(ActivityClass::Walking));
+        assert_eq!(rec.count(EventKind::RecallServed), 1);
+        assert!(rec.events().contains(&SimEvent::EnsembleVote {
+            window: 7,
+            prediction: Some(ActivityClass::Walking),
+        }));
+        // Events must not perturb the host: same answer as the plain path.
+        assert_eq!(h.classify(), prediction);
+    }
+
+    #[test]
+    fn non_adaptive_observed_host_stays_silent_on_reports() {
+        use origin_telemetry::{EventKind, RecordingObserver};
+        let mut h = host(EnsembleKind::Majority);
+        let mut rec = RecordingObserver::new();
+        h.on_report_observed(
+            NodeId::new(0),
+            ActivityClass::Walking,
+            0.1,
+            SimTime::ZERO,
+            &mut rec,
+        );
+        assert_eq!(rec.count(EventKind::ConfidenceUpdate), 0);
     }
 
     #[test]

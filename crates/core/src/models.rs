@@ -63,7 +63,11 @@ impl ModelBank {
     ///
     /// Propagates training and pruning failures.
     pub fn train(spec: &DatasetSpec, seed: u64) -> Result<Self, CoreError> {
-        Self::train_with_budget(spec, seed, Energy::from_microjoules(Self::DEFAULT_BUDGET_UJ))
+        Self::train_with_budget(
+            spec,
+            seed,
+            Energy::from_microjoules(Self::DEFAULT_BUDGET_UJ),
+        )
     }
 
     /// Trains the full bank, pruning Baseline-2 to `budget` per inference.

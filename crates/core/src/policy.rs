@@ -4,6 +4,7 @@ use crate::ensemble::EnsembleKind;
 use crate::error::CoreError;
 use crate::rank::RankTable;
 use crate::schedule::{SlotKind, Slots};
+use origin_telemetry::{NoopObserver, SimEvent, SimObserver};
 use origin_types::{ActivityClass, NodeId};
 
 /// Which policy drives the deployment (Section III).
@@ -191,16 +192,51 @@ impl PolicyState {
         anticipated: Option<ActivityClass>,
         headroom: &[f64],
     ) -> Plan {
+        self.plan_observed(window, anticipated, headroom, &mut NoopObserver)
+    }
+
+    /// [`PolicyState::plan`] with telemetry: emits one
+    /// [`SimEvent::SlotScheduled`] per window, no-op slots included. The
+    /// observer is a pure consumer — the decision is identical to the
+    /// unobserved path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `headroom.len() != nodes`.
+    pub fn plan_observed<O: SimObserver>(
+        &mut self,
+        window: u64,
+        anticipated: Option<ActivityClass>,
+        headroom: &[f64],
+        observer: &mut O,
+    ) -> Plan {
         assert_eq!(headroom.len(), self.nodes, "one headroom per node");
+        let (plan, idle) = self.decide(window, anticipated, headroom);
+        observer.on_event(&SimEvent::SlotScheduled {
+            window,
+            attempters: plan.attempters.len() as u32,
+            idle,
+        });
+        plan
+    }
+
+    /// The scheduling decision and whether the slot was an ER-r no-op.
+    fn decide(
+        &mut self,
+        window: u64,
+        anticipated: Option<ActivityClass>,
+        headroom: &[f64],
+    ) -> (Plan, bool) {
         let Some(slots) = self.slots else {
             // Naive: everyone, every window, no signalling.
-            return Plan {
+            let plan = Plan {
                 attempters: (0..self.nodes).map(|i| NodeId::new(i as u32)).collect(),
                 signal: None,
             };
+            return (plan, false);
         };
         let SlotKind::Sensor { ordinal } = slots.slot_at(window) else {
-            return Plan::idle();
+            return (Plan::idle(), true);
         };
 
         let chosen = if self.kind.is_activity_aware() {
@@ -210,17 +246,16 @@ impl PolicyState {
         };
 
         let signal = match self.prev_attempter {
-            Some(prev) if self.kind.is_activity_aware() && prev != chosen => {
-                Some((prev, chosen))
-            }
+            Some(prev) if self.kind.is_activity_aware() && prev != chosen => Some((prev, chosen)),
             _ => None,
         };
         self.prev_attempter = Some(chosen);
         self.last_attempt[chosen.as_usize()] = Some(window);
-        Plan {
+        let plan = Plan {
             attempters: vec![chosen],
             signal,
-        }
+        };
+        (plan, false)
     }
 
     fn choose_activity_aware(
@@ -271,15 +306,11 @@ impl PolicyState {
             .copied()
             .find(|n| off_cooldown(n) && headroom.get(n.as_usize()).copied().unwrap_or(0.0) >= 1.0)
             .or_else(|| {
-                order
-                    .iter()
-                    .copied()
-                    .filter(off_cooldown)
-                    .max_by(|a, b| {
-                        headroom[a.as_usize()]
-                            .partial_cmp(&headroom[b.as_usize()])
-                            .expect("headroom is finite")
-                    })
+                order.iter().copied().filter(off_cooldown).max_by(|a, b| {
+                    headroom[a.as_usize()]
+                        .partial_cmp(&headroom[b.as_usize()])
+                        .expect("headroom is finite")
+                })
             })
             .unwrap_or(order[0])
     }
@@ -323,12 +354,8 @@ mod tests {
 
     #[test]
     fn round_robin_rotates_fixed_order() {
-        let mut p = PolicyState::new(
-            PolicyKind::RoundRobin { cycle: 6 },
-            rank_preferring(0),
-            3,
-        )
-        .unwrap();
+        let mut p =
+            PolicyState::new(PolicyKind::RoundRobin { cycle: 6 }, rank_preferring(0), 3).unwrap();
         let afford = [2.0, 2.0, 2.0];
         assert_eq!(p.plan(0, None, &afford).attempters, vec![NodeId::new(0)]);
         assert!(p.plan(1, None, &afford).attempters.is_empty()); // no-op
@@ -339,16 +366,14 @@ mod tests {
 
     #[test]
     fn aas_picks_ranked_best_when_affordable() {
-        let mut p =
-            PolicyState::new(PolicyKind::Aas { cycle: 3 }, rank_preferring(2), 3).unwrap();
+        let mut p = PolicyState::new(PolicyKind::Aas { cycle: 3 }, rank_preferring(2), 3).unwrap();
         let plan = p.plan(0, Some(ActivityClass::Walking), &[2.0, 2.0, 2.0]);
         assert_eq!(plan.attempters, vec![NodeId::new(2)]);
     }
 
     #[test]
     fn aas_falls_back_to_next_best() {
-        let mut p =
-            PolicyState::new(PolicyKind::Aas { cycle: 3 }, rank_preferring(2), 3).unwrap();
+        let mut p = PolicyState::new(PolicyKind::Aas { cycle: 3 }, rank_preferring(2), 3).unwrap();
         // Node 2 (best) cannot afford; ties at 4/10 for 0 and 1 break to 0.
         let plan = p.plan(0, Some(ActivityClass::Walking), &[2.0, 2.0, 0.4]);
         assert_eq!(plan.attempters, vec![NodeId::new(0)]);
@@ -356,16 +381,14 @@ mod tests {
 
     #[test]
     fn aas_attempts_best_even_when_no_one_affords() {
-        let mut p =
-            PolicyState::new(PolicyKind::Aas { cycle: 3 }, rank_preferring(1), 3).unwrap();
+        let mut p = PolicyState::new(PolicyKind::Aas { cycle: 3 }, rank_preferring(1), 3).unwrap();
         let plan = p.plan(0, Some(ActivityClass::Running), &[0.1, 0.9, 0.2]);
         assert_eq!(plan.attempters, vec![NodeId::new(1)]);
     }
 
     #[test]
     fn aas_signals_on_handoff() {
-        let mut p =
-            PolicyState::new(PolicyKind::Aas { cycle: 3 }, rank_preferring(2), 3).unwrap();
+        let mut p = PolicyState::new(PolicyKind::Aas { cycle: 3 }, rank_preferring(2), 3).unwrap();
         let first = p.plan(0, Some(ActivityClass::Walking), &[2.0, 2.0, 2.0]);
         assert!(first.signal.is_none(), "no previous attempter yet");
         // Best node 2 is now on ER-r cooldown: hand-off to node 0,
@@ -386,8 +409,7 @@ mod tests {
     fn aas_cooldown_rotates_all_sensors_within_a_cycle() {
         // With abundant energy the best sensor must NOT monopolize the
         // slots — each node runs once per cycle, keeping recalls fresh.
-        let mut p =
-            PolicyState::new(PolicyKind::Aasr { cycle: 3 }, rank_preferring(2), 3).unwrap();
+        let mut p = PolicyState::new(PolicyKind::Aasr { cycle: 3 }, rank_preferring(2), 3).unwrap();
         let mut seen = std::collections::BTreeSet::new();
         for w in 0..3 {
             let plan = p.plan(w, Some(ActivityClass::Walking), &[2.0, 2.0, 2.0]);
@@ -423,6 +445,33 @@ mod tests {
         assert!(!PolicyKind::Aasr { cycle: 12 }.adapts_confidence());
         assert_eq!(PolicyKind::Origin { cycle: 12 }.label(), "RR12 Origin");
         assert_eq!(PolicyKind::NaiveAllOn.to_string(), "Naive");
+    }
+
+    #[test]
+    fn plan_observed_reports_noop_slots() {
+        use origin_telemetry::RecordingObserver;
+        let mut p =
+            PolicyState::new(PolicyKind::RoundRobin { cycle: 6 }, rank_preferring(0), 3).unwrap();
+        let mut rec = RecordingObserver::new();
+        let afford = [2.0, 2.0, 2.0];
+        // Window 0 is a sensor slot, window 1 an ER-6 no-op.
+        let _ = p.plan_observed(0, None, &afford, &mut rec);
+        let _ = p.plan_observed(1, None, &afford, &mut rec);
+        assert_eq!(
+            rec.events(),
+            &[
+                SimEvent::SlotScheduled {
+                    window: 0,
+                    attempters: 1,
+                    idle: false,
+                },
+                SimEvent::SlotScheduled {
+                    window: 1,
+                    attempters: 0,
+                    idle: true,
+                },
+            ]
+        );
     }
 
     #[test]

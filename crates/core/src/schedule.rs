@@ -101,7 +101,9 @@ impl Slots {
     /// The full cycle layout, for display and tests.
     #[must_use]
     pub fn layout(&self) -> Vec<SlotKind> {
-        (0..u64::from(self.cycle)).map(|w| self.slot_at(w)).collect()
+        (0..u64::from(self.cycle))
+            .map(|w| self.slot_at(w))
+            .collect()
     }
 
     /// Fraction of slots that attempt an inference.

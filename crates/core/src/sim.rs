@@ -17,9 +17,8 @@ use origin_nn::ConfusionMatrix;
 use origin_sensors::{
     add_noise_snr, sample_window, window_features, ActivityTimeline, TimelineConfig, UserProfile,
 };
-use origin_types::{
-    ActivitySet, Energy, NodeId, SensorLocation, SimDuration, SimTime, UserId,
-};
+use origin_telemetry::{NoopObserver, SimEvent, SimObserver};
+use origin_types::{ActivitySet, Energy, NodeId, SensorLocation, SimDuration, SimTime, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -167,6 +166,10 @@ pub struct SimReport {
     pub messages_sent: u64,
     /// Radio frames lost to the link.
     pub messages_dropped: u64,
+    /// Radio frames offered by each node, indexed by node id.
+    pub sent_by_node: Vec<u64>,
+    /// Radio frames lost per sending node, indexed by node id.
+    pub dropped_by_node: Vec<u64>,
     /// Final per-node energy counters.
     pub node_counters: Vec<NodeCounters>,
     /// The host's confidence matrix at the end of the run.
@@ -251,7 +254,16 @@ impl core::fmt::Display for SimReport {
             f,
             "  radio: {} sent, {} dropped",
             self.messages_sent, self.messages_dropped
-        )
+        )?;
+        for (n, (sent, dropped)) in self
+            .sent_by_node
+            .iter()
+            .zip(&self.dropped_by_node)
+            .enumerate()
+        {
+            write!(f, "; node{n} {sent}/{dropped}")?;
+        }
+        Ok(())
     }
 }
 
@@ -287,6 +299,27 @@ impl Simulator {
     ///
     /// Returns [`CoreError::BadCycle`] for an invalid ER-r cycle.
     pub fn run(&self, config: &SimConfig) -> Result<SimReport, CoreError> {
+        self.run_observed(config, &mut NoopObserver)
+    }
+
+    /// [`Simulator::run`] with telemetry: every stage of the loop emits
+    /// [`SimEvent`]s into `observer` — window starts, harvest slices,
+    /// slot decisions (no-op slots included), activation signals,
+    /// inference attempts/completions/brownouts, NVP checkpoints, radio
+    /// traffic, recall and ensemble votes, and confidence updates.
+    ///
+    /// Observers are pure consumers: an instrumented run produces a
+    /// report identical to [`Simulator::run`] on the same config
+    /// (`tests/telemetry.rs` pins this byte-for-byte).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadCycle`] for an invalid ER-r cycle.
+    pub fn run_observed<O: SimObserver>(
+        &self,
+        config: &SimConfig,
+        observer: &mut O,
+    ) -> Result<SimReport, CoreError> {
         let window = self.deployment.window();
         let windows_total = config.horizon.steps_of(window);
         let activities = self.models.activities().clone();
@@ -344,6 +377,8 @@ impl Simulator {
             windows_none_completed: 0,
             messages_sent: 0,
             messages_dropped: 0,
+            sent_by_node: Vec::new(),
+            dropped_by_node: Vec::new(),
             node_counters: Vec::new(),
             final_confidence: host.confidence().clone(),
         };
@@ -355,6 +390,11 @@ impl Simulator {
             let truth_dense = activities
                 .dense_index(truth)
                 .expect("timeline draws from the model's activity set");
+            observer.on_event(&SimEvent::WindowStart {
+                window: w,
+                at_us: t0.as_micros(),
+                truth,
+            });
 
             let headroom: Vec<f64> = nodes
                 .iter()
@@ -372,17 +412,29 @@ impl Simulator {
             } else {
                 host.anticipated()
             };
-            let plan = policy.plan(w, anticipated, &headroom);
+            let plan = policy.plan_observed(w, anticipated, &headroom, observer);
 
             // AAS hand-off signalling.
             if let Some((from, to)) = plan.signal {
+                observer.on_event(&SimEvent::ActivationSignal {
+                    window: w,
+                    from,
+                    to,
+                });
                 let frame = Message::ActivationSignal {
                     target: to,
                     anticipated: truth, // payload only; content is opaque here
                 };
                 let bytes = frame.wire_size();
                 let _ = nodes[from.as_usize()].pay(self.deployment.costs().tx_cost(bytes));
-                bus.send(Endpoint::Node(from), Endpoint::Node(to), frame, t0, &mut rng);
+                bus.send_observed(
+                    Endpoint::Node(from),
+                    Endpoint::Node(to),
+                    frame,
+                    t0,
+                    &mut rng,
+                    observer,
+                );
             }
 
             // Advance every node with its duty for this window.
@@ -394,7 +446,14 @@ impl Simulator {
                 } else {
                     DutyState::Sleep
                 };
+                let before = node.counters();
                 sensed_ok[n] = node.advance(t0, t1, duty);
+                observer.on_event(&SimEvent::HarvestSlice {
+                    window: w,
+                    node: NodeId::new(n as u32),
+                    harvested_uj: (node.counters().harvested - before.harvested).as_microjoules(),
+                    stored_uj: node.stored().as_microjoules(),
+                });
             }
 
             // Inference attempts.
@@ -403,13 +462,36 @@ impl Simulator {
             for &attempter in &plan.attempters {
                 let n = attempter.as_usize();
                 report.attempts += 1;
+                observer.on_event(&SimEvent::InferenceAttempt {
+                    window: w,
+                    node: attempter,
+                    headroom: headroom[n],
+                });
                 if config.disabled_nodes.contains(&attempter) {
                     continue; // a failed sensor produces nothing
                 }
                 if !sensed_ok[n] {
-                    continue; // browned out while sampling: no usable window
+                    // Browned out while sampling: no usable window.
+                    observer.on_event(&SimEvent::InferenceBrownout {
+                        window: w,
+                        node: attempter,
+                        sensed: false,
+                    });
+                    continue;
                 }
+                let before = nodes[n].counters();
                 if !nodes[n].attempt_window(infer_cost[n]) {
+                    if nodes[n].counters().suspended > before.suspended {
+                        observer.on_event(&SimEvent::NvpCheckpoint {
+                            window: w,
+                            node: attempter,
+                        });
+                    }
+                    observer.on_event(&SimEvent::InferenceBrownout {
+                        window: w,
+                        node: attempter,
+                        sensed: true,
+                    });
                     continue;
                 }
                 completions_this += 1;
@@ -428,6 +510,13 @@ impl Simulator {
                     .classify(&features)
                     .expect("feature width matches the trained classifier");
 
+                observer.on_event(&SimEvent::InferenceCompleted {
+                    window: w,
+                    node: attempter,
+                    activity: classification.activity,
+                    confidence: classification.confidence,
+                });
+
                 let frame = Message::ClassificationReport {
                     node: attempter,
                     activity: classification.activity,
@@ -435,7 +524,14 @@ impl Simulator {
                 };
                 let bytes = frame.wire_size();
                 let _ = nodes[n].pay(self.deployment.costs().tx_cost(bytes));
-                bus.send(Endpoint::Node(attempter), Endpoint::Host, frame, t0, &mut rng);
+                bus.send_observed(
+                    Endpoint::Node(attempter),
+                    Endpoint::Host,
+                    frame,
+                    t0,
+                    &mut rng,
+                    observer,
+                );
             }
 
             if attempts_this > 0 {
@@ -457,7 +553,7 @@ impl Simulator {
                     confidence,
                 } = frame.message
                 {
-                    host.on_report(node, activity, confidence, frame.arrives_at);
+                    host.on_report_observed(node, activity, confidence, frame.arrives_at, observer);
                 }
             }
             // Nodes receive activation signals (pay the rx cost).
@@ -469,7 +565,7 @@ impl Simulator {
             }
 
             // Score the host's current output against ground truth.
-            match host.classify() {
+            match host.classify_observed(w, observer) {
                 Some(prediction) => {
                     let pred_dense = activities
                         .dense_index(prediction)
@@ -485,6 +581,8 @@ impl Simulator {
 
         report.messages_sent = bus.sent_count();
         report.messages_dropped = bus.dropped_count();
+        report.sent_by_node = bus.sent_by_node().to_vec();
+        report.dropped_by_node = bus.dropped_by_node().to_vec();
         report.node_counters = nodes.iter().map(|n| n.counters()).collect();
         report.final_confidence = host.confidence().clone();
         Ok(report)
@@ -586,8 +684,7 @@ mod tests {
     #[test]
     fn disabled_nodes_never_complete() {
         let sim = quick_sim();
-        let cfg = short(PolicyKind::NaiveAllOn)
-            .with_disabled_nodes([origin_types::NodeId::new(1)]);
+        let cfg = short(PolicyKind::NaiveAllOn).with_disabled_nodes([origin_types::NodeId::new(1)]);
         let report = sim.run(&cfg).unwrap();
         // Node 1 is scheduled (naive schedules everyone) but never
         // completes; its counters show zero completions.

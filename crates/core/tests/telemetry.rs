@@ -1,0 +1,140 @@
+//! Telemetry integration: the zero-perturbation guarantee and the
+//! event-stream invariants against the report's own counters.
+
+use origin_core::{Deployment, ModelBank, PolicyKind, SimConfig, Simulator};
+use origin_sensors::DatasetSpec;
+use origin_telemetry::{
+    EventKind, JsonValue, JsonlObserver, MetricsObserver, RecordingObserver, SimEvent, Tee,
+};
+use origin_types::SimDuration;
+
+fn quick_sim() -> Simulator {
+    let spec = DatasetSpec::mhealth_like().with_windows(10, 6);
+    let models = ModelBank::train(&spec, 21).expect("training succeeds");
+    let deployment = Deployment::builder().seed(21).build();
+    Simulator::new(deployment, models)
+}
+
+fn short(policy: PolicyKind) -> SimConfig {
+    SimConfig::new(policy)
+        .with_horizon(SimDuration::from_secs(300))
+        .with_seed(5)
+}
+
+/// Observers are pure consumers: an instrumented run must produce a
+/// byte-identical report to an unobserved run of the same config.
+#[test]
+fn observed_runs_do_not_perturb_the_simulation() {
+    let sim = quick_sim();
+    for policy in [
+        PolicyKind::NaiveAllOn,
+        PolicyKind::RoundRobin { cycle: 6 },
+        PolicyKind::Origin { cycle: 12 },
+    ] {
+        let cfg = short(policy);
+        let plain = sim.run(&cfg).unwrap();
+        let mut observer = Tee(RecordingObserver::new(), MetricsObserver::new());
+        let observed = sim.run_observed(&cfg, &mut observer).unwrap();
+        assert!(
+            !observer.0.events().is_empty(),
+            "{policy:?}: the observed run must emit events"
+        );
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{observed:?}"),
+            "{policy:?}: observer changed the simulation outcome"
+        );
+    }
+}
+
+/// Event counts must agree with the report's own aggregate counters.
+#[test]
+fn event_counts_match_report_counters() {
+    let sim = quick_sim();
+    let cfg = short(PolicyKind::Origin { cycle: 12 });
+    let mut rec = RecordingObserver::new();
+    let report = sim.run_observed(&cfg, &mut rec).unwrap();
+
+    let node_count = report.node_counters.len() as u64;
+    let count = |kind| rec.count(kind) as u64;
+    assert_eq!(count(EventKind::WindowStart), report.windows);
+    assert_eq!(count(EventKind::SlotScheduled), report.windows);
+    assert_eq!(count(EventKind::HarvestSlice), report.windows * node_count);
+    assert_eq!(count(EventKind::InferenceAttempt), report.attempts);
+    assert_eq!(count(EventKind::InferenceCompleted), report.completions);
+    assert_eq!(
+        count(EventKind::MessageTx) + count(EventKind::MessageDrop),
+        report.messages_sent
+    );
+    assert_eq!(count(EventKind::MessageDrop), report.messages_dropped);
+    assert_eq!(count(EventKind::EnsembleVote), report.windows);
+    assert_eq!(count(EventKind::RecallServed), report.windows);
+    // An attempt either completes or browns out (no node is disabled).
+    assert_eq!(
+        count(EventKind::InferenceCompleted) + count(EventKind::InferenceBrownout),
+        report.attempts
+    );
+    // Per-node bus counters sum to the totals.
+    assert_eq!(report.sent_by_node.len() as u64, node_count);
+    assert!(report.sent_by_node.iter().sum::<u64>() <= report.messages_sent);
+    assert_eq!(report.dropped_by_node.iter().sum::<u64>(), {
+        // Only nodes transmit in this stack, so every drop is attributed.
+        report.messages_dropped
+    });
+}
+
+/// The JSONL sink must write one parseable object per event, and the
+/// metrics aggregator must agree with the recorder.
+#[test]
+fn jsonl_lines_parse_and_metrics_agree() {
+    let sim = quick_sim();
+    let cfg = short(PolicyKind::Origin { cycle: 12 });
+    let mut observer = Tee(
+        Tee(RecordingObserver::new(), MetricsObserver::new()),
+        JsonlObserver::new(Vec::new()),
+    );
+    let _ = sim.run_observed(&cfg, &mut observer).unwrap();
+    let Tee(Tee(rec, metrics), jsonl) = observer;
+
+    assert_eq!(jsonl.events_written() as usize, rec.events().len());
+    assert_eq!(metrics.total() as usize, rec.events().len());
+
+    let bytes = jsonl.finish().unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), rec.events().len());
+    for (line, event) in lines.iter().zip(rec.events()) {
+        let json = JsonValue::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable JSONL line {line:?}: {e}"));
+        assert_eq!(
+            json.get("event").and_then(JsonValue::as_str),
+            Some(event.kind().name())
+        );
+    }
+    // Per-kind counters in the registry match the recorder.
+    for kind in [
+        EventKind::WindowStart,
+        EventKind::InferenceAttempt,
+        EventKind::MessageTx,
+        EventKind::EnsembleVote,
+    ] {
+        assert_eq!(metrics.count(kind), rec.count(kind) as u64);
+    }
+}
+
+/// ER-r no-op slots must surface as idle `SlotScheduled` events.
+#[test]
+fn idle_slots_are_observed() {
+    let sim = quick_sim();
+    // RR12 over 3 nodes: 9 of every 12 slots are no-ops.
+    let cfg = short(PolicyKind::RoundRobin { cycle: 12 });
+    let mut rec = RecordingObserver::new();
+    let report = sim.run_observed(&cfg, &mut rec).unwrap();
+    let idle = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e, SimEvent::SlotScheduled { idle: true, .. }))
+        .count() as u64;
+    assert_eq!(idle, report.windows - report.attempt_windows);
+    assert!(idle > 0, "an ER-12 run must include no-op slots");
+}

@@ -148,9 +148,6 @@ mod tests {
         let t = EnergyCostTable::default();
         assert_eq!(t.duty_cost(DutyState::Sense), t.sense_per_window);
         assert_eq!(t.duty_cost(DutyState::Sleep), t.sleep_per_window);
-        assert_eq!(
-            t.duty_cost(DutyState::IdleListen),
-            t.idle_listen_per_window
-        );
+        assert_eq!(t.duty_cost(DutyState::IdleListen), t.idle_listen_per_window);
     }
 }

@@ -303,7 +303,10 @@ mod tests {
         let paid = n.advance(SimTime::ZERO, SimTime::from_millis(500), DutyState::Sleep);
         assert!(paid);
         let stored = n.stored().as_microjoules();
-        assert!((stored - (50.0 - 0.8 - 0.25)).abs() < 1e-9, "stored={stored}");
+        assert!(
+            (stored - (50.0 - 0.8 - 0.25)).abs() < 1e-9,
+            "stored={stored}"
+        );
     }
 
     #[test]

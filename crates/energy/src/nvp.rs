@@ -156,7 +156,10 @@ mod tests {
         let mut job = InferenceJob::new(uj(100.0));
         job.invest(uj(30.0));
         let preserved = Nvp::non_volatile().suspend(job.clone());
-        assert_eq!(preserved.as_ref().map(InferenceJob::invested), Some(uj(30.0)));
+        assert_eq!(
+            preserved.as_ref().map(InferenceJob::invested),
+            Some(uj(30.0))
+        );
         assert!(Nvp::volatile().suspend(job).is_none());
         assert!(Nvp::default().preserves_progress());
         assert!(!Nvp::volatile().preserves_progress());

@@ -2,6 +2,7 @@
 
 use crate::link::LinkModel;
 use crate::message::Message;
+use origin_telemetry::{Party, SimEvent, SimObserver};
 use origin_types::{NodeId, SimTime};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -13,6 +14,17 @@ pub enum Endpoint {
     Node(NodeId),
     /// The battery-backed host device (phone).
     Host,
+}
+
+impl Endpoint {
+    /// The telemetry mirror of this endpoint.
+    #[must_use]
+    pub fn party(self) -> Party {
+        match self {
+            Endpoint::Host => Party::Host,
+            Endpoint::Node(id) => Party::Node(id),
+        }
+    }
 }
 
 /// A frame in transit.
@@ -39,6 +51,8 @@ pub struct MessageBus {
     host_queue: VecDeque<InFlight>,
     sent: u64,
     dropped: u64,
+    node_sent: Vec<u64>,
+    node_dropped: Vec<u64>,
 }
 
 impl MessageBus {
@@ -51,6 +65,8 @@ impl MessageBus {
             host_queue: VecDeque::new(),
             sent: 0,
             dropped: 0,
+            node_sent: vec![0; node_count],
+            node_dropped: vec![0; node_count],
         }
     }
 
@@ -72,6 +88,19 @@ impl MessageBus {
         self.dropped
     }
 
+    /// Frames offered by each node, indexed by node id (host traffic is
+    /// not attributed here).
+    #[must_use]
+    pub fn sent_by_node(&self) -> &[u64] {
+        &self.node_sent
+    }
+
+    /// Frames lost per sending node, indexed by node id.
+    #[must_use]
+    pub fn dropped_by_node(&self) -> &[u64] {
+        &self.node_dropped
+    }
+
     /// Sends `message` from `from` to `to` at time `now`. Returns whether
     /// the link delivered it (a dropped frame still cost the sender its
     /// transmit energy).
@@ -87,11 +116,61 @@ impl MessageBus {
         now: SimTime,
         rng: &mut R,
     ) -> bool {
+        self.send_observed(
+            from,
+            to,
+            message,
+            now,
+            rng,
+            &mut origin_telemetry::NoopObserver,
+        )
+    }
+
+    /// [`MessageBus::send`] with telemetry: emits one
+    /// [`SimEvent::MessageTx`] or [`SimEvent::MessageDrop`] per frame.
+    /// The observer is a pure consumer — the link outcome and queues are
+    /// identical to the unobserved path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `to` names a node outside the bus.
+    pub fn send_observed<R: Rng + ?Sized, O: SimObserver>(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        message: Message,
+        now: SimTime,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> bool {
         self.sent += 1;
+        if let Endpoint::Node(id) = from {
+            if let Some(count) = self.node_sent.get_mut(id.as_usize()) {
+                *count += 1;
+            }
+        }
+        let bytes = message.wire_size();
         if !self.link.delivers(rng) {
             self.dropped += 1;
+            if let Endpoint::Node(id) = from {
+                if let Some(count) = self.node_dropped.get_mut(id.as_usize()) {
+                    *count += 1;
+                }
+            }
+            observer.on_event(&SimEvent::MessageDrop {
+                from: from.party(),
+                to: to.party(),
+                bytes,
+                at_us: now.as_micros(),
+            });
             return false;
         }
+        observer.on_event(&SimEvent::MessageTx {
+            from: from.party(),
+            to: to.party(),
+            bytes,
+            at_us: now.as_micros(),
+        });
         let frame = InFlight {
             from,
             message,
@@ -168,7 +247,9 @@ mod tests {
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].from, Endpoint::Node(NodeId::new(0)));
         // Drained.
-        assert!(bus.poll(Endpoint::Host, SimTime::from_millis(20)).is_empty());
+        assert!(bus
+            .poll(Endpoint::Host, SimTime::from_millis(20))
+            .is_empty());
     }
 
     #[test]
@@ -218,6 +299,78 @@ mod tests {
         assert!((350..650).contains(&dropped), "dropped = {dropped}");
         let delivered = bus.poll(Endpoint::Host, SimTime::from_secs(1)).len() as u64;
         assert_eq!(delivered + dropped, 1000);
+        // The single sender owns every per-node count.
+        assert_eq!(bus.sent_by_node(), &[1000]);
+        assert_eq!(bus.dropped_by_node(), &[dropped]);
+    }
+
+    #[test]
+    fn per_node_counters_attribute_senders() {
+        let mut bus = MessageBus::new(LinkModel::reliable(), 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for (node, sends) in [(0u32, 2), (2u32, 1)] {
+            for _ in 0..sends {
+                bus.send(
+                    Endpoint::Node(NodeId::new(node)),
+                    Endpoint::Host,
+                    report(node),
+                    SimTime::ZERO,
+                    &mut rng,
+                );
+            }
+        }
+        // Host-originated traffic is counted globally but not per node.
+        bus.send(
+            Endpoint::Host,
+            Endpoint::Node(NodeId::new(1)),
+            Message::ActivationSignal {
+                target: NodeId::new(1),
+                anticipated: ActivityClass::Walking,
+            },
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(bus.sent_count(), 4);
+        assert_eq!(bus.sent_by_node(), &[2, 0, 1]);
+        assert_eq!(bus.dropped_by_node(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn observed_send_emits_tx_and_drop_events() {
+        use origin_telemetry::{EventKind, RecordingObserver};
+        // Always-lossy link: every send is a drop.
+        let lossy = LinkModel::new(SimDuration::from_millis(1), 1.0);
+        let mut bus = MessageBus::new(lossy, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut rec = RecordingObserver::new();
+        let delivered = bus.send_observed(
+            Endpoint::Node(NodeId::new(0)),
+            Endpoint::Host,
+            report(0),
+            SimTime::from_millis(2),
+            &mut rng,
+            &mut rec,
+        );
+        assert!(!delivered);
+        assert_eq!(rec.count(EventKind::MessageDrop), 1);
+
+        let mut reliable = MessageBus::new(LinkModel::reliable(), 1);
+        assert!(reliable.send_observed(
+            Endpoint::Node(NodeId::new(0)),
+            Endpoint::Host,
+            report(0),
+            SimTime::from_millis(2),
+            &mut rng,
+            &mut rec,
+        ));
+        assert_eq!(rec.count(EventKind::MessageTx), 1);
+        match rec.events().last().unwrap() {
+            origin_telemetry::SimEvent::MessageTx { bytes, at_us, .. } => {
+                assert_eq!(*bytes, 8);
+                assert_eq!(*at_us, 2000);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -45,11 +45,7 @@ impl SensorClassifier {
     /// Returns [`NnError::DimensionMismatch`] when the normalizer width
     /// does not match the model input, or the model output does not match
     /// the class count.
-    pub fn new(
-        mlp: Mlp,
-        normalizer: Normalizer,
-        activities: ActivitySet,
-    ) -> Result<Self, NnError> {
+    pub fn new(mlp: Mlp, normalizer: Normalizer, activities: ActivitySet) -> Result<Self, NnError> {
         if normalizer.dim() != mlp.input_dim() {
             return Err(NnError::DimensionMismatch {
                 expected: mlp.input_dim(),
@@ -219,14 +215,9 @@ mod tests {
     #[test]
     fn trains_and_classifies() {
         let data = toy_data(1, 30, 3);
-        let clf = SensorClassifier::train(
-            &[8],
-            &data,
-            small_set(),
-            &Trainer::new().with_epochs(60),
-            7,
-        )
-        .unwrap();
+        let clf =
+            SensorClassifier::train(&[8], &data, small_set(), &Trainer::new().with_epochs(60), 7)
+                .unwrap();
         let cm = clf.evaluate(&data).unwrap();
         assert!(cm.accuracy().unwrap() > 0.9, "{}", cm);
         let c = clf.classify(&data[0].0).unwrap();
@@ -239,14 +230,9 @@ mod tests {
     #[test]
     fn classification_maps_dense_labels_to_activities() {
         let data = toy_data(2, 20, 3);
-        let clf = SensorClassifier::train(
-            &[6],
-            &data,
-            small_set(),
-            &Trainer::new().with_epochs(40),
-            1,
-        )
-        .unwrap();
+        let clf =
+            SensorClassifier::train(&[6], &data, small_set(), &Trainer::new().with_epochs(40), 1)
+                .unwrap();
         // Dense label 2 is Jumping in this set.
         let sample = data.iter().find(|(_, y)| *y == 2).unwrap();
         let c = clf.classify(&sample.0).unwrap();
@@ -274,14 +260,9 @@ mod tests {
     #[test]
     fn classify_rejects_wrong_width() {
         let data = toy_data(3, 10, 3);
-        let clf = SensorClassifier::train(
-            &[4],
-            &data,
-            small_set(),
-            &Trainer::new().with_epochs(5),
-            0,
-        )
-        .unwrap();
+        let clf =
+            SensorClassifier::train(&[4], &data, small_set(), &Trainer::new().with_epochs(5), 0)
+                .unwrap();
         assert!(matches!(
             clf.classify(&[1.0]),
             Err(NnError::DimensionMismatch { .. })
@@ -299,18 +280,14 @@ mod tests {
     #[test]
     fn inference_energy_tracks_pruning() {
         let data = toy_data(4, 10, 3);
-        let mut clf = SensorClassifier::train(
-            &[8],
-            &data,
-            small_set(),
-            &Trainer::new().with_epochs(5),
-            0,
-        )
-        .unwrap();
+        let mut clf =
+            SensorClassifier::train(&[8], &data, small_set(), &Trainer::new().with_epochs(5), 0)
+                .unwrap();
         let em = InferenceEnergyModel::default();
         let before = clf.inference_energy(&em);
         let n = clf.mlp().layers()[0].total_weights();
-        clf.mlp_mut().layers_mut()[0].set_mask(vec![false; n - 1].into_iter().chain([true]).collect());
+        clf.mlp_mut().layers_mut()[0]
+            .set_mask(vec![false; n - 1].into_iter().chain([true]).collect());
         assert!(clf.inference_energy(&em) < before);
     }
 }

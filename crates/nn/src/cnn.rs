@@ -71,12 +71,10 @@ impl Conv1d {
     }
 
     /// SGD update; returns the gradient w.r.t. the input.
-    fn backward(
-        &mut self,
-        input: &[Vec<f64>],
-        grad_out: &[Vec<f64>],
-        lr: f64,
-    ) -> Vec<Vec<f64>> {
+    // The index arithmetic addresses the flat weight buffer from several
+    // loop variables at once; iterator chains would hide it.
+    #[allow(clippy::needless_range_loop)]
+    fn backward(&mut self, input: &[Vec<f64>], grad_out: &[Vec<f64>], lr: f64) -> Vec<Vec<f64>> {
         let in_len = input[0].len();
         let out_len = grad_out[0].len();
         let mut grad_in = vec![vec![0.0; in_len]; self.in_channels];
@@ -318,6 +316,9 @@ impl Cnn1d {
     ///
     /// Returns [`NnError::DimensionMismatch`] / [`NnError::LabelOutOfRange`]
     /// on invalid input.
+    // The head gradients index the flat weight buffer from two loop
+    // variables at once; iterator chains would hide the arithmetic.
+    #[allow(clippy::needless_range_loop)]
     pub fn train_step(
         &mut self,
         window: &[Vec<f64>],
@@ -338,10 +339,7 @@ impl Cnn1d {
         let z2 = self.conv2.forward(&p1);
         let a2 = relu_fwd(&z2);
         let t2 = a2[0].len() as f64;
-        let gap: Vec<f64> = a2
-            .iter()
-            .map(|ch| ch.iter().sum::<f64>() / t2)
-            .collect();
+        let gap: Vec<f64> = a2.iter().map(|ch| ch.iter().sum::<f64>() / t2).collect();
         let logits = self.head(&gap);
         let proba = softmax(&logits);
         let loss = -proba[label].max(1e-12).ln();
@@ -388,9 +386,7 @@ mod tests {
         (0..2)
             .map(|ch| {
                 (0..len)
-                    .map(|t| {
-                        (freq * t as f64 + ch as f64).sin() + 0.1 * (rng.gen::<f64>() - 0.5)
-                    })
+                    .map(|t| (freq * t as f64 + ch as f64).sin() + 0.1 * (rng.gen::<f64>() - 0.5))
                     .collect()
             })
             .collect()

@@ -129,10 +129,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "slack")]
     fn zero_slack_panics() {
-        let _ = InferenceEnergyModel::budget_from_power(
-            Power::ZERO,
-            SimDuration::from_millis(1),
-            0.0,
-        );
+        let _ =
+            InferenceEnergyModel::budget_from_power(Power::ZERO, SimDuration::from_millis(1), 0.0);
     }
 }

@@ -53,18 +53,29 @@ impl PartialEq for NnError {
         match (self, other) {
             (BadArchitecture(a), BadArchitecture(b)) => a == b,
             (
-                DimensionMismatch { expected: a, actual: b },
-                DimensionMismatch { expected: c, actual: d },
+                DimensionMismatch {
+                    expected: a,
+                    actual: b,
+                },
+                DimensionMismatch {
+                    expected: c,
+                    actual: d,
+                },
             ) => a == c && b == d,
             (
-                LabelOutOfRange { label: a, classes: b },
-                LabelOutOfRange { label: c, classes: d },
+                LabelOutOfRange {
+                    label: a,
+                    classes: b,
+                },
+                LabelOutOfRange {
+                    label: c,
+                    classes: d,
+                },
             ) => a == c && b == d,
             (EmptyTrainingSet, EmptyTrainingSet) | (BudgetUnreachable, BudgetUnreachable) => true,
-            (
-                ParseModel { line: a, reason: b },
-                ParseModel { line: c, reason: d },
-            ) => a == c && b == d,
+            (ParseModel { line: a, reason: b }, ParseModel { line: c, reason: d }) => {
+                a == c && b == d
+            }
             // I/O errors are never equal (they carry OS state).
             _ => false,
         }
@@ -78,7 +89,10 @@ impl fmt::Display for NnError {
                 write!(f, "architecture needs >= 2 dims and no zeros, got {dims:?}")
             }
             NnError::DimensionMismatch { expected, actual } => {
-                write!(f, "input width {actual} does not match model input {expected}")
+                write!(
+                    f,
+                    "input width {actual} does not match model input {expected}"
+                )
             }
             NnError::LabelOutOfRange { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
@@ -122,7 +136,10 @@ mod tests {
             },
             NnError::EmptyTrainingSet,
             NnError::BudgetUnreachable,
-            NnError::ParseModel { line: "x", reason: "y" },
+            NnError::ParseModel {
+                line: "x",
+                reason: "y",
+            },
             NnError::Io(std::io::Error::other("boom")),
         ];
         for v in variants {

@@ -25,7 +25,10 @@ impl Dense {
     /// Panics when either dimension is zero.
     #[must_use]
     pub fn init(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
-        assert!(inputs > 0 && outputs > 0, "layer dimensions must be positive");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "layer dimensions must be positive"
+        );
         let limit = (6.0 / inputs as f64).sqrt();
         let mut weights = Matrix::zeros(outputs, inputs);
         for w in weights.as_mut_slice() {

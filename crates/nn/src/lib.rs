@@ -95,7 +95,11 @@ pub fn softmax_variance(probabilities: &[f64]) -> f64 {
     );
     let n = probabilities.len() as f64;
     let mean = probabilities.iter().sum::<f64>() / n;
-    probabilities.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n
+    probabilities
+        .iter()
+        .map(|p| (p - mean).powi(2))
+        .sum::<f64>()
+        / n
 }
 
 #[cfg(test)]

@@ -135,7 +135,10 @@ mod tests {
         for (label, c) in centers.iter().enumerate() {
             for _ in 0..per_class {
                 let mut jitter = || rng.gen::<f64>() - 0.5;
-                data.push((vec![c[0] + jitter(), c[1] + jitter(), c[2] + jitter()], label));
+                data.push((
+                    vec![c[0] + jitter(), c[1] + jitter(), c[2] + jitter()],
+                    label,
+                ));
             }
         }
         data
@@ -150,8 +153,7 @@ mod tests {
         let em = InferenceEnergyModel::default();
         let full = em.inference_energy(&model);
         let budget = em.static_floor() + (full - em.static_floor()) * 0.3;
-        let report =
-            prune_to_energy(&mut model, &em, budget, &data, &trainer, 0.2, 5).unwrap();
+        let report = prune_to_energy(&mut model, &em, budget, &data, &trainer, 0.2, 5).unwrap();
         assert!(report.energy_after <= budget);
         assert!(report.energy_before == full);
         assert!(report.sparsity > 0.5);

@@ -82,7 +82,11 @@ mod tests {
             .map(|i| {
                 let label = i % 3;
                 (
-                    vec![label as f64 * 2.0 - 2.0, (i % 7) as f64 * 0.1, -(label as f64)],
+                    vec![
+                        label as f64 * 2.0 - 2.0,
+                        (i % 7) as f64 * 0.1,
+                        -(label as f64),
+                    ],
                     label,
                 )
             })
@@ -156,7 +160,9 @@ mod tests {
     fn zero_model_quantizes_cleanly() {
         let mut mlp = Mlp::new(&[2, 2], 0).unwrap();
         let zeros = vec![0.0; 4];
-        mlp.layers_mut()[0].load_parameters(&zeros, &[0.0, 0.0]).unwrap();
+        mlp.layers_mut()[0]
+            .load_parameters(&zeros, &[0.0, 0.0])
+            .unwrap();
         let report = quantize_weights(&mut mlp, 8).unwrap();
         assert_eq!(report.rms_error, 0.0);
         assert_eq!(report.scales, vec![1.0]);

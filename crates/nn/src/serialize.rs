@@ -22,10 +22,7 @@ const MAGIC: &str = "origin-classifier v1";
 /// # Errors
 ///
 /// Returns [`NnError::Io`] when the underlying writer fails.
-pub fn save_classifier<W: Write>(
-    classifier: &SensorClassifier,
-    writer: W,
-) -> Result<(), NnError> {
+pub fn save_classifier<W: Write>(classifier: &SensorClassifier, writer: W) -> Result<(), NnError> {
     let mut w = BufWriter::new(writer);
     let io = NnError::from_io;
     writeln!(w, "{MAGIC}").map_err(io)?;
@@ -37,11 +34,26 @@ pub fn save_classifier<W: Write>(
         .collect();
     writeln!(w, "activities,{}", classes.join(",")).map_err(io)?;
 
-    let dims: Vec<String> = classifier.mlp().dims().iter().map(usize::to_string).collect();
+    let dims: Vec<String> = classifier
+        .mlp()
+        .dims()
+        .iter()
+        .map(usize::to_string)
+        .collect();
     writeln!(w, "dims,{}", dims.join(",")).map_err(io)?;
 
-    writeln!(w, "normalizer_mean,{}", hex_floats(classifier.normalizer().mean())).map_err(io)?;
-    writeln!(w, "normalizer_std,{}", hex_floats(classifier.normalizer().std())).map_err(io)?;
+    writeln!(
+        w,
+        "normalizer_mean,{}",
+        hex_floats(classifier.normalizer().mean())
+    )
+    .map_err(io)?;
+    writeln!(
+        w,
+        "normalizer_std,{}",
+        hex_floats(classifier.normalizer().std())
+    )
+    .map_err(io)?;
 
     for (i, layer) in classifier.mlp().layers().iter().enumerate() {
         writeln!(w, "layer,{i}").map_err(io)?;
@@ -72,17 +84,13 @@ pub fn load_classifier<R: Read>(reader: R) -> Result<SensorClassifier, NnError> 
         .collect::<Result<_, _>>()
         .map_err(NnError::from_io)?;
 
-    let take = |cursor: &mut dyn Iterator<Item = &str>,
-                what: &'static str|
-     -> Result<String, NnError> {
-        cursor
-            .next()
-            .map(str::to_owned)
-            .ok_or(NnError::ParseModel {
+    let take =
+        |cursor: &mut dyn Iterator<Item = &str>, what: &'static str| -> Result<String, NnError> {
+            cursor.next().map(str::to_owned).ok_or(NnError::ParseModel {
                 line: what,
                 reason: "unexpected end of file",
             })
-    };
+        };
 
     let mut iter: Box<dyn Iterator<Item = &str>> = Box::new(lines.iter().map(String::as_str));
 

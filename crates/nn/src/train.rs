@@ -82,10 +82,7 @@ impl Trainer {
     /// Panics when `momentum` ∉ `[0, 1)`.
     #[must_use]
     pub fn with_momentum(mut self, momentum: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         self.momentum = momentum;
         self
     }
@@ -122,7 +119,10 @@ impl Trainer {
     /// Panics when `eps` ∉ `[0, 1)`.
     #[must_use]
     pub fn with_label_smoothing(mut self, eps: f64) -> Self {
-        assert!((0.0..1.0).contains(&eps), "label smoothing must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&eps),
+            "label smoothing must be in [0, 1)"
+        );
         self.label_smoothing = eps;
         self
     }
@@ -253,7 +253,10 @@ mod tests {
     fn learns_separable_blobs() {
         let data = blob_data(1, 30);
         let mut model = Mlp::new(&[2, 8, 3], 2).unwrap();
-        let loss = Trainer::new().with_epochs(80).fit(&mut model, &data).unwrap();
+        let loss = Trainer::new()
+            .with_epochs(80)
+            .fit(&mut model, &data)
+            .unwrap();
         assert!(loss < 0.1, "loss = {loss}");
         let correct = data
             .iter()
@@ -298,7 +301,10 @@ mod tests {
             .map(|i| i % 2 == 0)
             .collect();
         model.layers_mut()[0].set_mask(mask.clone());
-        let _ = Trainer::new().with_epochs(20).fit(&mut model, &data).unwrap();
+        let _ = Trainer::new()
+            .with_epochs(20)
+            .fit(&mut model, &data)
+            .unwrap();
         for (i, &keep) in mask.iter().enumerate() {
             if !keep {
                 assert_eq!(model.layers()[0].weights().as_slice()[i], 0.0);

@@ -127,7 +127,14 @@ impl HarDataset {
                         spec.user_spread,
                         seed,
                     );
-                    train.push(Self::sample(spec, activity, location, dense_label, &user, &mut rng));
+                    train.push(Self::sample(
+                        spec,
+                        activity,
+                        location,
+                        dense_label,
+                        &user,
+                        &mut rng,
+                    ));
                 }
                 for i in 0..spec.test_windows_per_class {
                     let user = UserProfile::sampled(
@@ -135,7 +142,14 @@ impl HarDataset {
                         spec.user_spread,
                         seed,
                     );
-                    test.push(Self::sample(spec, activity, location, dense_label, &user, &mut rng));
+                    test.push(Self::sample(
+                        spec,
+                        activity,
+                        location,
+                        dense_label,
+                        &user,
+                        &mut rng,
+                    ));
                 }
             }
             sensors[location.index()] = SensorDataset { train, test };
@@ -206,7 +220,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let spec = DatasetSpec::mhealth_like().with_windows(4, 2);
-        assert_eq!(HarDataset::generate(&spec, 9), HarDataset::generate(&spec, 9));
+        assert_eq!(
+            HarDataset::generate(&spec, 9),
+            HarDataset::generate(&spec, 9)
+        );
     }
 
     #[test]

@@ -75,7 +75,12 @@ pub fn write_samples_csv<W: Write>(
             });
         }
         let fields: Vec<String> = std::iter::once(sample.dense_label.to_string())
-            .chain(sample.features.iter().map(|f| format!("{:016x}", f.to_bits())))
+            .chain(
+                sample
+                    .features
+                    .iter()
+                    .map(|f| format!("{:016x}", f.to_bits())),
+            )
             .collect();
         writeln!(w, "{}", fields.join(","))?;
     }
@@ -117,13 +122,14 @@ pub fn read_samples_csv<R: Read>(
             continue;
         }
         let mut fields = line.split(',');
-        let dense_label: usize = fields
-            .next()
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or(ExportError::Parse {
-                line: i + 1,
-                reason: "bad label",
-            })?;
+        let dense_label: usize =
+            fields
+                .next()
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or(ExportError::Parse {
+                    line: i + 1,
+                    reason: "bad label",
+                })?;
         let activity: ActivityClass =
             activities.class_at(dense_label).ok_or(ExportError::Parse {
                 line: i + 1,

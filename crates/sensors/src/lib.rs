@@ -48,9 +48,7 @@ mod user;
 mod window;
 
 pub use dataset::{sample_window, DatasetSpec, HarDataset, LabeledSample, SensorDataset};
-pub use export::{
-    export_sensor_dataset, read_samples_csv, write_samples_csv, ExportError,
-};
+pub use export::{export_sensor_dataset, read_samples_csv, write_samples_csv, ExportError};
 pub use features::{window_features, FEATURES_PER_CHANNEL, FEATURE_DIM};
 pub use imu::{ImuConfig, ImuSample};
 pub use noise::add_noise_snr;

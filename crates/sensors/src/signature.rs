@@ -72,9 +72,10 @@ impl SignatureTable {
         use ActivityClass as A;
         let mut table =
             vec![[ActivitySignature::quiescent(0.5); SensorLocation::COUNT]; ActivityClass::COUNT];
-        let mut set = |a: A, chest: ActivitySignature, ankle: ActivitySignature, wrist: ActivitySignature| {
-            table[a.index()] = [chest, ankle, wrist];
-        };
+        let mut set =
+            |a: A, chest: ActivitySignature, ankle: ActivitySignature, wrist: ActivitySignature| {
+                table[a.index()] = [chest, ankle, wrist];
+            };
 
         let sig = |freq: f64,
                    aamp: [f64; 3],
@@ -105,50 +106,194 @@ impl SignatureTable {
         // sits on the jogging continuum.
         set(
             A::Walking,
-            sig(1.75, [0.9, 0.5, 1.3], [0.3, 0.2, 0.2], [0.0, 0.0, 9.8], 0.35, CHEST_NOISE, CHEST_JIT),
-            sig(1.75, [3.0, 1.2, 3.6], [1.5, 0.5, 0.7], [0.0, 0.0, 9.8], 0.5, ANKLE_NOISE, ANKLE_JIT),
-            sig(1.75, [1.3, 1.0, 0.9], [0.8, 0.7, 0.5], [0.0, 3.5, 9.1], 0.3, WRIST_NOISE, WRIST_JIT),
+            sig(
+                1.75,
+                [0.9, 0.5, 1.3],
+                [0.3, 0.2, 0.2],
+                [0.0, 0.0, 9.8],
+                0.35,
+                CHEST_NOISE,
+                CHEST_JIT,
+            ),
+            sig(
+                1.75,
+                [3.0, 1.2, 3.6],
+                [1.5, 0.5, 0.7],
+                [0.0, 0.0, 9.8],
+                0.5,
+                ANKLE_NOISE,
+                ANKLE_JIT,
+            ),
+            sig(
+                1.75,
+                [1.3, 1.0, 0.9],
+                [0.8, 0.7, 0.5],
+                [0.0, 3.5, 9.1],
+                0.3,
+                WRIST_NOISE,
+                WRIST_JIT,
+            ),
         );
         // Climbing: 1.55 Hz, deliberately near walking. The chest gets a
         // strong, distinctive pitch gyro (torso lean each step) — chest is
         // the best climbing sensor; at the ankle it shadows walking.
         set(
             A::Climbing,
-            sig(1.55, [1.1, 0.6, 1.5], [2.1, 0.4, 0.3], [1.2, 0.0, 9.6], 0.4, CHEST_NOISE, CHEST_JIT),
-            sig(1.55, [2.6, 1.1, 3.2], [1.3, 0.5, 0.6], [0.3, 0.0, 9.7], 0.45, ANKLE_NOISE, ANKLE_JIT),
-            sig(1.55, [0.9, 0.8, 0.7], [0.5, 0.5, 0.4], [0.6, 3.3, 9.0], 0.3, WRIST_NOISE, WRIST_JIT),
+            sig(
+                1.55,
+                [1.1, 0.6, 1.5],
+                [2.1, 0.4, 0.3],
+                [1.2, 0.0, 9.6],
+                0.4,
+                CHEST_NOISE,
+                CHEST_JIT,
+            ),
+            sig(
+                1.55,
+                [2.6, 1.1, 3.2],
+                [1.3, 0.5, 0.6],
+                [0.3, 0.0, 9.7],
+                0.45,
+                ANKLE_NOISE,
+                ANKLE_JIT,
+            ),
+            sig(
+                1.55,
+                [0.9, 0.8, 0.7],
+                [0.5, 0.5, 0.4],
+                [0.6, 3.3, 9.0],
+                0.3,
+                WRIST_NOISE,
+                WRIST_JIT,
+            ),
         );
         // Cycling: 1.15 Hz. Ankle sees smooth strong circular motion
         // (distinctive); chest and wrist are nearly quiet — at the wrist it
         // shadows climbing.
         set(
             A::Cycling,
-            sig(1.15, [0.5, 0.4, 0.6], [0.3, 0.3, 0.2], [2.4, 0.0, 9.4], 0.2, CHEST_NOISE, CHEST_JIT),
-            sig(1.15, [2.4, 2.2, 2.0], [2.2, 1.8, 1.1], [0.8, 0.0, 9.7], 0.15, ANKLE_NOISE * 0.8, ANKLE_JIT),
-            sig(1.15, [0.7, 0.5, 0.5], [0.4, 0.3, 0.3], [0.9, 3.0, 9.2], 0.2, WRIST_NOISE, WRIST_JIT),
+            sig(
+                1.15,
+                [0.5, 0.4, 0.6],
+                [0.3, 0.3, 0.2],
+                [2.4, 0.0, 9.4],
+                0.2,
+                CHEST_NOISE,
+                CHEST_JIT,
+            ),
+            sig(
+                1.15,
+                [2.4, 2.2, 2.0],
+                [2.2, 1.8, 1.1],
+                [0.8, 0.0, 9.7],
+                0.15,
+                ANKLE_NOISE * 0.8,
+                ANKLE_JIT,
+            ),
+            sig(
+                1.15,
+                [0.7, 0.5, 0.5],
+                [0.4, 0.3, 0.3],
+                [0.9, 3.0, 9.2],
+                0.2,
+                WRIST_NOISE,
+                WRIST_JIT,
+            ),
         );
         // Running: 2.75 Hz. Overlaps jogging everywhere; the ankle keeps
         // the largest amplitude gap.
         set(
             A::Running,
-            sig(2.75, [2.2, 1.0, 3.0], [0.8, 0.5, 0.5], [0.3, 0.0, 9.7], 0.5, CHEST_NOISE, CHEST_JIT),
-            sig(2.75, [6.4, 2.2, 7.4], [3.0, 1.0, 1.3], [0.0, 0.0, 9.8], 0.6, ANKLE_NOISE, ANKLE_JIT),
-            sig(2.75, [2.6, 2.1, 1.8], [1.6, 1.3, 0.9], [0.0, 3.4, 9.1], 0.5, WRIST_NOISE, WRIST_JIT),
+            sig(
+                2.75,
+                [2.2, 1.0, 3.0],
+                [0.8, 0.5, 0.5],
+                [0.3, 0.0, 9.7],
+                0.5,
+                CHEST_NOISE,
+                CHEST_JIT,
+            ),
+            sig(
+                2.75,
+                [6.4, 2.2, 7.4],
+                [3.0, 1.0, 1.3],
+                [0.0, 0.0, 9.8],
+                0.6,
+                ANKLE_NOISE,
+                ANKLE_JIT,
+            ),
+            sig(
+                2.75,
+                [2.6, 2.1, 1.8],
+                [1.6, 1.3, 0.9],
+                [0.0, 3.4, 9.1],
+                0.5,
+                WRIST_NOISE,
+                WRIST_JIT,
+            ),
         );
         // Jogging: 2.45 Hz, the running/walking middle ground.
         set(
             A::Jogging,
-            sig(2.45, [1.8, 0.9, 2.5], [0.7, 0.45, 0.45], [0.2, 0.0, 9.75], 0.45, CHEST_NOISE, CHEST_JIT),
-            sig(2.45, [4.6, 1.7, 5.4], [2.2, 0.8, 1.0], [0.0, 0.0, 9.8], 0.55, ANKLE_NOISE, ANKLE_JIT),
-            sig(2.45, [2.0, 1.7, 1.4], [1.3, 1.0, 0.8], [0.0, 3.5, 9.1], 0.45, WRIST_NOISE, WRIST_JIT),
+            sig(
+                2.45,
+                [1.8, 0.9, 2.5],
+                [0.7, 0.45, 0.45],
+                [0.2, 0.0, 9.75],
+                0.45,
+                CHEST_NOISE,
+                CHEST_JIT,
+            ),
+            sig(
+                2.45,
+                [4.6, 1.7, 5.4],
+                [2.2, 0.8, 1.0],
+                [0.0, 0.0, 9.8],
+                0.55,
+                ANKLE_NOISE,
+                ANKLE_JIT,
+            ),
+            sig(
+                2.45,
+                [2.0, 1.7, 1.4],
+                [1.3, 1.0, 0.8],
+                [0.0, 3.5, 9.1],
+                0.45,
+                WRIST_NOISE,
+                WRIST_JIT,
+            ),
         );
         // Jumping: 3.3 Hz vertical bursts; clearest at the ankle, moderate
         // elsewhere.
         set(
             A::Jumping,
-            sig(3.3, [1.2, 0.8, 3.4], [0.5, 0.5, 0.35], [0.0, 0.0, 9.85], 0.7, CHEST_NOISE, CHEST_JIT),
-            sig(3.3, [2.6, 1.5, 7.6], [1.2, 0.8, 0.8], [0.0, 0.0, 9.9], 0.7, ANKLE_NOISE, ANKLE_JIT),
-            sig(3.3, [1.5, 1.3, 2.4], [1.0, 0.9, 0.7], [0.0, 3.0, 9.3], 0.6, WRIST_NOISE, WRIST_JIT),
+            sig(
+                3.3,
+                [1.2, 0.8, 3.4],
+                [0.5, 0.5, 0.35],
+                [0.0, 0.0, 9.85],
+                0.7,
+                CHEST_NOISE,
+                CHEST_JIT,
+            ),
+            sig(
+                3.3,
+                [2.6, 1.5, 7.6],
+                [1.2, 0.8, 0.8],
+                [0.0, 0.0, 9.9],
+                0.7,
+                ANKLE_NOISE,
+                ANKLE_JIT,
+            ),
+            sig(
+                3.3,
+                [1.5, 1.3, 2.4],
+                [1.0, 0.9, 0.7],
+                [0.0, 3.0, 9.3],
+                0.6,
+                WRIST_NOISE,
+                WRIST_JIT,
+            ),
         );
 
         Self { table }
@@ -221,7 +366,9 @@ mod tests {
     #[test]
     fn chest_climbing_gyro_is_distinctive() {
         let t = SignatureTable::calibrated();
-        let climb_pitch = t.signature(ActivityClass::Climbing, SensorLocation::Chest).gyro_amp[0];
+        let climb_pitch = t
+            .signature(ActivityClass::Climbing, SensorLocation::Chest)
+            .gyro_amp[0];
         for a in ActivityClass::ALL {
             if a != ActivityClass::Climbing {
                 let other = t.signature(a, SensorLocation::Chest).gyro_amp[0];

@@ -126,10 +126,7 @@ impl ActivityTimeline {
     #[must_use]
     pub fn activity_at(&self, t: SimTime) -> ActivityClass {
         // Binary search over span starts.
-        match self
-            .spans
-            .binary_search_by(|span| span.start.cmp(&t))
-        {
+        match self.spans.binary_search_by(|span| span.start.cmp(&t)) {
             Ok(i) => self.spans[i].activity,
             Err(0) => self.spans[0].activity,
             Err(i) => self.spans[i - 1].activity,

@@ -124,7 +124,10 @@ mod tests {
             })
             .collect();
         let mean_dev = deviations.iter().sum::<f64>() / deviations.len() as f64;
-        assert!(mean_dev > 0.1, "unseen users too close to nominal: {mean_dev}");
+        assert!(
+            mean_dev > 0.1,
+            "unseen users too close to nominal: {mean_dev}"
+        );
     }
 
     #[test]

@@ -64,7 +64,8 @@ impl ImuWindow {
             for axis in 0..3 {
                 // Per-axis phase lag gives the motion a realistic 3-D shape.
                 let lag = axis as f64 * 0.7;
-                let wave = (base + lag).sin() + signature.harmonic2 * (2.0 * base + lag * 1.9).sin();
+                let wave =
+                    (base + lag).sin() + signature.harmonic2 * (2.0 * base + lag * 1.9).sin();
                 let noise_a: f64 = rng.sample(StandardNormal);
                 accel[axis] = signature.accel_offset[axis]
                     + wander[axis]

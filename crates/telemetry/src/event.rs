@@ -1,0 +1,423 @@
+//! The structured simulation event vocabulary.
+//!
+//! Every variant is `Copy` and allocation-free so that constructing an
+//! event costs nothing when the observer is [`crate::NoopObserver`] — the
+//! optimizer deletes the whole emission.
+
+use crate::json::JsonValue;
+use origin_types::{ActivityClass, NodeId};
+
+/// An addressable participant on the body-area network, mirrored from
+/// `origin-net`'s `Endpoint` without the dependency (the net crate emits
+/// into this crate, not the other way around).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Party {
+    /// The battery-backed host device (phone).
+    Host,
+    /// A sensor node.
+    Node(NodeId),
+}
+
+impl Party {
+    fn to_json(self) -> JsonValue {
+        match self {
+            Party::Host => JsonValue::from("host"),
+            Party::Node(id) => JsonValue::from(format!("node{}", id.as_u32())),
+        }
+    }
+}
+
+/// One thing the simulated system did.
+///
+/// Times are simulation time in microseconds (`at_us`); `window` is the
+/// HAR window index within the run. Energies are microjoules to match the
+/// workspace's `Energy` quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// A HAR window began.
+    WindowStart {
+        /// Window index.
+        window: u64,
+        /// Window start, simulated µs.
+        at_us: u64,
+        /// Ground-truth activity for this window.
+        truth: ActivityClass,
+    },
+    /// One node's energy intake over one window.
+    HarvestSlice {
+        /// Window index.
+        window: u64,
+        /// The harvesting node.
+        node: NodeId,
+        /// Energy captured into the capacitor this window (µJ).
+        harvested_uj: f64,
+        /// Stored energy after harvest, duty and leakage (µJ).
+        stored_uj: f64,
+    },
+    /// The policy decided this window's slot (no-op slots included).
+    SlotScheduled {
+        /// Window index.
+        window: u64,
+        /// How many nodes attempt this window (0 for a no-op slot).
+        attempters: u32,
+        /// Whether this is an ER-r no-op slot.
+        idle: bool,
+    },
+    /// An AAS hand-off signal was sent over the radio.
+    ActivationSignal {
+        /// Window index.
+        window: u64,
+        /// The previous attempter doing the signalling.
+        from: NodeId,
+        /// The node being activated.
+        to: NodeId,
+    },
+    /// A node was scheduled and started an inference attempt.
+    InferenceAttempt {
+        /// Window index.
+        window: u64,
+        /// The attempting node.
+        node: NodeId,
+        /// Stored energy over full attempt cost at schedule time
+        /// (≥ 1.0 means affordable).
+        headroom: f64,
+    },
+    /// An inference attempt finished and produced a classification.
+    InferenceCompleted {
+        /// Window index.
+        window: u64,
+        /// The completing node.
+        node: NodeId,
+        /// The classified activity.
+        activity: ActivityClass,
+        /// The classifier's softmax-variance confidence.
+        confidence: f64,
+    },
+    /// An inference attempt aborted on energy.
+    InferenceBrownout {
+        /// Window index.
+        window: u64,
+        /// The browned-out node.
+        node: NodeId,
+        /// `false` when sampling itself browned out (no usable window),
+        /// `true` when the inference ran out of energy.
+        sensed: bool,
+    },
+    /// The NVP checkpointed through a brownout (progress preserved).
+    NvpCheckpoint {
+        /// Window index.
+        window: u64,
+        /// The checkpointing node.
+        node: NodeId,
+    },
+    /// A radio frame was offered to the link and delivered.
+    MessageTx {
+        /// Sender.
+        from: Party,
+        /// Destination.
+        to: Party,
+        /// Frame wire size in bytes.
+        bytes: usize,
+        /// Send time, simulated µs.
+        at_us: u64,
+    },
+    /// A radio frame was offered to the link and lost.
+    MessageDrop {
+        /// Sender (its transmit energy was still spent).
+        from: Party,
+        /// Intended destination.
+        to: Party,
+        /// Frame wire size in bytes.
+        bytes: usize,
+        /// Send time, simulated µs.
+        at_us: u64,
+    },
+    /// The host ensemble drew recalled votes from the recall store.
+    RecallServed {
+        /// Window index.
+        window: u64,
+        /// How many per-node votes the store served.
+        votes: u32,
+    },
+    /// The host produced (or failed to produce) a final classification.
+    EnsembleVote {
+        /// Window index.
+        window: u64,
+        /// The aggregated output, `None` before any report has arrived.
+        prediction: Option<ActivityClass>,
+    },
+    /// An adaptive host folded a report into the confidence matrix.
+    ConfidenceUpdate {
+        /// The reporting node.
+        node: NodeId,
+        /// The reported activity.
+        activity: ActivityClass,
+        /// The matrix weight for (node, activity) after the update.
+        weight: f64,
+    },
+}
+
+/// Discriminant-only mirror of [`SimEvent`], for counting and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A [`SimEvent::WindowStart`].
+    WindowStart,
+    /// A [`SimEvent::HarvestSlice`].
+    HarvestSlice,
+    /// A [`SimEvent::SlotScheduled`].
+    SlotScheduled,
+    /// A [`SimEvent::ActivationSignal`].
+    ActivationSignal,
+    /// A [`SimEvent::InferenceAttempt`].
+    InferenceAttempt,
+    /// A [`SimEvent::InferenceCompleted`].
+    InferenceCompleted,
+    /// A [`SimEvent::InferenceBrownout`].
+    InferenceBrownout,
+    /// A [`SimEvent::NvpCheckpoint`].
+    NvpCheckpoint,
+    /// A [`SimEvent::MessageTx`].
+    MessageTx,
+    /// A [`SimEvent::MessageDrop`].
+    MessageDrop,
+    /// A [`SimEvent::RecallServed`].
+    RecallServed,
+    /// A [`SimEvent::EnsembleVote`].
+    EnsembleVote,
+    /// A [`SimEvent::ConfidenceUpdate`].
+    ConfidenceUpdate,
+}
+
+impl EventKind {
+    /// The JSONL / metrics name of this kind (snake_case).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::WindowStart => "window_start",
+            EventKind::HarvestSlice => "harvest_slice",
+            EventKind::SlotScheduled => "slot_scheduled",
+            EventKind::ActivationSignal => "activation_signal",
+            EventKind::InferenceAttempt => "inference_attempt",
+            EventKind::InferenceCompleted => "inference_completed",
+            EventKind::InferenceBrownout => "inference_brownout",
+            EventKind::NvpCheckpoint => "nvp_checkpoint",
+            EventKind::MessageTx => "message_tx",
+            EventKind::MessageDrop => "message_drop",
+            EventKind::RecallServed => "recall_served",
+            EventKind::EnsembleVote => "ensemble_vote",
+            EventKind::ConfidenceUpdate => "confidence_update",
+        }
+    }
+}
+
+impl SimEvent {
+    /// This event's discriminant.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            SimEvent::WindowStart { .. } => EventKind::WindowStart,
+            SimEvent::HarvestSlice { .. } => EventKind::HarvestSlice,
+            SimEvent::SlotScheduled { .. } => EventKind::SlotScheduled,
+            SimEvent::ActivationSignal { .. } => EventKind::ActivationSignal,
+            SimEvent::InferenceAttempt { .. } => EventKind::InferenceAttempt,
+            SimEvent::InferenceCompleted { .. } => EventKind::InferenceCompleted,
+            SimEvent::InferenceBrownout { .. } => EventKind::InferenceBrownout,
+            SimEvent::NvpCheckpoint { .. } => EventKind::NvpCheckpoint,
+            SimEvent::MessageTx { .. } => EventKind::MessageTx,
+            SimEvent::MessageDrop { .. } => EventKind::MessageDrop,
+            SimEvent::RecallServed { .. } => EventKind::RecallServed,
+            SimEvent::EnsembleVote { .. } => EventKind::EnsembleVote,
+            SimEvent::ConfidenceUpdate { .. } => EventKind::ConfidenceUpdate,
+        }
+    }
+
+    /// Renders the event as one JSON object (the JSONL schema documented
+    /// in EXPERIMENTS.md §Telemetry). The `"event"` key always holds
+    /// [`EventKind::name`].
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> =
+            vec![("event".into(), JsonValue::from(self.kind().name()))];
+        let mut push = |key: &str, value: JsonValue| fields.push((key.into(), value));
+        match *self {
+            SimEvent::WindowStart {
+                window,
+                at_us,
+                truth,
+            } => {
+                push("window", JsonValue::from(window));
+                push("at_us", JsonValue::from(at_us));
+                push("truth", JsonValue::from(truth.label()));
+            }
+            SimEvent::HarvestSlice {
+                window,
+                node,
+                harvested_uj,
+                stored_uj,
+            } => {
+                push("window", JsonValue::from(window));
+                push("node", JsonValue::from(u64::from(node.as_u32())));
+                push("harvested_uj", JsonValue::from(harvested_uj));
+                push("stored_uj", JsonValue::from(stored_uj));
+            }
+            SimEvent::SlotScheduled {
+                window,
+                attempters,
+                idle,
+            } => {
+                push("window", JsonValue::from(window));
+                push("attempters", JsonValue::from(u64::from(attempters)));
+                push("idle", JsonValue::from(idle));
+            }
+            SimEvent::ActivationSignal { window, from, to } => {
+                push("window", JsonValue::from(window));
+                push("from", JsonValue::from(u64::from(from.as_u32())));
+                push("to", JsonValue::from(u64::from(to.as_u32())));
+            }
+            SimEvent::InferenceAttempt {
+                window,
+                node,
+                headroom,
+            } => {
+                push("window", JsonValue::from(window));
+                push("node", JsonValue::from(u64::from(node.as_u32())));
+                push("headroom", JsonValue::from(headroom));
+            }
+            SimEvent::InferenceCompleted {
+                window,
+                node,
+                activity,
+                confidence,
+            } => {
+                push("window", JsonValue::from(window));
+                push("node", JsonValue::from(u64::from(node.as_u32())));
+                push("activity", JsonValue::from(activity.label()));
+                push("confidence", JsonValue::from(confidence));
+            }
+            SimEvent::InferenceBrownout {
+                window,
+                node,
+                sensed,
+            } => {
+                push("window", JsonValue::from(window));
+                push("node", JsonValue::from(u64::from(node.as_u32())));
+                push("sensed", JsonValue::from(sensed));
+            }
+            SimEvent::NvpCheckpoint { window, node } => {
+                push("window", JsonValue::from(window));
+                push("node", JsonValue::from(u64::from(node.as_u32())));
+            }
+            SimEvent::MessageTx {
+                from,
+                to,
+                bytes,
+                at_us,
+            }
+            | SimEvent::MessageDrop {
+                from,
+                to,
+                bytes,
+                at_us,
+            } => {
+                push("from", from.to_json());
+                push("to", to.to_json());
+                push("bytes", JsonValue::from(bytes as u64));
+                push("at_us", JsonValue::from(at_us));
+            }
+            SimEvent::RecallServed { window, votes } => {
+                push("window", JsonValue::from(window));
+                push("votes", JsonValue::from(u64::from(votes)));
+            }
+            SimEvent::EnsembleVote { window, prediction } => {
+                push("window", JsonValue::from(window));
+                push(
+                    "prediction",
+                    match prediction {
+                        Some(activity) => JsonValue::from(activity.label()),
+                        None => JsonValue::Null,
+                    },
+                );
+            }
+            SimEvent::ConfidenceUpdate {
+                node,
+                activity,
+                weight,
+            } => {
+                push("node", JsonValue::from(u64::from(node.as_u32())));
+                push("activity", JsonValue::from(activity.label()));
+                push("weight", JsonValue::from(weight));
+            }
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_snake_case_and_unique() {
+        let kinds = [
+            EventKind::WindowStart,
+            EventKind::HarvestSlice,
+            EventKind::SlotScheduled,
+            EventKind::ActivationSignal,
+            EventKind::InferenceAttempt,
+            EventKind::InferenceCompleted,
+            EventKind::InferenceBrownout,
+            EventKind::NvpCheckpoint,
+            EventKind::MessageTx,
+            EventKind::MessageDrop,
+            EventKind::RecallServed,
+            EventKind::EnsembleVote,
+            EventKind::ConfidenceUpdate,
+        ];
+        let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+        for name in names {
+            assert!(name.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn events_render_their_kind_and_fields() {
+        let event = SimEvent::InferenceAttempt {
+            window: 41,
+            node: NodeId::new(2),
+            headroom: 1.5,
+        };
+        let json = event.to_json();
+        assert_eq!(
+            json.get("event").and_then(JsonValue::as_str),
+            Some("inference_attempt")
+        );
+        assert_eq!(json.get("window").and_then(JsonValue::as_u64), Some(41));
+        assert_eq!(json.get("node").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(json.get("headroom").and_then(JsonValue::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn ensemble_vote_renders_null_prediction() {
+        let event = SimEvent::EnsembleVote {
+            window: 0,
+            prediction: None,
+        };
+        let json = event.to_json();
+        assert!(matches!(json.get("prediction"), Some(JsonValue::Null)));
+    }
+
+    #[test]
+    fn message_events_render_parties() {
+        let event = SimEvent::MessageDrop {
+            from: Party::Node(NodeId::new(1)),
+            to: Party::Host,
+            bytes: 6,
+            at_us: 500,
+        };
+        let json = event.to_json();
+        assert_eq!(json.get("from").and_then(JsonValue::as_str), Some("node1"));
+        assert_eq!(json.get("to").and_then(JsonValue::as_str), Some("host"));
+        assert_eq!(json.get("bytes").and_then(JsonValue::as_u64), Some(6));
+    }
+}

@@ -1,0 +1,582 @@
+//! A minimal JSON value: build, render, parse.
+//!
+//! Mirrors the workspace's no-dependency idiom (`origin-trace` hand-rolls
+//! its CSV I/O the same way). Only what the telemetry sinks need: objects
+//! preserve insertion order, numbers are `f64`, rendering is
+//! deterministic, and the parser accepts exactly RFC 8259 documents
+//! (sufficient for round-tripping our own output in tests and tools).
+
+use std::fmt;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved when rendering.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Why a JSON document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What the parser expected.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid JSON at byte {}: expected {}",
+            self.offset, self.expected
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl JsonValue {
+    /// Looks up `key` in an object; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field slice, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Renders the document on one line (JSONL-safe: no raw newlines).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the document indented for human eyes.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Num(v) => write_number(out, *v),
+            JsonValue::Str(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                write_seq(
+                    out,
+                    indent,
+                    depth,
+                    '[',
+                    ']',
+                    items.len(),
+                    |out, i, depth| {
+                        items[i].write(out, indent, depth);
+                    },
+                );
+            }
+            JsonValue::Object(fields) => {
+                write_seq(
+                    out,
+                    indent,
+                    depth,
+                    '{',
+                    '}',
+                    fields.len(),
+                    |out, i, depth| {
+                        let (key, value) = &fields[i];
+                        write_string(out, key);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        value.write(out, indent, depth);
+                    },
+                );
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with the failing byte offset when `input` is
+    /// not a single valid JSON document (trailing junk included).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("end of input"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn write_number(out: &mut String, v: f64) {
+    use fmt::Write as _;
+    if !v.is_finite() {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 2f64.powi(53) {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..(depth + 1) * width {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, expected: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            expected,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'n') if self.eat("null") => Ok(JsonValue::Null),
+            Some(b't') if self.eat("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("an object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("a closing '\"'"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("an escape character"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("four hex digits"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not reconstructed; the
+                            // writer never emits them (it escapes only
+                            // control characters).
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.err("a scalar code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("a valid escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("valid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("a character"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .map(JsonValue::Num)
+            .ok_or_else(|| self.err("a number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::from(true).render(), "true");
+        assert_eq!(JsonValue::from(3.0).render(), "3");
+        assert_eq!(JsonValue::from(3.5).render(), "3.5");
+        assert_eq!(JsonValue::from("hi").render(), "\"hi\"");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::from("a\"b\\c\nd\u{1}");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+        let back = JsonValue::parse(&v.render()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn roundtrips_nested_documents() {
+        let doc = JsonValue::Object(vec![
+            ("name".into(), JsonValue::from("run")),
+            ("seed".into(), JsonValue::from(77u64)),
+            (
+                "values".into(),
+                JsonValue::Array(vec![
+                    JsonValue::from(1u64),
+                    JsonValue::from(2.25),
+                    JsonValue::Null,
+                    JsonValue::from(false),
+                ]),
+            ),
+            ("empty".into(), JsonValue::Object(vec![])),
+        ]);
+        for rendered in [doc.render(), doc.render_pretty()] {
+            assert_eq!(JsonValue::parse(&rendered).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn single_line_render_has_no_newlines() {
+        let doc = JsonValue::Object(vec![("text".into(), JsonValue::from("line1\nline2"))]);
+        assert!(!doc.render().contains('\n'));
+    }
+
+    #[test]
+    fn accessors_narrow_types() {
+        let doc = JsonValue::parse(r#"{"a": 7, "b": "x", "c": [1], "d": true, "e": 1.5}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(doc.get("b").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(
+            doc.get("c").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(doc.get("d").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(doc.get("e").and_then(JsonValue::as_u64), None);
+        assert_eq!(doc.get("e").and_then(JsonValue::as_f64), Some(1.5));
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "nul",
+            "1 2",
+            "\"unterminated",
+            "{a: 1}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_numbers_with_exponents() {
+        let v = JsonValue::parse("[-1.5e3, 2E-2, 0]").unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_f64(), Some(-1500.0));
+        assert_eq!(items[1].as_f64(), Some(0.02));
+        assert_eq!(items[2].as_u64(), Some(0));
+    }
+}

@@ -1,0 +1,133 @@
+//! The JSONL event sink: one [`SimEvent`] per line.
+//!
+//! The schema is one JSON object per line with `"event"` first (see
+//! EXPERIMENTS.md §Telemetry); lines parse back with
+//! [`crate::JsonValue::parse`].
+
+use crate::event::SimEvent;
+use crate::observer::SimObserver;
+use std::io::{self, Write};
+
+/// Writes every observed event as one JSON line into `W`.
+///
+/// I/O errors are deferred: the writer keeps a sticky first error and
+/// stops writing, and [`JsonlObserver::finish`] surfaces it — `on_event`
+/// itself stays infallible so the observer can sit on the hot path.
+#[derive(Debug)]
+pub struct JsonlObserver<W: Write> {
+    writer: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlObserver<W> {
+    /// Wraps `writer` as an event sink.
+    #[must_use]
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    #[must_use]
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the inner writer, or the first I/O error hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sticky write error if any line failed, or the flush
+    /// error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> SimObserver for JsonlObserver<W> {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json().render();
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use origin_types::NodeId;
+
+    #[test]
+    fn writes_one_parseable_line_per_event() {
+        let mut sink = JsonlObserver::new(Vec::new());
+        sink.on_event(&SimEvent::NvpCheckpoint {
+            window: 3,
+            node: NodeId::new(1),
+        });
+        sink.on_event(&SimEvent::RecallServed {
+            window: 4,
+            votes: 2,
+        });
+        assert_eq!(sink.events_written(), 2);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = JsonValue::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("event").and_then(JsonValue::as_str),
+            Some("nvp_checkpoint")
+        );
+        assert_eq!(first.get("window").and_then(JsonValue::as_u64), Some(3));
+        let second = JsonValue::parse(lines[1]).unwrap();
+        assert_eq!(second.get("votes").and_then(JsonValue::as_u64), Some(2));
+    }
+
+    /// A writer that fails after `ok_writes` successful lines.
+    struct Flaky {
+        ok_writes: u32,
+    }
+
+    impl Write for Flaky {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok_writes == 0 {
+                Err(io::Error::other("disk full"))
+            } else {
+                self.ok_writes -= 1;
+                Ok(buf.len())
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn io_errors_are_sticky_and_surface_in_finish() {
+        let mut sink = JsonlObserver::new(Flaky { ok_writes: 1 });
+        let event = SimEvent::RecallServed {
+            window: 0,
+            votes: 1,
+        };
+        sink.on_event(&event);
+        sink.on_event(&event);
+        sink.on_event(&event);
+        assert_eq!(sink.events_written(), 1);
+        assert!(sink.finish().is_err());
+    }
+}

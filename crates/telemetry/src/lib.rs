@@ -1,0 +1,55 @@
+//! # origin-telemetry — observability for the Origin simulator
+//!
+//! The simulator steps the whole stack (harvest → scheduling → inference →
+//! radio → host vote) but a `SimReport` only surfaces end-of-run
+//! aggregates. This crate records what the system actually *did*:
+//!
+//! * [`SimEvent`] — a structured event stream covering window starts,
+//!   harvest slices, slot scheduling (including no-op slots), inference
+//!   attempts/completions/brownouts, NVP checkpoints, radio traffic,
+//!   recall, ensemble votes and confidence updates;
+//! * [`SimObserver`] — the statically-dispatched observer trait the
+//!   simulator emits into. [`NoopObserver`] monomorphizes to nothing, so
+//!   the uninstrumented path keeps its speed;
+//! * [`MetricsRegistry`] — dependency-free counters, gauges and
+//!   fixed-bucket histograms, with a hand-rolled Prometheus text
+//!   exposition writer ([`write_prometheus`]);
+//! * [`StageTimings`] — lightweight wall-clock timing scopes for the
+//!   pipeline stages (training, simulation, reporting);
+//! * [`RunManifest`] — a machine-readable JSON record of one experiment
+//!   run (config, seed, policy, metrics, timings, artifacts) so accuracy
+//!   and energy can be tracked across changes;
+//! * [`JsonValue`] — the minimal JSON builder/parser behind the JSONL
+//!   event sink ([`JsonlObserver`]) and the manifest, matching the
+//!   workspace's no-serde idiom (see `origin-trace`'s CSV I/O).
+//!
+//! The crate deliberately depends only on `origin-types`: every other
+//! crate in the workspace can emit into it without cycles.
+//!
+//! # The zero-perturbation guarantee
+//!
+//! Observers are pure consumers: nothing they do feeds back into the
+//! simulation (no RNG draws, no state mutation). A run instrumented with
+//! any observer produces a byte-identical report to an unobserved run —
+//! `crates/core/tests/telemetry.rs` asserts this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod jsonl;
+mod manifest;
+mod metrics;
+mod observer;
+mod prometheus;
+mod timing;
+
+pub use event::{EventKind, Party, SimEvent};
+pub use json::{JsonError, JsonValue};
+pub use jsonl::JsonlObserver;
+pub use manifest::RunManifest;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use observer::{MetricsObserver, NoopObserver, RecordingObserver, SimObserver, Tee};
+pub use prometheus::write_prometheus;
+pub use timing::StageTimings;

@@ -1,0 +1,243 @@
+//! The machine-readable record of one experiment run.
+//!
+//! A manifest pins everything needed to interpret (and diff) a run:
+//! which experiment, which seed, which policy, the knob settings, the
+//! aggregated metrics, the wall-clock stage timings, any artifact files
+//! written next to it, and the headline results.
+
+use crate::json::JsonValue;
+use crate::metrics::MetricsRegistry;
+use crate::timing::StageTimings;
+
+/// The version stamped into every manifest (`"manifest_version"`).
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// One experiment run's identity, configuration and outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// The experiment name (e.g. `"table1"`, `"fig6_energy_aware"`).
+    pub name: String,
+    /// The RNG seed the run used.
+    pub seed: u64,
+    /// Human-readable policy label (e.g. `"Origin (ER-4)"`).
+    pub policy: String,
+    /// Knob settings, in insertion order (stringified values).
+    pub config: Vec<(String, String)>,
+    /// Snapshot of the aggregated metrics (`MetricsRegistry::to_json`),
+    /// `Null` when the run was not instrumented.
+    pub metrics: JsonValue,
+    /// Wall-clock stage timings (`StageTimings::to_json`), `Null` when
+    /// not timed.
+    pub timings: JsonValue,
+    /// Paths of artifact files written alongside the manifest, relative
+    /// to it.
+    pub artifacts: Vec<String>,
+    /// Headline results (accuracy, drop rates, …), in insertion order.
+    pub results: Vec<(String, JsonValue)>,
+}
+
+impl RunManifest {
+    /// A manifest for run `name` under `seed` and `policy`.
+    #[must_use]
+    pub fn new(name: &str, seed: u64, policy: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            seed,
+            policy: policy.to_owned(),
+            config: Vec::new(),
+            metrics: JsonValue::Null,
+            timings: JsonValue::Null,
+            artifacts: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Adds one config knob (stringified).
+    #[must_use]
+    pub fn with_config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Snapshots `metrics` into the manifest.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> Self {
+        self.metrics = metrics.to_json();
+        self
+    }
+
+    /// Snapshots `timings` into the manifest.
+    #[must_use]
+    pub fn with_timings(mut self, timings: &StageTimings) -> Self {
+        self.timings = timings.to_json();
+        self
+    }
+
+    /// Records an artifact file written alongside the manifest.
+    #[must_use]
+    pub fn with_artifact(mut self, path: &str) -> Self {
+        self.artifacts.push(path.to_owned());
+        self
+    }
+
+    /// Adds one headline result.
+    #[must_use]
+    pub fn with_result(mut self, key: &str, value: JsonValue) -> Self {
+        self.results.push((key.to_owned(), value));
+        self
+    }
+
+    /// Renders the manifest as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("manifest_version".into(), JsonValue::from(MANIFEST_VERSION)),
+            ("name".into(), JsonValue::from(self.name.as_str())),
+            ("seed".into(), JsonValue::from(self.seed)),
+            ("policy".into(), JsonValue::from(self.policy.as_str())),
+            (
+                "config".into(),
+                JsonValue::Object(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::from(v.as_str())))
+                        .collect(),
+                ),
+            ),
+            ("metrics".into(), self.metrics.clone()),
+            ("timings".into(), self.timings.clone()),
+            (
+                "artifacts".into(),
+                JsonValue::Array(
+                    self.artifacts
+                        .iter()
+                        .map(|p| JsonValue::from(p.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("results".into(), JsonValue::Object(self.results.clone())),
+        ])
+    }
+
+    /// Renders the manifest as pretty-printed JSON (the on-disk format
+    /// under `results/`).
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Parses a manifest back from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntactic or structural
+    /// problem (bad JSON, missing/ill-typed required field).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let json =
+            JsonValue::parse(text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+        let str_field = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("manifest is missing string field {key:?}"))
+        };
+        let name = str_field("name")?;
+        let policy = str_field("policy")?;
+        let seed = json
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("manifest is missing integer field \"seed\"")?;
+        let config = match json.get("config") {
+            Some(JsonValue::Object(entries)) => entries
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_owned()))
+                        .ok_or_else(|| format!("config value {k:?} is not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            Some(_) => return Err("manifest field \"config\" is not an object".into()),
+        };
+        let artifacts = match json.get("artifacts") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "artifact entry is not a string".to_owned())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            Some(_) => return Err("manifest field \"artifacts\" is not an array".into()),
+        };
+        let results = match json.get("results") {
+            Some(JsonValue::Object(entries)) => entries.clone(),
+            None => Vec::new(),
+            Some(_) => return Err("manifest field \"results\" is not an object".into()),
+        };
+        Ok(Self {
+            name,
+            seed,
+            policy,
+            config,
+            metrics: json.get("metrics").cloned().unwrap_or(JsonValue::Null),
+            timings: json.get("timings").cloned().unwrap_or(JsonValue::Null),
+            artifacts,
+            results,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut metrics = MetricsRegistry::new();
+        metrics.inc("origin_runs_total");
+        RunManifest::new("table1", 7, "Origin (ER-4)")
+            .with_config("nodes", 5)
+            .with_config("windows", 4000)
+            .with_metrics(&metrics)
+            .with_artifact("events_origin.jsonl")
+            .with_result("accuracy", JsonValue::from(0.914))
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let original = sample();
+        let parsed = RunManifest::parse(&original.render_pretty()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn json_shape_matches_docs() {
+        let json = sample().to_json();
+        assert_eq!(
+            json.get("manifest_version").and_then(JsonValue::as_u64),
+            Some(MANIFEST_VERSION)
+        );
+        assert_eq!(json.get("name").and_then(JsonValue::as_str), Some("table1"));
+        assert_eq!(json.get("seed").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(
+            json.get("config")
+                .and_then(|c| c.get("nodes"))
+                .and_then(JsonValue::as_str),
+            Some("5")
+        );
+        assert_eq!(
+            json.get("results")
+                .and_then(|r| r.get("accuracy"))
+                .and_then(JsonValue::as_f64),
+            Some(0.914)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        assert!(RunManifest::parse("{}").is_err());
+        assert!(RunManifest::parse("not json").is_err());
+        assert!(RunManifest::parse(r#"{"name":"x","policy":"p"}"#).is_err());
+    }
+}

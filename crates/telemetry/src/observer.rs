@@ -1,0 +1,289 @@
+//! The observer trait and the built-in observers.
+//!
+//! Observation is statically dispatched: instrumented entry points take a
+//! generic `O: SimObserver` and the default paths pass [`NoopObserver`],
+//! whose `on_event` body is empty — the optimizer deletes every emission
+//! site, so the uninstrumented simulator pays nothing
+//! (`crates/bench/benches/telemetry.rs` pins this).
+
+use crate::event::{EventKind, SimEvent};
+use crate::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+
+/// A consumer of [`SimEvent`]s.
+///
+/// Implementations must be pure consumers: they may record, count or
+/// serialize events, but must not feed anything back into the simulation.
+/// That discipline is what makes instrumented runs byte-identical to
+/// unobserved ones.
+pub trait SimObserver {
+    /// Called once per event, in emission order.
+    fn on_event(&mut self, event: &SimEvent);
+}
+
+/// Forward through mutable references so call sites can lend an observer
+/// to a helper without moving it.
+impl<O: SimObserver + ?Sized> SimObserver for &mut O {
+    fn on_event(&mut self, event: &SimEvent) {
+        (**self).on_event(event);
+    }
+}
+
+/// The do-nothing observer behind every uninstrumented entry point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {
+    #[inline(always)]
+    fn on_event(&mut self, _event: &SimEvent) {}
+}
+
+/// Buffers every event in order; the workhorse for tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordingObserver {
+    events: Vec<SimEvent>,
+}
+
+impl RecordingObserver {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// How many events of `kind` were recorded.
+    #[must_use]
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind() == kind).count()
+    }
+
+    /// Consumes the recorder, yielding the event buffer.
+    #[must_use]
+    pub fn into_events(self) -> Vec<SimEvent> {
+        self.events
+    }
+}
+
+impl SimObserver for RecordingObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// The in-memory aggregator: folds the event stream into a
+/// [`MetricsRegistry`] without retaining the events themselves.
+///
+/// Derived metrics (all prefixed `origin_`):
+///
+/// * `origin_events_total{event}` — one counter per [`EventKind`];
+/// * `origin_node_harvested_microjoules_total` / counterpart gauges
+///   `origin_node_stored_microjoules{node}` — energy intake and the last
+///   observed store level per node;
+/// * `origin_stored_headroom` histogram — per-attempt stored-energy
+///   headroom (stored ÷ full attempt cost) at schedule time;
+/// * `origin_slot_attempters` histogram — scheduled attempters per
+///   window, no-op slots landing in the ≤0 bucket;
+/// * `origin_confidence` histogram — per-completion classifier
+///   confidence;
+/// * `origin_radio_bytes_total{outcome}` — delivered vs dropped payload
+///   bytes.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsObserver {
+    metrics: MetricsRegistry,
+    by_kind: BTreeMap<EventKind, u64>,
+}
+
+/// Bucket bounds for stored-energy headroom (1.0 = exactly affordable).
+const HEADROOM_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+/// Bucket bounds for scheduled attempters per window.
+const ATTEMPTER_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0];
+/// Bucket bounds for softmax-variance confidence.
+const CONFIDENCE_BOUNDS: &[f64] = &[0.02, 0.05, 0.1, 0.15, 0.2, 0.25];
+
+impl MetricsObserver {
+    /// An empty aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The aggregated metrics so far.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// How many events of `kind` were seen.
+    #[must_use]
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total events seen across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.by_kind.values().sum()
+    }
+
+    /// Consumes the observer, yielding the registry.
+    #[must_use]
+    pub fn into_metrics(self) -> MetricsRegistry {
+        self.metrics
+    }
+}
+
+impl SimObserver for MetricsObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        let kind = event.kind();
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+        self.metrics
+            .inc(&format!("origin_events_total{{event=\"{}\"}}", kind.name()));
+        match *event {
+            SimEvent::HarvestSlice {
+                node,
+                harvested_uj,
+                stored_uj,
+                ..
+            } => {
+                self.metrics.add(
+                    "origin_node_harvested_microjoules_total",
+                    harvested_uj.max(0.0) as u64,
+                );
+                self.metrics.set_gauge(
+                    &format!(
+                        "origin_node_stored_microjoules{{node=\"{}\"}}",
+                        node.as_u32()
+                    ),
+                    stored_uj,
+                );
+            }
+            SimEvent::SlotScheduled { attempters, .. } => {
+                self.metrics.observe(
+                    "origin_slot_attempters",
+                    ATTEMPTER_BOUNDS,
+                    f64::from(attempters),
+                );
+            }
+            SimEvent::InferenceAttempt { headroom, .. } => {
+                self.metrics
+                    .observe("origin_stored_headroom", HEADROOM_BOUNDS, headroom);
+            }
+            SimEvent::InferenceCompleted { confidence, .. } => {
+                self.metrics
+                    .observe("origin_confidence", CONFIDENCE_BOUNDS, confidence);
+            }
+            SimEvent::MessageTx { bytes, .. } => {
+                self.metrics
+                    .add("origin_radio_bytes_total{outcome=\"sent\"}", bytes as u64);
+            }
+            SimEvent::MessageDrop { bytes, .. } => {
+                self.metrics.add(
+                    "origin_radio_bytes_total{outcome=\"dropped\"}",
+                    bytes as u64,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Fans every event out to two observers (nest for more).
+#[derive(Debug, Clone, Default)]
+pub struct Tee<A, B>(
+    /// First receiver.
+    pub A,
+    /// Second receiver.
+    pub B,
+);
+
+impl<A: SimObserver, B: SimObserver> SimObserver for Tee<A, B> {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_types::NodeId;
+
+    fn attempt(window: u64) -> SimEvent {
+        SimEvent::InferenceAttempt {
+            window,
+            node: NodeId::new(0),
+            headroom: 1.25,
+        }
+    }
+
+    #[test]
+    fn recorder_keeps_order_and_counts() {
+        let mut rec = RecordingObserver::new();
+        rec.on_event(&attempt(0));
+        rec.on_event(&SimEvent::NvpCheckpoint {
+            window: 0,
+            node: NodeId::new(1),
+        });
+        rec.on_event(&attempt(1));
+        assert_eq!(rec.events().len(), 3);
+        assert_eq!(rec.count(EventKind::InferenceAttempt), 2);
+        assert_eq!(rec.count(EventKind::NvpCheckpoint), 1);
+        assert_eq!(rec.count(EventKind::MessageDrop), 0);
+    }
+
+    #[test]
+    fn metrics_observer_aggregates() {
+        let mut obs = MetricsObserver::new();
+        obs.on_event(&attempt(0));
+        obs.on_event(&SimEvent::MessageTx {
+            from: crate::Party::Node(NodeId::new(0)),
+            to: crate::Party::Host,
+            bytes: 6,
+            at_us: 10,
+        });
+        obs.on_event(&SimEvent::MessageDrop {
+            from: crate::Party::Node(NodeId::new(1)),
+            to: crate::Party::Host,
+            bytes: 6,
+            at_us: 20,
+        });
+        assert_eq!(obs.total(), 3);
+        assert_eq!(obs.count(EventKind::InferenceAttempt), 1);
+        let m = obs.metrics();
+        assert_eq!(
+            m.counter("origin_events_total{event=\"inference_attempt\"}"),
+            1
+        );
+        assert_eq!(m.counter("origin_radio_bytes_total{outcome=\"sent\"}"), 6);
+        assert_eq!(
+            m.counter("origin_radio_bytes_total{outcome=\"dropped\"}"),
+            6
+        );
+        let h = m.histogram("origin_stored_headroom").unwrap();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut tee = Tee(RecordingObserver::new(), MetricsObserver::new());
+        tee.on_event(&attempt(0));
+        assert_eq!(tee.0.events().len(), 1);
+        assert_eq!(tee.1.total(), 1);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut rec = RecordingObserver::new();
+        {
+            let lent: &mut RecordingObserver = &mut rec;
+            lent.on_event(&attempt(7));
+        }
+        assert_eq!(rec.events().len(), 1);
+    }
+}

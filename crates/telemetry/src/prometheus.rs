@@ -1,0 +1,143 @@
+//! Hand-rolled Prometheus text exposition (format version 0.0.4).
+//!
+//! Registry names may carry an inline label set
+//! (`origin_events_total{event="window_start"}`); the family name before
+//! the brace groups the `# TYPE` header so a scrape parses cleanly.
+
+use crate::metrics::MetricsRegistry;
+use std::io::{self, Write};
+
+/// Family name (before any `{label}` suffix), sanitized to the
+/// Prometheus charset.
+fn family(name: &str) -> String {
+    let bare = name.split('{').next().unwrap_or(name);
+    bare.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The full sample name with its label set, family part sanitized.
+fn sample(name: &str) -> String {
+    match name.split_once('{') {
+        Some((bare, labels)) => format!("{}{{{}", family(bare), labels),
+        None => family(name),
+    }
+}
+
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v.fract() == 0.0 && v.abs() < 9_007_199_254_740_992.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Writes `metrics` in Prometheus text exposition format.
+///
+/// Counters and gauges become single samples under a `# TYPE` header
+/// (one header per family, in name order); histograms expand to
+/// cumulative `_bucket{le=...}` samples plus `_sum` and `_count`.
+///
+/// # Errors
+///
+/// Propagates any error from `out`.
+pub fn write_prometheus<W: Write>(out: &mut W, metrics: &MetricsRegistry) -> io::Result<()> {
+    let mut last_family = String::new();
+    let mut header = |out: &mut W, name: &str, kind: &str| -> io::Result<()> {
+        let fam = family(name);
+        if fam != last_family {
+            writeln!(out, "# TYPE {fam} {kind}")?;
+            last_family = fam;
+        }
+        Ok(())
+    };
+
+    for (name, value) in metrics.counters() {
+        header(out, name, "counter")?;
+        writeln!(out, "{} {}", sample(name), value)?;
+    }
+    for (name, value) in metrics.gauges() {
+        header(out, name, "gauge")?;
+        writeln!(out, "{} {}", sample(name), number(value))?;
+    }
+    for (name, histogram) in metrics.histograms() {
+        let fam = family(name);
+        writeln!(out, "# TYPE {fam} histogram")?;
+        let mut cumulative = 0u64;
+        for (bound, count) in histogram
+            .bounds()
+            .iter()
+            .map(|b| number(*b))
+            .chain(std::iter::once("+Inf".to_owned()))
+            .zip(histogram.bucket_counts())
+        {
+            cumulative += count;
+            writeln!(out, "{fam}_bucket{{le=\"{bound}\"}} {cumulative}")?;
+        }
+        writeln!(out, "{fam}_sum {}", number(histogram.sum()))?;
+        writeln!(out, "{fam}_count {}", histogram.count())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_get_one_type_header() {
+        let mut m = MetricsRegistry::new();
+        m.add("origin_events_total{event=\"a\"}", 1);
+        m.add("origin_events_total{event=\"b\"}", 2);
+        m.set_gauge("origin_stored{node=\"0\"}", 1.5);
+        let mut buf = Vec::new();
+        write_prometheus(&mut buf, &m).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            text.matches("# TYPE origin_events_total counter").count(),
+            1
+        );
+        assert!(text.contains("origin_events_total{event=\"a\"} 1\n"));
+        assert!(text.contains("origin_events_total{event=\"b\"} 2\n"));
+        assert!(text.contains("# TYPE origin_stored gauge\n"));
+        assert!(text.contains("origin_stored{node=\"0\"} 1.5\n"));
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_buckets() {
+        let mut m = MetricsRegistry::new();
+        for v in [0.5, 1.5, 9.0] {
+            m.observe("origin_headroom", &[1.0, 2.0], v);
+        }
+        let mut buf = Vec::new();
+        write_prometheus(&mut buf, &m).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# TYPE origin_headroom histogram\n"));
+        assert!(text.contains("origin_headroom_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("origin_headroom_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("origin_headroom_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("origin_headroom_sum 11\n"));
+        assert!(text.contains("origin_headroom_count 3\n"));
+    }
+
+    #[test]
+    fn family_sanitizes_bad_chars() {
+        assert_eq!(family("ok_name"), "ok_name");
+        assert_eq!(family("bad-name.total"), "bad_name_total");
+        assert_eq!(family("labelled{x=\"y\"}"), "labelled");
+    }
+}

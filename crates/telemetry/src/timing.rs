@@ -1,0 +1,106 @@
+//! Lightweight wall-clock timing scopes for pipeline stages.
+
+use crate::json::JsonValue;
+use std::time::{Duration, Instant};
+
+/// Named wall-clock durations collected in recording order.
+///
+/// Repeated stage names accumulate into one entry, so a stage inside a
+/// loop reports its total.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    stages: Vec<(String, Duration)>,
+}
+
+impl StageTimings {
+    /// An empty set of timings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, recording its wall-clock duration under `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record(name, start.elapsed());
+        result
+    }
+
+    /// Adds `elapsed` to stage `name` (creating it at the end).
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        if let Some((_, total)) = self.stages.iter_mut().find(|(n, _)| n == name) {
+            *total += elapsed;
+        } else {
+            self.stages.push((name.to_owned(), elapsed));
+        }
+    }
+
+    /// Stage `name`'s accumulated duration.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.stages.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// All stages in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.stages.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// Sum of every stage.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Renders the timings as a JSON object of stage → milliseconds.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.stages
+                .iter()
+                .map(|(n, d)| (format!("{n}_ms"), JsonValue::from(d.as_secs_f64() * 1000.0)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let mut t = StageTimings::new();
+        let v = t.time("stage", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t.get("stage").is_some());
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn repeated_names_accumulate() {
+        let mut t = StageTimings::new();
+        t.record("sim", Duration::from_millis(3));
+        t.record("report", Duration::from_millis(1));
+        t.record("sim", Duration::from_millis(2));
+        assert_eq!(t.get("sim"), Some(Duration::from_millis(5)));
+        assert_eq!(t.total(), Duration::from_millis(6));
+        let order: Vec<&str> = t.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, ["sim", "report"]);
+    }
+
+    #[test]
+    fn json_uses_millisecond_keys() {
+        let mut t = StageTimings::new();
+        t.record("sim", Duration::from_millis(250));
+        let json = t.to_json();
+        assert_eq!(json.get("sim_ms").and_then(JsonValue::as_f64), Some(250.0));
+    }
+}

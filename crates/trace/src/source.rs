@@ -1,9 +1,9 @@
 //! The [`PowerSource`] abstraction consumed by the energy substrate.
 
 use crate::trace::PowerTrace;
-use origin_types::{Energy, Power, SimTime};
 #[cfg(test)]
 use origin_types::SimDuration;
+use origin_types::{Energy, Power, SimTime};
 
 /// Something that delivers harvestable power over simulated time.
 ///
@@ -244,7 +244,10 @@ mod tests {
         let wrap = src.energy_between(SimTime::from_millis(150), SimTime::from_millis(250));
         assert!((wrap.as_microjoules() - 5.0).abs() < 1e-9);
         // power_at wraps.
-        assert_eq!(src.power_at(SimTime::from_millis(200)).as_microwatts(), 100.0);
+        assert_eq!(
+            src.power_at(SimTime::from_millis(200)).as_microwatts(),
+            100.0
+        );
     }
 
     #[test]
@@ -283,8 +286,7 @@ mod tests {
 
     #[test]
     fn boxed_source_delegates() {
-        let boxed: Box<dyn PowerSource> =
-            Box::new(ConstantPower::new(Power::from_microwatts(7.0)));
+        let boxed: Box<dyn PowerSource> = Box::new(ConstantPower::new(Power::from_microwatts(7.0)));
         assert_eq!(boxed.mean_power().as_microwatts(), 7.0);
         let e = boxed.energy_between(SimTime::ZERO, SimTime::from_secs(2));
         assert!((e.as_microjoules() - 14.0).abs() < 1e-9);

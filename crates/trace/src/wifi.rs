@@ -116,8 +116,8 @@ impl DiurnalProfile {
             (0.0..=1.0).contains(&self.day_fraction) && (0.0..=1.0).contains(&self.night_scale),
             "diurnal fractions must be in [0, 1]"
         );
-        let phase = (t.as_micros() % self.period.as_micros()) as f64
-            / self.period.as_micros() as f64;
+        let phase =
+            (t.as_micros() % self.period.as_micros()) as f64 / self.period.as_micros() as f64;
         if phase < self.day_fraction {
             1.0
         } else {
@@ -218,9 +218,9 @@ impl WifiOfficeModel {
             remaining -= 1;
             let base = self.regime_power(regime);
             let jitter = 1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
-            let envelope = self.diurnal.map_or(1.0, |d| {
-                d.envelope_at(self.interval * samples.len() as u64)
-            });
+            let envelope = self
+                .diurnal
+                .map_or(1.0, |d| d.envelope_at(self.interval * samples.len() as u64));
             samples.push((base * jitter * envelope).max(0.0));
         }
         PowerTrace::from_microwatts(samples, self.interval)

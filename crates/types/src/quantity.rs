@@ -219,7 +219,10 @@ mod tests {
         let b = Energy::from_microjoules(2.0);
         assert_eq!(a.min(b), a);
         assert_eq!(a.max(b), b);
-        assert_eq!((-Power::from_microwatts(3.0)).clamp_non_negative(), Power::ZERO);
+        assert_eq!(
+            (-Power::from_microwatts(3.0)).clamp_non_negative(),
+            Power::ZERO
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ fn main() -> Result<(), CoreError> {
         "base model on clean data: {:.1}% — the reference line",
         result.base_accuracy * 100.0
     );
-    println!("\n{:<10} {:>10} {:>12} {:>12}", "user", "iters 1-10", "iters 50-100", "iters 150-200");
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12}",
+        "user", "iters 1-10", "iters 50-100", "iters 150-200"
+    );
     for user in &result.users {
         println!(
             "{:<10} {:>9.1}% {:>11.1}% {:>11.1}%",

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --example har_pipeline --release`
 
-use origin_repro::nn::{
-    prune_to_energy, InferenceEnergyModel, NnError, SensorClassifier, Trainer,
-};
+use origin_repro::nn::{prune_to_energy, InferenceEnergyModel, NnError, SensorClassifier, Trainer};
 use origin_repro::sensors::{
     sample_window, window_features, DatasetSpec, HarDataset, UserProfile, FEATURE_DIM,
 };

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --example quickstart --release`
 
 use origin_repro::core::{
-    run_baseline, BaselineKind, CoreError, Deployment, ModelBank, PolicyKind, SimConfig,
-    Simulator,
+    run_baseline, BaselineKind, CoreError, Deployment, ModelBank, PolicyKind, SimConfig, Simulator,
 };
 use origin_repro::sensors::DatasetSpec;
 use origin_repro::types::SensorLocation;

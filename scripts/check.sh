@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository-wide hygiene gate: formatting, lints, tests.
+#
+# Usage: scripts/check.sh
+#
+# Runs the three checks CI expects, in fail-fast order (cheapest first):
+#   1. cargo fmt --check      — formatting drift
+#   2. cargo clippy -D warnings — lints across the whole workspace
+#   3. cargo test -q          — the full test suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

@@ -1,7 +1,8 @@
 //! # origin-repro — a reproduction of *Origin* (DATE 2021)
 //!
 //! This facade crate re-exports the whole workspace behind one dependency:
-//! the substrates (`types`, `trace`, `energy`, `sensors`, `nn`, `net`) and
+//! the substrates (`types`, `trace`, `energy`, `sensors`, `nn`, `net`),
+//! the observability layer (`telemetry`) and
 //! the policy layer (`core`) that together reproduce *Origin: Enabling
 //! On-Device Intelligence for Human Activity Recognition Using Energy
 //! Harvesting Wireless Sensor Networks*.
@@ -36,5 +37,6 @@ pub use origin_energy as energy;
 pub use origin_net as net;
 pub use origin_nn as nn;
 pub use origin_sensors as sensors;
+pub use origin_telemetry as telemetry;
 pub use origin_trace as trace;
 pub use origin_types as types;

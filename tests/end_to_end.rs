@@ -29,7 +29,9 @@ fn full_policy_ladder_is_ordered() {
         .run(&short(PolicyKind::RoundRobin { cycle: 12 }, 4))
         .unwrap();
     let aasr = sim.run(&short(PolicyKind::Aasr { cycle: 12 }, 4)).unwrap();
-    let origin = sim.run(&short(PolicyKind::Origin { cycle: 12 }, 4)).unwrap();
+    let origin = sim
+        .run(&short(PolicyKind::Origin { cycle: 12 }, 4))
+        .unwrap();
 
     // The mechanisms stack (generous tolerance at this short horizon).
     assert!(

@@ -5,7 +5,9 @@ use origin_repro::net::{LinkModel, Message};
 use origin_repro::nn::{softmax_variance, Mlp};
 use origin_repro::sensors::{DatasetSpec, SignatureTable};
 use origin_repro::trace::{ConstantPower, PowerSource, WifiOfficeModel};
-use origin_repro::types::{ActivityClass, Energy, NodeId, Power, SensorLocation, SimDuration, SimTime};
+use origin_repro::types::{
+    ActivityClass, Energy, NodeId, Power, SensorLocation, SimDuration, SimTime,
+};
 
 #[test]
 fn types_flow_across_crate_boundaries() {

@@ -24,13 +24,12 @@ fn origin_degrades_gracefully_when_a_sensor_fails() {
     // if one of the sensors fails" (Section IV-C Discussion).
     let models = small_models(21);
     let sim = Simulator::new(Deployment::builder().seed(21).build(), models);
-    let healthy = sim.run(&short(PolicyKind::Origin { cycle: 12 }, 2)).unwrap();
+    let healthy = sim
+        .run(&short(PolicyKind::Origin { cycle: 12 }, 2))
+        .unwrap();
     // Kill the wrist (the weakest sensor).
     let degraded = sim
-        .run(
-            &short(PolicyKind::Origin { cycle: 12 }, 2)
-                .with_disabled_nodes([NodeId::new(2)]),
-        )
+        .run(&short(PolicyKind::Origin { cycle: 12 }, 2).with_disabled_nodes([NodeId::new(2)]))
         .unwrap();
     assert!(
         degraded.accuracy() > healthy.accuracy() - 0.15,
@@ -67,7 +66,10 @@ fn lossy_link_costs_little_accuracy() {
     let models = small_models(25);
     let reliable = Simulator::new(Deployment::builder().seed(25).build(), models.clone());
     let lossy = Simulator::new(
-        Deployment::builder().seed(25).link(LinkModel::lossy_ble()).build(),
+        Deployment::builder()
+            .seed(25)
+            .link(LinkModel::lossy_ble())
+            .build(),
         models,
     );
     let config = short(PolicyKind::Origin { cycle: 12 }, 4);
@@ -154,7 +156,11 @@ fn diurnal_trace_survives_the_night() {
         .unwrap();
     // Less energy means fewer completions than the flat trace, but the
     // recall-based output keeps coverage near-total.
-    assert!(report.completion_rate() > 0.3, "completion {}", report.completion_rate());
+    assert!(
+        report.completion_rate() > 0.3,
+        "completion {}",
+        report.completion_rate()
+    );
     assert!(report.no_output_windows < report.windows / 10);
     assert!(report.accuracy() > 0.5, "accuracy {}", report.accuracy());
 }
