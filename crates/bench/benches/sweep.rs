@@ -1,0 +1,50 @@
+//! Sweep-engine scaling: one 4×4 grid (4 seeds × 2 policies × 2 users =
+//! 16 cells) evaluated at 1, 2 and 4 worker threads. On a multi-core
+//! host the 4-thread run is expected to finish the grid at least 2×
+//! faster than the serial run; on a single-core host the three times
+//! collapse to parity (the engine's scheduling overhead is one atomic
+//! fetch per cell). The output is byte-identical either way — see
+//! `tests/sweep_determinism.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use origin_bench::bench_models;
+use origin_bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy};
+use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_core::{BaselineKind, Deployment, PolicyKind};
+use origin_types::SimDuration;
+
+fn bench_sweep(c: &mut Criterion) {
+    let ctx = ExperimentContext::from_parts(
+        Dataset::Mhealth,
+        bench_models(13),
+        Deployment::builder().seed(13).build(),
+        13,
+    )
+    .with_horizon(SimDuration::from_secs(60));
+    let grid = SweepGrid::new(
+        13,
+        vec![
+            SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+            SweepPolicy::Baseline(BaselineKind::Baseline2),
+        ],
+    )
+    .with_seeds(4)
+    .with_sampled_users(2);
+
+    let mut group = c.benchmark_group("sweep_16_cells");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(grid.len() as u64));
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            let opts = SweepOptions {
+                threads,
+                instrument: false,
+            };
+            b.iter(|| run_sweep(&ctx, &grid, &opts).expect("sweep succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,55 +1,74 @@
-//! Ablation battery: recall, confidence weighting, NVP, adaptation rate.
+//! Ablation battery: recall, confidence weighting, NVP, adaptation rate —
+//! replicated over multiple seeds in parallel, reported as mean ± 95% CI.
 //!
-//! Usage: `cargo run -p origin-bench --bin ablation --release [cycle] [seed]`
+//! Usage: `cargo run -p origin-bench --bin ablation --release -- [cycle] [seed]
+//! [--seeds N] [--threads N]`
+//!
+//! Each seed replica runs the full battery on its own derived RNG stream
+//! (the sweep engine's [`cell_stream`] derivation), sharing the one
+//! trained model bank. The output is independent of `--threads`.
 
-use origin_core::experiments::{run_ablation, Dataset, ExperimentContext};
+use origin_bench::sweep::{cell_stream, parallel_map, Aggregate};
+use origin_bench::BenchArgs;
+use origin_core::experiments::{run_ablation_seeded, AblationReport, Dataset, ExperimentContext};
+
+fn agg(reports: &[AblationReport], f: impl Fn(&AblationReport) -> f64) -> Aggregate {
+    Aggregate::from_values(&reports.iter().map(f).collect::<Vec<_>>())
+}
 
 fn main() {
-    let cycle: u8 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    let seed = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(77);
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
-    let r = run_ablation(&ctx, cycle).expect("simulation succeeds");
+    let args = BenchArgs::parse();
+    let cycle = u8::try_from(args.u64_at(0, 12)).unwrap_or(12);
+    let seed = args.u64_at(1, 77);
+    let seeds = u32::try_from(args.u64_flag("seeds", 3)).unwrap_or(3).max(1);
 
-    println!("# Ablations at RR{} (seed {seed})", r.cycle);
+    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let replicas: Vec<u64> = (0..seeds).map(|s| cell_stream(seed, s, 0)).collect();
+    let reports = parallel_map(args.threads(), &replicas, |_, &sim_seed| {
+        run_ablation_seeded(&ctx, cycle, sim_seed).expect("simulation succeeds")
+    });
+
+    println!("# Ablations at RR{cycle} (base seed {seed}, {seeds} seed replica(s), mean ± 95% CI)");
     println!("\nmechanism ladder (what each part of Origin buys):");
     println!(
-        "  AAS only (no recall, no weights): {:>6.2}%",
-        r.aas_accuracy * 100.0
+        "  AAS only (no recall, no weights): {:>16}",
+        agg(&reports, |r| r.aas_accuracy).fmt_pct()
     );
     println!(
-        "  + recall (AASR, majority vote):   {:>6.2}%",
-        r.aasr_accuracy * 100.0
+        "  + recall (AASR, majority vote):   {:>16}",
+        agg(&reports, |r| r.aasr_accuracy).fmt_pct()
     );
     println!(
-        "  + adaptive confidence weighting:  {:>6.2}%",
-        r.origin_accuracy * 100.0
+        "  + adaptive confidence weighting:  {:>16}",
+        agg(&reports, |r| r.origin_accuracy).fmt_pct()
     );
 
     println!("\nnon-volatile processor (naive policy completion rate):");
-    println!("  with NVP:       {:>6.2}%", r.naive_nvp_completion * 100.0);
     println!(
-        "  volatile CPU:   {:>6.2}%",
-        r.naive_volatile_completion * 100.0
+        "  with NVP:       {:>16}",
+        agg(&reports, |r| r.naive_nvp_completion).fmt_pct()
+    );
+    println!(
+        "  volatile CPU:   {:>16}",
+        agg(&reports, |r| r.naive_volatile_completion).fmt_pct()
     );
 
     println!("\nconfidence adaptation rate (Origin accuracy):");
-    for (alpha, acc) in &r.alpha_sweep {
-        println!("  alpha {alpha:<5}: {:>6.2}%", acc * 100.0);
+    for i in 0..reports[0].alpha_sweep.len() {
+        let alpha = reports[0].alpha_sweep[i].0;
+        println!(
+            "  alpha {alpha:<5}: {:>16}",
+            agg(&reports, |r| r.alpha_sweep[i].1).fmt_pct()
+        );
     }
 
     println!("\nanticipation quality:");
     println!(
-        "  learned (last classification): {:>6.2}%",
-        r.origin_accuracy * 100.0
+        "  learned (last classification): {:>16}",
+        agg(&reports, |r| r.origin_accuracy).fmt_pct()
     );
     println!(
-        "  oracle (true activity):        {:>6.2}%",
-        r.origin_oracle_accuracy * 100.0
+        "  oracle (true activity):        {:>16}",
+        agg(&reports, |r| r.origin_oracle_accuracy).fmt_pct()
     );
 }

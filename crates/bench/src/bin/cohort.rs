@@ -1,43 +1,76 @@
 //! Cross-user generalization study: RR12-Origin vs Baseline-2 across a
-//! cohort of sampled wearers.
+//! cohort of sampled wearers, replicated over multiple seeds on the
+//! sweep engine.
 //!
-//! Usage: `cargo run -p origin-bench --bin cohort --release [users] [seed]`
+//! Usage: `cargo run -p origin-bench --bin cohort --release -- [users] [seed]
+//! [--seeds N] [--threads N] [--json <path>]`
+//!
+//! Each wearer is evaluated under `--seeds` independent worlds; the
+//! per-user rows report the mean over those replicas, and the aggregate
+//! line carries the normal-approximation 95% confidence interval. The
+//! output is independent of `--threads`.
 
-use origin_core::experiments::{run_cohort, Dataset, ExperimentContext};
+use origin_bench::sweep::{run_sweep, Aggregate, SweepGrid, SweepOptions, SweepPolicy};
+use origin_bench::BenchArgs;
+use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_core::{BaselineKind, PolicyKind};
 
 fn main() {
-    let users: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
-    let seed = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(77);
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
-    let r = run_cohort(&ctx, users).expect("simulation succeeds");
+    let args = BenchArgs::parse();
+    let users = u32::try_from(args.u64_at(0, 8)).unwrap_or(8);
+    let seed = args.u64_at(1, 77);
+    let seeds = u32::try_from(args.u64_flag("seeds", 3)).unwrap_or(3);
 
-    println!("# Cross-user cohort (n = {users}, seed {seed})");
+    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let grid = SweepGrid::new(
+        seed,
+        vec![
+            SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+            SweepPolicy::Baseline(BaselineKind::Baseline2),
+        ],
+    )
+    .with_seeds(seeds)
+    .with_sampled_users(users);
+    let report = run_sweep(
+        &ctx,
+        &grid,
+        &SweepOptions {
+            threads: args.threads(),
+            instrument: false,
+        },
+    )
+    .expect("simulation succeeds");
+
+    println!("# Cross-user cohort (n = {users}, base seed {seed}, {seeds} seed replica(s))");
     println!("{:<12} {:>12} {:>8}", "user", "RR12 Origin", "BL-2");
-    for p in &r.points {
+    for (u, profile) in report.grid.users.iter().enumerate() {
+        let per_user = |policy_idx: usize| {
+            let values: Vec<f64> = report
+                .cells
+                .iter()
+                .filter(|c| c.cell.policy_idx == policy_idx && c.cell.user_idx as usize == u)
+                .map(|c| c.report.accuracy())
+                .collect();
+            Aggregate::from_values(&values).mean
+        };
         println!(
             "{:<12} {:>11.2}% {:>7.2}%",
-            p.user.to_string(),
-            p.origin * 100.0,
-            p.bl2 * 100.0
+            profile.user.to_string(),
+            per_user(0) * 100.0,
+            per_user(1) * 100.0
         );
     }
-    let (om, os) = r.origin_stats();
-    let (bm, bs) = r.bl2_stats();
+    let origin = report.accuracy_aggregate(0);
+    let bl2 = report.accuracy_aggregate(1);
     println!(
-        "\nOrigin: {:.2}% ± {:.2}   BL-2: {:.2}% ± {:.2}",
-        om * 100.0,
-        os * 100.0,
-        bm * 100.0,
-        bs * 100.0
+        "\nOrigin: {}   BL-2: {}   ({} runs per policy over {seeds} seed(s))",
+        origin.fmt_pct(),
+        bl2.fmt_pct(),
+        origin.n
     );
     println!(
-        "Origin wins for {:.0}% of wearers",
-        r.origin_win_rate() * 100.0
+        "Origin wins {:.0}% of paired runs",
+        report.win_rate(0, 1) * 100.0
     );
+    args.write_manifest(&report.to_manifest("cohort"));
 }

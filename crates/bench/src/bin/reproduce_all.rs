@@ -1,7 +1,13 @@
 //! Runs the complete evaluation — every figure, the table, and all
 //! extension studies — and writes each report under `results/`.
 //!
-//! Usage: `cargo run -p origin-bench --bin reproduce_all --release [seed] [out_dir] [--json <path>]`
+//! Usage: `cargo run -p origin-bench --bin reproduce_all --release -- [seed]
+//! [out_dir] [--threads N] [--json <path>]`
+//!
+//! The independent experiment stages fan out over the sweep engine's
+//! worker pool (`--threads`, 0 = auto); every summary, result and
+//! manifest field is identical for any thread count — only the stage
+//! timings (wall-clock) differ.
 //!
 //! Besides the per-experiment text summaries, the run emits its telemetry
 //! record (see EXPERIMENTS.md §Telemetry):
@@ -17,6 +23,7 @@
 //! (MHEALTH and PAMAP2, once per seed used) and runs several dozen
 //! one-hour simulations.
 
+use origin_bench::sweep::parallel_map;
 use origin_bench::{
     report_results, run_instrumented, sim_config_entries, write_manifest_file, BenchArgs,
 };
@@ -29,6 +36,7 @@ use origin_telemetry::{write_prometheus, JsonValue, RunManifest, StageTimings};
 use origin_types::SimDuration;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 fn save(dir: &Path, name: &str, content: &str) {
     let path = dir.join(name);
@@ -40,7 +48,260 @@ fn save(dir: &Path, name: &str, content: &str) {
 /// kind to appear, short enough that the JSONL stays a few hundred kB.
 const TRACE_HORIZON_SECS: u64 = 600;
 
+/// One independent experiment stage of the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Fig1,
+    Fig2,
+    Fig4,
+    Fig5Mhealth,
+    Fig5Pamap2,
+    Fig6,
+    Table1,
+    Ablation,
+    Depth,
+    Power,
+    Cohort,
+}
+
+impl Stage {
+    const ALL: [Stage; 11] = [
+        Stage::Fig1,
+        Stage::Fig2,
+        Stage::Fig4,
+        Stage::Fig5Mhealth,
+        Stage::Fig5Pamap2,
+        Stage::Fig6,
+        Stage::Table1,
+        Stage::Ablation,
+        Stage::Depth,
+        Stage::Power,
+        Stage::Cohort,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Stage::Fig1 => "fig1",
+            Stage::Fig2 => "fig2",
+            Stage::Fig4 => "fig4",
+            Stage::Fig5Mhealth => "fig5_mhealth",
+            Stage::Fig5Pamap2 => "fig5_pamap2",
+            Stage::Fig6 => "fig6",
+            Stage::Table1 => "table1",
+            Stage::Ablation => "ablation",
+            Stage::Depth => "depth",
+            Stage::Power => "power",
+            Stage::Cohort => "cohort",
+        }
+    }
+}
+
+/// What a stage hands back to the (sequential) collector: the summary
+/// file to write, headline results for the manifest, and how long the
+/// worker spent (merged into [`StageTimings`] after the join).
+struct StageOutput {
+    stage: Stage,
+    file: String,
+    text: String,
+    results: Vec<(String, JsonValue)>,
+    elapsed: Duration,
+}
+
 #[allow(clippy::too_many_lines)]
+fn run_stage(stage: Stage, ctx: &ExperimentContext, seed: u64) -> StageOutput {
+    let start = Instant::now();
+    let mut s = String::new();
+    let mut results = Vec::new();
+    let mut file = format!("summary_{}.txt", stage.name());
+    match stage {
+        Stage::Fig1 => {
+            let f1 = run_fig1(ctx).expect("fig1");
+            let _ = writeln!(s, "# Fig. 1 (seed {seed})");
+            let _ = writeln!(
+                s,
+                "naive: all {:.1}% / some {:.1}% / none {:.1}%",
+                f1.naive_all * 100.0,
+                f1.naive_some * 100.0,
+                f1.naive_none * 100.0
+            );
+            let _ = writeln!(
+                s,
+                "RR3: succeed {:.1}% / fail {:.1}%",
+                f1.rr3_succeed * 100.0,
+                f1.rr3_fail * 100.0
+            );
+            results.push(("fig1_naive_none".to_owned(), JsonValue::from(f1.naive_none)));
+        }
+        Stage::Fig2 => {
+            let f2 = run_fig2(ctx, 120).expect("fig2");
+            let _ = writeln!(s, "# Fig. 2 per-sensor accuracy (seed {seed})");
+            for (i, cm) in f2.confusions.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "sensor {i}: {:.2}%",
+                    cm.accuracy().unwrap_or(0.0) * 100.0
+                );
+            }
+            let majority_mean = f2.majority.iter().sum::<f64>() / f2.majority.len() as f64;
+            let _ = writeln!(s, "majority: {:.2}%", majority_mean * 100.0);
+        }
+        Stage::Fig4 => {
+            let f4 = run_fig4(ctx).expect("fig4");
+            let _ = writeln!(s, "# Fig. 4 overall accuracy (seed {seed})");
+            for (i, &cycle) in f4.cycles.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "RR{cycle}: RR {:.2}% / AAS {:.2}%",
+                    f4.rr_overall[i] * 100.0,
+                    f4.aas_overall[i] * 100.0
+                );
+            }
+        }
+        Stage::Fig5Mhealth | Stage::Fig5Pamap2 => {
+            let dctx = if stage == Stage::Fig5Mhealth {
+                ctx.clone()
+            } else {
+                println!("training PAMAP2-like models (seed {seed})...");
+                ExperimentContext::new(Dataset::Pamap2, seed).expect("training succeeds")
+            };
+            let f5 = run_fig5(&dctx).expect("fig5");
+            let _ = writeln!(s, "# Fig. 5 {} (seed {seed})", f5.dataset);
+            for row in &f5.rows {
+                let _ = writeln!(s, "{:<14} {:.2}%", row.label, row.overall * 100.0);
+            }
+            file = format!("summary_fig5_{}.txt", f5.dataset.to_lowercase());
+        }
+        Stage::Fig6 => {
+            let f6 = run_fig6(ctx, 3, 1_000, 10, 20.0).expect("fig6");
+            let _ = writeln!(
+                s,
+                "# Fig. 6 (seed {seed}); base {:.2}%",
+                f6.base_accuracy * 100.0
+            );
+            for user in &f6.users {
+                let _ = writeln!(
+                    s,
+                    "{}: early {:.1}% -> late {:.1}%",
+                    user.user,
+                    user.mean_accuracy(0, 10) * 100.0,
+                    user.mean_accuracy(900, 1_000) * 100.0
+                );
+            }
+        }
+        Stage::Table1 => {
+            let t1 = run_table1(ctx).expect("table1");
+            let _ = writeln!(s, "# Table I (seed {seed})");
+            for row in &t1.rows {
+                let _ = writeln!(
+                    s,
+                    "{:<10} origin {:.2}% bl2 {:.2}% bl1 {:.2}% (vs bl2 {:+.2})",
+                    row.activity.label(),
+                    row.origin * 100.0,
+                    row.bl2 * 100.0,
+                    row.bl1 * 100.0,
+                    row.vs_bl2()
+                );
+            }
+            let (o, b2, b1) = t1.overall;
+            let _ = writeln!(
+                s,
+                "overall: origin {:.2}% bl2 {:.2}% bl1 {:.2}%",
+                o * 100.0,
+                b2 * 100.0,
+                b1 * 100.0
+            );
+            results.push(("table1_origin_overall".to_owned(), JsonValue::from(o)));
+            results.push(("table1_bl2_overall".to_owned(), JsonValue::from(b2)));
+        }
+        Stage::Ablation => {
+            let ab = run_ablation(ctx, 12).expect("ablation");
+            let _ = writeln!(s, "# Ablations at RR12 (seed {seed})");
+            let _ = writeln!(
+                s,
+                "AAS {:.2}% -> AASR {:.2}% -> Origin {:.2}%",
+                ab.aas_accuracy * 100.0,
+                ab.aasr_accuracy * 100.0,
+                ab.origin_accuracy * 100.0
+            );
+            let _ = writeln!(
+                s,
+                "naive completion: NVP {:.2}% vs volatile {:.2}%",
+                ab.naive_nvp_completion * 100.0,
+                ab.naive_volatile_completion * 100.0
+            );
+            let _ = writeln!(
+                s,
+                "oracle anticipation: {:.2}%",
+                ab.origin_oracle_accuracy * 100.0
+            );
+            results.push((
+                "ablation_origin_accuracy".to_owned(),
+                JsonValue::from(ab.origin_accuracy),
+            ));
+        }
+        Stage::Depth => {
+            let depth = run_depth_sweep(ctx, &[3, 6, 9, 12, 18, 24, 36]).expect("depth");
+            let _ = writeln!(
+                s,
+                "# Depth sweep (seed {seed}); best RR{}",
+                depth.best_cycle()
+            );
+            for p in &depth.points {
+                let _ = writeln!(
+                    s,
+                    "RR{:<3} {:.2}% (completion {:.1}%)",
+                    p.cycle,
+                    p.accuracy * 100.0,
+                    p.completion * 100.0
+                );
+            }
+            results.push((
+                "depth_best_cycle".to_owned(),
+                JsonValue::from(u64::from(depth.best_cycle())),
+            ));
+        }
+        Stage::Power => {
+            let power = run_power_study(ctx).expect("power");
+            let _ = writeln!(
+                s,
+                "# Power study (seed {seed}); incident {}",
+                power.incident_power
+            );
+            for row in &power.rows {
+                let _ = writeln!(
+                    s,
+                    "{:<12} consumed {} accuracy {:.2}%",
+                    row.label,
+                    row.mean_consumed_per_node,
+                    row.accuracy * 100.0
+                );
+            }
+        }
+        Stage::Cohort => {
+            let cohort = run_cohort(ctx, 6).expect("cohort");
+            let (om, os) = cohort.origin_stats();
+            let (bm, bs) = cohort.bl2_stats();
+            let _ = writeln!(s, "# Cohort (seed {seed}, n = {})", cohort.points.len());
+            let _ = writeln!(
+                s,
+                "Origin {:.2}% +/- {:.2}; BL-2 {:.2}% +/- {:.2}; win rate {:.0}%",
+                om * 100.0,
+                os * 100.0,
+                bm * 100.0,
+                bs * 100.0,
+                cohort.origin_win_rate() * 100.0
+            );
+        }
+    }
+    StageOutput {
+        stage,
+        file,
+        text: s,
+        results,
+        elapsed: start.elapsed(),
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let seed: u64 = args.u64_at(0, 77);
@@ -55,202 +316,13 @@ fn main() {
         ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds")
     });
 
-    // Fig. 1.
-    let f1 = timings.time("fig1", || run_fig1(&ctx).expect("fig1"));
-    let mut s = String::new();
-    let _ = writeln!(s, "# Fig. 1 (seed {seed})");
-    let _ = writeln!(
-        s,
-        "naive: all {:.1}% / some {:.1}% / none {:.1}%",
-        f1.naive_all * 100.0,
-        f1.naive_some * 100.0,
-        f1.naive_none * 100.0
-    );
-    let _ = writeln!(
-        s,
-        "RR3: succeed {:.1}% / fail {:.1}%",
-        f1.rr3_succeed * 100.0,
-        f1.rr3_fail * 100.0
-    );
-    save(dir, "summary_fig1.txt", &s);
-
-    // Fig. 2.
-    let f2 = timings.time("fig2", || run_fig2(&ctx, 120).expect("fig2"));
-    let mut s = String::new();
-    let _ = writeln!(s, "# Fig. 2 per-sensor accuracy (seed {seed})");
-    for (i, cm) in f2.confusions.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "sensor {i}: {:.2}%",
-            cm.accuracy().unwrap_or(0.0) * 100.0
-        );
-    }
-    let majority_mean = f2.majority.iter().sum::<f64>() / f2.majority.len() as f64;
-    let _ = writeln!(s, "majority: {:.2}%", majority_mean * 100.0);
-    save(dir, "summary_fig2.txt", &s);
-
-    // Fig. 4.
-    let f4 = timings.time("fig4", || run_fig4(&ctx).expect("fig4"));
-    let mut s = String::new();
-    let _ = writeln!(s, "# Fig. 4 overall accuracy (seed {seed})");
-    for (i, &cycle) in f4.cycles.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "RR{cycle}: RR {:.2}% / AAS {:.2}%",
-            f4.rr_overall[i] * 100.0,
-            f4.aas_overall[i] * 100.0
-        );
-    }
-    save(dir, "summary_fig4.txt", &s);
-
-    // Fig. 5 on both datasets.
-    for dataset in [Dataset::Mhealth, Dataset::Pamap2] {
-        let dctx = if dataset == Dataset::Mhealth {
-            ctx.clone()
-        } else {
-            println!("training PAMAP2-like models (seed {seed})...");
-            timings.time("train_pamap2", || {
-                ExperimentContext::new(dataset, seed).expect("training succeeds")
-            })
-        };
-        let f5 = timings.time("fig5", || run_fig5(&dctx).expect("fig5"));
-        let mut s = String::new();
-        let _ = writeln!(s, "# Fig. 5 {} (seed {seed})", f5.dataset);
-        for row in &f5.rows {
-            let _ = writeln!(s, "{:<14} {:.2}%", row.label, row.overall * 100.0);
-        }
-        save(
-            dir,
-            &format!("summary_fig5_{}.txt", f5.dataset.to_lowercase()),
-            &s,
-        );
-    }
-
-    // Fig. 6.
-    let f6 = timings.time("fig6", || run_fig6(&ctx, 3, 1_000, 10, 20.0).expect("fig6"));
-    let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "# Fig. 6 (seed {seed}); base {:.2}%",
-        f6.base_accuracy * 100.0
-    );
-    for user in &f6.users {
-        let _ = writeln!(
-            s,
-            "{}: early {:.1}% -> late {:.1}%",
-            user.user,
-            user.mean_accuracy(0, 10) * 100.0,
-            user.mean_accuracy(900, 1_000) * 100.0
-        );
-    }
-    save(dir, "summary_fig6.txt", &s);
-
-    // Table I.
-    let t1 = timings.time("table1", || run_table1(&ctx).expect("table1"));
-    let mut s = String::new();
-    let _ = writeln!(s, "# Table I (seed {seed})");
-    for row in &t1.rows {
-        let _ = writeln!(
-            s,
-            "{:<10} origin {:.2}% bl2 {:.2}% bl1 {:.2}% (vs bl2 {:+.2})",
-            row.activity.label(),
-            row.origin * 100.0,
-            row.bl2 * 100.0,
-            row.bl1 * 100.0,
-            row.vs_bl2()
-        );
-    }
-    let (o, b2, b1) = t1.overall;
-    let _ = writeln!(
-        s,
-        "overall: origin {:.2}% bl2 {:.2}% bl1 {:.2}%",
-        o * 100.0,
-        b2 * 100.0,
-        b1 * 100.0
-    );
-    save(dir, "summary_table1.txt", &s);
-
-    // Extensions.
-    let ab = timings.time("ablation", || run_ablation(&ctx, 12).expect("ablation"));
-    let mut s = String::new();
-    let _ = writeln!(s, "# Ablations at RR12 (seed {seed})");
-    let _ = writeln!(
-        s,
-        "AAS {:.2}% -> AASR {:.2}% -> Origin {:.2}%",
-        ab.aas_accuracy * 100.0,
-        ab.aasr_accuracy * 100.0,
-        ab.origin_accuracy * 100.0
-    );
-    let _ = writeln!(
-        s,
-        "naive completion: NVP {:.2}% vs volatile {:.2}%",
-        ab.naive_nvp_completion * 100.0,
-        ab.naive_volatile_completion * 100.0
-    );
-    let _ = writeln!(
-        s,
-        "oracle anticipation: {:.2}%",
-        ab.origin_oracle_accuracy * 100.0
-    );
-    save(dir, "summary_ablation.txt", &s);
-
-    let depth = timings.time("depth", || {
-        run_depth_sweep(&ctx, &[3, 6, 9, 12, 18, 24, 36]).expect("depth")
+    // Fan the independent stages out over the worker pool; collect in
+    // stage order after the join, so files, manifest entries and stdout
+    // are identical regardless of --threads.
+    let outputs = parallel_map(args.threads(), &Stage::ALL, |_, &stage| {
+        run_stage(stage, &ctx, seed)
     });
-    let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "# Depth sweep (seed {seed}); best RR{}",
-        depth.best_cycle()
-    );
-    for p in &depth.points {
-        let _ = writeln!(
-            s,
-            "RR{:<3} {:.2}% (completion {:.1}%)",
-            p.cycle,
-            p.accuracy * 100.0,
-            p.completion * 100.0
-        );
-    }
-    save(dir, "summary_depth.txt", &s);
 
-    let power = timings.time("power", || run_power_study(&ctx).expect("power"));
-    let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "# Power study (seed {seed}); incident {}",
-        power.incident_power
-    );
-    for row in &power.rows {
-        let _ = writeln!(
-            s,
-            "{:<12} consumed {} accuracy {:.2}%",
-            row.label,
-            row.mean_consumed_per_node,
-            row.accuracy * 100.0
-        );
-    }
-    save(dir, "summary_power.txt", &s);
-
-    let cohort = timings.time("cohort", || run_cohort(&ctx, 6).expect("cohort"));
-    let (om, os) = cohort.origin_stats();
-    let (bm, bs) = cohort.bl2_stats();
-    let mut s = String::new();
-    let _ = writeln!(s, "# Cohort (seed {seed}, n = {})", cohort.points.len());
-    let _ = writeln!(
-        s,
-        "Origin {:.2}% +/- {:.2}; BL-2 {:.2}% +/- {:.2}; win rate {:.0}%",
-        om * 100.0,
-        os * 100.0,
-        bm * 100.0,
-        bs * 100.0,
-        cohort.origin_win_rate() * 100.0
-    );
-    save(dir, "summary_cohort.txt", &s);
-
-    // Instrumented trace runs: a short window of each headline policy
-    // with the full observer stack, so the repo ships real event data.
-    let sim = ctx.simulator();
     let mut manifest = RunManifest::new(
         "reproduce_all",
         seed,
@@ -258,18 +330,18 @@ fn main() {
     )
     .with_config("dataset", ctx.dataset.label())
     .with_config("out_dir", dir.display().to_string())
-    .with_config("trace_horizon_secs", TRACE_HORIZON_SECS)
-    .with_result("fig1_naive_none", JsonValue::from(f1.naive_none))
-    .with_result("table1_origin_overall", JsonValue::from(o))
-    .with_result("table1_bl2_overall", JsonValue::from(b2))
-    .with_result(
-        "ablation_origin_accuracy",
-        JsonValue::from(ab.origin_accuracy),
-    )
-    .with_result(
-        "depth_best_cycle",
-        JsonValue::from(u64::from(depth.best_cycle())),
-    );
+    .with_config("trace_horizon_secs", TRACE_HORIZON_SECS);
+    for output in outputs {
+        save(dir, &output.file, &output.text);
+        timings.record(output.stage.name(), output.elapsed);
+        for (key, value) in output.results {
+            manifest = manifest.with_result(&key, value);
+        }
+    }
+
+    // Instrumented trace runs: a short window of each headline policy
+    // with the full observer stack, so the repo ships real event data.
+    let sim = ctx.simulator();
     for policy in [PolicyKind::NaiveAllOn, PolicyKind::Origin { cycle: 12 }] {
         let config = SimConfig::new(policy)
             .with_horizon(SimDuration::from_secs(TRACE_HORIZON_SECS))

@@ -1,0 +1,116 @@
+//! The sweep engine on the command line: evaluate a (seed × policy ×
+//! user) grid in parallel and print per-policy aggregates.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p origin-bench --bin sweep --release -- \
+//!     --seeds 5 --policies origin12,aasr12,bl2 --users 4 \
+//!     --threads 4 --json results/sweep.json
+//! ```
+//!
+//! Flags (all optional): `--seed BASE` (77), `--seeds N` (3),
+//! `--policies LIST` (`origin12,bl2`), `--users N` (1; > 1 samples a
+//! cohort), `--horizon SECS` (3600), `--threads N` (0 = auto),
+//! `--instrument 1` (per-cell JSONL traces + metrics in the manifest),
+//! `--json PATH` (write the merged run manifest).
+//!
+//! The report — and the `--json` manifest — is bitwise identical for any
+//! `--threads` value; only wall-clock changes.
+
+use origin_bench::sweep::{
+    available_threads, run_sweep, SweepGrid, SweepOptions, SweepPolicy, SweepReport,
+};
+use origin_bench::BenchArgs;
+use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_types::SimDuration;
+
+fn print_report(report: &SweepReport, seeds: u32, users: usize) {
+    println!(
+        "{:<14} {:>6} {:>18} {:>8} {:>12}",
+        "policy", "n", "accuracy", "std", "completion"
+    );
+    for (i, policy) in report.grid.policies.iter().enumerate() {
+        let acc = report.accuracy_aggregate(i);
+        let com = report.completion_aggregate(i);
+        println!(
+            "{:<14} {:>6} {:>18} {:>7.2}% {:>11.2}%",
+            policy.label(),
+            acc.n,
+            acc.fmt_pct(),
+            acc.std * 100.0,
+            com.mean * 100.0
+        );
+    }
+    for (i, policy) in report.grid.policies.iter().enumerate() {
+        if policy.is_baseline() {
+            continue;
+        }
+        for (j, baseline) in report.grid.policies.iter().enumerate() {
+            if !baseline.is_baseline() {
+                continue;
+            }
+            println!(
+                "win rate {} vs {}: {:.0}% of {} paired runs",
+                policy.label(),
+                baseline.label(),
+                report.win_rate(i, j) * 100.0,
+                seeds as usize * users
+            );
+        }
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let base_seed = args.u64_flag("seed", 77);
+    let seeds = u32::try_from(args.u64_flag("seeds", 3)).unwrap_or(3);
+    let users = u32::try_from(args.u64_flag("users", 1)).unwrap_or(1);
+    let horizon = args.u64_flag("horizon", ExperimentContext::DEFAULT_HORIZON_SECS);
+    let threads = args.threads();
+    let instrument = args.u64_flag("instrument", 0) != 0;
+    let policies = SweepPolicy::parse_list(args.flag("policies").unwrap_or("origin12,bl2"))
+        .unwrap_or_else(|e| panic!("{e}"));
+
+    // Progress (and anything host-dependent, like the resolved thread
+    // count) goes to stderr; stdout carries only the deterministic
+    // report, so redirected output regenerates bit-identically.
+    eprintln!("training MHEALTH-like models (seed {base_seed})...");
+    let ctx = ExperimentContext::new(Dataset::Mhealth, base_seed)
+        .expect("training succeeds")
+        .with_horizon(SimDuration::from_secs(horizon));
+
+    let mut grid = SweepGrid::new(base_seed, policies).with_seeds(seeds);
+    if users > 1 {
+        grid = grid.with_sampled_users(users);
+    }
+    let resolved = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    };
+    eprintln!(
+        "running {} cells on {resolved} worker thread(s)...",
+        grid.len()
+    );
+    println!(
+        "# Sweep: {} cells ({} seeds x {} policies x {} users, base seed {base_seed})\n",
+        grid.len(),
+        seeds,
+        grid.policies.len(),
+        grid.users.len()
+    );
+
+    let report = run_sweep(
+        &ctx,
+        &grid,
+        &SweepOptions {
+            threads,
+            instrument,
+        },
+    )
+    .expect("simulation succeeds");
+
+    print_report(&report, seeds, grid.users.len());
+    args.write_manifest(&report.to_manifest("sweep"));
+}

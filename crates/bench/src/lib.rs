@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use origin_core::{CoreError, ModelBank, SimConfig, SimReport, Simulator};
 use origin_sensors::DatasetSpec;
 use origin_telemetry::{
@@ -30,12 +32,15 @@ pub fn bench_models(seed: u64) -> ModelBank {
 }
 
 /// Command-line arguments shared by the experiment binaries: positional
-/// values plus the common `--json <path>` / `--json=<path>` flag that
-/// requests a machine-readable [`RunManifest`].
+/// values, the common `--json <path>` / `--json=<path>` flag that
+/// requests a machine-readable [`RunManifest`], and arbitrary
+/// `--key value` / `--key=value` flags (`--threads`, `--seeds`,
+/// `--policies`, …) read back through [`BenchArgs::flag`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BenchArgs {
     positional: Vec<String>,
     json: Option<PathBuf>,
+    flags: Vec<(String, String)>,
 }
 
 impl BenchArgs {
@@ -54,10 +59,11 @@ impl BenchArgs {
     ///
     /// # Panics
     ///
-    /// Panics when `--json` is passed without a path.
+    /// Panics when a `--flag` is passed without a value.
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut positional = Vec::new();
         let mut json = None;
+        let mut flags = Vec::new();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             if arg == "--json" {
@@ -65,11 +71,24 @@ impl BenchArgs {
                 json = Some(PathBuf::from(path));
             } else if let Some(path) = arg.strip_prefix("--json=") {
                 json = Some(PathBuf::from(path));
+            } else if let Some(flag) = arg.strip_prefix("--") {
+                if let Some((key, value)) = flag.split_once('=') {
+                    flags.push((key.to_owned(), value.to_owned()));
+                } else {
+                    let value = iter
+                        .next()
+                        .unwrap_or_else(|| panic!("--{flag} requires a value argument"));
+                    flags.push((flag.to_owned(), value));
+                }
             } else {
                 positional.push(arg);
             }
         }
-        Self { positional, json }
+        Self {
+            positional,
+            json,
+            flags,
+        }
     }
 
     /// The positional arguments in order, flags removed.
@@ -95,6 +114,32 @@ impl BenchArgs {
             .get(index)
             .cloned()
             .unwrap_or_else(|| default.to_owned())
+    }
+
+    /// The value of flag `--name`, when passed (last occurrence wins).
+    #[must_use]
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Flag `--name` parsed as `u64`, or `default` when absent or
+    /// unparseable (matching the binaries' lenient style).
+    #[must_use]
+    pub fn u64_flag(&self, name: &str, default: u64) -> u64 {
+        self.flag(name)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The worker-thread count: `--threads N`, defaulting to 0 ("auto",
+    /// resolved by [`sweep::available_threads`]).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        usize::try_from(self.u64_flag("threads", 0)).unwrap_or(0)
     }
 
     /// The `--json` destination, when requested.
@@ -299,6 +344,33 @@ mod tests {
     #[should_panic(expected = "--json requires a path")]
     fn bench_args_reject_dangling_json_flag() {
         let _ = args(&["--json"]);
+    }
+
+    #[test]
+    fn bench_args_collect_generic_flags() {
+        let a = args(&[
+            "8",
+            "--threads",
+            "4",
+            "--policies=origin12,bl2",
+            "--seeds",
+            "5",
+        ]);
+        assert_eq!(a.positional(), ["8"]);
+        assert_eq!(a.flag("threads"), Some("4"));
+        assert_eq!(a.threads(), 4);
+        assert_eq!(a.flag("policies"), Some("origin12,bl2"));
+        assert_eq!(a.u64_flag("seeds", 1), 5);
+        assert_eq!(a.u64_flag("users", 8), 8);
+        assert_eq!(a.flag("missing"), None);
+        // No --threads means "auto".
+        assert_eq!(args(&[]).threads(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads requires a value")]
+    fn bench_args_reject_dangling_flag() {
+        let _ = args(&["--threads"]);
     }
 
     /// The acceptance check: an instrumented run's manifest and JSONL

@@ -1,0 +1,776 @@
+//! Parallel deterministic sweep engine for (seed × policy × user) grids.
+//!
+//! Every experiment binary used to walk its grid serially; this module
+//! fans the grid out over worker threads while keeping the output
+//! **bitwise deterministic regardless of thread count**:
+//!
+//! * each cell derives its RNG stream from its grid coordinates (seed
+//!   replica × user) through a splitmix64 finalizer — no cell ever reads
+//!   another cell's RNG, and no RNG state is shared across workers;
+//! * the policy axis deliberately does **not** enter the stream, so every
+//!   policy in a cell column sees the same simulated world and
+//!   comparisons (win rates) are paired;
+//! * results land in a pre-sized buffer indexed by cell id — workers
+//!   race only for *which* cell to run next, never for where a result
+//!   goes — and aggregation (mean, std, 95% CI, win rate) happens after
+//!   the join, in cell-id order;
+//! * the trained models and deployment are shared across workers through
+//!   the [`ExperimentContext`]'s `Arc` handles, so training happens once
+//!   per dataset rather than once per cell.
+//!
+//! The engine threads the existing [`SimObserver`](origin_telemetry::SimObserver)
+//! machinery through: with [`SweepOptions::instrument`] each cell records
+//! its own JSONL event trace and metrics, and [`SweepReport::to_manifest`]
+//! merges one child [`RunManifest`] per cell into a single run manifest.
+//!
+//! The `sweep` binary exposes the engine on the command line
+//! (`--seeds N --policies origin12,bl2 --users N --threads N --json …`);
+//! `cohort`, `ablation` and `reproduce_all` run on top of it.
+
+use origin_core::experiments::{cohort_user, ExperimentContext};
+use origin_core::{
+    fully_powered_simulator, BaselineKind, CoreError, PolicyKind, SimConfig, SimReport, Simulator,
+};
+use origin_sensors::UserProfile;
+use origin_telemetry::{JsonValue, MetricsRegistry, RunManifest};
+use origin_types::UserId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The worker count used when the caller passes `threads = 0`: what the
+/// OS reports as available parallelism, or 1 when that is unknown.
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item, possibly in parallel, returning results in
+/// item order.
+///
+/// The deterministic primitive under the sweep engine: workers pull item
+/// indices from an atomic counter and write each result into that item's
+/// pre-sized slot, so the output `Vec` is independent of `threads`, work
+/// interleaving, and which worker ran which item. `threads = 0` uses
+/// [`available_threads`]; `threads = 1` (or a single item) runs inline
+/// with no thread machinery at all.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("result slot lock poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock poisoned")
+                .expect("every slot filled after join")
+        })
+        .collect()
+}
+
+/// splitmix64 finalizer: a bijective avalanche mix, the standard way to
+/// turn structured coordinates into decorrelated RNG seeds.
+#[must_use]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG stream of the cell at (`seed_idx`, `user_idx`) under
+/// `base_seed`.
+///
+/// The policy axis is intentionally absent: all policies of one
+/// (seed, user) column share a world, which keeps policy comparisons
+/// paired (the same timeline, link losses and runtime noise).
+///
+/// Streams are truncated to 53 bits so a cell's seed survives the JSON
+/// manifest round-trip exactly (the manifest's number type is an `f64`).
+#[must_use]
+pub fn cell_stream(base_seed: u64, seed_idx: u32, user_idx: u32) -> u64 {
+    mix64(base_seed ^ mix64((u64::from(seed_idx) << 32) | u64::from(user_idx))) & ((1 << 53) - 1)
+}
+
+/// One policy arm of a sweep: either a scheduling policy on harvested
+/// energy or one of the paper's fully-powered baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepPolicy {
+    /// A scheduling policy running on the EH deployment.
+    Policy(PolicyKind),
+    /// A fully-powered baseline (BL-1 / BL-2).
+    Baseline(BaselineKind),
+}
+
+impl SweepPolicy {
+    /// Human-readable label ("RR12 Origin", "BL-2", …).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SweepPolicy::Policy(p) => p.label(),
+            SweepPolicy::Baseline(b) => b.label().to_owned(),
+        }
+    }
+
+    /// Whether this arm is a fully-powered baseline.
+    #[must_use]
+    pub fn is_baseline(&self) -> bool {
+        matches!(self, SweepPolicy::Baseline(_))
+    }
+
+    /// Parses one `--policies` element.
+    ///
+    /// Accepted: `naive`, `bl1`, `bl2`, and `rr`/`aas`/`aasr`/`origin`
+    /// followed by the ER-r cycle (`origin12`, `aasr6`, `rr3`).
+    ///
+    /// # Errors
+    ///
+    /// Describes the accepted grammar when `spec` does not match it.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let lower = spec.trim().to_lowercase();
+        match lower.as_str() {
+            "naive" => return Ok(SweepPolicy::Policy(PolicyKind::NaiveAllOn)),
+            "bl1" => return Ok(SweepPolicy::Baseline(BaselineKind::Baseline1)),
+            "bl2" => return Ok(SweepPolicy::Baseline(BaselineKind::Baseline2)),
+            _ => {}
+        }
+        // Longest prefix first: "aasr" must win over "aas".
+        for (prefix, make) in [
+            ("origin", PolicyKind::Origin { cycle: 0 }),
+            ("aasr", PolicyKind::Aasr { cycle: 0 }),
+            ("aas", PolicyKind::Aas { cycle: 0 }),
+            ("rr", PolicyKind::RoundRobin { cycle: 0 }),
+        ] {
+            if let Some(rest) = lower.strip_prefix(prefix) {
+                let cycle: u8 = rest.parse().map_err(|_| {
+                    format!("policy {spec:?}: expected a cycle after {prefix:?}, e.g. {prefix}12")
+                })?;
+                return Ok(SweepPolicy::Policy(match make {
+                    PolicyKind::Origin { .. } => PolicyKind::Origin { cycle },
+                    PolicyKind::Aasr { .. } => PolicyKind::Aasr { cycle },
+                    PolicyKind::Aas { .. } => PolicyKind::Aas { cycle },
+                    _ => PolicyKind::RoundRobin { cycle },
+                }));
+            }
+        }
+        Err(format!(
+            "unknown policy {spec:?}: expected naive, bl1, bl2, or rr/aas/aasr/origin followed \
+             by a cycle (e.g. origin12)"
+        ))
+    }
+
+    /// Parses a comma-separated `--policies` list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first element that fails [`SweepPolicy::parse`].
+    pub fn parse_list(list: &str) -> Result<Vec<Self>, String> {
+        list.split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(Self::parse)
+            .collect()
+    }
+}
+
+impl core::fmt::Display for SweepPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A full factorial (seed replica × policy × user) grid.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Base seed every cell stream is derived from.
+    pub base_seed: u64,
+    /// Number of seed replicas (the statistical axis).
+    pub seed_count: u32,
+    /// The policy arms.
+    pub policies: Vec<SweepPolicy>,
+    /// The wearers.
+    pub users: Vec<UserProfile>,
+}
+
+/// One cell's grid coordinates plus its derived RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Flat cell id (row-major over seed → policy → user).
+    pub id: usize,
+    /// Seed-replica coordinate.
+    pub seed_idx: u32,
+    /// Policy coordinate (index into [`SweepGrid::policies`]).
+    pub policy_idx: usize,
+    /// User coordinate (index into [`SweepGrid::users`]).
+    pub user_idx: u32,
+    /// The simulation seed derived from the coordinates.
+    pub sim_seed: u64,
+}
+
+impl SweepGrid {
+    /// A grid of `policies` with one seed replica and the nominal wearer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty policy list (a grid with no cells).
+    #[must_use]
+    pub fn new(base_seed: u64, policies: Vec<SweepPolicy>) -> Self {
+        assert!(!policies.is_empty(), "sweep grid needs at least one policy");
+        Self {
+            base_seed,
+            seed_count: 1,
+            policies,
+            users: vec![UserProfile::nominal(UserId::new(0))],
+        }
+    }
+
+    /// Sets the number of seed replicas. Builder-style.
+    #[must_use]
+    pub fn with_seeds(mut self, seed_count: u32) -> Self {
+        self.seed_count = seed_count.max(1);
+        self
+    }
+
+    /// Replaces the wearers. Builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty user list.
+    #[must_use]
+    pub fn with_users(mut self, users: Vec<UserProfile>) -> Self {
+        assert!(!users.is_empty(), "sweep grid needs at least one user");
+        self.users = users;
+        self
+    }
+
+    /// Replaces the wearers with `n` cohort-sampled profiles (the same
+    /// population [`run_cohort`](origin_core::experiments::run_cohort)
+    /// draws from). Builder-style.
+    #[must_use]
+    pub fn with_sampled_users(self, n: u32) -> Self {
+        let base = self.base_seed;
+        self.with_users((0..n.max(1)).map(|u| cohort_user(base, u)).collect())
+    }
+
+    /// Total cell count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seed_count as usize * self.policies.len() * self.users.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed grid).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every cell in id order (row-major over seed → policy → user).
+    #[must_use]
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for seed_idx in 0..self.seed_count {
+            for policy_idx in 0..self.policies.len() {
+                for user_idx in 0..self.users.len() as u32 {
+                    cells.push(SweepCell {
+                        id: cells.len(),
+                        seed_idx,
+                        policy_idx,
+                        user_idx,
+                        sim_seed: cell_stream(self.base_seed, seed_idx, user_idx),
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Execution knobs for [`run_sweep`] (none of these may influence the
+/// results — that is the engine's determinism contract).
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means [`available_threads`].
+    pub threads: usize,
+    /// Record a per-cell JSONL event trace and metrics snapshot through
+    /// the `SimObserver` stack (slower, more memory; results unchanged).
+    pub instrument: bool,
+}
+
+/// A cell's captured telemetry (present when
+/// [`SweepOptions::instrument`] was set).
+#[derive(Debug, Clone)]
+pub struct CellTrace {
+    /// The JSONL event trace, one event per line.
+    pub jsonl: String,
+    /// Total events emitted.
+    pub events: u64,
+    /// Aggregated metrics from the event stream.
+    pub metrics: MetricsRegistry,
+}
+
+/// One evaluated cell.
+#[derive(Debug, Clone)]
+pub struct SweepCellResult {
+    /// The cell's coordinates.
+    pub cell: SweepCell,
+    /// The simulation outcome.
+    pub report: SimReport,
+    /// Telemetry, when instrumented.
+    pub trace: Option<CellTrace>,
+}
+
+/// The joined sweep: every cell in id order plus the grid it came from.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The grid that was evaluated.
+    pub grid: SweepGrid,
+    /// Per-cell results, indexed by cell id.
+    pub cells: Vec<SweepCellResult>,
+}
+
+/// Sample statistics over one metric of one policy arm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Sample count.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// (`1.96·std/√n`; 0 for n < 2).
+    pub ci95: f64,
+}
+
+impl Aggregate {
+    /// Statistics of `values` (mean / sample std / 95% CI half-width).
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Self {
+                n,
+                mean: 0.0,
+                std: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Self {
+                n,
+                mean,
+                std: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let std = var.sqrt();
+        Self {
+            n,
+            mean,
+            std,
+            ci95: 1.96 * std / (n as f64).sqrt(),
+        }
+    }
+
+    /// `"91.52% ± 0.34"` — the mean and CI half-width as percentages.
+    #[must_use]
+    pub fn fmt_pct(&self) -> String {
+        format!("{:.2}% ± {:.2}", self.mean * 100.0, self.ci95 * 100.0)
+    }
+}
+
+impl SweepReport {
+    /// Accuracies of policy arm `policy_idx`, ordered by (seed, user).
+    #[must_use]
+    pub fn accuracies(&self, policy_idx: usize) -> Vec<f64> {
+        self.metric(policy_idx, SimReport::accuracy)
+    }
+
+    /// Completion rates of policy arm `policy_idx`, ordered by
+    /// (seed, user).
+    #[must_use]
+    pub fn completion_rates(&self, policy_idx: usize) -> Vec<f64> {
+        self.metric(policy_idx, SimReport::completion_rate)
+    }
+
+    fn metric(&self, policy_idx: usize, f: impl Fn(&SimReport) -> f64) -> Vec<f64> {
+        self.cells
+            .iter()
+            .filter(|c| c.cell.policy_idx == policy_idx)
+            .map(|c| f(&c.report))
+            .collect()
+    }
+
+    /// Accuracy statistics of policy arm `policy_idx`.
+    #[must_use]
+    pub fn accuracy_aggregate(&self, policy_idx: usize) -> Aggregate {
+        Aggregate::from_values(&self.accuracies(policy_idx))
+    }
+
+    /// Completion-rate statistics of policy arm `policy_idx`.
+    #[must_use]
+    pub fn completion_aggregate(&self, policy_idx: usize) -> Aggregate {
+        Aggregate::from_values(&self.completion_rates(policy_idx))
+    }
+
+    /// Fraction of paired (seed, user) cells where arm `a` is strictly
+    /// more accurate than arm `b`. Pairing is exact: both arms of a pair
+    /// simulated the same world (see [`cell_stream`]).
+    #[must_use]
+    pub fn win_rate(&self, a: usize, b: usize) -> f64 {
+        let av = self.accuracies(a);
+        let bv = self.accuracies(b);
+        if av.is_empty() || av.len() != bv.len() {
+            return 0.0;
+        }
+        av.iter().zip(&bv).filter(|(x, y)| x > y).count() as f64 / av.len() as f64
+    }
+
+    /// The merged run manifest: grid configuration, per-arm aggregates,
+    /// pairwise win rates against every baseline arm, and one child
+    /// manifest per cell (with its metrics snapshot when instrumented).
+    ///
+    /// Byte-identical across thread counts: nothing here depends on
+    /// wall-clock or scheduling (the determinism test pins this).
+    #[must_use]
+    pub fn to_manifest(&self, name: &str) -> RunManifest {
+        let grid = &self.grid;
+        let policy_list = grid
+            .policies
+            .iter()
+            .map(SweepPolicy::label)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut manifest = RunManifest::new(name, grid.base_seed, &policy_list)
+            .with_config("seeds", grid.seed_count)
+            .with_config("users", grid.users.len())
+            .with_config("policies", &policy_list)
+            .with_config("cells", self.cells.len());
+        for (i, policy) in grid.policies.iter().enumerate() {
+            let key = key_label(&policy.label());
+            let acc = self.accuracy_aggregate(i);
+            let com = self.completion_aggregate(i);
+            manifest = manifest
+                .with_result(&format!("{key}_accuracy_mean"), acc.mean.into())
+                .with_result(&format!("{key}_accuracy_std"), acc.std.into())
+                .with_result(&format!("{key}_accuracy_ci95"), acc.ci95.into())
+                .with_result(&format!("{key}_completion_mean"), com.mean.into());
+        }
+        for (i, policy) in grid.policies.iter().enumerate() {
+            if policy.is_baseline() {
+                continue;
+            }
+            for (j, baseline) in grid.policies.iter().enumerate() {
+                if !baseline.is_baseline() {
+                    continue;
+                }
+                let key = format!(
+                    "{}_win_rate_vs_{}",
+                    key_label(&policy.label()),
+                    key_label(&baseline.label())
+                );
+                manifest = manifest.with_result(&key, self.win_rate(i, j).into());
+            }
+        }
+        for cell in &self.cells {
+            manifest = manifest.with_child(self.cell_manifest(cell));
+        }
+        manifest
+    }
+
+    fn cell_manifest(&self, result: &SweepCellResult) -> RunManifest {
+        let cell = result.cell;
+        let policy = &self.grid.policies[cell.policy_idx];
+        let mut child = RunManifest::new(
+            &format!("cell_{:04}", cell.id),
+            cell.sim_seed,
+            &policy.label(),
+        )
+        .with_config("seed_idx", cell.seed_idx)
+        .with_config("user_idx", cell.user_idx)
+        .with_config("user", self.grid.users[cell.user_idx as usize].user)
+        .with_result("accuracy", result.report.accuracy().into())
+        .with_result("completion_rate", result.report.completion_rate().into())
+        .with_result("windows", JsonValue::from(result.report.windows))
+        .with_result("attempts", JsonValue::from(result.report.attempts))
+        .with_result("completions", JsonValue::from(result.report.completions));
+        if let Some(trace) = &result.trace {
+            child = child
+                .with_metrics(&trace.metrics)
+                .with_result("events", JsonValue::from(trace.events));
+        }
+        child
+    }
+}
+
+/// Sanitizes a policy label into a manifest/metric key fragment.
+#[must_use]
+fn key_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Evaluates `grid` over `ctx` in parallel.
+///
+/// The context's trained models and deployment are shared (not cloned)
+/// across all workers; fully-powered baseline arms additionally share one
+/// steady-supply simulator. Cells run at the context's horizon.
+///
+/// # Errors
+///
+/// Returns the failing cell with the lowest id (deterministic even
+/// though later cells may have failed too).
+pub fn run_sweep(
+    ctx: &ExperimentContext,
+    grid: &SweepGrid,
+    opts: &SweepOptions,
+) -> Result<SweepReport, CoreError> {
+    let harvest_sim = ctx.simulator();
+    let baseline_sim = fully_powered_simulator(Arc::clone(&ctx.models));
+    let cells = grid.cells();
+    let outcomes = parallel_map(opts.threads, &cells, |_, cell| {
+        run_cell(
+            ctx,
+            grid,
+            &harvest_sim,
+            &baseline_sim,
+            *cell,
+            opts.instrument,
+        )
+    });
+    let mut results = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        results.push(outcome?);
+    }
+    Ok(SweepReport {
+        grid: grid.clone(),
+        cells: results,
+    })
+}
+
+fn run_cell(
+    ctx: &ExperimentContext,
+    grid: &SweepGrid,
+    harvest_sim: &Simulator,
+    baseline_sim: &Simulator,
+    cell: SweepCell,
+    instrument: bool,
+) -> Result<SweepCellResult, CoreError> {
+    let policy = grid.policies[cell.policy_idx];
+    let user = grid.users[cell.user_idx as usize];
+    let mut config = SimConfig::new(PolicyKind::NaiveAllOn)
+        .with_horizon(ctx.horizon)
+        .with_seed(cell.sim_seed)
+        .with_user(user);
+    let sim = match policy {
+        SweepPolicy::Policy(kind) => {
+            config.policy = kind;
+            harvest_sim
+        }
+        SweepPolicy::Baseline(kind) => {
+            config.variant = kind.variant();
+            baseline_sim
+        }
+    };
+    if instrument {
+        let run = crate::run_instrumented(sim, &config)?;
+        Ok(SweepCellResult {
+            cell,
+            report: run.report,
+            trace: Some(CellTrace {
+                jsonl: run.jsonl,
+                events: run.events,
+                metrics: run.metrics,
+            }),
+        })
+    } else {
+        Ok(SweepCellResult {
+            cell,
+            report: sim.run(&config)?,
+            trace: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_models;
+    use origin_core::experiments::Dataset;
+    use origin_core::Deployment;
+    use origin_types::SimDuration;
+
+    #[test]
+    fn parallel_map_is_order_preserving_and_thread_invariant() {
+        let items: Vec<u64> = (0..23).collect();
+        let square = |_: usize, x: &u64| x * x;
+        let serial = parallel_map(1, &items, square);
+        let wide = parallel_map(8, &items, square);
+        assert_eq!(serial, wide);
+        assert_eq!(serial[5], 25);
+        assert_eq!(serial.len(), items.len());
+        // Zero threads resolves to the detected parallelism.
+        assert_eq!(parallel_map(0, &items, square), serial);
+    }
+
+    #[test]
+    fn policy_specs_parse() {
+        assert_eq!(
+            SweepPolicy::parse("origin12").unwrap(),
+            SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 })
+        );
+        assert_eq!(
+            SweepPolicy::parse("AASR6").unwrap(),
+            SweepPolicy::Policy(PolicyKind::Aasr { cycle: 6 })
+        );
+        assert_eq!(
+            SweepPolicy::parse("aas3").unwrap(),
+            SweepPolicy::Policy(PolicyKind::Aas { cycle: 3 })
+        );
+        assert_eq!(
+            SweepPolicy::parse("rr9").unwrap(),
+            SweepPolicy::Policy(PolicyKind::RoundRobin { cycle: 9 })
+        );
+        assert_eq!(
+            SweepPolicy::parse("bl2").unwrap(),
+            SweepPolicy::Baseline(BaselineKind::Baseline2)
+        );
+        assert_eq!(
+            SweepPolicy::parse("naive").unwrap(),
+            SweepPolicy::Policy(PolicyKind::NaiveAllOn)
+        );
+        assert!(SweepPolicy::parse("origin").is_err());
+        assert!(SweepPolicy::parse("warp9").is_err());
+        let list = SweepPolicy::parse_list("origin12, bl2").unwrap();
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn cell_streams_are_decorrelated() {
+        let a = cell_stream(77, 0, 0);
+        let b = cell_stream(77, 1, 0);
+        let c = cell_stream(77, 0, 1);
+        let d = cell_stream(78, 0, 0);
+        assert!(a != b && a != c && a != d && b != c);
+        assert_eq!(a, cell_stream(77, 0, 0));
+    }
+
+    #[test]
+    fn aggregate_statistics_are_textbook() {
+        let agg = Aggregate::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(agg.n, 8);
+        assert!((agg.mean - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is sqrt(32/7).
+        assert!((agg.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((agg.ci95 - 1.96 * agg.std / 8.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(Aggregate::from_values(&[0.5]).ci95, 0.0);
+        assert_eq!(Aggregate::from_values(&[]).n, 0);
+    }
+
+    #[test]
+    fn grid_enumerates_row_major() {
+        let grid = SweepGrid::new(
+            7,
+            vec![
+                SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+                SweepPolicy::Baseline(BaselineKind::Baseline2),
+            ],
+        )
+        .with_seeds(3)
+        .with_sampled_users(2);
+        assert_eq!(grid.len(), 12);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 12);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.id, i);
+        }
+        // Policy does not enter the stream: paired arms share a world.
+        assert_eq!(cells[0].sim_seed, cells[2].sim_seed);
+        assert_ne!(cells[0].sim_seed, cells[1].sim_seed);
+    }
+
+    /// A small end-to-end sweep: aggregates, pairing and instrumentation.
+    #[test]
+    fn small_sweep_aggregates_and_instruments() {
+        let ctx = ExperimentContext::from_parts(
+            Dataset::Mhealth,
+            bench_models(5),
+            Deployment::builder().seed(5).build(),
+            5,
+        )
+        .with_horizon(SimDuration::from_secs(120));
+        let grid = SweepGrid::new(
+            5,
+            vec![
+                SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+                SweepPolicy::Baseline(BaselineKind::Baseline2),
+            ],
+        )
+        .with_seeds(2);
+        let report = run_sweep(
+            &ctx,
+            &grid,
+            &SweepOptions {
+                threads: 2,
+                instrument: true,
+            },
+        )
+        .expect("sweep succeeds");
+        assert_eq!(report.cells.len(), 4);
+        let acc = report.accuracy_aggregate(0);
+        assert_eq!(acc.n, 2);
+        assert!(acc.mean > 0.0 && acc.mean <= 1.0);
+        let win = report.win_rate(0, 1);
+        assert!((0.0..=1.0).contains(&win));
+        for cell in &report.cells {
+            let trace = cell.trace.as_ref().expect("instrumented");
+            assert_eq!(trace.jsonl.lines().count() as u64, trace.events);
+        }
+        let manifest = report.to_manifest("sweep_test");
+        assert_eq!(manifest.children.len(), 4);
+        let parsed = RunManifest::parse(&manifest.render_pretty()).expect("manifest parses");
+        assert_eq!(parsed, manifest);
+        assert!(parsed
+            .results
+            .iter()
+            .any(|(k, _)| k == "rr12_origin_win_rate_vs_bl_2"));
+    }
+}

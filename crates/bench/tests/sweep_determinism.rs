@@ -1,0 +1,100 @@
+//! The sweep engine's determinism contract: the aggregated report and
+//! the merged run manifest are **byte-identical** at `--threads 1` and
+//! `--threads 8` (the acceptance criterion for the parallel engine).
+
+use origin_bench::bench_models;
+use origin_bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy, SweepReport};
+use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_core::{BaselineKind, Deployment, PolicyKind};
+use origin_types::SimDuration;
+
+fn small_ctx(seed: u64) -> ExperimentContext {
+    ExperimentContext::from_parts(
+        Dataset::Mhealth,
+        bench_models(seed),
+        Deployment::builder().seed(seed).build(),
+        seed,
+    )
+    .with_horizon(SimDuration::from_secs(180))
+}
+
+fn grid(seed: u64) -> SweepGrid {
+    SweepGrid::new(
+        seed,
+        vec![
+            SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+            SweepPolicy::Policy(PolicyKind::Aasr { cycle: 12 }),
+            SweepPolicy::Baseline(BaselineKind::Baseline2),
+        ],
+    )
+    .with_seeds(2)
+    .with_sampled_users(2)
+}
+
+fn run(ctx: &ExperimentContext, threads: usize) -> SweepReport {
+    run_sweep(
+        ctx,
+        &grid(ctx.seed),
+        &SweepOptions {
+            threads,
+            instrument: true,
+        },
+    )
+    .expect("sweep succeeds")
+}
+
+#[test]
+fn one_thread_and_eight_threads_agree_bitwise() {
+    let ctx = small_ctx(77);
+    let serial = run(&ctx, 1);
+    let wide = run(&ctx, 8);
+
+    // The merged manifests — aggregates, win rates and all per-cell
+    // children (including each cell's metrics snapshot) — render to the
+    // same bytes.
+    let serial_manifest = serial.to_manifest("determinism").render_pretty();
+    let wide_manifest = wide.to_manifest("determinism").render_pretty();
+    assert_eq!(serial_manifest, wide_manifest);
+
+    // Cell-level equality, down to the JSONL event traces.
+    assert_eq!(serial.cells.len(), wide.cells.len());
+    for (a, b) in serial.cells.iter().zip(&wide.cells) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.report, b.report);
+        let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+        assert_eq!(ta.jsonl, tb.jsonl, "trace diverged in cell {}", a.cell.id);
+        assert_eq!(ta.events, tb.events);
+    }
+
+    // And the aggregates the binaries print.
+    for i in 0..3 {
+        assert_eq!(serial.accuracy_aggregate(i), wide.accuracy_aggregate(i));
+        assert_eq!(serial.completion_aggregate(i), wide.completion_aggregate(i));
+    }
+    assert_eq!(serial.win_rate(0, 2), wide.win_rate(0, 2));
+}
+
+#[test]
+fn policy_arms_are_paired_within_a_column() {
+    let ctx = small_ctx(9);
+    let report = run(&ctx, 4);
+    // Every (seed, user) column shares one world seed across policies,
+    // and distinct columns get distinct worlds.
+    let mut columns: Vec<((u32, u32), Vec<u64>)> = Vec::new();
+    for cell in report.cells.iter().map(|c| c.cell) {
+        let key = (cell.seed_idx, cell.user_idx);
+        match columns.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, seeds)) => seeds.push(cell.sim_seed),
+            None => columns.push((key, vec![cell.sim_seed])),
+        }
+    }
+    assert_eq!(columns.len(), 4, "2 seeds x 2 users");
+    for (key, seeds) in &columns {
+        assert_eq!(seeds.len(), 3, "one cell per policy in column {key:?}");
+        assert!(seeds.iter().all(|s| s == &seeds[0]));
+    }
+    let worlds: Vec<u64> = columns.iter().map(|(_, s)| s[0]).collect();
+    for (i, w) in worlds.iter().enumerate() {
+        assert!(!worlds[i + 1..].contains(w), "columns share a world");
+    }
+}

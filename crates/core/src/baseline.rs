@@ -5,6 +5,7 @@ use crate::error::CoreError;
 use crate::models::{ModelBank, ModelVariant};
 use crate::policy::PolicyKind;
 use crate::sim::{SimConfig, SimReport, Simulator};
+use std::sync::Arc;
 
 /// Which baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +46,41 @@ pub struct BaselineReport {
     pub report: SimReport,
 }
 
+/// A simulator over the baselines' fully-powered deployment, sharing
+/// `models` instead of cloning them.
+///
+/// Sweeps that evaluate a baseline in many cells build this once and call
+/// [`run_baseline_on`] per cell; [`run_baseline`] is the one-shot
+/// convenience wrapper.
+#[must_use]
+pub fn fully_powered_simulator(models: Arc<ModelBank>) -> Simulator {
+    let deployment = Deployment::builder().fully_powered().build();
+    Simulator::from_shared(Arc::new(deployment), models)
+}
+
+/// Runs baseline `kind` on a prebuilt fully-powered simulator (see
+/// [`fully_powered_simulator`]).
+///
+/// `template` supplies the horizon, seed, user, noise and dwell scale;
+/// the policy and variant are overridden to the baseline's definition.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_baseline_on(
+    sim: &Simulator,
+    kind: BaselineKind,
+    template: &SimConfig,
+) -> Result<BaselineReport, CoreError> {
+    let config = SimConfig {
+        policy: PolicyKind::NaiveAllOn,
+        variant: kind.variant(),
+        ..template.clone()
+    };
+    let report = sim.run(&config)?;
+    Ok(BaselineReport { kind, report })
+}
+
 /// Runs a baseline: every sensor classifies every window on steady power
 /// and the host majority-votes.
 ///
@@ -60,15 +96,8 @@ pub fn run_baseline(
     models: &ModelBank,
     template: &SimConfig,
 ) -> Result<BaselineReport, CoreError> {
-    let deployment = Deployment::builder().fully_powered().build();
-    let sim = Simulator::new(deployment, models.clone());
-    let config = SimConfig {
-        policy: PolicyKind::NaiveAllOn,
-        variant: kind.variant(),
-        ..template.clone()
-    };
-    let report = sim.run(&config)?;
-    Ok(BaselineReport { kind, report })
+    let sim = fully_powered_simulator(Arc::new(models.clone()));
+    run_baseline_on(&sim, kind, template)
 }
 
 #[cfg(test)]

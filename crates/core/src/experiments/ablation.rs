@@ -5,6 +5,7 @@ use crate::deployment::Deployment;
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::{SimConfig, Simulator};
+use std::sync::Arc;
 
 /// Results of the ablation battery at a fixed RR depth.
 #[derive(Debug, Clone)]
@@ -30,16 +31,31 @@ pub struct AblationReport {
     pub origin_oracle_accuracy: f64,
 }
 
-/// Runs the ablation battery.
+/// Runs the ablation battery at the context's master seed.
 ///
 /// # Errors
 ///
 /// Propagates simulation failures.
 pub fn run_ablation(ctx: &ExperimentContext, cycle: u8) -> Result<AblationReport, CoreError> {
+    run_ablation_seeded(ctx, cycle, ctx.seed)
+}
+
+/// Runs the ablation battery with an explicit simulation seed, reusing
+/// the context's trained models — the multi-seed sweep path (models are
+/// trained once; only the simulated world varies).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_ablation_seeded(
+    ctx: &ExperimentContext,
+    cycle: u8,
+    seed: u64,
+) -> Result<AblationReport, CoreError> {
     let sim = ctx.simulator();
     let base = SimConfig::new(PolicyKind::Aas { cycle })
         .with_horizon(ctx.horizon)
-        .with_seed(ctx.seed);
+        .with_seed(seed);
 
     let aas = sim.run(&base)?;
     let aasr = sim.run(&SimConfig {
@@ -58,7 +74,8 @@ pub fn run_ablation(ctx: &ExperimentContext, cycle: u8) -> Result<AblationReport
     };
     let naive_nvp = sim.run(&naive_cfg)?;
     let volatile_deployment = Deployment::builder().seed(ctx.seed).volatile_cpu().build();
-    let volatile_sim = Simulator::new(volatile_deployment, ctx.models.clone());
+    let volatile_sim =
+        Simulator::from_shared(Arc::new(volatile_deployment), Arc::clone(&ctx.models));
     let naive_volatile = volatile_sim.run(&naive_cfg)?;
 
     // Adaptation-rate sweep.

@@ -6,12 +6,13 @@
 //! across a population, for both Origin and Baseline-2.
 
 use super::ExperimentContext;
-use crate::baseline::{run_baseline, BaselineKind};
+use crate::baseline::{run_baseline_on, BaselineKind};
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::SimConfig;
 use origin_sensors::UserProfile;
 use origin_types::UserId;
+use std::sync::Arc;
 
 /// One user's pair of operating points.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,24 +72,47 @@ fn stats(values: impl Iterator<Item = f64>) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
+/// The wearer evaluated at cohort position `u` for master seed `seed`:
+/// the deterministic identity/profile every cohort driver (serial or
+/// parallel) agrees on.
+#[must_use]
+pub fn cohort_user(seed: u64, u: u32) -> UserProfile {
+    UserProfile::sampled(UserId::new(2_000 + u), 0.08, seed ^ 0xC0_40_87)
+}
+
 /// Runs RR12-Origin and Baseline-2 for `users` distinct wearers sampled
-/// from the training-population spread.
+/// from the training-population spread, at the context's master seed.
 ///
 /// # Errors
 ///
 /// Propagates simulation failures.
 pub fn run_cohort(ctx: &ExperimentContext, users: u32) -> Result<CohortReport, CoreError> {
+    run_cohort_seeded(ctx, users, ctx.seed)
+}
+
+/// [`run_cohort`] with an explicit simulation seed, reusing the context's
+/// trained models — the multi-seed sweep path.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_cohort_seeded(
+    ctx: &ExperimentContext,
+    users: u32,
+    seed: u64,
+) -> Result<CohortReport, CoreError> {
     let sim = ctx.simulator();
+    let bl2_sim = crate::baseline::fully_powered_simulator(Arc::clone(&ctx.models));
     let mut points = Vec::with_capacity(users as usize);
     for u in 0..users {
-        let user_id = UserId::new(2_000 + u);
-        let profile = UserProfile::sampled(user_id, 0.08, ctx.seed ^ 0xC0_40_87);
+        let profile = cohort_user(seed, u);
+        let user_id = profile.user;
         let base = SimConfig::new(PolicyKind::Origin { cycle: 12 })
             .with_horizon(ctx.horizon)
-            .with_seed(ctx.seed.wrapping_add(u64::from(u)))
+            .with_seed(seed.wrapping_add(u64::from(u)))
             .with_user(profile);
         let origin = sim.run(&base)?;
-        let bl2 = run_baseline(BaselineKind::Baseline2, &ctx.models, &base)?;
+        let bl2 = run_baseline_on(&bl2_sim, BaselineKind::Baseline2, &base)?;
         points.push(CohortPoint {
             user: user_id,
             origin: origin.accuracy(),

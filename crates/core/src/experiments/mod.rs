@@ -16,8 +16,8 @@ mod fig6;
 mod power;
 mod table1;
 
-pub use ablation::{run_ablation, AblationReport};
-pub use cohort::{run_cohort, CohortPoint, CohortReport};
+pub use ablation::{run_ablation, run_ablation_seeded, AblationReport};
+pub use cohort::{cohort_user, run_cohort, run_cohort_seeded, CohortPoint, CohortReport};
 pub use depth::{run_depth_sweep, DepthPoint, DepthSweep};
 pub use fig1::{run_fig1, Fig1Result};
 pub use fig2::{run_fig2, Fig2Result};
@@ -33,6 +33,7 @@ use crate::models::ModelBank;
 use crate::sim::Simulator;
 use origin_sensors::DatasetSpec;
 use origin_types::SimDuration;
+use std::sync::Arc;
 
 /// Which dataset analogue an experiment evaluates on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,14 +66,20 @@ impl Dataset {
 
 /// Shared setup for the experiment drivers: a trained model bank plus the
 /// calibrated EH deployment.
+///
+/// The models and deployment live behind [`Arc`], so cloning a context —
+/// or handing one to a pool of sweep workers — shares a single trained
+/// [`ModelBank`] instead of re-training (or deep-copying) per worker.
+/// Training happens exactly once per `(dataset, seed)` in
+/// [`ExperimentContext::new`].
 #[derive(Debug, Clone)]
 pub struct ExperimentContext {
     /// Which dataset analogue is loaded.
     pub dataset: Dataset,
-    /// The trained models.
-    pub models: ModelBank,
-    /// The energy-harvesting deployment.
-    pub deployment: Deployment,
+    /// The trained models (shared; see the type-level docs).
+    pub models: Arc<ModelBank>,
+    /// The energy-harvesting deployment (shared).
+    pub deployment: Arc<Deployment>,
     /// Master seed.
     pub seed: u64,
     /// Per-policy simulated duration.
@@ -91,13 +98,25 @@ impl ExperimentContext {
     pub fn new(dataset: Dataset, seed: u64) -> Result<Self, CoreError> {
         let models = ModelBank::train(&dataset.spec(), seed)?;
         let deployment = Deployment::builder().seed(seed).build();
-        Ok(Self {
+        Ok(Self::from_parts(dataset, models, deployment, seed))
+    }
+
+    /// Wraps an already-trained bank and deployment (tests and benches
+    /// use this to substitute smaller models).
+    #[must_use]
+    pub fn from_parts(
+        dataset: Dataset,
+        models: ModelBank,
+        deployment: Deployment,
+        seed: u64,
+    ) -> Self {
+        Self {
             dataset,
-            models,
-            deployment,
+            models: Arc::new(models),
+            deployment: Arc::new(deployment),
             seed,
             horizon: SimDuration::from_secs(Self::DEFAULT_HORIZON_SECS),
-        })
+        }
     }
 
     /// Overrides the horizon (shorter for tests). Builder-style.
@@ -107,9 +126,10 @@ impl ExperimentContext {
         self
     }
 
-    /// A simulator bound to this context.
+    /// A simulator bound to this context. Cheap: the deployment and
+    /// models are shared with the context, not cloned.
     #[must_use]
     pub fn simulator(&self) -> Simulator {
-        Simulator::new(self.deployment.clone(), self.models.clone())
+        Simulator::from_shared(Arc::clone(&self.deployment), Arc::clone(&self.models))
     }
 }

@@ -56,7 +56,9 @@ mod recall;
 mod schedule;
 mod sim;
 
-pub use baseline::{run_baseline, BaselineKind, BaselineReport};
+pub use baseline::{
+    fully_powered_simulator, run_baseline, run_baseline_on, BaselineKind, BaselineReport,
+};
 pub use confidence::ConfidenceMatrix;
 pub use deployment::{Deployment, DeploymentBuilder};
 pub use ensemble::{majority_vote, weighted_vote, EnsembleKind, Vote};

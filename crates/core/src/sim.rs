@@ -21,6 +21,7 @@ use origin_telemetry::{NoopObserver, SimEvent, SimObserver};
 use origin_types::{ActivitySet, Energy, NodeId, SensorLocation, SimDuration, SimTime, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Everything one simulation run needs beyond the deployment and models.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,7 +136,7 @@ impl SimConfig {
 }
 
 /// Outcome of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Label of the policy that ran ("RR12 Origin").
     pub policy_label: String,
@@ -268,16 +269,30 @@ impl core::fmt::Display for SimReport {
 }
 
 /// Binds a deployment to a trained model bank and runs policies over it.
+///
+/// The deployment and models are held behind [`Arc`], so cloning a
+/// `Simulator` — or sharing one across worker threads (`Simulator` is
+/// `Send + Sync`; [`Simulator::run`] takes `&self`) — never re-trains or
+/// deep-copies them. Parallel sweeps build one simulator per
+/// deployment/model pair and fan cells out over it.
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    deployment: Deployment,
-    models: ModelBank,
+    deployment: Arc<Deployment>,
+    models: Arc<ModelBank>,
 }
 
 impl Simulator {
     /// Creates a simulator for the deployment/model pair.
     #[must_use]
     pub fn new(deployment: Deployment, models: ModelBank) -> Self {
+        Self::from_shared(Arc::new(deployment), Arc::new(models))
+    }
+
+    /// Creates a simulator over already-shared deployment/models handles,
+    /// without cloning either (the fan-out path: one trained
+    /// [`ModelBank`] serves every worker).
+    #[must_use]
+    pub fn from_shared(deployment: Arc<Deployment>, models: Arc<ModelBank>) -> Self {
         Self { deployment, models }
     }
 
@@ -291,6 +306,19 @@ impl Simulator {
     #[must_use]
     pub fn models(&self) -> &ModelBank {
         &self.models
+    }
+
+    /// The shared handle to the model bank (cheap to clone across
+    /// workers).
+    #[must_use]
+    pub fn shared_models(&self) -> Arc<ModelBank> {
+        Arc::clone(&self.models)
+    }
+
+    /// The shared handle to the deployment.
+    #[must_use]
+    pub fn shared_deployment(&self) -> Arc<Deployment> {
+        Arc::clone(&self.deployment)
     }
 
     /// Runs one policy over the configured horizon.

@@ -34,6 +34,9 @@ pub struct RunManifest {
     pub artifacts: Vec<String>,
     /// Headline results (accuracy, drop rates, …), in insertion order.
     pub results: Vec<(String, JsonValue)>,
+    /// Per-cell manifests merged into this one (a sweep engine writes one
+    /// child per grid cell); empty for ordinary single-run manifests.
+    pub children: Vec<RunManifest>,
 }
 
 impl RunManifest {
@@ -49,6 +52,7 @@ impl RunManifest {
             timings: JsonValue::Null,
             artifacts: Vec::new(),
             results: Vec::new(),
+            children: Vec::new(),
         }
     }
 
@@ -87,10 +91,21 @@ impl RunManifest {
         self
     }
 
-    /// Renders the manifest as a JSON object.
+    /// Merges `child` into this manifest — the per-cell record of one
+    /// grid cell inside a sweep. Children render under a `"children"`
+    /// array and round-trip through [`RunManifest::parse`].
+    #[must_use]
+    pub fn with_child(mut self, child: RunManifest) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Renders the manifest as a JSON object. The `"children"` array is
+    /// only present when children were merged in, so single-run manifests
+    /// keep their original shape.
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::Object(vec![
+        let mut fields = vec![
             ("manifest_version".into(), JsonValue::from(MANIFEST_VERSION)),
             ("name".into(), JsonValue::from(self.name.as_str())),
             ("seed".into(), JsonValue::from(self.seed)),
@@ -116,7 +131,14 @@ impl RunManifest {
                 ),
             ),
             ("results".into(), JsonValue::Object(self.results.clone())),
-        ])
+        ];
+        if !self.children.is_empty() {
+            fields.push((
+                "children".into(),
+                JsonValue::Array(self.children.iter().map(RunManifest::to_json).collect()),
+            ));
+        }
+        JsonValue::Object(fields)
     }
 
     /// Renders the manifest as pretty-printed JSON (the on-disk format
@@ -135,6 +157,16 @@ impl RunManifest {
     pub fn parse(text: &str) -> Result<Self, String> {
         let json =
             JsonValue::parse(text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+        Self::from_json(&json)
+    }
+
+    /// Builds a manifest from an already-parsed JSON object (the
+    /// recursive core of [`RunManifest::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(json: &JsonValue) -> Result<Self, String> {
         let str_field = |key: &str| -> Result<String, String> {
             json.get(key)
                 .and_then(JsonValue::as_str)
@@ -176,6 +208,14 @@ impl RunManifest {
             None => Vec::new(),
             Some(_) => return Err("manifest field \"results\" is not an object".into()),
         };
+        let children = match json.get("children") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(Self::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            Some(_) => return Err("manifest field \"children\" is not an array".into()),
+        };
         Ok(Self {
             name,
             seed,
@@ -185,6 +225,7 @@ impl RunManifest {
             timings: json.get("timings").cloned().unwrap_or(JsonValue::Null),
             artifacts,
             results,
+            children,
         })
     }
 }
@@ -232,6 +273,21 @@ mod tests {
                 .and_then(JsonValue::as_f64),
             Some(0.914)
         );
+    }
+
+    #[test]
+    fn children_merge_and_round_trip() {
+        let child =
+            RunManifest::new("sweep_cell_0", 3, "RR12 Origin").with_result("accuracy", 0.9.into());
+        let merged = sample()
+            .with_child(child.clone())
+            .with_child(RunManifest::new("sweep_cell_1", 4, "BL-2"));
+        let parsed = RunManifest::parse(&merged.render_pretty()).unwrap();
+        assert_eq!(parsed, merged);
+        assert_eq!(parsed.children.len(), 2);
+        assert_eq!(parsed.children[0], child);
+        // Single-run manifests keep their original JSON shape.
+        assert!(sample().to_json().get("children").is_none());
     }
 
     #[test]

@@ -3,10 +3,13 @@
 #
 # Usage: scripts/check.sh
 #
-# Runs the three checks CI expects, in fail-fast order (cheapest first):
+# Runs the four checks CI expects, in fail-fast order (cheapest first):
 #   1. cargo fmt --check      — formatting drift
 #   2. cargo clippy -D warnings — lints across the whole workspace
-#   3. cargo test -q          — the full test suite
+#   3. cargo doc -D warnings  — rustdoc builds clean (broken intra-doc
+#      links, missing docs on public items)
+#   4. cargo test -q          — the full test suite, including the sweep
+#      determinism test (1 vs 8 threads, byte-identical manifests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +18,9 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo test -q"
 cargo test -q

@@ -8,13 +8,17 @@
 //! Harvesting Wireless Sensor Networks*.
 //!
 //! Start with [`core::Simulator`] (the system simulator),
-//! [`core::ModelBank`] (the trained per-sensor classifiers) and
+//! [`core::ModelBank`] (the trained per-sensor classifiers),
 //! [`core::experiments`] (drivers for every figure and table in the
-//! paper). The runnable binaries live in the `origin-bench` crate and the
-//! `examples/` directory; see the repository README for the experiment
-//! index.
+//! paper) and [`bench::sweep`] (the parallel deterministic sweep engine
+//! for multi-seed grids). The runnable binaries live in the
+//! `origin-bench` crate and the `examples/` directory; see the
+//! repository README for the experiment index.
 //!
 //! # Examples
+//!
+//! One simulation run (this snippet is kept in sync with the README's
+//! "Library use" section):
 //!
 //! ```no_run
 //! use origin_repro::core::{Deployment, ModelBank, PolicyKind, SimConfig, Simulator};
@@ -28,10 +32,34 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! A multi-seed policy comparison on the sweep engine — trains once,
+//! fans the grid out over worker threads, and yields the same bytes at
+//! any thread count:
+//!
+//! ```no_run
+//! use origin_repro::bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy};
+//! use origin_repro::core::experiments::{Dataset, ExperimentContext};
+//! use origin_repro::core::{BaselineKind, PolicyKind};
+//!
+//! # fn main() -> Result<(), origin_repro::core::CoreError> {
+//! let ctx = ExperimentContext::new(Dataset::Mhealth, 77)?;
+//! let grid = SweepGrid::new(77, vec![
+//!     SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+//!     SweepPolicy::Baseline(BaselineKind::Baseline2),
+//! ])
+//! .with_seeds(5);
+//! let report = run_sweep(&ctx, &grid, &SweepOptions { threads: 0, instrument: false })?;
+//! println!("Origin: {}", report.accuracy_aggregate(0).fmt_pct());
+//! println!("win rate vs BL-2: {:.0}%", report.win_rate(0, 1) * 100.0);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use origin_bench as bench;
 pub use origin_core as core;
 pub use origin_energy as energy;
 pub use origin_net as net;
