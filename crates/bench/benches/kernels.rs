@@ -1,0 +1,162 @@
+//! NN kernel benchmarks: the allocation-free compute core underneath
+//! every classifier call and training epoch.
+//!
+//! Three stories:
+//!
+//! * `matvec` — the raw dense kernel, the unit of the energy model's MAC
+//!   accounting;
+//! * `mlp_inference` — a paper-sized MLP through the workspace path:
+//!   dense, versus the same architecture pruned to ≥70% / ≥90% sparsity
+//!   (the CSR compiled form must win by the sparsity factor, ≥2× at 70%),
+//!   plus the old dense-masked cost for reference;
+//! * `mlp_train_epoch` — one epoch of the zero-allocation trainer loop;
+//! * `batched_inference` — 32 windows through the batched kernel versus
+//!   one-at-a-time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use origin_nn::{Matrix, Mlp, Trainer, Workspace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIMS: &[usize] = &[28, 20, 6];
+
+fn random_vec(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+}
+
+/// The paper-sized MLP with layer 0 pruned to `sparsity` (fraction of
+/// weights masked off), deterministically.
+fn pruned_mlp(sparsity: f64, seed: u64) -> Mlp {
+    let mut model = Mlp::new(DIMS, seed).expect("valid dims");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC5);
+    for layer in model.layers_mut() {
+        let mask: Vec<bool> = (0..layer.total_weights())
+            .map(|_| rng.gen::<f64>() >= sparsity)
+            .collect();
+        layer.set_mask(mask);
+    }
+    model
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("matvec");
+    for (rows, cols) in [(20usize, 28usize), (64, 64)] {
+        let m = Matrix::from_vec(rows, cols, random_vec(rows * cols, &mut rng));
+        let x = random_vec(cols, &mut rng);
+        let mut out = vec![0.0; rows];
+        group.throughput(Throughput::Elements((rows * cols) as u64));
+        group.bench_function(format!("{rows}x{cols}"), |b| {
+            b.iter(|| m.matvec_into(black_box(&x), black_box(&mut out)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mlp_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = random_vec(DIMS[0], &mut rng);
+    let dense = Mlp::new(DIMS, 9).expect("valid dims");
+    let pruned70 = pruned_mlp(0.70, 9);
+    let pruned90 = pruned_mlp(0.90, 9);
+
+    // Logit-path comparison (no softmax: the untrained random weights
+    // here drive `exp` into subnormal territory, whose hardware penalty
+    // would swamp the kernel signal; `benches/inference.rs` covers the
+    // full classify path on trained models).
+    let mut group = c.benchmark_group("mlp_forward");
+    for (label, model) in [
+        ("dense", &dense),
+        ("pruned_70", &pruned70),
+        ("pruned_90", &pruned90),
+    ] {
+        let mut ws = Workspace::new();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                model
+                    .forward_with(&mut ws, black_box(&x))
+                    .expect("width matches")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // The layer kernel head-to-head on identical pruned weights: the CSR
+    // compiled form versus the dense matvec over the mask-zeroed matrix
+    // (what the forward path paid before this optimization).
+    let mut group = c.benchmark_group("pruned_layer_forward");
+    for (sparsity, model) in [("70", &pruned70), ("90", &pruned90)] {
+        let layer0 = &model.layers()[0];
+        let mut out = vec![0.0; layer0.outputs()];
+        let mut out2 = vec![0.0; layer0.outputs()];
+        group.bench_function(format!("csr_{sparsity}"), |b| {
+            b.iter(|| layer0.forward_into(black_box(&x), black_box(&mut out)))
+        });
+        group.bench_function(format!("masked_dense_{sparsity}"), |b| {
+            b.iter(|| {
+                layer0
+                    .weights()
+                    .matvec_into(black_box(&x), black_box(&mut out2));
+                for (o, &bv) in out2.iter_mut().zip(layer0.bias()) {
+                    *o += bv;
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data: Vec<(Vec<f64>, usize)> = (0..64)
+        .map(|i| (random_vec(DIMS[0], &mut rng), i % DIMS[DIMS.len() - 1]))
+        .collect();
+    let trainer = Trainer::new().with_epochs(1).with_seed(7);
+    c.bench_function("mlp_train_epoch_28x20x6_n64", |b| {
+        let mut model = Mlp::new(DIMS, 11).expect("valid dims");
+        b.iter(|| trainer.fit(&mut model, black_box(&data)).expect("fits"))
+    });
+}
+
+fn bench_batched_inference(c: &mut Criterion) {
+    const BATCH: usize = 32;
+    let mut rng = StdRng::seed_from_u64(13);
+    let model = pruned_mlp(0.70, 17);
+    let xs = random_vec(DIMS[0] * BATCH, &mut rng);
+
+    let mut group = c.benchmark_group("batched_inference");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let mut ws = Workspace::new();
+    group.bench_function("batch_32", |b| {
+        b.iter(|| {
+            model
+                .forward_batch_with(&mut ws, black_box(&xs))
+                .expect("width matches")
+                .len()
+        })
+    });
+    let mut ws1 = Workspace::new();
+    group.bench_function("single_x32", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for e in 0..BATCH {
+                acc += model
+                    .forward_with(&mut ws1, black_box(&xs[e * DIMS[0]..(e + 1) * DIMS[0]]))
+                    .expect("width matches")
+                    .len();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matvec,
+    bench_mlp_inference,
+    bench_train_epoch,
+    bench_batched_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Times the NN kernel and sweep hot paths with a self-contained
+//! median-of-samples harness and writes the numbers to `BENCH_sweep.json`.
+//!
+//! Criterion benches (`cargo bench -p origin-bench`) remain the
+//! statistical authority; this binary exists so `scripts/bench.sh` can
+//! pin one machine-readable snapshot (median ns, derived throughput, git
+//! revision) per revision without parsing harness output.
+//!
+//! Usage: `cargo run -p origin-bench --bin bench_report --release
+//! [out.json]`
+
+use origin_bench::bench_models;
+use origin_bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy};
+use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_core::{BaselineKind, Deployment, ModelVariant, PolicyKind};
+use origin_nn::{Mlp, Trainer, Workspace};
+use origin_telemetry::JsonValue;
+use origin_types::{SensorLocation, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DIMS: &[usize] = &[28, 20, 6];
+
+/// Times `inner` calls of `f` per sample, `samples` times; returns the
+/// median per-call nanoseconds.
+fn median_ns(samples: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..inner {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / inner as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    per_iter[per_iter.len() / 2]
+}
+
+fn random_vec(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+}
+
+fn pruned_mlp(sparsity: f64, seed: u64) -> Mlp {
+    let mut model = Mlp::new(DIMS, seed).expect("valid dims");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC5);
+    for layer in model.layers_mut() {
+        let mask: Vec<bool> = (0..layer.total_weights())
+            .map(|_| rng.gen::<f64>() >= sparsity)
+            .collect();
+        layer.set_mask(mask);
+    }
+    model
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+    let mut rows: Vec<(String, JsonValue)> = Vec::new();
+    // (name, median ns/op, ops represented by one call)
+    let push = |rows: &mut Vec<(String, JsonValue)>, name: &str, ns: f64, ops: f64| {
+        println!("{name:<42} {ns:>14.0} ns/op");
+        rows.push((
+            name.to_owned(),
+            JsonValue::Object(vec![
+                ("median_ns".to_owned(), JsonValue::from(ns)),
+                ("ops_per_sec".to_owned(), JsonValue::from(ops * 1.0e9 / ns)),
+            ]),
+        ));
+    };
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = random_vec(DIMS[0], &mut rng);
+
+    // Raw dense kernel.
+    {
+        let dense = Mlp::new(DIMS, 9).expect("valid dims");
+        let layer0 = &dense.layers()[0];
+        let mut out = vec![0.0; layer0.outputs()];
+        let ns = median_ns(15, 20_000, || {
+            layer0
+                .weights()
+                .matvec_into(black_box(&x), black_box(&mut out));
+        });
+        push(&mut rows, "matvec_20x28", ns, 1.0);
+    }
+
+    // Pruned layer: CSR compiled form vs the dense matvec over the same
+    // mask-zeroed weights (the pre-optimization cost).
+    for sparsity in [0.70, 0.90] {
+        let model = pruned_mlp(sparsity, 9);
+        let layer0 = &model.layers()[0];
+        let pct = (sparsity * 100.0) as u32;
+        let mut out = vec![0.0; layer0.outputs()];
+        let ns_csr = median_ns(15, 20_000, || {
+            layer0.forward_into(black_box(&x), black_box(&mut out));
+        });
+        push(&mut rows, &format!("pruned{pct}_layer_csr"), ns_csr, 1.0);
+        let mut out2 = vec![0.0; layer0.outputs()];
+        let ns_dense = median_ns(15, 20_000, || {
+            layer0
+                .weights()
+                .matvec_into(black_box(&x), black_box(&mut out2));
+            for (o, &bv) in out2.iter_mut().zip(layer0.bias()) {
+                *o += bv;
+            }
+        });
+        push(
+            &mut rows,
+            &format!("pruned{pct}_layer_masked_dense"),
+            ns_dense,
+            1.0,
+        );
+    }
+
+    // Whole-MLP logit path, dense vs pruned (workspace, zero-alloc).
+    for (name, model) in [
+        ("mlp_forward_dense", Mlp::new(DIMS, 9).expect("valid dims")),
+        ("mlp_forward_pruned70", pruned_mlp(0.70, 9)),
+    ] {
+        let mut ws = Workspace::new();
+        let ns = median_ns(15, 10_000, || {
+            let _ = black_box(model.forward_with(&mut ws, black_box(&x))).expect("width matches");
+        });
+        push(&mut rows, name, ns, 1.0);
+    }
+
+    // One epoch of the zero-allocation trainer.
+    {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<(Vec<f64>, usize)> = (0..64)
+            .map(|i| (random_vec(DIMS[0], &mut rng), i % DIMS[DIMS.len() - 1]))
+            .collect();
+        let trainer = Trainer::new().with_epochs(1).with_seed(7);
+        let mut model = Mlp::new(DIMS, 11).expect("valid dims");
+        let ns = median_ns(9, 50, || {
+            let _ = black_box(trainer.fit(&mut model, black_box(&data))).expect("fits");
+        });
+        push(&mut rows, "mlp_train_epoch_28x20x6_n64", ns, 1.0);
+    }
+
+    // Trained classifier: allocating entry point vs workspace entry
+    // point (same kernels, isolates the steady-state allocation cost).
+    println!("training bench models...");
+    let models = bench_models(11);
+    {
+        let clf = models.classifier(ModelVariant::Pruned, SensorLocation::LeftAnkle);
+        let mut rng = StdRng::seed_from_u64(1);
+        let features = random_vec(clf.mlp().input_dim(), &mut rng);
+        let ns_alloc = median_ns(15, 10_000, || {
+            let _ = black_box(clf.classify(black_box(&features))).expect("width matches");
+        });
+        push(&mut rows, "classify_pruned_alloc", ns_alloc, 1.0);
+        let mut ws = Workspace::new();
+        let ns_ws = median_ns(15, 10_000, || {
+            let _ =
+                black_box(clf.classify_with(&mut ws, black_box(&features))).expect("width matches");
+        });
+        push(&mut rows, "classify_pruned_workspace", ns_ws, 1.0);
+    }
+
+    // The 16-cell sweep grid from `benches/sweep.rs`, single-threaded.
+    {
+        let ctx = ExperimentContext::from_parts(
+            Dataset::Mhealth,
+            models,
+            Deployment::builder().seed(13).build(),
+            13,
+        )
+        .with_horizon(SimDuration::from_secs(60));
+        let grid = SweepGrid::new(
+            13,
+            vec![
+                SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+                SweepPolicy::Baseline(BaselineKind::Baseline2),
+            ],
+        )
+        .with_seeds(4)
+        .with_sampled_users(2);
+        let opts = SweepOptions {
+            threads: 1,
+            instrument: false,
+        };
+        let cells = grid.len() as f64;
+        let ns = median_ns(5, 1, || {
+            let _ = black_box(run_sweep(&ctx, &grid, &opts)).expect("sweep succeeds");
+        });
+        push(&mut rows, "sweep_16_cells_threads_1", ns, cells);
+    }
+
+    let report = JsonValue::Object(vec![
+        ("git_rev".to_owned(), JsonValue::from(git_rev())),
+        (
+            "harness".to_owned(),
+            JsonValue::from("bench_report median-of-samples (see scripts/bench.sh)"),
+        ),
+        ("benches".to_owned(), JsonValue::Object(rows)),
+    ]);
+    std::fs::write(&out_path, report.render_pretty() + "\n").expect("report file is writable");
+    println!("wrote {out_path}");
+}

@@ -312,9 +312,19 @@ fn main() {
     let mut timings = StageTimings::new();
 
     println!("training MHEALTH-like models (seed {seed})...");
-    let ctx = timings.time("train_mhealth", || {
-        ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds")
-    });
+    // Kernel-level breakdown (nn_fit / nn_prune / nn_eval) lands in the
+    // manifest next to the aggregate training stage.
+    let ctx = {
+        let mut kernel = StageTimings::new();
+        let ctx = timings.time("train_mhealth", || {
+            ExperimentContext::new_instrumented(Dataset::Mhealth, seed, &mut kernel)
+                .expect("training succeeds")
+        });
+        for (name, elapsed) in kernel.iter() {
+            timings.record(name, elapsed);
+        }
+        ctx
+    };
 
     // Fan the independent stages out over the worker pool; collect in
     // stage order after the join, so files, manifest entries and stdout

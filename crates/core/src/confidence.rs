@@ -76,6 +76,7 @@ impl ConfidenceMatrix {
         let activities = classifiers[0].activities().clone();
         let classes = activities.len();
         let mut matrix = Self::uniform(activities.clone(), classifiers.len(), alpha);
+        let mut ws = origin_nn::Workspace::new();
         for (node, (clf, data)) in classifiers.iter().zip(validation).enumerate() {
             assert_eq!(
                 clf.activities(),
@@ -86,7 +87,7 @@ impl ConfidenceMatrix {
             let mut counts = vec![0u64; classes];
             for (x, _) in data {
                 let c = clf
-                    .classify(x)
+                    .classify_with(&mut ws, x)
                     .expect("validation features match the classifier");
                 sums[c.dense_label] += c.confidence;
                 counts[c.dense_label] += 1;

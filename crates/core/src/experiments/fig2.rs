@@ -5,7 +5,7 @@ use super::ExperimentContext;
 use crate::ensemble::{majority_vote, Vote};
 use crate::error::CoreError;
 use crate::models::ModelVariant;
-use origin_nn::ConfusionMatrix;
+use origin_nn::{ConfusionMatrix, Workspace};
 use origin_sensors::{sample_window, window_features, UserProfile};
 use origin_types::{ActivityClass, NodeId, SensorLocation, SimTime, UserId};
 use rand::rngs::StdRng;
@@ -35,6 +35,7 @@ pub fn run_fig2(ctx: &ExperimentContext, trials_per_class: usize) -> Result<Fig2
     let activities: Vec<ActivityClass> = ctx.models.activities().iter().collect();
     let classes = activities.len();
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xF162);
+    let mut ws = Workspace::new();
     let user = UserProfile::sampled(UserId::new(100), 0.08, ctx.seed);
 
     let mut confusions = vec![ConfusionMatrix::new(classes); SensorLocation::COUNT];
@@ -49,7 +50,7 @@ pub fn run_fig2(ctx: &ExperimentContext, trials_per_class: usize) -> Result<Fig2
                 let c = ctx
                     .models
                     .classifier(ModelVariant::Pruned, location)
-                    .classify(&features)?;
+                    .classify_with(&mut ws, &features)?;
                 confusions[location.index()].record(dense, c.dense_label);
                 votes.push(Vote {
                     node: NodeId::new(location.index() as u32),

@@ -101,6 +101,26 @@ impl ExperimentContext {
         Ok(Self::from_parts(dataset, models, deployment, seed))
     }
 
+    /// [`ExperimentContext::new`] with kernel-level stage timing: the
+    /// `nn_fit` / `nn_prune` / `nn_eval` wall-clock breakdown of model
+    /// training lands in `timings` (see
+    /// [`ModelBank::train_instrumented`]). The trained bank is bitwise
+    /// identical to the untimed path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn new_instrumented(
+        dataset: Dataset,
+        seed: u64,
+        timings: &mut origin_telemetry::StageTimings,
+    ) -> Result<Self, CoreError> {
+        let budget = origin_types::Energy::from_microjoules(ModelBank::DEFAULT_BUDGET_UJ);
+        let models = ModelBank::train_instrumented(&dataset.spec(), seed, budget, timings)?;
+        let deployment = Deployment::builder().seed(seed).build();
+        Ok(Self::from_parts(dataset, models, deployment, seed))
+    }
+
     /// Wraps an already-trained bank and deployment (tests and benches
     /// use this to substitute smaller models).
     #[must_use]

@@ -13,6 +13,7 @@ use origin_nn::{
     prune_to_energy, ConfusionMatrix, InferenceEnergyModel, SensorClassifier, Trainer,
 };
 use origin_sensors::{DatasetSpec, HarDataset};
+use origin_telemetry::StageTimings;
 use origin_types::{ActivitySet, Energy, SensorLocation};
 
 /// Which classifier variant an experiment runs.
@@ -81,6 +82,26 @@ impl ModelBank {
         seed: u64,
         budget: Energy,
     ) -> Result<Self, CoreError> {
+        Self::train_instrumented(spec, seed, budget, &mut StageTimings::new())
+    }
+
+    /// [`ModelBank::train_with_budget`] with kernel-level stage timing:
+    /// accumulates the wall-clock cost of SGD fitting (`nn_fit`),
+    /// energy-aware pruning + fine-tuning (`nn_prune`) and held-out
+    /// evaluation (`nn_eval`) into `timings` across all sensor locations.
+    /// Timing never changes what is trained — results are bitwise
+    /// identical to the untimed path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures and [`origin_nn::NnError::BudgetUnreachable`]
+    /// for budgets below the static energy floor.
+    pub fn train_instrumented(
+        spec: &DatasetSpec,
+        seed: u64,
+        budget: Energy,
+        timings: &mut StageTimings,
+    ) -> Result<Self, CoreError> {
         let dataset = HarDataset::generate(spec, seed);
         let energy_model = InferenceEnergyModel::default();
         // Label smoothing keeps the softmax calibrated so its variance
@@ -108,29 +129,33 @@ impl ModelBank {
                 .map(|s| (s.features.clone(), s.dense_label))
                 .collect();
 
-            let full = SensorClassifier::train(
-                Self::hidden_for(location),
-                &train,
-                spec.activities.clone(),
-                &trainer,
-                seed ^ (location.index() as u64 + 1).wrapping_mul(0x9E37_79B9),
-            )?;
-            unpruned_cm.push(full.evaluate(&test)?);
+            let full = timings.time("nn_fit", || {
+                SensorClassifier::train(
+                    Self::hidden_for(location),
+                    &train,
+                    spec.activities.clone(),
+                    &trainer,
+                    seed ^ (location.index() as u64 + 1).wrapping_mul(0x9E37_79B9),
+                )
+            })?;
+            unpruned_cm.push(timings.time("nn_eval", || full.evaluate(&test))?);
 
             // Baseline-2: energy-aware pruning with brief fine-tuning
             // rounds (short on purpose — the accuracy drop is the point).
             let mut lean = full.clone();
             let norm_train = lean.normalize_data(&train);
-            prune_to_energy(
-                lean.mlp_mut(),
-                &energy_model,
-                budget,
-                &norm_train,
-                &trainer,
-                0.15,
-                1,
-            )?;
-            pruned_cm.push(lean.evaluate(&test)?);
+            timings.time("nn_prune", || {
+                prune_to_energy(
+                    lean.mlp_mut(),
+                    &energy_model,
+                    budget,
+                    &norm_train,
+                    &trainer,
+                    0.15,
+                    1,
+                )
+            })?;
+            pruned_cm.push(timings.time("nn_eval", || lean.evaluate(&test))?);
 
             unpruned.push(full);
             pruned.push(lean);

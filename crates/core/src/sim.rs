@@ -13,7 +13,7 @@ use crate::models::{ModelBank, ModelVariant};
 use crate::policy::{PolicyKind, PolicyState};
 use origin_energy::{DutyState, EnergyNode, NodeCounters};
 use origin_net::{Endpoint, Message, MessageBus};
-use origin_nn::ConfusionMatrix;
+use origin_nn::{ConfusionMatrix, Workspace};
 use origin_sensors::{
     add_noise_snr, sample_window, window_features, ActivityTimeline, TimelineConfig, UserProfile,
 };
@@ -382,6 +382,9 @@ impl Simulator {
 
         let mut bus = MessageBus::new(self.deployment.link(), node_count);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x51AB_1E5E);
+        // One reusable NN workspace per run keeps the per-window inference
+        // hot path allocation-free (bitwise-identical to `classify`).
+        let mut ws = Workspace::new();
 
         // Per-node attempt energy (sense is paid through the duty).
         let infer_cost: Vec<Energy> = SensorLocation::ALL
@@ -535,7 +538,7 @@ impl Simulator {
                 let classification = self
                     .models
                     .classifier(config.variant, location)
-                    .classify(&features)
+                    .classify_with(&mut ws, &features)
                     .expect("feature width matches the trained classifier");
 
                 observer.on_event(&SimEvent::InferenceCompleted {

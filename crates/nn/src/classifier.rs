@@ -2,11 +2,13 @@
 
 use crate::energy_model::InferenceEnergyModel;
 use crate::error::NnError;
+use crate::layer::softmax_into;
 use crate::metrics::ConfusionMatrix;
-use crate::mlp::Mlp;
+use crate::mlp::{argmax, Mlp};
 use crate::norm::Normalizer;
 use crate::softmax_variance;
 use crate::train::Trainer;
+use crate::workspace::Workspace;
 use origin_types::{ActivityClass, ActivitySet, Energy};
 
 /// One classification result, as transmitted to the host: the predicted
@@ -22,6 +24,20 @@ pub struct Classification {
     /// Full softmax distribution over the dense labels.
     pub probabilities: Vec<f64>,
     /// Variance of `probabilities` — higher is more confident.
+    pub confidence: f64,
+}
+
+/// A [`Classification`] without the owned probability vector — what the
+/// allocation-free [`SensorClassifier::classify_with`] hot path returns.
+/// The simulator's inference loop only consumes the class and the
+/// confidence score, so nothing here borrows or allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredClass {
+    /// Predicted activity.
+    pub activity: ActivityClass,
+    /// Dense label index of the prediction.
+    pub dense_label: usize,
+    /// Variance of the softmax distribution — higher is more confident.
     pub confidence: f64,
 }
 
@@ -123,16 +139,79 @@ impl SensorClassifier {
         })
     }
 
+    /// Allocation-free [`SensorClassifier::classify`]: all intermediates
+    /// live in `ws`, and the result omits the owned probability vector.
+    /// The predicted class and confidence are bitwise identical to the
+    /// allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] on a wrong-width input.
+    pub fn classify_with(
+        &self,
+        ws: &mut Workspace,
+        raw_features: &[f64],
+    ) -> Result<ScoredClass, NnError> {
+        if raw_features.len() != self.mlp.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.mlp.input_dim(),
+                actual: raw_features.len(),
+            });
+        }
+        // Move the staging buffer out so `ws` stays free for the MLP.
+        let mut features = std::mem::take(&mut ws.features);
+        features.resize(self.mlp.input_dim(), 0.0);
+        self.normalizer.transform_into(raw_features, &mut features);
+        let proba = self.mlp.predict_proba_with(ws, &features)?;
+        let dense_label = argmax(proba);
+        let confidence = softmax_variance(proba);
+        ws.features = features;
+        let activity = self
+            .activities
+            .class_at(dense_label)
+            .expect("model output dim equals class count");
+        Ok(ScoredClass {
+            activity,
+            dense_label,
+            confidence,
+        })
+    }
+
     /// Evaluates over raw `(features, dense_label)` pairs.
+    ///
+    /// Runs the batched forward kernel in chunks so weight rows stay hot
+    /// in cache across examples; each prediction is bitwise identical to
+    /// a per-sample [`SensorClassifier::classify`].
     ///
     /// # Errors
     ///
     /// Returns [`NnError::DimensionMismatch`] on a wrong-width input.
     pub fn evaluate(&self, data: &[(Vec<f64>, usize)]) -> Result<ConfusionMatrix, NnError> {
+        const EVAL_BATCH: usize = 32;
         let mut cm = ConfusionMatrix::new(self.activities.len());
-        for (x, label) in data {
-            let c = self.classify(x)?;
-            cm.record(*label, c.dense_label);
+        let input = self.mlp.input_dim();
+        let classes = self.mlp.output_dim();
+        let mut ws = Workspace::new();
+        let mut xs: Vec<f64> = Vec::with_capacity(EVAL_BATCH * input);
+        let mut proba = vec![0.0; classes];
+        for chunk in data.chunks(EVAL_BATCH) {
+            xs.clear();
+            for (x, _) in chunk {
+                if x.len() != input {
+                    return Err(NnError::DimensionMismatch {
+                        expected: input,
+                        actual: x.len(),
+                    });
+                }
+                let start = xs.len();
+                xs.resize(start + input, 0.0);
+                self.normalizer.transform_into(x, &mut xs[start..]);
+            }
+            let logits = self.mlp.forward_batch_with(&mut ws, &xs)?;
+            for (e, (_, label)) in chunk.iter().enumerate() {
+                softmax_into(&logits[e * classes..(e + 1) * classes], &mut proba);
+                cm.record(*label, argmax(&proba));
+            }
         }
         Ok(cm)
     }
@@ -239,6 +318,44 @@ mod tests {
         if c.dense_label == 2 {
             assert_eq!(c.activity, ActivityClass::Jumping);
         }
+    }
+
+    #[test]
+    fn classify_with_matches_classify_bitwise() {
+        let data = toy_data(6, 20, 3);
+        let mut clf =
+            SensorClassifier::train(&[8], &data, small_set(), &Trainer::new().with_epochs(30), 5)
+                .unwrap();
+        // Prune a layer so the sparse kernel is on the tested path.
+        let n = clf.mlp().layers()[0].total_weights();
+        clf.mlp_mut().layers_mut()[0].set_mask((0..n).map(|i| i % 4 != 2).collect());
+        let mut ws = Workspace::new();
+        for (x, _) in &data {
+            let full = clf.classify(x).unwrap();
+            let scored = clf.classify_with(&mut ws, x).unwrap();
+            assert_eq!(scored.dense_label, full.dense_label);
+            assert_eq!(scored.activity, full.activity);
+            assert_eq!(scored.confidence.to_bits(), full.confidence.to_bits());
+        }
+        assert!(matches!(
+            clf.classify_with(&mut ws, &[1.0]),
+            Err(NnError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluate_matches_per_sample_classification() {
+        // 37 samples: exercises a final partial batch (37 = 32 + 5).
+        let data = toy_data(7, 13, 3)[..37].to_vec();
+        let clf =
+            SensorClassifier::train(&[6], &data, small_set(), &Trainer::new().with_epochs(20), 2)
+                .unwrap();
+        let cm = clf.evaluate(&data).unwrap();
+        let mut reference = ConfusionMatrix::new(3);
+        for (x, label) in &data {
+            reference.record(*label, clf.classify(x).unwrap().dense_label);
+        }
+        assert_eq!(cm, reference);
     }
 
     #[test]

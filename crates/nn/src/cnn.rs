@@ -10,9 +10,15 @@
 //!
 //! Architecture: `Conv1d(C_in→F, k) → ReLU → MaxPool(2) → Conv1d(F→F, k)
 //! → ReLU → GlobalAvgPool → Dense(F→classes)`.
+//!
+//! All activations live in contiguous `[channel × time]` buffers inside a
+//! [`CnnScratch`], so the steady-state train/infer loop performs no heap
+//! allocations; the loop orders replicate the original nested-`Vec`
+//! implementation exactly (pinned bitwise by the parity tests).
 
 use crate::error::NnError;
-use crate::layer::softmax;
+use crate::layer::softmax_into;
+use crate::mlp::argmax;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,15 +57,19 @@ impl Conv1d {
         in_len + 1 - self.kernel
     }
 
-    /// `input[channel][time]` → `output[channel][time]`.
-    fn forward(&self, input: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let in_len = input[0].len();
+    /// Flat `[channel × time]` forward: `input` holds `in_channels` rows
+    /// of `in_len` samples, `out` receives `out_channels` rows of
+    /// `out_len(in_len)` samples. Accumulation order `(o, p, i, t)`.
+    fn forward_flat(&self, input: &[f64], in_len: usize, out: &mut [f64]) {
         let out_len = self.out_len(in_len);
-        let mut out = vec![vec![0.0; out_len]; self.out_channels];
-        for (o, out_ch) in out.iter_mut().enumerate() {
+        debug_assert_eq!(input.len(), self.in_channels * in_len);
+        debug_assert_eq!(out.len(), self.out_channels * out_len);
+        for o in 0..self.out_channels {
+            let out_ch = &mut out[o * out_len..(o + 1) * out_len];
             for (p, out_v) in out_ch.iter_mut().enumerate() {
                 let mut acc = self.bias[o];
-                for (i, in_ch) in input.iter().enumerate() {
+                for i in 0..self.in_channels {
+                    let in_ch = &input[i * in_len..(i + 1) * in_len];
                     for t in 0..self.kernel {
                         acc += self.w(o, i, t) * in_ch[p + t];
                     }
@@ -67,21 +77,33 @@ impl Conv1d {
                 *out_v = acc;
             }
         }
-        out
     }
 
-    /// SGD update; returns the gradient w.r.t. the input.
-    // The index arithmetic addresses the flat weight buffer from several
-    // loop variables at once; iterator chains would hide it.
+    /// Flat SGD update; writes the gradient w.r.t. the input into
+    /// `grad_in`. Same `(o, p, i, t)` / `(o, i, t, p)` loop orders as the
+    /// original nested implementation.
+    // The index arithmetic addresses the flat buffers from several loop
+    // variables at once; iterator chains would hide it.
     #[allow(clippy::needless_range_loop)]
-    fn backward(&mut self, input: &[Vec<f64>], grad_out: &[Vec<f64>], lr: f64) -> Vec<Vec<f64>> {
-        let in_len = input[0].len();
-        let out_len = grad_out[0].len();
-        let mut grad_in = vec![vec![0.0; in_len]; self.in_channels];
+    fn backward_flat(
+        &mut self,
+        input: &[f64],
+        in_len: usize,
+        grad_out: &[f64],
+        out_len: usize,
+        lr: f64,
+        grad_in: &mut [f64],
+    ) {
+        debug_assert_eq!(input.len(), self.in_channels * in_len);
+        debug_assert_eq!(grad_out.len(), self.out_channels * out_len);
+        debug_assert_eq!(grad_in.len(), self.in_channels * in_len);
+        grad_in.fill(0.0);
         // dX first (uses the pre-update weights).
-        for (o, g_ch) in grad_out.iter().enumerate() {
+        for o in 0..self.out_channels {
+            let g_ch = &grad_out[o * out_len..(o + 1) * out_len];
             for (p, &g) in g_ch.iter().enumerate() {
-                for (i, gi_ch) in grad_in.iter_mut().enumerate() {
+                for i in 0..self.in_channels {
+                    let gi_ch = &mut grad_in[i * in_len..(i + 1) * in_len];
                     for t in 0..self.kernel {
                         gi_ch[p + t] += g * self.w(o, i, t);
                     }
@@ -94,66 +116,100 @@ impl Conv1d {
                 for t in 0..self.kernel {
                     let mut dw = 0.0;
                     for p in 0..out_len {
-                        dw += grad_out[o][p] * input[i][p + t];
+                        dw += grad_out[o * out_len + p] * input[i * in_len + p + t];
                     }
                     self.weight[(o * self.in_channels + i) * self.kernel + t] -= lr * dw;
                 }
             }
-            let db: f64 = grad_out[o].iter().sum();
+            let db: f64 = grad_out[o * out_len..(o + 1) * out_len].iter().sum();
             self.bias[o] -= lr * db;
         }
-        grad_in
     }
 }
 
-fn relu_fwd(x: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    x.iter()
-        .map(|ch| ch.iter().map(|&v| v.max(0.0)).collect())
-        .collect()
+fn relu_fwd_flat(src: &[f64], dst: &mut [f64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.max(0.0);
+    }
 }
 
-fn relu_bwd(pre: &[Vec<f64>], grad: &mut [Vec<f64>]) {
-    for (g_ch, p_ch) in grad.iter_mut().zip(pre) {
-        for (g, &p) in g_ch.iter_mut().zip(p_ch) {
-            if p <= 0.0 {
-                *g = 0.0;
-            }
+fn relu_bwd_flat(pre: &[f64], grad: &mut [f64]) {
+    for (g, &p) in grad.iter_mut().zip(pre) {
+        if p <= 0.0 {
+            *g = 0.0;
         }
     }
 }
 
-/// Max-pool by 2 (truncating an odd tail); returns output + argmax map.
-fn maxpool2_fwd(x: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
-    let out_len = x[0].len() / 2;
-    let mut out = Vec::with_capacity(x.len());
-    let mut arg = Vec::with_capacity(x.len());
-    for ch in x {
-        let mut o = Vec::with_capacity(out_len);
-        let mut a = Vec::with_capacity(out_len);
+/// Flat max-pool by 2 (truncating an odd tail); fills `out` and the
+/// per-channel argmax map (indices relative to the channel start).
+fn maxpool2_fwd_flat(
+    x: &[f64],
+    channels: usize,
+    in_len: usize,
+    out: &mut [f64],
+    arg: &mut [usize],
+) {
+    let out_len = in_len / 2;
+    debug_assert_eq!(out.len(), channels * out_len);
+    for ch in 0..channels {
+        let row = &x[ch * in_len..(ch + 1) * in_len];
         for p in 0..out_len {
-            let (l, r) = (ch[2 * p], ch[2 * p + 1]);
-            if l >= r {
-                o.push(l);
-                a.push(2 * p);
-            } else {
-                o.push(r);
-                a.push(2 * p + 1);
-            }
+            let (l, r) = (row[2 * p], row[2 * p + 1]);
+            let (v, a) = if l >= r { (l, 2 * p) } else { (r, 2 * p + 1) };
+            out[ch * out_len + p] = v;
+            arg[ch * out_len + p] = a;
         }
-        out.push(o);
-        arg.push(a);
     }
-    (out, arg)
 }
 
-fn maxpool2_bwd(grad_out: &[Vec<f64>], arg: &[Vec<usize>], in_len: usize) -> Vec<Vec<f64>> {
-    let mut grad_in = vec![vec![0.0; in_len]; grad_out.len()];
-    for (ch, (g_ch, a_ch)) in grad_out.iter().zip(arg).enumerate() {
-        for (g, &a) in g_ch.iter().zip(a_ch) {
-            grad_in[ch][a] += g;
+fn maxpool2_bwd_flat(
+    grad_out: &[f64],
+    arg: &[usize],
+    channels: usize,
+    in_len: usize,
+    out_len: usize,
+    grad_in: &mut [f64],
+) {
+    debug_assert_eq!(grad_in.len(), channels * in_len);
+    grad_in.fill(0.0);
+    for ch in 0..channels {
+        for p in 0..out_len {
+            grad_in[ch * in_len + arg[ch * out_len + p]] += grad_out[ch * out_len + p];
         }
     }
-    grad_in
+}
+
+/// Preallocated scratch for [`Cnn1d`]: every activation and gradient
+/// lives in a contiguous `[channel × time]` buffer that only ever grows,
+/// so a reused scratch makes the steady-state CNN train/infer loop
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct CnnScratch {
+    input: Vec<f64>,
+    z1: Vec<f64>,
+    a1: Vec<f64>,
+    p1: Vec<f64>,
+    arg1: Vec<usize>,
+    z2: Vec<f64>,
+    a2: Vec<f64>,
+    gap: Vec<f64>,
+    logits: Vec<f64>,
+    proba: Vec<f64>,
+    dlogits: Vec<f64>,
+    dgap: Vec<f64>,
+    da2: Vec<f64>,
+    dp1: Vec<f64>,
+    da1: Vec<f64>,
+    dinput: Vec<f64>,
+}
+
+impl CnnScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A compact 1-D CNN classifier over `[channels][time]` windows.
@@ -260,37 +316,108 @@ impl Cnn1d {
         Ok(())
     }
 
+    /// Stage lengths for a window of `len` samples: conv1 out, pool out,
+    /// conv2 out. Resizes every scratch buffer to the exact shape.
+    fn prepare_scratch(&self, ws: &mut CnnScratch, len: usize) -> (usize, usize, usize) {
+        let l1 = self.conv1.out_len(len);
+        let p1 = l1 / 2;
+        let l2 = self.conv2.out_len(p1);
+        ws.input.resize(self.in_channels * len, 0.0);
+        ws.dinput.resize(self.in_channels * len, 0.0);
+        ws.z1.resize(self.filters * l1, 0.0);
+        ws.a1.resize(self.filters * l1, 0.0);
+        ws.da1.resize(self.filters * l1, 0.0);
+        ws.p1.resize(self.filters * p1, 0.0);
+        ws.arg1.resize(self.filters * p1, 0);
+        ws.dp1.resize(self.filters * p1, 0.0);
+        ws.z2.resize(self.filters * l2, 0.0);
+        ws.a2.resize(self.filters * l2, 0.0);
+        ws.da2.resize(self.filters * l2, 0.0);
+        ws.gap.resize(self.filters, 0.0);
+        ws.dgap.resize(self.filters, 0.0);
+        ws.logits.resize(self.classes, 0.0);
+        ws.dlogits.resize(self.classes, 0.0);
+        ws.proba.resize(self.classes, 0.0);
+        (l1, p1, l2)
+    }
+
+    /// Runs the forward pass inside `ws`, leaving logits in `ws.logits`.
+    /// Returns `(l1, p1, l2)` stage lengths for the backward pass.
+    fn run_forward(
+        &self,
+        ws: &mut CnnScratch,
+        window: &[Vec<f64>],
+    ) -> Result<(usize, usize, usize), NnError> {
+        self.validate(window)?;
+        let len = window[0].len();
+        let (l1, p1, l2) = self.prepare_scratch(ws, len);
+        for (c, ch) in window.iter().enumerate() {
+            ws.input[c * len..(c + 1) * len].copy_from_slice(ch);
+        }
+        self.conv1.forward_flat(&ws.input, len, &mut ws.z1);
+        relu_fwd_flat(&ws.z1, &mut ws.a1);
+        maxpool2_fwd_flat(&ws.a1, self.filters, l1, &mut ws.p1, &mut ws.arg1);
+        self.conv2.forward_flat(&ws.p1, p1, &mut ws.z2);
+        relu_fwd_flat(&ws.z2, &mut ws.a2);
+        // Global average pool to one value per filter.
+        for f in 0..self.filters {
+            ws.gap[f] = ws.a2[f * l2..(f + 1) * l2].iter().sum::<f64>() / l2 as f64;
+        }
+        self.head_into(&ws.gap, &mut ws.logits);
+        Ok((l1, p1, l2))
+    }
+
+    /// Allocation-free forward pass to logits; the slice is valid until
+    /// the scratch is reused. Bitwise identical to [`Cnn1d::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
+    pub fn forward_with<'w>(
+        &self,
+        ws: &'w mut CnnScratch,
+        window: &[Vec<f64>],
+    ) -> Result<&'w [f64], NnError> {
+        self.run_forward(ws, window)?;
+        Ok(&ws.logits)
+    }
+
     /// Forward pass to logits.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
     pub fn forward(&self, window: &[Vec<f64>]) -> Result<Vec<f64>, NnError> {
-        self.validate(window)?;
-        let z1 = self.conv1.forward(window);
-        let a1 = relu_fwd(&z1);
-        let (p1, _) = maxpool2_fwd(&a1);
-        let z2 = self.conv2.forward(&p1);
-        let a2 = relu_fwd(&z2);
-        // Global average pool to one value per filter.
-        let gap: Vec<f64> = a2
-            .iter()
-            .map(|ch| ch.iter().sum::<f64>() / ch.len() as f64)
-            .collect();
-        Ok(self.head(&gap))
+        let mut ws = CnnScratch::new();
+        self.run_forward(&mut ws, window)?;
+        Ok(ws.logits)
     }
 
-    fn head(&self, gap: &[f64]) -> Vec<f64> {
-        (0..self.classes)
-            .map(|c| {
-                self.head_b[c]
-                    + gap
-                        .iter()
-                        .enumerate()
-                        .map(|(f, &v)| self.head_w[c * self.filters + f] * v)
-                        .sum::<f64>()
-            })
-            .collect()
+    fn head_into(&self, gap: &[f64], out: &mut [f64]) {
+        for (c, out_c) in out.iter_mut().enumerate() {
+            *out_c = self.head_b[c]
+                + gap
+                    .iter()
+                    .enumerate()
+                    .map(|(f, &v)| self.head_w[c * self.filters + f] * v)
+                    .sum::<f64>();
+        }
+    }
+
+    /// Allocation-free softmax prediction: `(argmax, probabilities)`;
+    /// the slice is valid until the scratch is reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
+    pub fn predict_with<'w>(
+        &self,
+        ws: &'w mut CnnScratch,
+        window: &[Vec<f64>],
+    ) -> Result<(usize, &'w [f64]), NnError> {
+        self.run_forward(ws, window)?;
+        softmax_into(&ws.logits, &mut ws.proba);
+        Ok((argmax(&ws.proba), &ws.proba))
     }
 
     /// Softmax prediction: `(argmax, probabilities)`.
@@ -299,14 +426,9 @@ impl Cnn1d {
     ///
     /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
     pub fn predict(&self, window: &[Vec<f64>]) -> Result<(usize, Vec<f64>), NnError> {
-        let proba = softmax(&self.forward(window)?);
-        let argmax = proba
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, _)| i)
-            .expect("at least one class");
-        Ok((argmax, proba))
+        let mut ws = CnnScratch::new();
+        let (class, _) = self.predict_with(&mut ws, window)?;
+        Ok((class, ws.proba))
     }
 
     /// One SGD step on a single `(window, label)` example; returns the
@@ -316,61 +438,76 @@ impl Cnn1d {
     ///
     /// Returns [`NnError::DimensionMismatch`] / [`NnError::LabelOutOfRange`]
     /// on invalid input.
-    // The head gradients index the flat weight buffer from two loop
-    // variables at once; iterator chains would hide the arithmetic.
-    #[allow(clippy::needless_range_loop)]
     pub fn train_step(
         &mut self,
         window: &[Vec<f64>],
         label: usize,
         lr: f64,
     ) -> Result<f64, NnError> {
-        self.validate(window)?;
+        let mut ws = CnnScratch::new();
+        self.train_step_with(&mut ws, window, label, lr)
+    }
+
+    /// Allocation-free [`Cnn1d::train_step`]: every intermediate lives in
+    /// `ws`; reusing the scratch across a training loop eliminates all
+    /// steady-state heap traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] / [`NnError::LabelOutOfRange`]
+    /// on invalid input.
+    // The head gradients index the flat weight buffer from two loop
+    // variables at once; iterator chains would hide the arithmetic.
+    #[allow(clippy::needless_range_loop)]
+    pub fn train_step_with(
+        &mut self,
+        ws: &mut CnnScratch,
+        window: &[Vec<f64>],
+        label: usize,
+        lr: f64,
+    ) -> Result<f64, NnError> {
         if label >= self.classes {
+            self.validate(window)?;
             return Err(NnError::LabelOutOfRange {
                 label,
                 classes: self.classes,
             });
         }
-        // Forward with caches.
-        let z1 = self.conv1.forward(window);
-        let a1 = relu_fwd(&z1);
-        let (p1, arg1) = maxpool2_fwd(&a1);
-        let z2 = self.conv2.forward(&p1);
-        let a2 = relu_fwd(&z2);
-        let t2 = a2[0].len() as f64;
-        let gap: Vec<f64> = a2.iter().map(|ch| ch.iter().sum::<f64>() / t2).collect();
-        let logits = self.head(&gap);
-        let proba = softmax(&logits);
-        let loss = -proba[label].max(1e-12).ln();
+        let (l1, p1, l2) = self.run_forward(ws, window)?;
+        let len = window[0].len();
+        softmax_into(&ws.logits, &mut ws.proba);
+        let loss = -ws.proba[label].max(1e-12).ln();
 
         // Head gradients.
-        let mut dlogits = proba;
-        dlogits[label] -= 1.0;
-        let mut dgap = vec![0.0; self.filters];
+        ws.dlogits.copy_from_slice(&ws.proba);
+        ws.dlogits[label] -= 1.0;
+        ws.dgap.fill(0.0);
         for c in 0..self.classes {
             for f in 0..self.filters {
-                dgap[f] += dlogits[c] * self.head_w[c * self.filters + f];
+                ws.dgap[f] += ws.dlogits[c] * self.head_w[c * self.filters + f];
             }
         }
         for c in 0..self.classes {
             for f in 0..self.filters {
-                self.head_w[c * self.filters + f] -= lr * dlogits[c] * gap[f];
+                self.head_w[c * self.filters + f] -= lr * ws.dlogits[c] * ws.gap[f];
             }
-            self.head_b[c] -= lr * dlogits[c];
+            self.head_b[c] -= lr * ws.dlogits[c];
         }
 
         // Back through GAP → ReLU → conv2.
-        let mut da2: Vec<Vec<f64>> = (0..self.filters)
-            .map(|f| vec![dgap[f] / t2; a2[f].len()])
-            .collect();
-        relu_bwd(&z2, &mut da2);
-        let dp1 = self.conv2.backward(&p1, &da2, lr);
+        let t2 = l2 as f64;
+        for f in 0..self.filters {
+            ws.da2[f * l2..(f + 1) * l2].fill(ws.dgap[f] / t2);
+        }
+        relu_bwd_flat(&ws.z2, &mut ws.da2);
+        self.conv2
+            .backward_flat(&ws.p1, p1, &ws.da2, l2, lr, &mut ws.dp1);
 
         // Back through pool → ReLU → conv1.
-        let mut da1 = maxpool2_bwd(&dp1, &arg1, a1[0].len());
-        relu_bwd(&z1, &mut da1);
-        let _ = self.conv1.backward(window, &da1, lr);
+        maxpool2_bwd_flat(&ws.dp1, &ws.arg1, self.filters, l1, p1, &mut ws.da1);
+        relu_bwd_flat(&ws.z1, &mut ws.da1);
+        self.conv1
+            .backward_flat(&ws.input, len, &ws.da1, l1, lr, &mut ws.dinput);
         Ok(loss)
     }
 }
@@ -378,6 +515,7 @@ impl Cnn1d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer::softmax;
 
     fn toy_window(seed: u64, class: usize, len: usize) -> Vec<Vec<f64>> {
         // Class-dependent frequency content across 2 channels.
@@ -390,6 +528,200 @@ mod tests {
                     .collect()
             })
             .collect()
+    }
+
+    // ---- The original nested-Vec implementation, kept verbatim as the
+    // ---- golden reference for the flat-kernel parity tests.
+
+    fn ref_conv_forward(conv: &Conv1d, input: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let in_len = input[0].len();
+        let out_len = conv.out_len(in_len);
+        let mut out = vec![vec![0.0; out_len]; conv.out_channels];
+        for (o, out_ch) in out.iter_mut().enumerate() {
+            for (p, out_v) in out_ch.iter_mut().enumerate() {
+                let mut acc = conv.bias[o];
+                for (i, in_ch) in input.iter().enumerate() {
+                    for t in 0..conv.kernel {
+                        acc += conv.w(o, i, t) * in_ch[p + t];
+                    }
+                }
+                *out_v = acc;
+            }
+        }
+        out
+    }
+
+    fn ref_conv_backward(
+        conv: &mut Conv1d,
+        input: &[Vec<f64>],
+        grad_out: &[Vec<f64>],
+        lr: f64,
+    ) -> Vec<Vec<f64>> {
+        let in_len = input[0].len();
+        let out_len = grad_out[0].len();
+        let mut grad_in = vec![vec![0.0; in_len]; conv.in_channels];
+        for (o, g_ch) in grad_out.iter().enumerate() {
+            for (p, &g) in g_ch.iter().enumerate() {
+                for (i, gi_ch) in grad_in.iter_mut().enumerate() {
+                    for t in 0..conv.kernel {
+                        gi_ch[p + t] += g * conv.w(o, i, t);
+                    }
+                }
+            }
+        }
+        for o in 0..conv.out_channels {
+            for i in 0..conv.in_channels {
+                for t in 0..conv.kernel {
+                    let mut dw = 0.0;
+                    for p in 0..out_len {
+                        dw += grad_out[o][p] * input[i][p + t];
+                    }
+                    conv.weight[(o * conv.in_channels + i) * conv.kernel + t] -= lr * dw;
+                }
+            }
+            let db: f64 = grad_out[o].iter().sum();
+            conv.bias[o] -= lr * db;
+        }
+        grad_in
+    }
+
+    fn ref_relu_fwd(x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter()
+            .map(|ch| ch.iter().map(|&v| v.max(0.0)).collect())
+            .collect()
+    }
+
+    fn ref_relu_bwd(pre: &[Vec<f64>], grad: &mut [Vec<f64>]) {
+        for (g_ch, p_ch) in grad.iter_mut().zip(pre) {
+            for (g, &p) in g_ch.iter_mut().zip(p_ch) {
+                if p <= 0.0 {
+                    *g = 0.0;
+                }
+            }
+        }
+    }
+
+    fn ref_maxpool2_fwd(x: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
+        let out_len = x[0].len() / 2;
+        let mut out = Vec::with_capacity(x.len());
+        let mut arg = Vec::with_capacity(x.len());
+        for ch in x {
+            let mut o = Vec::with_capacity(out_len);
+            let mut a = Vec::with_capacity(out_len);
+            for p in 0..out_len {
+                let (l, r) = (ch[2 * p], ch[2 * p + 1]);
+                if l >= r {
+                    o.push(l);
+                    a.push(2 * p);
+                } else {
+                    o.push(r);
+                    a.push(2 * p + 1);
+                }
+            }
+            out.push(o);
+            arg.push(a);
+        }
+        (out, arg)
+    }
+
+    fn ref_maxpool2_bwd(grad_out: &[Vec<f64>], arg: &[Vec<usize>], in_len: usize) -> Vec<Vec<f64>> {
+        let mut grad_in = vec![vec![0.0; in_len]; grad_out.len()];
+        for (ch, (g_ch, a_ch)) in grad_out.iter().zip(arg).enumerate() {
+            for (g, &a) in g_ch.iter().zip(a_ch) {
+                grad_in[ch][a] += g;
+            }
+        }
+        grad_in
+    }
+
+    fn ref_forward(cnn: &Cnn1d, window: &[Vec<f64>]) -> Vec<f64> {
+        let z1 = ref_conv_forward(&cnn.conv1, window);
+        let a1 = ref_relu_fwd(&z1);
+        let (p1, _) = ref_maxpool2_fwd(&a1);
+        let z2 = ref_conv_forward(&cnn.conv2, &p1);
+        let a2 = ref_relu_fwd(&z2);
+        let gap: Vec<f64> = a2
+            .iter()
+            .map(|ch| ch.iter().sum::<f64>() / ch.len() as f64)
+            .collect();
+        let mut logits = vec![0.0; cnn.classes];
+        cnn.head_into(&gap, &mut logits);
+        logits
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn ref_train_step(cnn: &mut Cnn1d, window: &[Vec<f64>], label: usize, lr: f64) -> f64 {
+        let z1 = ref_conv_forward(&cnn.conv1, window);
+        let a1 = ref_relu_fwd(&z1);
+        let (p1, arg1) = ref_maxpool2_fwd(&a1);
+        let z2 = ref_conv_forward(&cnn.conv2, &p1);
+        let a2 = ref_relu_fwd(&z2);
+        let t2 = a2[0].len() as f64;
+        let gap: Vec<f64> = a2.iter().map(|ch| ch.iter().sum::<f64>() / t2).collect();
+        let mut logits = vec![0.0; cnn.classes];
+        cnn.head_into(&gap, &mut logits);
+        let proba = softmax(&logits);
+        let loss = -proba[label].max(1e-12).ln();
+
+        let mut dlogits = proba;
+        dlogits[label] -= 1.0;
+        let mut dgap = vec![0.0; cnn.filters];
+        for c in 0..cnn.classes {
+            for f in 0..cnn.filters {
+                dgap[f] += dlogits[c] * cnn.head_w[c * cnn.filters + f];
+            }
+        }
+        for c in 0..cnn.classes {
+            for f in 0..cnn.filters {
+                cnn.head_w[c * cnn.filters + f] -= lr * dlogits[c] * gap[f];
+            }
+            cnn.head_b[c] -= lr * dlogits[c];
+        }
+
+        let mut da2: Vec<Vec<f64>> = (0..cnn.filters)
+            .map(|f| vec![dgap[f] / t2; a2[f].len()])
+            .collect();
+        ref_relu_bwd(&z2, &mut da2);
+        let dp1 = ref_conv_backward(&mut cnn.conv2, &p1, &da2, lr);
+
+        let mut da1 = ref_maxpool2_bwd(&dp1, &arg1, a1[0].len());
+        ref_relu_bwd(&z1, &mut da1);
+        let _ = ref_conv_backward(&mut cnn.conv1, window, &da1, lr);
+        loss
+    }
+
+    #[test]
+    fn flat_forward_matches_nested_reference_bitwise() {
+        let cnn = Cnn1d::new(2, 4, 3, 3, 21).unwrap();
+        let mut ws = CnnScratch::new();
+        for k in 0..3 {
+            let window = toy_window(40 + k, (k % 3) as usize, 20 + 2 * k as usize);
+            let expect = ref_forward(&cnn, &window);
+            let got = cnn.forward_with(&mut ws, &window).unwrap();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn flat_train_step_matches_nested_reference_bitwise() {
+        let mut a = Cnn1d::new(2, 4, 3, 3, 22).unwrap();
+        let mut b = a.clone();
+        let mut ws = CnnScratch::new();
+        for i in 0..12u64 {
+            let class = (i % 3) as usize;
+            let window = toy_window(i, class, 24);
+            let la = a.train_step_with(&mut ws, &window, class, 0.02).unwrap();
+            let lb = ref_train_step(&mut b, &window, class, 0.02);
+            assert_eq!(la.to_bits(), lb.to_bits());
+        }
+        assert_eq!(a, b);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.conv1.weight), bits(&b.conv1.weight));
+        assert_eq!(bits(&a.conv2.weight), bits(&b.conv2.weight));
+        assert_eq!(bits(&a.head_w), bits(&b.head_w));
     }
 
     #[test]
@@ -477,13 +809,14 @@ mod tests {
     #[test]
     fn learns_frequency_separated_classes() {
         let mut cnn = Cnn1d::new(2, 6, 5, 3, 11).unwrap();
+        let mut ws = CnnScratch::new();
         let mut final_loss = f64::INFINITY;
         for epoch in 0..120 {
             let mut loss = 0.0;
             for i in 0..30 {
                 let class = i % 3;
                 let window = toy_window(epoch * 100 + i as u64, class, 32);
-                loss += cnn.train_step(&window, class, 0.01).unwrap();
+                loss += cnn.train_step_with(&mut ws, &window, class, 0.01).unwrap();
             }
             final_loss = loss / 30.0;
         }
@@ -492,7 +825,7 @@ mod tests {
         for i in 0..30 {
             let class = i % 3;
             let window = toy_window(999_000 + i as u64, class, 32);
-            if cnn.predict(&window).unwrap().0 == class {
+            if cnn.predict_with(&mut ws, &window).unwrap().0 == class {
                 correct += 1;
             }
         }

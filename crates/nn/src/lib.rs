@@ -54,9 +54,10 @@ mod quantize;
 mod serialize;
 mod tensor;
 mod train;
+mod workspace;
 
-pub use classifier::{Classification, SensorClassifier};
-pub use cnn::Cnn1d;
+pub use classifier::{Classification, ScoredClass, SensorClassifier};
+pub use cnn::{Cnn1d, CnnScratch};
 pub use energy_model::InferenceEnergyModel;
 pub use error::NnError;
 pub use layer::Dense;
@@ -68,6 +69,7 @@ pub use quantize::{quantize_weights, QuantReport};
 pub use serialize::{load_classifier, save_classifier};
 pub use tensor::Matrix;
 pub use train::Trainer;
+pub use workspace::Workspace;
 
 /// Variance of a probability vector — the paper's confidence measure.
 ///

@@ -1,9 +1,21 @@
 //! Multi-layer perceptron with ReLU hidden activations and softmax output.
 
 use crate::error::NnError;
-use crate::layer::{relu, softmax, Dense};
+use crate::layer::{relu, softmax, softmax_into, Dense};
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Index of the maximal entry, breaking ties toward the *last* maximum —
+/// the `Iterator::max_by` convention every prediction path shares.
+pub(crate) fn argmax(proba: &[f64]) -> usize {
+    proba
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+        .map(|(i, _)| i)
+        .expect("output dim >= 1")
+}
 
 /// A feed-forward classifier network.
 ///
@@ -109,9 +121,12 @@ impl Mlp {
         Ok(activation)
     }
 
-    /// Forward pass caching every layer's pre-activation and activation —
-    /// the trainer's workhorse. Returns `(pre_activations, activations)`
-    /// where `activations[0]` is the input itself.
+    /// Forward pass caching every layer's pre-activation and activation.
+    /// Was the trainer's workhorse; the workspace path replaced it, and it
+    /// survives as the golden reference the parity tests compare against.
+    /// Returns `(pre_activations, activations)` where `activations[0]` is
+    /// the input itself.
+    #[cfg(test)]
     pub(crate) fn forward_cached(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let mut pre = Vec::with_capacity(self.layers.len());
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
@@ -126,6 +141,100 @@ impl Mlp {
             acts.push(a);
         }
         (pre, acts)
+    }
+
+    /// Allocation-free forward pass: runs the network inside `ws` and
+    /// returns the logits slice (valid until the workspace is reused).
+    ///
+    /// Bitwise identical to [`Mlp::forward`]; pruned layers use their
+    /// compiled sparse form on both paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] when `x` has the wrong width.
+    pub fn forward_with<'w>(&self, ws: &'w mut Workspace, x: &[f64]) -> Result<&'w [f64], NnError> {
+        self.run_forward(ws, x)?;
+        Ok(&ws.acts[self.layers.len()])
+    }
+
+    /// Allocation-free [`Mlp::predict_proba`]: the softmax distribution
+    /// lands in the workspace and is returned as a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] when `x` has the wrong width.
+    pub fn predict_proba_with<'w>(
+        &self,
+        ws: &'w mut Workspace,
+        x: &[f64],
+    ) -> Result<&'w [f64], NnError> {
+        self.run_forward(ws, x)?;
+        softmax_into(&ws.acts[self.layers.len()], &mut ws.proba);
+        Ok(&ws.proba)
+    }
+
+    /// Shared allocation-free forward: leaves the logits in
+    /// `ws.acts[layer_count]`.
+    fn run_forward(&self, ws: &mut Workspace, x: &[f64]) -> Result<(), NnError> {
+        if x.len() != self.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: x.len(),
+            });
+        }
+        ws.prepare(&self.dims);
+        ws.acts[0].copy_from_slice(x);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = ws.acts.split_at_mut(i + 1);
+            layer.forward_into(&head[i], &mut tail[0]);
+            if i + 1 < self.layers.len() {
+                relu(&mut tail[0]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched allocation-free forward pass: `xs` holds any number of
+    /// row-major input vectors; returns the row-major logits for all of
+    /// them. Each example's logits are bitwise identical to a
+    /// single-example [`Mlp::forward`] — the batched kernel iterates
+    /// `(row, example)` purely for cache locality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] when `xs.len()` is not a
+    /// multiple of the input width.
+    pub fn forward_batch_with<'w>(
+        &self,
+        ws: &'w mut Workspace,
+        xs: &[f64],
+    ) -> Result<&'w [f64], NnError> {
+        if !xs.len().is_multiple_of(self.input_dim()) {
+            return Err(NnError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: xs.len(),
+            });
+        }
+        let batch = xs.len() / self.input_dim();
+        ws.prepare_batch(&self.dims, batch);
+        ws.batch[0][..xs.len()].copy_from_slice(xs);
+        let mut flip = false;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (lo, hi) = ws.batch.split_at_mut(1);
+            let (src, dst) = if flip {
+                (&hi[0], &mut lo[0])
+            } else {
+                (&lo[0], &mut hi[0])
+            };
+            let out = &mut dst[..batch * self.dims[i + 1]];
+            layer.forward_batch_into(&src[..batch * self.dims[i]], batch, out);
+            if i + 1 < self.layers.len() {
+                relu(out);
+            }
+            flip = !flip;
+        }
+        let out = &ws.batch[usize::from(flip)];
+        Ok(&out[..batch * self.output_dim()])
     }
 
     /// Softmax class distribution for `x`.
@@ -148,13 +257,8 @@ impl Mlp {
         let proba = self
             .predict_proba(x)
             .expect("input width matches model input dimension");
-        let argmax = proba
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
-            .map(|(i, _)| i)
-            .expect("output dim >= 1");
-        (argmax, proba)
+        let class = argmax(&proba);
+        (class, proba)
     }
 
     /// Fraction of weights pruned away, in `[0, 1]`.
@@ -226,6 +330,52 @@ mod tests {
         assert_eq!(acts.len(), 3);
         assert_eq!(acts[0], x.to_vec());
         assert_eq!(pre[1], m.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn workspace_forward_matches_allocating_forward_bitwise() {
+        let mut m = Mlp::new(&[5, 7, 4], 11).unwrap();
+        m.layers_mut()[0].set_mask((0..35).map(|i| i % 3 != 0).collect());
+        let mut ws = Workspace::new();
+        for k in 0..4 {
+            let x: Vec<f64> = (0..5).map(|i| (i as f64 - k as f64) * 0.37).collect();
+            let expect = m.forward(&x).unwrap();
+            let got = m.forward_with(&mut ws, &x).unwrap();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            let expect_p = m.predict_proba(&x).unwrap();
+            let got_p = m.predict_proba_with(&mut ws, &x).unwrap();
+            assert_eq!(
+                got_p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect_p.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_single_examples_bitwise() {
+        let mut m = Mlp::new(&[4, 9, 3], 13).unwrap();
+        m.layers_mut()[1].set_mask((0..27).map(|i| i % 4 != 1).collect());
+        let batch = 6;
+        let xs: Vec<f64> = (0..batch * 4).map(|i| (i as f64 * 0.61).sin()).collect();
+        let mut ws = Workspace::new();
+        let logits = m.forward_batch_with(&mut ws, &xs).unwrap().to_vec();
+        for e in 0..batch {
+            let single = m.forward(&xs[e * 4..(e + 1) * 4]).unwrap();
+            assert_eq!(
+                logits[e * 3..(e + 1) * 3]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                single.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert!(matches!(
+            m.forward_batch_with(&mut ws, &xs[..5]),
+            Err(NnError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

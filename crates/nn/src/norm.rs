@@ -106,11 +106,23 @@ impl Normalizer {
     /// Panics when `x` has the wrong width.
     #[must_use]
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        self.transform_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Normalizer::transform`]: standardizes `x` into
+    /// `out` (identical arithmetic, bitwise-equal results).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` or `out` has the wrong width.
+    pub fn transform_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.dim(), "feature width mismatch");
-        x.iter()
-            .zip(self.mean.iter().zip(&self.std))
-            .map(|(&xi, (&m, &s))| (xi - m) / s)
-            .collect()
+        assert_eq!(out.len(), self.dim(), "feature width mismatch");
+        for ((o, &xi), (&m, &s)) in out.iter_mut().zip(x).zip(self.mean.iter().zip(&self.std)) {
+            *o = (xi - m) / s;
+        }
     }
 }
 

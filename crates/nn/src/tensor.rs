@@ -117,13 +117,51 @@ impl Matrix {
     /// Panics when `x.len() != cols`.
     #[must_use]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Matrix::matvec`]: writes `self * x` into `out`.
+    ///
+    /// The per-row reduction runs in ascending column order, exactly as
+    /// in `matvec`, so the two paths are bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
         for (r, out_r) in out.iter_mut().enumerate() {
-            let row = self.row(r);
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
             *out_r = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
         }
-        out
+    }
+
+    /// Batched matrix–vector product: `xs` holds `batch` row-major input
+    /// vectors of width `cols`; `out` receives `batch` output vectors of
+    /// width `rows`.
+    ///
+    /// The loop nest iterates `(row, example)` so one weight row stays
+    /// hot in cache across the whole batch; the per-`(row, example)`
+    /// reduction order is unchanged from [`Matrix::matvec`], so each
+    /// output vector is bitwise identical to a per-example `matvec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len() != batch * cols` or
+    /// `out.len() != batch * rows`.
+    pub fn matvec_batch_into(&self, xs: &[f64], batch: usize, out: &mut [f64]) {
+        assert_eq!(xs.len(), batch * self.cols, "batch input length mismatch");
+        assert_eq!(out.len(), batch * self.rows, "batch output length mismatch");
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for e in 0..batch {
+                let x = &xs[e * self.cols..(e + 1) * self.cols];
+                out[e * self.rows + r] = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+            }
+        }
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -133,14 +171,30 @@ impl Matrix {
     /// Panics when `x.len() != rows`.
     #[must_use]
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
         let mut out = vec![0.0; self.cols];
+        self.matvec_transposed_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Matrix::matvec_transposed`]: writes `selfᵀ * x`
+    /// into `out` (bitwise identical accumulation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != rows` or `out.len() != cols`.
+    pub fn matvec_transposed_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "matvec_transposed output length mismatch"
+        );
+        out.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
             for (c, out_c) in out.iter_mut().enumerate() {
                 *out_c += self.data[r * self.cols + c] * xr;
             }
         }
-        out
     }
 
     /// Number of non-zero entries.

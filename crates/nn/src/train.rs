@@ -1,8 +1,9 @@
 //! Seeded mini-batch SGD training on cross-entropy.
 
 use crate::error::NnError;
-use crate::layer::{relu_backward, softmax, LayerVelocity};
+use crate::layer::{relu, relu_backward, softmax_into, LayerVelocity};
 use crate::mlp::Mlp;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -163,6 +164,8 @@ impl Trainer {
             .collect();
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut final_loss = f64::INFINITY;
+        let mut ws = Workspace::new();
+        ws.prepare(model.dims());
 
         for _ in 0..self.epochs {
             order.shuffle(&mut rng);
@@ -173,7 +176,7 @@ impl Trainer {
                 let scale = 1.0 / chunk.len() as f64;
                 for &idx in chunk {
                     let (x, label) = &data[idx];
-                    epoch_loss += self.step(model, &mut velocities, x, *label, scale);
+                    epoch_loss += self.step(model, &mut velocities, &mut ws, x, *label, scale);
                 }
             }
             final_loss = epoch_loss / data.len() as f64;
@@ -182,28 +185,46 @@ impl Trainer {
     }
 
     /// One sample's forward + backward pass; returns its cross-entropy.
+    ///
+    /// Allocation-free: every intermediate lives in `ws`. The arithmetic
+    /// — reduction orders included — replicates the original allocating
+    /// implementation exactly (pinned bitwise by
+    /// `fit_matches_reference_bitwise`), and the forward pass uses the
+    /// dense kernels only: backward invalidates the compiled sparse form
+    /// every step, so compiling it mid-fit would thrash.
     fn step(
         &self,
         model: &mut Mlp,
         velocities: &mut [LayerVelocity],
+        ws: &mut Workspace,
         x: &[f64],
         label: usize,
         scale: f64,
     ) -> f64 {
-        let (pre, acts) = model.forward_cached(x);
-        let logits = pre.last().expect("at least one layer");
-        let proba = softmax(logits);
-        let loss = -proba[label].max(1e-12).ln();
+        let layer_count = model.layers().len();
+        ws.acts[0].copy_from_slice(x);
+        for i in 0..layer_count {
+            let layer = &model.layers()[i];
+            let (head, tail) = ws.acts.split_at_mut(i + 1);
+            layer.forward_dense_into(&head[i], &mut ws.pre[i]);
+            tail[0].copy_from_slice(&ws.pre[i]);
+            if i + 1 < layer_count {
+                relu(&mut tail[0]);
+            }
+        }
+        softmax_into(&ws.pre[layer_count - 1], &mut ws.proba);
+        let loss = -ws.proba[label].max(1e-12).ln();
 
         // dL/dlogits for softmax + cross-entropy against the (optionally
         // smoothed) target distribution.
-        let classes = grad_classes(&proba);
+        let classes = ws.proba.len();
         let off_target = if classes > 1 {
             self.label_smoothing / (classes - 1) as f64
         } else {
             0.0
         };
-        let mut grad: Vec<f64> = proba;
+        let grad = &mut ws.grad[..classes];
+        grad.copy_from_slice(&ws.proba);
         for (c, g) in grad.iter_mut().enumerate() {
             let target = if c == label {
                 1.0 - self.label_smoothing
@@ -213,22 +234,92 @@ impl Trainer {
             *g = (*g - target) * scale;
         }
 
-        let layer_count = model.layers().len();
         for i in (0..layer_count).rev() {
-            let input = &acts[i];
+            let in_width = model.dims()[i];
+            let out_width = model.dims()[i + 1];
             let layer = &mut model.layers_mut()[i];
-            let mut dx = layer.backward(input, &grad, self.lr, self.momentum, &mut velocities[i]);
+            let dx = &mut ws.dgrad[..in_width];
+            layer.backward_into(
+                &ws.acts[i],
+                &ws.grad[..out_width],
+                self.lr,
+                self.momentum,
+                &mut velocities[i],
+                dx,
+            );
             if i > 0 {
-                relu_backward(&pre[i - 1], &mut dx);
+                relu_backward(&ws.pre[i - 1], dx);
             }
-            grad = dx;
+            std::mem::swap(&mut ws.grad, &mut ws.dgrad);
         }
         loss
     }
-}
 
-fn grad_classes(proba: &[f64]) -> usize {
-    proba.len()
+    /// The original allocating trainer loop, kept verbatim as the golden
+    /// reference for the bitwise-parity test of the workspace path.
+    #[cfg(test)]
+    fn fit_reference(&self, model: &mut Mlp, data: &[(Vec<f64>, usize)]) -> Result<f64, NnError> {
+        use crate::layer::softmax;
+        if data.is_empty() {
+            return Err(NnError::EmptyTrainingSet);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut velocities: Vec<LayerVelocity> = model
+            .layers()
+            .iter()
+            .map(LayerVelocity::zeros_like)
+            .collect();
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut final_loss = f64::INFINITY;
+
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(self.batch_size) {
+                let scale = 1.0 / chunk.len() as f64;
+                for &idx in chunk {
+                    let (x, label) = &data[idx];
+                    let (pre, acts) = model.forward_cached(x);
+                    let logits = pre.last().expect("at least one layer");
+                    let proba = softmax(logits);
+                    epoch_loss += -proba[*label].max(1e-12).ln();
+                    let classes = proba.len();
+                    let off_target = if classes > 1 {
+                        self.label_smoothing / (classes - 1) as f64
+                    } else {
+                        0.0
+                    };
+                    let mut grad: Vec<f64> = proba;
+                    for (c, g) in grad.iter_mut().enumerate() {
+                        let target = if c == *label {
+                            1.0 - self.label_smoothing
+                        } else {
+                            off_target
+                        };
+                        *g = (*g - target) * scale;
+                    }
+                    let layer_count = model.layers().len();
+                    for i in (0..layer_count).rev() {
+                        let input = &acts[i];
+                        let layer = &mut model.layers_mut()[i];
+                        let mut dx = layer.backward(
+                            input,
+                            &grad,
+                            self.lr,
+                            self.momentum,
+                            &mut velocities[i],
+                        );
+                        if i > 0 {
+                            relu_backward(&pre[i - 1], &mut dx);
+                        }
+                        grad = dx;
+                    }
+                }
+            }
+            final_loss = epoch_loss / data.len() as f64;
+        }
+        Ok(final_loss)
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +365,48 @@ mod tests {
         let lb = Trainer::new().with_epochs(10).fit(&mut b, &data).unwrap();
         assert_eq!(la, lb);
         assert_eq!(a, b);
+    }
+
+    /// The workspace trainer is pinned bitwise to the original
+    /// allocating implementation: same shuffles, same reduction orders,
+    /// same updates — byte-for-byte equal weights, biases and loss.
+    #[test]
+    fn fit_matches_reference_bitwise() {
+        let data = blob_data(8, 12);
+        for (smoothing, masked) in [(0.0, false), (0.1, false), (0.1, true)] {
+            let trainer = Trainer::new()
+                .with_epochs(7)
+                .with_label_smoothing(smoothing);
+            let mut a = Mlp::new(&[2, 6, 3], 4).unwrap();
+            if masked {
+                let mask: Vec<bool> = (0..a.layers()[0].total_weights())
+                    .map(|i| i % 3 != 1)
+                    .collect();
+                a.layers_mut()[0].set_mask(mask);
+            }
+            let mut b = a.clone();
+            let la = trainer.fit(&mut a, &data).unwrap();
+            let lb = trainer.fit_reference(&mut b, &data).unwrap();
+            assert_eq!(la.to_bits(), lb.to_bits());
+            for (x, y) in a.layers().iter().zip(b.layers()) {
+                assert_eq!(
+                    x.weights()
+                        .as_slice()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    y.weights()
+                        .as_slice()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>()
+                );
+                assert_eq!(
+                    x.bias().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    y.bias().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
     }
 
     #[test]

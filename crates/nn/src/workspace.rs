@@ -1,0 +1,104 @@
+//! Reusable scratch buffers for the allocation-free kernel paths.
+
+/// Preallocated scratch space threaded through [`Mlp`](crate::Mlp),
+/// [`Trainer`](crate::Trainer) and
+/// [`SensorClassifier`](crate::SensorClassifier) hot paths.
+///
+/// Buffers only ever grow, so a `Workspace` reused across a steady-state
+/// train/infer loop performs zero heap allocations after the first call
+/// for a given model shape. Creating one is cheap (all buffers start
+/// empty); keep one per thread and per long-running loop.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Normalized-feature staging buffer (classifier input width).
+    pub(crate) features: Vec<f64>,
+    /// Per-layer pre-activations `z = W a + b`; widths `dims[1..]`.
+    pub(crate) pre: Vec<Vec<f64>>,
+    /// Per-layer activations; `acts[0]` is the input, widths = `dims`.
+    pub(crate) acts: Vec<Vec<f64>>,
+    /// Softmax output buffer, output width.
+    pub(crate) proba: Vec<f64>,
+    /// Gradient ping-pong buffers, max layer width each.
+    pub(crate) grad: Vec<f64>,
+    /// Second gradient buffer (input gradient of the current layer).
+    pub(crate) dgrad: Vec<f64>,
+    /// Batched activation ping-pong buffers, `batch × max width` each.
+    pub(crate) batch: [Vec<f64>; 2],
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the single-example buffers to fit a network with layer
+    /// widths `dims` (input first).
+    pub(crate) fn prepare(&mut self, dims: &[usize]) {
+        let max = dims.iter().copied().max().unwrap_or(0);
+        if self.acts.len() < dims.len() {
+            self.acts.resize_with(dims.len(), Vec::new);
+        }
+        for (a, &w) in self.acts.iter_mut().zip(dims) {
+            a.resize(w, 0.0);
+        }
+        if self.pre.len() < dims.len() - 1 {
+            self.pre.resize_with(dims.len() - 1, Vec::new);
+        }
+        for (p, &w) in self.pre.iter_mut().zip(&dims[1..]) {
+            p.resize(w, 0.0);
+        }
+        self.proba
+            .resize(*dims.last().expect("dims non-empty"), 0.0);
+        if self.grad.len() < max {
+            self.grad.resize(max, 0.0);
+        }
+        if self.dgrad.len() < max {
+            self.dgrad.resize(max, 0.0);
+        }
+    }
+
+    /// Grows the batched ping-pong buffers for `batch` examples of a
+    /// network with layer widths `dims`.
+    pub(crate) fn prepare_batch(&mut self, dims: &[usize], batch: usize) {
+        let max = dims.iter().copied().max().unwrap_or(0);
+        for b in &mut self.batch {
+            if b.len() < batch * max {
+                b.resize(batch * max, 0.0);
+            }
+        }
+        self.proba
+            .resize(*dims.last().expect("dims non-empty"), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_sizes_buffers() {
+        let mut ws = Workspace::new();
+        ws.prepare(&[4, 8, 3]);
+        assert_eq!(ws.acts.len(), 3);
+        assert_eq!(ws.acts[0].len(), 4);
+        assert_eq!(ws.acts[2].len(), 3);
+        assert_eq!(ws.pre.len(), 2);
+        assert_eq!(ws.pre[1].len(), 3);
+        assert_eq!(ws.proba.len(), 3);
+        assert!(ws.grad.len() >= 8 && ws.dgrad.len() >= 8);
+    }
+
+    #[test]
+    fn buffers_only_grow() {
+        let mut ws = Workspace::new();
+        ws.prepare(&[10, 20, 5]);
+        let cap = ws.grad.capacity();
+        ws.prepare(&[4, 3]);
+        ws.prepare(&[10, 20, 5]);
+        assert!(ws.grad.capacity() >= cap);
+        ws.prepare_batch(&[10, 20, 5], 7);
+        assert!(ws.batch[0].len() >= 7 * 20);
+    }
+}

@@ -1,0 +1,142 @@
+//! Pins the zero-allocation guarantee of the steady-state kernels.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up call has sized the workspace and compiled the sparse form,
+//! repeated inference must perform *zero* heap allocations, and the
+//! trainer's per-epoch loop must allocate nothing beyond its fixed
+//! per-`fit` setup. The assertions are exact counts, not bounds: one
+//! stray `Vec` in the hot path fails the test.
+//!
+//! Everything runs inside a single `#[test]` — the harness runs tests
+//! on separate threads, and the counter is process-global.
+
+use origin_nn::{Mlp, Trainer, Workspace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Allocation count of `f`, exact.
+fn allocations_in(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+const DIMS: &[usize] = &[28, 20, 6];
+
+fn pruned_mlp(seed: u64) -> Mlp {
+    let mut model = Mlp::new(DIMS, seed).expect("valid dims");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC5);
+    for layer in model.layers_mut() {
+        let mask: Vec<bool> = (0..layer.total_weights())
+            .map(|_| rng.gen::<f64>() >= 0.7)
+            .collect();
+        layer.set_mask(mask);
+    }
+    model
+}
+
+#[test]
+fn steady_state_kernels_do_not_allocate() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x: Vec<f64> = (0..DIMS[0]).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+    let dense = Mlp::new(DIMS, 9).expect("valid dims");
+    let pruned = pruned_mlp(9);
+
+    // --- Inference: zero allocations after warm-up, independent of the
+    // iteration count.
+    for (name, model) in [("dense", &dense), ("pruned", &pruned)] {
+        let mut ws = Workspace::new();
+        // Warm-up sizes the workspace and (for the pruned model) builds
+        // the compiled sparse form.
+        let _ = model.forward_with(&mut ws, &x).expect("width matches");
+        let _ = model
+            .predict_proba_with(&mut ws, &x)
+            .expect("width matches");
+        for iterations in [1usize, 100] {
+            let count = allocations_in(|| {
+                for _ in 0..iterations {
+                    let _ = model.forward_with(&mut ws, &x).expect("width matches");
+                    let _ = model
+                        .predict_proba_with(&mut ws, &x)
+                        .expect("width matches");
+                }
+            });
+            assert_eq!(
+                count, 0,
+                "{name} inference allocated {count} times over {iterations} iterations"
+            );
+        }
+    }
+
+    // --- Batched inference: same guarantee through the batch kernel.
+    {
+        let xs: Vec<f64> = (0..DIMS[0] * 32)
+            .map(|_| rng.gen::<f64>() * 2.0 - 1.0)
+            .collect();
+        let mut ws = Workspace::new();
+        let _ = pruned
+            .forward_batch_with(&mut ws, &xs)
+            .expect("width matches");
+        let count = allocations_in(|| {
+            for _ in 0..50 {
+                let _ = pruned
+                    .forward_batch_with(&mut ws, &xs)
+                    .expect("width matches");
+            }
+        });
+        assert_eq!(count, 0, "batched inference allocated {count} times");
+    }
+
+    // --- Training: `fit` pays a fixed setup cost (velocities, shuffle
+    // order, workspace) but the epoch loop itself must be allocation
+    // free, so the total count cannot depend on the epoch count.
+    {
+        let data: Vec<(Vec<f64>, usize)> = (0..48)
+            .map(|i| {
+                let features: Vec<f64> =
+                    (0..DIMS[0]).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+                (features, i % DIMS[DIMS.len() - 1])
+            })
+            .collect();
+        let counts: Vec<usize> = [1usize, 9]
+            .iter()
+            .map(|&epochs| {
+                let trainer = Trainer::new().with_epochs(epochs).with_seed(7);
+                let mut model = Mlp::new(DIMS, 11).expect("valid dims");
+                allocations_in(|| {
+                    let _ = trainer.fit(&mut model, &data).expect("fits");
+                })
+            })
+            .collect();
+        assert_eq!(
+            counts[0], counts[1],
+            "per-epoch allocations detected: 1 epoch = {} allocs, 9 epochs = {} allocs",
+            counts[0], counts[1]
+        );
+    }
+}

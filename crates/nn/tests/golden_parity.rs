@@ -1,0 +1,129 @@
+//! Property tests pinning the sparse/batched kernels to the dense path.
+//!
+//! The compiled sparse (CSR-style) form and the batched forward kernel
+//! are pure layout optimizations: for every mask, shape and input they
+//! must reproduce the dense masked arithmetic *bitwise*, not just
+//! approximately — the repository's golden results depend on it.
+
+use origin_nn::{Mlp, Workspace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small random MLP with every layer masked by `keep_prob`.
+fn masked_mlp(dims: &[usize], seed: u64, keep_prob: f64) -> Mlp {
+    let mut model = Mlp::new(dims, seed).expect("valid dims");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51C);
+    for layer in model.layers_mut() {
+        let mask: Vec<bool> = (0..layer.total_weights())
+            .map(|_| rng.gen::<f64>() < keep_prob)
+            .collect();
+        layer.set_mask(mask);
+    }
+    model
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// Pruned forward (compiled sparse form) == dense masked forward,
+    /// bitwise, for arbitrary shapes, masks and inputs.
+    #[test]
+    fn pruned_csr_forward_matches_dense_masked_bitwise(
+        ins in 1usize..12,
+        hidden in 1usize..10,
+        outs in 2usize..6,
+        seed in 0u64..500,
+        keep_prob in 0.0f64..1.0,
+        input_seed in 0u64..500,
+    ) {
+        let model = masked_mlp(&[ins, hidden, outs], seed, keep_prob);
+        let mut rng = StdRng::seed_from_u64(input_seed);
+        let x: Vec<f64> = (0..ins).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+
+        // Dense-masked reference: the plain matvec over the mask-zeroed
+        // weight matrix (the layer's own kernel never consulted), with
+        // ReLU on all but the last layer, matching `Mlp::forward`.
+        let mut reference = x.clone();
+        let last = model.layers().len() - 1;
+        for (i, layer) in model.layers().iter().enumerate() {
+            let mut y = layer.weights().matvec(&reference);
+            for (yi, bi) in y.iter_mut().zip(layer.bias()) {
+                *yi += bi;
+            }
+            if i < last {
+                for v in &mut y {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            reference = y;
+        }
+
+        let sparse = model.forward(&x).expect("width matches");
+        prop_assert_eq!(bits(&sparse), bits(&reference));
+
+        // And through the reusable-workspace entry point.
+        let mut ws = Workspace::new();
+        let with_ws = model.forward_with(&mut ws, &x).expect("width matches");
+        prop_assert_eq!(bits(with_ws), bits(&reference));
+    }
+
+    /// Batched forward == per-example forward, bitwise, including on
+    /// pruned models (the batched kernel reuses the sparse form).
+    #[test]
+    fn batched_forward_matches_single_bitwise(
+        ins in 1usize..10,
+        outs in 2usize..6,
+        batch in 1usize..9,
+        seed in 0u64..500,
+        keep_prob in 0.0f64..1.0,
+        input_seed in 0u64..500,
+    ) {
+        let model = masked_mlp(&[ins, ins + 2, outs], seed, keep_prob);
+        let mut rng = StdRng::seed_from_u64(input_seed);
+        let xs: Vec<f64> = (0..ins * batch).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+
+        let mut ws = Workspace::new();
+        let batched = model
+            .forward_batch_with(&mut ws, &xs)
+            .expect("width matches")
+            .to_vec();
+        prop_assert_eq!(batched.len(), batch * outs);
+
+        let mut ws1 = Workspace::new();
+        for e in 0..batch {
+            let single = model
+                .forward_with(&mut ws1, &xs[e * ins..(e + 1) * ins])
+                .expect("width matches");
+            prop_assert_eq!(bits(single), bits(&batched[e * outs..(e + 1) * outs]));
+        }
+    }
+
+    /// `set_mask_preserving_weights` never changes what forward computes
+    /// when the stored weights already satisfy the mask.
+    #[test]
+    fn mask_preserving_install_keeps_forward_bitwise(
+        ins in 1usize..10,
+        outs in 2usize..6,
+        seed in 0u64..500,
+        keep_prob in 0.0f64..1.0,
+        input_seed in 0u64..500,
+    ) {
+        let mut model = masked_mlp(&[ins, outs], seed, keep_prob);
+        let mut rng = StdRng::seed_from_u64(input_seed);
+        let x: Vec<f64> = (0..ins).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+        let before = model.forward(&x).expect("width matches");
+
+        // Reinstall each layer's own mask via the persistence path.
+        for layer in model.layers_mut() {
+            let mask = layer.mask().expect("masked").to_vec();
+            layer.set_mask_preserving_weights(mask);
+        }
+        let after = model.forward(&x).expect("width matches");
+        prop_assert_eq!(bits(&before), bits(&after));
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Benchmark entry point: criterion micro-benchmarks plus one pinned
+# machine-readable snapshot.
+#
+# Usage: scripts/bench.sh [filter]
+#
+# Two stages:
+#   1. cargo bench -p origin-bench   — the criterion suites (kernels,
+#      inference, simulation, ensemble, substrate, telemetry, sweep);
+#      an optional [filter] argument narrows which benchmarks run.
+#   2. bench_report                  — a self-contained median-of-samples
+#      harness that writes BENCH_sweep.json at the repo root (median ns,
+#      derived throughput, git revision) so each revision carries one
+#      comparable snapshot that needs no criterion output parsing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+filter="${1:-}"
+
+echo "==> cargo bench -p origin-bench ${filter:+-- $filter}"
+if [[ -n "$filter" ]]; then
+    cargo bench -p origin-bench -- "$filter"
+else
+    cargo bench -p origin-bench
+fi
+
+echo "==> bench_report -> BENCH_sweep.json"
+cargo run --release -p origin-bench --bin bench_report BENCH_sweep.json
+
+echo "==> wrote BENCH_sweep.json ($(git rev-parse --short HEAD))"

@@ -3,13 +3,18 @@
 #
 # Usage: scripts/check.sh
 #
-# Runs the four checks CI expects, in fail-fast order (cheapest first):
+# Runs the checks CI expects, in fail-fast order (cheapest first):
 #   1. cargo fmt --check      — formatting drift
 #   2. cargo clippy -D warnings — lints across the whole workspace
 #   3. cargo doc -D warnings  — rustdoc builds clean (broken intra-doc
 #      links, missing docs on public items)
-#   4. cargo test -q          — the full test suite, including the sweep
-#      determinism test (1 vs 8 threads, byte-identical manifests)
+#   4. cargo bench --no-run   — benchmark targets compile (they are not
+#      covered by cargo test and rot silently otherwise)
+#   5. cargo build --release -p origin-bench — the experiment binaries
+#      (reproduce_all, bench_report, fig*/table*) build in release
+#   6. cargo test -q          — the full test suite, including the sweep
+#      determinism test (1 vs 8 threads, byte-identical manifests) and
+#      the zero-allocation / kernel-parity tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +26,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> cargo bench --no-run (benchmarks compile)"
+cargo bench --workspace --no-run --quiet
+
+echo "==> cargo build --release -p origin-bench (experiment binaries)"
+cargo build --release -p origin-bench --quiet
 
 echo "==> cargo test -q"
 cargo test -q
