@@ -25,6 +25,9 @@ const DIMS: &[usize] = &[28, 20, 6];
 
 /// Times `inner` calls of `f` per sample, `samples` times; returns the
 /// median per-call nanoseconds.
+// Benchmarks measure real elapsed time by definition; the reading never
+// feeds back into simulated behaviour.
+#[allow(clippy::disallowed_methods)]
 fn median_ns(samples: usize, inner: usize, mut f: impl FnMut()) -> f64 {
     let mut per_iter: Vec<f64> = (0..samples)
         .map(|_| {

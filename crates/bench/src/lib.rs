@@ -8,7 +8,7 @@
 //! run-manifest assembly — see EXPERIMENTS.md §Telemetry).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod sweep;
 

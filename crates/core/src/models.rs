@@ -109,7 +109,7 @@ impl ModelBank {
         let trainer = Trainer::new()
             .with_epochs(140)
             .with_seed(seed)
-            .with_label_smoothing(0.1);
+            .with_label_smoothing(0.1)?;
         let mut unpruned = Vec::with_capacity(SensorLocation::COUNT);
         let mut pruned = Vec::with_capacity(SensorLocation::COUNT);
         let mut unpruned_cm = Vec::with_capacity(SensorLocation::COUNT);

@@ -1,0 +1,251 @@
+//! The committed allowlist: audited exceptions to the rule set.
+//!
+//! `lint-allow.toml` at the repo root has two sections:
+//!
+//! ```toml
+//! # Functions whose bodies rule D4 keeps allocation-free.
+//! [hot-paths]
+//! paths = [
+//!     "crates/nn/src/mlp.rs::run_forward",
+//! ]
+//!
+//! # One waiver per audited exception. `reason` is mandatory; `pattern`
+//! # (a substring of the flagged source line) narrows the waiver so it
+//! # cannot silently absorb new violations in the same file.
+//! [[allow]]
+//! rule = "D3"
+//! path = "crates/nn/src/mlp.rs"
+//! pattern = "probabilities are finite"
+//! reason = "softmax output is finite by construction; comparator cannot see NaN"
+//! ```
+//!
+//! The reader below parses exactly this TOML subset (tables,
+//! array-of-tables, string keys, string arrays, comments) — the workspace
+//! has no `toml` dependency and must build offline. Unknown syntax is an
+//! error: a malformed allowlist must fail loudly, not silently waive.
+
+use std::collections::BTreeMap;
+
+/// One `[[allow]]` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the waiver applies to (`D1` … `D5`).
+    pub rule: String,
+    /// Repo-relative file the waiver applies to.
+    pub path: String,
+    /// Optional substring of the flagged line; empty matches any line.
+    pub pattern: String,
+    /// Mandatory human justification.
+    pub reason: String,
+}
+
+/// Parsed allowlist file.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    /// `file.rs::fn_name` hot-path declarations for D4, grouped by file.
+    pub hot_paths: BTreeMap<String, Vec<String>>,
+    /// The waivers, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the `lint-allow.toml` subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for anything outside
+    /// the accepted subset, a waiver missing `rule`/`path`/`reason`, or a
+    /// malformed `hot-paths` declaration.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        enum Section {
+            None,
+            HotPaths,
+            Allow(usize),
+        }
+        let mut out = Allowlist::default();
+        let mut section = Section::None;
+        let mut lines = src.lines().enumerate().peekable();
+        while let Some((n, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[hot-paths]" {
+                section = Section::HotPaths;
+                continue;
+            }
+            if line == "[[allow]]" {
+                out.entries.push(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    pattern: String::new(),
+                    reason: String::new(),
+                });
+                section = Section::Allow(out.entries.len() - 1);
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {}: unknown section `{}`", n + 1, line));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {}: expected `key = value`, got `{line}`",
+                    n + 1
+                ));
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multiline string arrays: accumulate until the closing `]`.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_comment(cont);
+                    value.push_str(cont.trim());
+                    if cont.trim_end().ends_with(']') {
+                        break;
+                    }
+                }
+            }
+            match (&section, key) {
+                (Section::HotPaths, "paths") => {
+                    for item in
+                        parse_string_array(&value).map_err(|e| format!("line {}: {e}", n + 1))?
+                    {
+                        let Some((file, fn_name)) = item.split_once("::") else {
+                            return Err(format!(
+                                "line {}: hot-path `{item}` must be `file.rs::fn_name`",
+                                n + 1
+                            ));
+                        };
+                        out.hot_paths
+                            .entry(file.to_string())
+                            .or_default()
+                            .push(fn_name.to_string());
+                    }
+                }
+                (Section::Allow(idx), _) => {
+                    let entry = &mut out.entries[*idx];
+                    let v = parse_string(&value).map_err(|e| format!("line {}: {e}", n + 1))?;
+                    match key {
+                        "rule" => entry.rule = v,
+                        "path" => entry.path = v,
+                        "pattern" => entry.pattern = v,
+                        "reason" => entry.reason = v,
+                        _ => return Err(format!("line {}: unknown waiver key `{key}`", n + 1)),
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "line {}: key `{key}` outside a known section",
+                        n + 1
+                    ))
+                }
+            }
+        }
+        for (i, e) in out.entries.iter().enumerate() {
+            if e.rule.is_empty() || e.path.is_empty() {
+                return Err(format!(
+                    "waiver #{}: `rule` and `path` are mandatory",
+                    i + 1
+                ));
+            }
+            if e.reason.trim().is_empty() {
+                return Err(format!(
+                    "waiver #{} ({} in {}): every waiver must carry a written `reason`",
+                    i + 1,
+                    e.rule,
+                    e.path
+                ));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Drops a `#`-to-end-of-line comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Parses `"a string"`.
+fn parse_string(v: &str) -> Result<String, String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1]
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\"))
+    } else {
+        Err(format!("expected a double-quoted string, got `{v}`"))
+    }
+}
+
+/// Parses `["a", "b", ...]` (trailing comma tolerated).
+fn parse_string_array(v: &str) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a string array, got `{v}`"))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hot_paths_and_waivers() {
+        let src = r#"
+            # comment
+            [hot-paths]
+            paths = [
+                "crates/nn/src/mlp.rs::run_forward", # per-line comment
+                "crates/nn/src/layer.rs::forward_into",
+            ]
+
+            [[allow]]
+            rule = "D3"
+            path = "crates/nn/src/prune.rs"
+            pattern = "energies are finite"
+            reason = "energy model emits finite values only"
+        "#;
+        let a = Allowlist::parse(src).expect("parses");
+        assert_eq!(a.hot_paths["crates/nn/src/mlp.rs"], vec!["run_forward"]);
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.entries[0].rule, "D3");
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let src = "[[allow]]\nrule = \"D3\"\npath = \"x.rs\"\n";
+        let err = Allowlist::parse(src).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_sections_fail_loudly() {
+        assert!(Allowlist::parse("[surprise]\nx = \"y\"\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let src =
+            "[[allow]]\nrule = \"D3\"\npath = \"x.rs\"\npattern = \"a # b\"\nreason = \"r\"\n";
+        let a = Allowlist::parse(src).expect("parses");
+        assert_eq!(a.entries[0].pattern, "a # b");
+    }
+}

@@ -1,0 +1,120 @@
+//! Finding type and its human / JSON renderings.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (`D1` … `D5`).
+    pub rule: &'static str,
+    /// Repo-relative file path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The trimmed source line the finding points at.
+    pub snippet: String,
+    /// Why this is a violation and what to do instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// `rustc`-style human rendering.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "error[{}]: {}", self.rule, self.message);
+        let _ = writeln!(s, "  --> {}:{}:{}", self.file, self.line, self.col);
+        if !self.snippet.is_empty() {
+            let _ = writeln!(s, "   |  {}", self.snippet);
+        }
+        s
+    }
+
+    /// One JSON object, fully escaped.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"snippet\":{},\"message\":{}}}",
+            json_string(self.rule),
+            json_string(&self.file),
+            self.line,
+            self.col,
+            json_string(&self.snippet),
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Renders a full report as a single JSON document.
+#[must_use]
+pub fn render_json_report(findings: &[Finding], files_scanned: usize, allowed: usize) -> String {
+    let body: Vec<String> = findings.iter().map(Finding::render_json).collect();
+    format!(
+        "{{\"findings\":[{}],\"summary\":{{\"findings\":{},\"files_scanned\":{},\"allowlisted\":{}}}}}",
+        body.join(","),
+        findings.len(),
+        files_scanned,
+        allowed
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: "D1",
+            file: "crates/core/src/sim.rs".to_string(),
+            line: 7,
+            col: 3,
+            snippet: "let t = Instant::now(); // \"why\"".to_string(),
+            message: "wall-clock".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_rendering_includes_location() {
+        let h = sample().render_human();
+        assert!(h.contains("error[D1]"));
+        assert!(h.contains("crates/core/src/sim.rs:7:3"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = sample().render_json();
+        assert!(j.contains("\\\"why\\\""));
+        assert!(!j.contains("\n"));
+    }
+
+    #[test]
+    fn report_counts_match() {
+        let r = render_json_report(&[sample()], 12, 3);
+        assert!(r.contains("\"files_scanned\":12"));
+        assert!(r.contains("\"allowlisted\":3"));
+        assert!(r.contains("\"findings\":1"));
+    }
+}

@@ -1,0 +1,368 @@
+//! A minimal Rust token lexer with source positions.
+//!
+//! The analyzer does not need a full AST: every rule in this crate is a
+//! pattern over the *token stream* (identifier paths, method-call shapes,
+//! inner attributes), so a hand-rolled lexer that gets comments, string
+//! literals, raw strings, char-vs-lifetime disambiguation and nested block
+//! comments right is sufficient — and keeps the crate dependency-free for
+//! offline builds.
+//!
+//! Comments and literal *contents* are deliberately dropped: a banned name
+//! inside a doc comment or a string is not a finding.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct(char),
+    /// Any literal (string, raw string, char, byte, number). The text is
+    /// not preserved — rules never look inside literals.
+    Literal,
+}
+
+/// One lexed token with its position in the source file.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// The identifier text; empty for punctuation and literals.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (byte offset within the line).
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into a token stream, skipping whitespace, comments and
+/// literal contents. The lexer is permissive: on malformed input it makes
+/// forward progress rather than erroring, which is the right trade-off for
+/// a lint that must never wedge on a file rustc itself will reject.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    // Advances `n` bytes, updating the line/column counters.
+    macro_rules! bump {
+        ($n:expr) => {{
+            let n = $n;
+            for k in 0..n {
+                if b[i + k] == b'\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            i += n;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let (tl, tc) = (line, col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(1),
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment (incl. doc comments) to end of line.
+                let mut j = i;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                bump!(j - i);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nested.
+                let mut depth = 0usize;
+                let mut j = i;
+                while j < b.len() {
+                    if j + 1 < b.len() && b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < b.len() && b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                }
+                bump!(j - i);
+            }
+            b'"' => {
+                let n = string_len(b, i);
+                bump!(n);
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let n = char_or_lifetime_len(b, i);
+                let is_char = b.get(i + n - 1) == Some(&b'\'') && n > 1;
+                bump!(n);
+                if is_char {
+                    toks.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line: tl,
+                        col: tc,
+                    });
+                }
+                // Lifetimes carry no rule signal; drop them.
+            }
+            b'r' | b'b' if raw_string_prefix_len(b, i) > 0 => {
+                let n = raw_string_prefix_len(b, i);
+                bump!(n);
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                // b"..." / b'...' byte literals reach here via the `b` ident
+                // path only when `raw_string_prefix_len` said no, i.e. it is
+                // a plain identifier.
+                let text = src[i..j].to_string();
+                bump!(j - i);
+                toks.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d == b'_' || d.is_ascii_alphanumeric() {
+                        j += 1;
+                    } else if d == b'.' && b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                        // `1.5` continues the number; `0..n` and `x.0.clone()`
+                        // leave the dot for the punctuation path.
+                        j += 2;
+                    } else if (d == b'+' || d == b'-')
+                        && matches!(b[j - 1], b'e' | b'E')
+                        && b.get(j + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        // Exponent sign: `1e-3`.
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                bump!(j - i);
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            _ => {
+                bump!(1);
+                toks.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    text: String::new(),
+                    line: tl,
+                    col: tc,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Byte length of the string literal starting at `b[i] == '"'`.
+fn string_len(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1 - i,
+            _ => j += 1,
+        }
+    }
+    b.len() - i
+}
+
+/// Byte length of the char literal or lifetime starting at `b[i] == '\''`.
+///
+/// Returns the full literal length for `'x'`/`'\n'`, or the length of the
+/// lifetime identifier (quote included) for `'a`.
+fn char_or_lifetime_len(b: &[u8], i: usize) -> usize {
+    // Escaped char literal: '\...'
+    if b.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return (j + 1).min(b.len()) - i;
+    }
+    // 'x' (any single char incl. unicode) followed by closing quote.
+    if let Some(rest) = b.get(i + 1..) {
+        if let Some(s) = std::str::from_utf8(rest).ok().and_then(|s| {
+            let mut it = s.char_indices();
+            let (_, ch) = it.next()?;
+            let (next, _) = it.next()?;
+            (s.as_bytes().get(next) == Some(&b'\'')).then_some(ch.len_utf8() + 1)
+        }) {
+            // Not a lifetime when the very next char closes the quote —
+            // except `''` which cannot occur in valid Rust.
+            return 1 + s;
+        }
+    }
+    // Lifetime: consume ident chars after the quote.
+    let mut j = i + 1;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    j - i
+}
+
+/// Byte length of a raw/byte string literal at `i` (`r"…"`, `r#"…"#`,
+/// `b"…"`, `br#"…"#`, `rb` is not valid Rust), or 0 when `b[i]` does not
+/// start one.
+fn raw_string_prefix_len(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'"' {
+            // Scan for `"` followed by `hashes` hashes.
+            j += 1;
+            while j < b.len() {
+                if b[j] == b'"'
+                    && b[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == b'#')
+                        .count()
+                        == hashes
+                {
+                    return j + 1 + hashes - i;
+                }
+                j += 1;
+            }
+            return b.len() - i;
+        }
+        // `r#ident` raw identifier: report 0 so the ident path lexes it
+        // (the `#` is consumed as punctuation, harmless for our rules).
+        return 0;
+    }
+    if j < b.len() && (b[j] == b'"' || b[j] == b'\'') && j > i {
+        // b"..." or b'...'
+        if b[j] == b'"' {
+            return j - i + string_len(b, j);
+        }
+        return j - i + char_or_lifetime_len(b, j);
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = r##"
+            // Instant::now() in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "Instant::now()";
+            let r = r#"thread_rng"#;
+            let c = 'H';
+            fn real() { unwrap_it(); }
+        "##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|s| s == "Instant" || s == "HashMap" || s == "thread_rng"));
+        assert!(ids.iter().any(|s| s == "unwrap_it"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'w>(x: &'w str) -> &'w str { x }");
+        assert!(toks.iter().all(|t| t.kind != TokKind::Literal));
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_method_name() {
+        let ids = idents("x.0.clone()");
+        assert_eq!(ids, vec!["x", "clone"]);
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_numbers() {
+        let toks = lex("for i in 0..10 {}");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn float_exponents_stay_one_literal() {
+        let toks = lex("1.5e-3 + x");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,202 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! # origin-lint — workspace determinism & hot-path static analysis
+//!
+//! The Origin reproduction promises properties no general-purpose linter
+//! can check: paired policy comparisons on an identical simulated world,
+//! bitwise-identical sweeps at any `--threads`, and zero-allocation
+//! inference kernels. Each is a *structural* invariant of the source —
+//! one `Instant::now()` or one `HashMap` iteration in a simulation crate
+//! silently breaks reproducibility. This crate enforces those invariants
+//! at lint time, before code lands.
+//!
+//! Rules (see [`rules`] for the scoping tables):
+//!
+//! * **D1** — no ambient nondeterminism (wall clocks, OS entropy,
+//!   environment reads) in the deterministic crates.
+//! * **D2** — no `HashMap`/`HashSet` in the deterministic crates.
+//! * **D3** — no `unwrap`/`expect`/`panic!`/`todo!` in non-test library
+//!   code of crates that export a typed error.
+//! * **D4** — no allocation calls inside the zero-alloc kernels declared
+//!   in `lint-allow.toml` (`[hot-paths]`).
+//! * **D5** — every crate root carries `#![forbid(unsafe_code)]` and
+//!   `#![deny(missing_docs)]`.
+//!
+//! Audited exceptions live in the committed `lint-allow.toml`; every
+//! waiver must carry a written `reason`, and stale waivers (matching no
+//! finding) are themselves errors so the file cannot rot.
+//!
+//! Run it as `cargo run -p origin-lint` (add `-- --json` for machine
+//! output); `scripts/check.sh` runs it between clippy and rustdoc.
+
+pub mod allowlist;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::path::Path;
+
+use allowlist::Allowlist;
+use diagnostics::Finding;
+use rules::FileContext;
+
+/// Outcome of a full workspace pass.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations that survived the allowlist, sorted by file/line.
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+    /// Number of findings waived by the allowlist.
+    pub allowed: usize,
+}
+
+/// Lints the workspace rooted at `root` against the allowlist at
+/// `allow_path`.
+///
+/// # Errors
+///
+/// Returns a description when the allowlist is malformed or a source
+/// file cannot be read; rule findings are *not* errors — they are the
+/// [`Report`].
+pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
+    let allow_src = fs::read_to_string(allow_path)
+        .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+    let allow =
+        Allowlist::parse(&allow_src).map_err(|e| format!("{}: {e}", allow_path.display()))?;
+    let files = workspace::collect_sources(root)?;
+
+    let mut raw = Vec::new();
+    for file in &files {
+        let src = fs::read_to_string(&file.abs)
+            .map_err(|e| format!("reading {}: {e}", file.abs.display()))?;
+        let empty = Vec::new();
+        let hot = allow.hot_paths.get(&file.rel).unwrap_or(&empty);
+        let ctx = FileContext {
+            rel_path: &file.rel,
+            crate_name: &file.crate_name,
+            is_crate_root: file.is_crate_root,
+            hot_fns: hot,
+        };
+        raw.extend(rules::lint_source(&src, &ctx));
+    }
+
+    // Hot-path files that vanished entirely (rename/delete) would
+    // otherwise silently skip D4; surface them like stale waivers.
+    for file in allow.hot_paths.keys() {
+        if !files.iter().any(|f| &f.rel == file) {
+            raw.push(Finding {
+                rule: "D4",
+                file: file.clone(),
+                line: 1,
+                col: 1,
+                snippet: String::new(),
+                message: format!(
+                    "hot-path file `{file}` is not in the workspace; fix the \
+                     `hot-paths` list in lint-allow.toml"
+                ),
+            });
+        }
+    }
+
+    let (findings, allowed) = apply_allowlist(raw, &allow);
+    Ok(Report {
+        findings,
+        files_scanned: files.len(),
+        allowed,
+    })
+}
+
+/// Splits findings into surviving violations and waived ones, and turns
+/// stale waivers into findings of their own.
+fn apply_allowlist(raw: Vec<Finding>, allow: &Allowlist) -> (Vec<Finding>, usize) {
+    let mut used = vec![false; allow.entries.len()];
+    let mut kept = Vec::new();
+    let mut waived = 0usize;
+    for f in raw {
+        let hit = allow.entries.iter().enumerate().find(|(_, e)| {
+            e.rule == f.rule
+                && e.path == f.file
+                && (e.pattern.is_empty() || f.snippet.contains(&e.pattern))
+        });
+        if let Some((i, _)) = hit {
+            used[i] = true;
+            waived += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    for (e, _) in allow.entries.iter().zip(&used).filter(|(_, &u)| !u) {
+        kept.push(Finding {
+            rule: "ALLOW",
+            file: "lint-allow.toml".to_string(),
+            line: 1,
+            col: 1,
+            snippet: format!(
+                "rule = \"{}\", path = \"{}\", pattern = \"{}\"",
+                e.rule, e.path, e.pattern
+            ),
+            message: "stale waiver: matches no current finding; delete it or fix the pattern"
+                .to_string(),
+        });
+    }
+    kept.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    (kept, waived)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allowlist::AllowEntry;
+
+    fn f(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn waivers_match_rule_path_and_pattern() {
+        let allow = Allowlist {
+            hot_paths: Default::default(),
+            entries: vec![AllowEntry {
+                rule: "D3".into(),
+                path: "a.rs".into(),
+                pattern: "finite".into(),
+                reason: "r".into(),
+            }],
+        };
+        let raw = vec![
+            f("D3", "a.rs", "x.expect(\"finite\")"),
+            f("D3", "a.rs", "x.unwrap()"),
+            f("D1", "a.rs", "finite"),
+        ];
+        let (kept, waived) = apply_allowlist(raw, &allow);
+        assert_eq!(waived, 1);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn stale_waivers_become_findings() {
+        let allow = Allowlist {
+            hot_paths: Default::default(),
+            entries: vec![AllowEntry {
+                rule: "D2".into(),
+                path: "gone.rs".into(),
+                pattern: String::new(),
+                reason: "r".into(),
+            }],
+        };
+        let (kept, waived) = apply_allowlist(vec![], &allow);
+        assert_eq!(waived, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "ALLOW");
+    }
+}

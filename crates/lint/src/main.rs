@@ -1,0 +1,89 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! CLI for the workspace determinism & hot-path static-analysis pass.
+//!
+//! ```text
+//! origin-lint [--json] [--root DIR] [--allowlist FILE] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use origin_lint::diagnostics::render_json_report;
+use origin_lint::{rules, run};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut allow: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allow = Some(PathBuf::from(v)),
+                None => return usage("--allowlist needs a file"),
+            },
+            "--list-rules" => {
+                print!(
+                    "D1  no ambient nondeterminism in deterministic crates ({})\n\
+                     D2  no HashMap/HashSet in deterministic crates\n\
+                     D3  no unwrap/expect/panic!/todo! in typed-error crates ({})\n\
+                     D4  no allocation inside declared hot-path kernels\n\
+                     D5  crate roots forbid(unsafe_code) + deny(missing_docs)\n",
+                    rules::DETERMINISTIC_CRATES.join(", "),
+                    rules::TYPED_ERROR_CRATES.join(", "),
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("origin-lint [--json] [--root DIR] [--allowlist FILE] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let allow = allow.unwrap_or_else(|| root.join("lint-allow.toml"));
+
+    match run(&root, &allow) {
+        Ok(report) => {
+            if json {
+                println!(
+                    "{}",
+                    render_json_report(&report.findings, report.files_scanned, report.allowed)
+                );
+            } else {
+                for f in &report.findings {
+                    print!("{}", f.render_human());
+                }
+                println!(
+                    "origin-lint: {} file(s), {} finding(s), {} allowlisted",
+                    report.files_scanned,
+                    report.findings.len(),
+                    report.allowed
+                );
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("origin-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("origin-lint: {msg}");
+    eprintln!("usage: origin-lint [--json] [--root DIR] [--allowlist FILE] [--list-rules]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,525 @@
+//! The rule set: D1–D5, each a pattern over a file's token stream.
+//!
+//! | id | scope | invariant |
+//! |----|-------|-----------|
+//! | D1 | deterministic crates | no ambient nondeterminism (wall clocks, OS entropy, env vars) |
+//! | D2 | deterministic crates | no `HashMap`/`HashSet` (iteration order is nondeterministic) |
+//! | D3 | typed-error crates | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in non-test lib code |
+//! | D4 | declared hot paths | no allocation calls inside the zero-alloc kernel functions |
+//! | D5 | crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` present |
+//!
+//! Scoping is by crate (derived from the file path); test code — items
+//! under `#[cfg(test)]` or `#[test]` — is excluded for every rule.
+
+use crate::diagnostics::Finding;
+use crate::lexer::{lex, TokKind, Token};
+
+/// Crates whose simulation results must be reproducible by construction:
+/// everything on the deterministic side of the telemetry boundary.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["types", "sensors", "energy", "net", "trace", "nn", "core"];
+
+/// Crates that export a typed error and therefore must not panic from
+/// library code (rule D3).
+pub const TYPED_ERROR_CRATES: &[&str] = &["nn", "core", "trace", "types"];
+
+/// Everything the analyzer needs to know about one file.
+pub struct FileContext<'a> {
+    /// Repo-relative path, forward slashes (e.g. `crates/nn/src/mlp.rs`).
+    pub rel_path: &'a str,
+    /// Short crate name (`nn`, `core`, … or `repro` for the root facade).
+    pub crate_name: &'a str,
+    /// Whether this file is a crate root (`lib.rs`) subject to D5.
+    pub is_crate_root: bool,
+    /// Function names in this file whose bodies rule D4 protects.
+    pub hot_fns: &'a [String],
+}
+
+/// Runs every applicable rule on `src`, returning the findings.
+#[must_use]
+pub fn lint_source(src: &str, ctx: &FileContext<'_>) -> Vec<Finding> {
+    let toks = lex(src);
+    let test_mask = test_region_mask(&toks);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map_or(String::new(), |l| l.trim().to_string())
+    };
+
+    let mut findings = Vec::new();
+    let deterministic = DETERMINISTIC_CRATES.contains(&ctx.crate_name);
+    let typed_error = TYPED_ERROR_CRATES.contains(&ctx.crate_name);
+
+    for i in 0..toks.len() {
+        if test_mask[i] {
+            continue;
+        }
+        if deterministic {
+            if let Some(msg) = d1_match(&toks, i) {
+                findings.push(finding("D1", ctx, &toks[i], snippet(toks[i].line), msg));
+            }
+            if let Some(msg) = d2_match(&toks, i) {
+                findings.push(finding("D2", ctx, &toks[i], snippet(toks[i].line), msg));
+            }
+        }
+        if typed_error {
+            if let Some(msg) = d3_match(&toks, i) {
+                findings.push(finding("D3", ctx, &toks[i], snippet(toks[i].line), msg));
+            }
+        }
+    }
+
+    for fn_name in ctx.hot_fns {
+        d4_check_fn(&toks, &test_mask, fn_name, ctx, &snippet, &mut findings);
+    }
+
+    if ctx.is_crate_root {
+        d5_check_root(&toks, ctx, &mut findings);
+    }
+
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+fn finding(
+    rule: &'static str,
+    ctx: &FileContext<'_>,
+    tok: &Token,
+    snippet: String,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: ctx.rel_path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        snippet,
+        message,
+    }
+}
+
+/// Marks tokens inside `#[test]` / `#[cfg(test)]` items. The mask covers
+/// the attribute itself through the end of the item it decorates (the
+/// matching `}` of its body, or the terminating `;`).
+fn test_region_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute's identifier set up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => depth -= 1,
+                    TokKind::Ident => {
+                        has_test |= toks[j].text == "test";
+                        has_not |= toks[j].text == "not";
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                // Skip any further attributes, then the item to its end.
+                let mut k = j;
+                loop {
+                    if k + 1 < toks.len() && toks[k].is_punct('#') && toks[k + 1].is_punct('[') {
+                        let mut d = 1usize;
+                        k += 2;
+                        while k < toks.len() && d > 0 {
+                            match toks[k].kind {
+                                TokKind::Punct('[') => d += 1,
+                                TokKind::Punct(']') => d -= 1,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                // The item ends at a `;` before any `{`, or at the matching
+                // `}` of its first brace block.
+                while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].is_punct('{') {
+                    let mut d = 1usize;
+                    k += 1;
+                    while k < toks.len() && d > 0 {
+                        match toks[k].kind {
+                            TokKind::Punct('{') => d += 1,
+                            TokKind::Punct('}') => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                for m in mask.iter_mut().take((k + 1).min(toks.len())).skip(i) {
+                    *m = true;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Matches an ident path like `std :: time` starting at `i`.
+fn path_at(toks: &[Token], i: usize, segments: &[&str]) -> bool {
+    let mut k = i;
+    for (n, seg) in segments.iter().enumerate() {
+        if !toks.get(k).is_some_and(|t| t.is_ident(seg)) {
+            return false;
+        }
+        k += 1;
+        if n + 1 < segments.len() {
+            if !(toks.get(k).is_some_and(|t| t.is_punct(':'))
+                && toks.get(k + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            k += 2;
+        }
+    }
+    true
+}
+
+/// D1 — ambient nondeterminism: wall clocks, OS entropy, env vars.
+fn d1_match(toks: &[Token], i: usize) -> Option<String> {
+    const BANNED_IDENTS: &[(&str, &str)] = &[
+        (
+            "Instant",
+            "wall-clock `Instant` is nondeterministic; use `SimTime`",
+        ),
+        (
+            "SystemTime",
+            "wall-clock `SystemTime` is nondeterministic; use `SimTime`",
+        ),
+        (
+            "thread_rng",
+            "`thread_rng` seeds from the OS; use a seeded `StdRng`",
+        ),
+    ];
+    const BANNED_PATHS: &[(&[&str], &str)] = &[
+        (
+            &["std", "time"],
+            "`std::time` is banned here; simulated time only",
+        ),
+        (
+            &["rand", "random"],
+            "`rand::random` seeds from the OS; use a seeded `StdRng`",
+        ),
+        (
+            &["std", "env"],
+            "environment reads make runs machine-dependent",
+        ),
+        (
+            &["env", "var"],
+            "environment reads make runs machine-dependent",
+        ),
+        (
+            &["env", "var_os"],
+            "environment reads make runs machine-dependent",
+        ),
+        (
+            &["env", "vars"],
+            "environment reads make runs machine-dependent",
+        ),
+    ];
+    if toks[i].kind != TokKind::Ident {
+        return None;
+    }
+    for (path, msg) in BANNED_PATHS {
+        if path_at(toks, i, path) {
+            return Some(format!("{}: `{}`", msg, path.join("::")));
+        }
+    }
+    for (ident, msg) in BANNED_IDENTS {
+        if toks[i].is_ident(ident) {
+            return Some((*msg).to_string());
+        }
+    }
+    None
+}
+
+/// D2 — hash collections whose iteration order varies run to run.
+fn d2_match(toks: &[Token], i: usize) -> Option<String> {
+    const BANNED: &[&str] = &["HashMap", "HashSet", "RandomState"];
+    if toks[i].kind == TokKind::Ident && BANNED.contains(&toks[i].text.as_str()) {
+        return Some(format!(
+            "`{}` iteration order is nondeterministic; use `BTreeMap`/`BTreeSet` or sorted access",
+            toks[i].text
+        ));
+    }
+    None
+}
+
+/// D3 — panicking calls in library code of crates with a typed error.
+fn d3_match(toks: &[Token], i: usize) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+    let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+    let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+    if prev_dot && next_paren && (t.text == "unwrap" || t.text == "expect") {
+        return Some(format!(
+            "`.{}()` panics; propagate the crate's typed error instead",
+            t.text
+        ));
+    }
+    if next_bang && matches!(t.text.as_str(), "panic" | "todo" | "unimplemented") {
+        return Some(format!(
+            "`{}!` in library code; return the crate's typed error instead",
+            t.text
+        ));
+    }
+    None
+}
+
+/// D4 — allocation calls inside a declared zero-alloc kernel body.
+fn d4_check_fn(
+    toks: &[Token],
+    test_mask: &[bool],
+    fn_name: &str,
+    ctx: &FileContext<'_>,
+    snippet: &dyn Fn(u32) -> String,
+    findings: &mut Vec<Finding>,
+) {
+    let Some((start, end)) = fn_body_range(toks, fn_name) else {
+        findings.push(Finding {
+            rule: "D4",
+            file: ctx.rel_path.to_string(),
+            line: 1,
+            col: 1,
+            snippet: String::new(),
+            message: format!(
+                "hot-path function `{fn_name}` not found in this file; fix the \
+                 `hot-paths` list in lint-allow.toml"
+            ),
+        });
+        return;
+    };
+    for i in start..end {
+        if test_mask[i] {
+            continue;
+        }
+        if let Some(msg) = d4_alloc_match(toks, i) {
+            findings.push(Finding {
+                rule: "D4",
+                file: ctx.rel_path.to_string(),
+                line: toks[i].line,
+                col: toks[i].col,
+                snippet: snippet(toks[i].line),
+                message: format!("{msg} inside zero-alloc kernel `{fn_name}`"),
+            });
+        }
+    }
+}
+
+/// Allocation-call shapes banned inside hot kernels.
+fn d4_alloc_match(toks: &[Token], i: usize) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+    let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+    let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+    if path_at(toks, i, &["Vec", "new"]) || path_at(toks, i, &["Vec", "with_capacity"]) {
+        return Some("`Vec` construction allocates".to_string());
+    }
+    if path_at(toks, i, &["Box", "new"]) {
+        return Some("`Box::new` allocates".to_string());
+    }
+    if path_at(toks, i, &["String", "from"]) {
+        return Some("`String::from` allocates".to_string());
+    }
+    if t.is_ident("vec") && next_bang {
+        return Some("`vec!` allocates".to_string());
+    }
+    if prev_dot
+        && next_paren
+        && matches!(
+            t.text.as_str(),
+            "to_vec" | "clone" | "to_owned" | "to_string" | "collect"
+        )
+    {
+        return Some(format!("`.{}()` allocates", t.text));
+    }
+    None
+}
+
+/// Token range (exclusive of braces) of the body of `fn fn_name`.
+fn fn_body_range(toks: &[Token], fn_name: &str) -> Option<(usize, usize)> {
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") && toks[i + 1].is_ident(fn_name) {
+            let mut k = i + 2;
+            while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                k += 1;
+            }
+            if k >= toks.len() || toks[k].is_punct(';') {
+                return None; // trait method signature, no body here
+            }
+            let start = k + 1;
+            let mut depth = 1usize;
+            k += 1;
+            while k < toks.len() && depth > 0 {
+                match toks[k].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            return Some((start, k.saturating_sub(1)));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// D5 — crate roots must forbid unsafe code and deny missing docs.
+fn d5_check_root(toks: &[Token], ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let mut unsafe_forbidden = false;
+    let mut docs_denied = false;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].is_punct('#') && toks[i + 1].is_punct('!') && toks[i + 2].is_punct('[') {
+            let mut idents = Vec::new();
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => depth -= 1,
+                    TokKind::Ident => idents.push(toks[j].text.as_str().to_string()),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let strict = idents.first().is_some_and(|h| h == "forbid" || h == "deny");
+            if strict {
+                unsafe_forbidden |= idents.iter().any(|s| s == "unsafe_code");
+                docs_denied |= idents.iter().any(|s| s == "missing_docs");
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    if !unsafe_forbidden {
+        findings.push(Finding {
+            rule: "D5",
+            file: ctx.rel_path.to_string(),
+            line: 1,
+            col: 1,
+            snippet: String::new(),
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    if !docs_denied {
+        findings.push(Finding {
+            rule: "D5",
+            file: ctx.rel_path.to_string(),
+            line: 1,
+            col: 1,
+            snippet: String::new(),
+            message: "crate root lacks `#![deny(missing_docs)]`".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(crate_name: &'a str, hot: &'a [String]) -> FileContext<'a> {
+        FileContext {
+            rel_path: "crates/x/src/lib.rs",
+            crate_name,
+            is_crate_root: false,
+            hot_fns: hot,
+        }
+    }
+
+    #[test]
+    fn d1_flags_instant_in_deterministic_crate_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(lint_source(src, &ctx("core", &[])).len(), 1);
+        assert_eq!(lint_source(src, &ctx("telemetry", &[])).len(), 0);
+    }
+
+    #[test]
+    fn d3_skips_cfg_test_modules() {
+        let src = r#"
+            pub fn lib_code() -> u32 { 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+        "#;
+        assert!(lint_source(src, &ctx("nn", &[])).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_unwrap_in_lib_code_but_not_unwrap_or() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap() }";
+        let f = lint_source(src, &ctx("nn", &[]));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D3");
+    }
+
+    #[test]
+    fn d4_only_inspects_declared_bodies() {
+        let src = r"
+            fn cold() -> Vec<u32> { Vec::new() }
+            fn hot(out: &mut [u32]) { let v = vec![1]; out[0] = v[0]; }
+        ";
+        let hot = vec!["hot".to_string()];
+        let f = lint_source(src, &ctx("bench", &hot));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("vec!"));
+    }
+
+    #[test]
+    fn d4_reports_missing_hot_fn() {
+        let hot = vec!["gone".to_string()];
+        let f = lint_source("fn here() {}", &ctx("bench", &hot));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn d5_requires_both_root_attrs() {
+        let mut c = ctx("nn", &[]);
+        c.is_crate_root = true;
+        let f = lint_source("#![forbid(unsafe_code)]\n//! docs\n", &c);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("missing_docs"));
+        let ok = lint_source(
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! docs\n",
+            &c,
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))] pub fn f() { let t = Instant::now(); }";
+        assert_eq!(lint_source(src, &ctx("core", &[])).len(), 1);
+    }
+}

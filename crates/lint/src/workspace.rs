@@ -1,0 +1,119 @@
+//! Workspace discovery: which files to lint and under which crate scope.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A source file queued for analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Repo-relative path with forward slashes.
+    pub rel: String,
+    /// Short crate name (`nn`, `core`, …; `repro` for the root facade).
+    pub crate_name: String,
+    /// Whether this file is a crate root (`lib.rs`).
+    pub is_crate_root: bool,
+}
+
+/// Collects every library source file in the workspace, sorted by
+/// relative path so reports (and the JSON output) are deterministic.
+///
+/// Scope: `crates/*/src/**/*.rs` plus the root facade `src/**/*.rs`.
+/// Test targets (`tests/`, `benches/`, `examples/`) are runtime-only code
+/// exercised by the test suite itself and are out of scope by design.
+///
+/// # Errors
+///
+/// Returns an I/O description when a directory cannot be read.
+pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+            .filter_map(|d| d.ok().map(|d| d.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let src = dir.join("src");
+            if src.is_dir() {
+                walk(&src, root, &name, &mut out)?;
+            }
+        }
+    }
+    let facade = root.join("src");
+    if facade.is_dir() {
+        walk(&facade, root, "repro", &mut out)?;
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("reading {}: {e}", dir.display()))?
+            .path();
+        if path.is_dir() {
+            walk(&path, root, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            let is_crate_root = rel.ends_with("src/lib.rs") && rel.matches('/').count() <= 3; // crates/<name>/src/lib.rs or src/lib.rs
+            out.push(SourceFile {
+                abs: path,
+                rel,
+                crate_name: crate_name.to_string(),
+                is_crate_root,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_in_the_real_workspace() {
+        // CARGO_MANIFEST_DIR = crates/lint → repo root is two levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("repo root exists")
+            .to_path_buf();
+        let files = collect_sources(&root).expect("workspace readable");
+        assert!(files
+            .iter()
+            .any(|f| f.rel == "crates/lint/src/lib.rs" && f.is_crate_root));
+        assert!(files
+            .iter()
+            .any(|f| f.rel == "src/lib.rs" && f.crate_name == "repro"));
+        // Deterministic ordering.
+        let mut sorted = files.iter().map(|f| f.rel.clone()).collect::<Vec<_>>();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            files.iter().map(|f| f.rel.clone()).collect::<Vec<_>>()
+        );
+        // Test fixtures must not be in scope.
+        assert!(!files.iter().any(|f| f.rel.contains("tests/fixtures")));
+    }
+}

@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: a perfectly clean crate root, so the only finding in this
+//! workspace is the stale waiver in its `lint-allow.toml`.
+//!
+//! This file is test data for origin-lint — it is never compiled.
+
+/// Identity, deterministically.
+pub fn id(x: u64) -> u64 {
+    x
+}

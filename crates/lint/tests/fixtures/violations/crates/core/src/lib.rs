@@ -1,0 +1,54 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: a deterministic, typed-error crate with seeded D1/D2/D3
+//! violations. Each offending line carries a trailing UI-test-style
+//! marker; the harness asserts the lint reports exactly those lines.
+//!
+//! This file is test data for origin-lint — it is never compiled.
+
+use std::collections::HashMap; //~ ERROR D2
+
+/// Reads the wall clock — ambient nondeterminism, banned here.
+pub fn wall_clock_ns() -> u128 {
+    let start = std::time::Instant::now(); //~ ERROR D1
+    start.elapsed().as_nanos()
+}
+
+/// Seeds from OS entropy — banned here.
+pub fn os_seeded() -> u64 {
+    let mut rng = rand::thread_rng(); //~ ERROR D1
+    rng.gen()
+}
+
+/// Reads the process environment — ambient input, banned here.
+pub fn env_knob() -> Option<String> {
+    std::env::var("ORIGIN_KNOB").ok() //~ ERROR D1
+}
+
+/// Builds a map whose iteration order varies per process.
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u32> { //~ ERROR D2
+    let mut counts = HashMap::new(); //~ ERROR D2
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Panics instead of returning the crate's typed error.
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().expect("non-empty input"); //~ ERROR D3
+    if *head > 1_000 {
+        panic!("implausible reading"); //~ ERROR D3
+    }
+    *head
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from D3: no marker, and the harness's
+    // exact-set comparison fails if the lint flags this line anyway.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first(&[1]), Some(&1).copied().unwrap());
+    }
+}

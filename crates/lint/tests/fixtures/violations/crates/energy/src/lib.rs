@@ -1,0 +1,8 @@
+//! Fixture: a crate root missing both mandatory strictness attributes. //~ ERROR D5
+//!
+//! This file is test data for origin-lint — it is never compiled.
+
+/// Harmless content; the violation is what the root *lacks*.
+pub fn joules(uj: f64) -> f64 {
+    uj * 1e-6
+}

@@ -1,0 +1,20 @@
+//! Fixture: a declared zero-alloc kernel (`hot_loop` appears under
+//! `[hot-paths]` in the fixture allowlist) with seeded allocations.
+//!
+//! This file is test data for origin-lint — it is never compiled.
+
+/// The "kernel": every allocation in its body is a D4 violation.
+pub fn hot_loop(xs: &[f64], out: &mut [f64]) {
+    let mut scratch: Vec<f64> = Vec::new(); //~ ERROR D4
+    scratch.extend(xs.iter().copied());
+    let copy = xs.to_vec(); //~ ERROR D4
+    let boxed = Box::new(copy.len()); //~ ERROR D4
+    for (o, x) in out.iter_mut().zip(&scratch) {
+        *o = *x * *boxed as f64;
+    }
+}
+
+/// Not declared hot: the same allocations are fine here.
+pub fn cold_path(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}

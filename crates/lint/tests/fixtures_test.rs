@@ -1,0 +1,142 @@
+//! Self-tests over the fixture corpus in `tests/fixtures/`.
+//!
+//! Every seeded violation in a fixture source file is annotated in place
+//! with a trailing `//~ ERROR D<id>` marker (the rustc UI-test
+//! convention). The harness collects the expected `(file, line, rule)`
+//! triples from those markers, runs the real lint pipeline over the
+//! fixture workspace, and asserts the two sets are *identical* — so a
+//! rule that under-reports, over-reports, or fires in `#[cfg(test)]`
+//! regions fails these tests, not just one that misses entirely.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A deduplicated `(relative file, line, rule)` triple. One source line
+/// can legitimately produce several findings of the same rule (e.g.
+/// `std::time::Instant::now()` matches both the `std::time` path and the
+/// `Instant` identifier), so both sides collapse through this key.
+type Key = (String, usize, String);
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Scans every fixture source file for `//~ ERROR D<id>` markers.
+fn expected_keys(root: &Path) -> BTreeSet<Key> {
+    let mut keys = BTreeSet::new();
+    for file in origin_lint::workspace::collect_sources(root).expect("fixture tree walks") {
+        let src = fs::read_to_string(&file.abs).expect("fixture file reads");
+        for (idx, text) in src.lines().enumerate() {
+            if let Some(pos) = text.find("//~ ERROR ") {
+                let rule = text[pos + "//~ ERROR ".len()..]
+                    .split_whitespace()
+                    .next()
+                    .expect("marker names a rule");
+                keys.insert((file.rel.clone(), idx + 1, rule.to_string()));
+            }
+        }
+    }
+    keys
+}
+
+/// Runs the lint over a fixture workspace and collapses the findings.
+fn actual_keys(root: &Path) -> BTreeSet<Key> {
+    let report = origin_lint::run(root, &root.join("lint-allow.toml")).expect("lint runs");
+    report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line as usize, f.rule.to_string()))
+        .collect()
+}
+
+/// Asserts expected == actual for one rule, and that the fixture
+/// actually seeds at least one violation of it.
+fn assert_rule(rule: &str) {
+    let root = fixture_root("violations");
+    let want: BTreeSet<Key> = expected_keys(&root)
+        .into_iter()
+        .filter(|(_, _, r)| r == rule)
+        .collect();
+    let got: BTreeSet<Key> = actual_keys(&root)
+        .into_iter()
+        .filter(|(_, _, r)| r == rule)
+        .collect();
+    assert!(!want.is_empty(), "fixture seeds no {rule} violations");
+    assert_eq!(want, got, "{rule}: annotated lines and findings differ");
+}
+
+#[test]
+fn d1_ambient_nondeterminism_is_reported() {
+    assert_rule("D1");
+}
+
+#[test]
+fn d2_hash_collections_are_reported() {
+    assert_rule("D2");
+}
+
+#[test]
+fn d3_panics_in_library_code_are_reported() {
+    assert_rule("D3");
+}
+
+#[test]
+fn d4_allocations_in_hot_paths_are_reported() {
+    assert_rule("D4");
+}
+
+#[test]
+fn d5_missing_root_attrs_are_reported() {
+    assert_rule("D5");
+}
+
+#[test]
+fn findings_match_annotations_exactly() {
+    // The global comparison: nothing beyond the annotated lines may
+    // fire (this is what proves `#[cfg(test)]` masking and the
+    // cold-path/hot-path split work).
+    let root = fixture_root("violations");
+    assert_eq!(expected_keys(&root), actual_keys(&root));
+}
+
+#[test]
+fn stale_waivers_surface_as_findings() {
+    let root = fixture_root("stale");
+    let report = origin_lint::run(&root, &root.join("lint-allow.toml")).expect("lint runs");
+    assert_eq!(report.allowed, 0, "nothing real to waive in this fixture");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "ALLOW");
+    assert!(report.findings[0].message.contains("stale waiver"));
+}
+
+#[test]
+fn binary_exits_nonzero_on_violations() {
+    let root = fixture_root("violations");
+    let out = Command::new(env!("CARGO_BIN_EXE_origin-lint"))
+        .args(["--root"])
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "violations must fail the gate");
+}
+
+#[test]
+fn binary_json_mode_emits_machine_output() {
+    let root = fixture_root("violations");
+    let out = Command::new(env!("CARGO_BIN_EXE_origin-lint"))
+        .args(["--json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert!(stdout.trim_start().starts_with('{'), "not JSON: {stdout}");
+    assert!(
+        stdout.contains("\"rule\":\"D1\""),
+        "missing D1 entry: {stdout}"
+    );
+}

@@ -1,0 +1,34 @@
+//! The real workspace must lint clean with the committed allowlist.
+//!
+//! This is the test CI leans on: any new `Instant::now()`, `HashMap`,
+//! stray `unwrap()` in a typed-error crate, allocation in a declared
+//! kernel, or missing crate-root attribute fails the suite — unless a
+//! waiver with a written reason lands in `lint-allow.toml` in the same
+//! change.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_with_committed_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report =
+        origin_lint::run(&root, &root.join("lint-allow.toml")).expect("workspace lint runs");
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace has unwaived lint findings:\n{}",
+        rendered.join("\n")
+    );
+    // Sanity: the walk actually covered the workspace and the committed
+    // waivers are all live (stale ones would have failed above).
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(report.allowed > 0, "allowlist unexpectedly unused");
+}

@@ -25,6 +25,13 @@ pub enum NnError {
     },
     /// The training set is empty.
     EmptyTrainingSet,
+    /// A trainer hyper-parameter is outside its valid range.
+    InvalidHyperparameter {
+        /// Which hyper-parameter (`"learning rate"`, `"momentum"`, …).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
     /// An energy budget is unreachably small (below the model's static
     /// floor even with every weight pruned).
     BudgetUnreachable,
@@ -73,6 +80,10 @@ impl PartialEq for NnError {
                 },
             ) => a == c && b == d,
             (EmptyTrainingSet, EmptyTrainingSet) | (BudgetUnreachable, BudgetUnreachable) => true,
+            (
+                InvalidHyperparameter { name: a, value: b },
+                InvalidHyperparameter { name: c, value: d },
+            ) => a == c && b.to_bits() == d.to_bits(),
             (ParseModel { line: a, reason: b }, ParseModel { line: c, reason: d }) => {
                 a == c && b == d
             }
@@ -98,6 +109,9 @@ impl fmt::Display for NnError {
                 write!(f, "label {label} out of range for {classes} classes")
             }
             NnError::EmptyTrainingSet => write!(f, "training set is empty"),
+            NnError::InvalidHyperparameter { name, value } => {
+                write!(f, "{name} = {value} is outside the valid range")
+            }
             NnError::BudgetUnreachable => {
                 write!(f, "energy budget is below the model's static floor")
             }
@@ -135,6 +149,10 @@ mod tests {
                 classes: 3,
             },
             NnError::EmptyTrainingSet,
+            NnError::InvalidHyperparameter {
+                name: "learning rate",
+                value: -1.0,
+            },
             NnError::BudgetUnreachable,
             NnError::ParseModel {
                 line: "x",

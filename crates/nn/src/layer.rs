@@ -189,8 +189,8 @@ impl Dense {
             assert_eq!(xs.len(), batch * ins, "batch input length mismatch");
             assert_eq!(out.len(), batch * outs, "batch output length mismatch");
             for r in 0..outs {
-                let span = csr.row_ptr[r] as usize..csr.row_ptr[r + 1] as usize;
-                let (cols, vals) = (&csr.cols[span.clone()], &csr.vals[span]);
+                let (lo, hi) = (csr.row_ptr[r] as usize, csr.row_ptr[r + 1] as usize);
+                let (cols, vals) = (&csr.cols[lo..hi], &csr.vals[lo..hi]);
                 for e in 0..batch {
                     let x = &xs[e * ins..(e + 1) * ins];
                     let sum: f64 = cols

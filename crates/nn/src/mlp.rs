@@ -8,13 +8,19 @@ use rand::SeedableRng;
 
 /// Index of the maximal entry, breaking ties toward the *last* maximum —
 /// the `Iterator::max_by` convention every prediction path shares.
+///
+/// Inputs are softmax outputs, finite by construction; `>=` reproduces
+/// `max_by`'s last-maximum tie-break exactly for finite values, without a
+/// panicking comparator in the per-prediction hot path. An empty slice
+/// (impossible: output width is >= 1 by construction) yields index 0.
 pub(crate) fn argmax(proba: &[f64]) -> usize {
-    proba
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
-        .map(|(i, _)| i)
-        .expect("output dim >= 1")
+    let mut best = 0usize;
+    for i in 1..proba.len() {
+        if proba[i] >= proba[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 /// A feed-forward classifier network.
@@ -66,7 +72,8 @@ impl Mlp {
     /// Number of output classes.
     #[must_use]
     pub fn output_dim(&self) -> usize {
-        *self.dims.last().expect("dims has >= 2 entries")
+        // The constructor rejects architectures with fewer than two dims.
+        self.dims[self.dims.len() - 1]
     }
 
     /// The layers, input-side first.

@@ -22,7 +22,7 @@ use rand::SeedableRng;
 ///     (vec![1.0, 0.0], 1),
 ///     (vec![0.0, 1.0], 1),
 /// ];
-/// let loss = Trainer::new().with_epochs(400).with_lr(0.2).fit(&mut model, &data)?;
+/// let loss = Trainer::new().with_epochs(400).with_lr(0.2)?.fit(&mut model, &data)?;
 /// assert!(loss < 0.2);
 /// # Ok::<(), origin_nn::NnError>(())
 /// ```
@@ -66,38 +66,51 @@ impl Trainer {
 
     /// Sets the learning rate. Builder-style.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `lr` is not positive and finite.
-    #[must_use]
-    pub fn with_lr(mut self, lr: f64) -> Self {
-        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+    /// Returns [`NnError::InvalidHyperparameter`] when `lr` is not
+    /// positive and finite.
+    pub fn with_lr(mut self, lr: f64) -> Result<Self, NnError> {
+        if !(lr.is_finite() && lr > 0.0) {
+            return Err(NnError::InvalidHyperparameter {
+                name: "learning rate",
+                value: lr,
+            });
+        }
         self.lr = lr;
-        self
+        Ok(self)
     }
 
     /// Sets the momentum coefficient. Builder-style.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `momentum` ∉ `[0, 1)`.
-    #[must_use]
-    pub fn with_momentum(mut self, momentum: f64) -> Self {
-        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+    /// Returns [`NnError::InvalidHyperparameter`] when `momentum` ∉ `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f64) -> Result<Self, NnError> {
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(NnError::InvalidHyperparameter {
+                name: "momentum",
+                value: momentum,
+            });
+        }
         self.momentum = momentum;
-        self
+        Ok(self)
     }
 
     /// Sets the mini-batch size. Builder-style.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `batch_size` is zero.
-    #[must_use]
-    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
-        assert!(batch_size > 0, "batch size must be positive");
+    /// Returns [`NnError::InvalidHyperparameter`] when `batch_size` is zero.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Result<Self, NnError> {
+        if batch_size == 0 {
+            return Err(NnError::InvalidHyperparameter {
+                name: "batch size",
+                value: 0.0,
+            });
+        }
         self.batch_size = batch_size;
-        self
+        Ok(self)
     }
 
     /// Sets the shuffle seed. Builder-style.
@@ -115,17 +128,18 @@ impl Trainer {
     /// signal for Origin's ensemble (an uncalibrated net is near-one-hot
     /// even when it is wrong).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `eps` ∉ `[0, 1)`.
-    #[must_use]
-    pub fn with_label_smoothing(mut self, eps: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&eps),
-            "label smoothing must be in [0, 1)"
-        );
+    /// Returns [`NnError::InvalidHyperparameter`] when `eps` ∉ `[0, 1)`.
+    pub fn with_label_smoothing(mut self, eps: f64) -> Result<Self, NnError> {
+        if !(0.0..1.0).contains(&eps) {
+            return Err(NnError::InvalidHyperparameter {
+                name: "label smoothing",
+                value: eps,
+            });
+        }
         self.label_smoothing = eps;
-        self
+        Ok(self)
     }
 
     /// Trains `model` on `(features, label)` pairs; returns the final
@@ -376,7 +390,8 @@ mod tests {
         for (smoothing, masked) in [(0.0, false), (0.1, false), (0.1, true)] {
             let trainer = Trainer::new()
                 .with_epochs(7)
-                .with_label_smoothing(smoothing);
+                .with_label_smoothing(smoothing)
+                .unwrap();
             let mut a = Mlp::new(&[2, 6, 3], 4).unwrap();
             if masked {
                 let mask: Vec<bool> = (0..a.layers()[0].total_weights())
@@ -445,16 +460,40 @@ mod tests {
         }
     }
 
+    /// The validating builders propagate the crate's typed error instead
+    /// of panicking (surfaced by lint rule D3).
     #[test]
-    #[should_panic(expected = "learning rate")]
-    fn bad_lr_panics() {
-        let _ = Trainer::new().with_lr(0.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "batch size")]
-    fn zero_batch_panics() {
-        let _ = Trainer::new().with_batch_size(0);
+    fn bad_hyperparameters_return_typed_errors() {
+        for lr in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Trainer::new().with_lr(lr),
+                Err(NnError::InvalidHyperparameter {
+                    name: "learning rate",
+                    ..
+                })
+            ));
+        }
+        assert!(matches!(
+            Trainer::new().with_momentum(1.0),
+            Err(NnError::InvalidHyperparameter {
+                name: "momentum",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Trainer::new().with_batch_size(0),
+            Err(NnError::InvalidHyperparameter {
+                name: "batch size",
+                ..
+            })
+        ));
+        // Valid settings still flow through builder-style.
+        let t = Trainer::new()
+            .with_lr(0.1)
+            .and_then(|t| t.with_momentum(0.5))
+            .and_then(|t| t.with_batch_size(8))
+            .expect("valid hyper-parameters");
+        assert_eq!(t, t.clone());
     }
 }
 
@@ -481,6 +520,7 @@ mod smoothing_tests {
             Trainer::new()
                 .with_epochs(150)
                 .with_label_smoothing(eps)
+                .unwrap()
                 .fit(&mut mlp, &data)
                 .unwrap();
             // Mean softmax variance over the training set: higher means
@@ -499,8 +539,15 @@ mod smoothing_tests {
     }
 
     #[test]
-    #[should_panic(expected = "label smoothing")]
-    fn bad_smoothing_panics() {
-        let _ = Trainer::new().with_label_smoothing(1.0);
+    fn bad_smoothing_returns_typed_error() {
+        for eps in [1.0, -0.1, f64::NAN] {
+            assert!(matches!(
+                Trainer::new().with_label_smoothing(eps),
+                Err(NnError::InvalidHyperparameter {
+                    name: "label smoothing",
+                    ..
+                })
+            ));
+        }
     }
 }

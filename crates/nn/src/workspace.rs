@@ -49,8 +49,7 @@ impl Workspace {
         for (p, &w) in self.pre.iter_mut().zip(&dims[1..]) {
             p.resize(w, 0.0);
         }
-        self.proba
-            .resize(*dims.last().expect("dims non-empty"), 0.0);
+        self.proba.resize(dims[dims.len() - 1], 0.0);
         if self.grad.len() < max {
             self.grad.resize(max, 0.0);
         }
@@ -68,8 +67,7 @@ impl Workspace {
                 b.resize(batch * max, 0.0);
             }
         }
-        self.proba
-            .resize(*dims.last().expect("dims non-empty"), 0.0);
+        self.proba.resize(dims[dims.len() - 1], 0.0);
     }
 }
 

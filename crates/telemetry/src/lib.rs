@@ -34,7 +34,7 @@
 //! `crates/core/tests/telemetry.rs` asserts this.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod event;
 mod json;

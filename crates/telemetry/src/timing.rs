@@ -20,6 +20,9 @@ impl StageTimings {
     }
 
     /// Runs `f`, recording its wall-clock duration under `name`.
+    // Telemetry is the one subsystem allowed to read the wall clock:
+    // timings are observability output, never simulation input.
+    #[allow(clippy::disallowed_methods)]
     pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
         let result = f();

@@ -46,7 +46,7 @@ fn main() -> Result<(), NnError> {
         .iter()
         .map(|s| (s.features.clone(), s.dense_label))
         .collect();
-    let trainer = Trainer::new().with_epochs(140).with_label_smoothing(0.1);
+    let trainer = Trainer::new().with_epochs(140).with_label_smoothing(0.1)?;
     let mut clf = SensorClassifier::train(&[24], &train, spec.activities.clone(), &trainer, seed)?;
     let cm = clf.evaluate(&test)?;
     println!(

@@ -6,13 +6,18 @@
 # Runs the checks CI expects, in fail-fast order (cheapest first):
 #   1. cargo fmt --check      — formatting drift
 #   2. cargo clippy -D warnings — lints across the whole workspace
-#   3. cargo doc -D warnings  — rustdoc builds clean (broken intra-doc
+#   3. origin-lint --json     — workspace determinism & hot-path rules
+#      (D1–D5, see DESIGN.md "Static analysis"); fails on any finding
+#      not waived in lint-allow.toml
+#   4. cargo deny check       — dependency audit (skipped when the
+#      cargo-deny binary is not installed; config in deny.toml)
+#   5. cargo doc -D warnings  — rustdoc builds clean (broken intra-doc
 #      links, missing docs on public items)
-#   4. cargo bench --no-run   — benchmark targets compile (they are not
+#   6. cargo bench --no-run   — benchmark targets compile (they are not
 #      covered by cargo test and rot silently otherwise)
-#   5. cargo build --release -p origin-bench — the experiment binaries
+#   7. cargo build --release -p origin-bench — the experiment binaries
 #      (reproduce_all, bench_report, fig*/table*) build in release
-#   6. cargo test -q          — the full test suite, including the sweep
+#   8. cargo test -q          — the full test suite, including the sweep
 #      determinism test (1 vs 8 threads, byte-identical manifests) and
 #      the zero-allocation / kernel-parity tests
 set -euo pipefail
@@ -23,6 +28,16 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> origin-lint (determinism & hot-path rules, lint-allow.toml)"
+cargo run -q -p origin-lint -- --json
+
+if command -v cargo-deny >/dev/null 2>&1; then
+    echo "==> cargo deny check"
+    cargo deny check
+else
+    echo "==> cargo-deny not installed; skipping dependency audit (deny.toml)"
+fi
 
 echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

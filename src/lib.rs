@@ -57,7 +57,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use origin_bench as bench;
 pub use origin_core as core;
