@@ -22,7 +22,7 @@ fn main() {
     let seed = args.u64_at(1, 77);
     let seeds = u32::try_from(args.u64_flag("seeds", 3)).unwrap_or(3).max(1);
 
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, seed).expect("training succeeds");
     let replicas: Vec<u64> = (0..seeds).map(|s| cell_stream(seed, s, 0)).collect();
     let reports = parallel_map(args.threads(), &replicas, |_, &sim_seed| {
         run_ablation_seeded(&ctx, cycle, sim_seed).expect("simulation succeeds")

@@ -8,12 +8,16 @@
 //!
 //! Usage: `cargo run -p origin-bench --bin bench_report --release
 //! [out.json]`
+//!
+//! The NN kernel micro-benches run at both precisions: the `f64` rows
+//! keep their historical names, the `f32` rows carry a `_f32` suffix, so
+//! one snapshot answers "what does the narrow path buy" per revision.
 
 use origin_bench::bench_models;
 use origin_bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy};
 use origin_core::experiments::{Dataset, ExperimentContext};
 use origin_core::{BaselineKind, Deployment, ModelVariant, PolicyKind};
-use origin_nn::{Mlp, Trainer, Workspace};
+use origin_nn::{Mlp, Scalar, Trainer, Workspace};
 use origin_telemetry::JsonValue;
 use origin_types::{SensorLocation, SimDuration};
 use rand::rngs::StdRng;
@@ -42,12 +46,14 @@ fn median_ns(samples: usize, inner: usize, mut f: impl FnMut()) -> f64 {
     per_iter[per_iter.len() / 2]
 }
 
-fn random_vec(n: usize, rng: &mut StdRng) -> Vec<f64> {
-    (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+fn random_vec<S: Scalar>(n: usize, rng: &mut StdRng) -> Vec<S> {
+    (0..n)
+        .map(|_| S::from_f64(rng.gen::<f64>() * 2.0 - 1.0))
+        .collect()
 }
 
-fn pruned_mlp(sparsity: f64, seed: u64) -> Mlp {
-    let mut model = Mlp::new(DIMS, seed).expect("valid dims");
+fn pruned_mlp<S: Scalar>(sparsity: f64, seed: u64) -> Mlp<S> {
+    let mut model = Mlp::<S>::new(DIMS, seed).expect("valid dims");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC5);
     for layer in model.layers_mut() {
         let mask: Vec<bool> = (0..layer.total_weights())
@@ -69,6 +75,92 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
+/// The NN kernel micro-benches at precision `S`; `suffix` distinguishes
+/// the dtype in the row names ("" keeps the historical `f64` keys).
+fn kernel_benches<S: Scalar>(
+    push: &impl Fn(&mut Vec<(String, JsonValue)>, &str, f64, f64),
+    rows: &mut Vec<(String, JsonValue)>,
+    suffix: &str,
+) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x: Vec<S> = random_vec(DIMS[0], &mut rng);
+
+    // Raw dense kernel.
+    {
+        let dense = Mlp::<S>::new(DIMS, 9).expect("valid dims");
+        let layer0 = &dense.layers()[0];
+        let mut out = vec![S::ZERO; layer0.outputs()];
+        let ns = median_ns(15, 20_000, || {
+            layer0
+                .weights()
+                .matvec_into(black_box(&x), black_box(&mut out));
+        });
+        push(rows, &format!("matvec_20x28{suffix}"), ns, 1.0);
+    }
+
+    // Pruned layer: CSR compiled form vs the dense matvec over the same
+    // mask-zeroed weights (the pre-optimization cost).
+    for sparsity in [0.70, 0.90] {
+        let model = pruned_mlp::<S>(sparsity, 9);
+        let layer0 = &model.layers()[0];
+        let pct = (sparsity * 100.0) as u32;
+        let mut out = vec![S::ZERO; layer0.outputs()];
+        let ns_csr = median_ns(15, 20_000, || {
+            layer0.forward_into(black_box(&x), black_box(&mut out));
+        });
+        push(rows, &format!("pruned{pct}_layer_csr{suffix}"), ns_csr, 1.0);
+        let mut out2 = vec![S::ZERO; layer0.outputs()];
+        let ns_dense = median_ns(15, 20_000, || {
+            layer0
+                .weights()
+                .matvec_into(black_box(&x), black_box(&mut out2));
+            for (o, &bv) in out2.iter_mut().zip(layer0.bias()) {
+                *o += bv;
+            }
+        });
+        push(
+            rows,
+            &format!("pruned{pct}_layer_masked_dense{suffix}"),
+            ns_dense,
+            1.0,
+        );
+    }
+
+    // Whole-MLP logit path, dense vs pruned (workspace, zero-alloc).
+    for (name, model) in [
+        (
+            "mlp_forward_dense",
+            Mlp::<S>::new(DIMS, 9).expect("valid dims"),
+        ),
+        ("mlp_forward_pruned70", pruned_mlp::<S>(0.70, 9)),
+    ] {
+        let mut ws = Workspace::new();
+        let ns = median_ns(15, 10_000, || {
+            let _ = black_box(model.forward_with(&mut ws, black_box(&x))).expect("width matches");
+        });
+        push(rows, &format!("{name}{suffix}"), ns, 1.0);
+    }
+
+    // One epoch of the zero-allocation trainer.
+    {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<(Vec<S>, usize)> = (0..64)
+            .map(|i| (random_vec(DIMS[0], &mut rng), i % DIMS[DIMS.len() - 1]))
+            .collect();
+        let trainer = Trainer::new().with_epochs(1).with_seed(7);
+        let mut model = Mlp::<S>::new(DIMS, 11).expect("valid dims");
+        let ns = median_ns(9, 50, || {
+            let _ = black_box(trainer.fit(&mut model, black_box(&data))).expect("fits");
+        });
+        push(
+            rows,
+            &format!("mlp_train_epoch_28x20x6_n64{suffix}"),
+            ns,
+            1.0,
+        );
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -86,75 +178,8 @@ fn main() {
         ));
     };
 
-    let mut rng = StdRng::seed_from_u64(5);
-    let x = random_vec(DIMS[0], &mut rng);
-
-    // Raw dense kernel.
-    {
-        let dense = Mlp::new(DIMS, 9).expect("valid dims");
-        let layer0 = &dense.layers()[0];
-        let mut out = vec![0.0; layer0.outputs()];
-        let ns = median_ns(15, 20_000, || {
-            layer0
-                .weights()
-                .matvec_into(black_box(&x), black_box(&mut out));
-        });
-        push(&mut rows, "matvec_20x28", ns, 1.0);
-    }
-
-    // Pruned layer: CSR compiled form vs the dense matvec over the same
-    // mask-zeroed weights (the pre-optimization cost).
-    for sparsity in [0.70, 0.90] {
-        let model = pruned_mlp(sparsity, 9);
-        let layer0 = &model.layers()[0];
-        let pct = (sparsity * 100.0) as u32;
-        let mut out = vec![0.0; layer0.outputs()];
-        let ns_csr = median_ns(15, 20_000, || {
-            layer0.forward_into(black_box(&x), black_box(&mut out));
-        });
-        push(&mut rows, &format!("pruned{pct}_layer_csr"), ns_csr, 1.0);
-        let mut out2 = vec![0.0; layer0.outputs()];
-        let ns_dense = median_ns(15, 20_000, || {
-            layer0
-                .weights()
-                .matvec_into(black_box(&x), black_box(&mut out2));
-            for (o, &bv) in out2.iter_mut().zip(layer0.bias()) {
-                *o += bv;
-            }
-        });
-        push(
-            &mut rows,
-            &format!("pruned{pct}_layer_masked_dense"),
-            ns_dense,
-            1.0,
-        );
-    }
-
-    // Whole-MLP logit path, dense vs pruned (workspace, zero-alloc).
-    for (name, model) in [
-        ("mlp_forward_dense", Mlp::new(DIMS, 9).expect("valid dims")),
-        ("mlp_forward_pruned70", pruned_mlp(0.70, 9)),
-    ] {
-        let mut ws = Workspace::new();
-        let ns = median_ns(15, 10_000, || {
-            let _ = black_box(model.forward_with(&mut ws, black_box(&x))).expect("width matches");
-        });
-        push(&mut rows, name, ns, 1.0);
-    }
-
-    // One epoch of the zero-allocation trainer.
-    {
-        let mut rng = StdRng::seed_from_u64(7);
-        let data: Vec<(Vec<f64>, usize)> = (0..64)
-            .map(|i| (random_vec(DIMS[0], &mut rng), i % DIMS[DIMS.len() - 1]))
-            .collect();
-        let trainer = Trainer::new().with_epochs(1).with_seed(7);
-        let mut model = Mlp::new(DIMS, 11).expect("valid dims");
-        let ns = median_ns(9, 50, || {
-            let _ = black_box(trainer.fit(&mut model, black_box(&data))).expect("fits");
-        });
-        push(&mut rows, "mlp_train_epoch_28x20x6_n64", ns, 1.0);
-    }
+    kernel_benches::<f64>(&push, &mut rows, "");
+    kernel_benches::<f32>(&push, &mut rows, "_f32");
 
     // Trained classifier: allocating entry point vs workspace entry
     // point (same kernels, isolates the steady-state allocation cost).

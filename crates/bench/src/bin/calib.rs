@@ -31,7 +31,7 @@ fn main() {
             .iter()
             .map(|s| (s.features.clone(), s.dense_label))
             .collect();
-        let mut clf = SensorClassifier::train(
+        let mut clf = SensorClassifier::<f64>::train(
             &hidden_for(loc),
             &train,
             ds.activities().clone(),

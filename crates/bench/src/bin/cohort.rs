@@ -3,7 +3,7 @@
 //! sweep engine.
 //!
 //! Usage: `cargo run -p origin-bench --bin cohort --release -- [users] [seed]
-//! [--seeds N] [--threads N] [--json <path>]`
+//! [--seeds N] [--threads N] [--precision {f64,f32}] [--json <path>]`
 //!
 //! Each wearer is evaluated under `--seeds` independent worlds; the
 //! per-user rows report the mean over those replicas, and the aggregate
@@ -11,17 +11,17 @@
 //! output is independent of `--threads`.
 
 use origin_bench::sweep::{run_sweep, Aggregate, SweepGrid, SweepOptions, SweepPolicy};
-use origin_bench::BenchArgs;
+use origin_bench::{BenchArgs, Precision};
 use origin_core::experiments::{Dataset, ExperimentContext};
 use origin_core::{BaselineKind, PolicyKind};
+use origin_nn::Scalar;
 
-fn main() {
-    let args = BenchArgs::parse();
+fn run<S: Scalar>(args: &BenchArgs) {
     let users = u32::try_from(args.u64_at(0, 8)).unwrap_or(8);
     let seed = args.u64_at(1, 77);
     let seeds = u32::try_from(args.u64_flag("seeds", 3)).unwrap_or(3);
 
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let ctx = ExperimentContext::<S>::new(Dataset::Mhealth, seed).expect("training succeeds");
     let grid = SweepGrid::new(
         seed,
         vec![
@@ -72,5 +72,17 @@ fn main() {
         "Origin wins {:.0}% of paired runs",
         report.win_rate(0, 1) * 100.0
     );
-    args.write_manifest(&report.to_manifest("cohort"));
+    args.write_manifest(
+        &report
+            .to_manifest("cohort")
+            .with_config("dtype", args.precision().label()),
+    );
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    match args.precision() {
+        Precision::F64 => run::<f64>(&args),
+        Precision::F32 => run::<f32>(&args),
+    }
 }

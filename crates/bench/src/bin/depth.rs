@@ -10,7 +10,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(77);
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, seed).expect("training succeeds");
     let cycles = [3u8, 6, 9, 12, 18, 24, 36, 48, 72];
     let sweep = run_depth_sweep(&ctx, &cycles).expect("simulation succeeds");
 

@@ -12,7 +12,7 @@ use origin_telemetry::{JsonValue, RunManifest};
 fn main() {
     let args = BenchArgs::parse();
     let seed = args.u64_at(0, 77);
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, seed).expect("training succeeds");
     let r = run_fig1(&ctx).expect("simulation succeeds");
 
     println!("# Fig. 1 — completion on harvested energy, naive scheduling (seed {seed})");

@@ -9,7 +9,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(77);
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, seed).expect("training succeeds");
     let r = run_fig4(&ctx).expect("simulation succeeds");
 
     println!("# Fig. 4 — accuracy (%) of ER-r vs AAS, MHEALTH-like, seed {seed}");

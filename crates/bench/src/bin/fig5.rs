@@ -37,7 +37,7 @@ fn main() {
         _ => vec![Dataset::Mhealth, Dataset::Pamap2],
     };
     for dataset in datasets {
-        let ctx = ExperimentContext::new(dataset, seed).expect("training succeeds");
+        let ctx = ExperimentContext::<f64>::new(dataset, seed).expect("training succeeds");
         let r = run_fig5(&ctx).expect("simulation succeeds");
         print_result(&r);
     }

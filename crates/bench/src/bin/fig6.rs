@@ -9,7 +9,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(77);
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, seed).expect("training succeeds");
     let r = run_fig6(&ctx, 3, 1_000, 10, 20.0).expect("study succeeds");
 
     println!("# Fig. 6 — accuracy (%) over iterations, 3 unseen users, 20 dB SNR, seed {seed}");

@@ -9,7 +9,7 @@ use origin_core::{run_baseline, BaselineKind, PolicyKind, SimConfig};
 use origin_types::SimDuration;
 
 fn main() {
-    let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+    let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77)
         .unwrap()
         .with_horizon(SimDuration::from_secs(3_600));
     let sim = ctx.simulator();

@@ -11,7 +11,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(77);
-    let ctx = ExperimentContext::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, seed).expect("training succeeds");
     let r = run_power_study(&ctx).expect("simulation succeeds");
 
     println!("# Average power per node vs accuracy (seed {seed})");

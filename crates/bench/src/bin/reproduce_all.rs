@@ -2,7 +2,12 @@
 //! extension studies — and writes each report under `results/`.
 //!
 //! Usage: `cargo run -p origin-bench --bin reproduce_all --release -- [seed]
-//! [out_dir] [--threads N] [--json <path>]`
+//! [out_dir] [--threads N] [--precision {f64,f32}] [--json <path>]`
+//!
+//! With `--precision f32` the whole pipeline (training, pruning,
+//! inference) runs on `f32` kernels and the default output directory
+//! moves to `results/f32/`, keeping the published `f64` goldens intact;
+//! the manifest records the dtype either way.
 //!
 //! The independent experiment stages fan out over the sweep engine's
 //! worker pool (`--threads`, 0 = auto); every summary, result and
@@ -25,13 +30,14 @@
 
 use origin_bench::sweep::parallel_map;
 use origin_bench::{
-    report_results, run_instrumented, sim_config_entries, write_manifest_file, BenchArgs,
+    report_results, run_instrumented, sim_config_entries, write_manifest_file, BenchArgs, Precision,
 };
 use origin_core::experiments::{
     run_ablation, run_cohort, run_depth_sweep, run_fig1, run_fig2, run_fig4, run_fig5, run_fig6,
     run_power_study, run_table1, Dataset, ExperimentContext,
 };
 use origin_core::{PolicyKind, SimConfig};
+use origin_nn::Scalar;
 use origin_telemetry::{write_prometheus, JsonValue, RunManifest, StageTimings};
 use origin_types::SimDuration;
 use std::fmt::Write as _;
@@ -110,7 +116,7 @@ struct StageOutput {
 // Wall-clock here only stamps per-stage duration into the run manifest;
 // every experiment result is a pure function of (spec, seed).
 #[allow(clippy::too_many_lines, clippy::disallowed_methods)]
-fn run_stage(stage: Stage, ctx: &ExperimentContext, seed: u64) -> StageOutput {
+fn run_stage<S: Scalar>(stage: Stage, ctx: &ExperimentContext<S>, seed: u64) -> StageOutput {
     let start = Instant::now();
     let mut s = String::new();
     let mut results = Vec::new();
@@ -164,7 +170,7 @@ fn run_stage(stage: Stage, ctx: &ExperimentContext, seed: u64) -> StageOutput {
                 ctx.clone()
             } else {
                 println!("training PAMAP2-like models (seed {seed})...");
-                ExperimentContext::new(Dataset::Pamap2, seed).expect("training succeeds")
+                ExperimentContext::<S>::new(Dataset::Pamap2, seed).expect("training succeeds")
             };
             let f5 = run_fig5(&dctx).expect("fig5");
             let _ = writeln!(s, "# Fig. 5 {} (seed {seed})", f5.dataset);
@@ -304,22 +310,26 @@ fn run_stage(stage: Stage, ctx: &ExperimentContext, seed: u64) -> StageOutput {
     }
 }
 
-fn main() {
-    let args = BenchArgs::parse();
+fn run<S: Scalar>(args: &BenchArgs) {
     let seed: u64 = args.u64_at(0, 77);
-    let out = args.str_at(1, "results");
+    let precision = args.precision();
+    let out = args
+        .positional()
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| precision.golden_path("results").display().to_string());
     let dir = Path::new(&out);
     std::fs::create_dir_all(dir).expect("results directory is creatable");
 
     let mut timings = StageTimings::new();
 
-    println!("training MHEALTH-like models (seed {seed})...");
+    println!("training MHEALTH-like models (seed {seed}, {precision} kernels)...");
     // Kernel-level breakdown (nn_fit / nn_prune / nn_eval) lands in the
     // manifest next to the aggregate training stage.
     let ctx = {
         let mut kernel = StageTimings::new();
         let ctx = timings.time("train_mhealth", || {
-            ExperimentContext::new_instrumented(Dataset::Mhealth, seed, &mut kernel)
+            ExperimentContext::<S>::new_instrumented(Dataset::Mhealth, seed, &mut kernel)
                 .expect("training succeeds")
         });
         for (name, elapsed) in kernel.iter() {
@@ -341,6 +351,7 @@ fn main() {
         &PolicyKind::Origin { cycle: 12 }.label(),
     )
     .with_config("dataset", ctx.dataset.label())
+    .with_config("dtype", precision.label())
     .with_config("out_dir", dir.display().to_string())
     .with_config("trace_horizon_secs", TRACE_HORIZON_SECS);
     for output in outputs {
@@ -397,4 +408,12 @@ fn main() {
         "\nall experiments reproduced; summaries in {}/",
         dir.display()
     );
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    match args.precision() {
+        Precision::F64 => run::<f64>(&args),
+        Precision::F32 => run::<f32>(&args),
+    }
 }

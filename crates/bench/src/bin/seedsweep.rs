@@ -9,7 +9,7 @@ use origin_core::{run_baseline, BaselineKind, PolicyKind, SimConfig};
 
 fn main() {
     for seed in [1u64, 7, 21, 42, 77, 101, 123, 200] {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, seed).unwrap();
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, seed).unwrap();
         let sim = ctx.simulator();
         let base = SimConfig::new(PolicyKind::Origin { cycle: 12 }).with_seed(seed);
         let origin = sim.run(&base).unwrap();

@@ -13,6 +13,7 @@
 //! `--policies LIST` (`origin12,bl2`), `--users N` (1; > 1 samples a
 //! cohort), `--horizon SECS` (3600), `--threads N` (0 = auto),
 //! `--instrument 1` (per-cell JSONL traces + metrics in the manifest),
+//! `--precision {f64,f32}` (kernel dtype; `f64` is the golden default),
 //! `--json PATH` (write the merged run manifest).
 //!
 //! The report — and the `--json` manifest — is bitwise identical for any
@@ -21,8 +22,9 @@
 use origin_bench::sweep::{
     available_threads, run_sweep, SweepGrid, SweepOptions, SweepPolicy, SweepReport,
 };
-use origin_bench::BenchArgs;
+use origin_bench::{BenchArgs, Precision};
 use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_nn::Scalar;
 use origin_types::SimDuration;
 
 fn print_report(report: &SweepReport, seeds: u32, users: usize) {
@@ -61,22 +63,22 @@ fn print_report(report: &SweepReport, seeds: u32, users: usize) {
     }
 }
 
-fn main() {
-    let args = BenchArgs::parse();
+fn run<S: Scalar>(args: &BenchArgs) {
     let base_seed = args.u64_flag("seed", 77);
     let seeds = u32::try_from(args.u64_flag("seeds", 3)).unwrap_or(3);
     let users = u32::try_from(args.u64_flag("users", 1)).unwrap_or(1);
-    let horizon = args.u64_flag("horizon", ExperimentContext::DEFAULT_HORIZON_SECS);
+    let horizon = args.u64_flag("horizon", ExperimentContext::<S>::DEFAULT_HORIZON_SECS);
     let threads = args.threads();
     let instrument = args.u64_flag("instrument", 0) != 0;
+    let precision = args.precision();
     let policies = SweepPolicy::parse_list(args.flag("policies").unwrap_or("origin12,bl2"))
         .unwrap_or_else(|e| panic!("{e}"));
 
     // Progress (and anything host-dependent, like the resolved thread
     // count) goes to stderr; stdout carries only the deterministic
     // report, so redirected output regenerates bit-identically.
-    eprintln!("training MHEALTH-like models (seed {base_seed})...");
-    let ctx = ExperimentContext::new(Dataset::Mhealth, base_seed)
+    eprintln!("training MHEALTH-like models (seed {base_seed}, {precision} kernels)...");
+    let ctx = ExperimentContext::<S>::new(Dataset::Mhealth, base_seed)
         .expect("training succeeds")
         .with_horizon(SimDuration::from_secs(horizon));
 
@@ -112,5 +114,17 @@ fn main() {
     .expect("simulation succeeds");
 
     print_report(&report, seeds, grid.users.len());
-    args.write_manifest(&report.to_manifest("sweep"));
+    args.write_manifest(
+        &report
+            .to_manifest("sweep")
+            .with_config("dtype", precision.label()),
+    );
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    match args.precision() {
+        Precision::F64 => run::<f64>(&args),
+        Precision::F32 => run::<f32>(&args),
+    }
 }

@@ -20,7 +20,8 @@ fn main() {
 
     let mut results: Vec<Table1Result> = Vec::new();
     for s in 0..n_seeds {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, seed + s).expect("training succeeds");
+        let ctx =
+            ExperimentContext::<f64>::new(Dataset::Mhealth, seed + s).expect("training succeeds");
         results.push(run_table1(&ctx).expect("simulation succeeds"));
     }
     let n = results.len() as f64;

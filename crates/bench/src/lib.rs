@@ -13,6 +13,7 @@
 pub mod sweep;
 
 use origin_core::{CoreError, ModelBank, SimConfig, SimReport, Simulator};
+use origin_nn::Scalar;
 use origin_sensors::DatasetSpec;
 use origin_telemetry::{
     JsonValue, JsonlObserver, MetricsObserver, MetricsRegistry, RunManifest, Tee,
@@ -31,11 +32,69 @@ pub fn bench_models(seed: u64) -> ModelBank {
     ModelBank::train(&spec, seed).expect("bench training succeeds")
 }
 
+/// The kernel precision a binary runs its NN stack at, selected with
+/// `--precision {f64,f32}` (the `f64` default reproduces the published
+/// goldens bit-for-bit; `f32` exercises the narrow compute path and
+/// writes its goldens under `results/f32/`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// Full-width kernels (the golden default).
+    #[default]
+    F64,
+    /// Narrow `f32` kernels.
+    F32,
+}
+
+impl Precision {
+    /// The dtype tag recorded in manifests and model files ("f64"/"f32").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// Parses a `--precision` value.
+    ///
+    /// # Errors
+    ///
+    /// Describes the accepted values when `spec` is neither.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec.trim().to_lowercase().as_str() {
+            "f64" => Ok(Precision::F64),
+            "f32" => Ok(Precision::F32),
+            other => Err(format!("unknown precision {other:?}: expected f64 or f32")),
+        }
+    }
+
+    /// Prefixes `base` with the dtype-specific golden directory:
+    /// `results/...` for `f64` (the published goldens), `results/f32/...`
+    /// for `f32`.
+    #[must_use]
+    pub fn golden_path(self, base: &str) -> PathBuf {
+        match self {
+            Precision::F64 => PathBuf::from(base),
+            Precision::F32 => match base.strip_prefix("results") {
+                Some("") => PathBuf::from("results/f32"),
+                Some(rest) => PathBuf::from("results/f32").join(rest.trim_start_matches('/')),
+                None => PathBuf::from("results/f32").join(base),
+            },
+        }
+    }
+}
+
+impl core::fmt::Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Command-line arguments shared by the experiment binaries: positional
 /// values, the common `--json <path>` / `--json=<path>` flag that
 /// requests a machine-readable [`RunManifest`], and arbitrary
 /// `--key value` / `--key=value` flags (`--threads`, `--seeds`,
-/// `--policies`, …) read back through [`BenchArgs::flag`].
+/// `--policies`, `--precision`, …) read back through [`BenchArgs::flag`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BenchArgs {
     positional: Vec<String>,
@@ -142,6 +201,22 @@ impl BenchArgs {
         usize::try_from(self.u64_flag("threads", 0)).unwrap_or(0)
     }
 
+    /// The kernel precision: `--precision {f64,f32}`, defaulting to
+    /// [`Precision::F64`] (the golden path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown precision value (the binaries have no error
+    /// channel).
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.flag("precision")
+            .map_or(Precision::F64, |s| match Precision::parse(s) {
+                Ok(p) => p,
+                Err(e) => panic!("{e}"),
+            })
+    }
+
     /// The `--json` destination, when requested.
     #[must_use]
     pub fn json_path(&self) -> Option<&Path> {
@@ -205,7 +280,10 @@ pub struct InstrumentedRun {
 ///
 /// Panics when the in-memory JSONL sink fails, which a `Vec<u8>` writer
 /// never does.
-pub fn run_instrumented(sim: &Simulator, config: &SimConfig) -> Result<InstrumentedRun, CoreError> {
+pub fn run_instrumented<S: Scalar>(
+    sim: &Simulator<S>,
+    config: &SimConfig,
+) -> Result<InstrumentedRun, CoreError> {
     let mut observer = Tee(JsonlObserver::new(Vec::new()), MetricsObserver::new());
     let report = sim.run_observed(config, &mut observer)?;
     let Tee(jsonl, metrics) = observer;
@@ -371,6 +449,42 @@ mod tests {
     #[should_panic(expected = "--threads requires a value")]
     fn bench_args_reject_dangling_flag() {
         let _ = args(&["--threads"]);
+    }
+
+    #[test]
+    fn precision_flag_parses_and_defaults() {
+        assert_eq!(args(&[]).precision(), Precision::F64);
+        assert_eq!(args(&["--precision", "f32"]).precision(), Precision::F32);
+        assert_eq!(args(&["--precision=F64"]).precision(), Precision::F64);
+        assert_eq!(Precision::F32.label(), "f32");
+        assert!(Precision::parse("f16").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown precision")]
+    fn precision_flag_rejects_unknown_dtype() {
+        let _ = args(&["--precision", "f16"]).precision();
+    }
+
+    #[test]
+    fn golden_paths_split_by_dtype() {
+        assert_eq!(
+            Precision::F64.golden_path("results/sweep.json"),
+            Path::new("results/sweep.json")
+        );
+        assert_eq!(
+            Precision::F32.golden_path("results/sweep.json"),
+            Path::new("results/f32/sweep.json")
+        );
+        assert_eq!(
+            Precision::F32.golden_path("sweep.json"),
+            Path::new("results/f32/sweep.json")
+        );
+        assert_eq!(
+            Precision::F32.golden_path("results"),
+            Path::new("results/f32")
+        );
+        assert_eq!(Precision::F64.golden_path("results"), Path::new("results"));
     }
 
     /// The acceptance check: an instrumented run's manifest and JSONL

@@ -31,72 +31,16 @@ use origin_core::experiments::{cohort_user, ExperimentContext};
 use origin_core::{
     fully_powered_simulator, BaselineKind, CoreError, PolicyKind, SimConfig, SimReport, Simulator,
 };
+use origin_nn::Scalar;
 use origin_sensors::UserProfile;
 use origin_telemetry::{JsonValue, MetricsRegistry, RunManifest};
 use origin_types::UserId;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-/// The worker count used when the caller passes `threads = 0`: what the
-/// OS reports as available parallelism, or 1 when that is unknown.
-#[must_use]
-pub fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
-
-/// Applies `f` to every item, possibly in parallel, returning results in
-/// item order.
-///
-/// The deterministic primitive under the sweep engine: workers pull item
-/// indices from an atomic counter and write each result into that item's
-/// pre-sized slot, so the output `Vec` is independent of `threads`, work
-/// interleaving, and which worker ran which item. `threads = 0` uses
-/// [`available_threads`]; `threads = 1` (or a single item) runs inline
-/// with no thread machinery at all.
-///
-/// # Panics
-///
-/// Propagates panics from `f`.
-pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let threads = if threads == 0 {
-        available_threads()
-    } else {
-        threads
-    }
-    .min(items.len().max(1));
-    if threads <= 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| f(i, item))
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(i, item);
-                *slots[i].lock().expect("result slot lock poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot lock poisoned")
-                .expect("every slot filled after join")
-        })
-        .collect()
-}
+// The deterministic fan-out primitive lives in `origin_core` now (model
+// training shares it); the sweep engine re-exports it so existing
+// `origin_bench::sweep::parallel_map` callers keep working.
+pub use origin_core::{available_threads, parallel_map};
 
 /// splitmix64 finalizer: a bijective avalanche mix, the standard way to
 /// turn structured coordinates into decorrelated RNG seeds.
@@ -558,8 +502,8 @@ fn key_label(label: &str) -> String {
 ///
 /// Returns the failing cell with the lowest id (deterministic even
 /// though later cells may have failed too).
-pub fn run_sweep(
-    ctx: &ExperimentContext,
+pub fn run_sweep<S: Scalar>(
+    ctx: &ExperimentContext<S>,
     grid: &SweepGrid,
     opts: &SweepOptions,
 ) -> Result<SweepReport, CoreError> {
@@ -586,11 +530,11 @@ pub fn run_sweep(
     })
 }
 
-fn run_cell(
-    ctx: &ExperimentContext,
+fn run_cell<S: Scalar>(
+    ctx: &ExperimentContext<S>,
     grid: &SweepGrid,
-    harvest_sim: &Simulator,
-    baseline_sim: &Simulator,
+    harvest_sim: &Simulator<S>,
+    baseline_sim: &Simulator<S>,
     cell: SweepCell,
     instrument: bool,
 ) -> Result<SweepCellResult, CoreError> {
@@ -637,19 +581,6 @@ mod tests {
     use origin_core::experiments::Dataset;
     use origin_core::Deployment;
     use origin_types::SimDuration;
-
-    #[test]
-    fn parallel_map_is_order_preserving_and_thread_invariant() {
-        let items: Vec<u64> = (0..23).collect();
-        let square = |_: usize, x: &u64| x * x;
-        let serial = parallel_map(1, &items, square);
-        let wide = parallel_map(8, &items, square);
-        assert_eq!(serial, wide);
-        assert_eq!(serial[5], 25);
-        assert_eq!(serial.len(), items.len());
-        // Zero threads resolves to the detected parallelism.
-        assert_eq!(parallel_map(0, &items, square), serial);
-    }
 
     #[test]
     fn policy_specs_parse() {

@@ -5,6 +5,7 @@ use crate::error::CoreError;
 use crate::models::{ModelBank, ModelVariant};
 use crate::policy::PolicyKind;
 use crate::sim::{SimConfig, SimReport, Simulator};
+use origin_nn::Scalar;
 use std::sync::Arc;
 
 /// Which baseline to run.
@@ -53,7 +54,7 @@ pub struct BaselineReport {
 /// [`run_baseline_on`] per cell; [`run_baseline`] is the one-shot
 /// convenience wrapper.
 #[must_use]
-pub fn fully_powered_simulator(models: Arc<ModelBank>) -> Simulator {
+pub fn fully_powered_simulator<S: Scalar>(models: Arc<ModelBank<S>>) -> Simulator<S> {
     let deployment = Deployment::builder().fully_powered().build();
     Simulator::from_shared(Arc::new(deployment), models)
 }
@@ -67,8 +68,8 @@ pub fn fully_powered_simulator(models: Arc<ModelBank>) -> Simulator {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn run_baseline_on(
-    sim: &Simulator,
+pub fn run_baseline_on<S: Scalar>(
+    sim: &Simulator<S>,
     kind: BaselineKind,
     template: &SimConfig,
 ) -> Result<BaselineReport, CoreError> {
@@ -91,9 +92,9 @@ pub fn run_baseline_on(
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn run_baseline(
+pub fn run_baseline<S: Scalar>(
     kind: BaselineKind,
-    models: &ModelBank,
+    models: &ModelBank<S>,
     template: &SimConfig,
 ) -> Result<BaselineReport, CoreError> {
     let sim = fully_powered_simulator(Arc::new(models.clone()));
@@ -108,7 +109,7 @@ mod tests {
 
     fn models() -> ModelBank {
         let spec = DatasetSpec::mhealth_like().with_windows(10, 6);
-        ModelBank::train(&spec, 33).unwrap()
+        ModelBank::<f64>::train(&spec, 33).unwrap()
     }
 
     fn template() -> SimConfig {

@@ -8,7 +8,7 @@
 //! would further update the weight matrix of the host device using a
 //! moving average method" (Section III-C).
 
-use origin_nn::SensorClassifier;
+use origin_nn::{Scalar, SensorClassifier};
 use origin_types::{ActivityClass, ActivitySet, NodeId};
 
 /// Per (sensor × class) confidence weights with exponential moving-average
@@ -55,15 +55,16 @@ impl ConfidenceMatrix {
     /// *predicted* class.
     ///
     /// `validation[node]` holds that node's raw `(features, dense_label)`
-    /// pairs.
+    /// pairs. The classifiers may run at any kernel precision — the
+    /// confidence weights they produce are always `f64`.
     ///
     /// # Panics
     ///
     /// Panics on empty inputs, classifier/class-count mismatch, or a
     /// feature-width mismatch inside classification.
     #[must_use]
-    pub fn from_validation(
-        classifiers: &[SensorClassifier],
+    pub fn from_validation<S: Scalar>(
+        classifiers: &[SensorClassifier<S>],
         validation: &[Vec<(Vec<f64>, usize)>],
         alpha: f64,
     ) -> Self {
@@ -222,8 +223,14 @@ mod tests {
                 (vec![label as f64 * 4.0 - 2.0 + (i as f64 * 0.01)], label)
             })
             .collect();
-        let clf = SensorClassifier::train(&[6], &data, set2(), &Trainer::new().with_epochs(120), 3)
-            .unwrap();
+        let clf = SensorClassifier::<f64>::train(
+            &[6],
+            &data,
+            set2(),
+            &Trainer::new().with_epochs(120),
+            3,
+        )
+        .unwrap();
         let m = ConfidenceMatrix::from_validation(
             std::slice::from_ref(&clf),
             std::slice::from_ref(&data),
@@ -243,8 +250,9 @@ mod tests {
         // Classifier trained on one class only will rarely predict the
         // other; the fallback must fill that cell.
         let data: Vec<(Vec<f64>, usize)> = (0..20).map(|i| (vec![i as f64], 0)).collect();
-        let clf = SensorClassifier::train(&[4], &data, set2(), &Trainer::new().with_epochs(30), 1)
-            .unwrap();
+        let clf =
+            SensorClassifier::<f64>::train(&[4], &data, set2(), &Trainer::new().with_epochs(30), 1)
+                .unwrap();
         let m = ConfidenceMatrix::from_validation(
             std::slice::from_ref(&clf),
             std::slice::from_ref(&data),

@@ -5,6 +5,7 @@ use crate::deployment::Deployment;
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::{SimConfig, Simulator};
+use origin_nn::Scalar;
 use std::sync::Arc;
 
 /// Results of the ablation battery at a fixed RR depth.
@@ -36,7 +37,10 @@ pub struct AblationReport {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_ablation(ctx: &ExperimentContext, cycle: u8) -> Result<AblationReport, CoreError> {
+pub fn run_ablation<S: Scalar>(
+    ctx: &ExperimentContext<S>,
+    cycle: u8,
+) -> Result<AblationReport, CoreError> {
     run_ablation_seeded(ctx, cycle, ctx.seed)
 }
 
@@ -47,8 +51,8 @@ pub fn run_ablation(ctx: &ExperimentContext, cycle: u8) -> Result<AblationReport
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_ablation_seeded(
-    ctx: &ExperimentContext,
+pub fn run_ablation_seeded<S: Scalar>(
+    ctx: &ExperimentContext<S>,
     cycle: u8,
     seed: u64,
 ) -> Result<AblationReport, CoreError> {
@@ -119,7 +123,7 @@ mod tests {
 
     #[test]
     fn ablation_ladder_and_nvp_value() {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77)
             .unwrap()
             .with_horizon(SimDuration::from_secs(1_800));
         let r = run_ablation(&ctx, 12).unwrap();

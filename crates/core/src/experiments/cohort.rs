@@ -10,6 +10,7 @@ use crate::baseline::{run_baseline_on, BaselineKind};
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::SimConfig;
+use origin_nn::Scalar;
 use origin_sensors::UserProfile;
 use origin_types::UserId;
 use std::sync::Arc;
@@ -86,7 +87,10 @@ pub fn cohort_user(seed: u64, u: u32) -> UserProfile {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_cohort(ctx: &ExperimentContext, users: u32) -> Result<CohortReport, CoreError> {
+pub fn run_cohort<S: Scalar>(
+    ctx: &ExperimentContext<S>,
+    users: u32,
+) -> Result<CohortReport, CoreError> {
     run_cohort_seeded(ctx, users, ctx.seed)
 }
 
@@ -96,8 +100,8 @@ pub fn run_cohort(ctx: &ExperimentContext, users: u32) -> Result<CohortReport, C
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_cohort_seeded(
-    ctx: &ExperimentContext,
+pub fn run_cohort_seeded<S: Scalar>(
+    ctx: &ExperimentContext<S>,
     users: u32,
     seed: u64,
 ) -> Result<CohortReport, CoreError> {
@@ -130,7 +134,7 @@ mod tests {
 
     #[test]
     fn cohort_accuracy_is_stable_across_users() {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77)
             .unwrap()
             .with_horizon(SimDuration::from_secs(1_200));
         let r = run_cohort(&ctx, 4).unwrap();

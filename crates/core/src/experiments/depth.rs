@@ -11,6 +11,7 @@ use super::ExperimentContext;
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::SimConfig;
+use origin_nn::Scalar;
 use origin_types::ActivityClass;
 
 /// One depth's operating point.
@@ -59,7 +60,10 @@ impl DepthSweep {
 /// # Errors
 ///
 /// Propagates simulation failures (including invalid cycles).
-pub fn run_depth_sweep(ctx: &ExperimentContext, cycles: &[u8]) -> Result<DepthSweep, CoreError> {
+pub fn run_depth_sweep<S: Scalar>(
+    ctx: &ExperimentContext<S>,
+    cycles: &[u8],
+) -> Result<DepthSweep, CoreError> {
     let sim = ctx.simulator();
     let mut points = Vec::with_capacity(cycles.len());
     for &cycle in cycles {
@@ -88,7 +92,7 @@ mod tests {
 
     #[test]
     fn completion_saturates_and_depth_stops_paying() {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77)
             .unwrap()
             .with_horizon(SimDuration::from_secs(1_800));
         let sweep = run_depth_sweep(&ctx, &[3, 12, 36, 72]).unwrap();

@@ -7,6 +7,7 @@ use super::ExperimentContext;
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::SimConfig;
+use origin_nn::Scalar;
 
 /// Completion fractions for the two naive schedules.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,7 +29,7 @@ pub struct Fig1Result {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_fig1(ctx: &ExperimentContext) -> Result<Fig1Result, CoreError> {
+pub fn run_fig1<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<Fig1Result, CoreError> {
     let sim = ctx.simulator();
     let base = SimConfig::new(PolicyKind::NaiveAllOn)
         .with_horizon(ctx.horizon)
@@ -60,7 +61,7 @@ mod tests {
 
     #[test]
     fn fig1_shape_matches_paper() {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77)
             .unwrap()
             .with_horizon(SimDuration::from_secs(1_200));
         let r = run_fig1(&ctx).unwrap();

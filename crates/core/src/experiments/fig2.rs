@@ -5,7 +5,7 @@ use super::ExperimentContext;
 use crate::ensemble::{majority_vote, Vote};
 use crate::error::CoreError;
 use crate::models::ModelVariant;
-use origin_nn::{ConfusionMatrix, Workspace};
+use origin_nn::{ConfusionMatrix, Scalar, Workspace};
 use origin_sensors::{sample_window, window_features, UserProfile};
 use origin_types::{ActivityClass, NodeId, SensorLocation, SimTime, UserId};
 use rand::rngs::StdRng;
@@ -31,7 +31,10 @@ pub struct Fig2Result {
 /// # Errors
 ///
 /// Propagates classification failures.
-pub fn run_fig2(ctx: &ExperimentContext, trials_per_class: usize) -> Result<Fig2Result, CoreError> {
+pub fn run_fig2<S: Scalar>(
+    ctx: &ExperimentContext<S>,
+    trials_per_class: usize,
+) -> Result<Fig2Result, CoreError> {
     let activities: Vec<ActivityClass> = ctx.models.activities().iter().collect();
     let classes = activities.len();
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xF162);
@@ -96,7 +99,7 @@ mod tests {
 
     #[test]
     fn fig2_reproduces_sensor_pattern() {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, 77).unwrap();
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77).unwrap();
         let r = run_fig2(&ctx, 40).unwrap();
         assert_eq!(r.activities.len(), 6);
         assert_eq!(r.per_sensor.len(), 3);

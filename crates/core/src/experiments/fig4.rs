@@ -4,6 +4,7 @@ use super::ExperimentContext;
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::{SimConfig, SimReport};
+use origin_nn::Scalar;
 use origin_types::ActivityClass;
 
 /// Accuracy of RR and RR+AAS per cycle depth and activity.
@@ -35,7 +36,7 @@ fn per_activity(report: &SimReport, activities: &[ActivityClass]) -> Vec<f64> {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_fig4(ctx: &ExperimentContext) -> Result<Fig4Result, CoreError> {
+pub fn run_fig4<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<Fig4Result, CoreError> {
     let sim = ctx.simulator();
     let activities: Vec<ActivityClass> = ctx.models.activities().iter().collect();
     let cycles = vec![3u8, 6, 9, 12];
@@ -77,7 +78,7 @@ mod tests {
 
     #[test]
     fn fig4_accuracy_rises_with_cycle_and_aas_helps() {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, 77).unwrap();
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77).unwrap();
         let r = run_fig4(&ctx).unwrap();
         assert_eq!(r.cycles, vec![3, 6, 9, 12]);
         // Deeper cycles complete more inferences → higher accuracy.

@@ -6,6 +6,7 @@ use crate::baseline::{run_baseline, BaselineKind};
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::SimConfig;
+use origin_nn::Scalar;
 use origin_types::ActivityClass;
 
 /// One policy's row of the sweep.
@@ -43,7 +44,7 @@ impl Fig5Result {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_fig5(ctx: &ExperimentContext) -> Result<Fig5Result, CoreError> {
+pub fn run_fig5<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<Fig5Result, CoreError> {
     let sim = ctx.simulator();
     let activities: Vec<ActivityClass> = ctx.models.activities().iter().collect();
     let base = SimConfig::new(PolicyKind::NaiveAllOn)
@@ -99,7 +100,7 @@ mod tests {
 
     #[test]
     fn fig5_pamap2_headline_holds() {
-        let ctx = ExperimentContext::new(Dataset::Pamap2, 77)
+        let ctx = ExperimentContext::<f64>::new(Dataset::Pamap2, 77)
             .unwrap()
             .with_horizon(SimDuration::from_secs(1_800));
         let r = run_fig5(&ctx).unwrap();
@@ -118,7 +119,7 @@ mod tests {
 
     #[test]
     fn fig5_policy_ladder_holds_on_mhealth() {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77)
             .unwrap()
             .with_horizon(SimDuration::from_secs(1_800));
         let r = run_fig5(&ctx).unwrap();

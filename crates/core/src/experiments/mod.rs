@@ -31,6 +31,7 @@ use crate::deployment::Deployment;
 use crate::error::CoreError;
 use crate::models::ModelBank;
 use crate::sim::Simulator;
+use origin_nn::Scalar;
 use origin_sensors::DatasetSpec;
 use origin_types::SimDuration;
 use std::sync::Arc;
@@ -72,12 +73,17 @@ impl Dataset {
 /// [`ModelBank`] instead of re-training (or deep-copying) per worker.
 /// Training happens exactly once per `(dataset, seed)` in
 /// [`ExperimentContext::new`].
+///
+/// The context carries the kernel precision of its bank
+/// (`ExperimentContext<f32>` runs the whole pipeline on `f32` models);
+/// every driver is generic over it and reports plain `f64` data either
+/// way.
 #[derive(Debug, Clone)]
-pub struct ExperimentContext {
+pub struct ExperimentContext<S: Scalar = f64> {
     /// Which dataset analogue is loaded.
     pub dataset: Dataset,
     /// The trained models (shared; see the type-level docs).
-    pub models: Arc<ModelBank>,
+    pub models: Arc<ModelBank<S>>,
     /// The energy-harvesting deployment (shared).
     pub deployment: Arc<Deployment>,
     /// Master seed.
@@ -86,7 +92,7 @@ pub struct ExperimentContext {
     pub horizon: SimDuration,
 }
 
-impl ExperimentContext {
+impl<S: Scalar> ExperimentContext<S> {
     /// Default evaluation horizon (one simulated hour).
     pub const DEFAULT_HORIZON_SECS: u64 = 3_600;
 
@@ -115,8 +121,31 @@ impl ExperimentContext {
         seed: u64,
         timings: &mut origin_telemetry::StageTimings,
     ) -> Result<Self, CoreError> {
-        let budget = origin_types::Energy::from_microjoules(ModelBank::DEFAULT_BUDGET_UJ);
-        let models = ModelBank::train_instrumented(&dataset.spec(), seed, budget, timings)?;
+        Self::new_instrumented_parallel(dataset, seed, 1, timings)
+    }
+
+    /// [`ExperimentContext::new_instrumented`] with model training fanned
+    /// out over `threads` workers (one per sensor location; see
+    /// [`ModelBank::train_instrumented_parallel`]). The trained bank is
+    /// bitwise identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn new_instrumented_parallel(
+        dataset: Dataset,
+        seed: u64,
+        threads: usize,
+        timings: &mut origin_telemetry::StageTimings,
+    ) -> Result<Self, CoreError> {
+        let budget = origin_types::Energy::from_microjoules(ModelBank::<S>::DEFAULT_BUDGET_UJ);
+        let models = ModelBank::train_instrumented_parallel(
+            &dataset.spec(),
+            seed,
+            budget,
+            threads,
+            timings,
+        )?;
         let deployment = Deployment::builder().seed(seed).build();
         Ok(Self::from_parts(dataset, models, deployment, seed))
     }
@@ -126,7 +155,7 @@ impl ExperimentContext {
     #[must_use]
     pub fn from_parts(
         dataset: Dataset,
-        models: ModelBank,
+        models: ModelBank<S>,
         deployment: Deployment,
         seed: u64,
     ) -> Self {
@@ -149,7 +178,7 @@ impl ExperimentContext {
     /// A simulator bound to this context. Cheap: the deployment and
     /// models are shared with the context, not cloned.
     #[must_use]
-    pub fn simulator(&self) -> Simulator {
+    pub fn simulator(&self) -> Simulator<S> {
         Simulator::from_shared(Arc::clone(&self.deployment), Arc::clone(&self.models))
     }
 }

@@ -10,6 +10,7 @@ use crate::baseline::{run_baseline, BaselineKind};
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::SimConfig;
+use origin_nn::Scalar;
 use origin_types::Power;
 
 /// One system's power/accuracy operating point.
@@ -40,7 +41,7 @@ pub struct PowerReport {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_power_study(ctx: &ExperimentContext) -> Result<PowerReport, CoreError> {
+pub fn run_power_study<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<PowerReport, CoreError> {
     let sim = ctx.simulator();
     let base = SimConfig::new(PolicyKind::NaiveAllOn)
         .with_horizon(ctx.horizon)
@@ -107,7 +108,7 @@ mod tests {
 
     #[test]
     fn origin_lives_within_its_harvest_while_baselines_burn_more() {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77)
             .unwrap()
             .with_horizon(SimDuration::from_secs(1_200));
         let r = run_power_study(&ctx).unwrap();

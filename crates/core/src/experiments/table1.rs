@@ -5,6 +5,7 @@ use crate::baseline::{run_baseline, BaselineKind};
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use crate::sim::SimConfig;
+use origin_nn::Scalar;
 use origin_types::ActivityClass;
 
 /// One Table I row.
@@ -57,7 +58,7 @@ impl Table1Result {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn run_table1(ctx: &ExperimentContext) -> Result<Table1Result, CoreError> {
+pub fn run_table1<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<Table1Result, CoreError> {
     let sim = ctx.simulator();
     let base = SimConfig::new(PolicyKind::Origin { cycle: 12 })
         .with_horizon(ctx.horizon)
@@ -93,7 +94,7 @@ mod tests {
 
     #[test]
     fn table1_headline_result_holds() {
-        let ctx = ExperimentContext::new(Dataset::Mhealth, 77)
+        let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77)
             .unwrap()
             .with_horizon(SimDuration::from_secs(3_600));
         let t = run_table1(&ctx).unwrap();

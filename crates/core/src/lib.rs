@@ -50,6 +50,7 @@ mod error;
 pub mod experiments;
 mod host;
 mod models;
+mod parallel;
 mod policy;
 mod rank;
 mod recall;
@@ -65,6 +66,7 @@ pub use ensemble::{majority_vote, weighted_vote, EnsembleKind, Vote};
 pub use error::CoreError;
 pub use host::HostDevice;
 pub use models::{ModelBank, ModelVariant};
+pub use parallel::{available_threads, parallel_map};
 pub use policy::{PolicyKind, PolicyState};
 pub use rank::RankTable;
 pub use recall::{RecallEntry, RecallStore};

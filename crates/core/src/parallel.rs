@@ -1,0 +1,96 @@
+//! Deterministic fan-out primitive shared by model training and the
+//! sweep engine.
+//!
+//! Lives in `origin-core` (rather than the bench crate that first grew
+//! it) so that [`ModelBank`](crate::ModelBank) can train its per-location
+//! classifiers in parallel with the same machinery the sweep binaries
+//! use; `origin_bench::sweep` re-exports it unchanged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count used when the caller passes `threads = 0`: what the
+/// OS reports as available parallelism, or 1 when that is unknown.
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item, possibly in parallel, returning results in
+/// item order.
+///
+/// The deterministic primitive under the sweep engine: workers pull item
+/// indices from an atomic counter and write each result into that item's
+/// pre-sized slot, so the output `Vec` is independent of `threads`, work
+/// interleaving, and which worker ran which item. `threads = 0` uses
+/// [`available_threads`]; `threads = 1` (or a single item) runs inline
+/// with no thread machinery at all.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("result slot lock poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock poisoned")
+                .expect("every slot filled after join")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_is_order_preserving_and_thread_invariant() {
+        let items: Vec<u64> = (0..97).collect();
+        let square = |i: usize, &x: &u64| (i as u64, x * x);
+        let serial = parallel_map(1, &items, square);
+        let wide = parallel_map(8, &items, square);
+        assert_eq!(serial, wide);
+        for (i, (idx, sq)) in serial.iter().enumerate() {
+            assert_eq!(*idx as usize, i);
+            assert_eq!(*sq, items[i] * items[i]);
+        }
+        assert_eq!(parallel_map(0, &items, square), serial);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = parallel_map(4, &[] as &[u8], |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -13,7 +13,7 @@ use crate::models::{ModelBank, ModelVariant};
 use crate::policy::{PolicyKind, PolicyState};
 use origin_energy::{DutyState, EnergyNode, NodeCounters};
 use origin_net::{Endpoint, Message, MessageBus};
-use origin_nn::{ConfusionMatrix, Workspace};
+use origin_nn::{ConfusionMatrix, Scalar, Workspace};
 use origin_sensors::{
     add_noise_snr, sample_window, window_features, ActivityTimeline, TimelineConfig, UserProfile,
 };
@@ -275,16 +275,20 @@ impl core::fmt::Display for SimReport {
 /// `Send + Sync`; [`Simulator::run`] takes `&self`) — never re-trains or
 /// deep-copies them. Parallel sweeps build one simulator per
 /// deployment/model pair and fan cells out over it.
+///
+/// The simulator runs at whatever kernel precision its bank was trained
+/// at (`Simulator<f32>` over a `ModelBank<f32>`); reports, confidence
+/// scores and every counter stay `f64` regardless.
 #[derive(Debug, Clone)]
-pub struct Simulator {
+pub struct Simulator<S: Scalar = f64> {
     deployment: Arc<Deployment>,
-    models: Arc<ModelBank>,
+    models: Arc<ModelBank<S>>,
 }
 
-impl Simulator {
+impl<S: Scalar> Simulator<S> {
     /// Creates a simulator for the deployment/model pair.
     #[must_use]
-    pub fn new(deployment: Deployment, models: ModelBank) -> Self {
+    pub fn new(deployment: Deployment, models: ModelBank<S>) -> Self {
         Self::from_shared(Arc::new(deployment), Arc::new(models))
     }
 
@@ -292,7 +296,7 @@ impl Simulator {
     /// without cloning either (the fan-out path: one trained
     /// [`ModelBank`] serves every worker).
     #[must_use]
-    pub fn from_shared(deployment: Arc<Deployment>, models: Arc<ModelBank>) -> Self {
+    pub fn from_shared(deployment: Arc<Deployment>, models: Arc<ModelBank<S>>) -> Self {
         Self { deployment, models }
     }
 
@@ -304,14 +308,14 @@ impl Simulator {
 
     /// The model bank.
     #[must_use]
-    pub fn models(&self) -> &ModelBank {
+    pub fn models(&self) -> &ModelBank<S> {
         &self.models
     }
 
     /// The shared handle to the model bank (cheap to clone across
     /// workers).
     #[must_use]
-    pub fn shared_models(&self) -> Arc<ModelBank> {
+    pub fn shared_models(&self) -> Arc<ModelBank<S>> {
         Arc::clone(&self.models)
     }
 
@@ -627,7 +631,7 @@ mod tests {
 
     fn quick_sim() -> Simulator {
         let spec = DatasetSpec::mhealth_like().with_windows(10, 6);
-        let models = ModelBank::train(&spec, 21).expect("training succeeds");
+        let models = ModelBank::<f64>::train(&spec, 21).expect("training succeeds");
         let deployment = Deployment::builder().seed(21).build();
         Simulator::new(deployment, models)
     }
@@ -679,7 +683,7 @@ mod tests {
     #[test]
     fn fully_powered_naive_always_completes() {
         let spec = DatasetSpec::mhealth_like().with_windows(10, 6);
-        let models = ModelBank::train(&spec, 22).unwrap();
+        let models = ModelBank::<f64>::train(&spec, 22).unwrap();
         let deployment = Deployment::builder().fully_powered().build();
         let sim = Simulator::new(deployment, models);
         let report = sim.run(&short(PolicyKind::NaiveAllOn)).unwrap();

@@ -10,7 +10,7 @@ use origin_types::SimDuration;
 
 fn quick_sim() -> Simulator {
     let spec = DatasetSpec::mhealth_like().with_windows(10, 6);
-    let models = ModelBank::train(&spec, 21).expect("training succeeds");
+    let models = ModelBank::<f64>::train(&spec, 21).expect("training succeeds");
     let deployment = Deployment::builder().seed(21).build();
     Simulator::new(deployment, models)
 }

@@ -6,6 +6,7 @@ use crate::layer::softmax_into;
 use crate::metrics::ConfusionMatrix;
 use crate::mlp::{argmax, Mlp};
 use crate::norm::Normalizer;
+use crate::scalar::Scalar;
 use crate::softmax_variance;
 use crate::train::Trainer;
 use crate::workspace::Workspace;
@@ -15,6 +16,10 @@ use origin_types::{ActivityClass, ActivitySet, Energy};
 /// class plus the softmax-variance confidence score Origin's adaptive
 /// ensemble consumes ("the sensors would send the confidence score for
 /// that classifier along with the output class", Section III-C).
+///
+/// Reported in `f64` regardless of the classifier's kernel scalar: raw
+/// features, confidences and host-side ensemble math all live on the
+/// `f64` side of the precision boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Classification {
     /// Predicted activity.
@@ -41,19 +46,22 @@ pub struct ScoredClass {
     pub confidence: f64,
 }
 
-/// A trained per-sensor activity classifier.
+/// A trained per-sensor activity classifier, generic over the kernel
+/// [`Scalar`] (`f64` by default).
 ///
 /// Bundles the [`Mlp`] with the feature [`Normalizer`] fitted on its
 /// training set and the [`ActivitySet`] its dense labels index into, so a
-/// deployed classifier is a single self-contained value.
+/// deployed classifier is a single self-contained value. Raw features
+/// enter in `f64` and are standardized directly into `S`; classes and
+/// confidence scores leave in `f64`.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SensorClassifier {
-    mlp: Mlp,
+pub struct SensorClassifier<S: Scalar = f64> {
+    mlp: Mlp<S>,
     normalizer: Normalizer,
     activities: ActivitySet,
 }
 
-impl SensorClassifier {
+impl<S: Scalar> SensorClassifier<S> {
     /// Wraps pre-trained components.
     ///
     /// # Errors
@@ -61,7 +69,11 @@ impl SensorClassifier {
     /// Returns [`NnError::DimensionMismatch`] when the normalizer width
     /// does not match the model input, or the model output does not match
     /// the class count.
-    pub fn new(mlp: Mlp, normalizer: Normalizer, activities: ActivitySet) -> Result<Self, NnError> {
+    pub fn new(
+        mlp: Mlp<S>,
+        normalizer: Normalizer,
+        activities: ActivitySet,
+    ) -> Result<Self, NnError> {
         if normalizer.dim() != mlp.input_dim() {
             return Err(NnError::DimensionMismatch {
                 expected: mlp.input_dim(),
@@ -103,9 +115,13 @@ impl SensorClassifier {
         dims.extend_from_slice(hidden);
         dims.push(activities.len());
         let normalizer = Normalizer::fit(data.iter().map(|(x, _)| x.as_slice()))?;
-        let normalized: Vec<(Vec<f64>, usize)> = data
+        let normalized: Vec<(Vec<S>, usize)> = data
             .iter()
-            .map(|(x, y)| (normalizer.transform(x), *y))
+            .map(|(x, y)| {
+                let mut out = vec![S::ZERO; x.len()];
+                normalizer.transform_into(x, &mut out);
+                (out, *y)
+            })
             .collect();
         let mut mlp = Mlp::new(&dims, seed)?;
         trainer.fit(&mut mlp, &normalized)?;
@@ -124,17 +140,18 @@ impl SensorClassifier {
                 actual: raw_features.len(),
             });
         }
-        let x = self.normalizer.transform(raw_features);
-        let (dense_label, probabilities) = self.mlp.predict(&x);
+        let mut x = vec![S::ZERO; self.mlp.input_dim()];
+        self.normalizer.transform_into(raw_features, &mut x);
+        let (dense_label, proba) = self.mlp.predict(&x);
         let activity = self
             .activities
             .class_at(dense_label)
             .expect("model output dim equals class count");
-        let confidence = softmax_variance(&probabilities);
+        let confidence = softmax_variance(&proba);
         Ok(Classification {
             activity,
             dense_label,
-            probabilities,
+            probabilities: proba.iter().map(|p| p.to_f64()).collect(),
             confidence,
         })
     }
@@ -149,7 +166,7 @@ impl SensorClassifier {
     /// Returns [`NnError::DimensionMismatch`] on a wrong-width input.
     pub fn classify_with(
         &self,
-        ws: &mut Workspace,
+        ws: &mut Workspace<S>,
         raw_features: &[f64],
     ) -> Result<ScoredClass, NnError> {
         if raw_features.len() != self.mlp.input_dim() {
@@ -160,7 +177,7 @@ impl SensorClassifier {
         }
         // Move the staging buffer out so `ws` stays free for the MLP.
         let mut features = std::mem::take(&mut ws.features);
-        features.resize(self.mlp.input_dim(), 0.0);
+        features.resize(self.mlp.input_dim(), S::ZERO);
         self.normalizer.transform_into(raw_features, &mut features);
         let proba = self.mlp.predict_proba_with(ws, &features)?;
         let dense_label = argmax(proba);
@@ -192,8 +209,8 @@ impl SensorClassifier {
         let input = self.mlp.input_dim();
         let classes = self.mlp.output_dim();
         let mut ws = Workspace::new();
-        let mut xs: Vec<f64> = Vec::with_capacity(EVAL_BATCH * input);
-        let mut proba = vec![0.0; classes];
+        let mut xs: Vec<S> = Vec::with_capacity(EVAL_BATCH * input);
+        let mut proba = vec![S::ZERO; classes];
         for chunk in data.chunks(EVAL_BATCH) {
             xs.clear();
             for (x, _) in chunk {
@@ -204,7 +221,7 @@ impl SensorClassifier {
                     });
                 }
                 let start = xs.len();
-                xs.resize(start + input, 0.0);
+                xs.resize(start + input, S::ZERO);
                 self.normalizer.transform_into(x, &mut xs[start..]);
             }
             let logits = self.mlp.forward_batch_with(&mut ws, &xs)?;
@@ -218,12 +235,12 @@ impl SensorClassifier {
 
     /// The wrapped network.
     #[must_use]
-    pub fn mlp(&self) -> &Mlp {
+    pub fn mlp(&self) -> &Mlp<S> {
         &self.mlp
     }
 
     /// Mutable network access (pruning).
-    pub fn mlp_mut(&mut self) -> &mut Mlp {
+    pub fn mlp_mut(&mut self) -> &mut Mlp<S> {
         &mut self.mlp
     }
 
@@ -246,11 +263,16 @@ impl SensorClassifier {
     }
 
     /// Normalizes `data` with this classifier's normalizer — the form
-    /// fine-tuning after pruning expects.
+    /// fine-tuning after pruning expects, standardized into the
+    /// classifier's own scalar.
     #[must_use]
-    pub fn normalize_data(&self, data: &[(Vec<f64>, usize)]) -> Vec<(Vec<f64>, usize)> {
+    pub fn normalize_data(&self, data: &[(Vec<f64>, usize)]) -> Vec<(Vec<S>, usize)> {
         data.iter()
-            .map(|(x, y)| (self.normalizer.transform(x), *y))
+            .map(|(x, y)| {
+                let mut out = vec![S::ZERO; x.len()];
+                self.normalizer.transform_into(x, &mut out);
+                (out, *y)
+            })
             .collect()
     }
 }
@@ -294,9 +316,14 @@ mod tests {
     #[test]
     fn trains_and_classifies() {
         let data = toy_data(1, 30, 3);
-        let clf =
-            SensorClassifier::train(&[8], &data, small_set(), &Trainer::new().with_epochs(60), 7)
-                .unwrap();
+        let clf = SensorClassifier::<f64>::train(
+            &[8],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(60),
+            7,
+        )
+        .unwrap();
         let cm = clf.evaluate(&data).unwrap();
         assert!(cm.accuracy().unwrap() > 0.9, "{}", cm);
         let c = clf.classify(&data[0].0).unwrap();
@@ -307,11 +334,39 @@ mod tests {
     }
 
     #[test]
+    fn f32_classifier_trains_and_agrees_with_itself() {
+        let data = toy_data(8, 25, 3);
+        let clf = SensorClassifier::<f32>::train(
+            &[8],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(60),
+            7,
+        )
+        .unwrap();
+        let cm = clf.evaluate(&data).unwrap();
+        assert!(cm.accuracy().unwrap() > 0.9, "{}", cm);
+        // The allocation-free path matches the allocating one at f32 too.
+        let mut ws = Workspace::new();
+        for (x, _) in data.iter().take(10) {
+            let full = clf.classify(x).unwrap();
+            let scored = clf.classify_with(&mut ws, x).unwrap();
+            assert_eq!(scored.dense_label, full.dense_label);
+            assert_eq!(scored.confidence.to_bits(), full.confidence.to_bits());
+        }
+    }
+
+    #[test]
     fn classification_maps_dense_labels_to_activities() {
         let data = toy_data(2, 20, 3);
-        let clf =
-            SensorClassifier::train(&[6], &data, small_set(), &Trainer::new().with_epochs(40), 1)
-                .unwrap();
+        let clf = SensorClassifier::<f64>::train(
+            &[6],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(40),
+            1,
+        )
+        .unwrap();
         // Dense label 2 is Jumping in this set.
         let sample = data.iter().find(|(_, y)| *y == 2).unwrap();
         let c = clf.classify(&sample.0).unwrap();
@@ -323,9 +378,14 @@ mod tests {
     #[test]
     fn classify_with_matches_classify_bitwise() {
         let data = toy_data(6, 20, 3);
-        let mut clf =
-            SensorClassifier::train(&[8], &data, small_set(), &Trainer::new().with_epochs(30), 5)
-                .unwrap();
+        let mut clf = SensorClassifier::<f64>::train(
+            &[8],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(30),
+            5,
+        )
+        .unwrap();
         // Prune a layer so the sparse kernel is on the tested path.
         let n = clf.mlp().layers()[0].total_weights();
         clf.mlp_mut().layers_mut()[0].set_mask((0..n).map(|i| i % 4 != 2).collect());
@@ -347,9 +407,14 @@ mod tests {
     fn evaluate_matches_per_sample_classification() {
         // 37 samples: exercises a final partial batch (37 = 32 + 5).
         let data = toy_data(7, 13, 3)[..37].to_vec();
-        let clf =
-            SensorClassifier::train(&[6], &data, small_set(), &Trainer::new().with_epochs(20), 2)
-                .unwrap();
+        let clf = SensorClassifier::<f64>::train(
+            &[6],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(20),
+            2,
+        )
+        .unwrap();
         let cm = clf.evaluate(&data).unwrap();
         let mut reference = ConfusionMatrix::new(3);
         for (x, label) in &data {
@@ -360,7 +425,7 @@ mod tests {
 
     #[test]
     fn construction_validates_dims() {
-        let mlp = Mlp::new(&[3, 4, 2], 0).unwrap();
+        let mlp = Mlp::<f64>::new(&[3, 4, 2], 0).unwrap();
         let norm = Normalizer::fit([[0.0, 1.0].as_slice()]).unwrap();
         assert!(matches!(
             SensorClassifier::new(mlp.clone(), norm, small_set()),
@@ -377,9 +442,14 @@ mod tests {
     #[test]
     fn classify_rejects_wrong_width() {
         let data = toy_data(3, 10, 3);
-        let clf =
-            SensorClassifier::train(&[4], &data, small_set(), &Trainer::new().with_epochs(5), 0)
-                .unwrap();
+        let clf = SensorClassifier::<f64>::train(
+            &[4],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(5),
+            0,
+        )
+        .unwrap();
         assert!(matches!(
             clf.classify(&[1.0]),
             Err(NnError::DimensionMismatch { .. })
@@ -389,7 +459,7 @@ mod tests {
     #[test]
     fn empty_training_set_is_rejected() {
         assert!(matches!(
-            SensorClassifier::train(&[4], &[], small_set(), &Trainer::new(), 0),
+            SensorClassifier::<f64>::train(&[4], &[], small_set(), &Trainer::new(), 0),
             Err(NnError::EmptyTrainingSet)
         ));
     }
@@ -397,9 +467,14 @@ mod tests {
     #[test]
     fn inference_energy_tracks_pruning() {
         let data = toy_data(4, 10, 3);
-        let mut clf =
-            SensorClassifier::train(&[8], &data, small_set(), &Trainer::new().with_epochs(5), 0)
-                .unwrap();
+        let mut clf = SensorClassifier::<f64>::train(
+            &[8],
+            &data,
+            small_set(),
+            &Trainer::new().with_epochs(5),
+            0,
+        )
+        .unwrap();
         let em = InferenceEnergyModel::default();
         let before = clf.inference_energy(&em);
         let n = clf.mlp().layers()[0].total_weights();

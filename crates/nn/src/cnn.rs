@@ -14,42 +14,47 @@
 //! All activations live in contiguous `[channel × time]` buffers inside a
 //! [`CnnScratch`], so the steady-state train/infer loop performs no heap
 //! allocations; the loop orders replicate the original nested-`Vec`
-//! implementation exactly (pinned bitwise by the parity tests).
+//! implementation exactly (pinned bitwise by the parity tests). Like the
+//! MLP stack, everything is generic over the kernel [`Scalar`] with
+//! `f64` as the default.
 
 use crate::error::NnError;
 use crate::layer::softmax_into;
 use crate::mlp::argmax;
+use crate::scalar::Scalar;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// One temporal convolution layer (valid padding, stride 1).
 #[derive(Debug, Clone, PartialEq)]
-struct Conv1d {
+struct Conv1d<S: Scalar = f64> {
     in_channels: usize,
     out_channels: usize,
     kernel: usize,
     // weight[o][i][t] flattened
-    weight: Vec<f64>,
-    bias: Vec<f64>,
+    weight: Vec<S>,
+    bias: Vec<S>,
 }
 
-impl Conv1d {
+impl<S: Scalar> Conv1d<S> {
     fn init(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        // Draws happen in f64 regardless of S so every precision consumes
+        // the identical RNG stream; each draw rounds once.
         let fan_in = (in_channels * kernel) as f64;
         let limit = (6.0 / fan_in).sqrt();
         let weight = (0..out_channels * in_channels * kernel)
-            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * limit)
+            .map(|_| S::from_f64((rng.gen::<f64>() * 2.0 - 1.0) * limit))
             .collect();
         Self {
             in_channels,
             out_channels,
             kernel,
             weight,
-            bias: vec![0.0; out_channels],
+            bias: vec![S::ZERO; out_channels],
         }
     }
 
-    fn w(&self, o: usize, i: usize, t: usize) -> f64 {
+    fn w(&self, o: usize, i: usize, t: usize) -> S {
         self.weight[(o * self.in_channels + i) * self.kernel + t]
     }
 
@@ -60,7 +65,7 @@ impl Conv1d {
     /// Flat `[channel × time]` forward: `input` holds `in_channels` rows
     /// of `in_len` samples, `out` receives `out_channels` rows of
     /// `out_len(in_len)` samples. Accumulation order `(o, p, i, t)`.
-    fn forward_flat(&self, input: &[f64], in_len: usize, out: &mut [f64]) {
+    fn forward_flat(&self, input: &[S], in_len: usize, out: &mut [S]) {
         let out_len = self.out_len(in_len);
         debug_assert_eq!(input.len(), self.in_channels * in_len);
         debug_assert_eq!(out.len(), self.out_channels * out_len);
@@ -87,17 +92,17 @@ impl Conv1d {
     #[allow(clippy::needless_range_loop)]
     fn backward_flat(
         &mut self,
-        input: &[f64],
+        input: &[S],
         in_len: usize,
-        grad_out: &[f64],
+        grad_out: &[S],
         out_len: usize,
-        lr: f64,
-        grad_in: &mut [f64],
+        lr: S,
+        grad_in: &mut [S],
     ) {
         debug_assert_eq!(input.len(), self.in_channels * in_len);
         debug_assert_eq!(grad_out.len(), self.out_channels * out_len);
         debug_assert_eq!(grad_in.len(), self.in_channels * in_len);
-        grad_in.fill(0.0);
+        grad_in.fill(S::ZERO);
         // dX first (uses the pre-update weights).
         for o in 0..self.out_channels {
             let g_ch = &grad_out[o * out_len..(o + 1) * out_len];
@@ -114,40 +119,42 @@ impl Conv1d {
         for o in 0..self.out_channels {
             for i in 0..self.in_channels {
                 for t in 0..self.kernel {
-                    let mut dw = 0.0;
+                    let mut dw = S::ZERO;
                     for p in 0..out_len {
                         dw += grad_out[o * out_len + p] * input[i * in_len + p + t];
                     }
                     self.weight[(o * self.in_channels + i) * self.kernel + t] -= lr * dw;
                 }
             }
-            let db: f64 = grad_out[o * out_len..(o + 1) * out_len].iter().sum();
+            let db = grad_out[o * out_len..(o + 1) * out_len]
+                .iter()
+                .fold(S::ZERO, |acc, &g| acc + g);
             self.bias[o] -= lr * db;
         }
     }
 }
 
-fn relu_fwd_flat(src: &[f64], dst: &mut [f64]) {
+fn relu_fwd_flat<S: Scalar>(src: &[S], dst: &mut [S]) {
     for (d, &s) in dst.iter_mut().zip(src) {
-        *d = s.max(0.0);
+        *d = s.max(S::ZERO);
     }
 }
 
-fn relu_bwd_flat(pre: &[f64], grad: &mut [f64]) {
+fn relu_bwd_flat<S: Scalar>(pre: &[S], grad: &mut [S]) {
     for (g, &p) in grad.iter_mut().zip(pre) {
-        if p <= 0.0 {
-            *g = 0.0;
+        if p <= S::ZERO {
+            *g = S::ZERO;
         }
     }
 }
 
 /// Flat max-pool by 2 (truncating an odd tail); fills `out` and the
 /// per-channel argmax map (indices relative to the channel start).
-fn maxpool2_fwd_flat(
-    x: &[f64],
+fn maxpool2_fwd_flat<S: Scalar>(
+    x: &[S],
     channels: usize,
     in_len: usize,
-    out: &mut [f64],
+    out: &mut [S],
     arg: &mut [usize],
 ) {
     let out_len = in_len / 2;
@@ -163,16 +170,16 @@ fn maxpool2_fwd_flat(
     }
 }
 
-fn maxpool2_bwd_flat(
-    grad_out: &[f64],
+fn maxpool2_bwd_flat<S: Scalar>(
+    grad_out: &[S],
     arg: &[usize],
     channels: usize,
     in_len: usize,
     out_len: usize,
-    grad_in: &mut [f64],
+    grad_in: &mut [S],
 ) {
     debug_assert_eq!(grad_in.len(), channels * in_len);
-    grad_in.fill(0.0);
+    grad_in.fill(S::ZERO);
     for ch in 0..channels {
         for p in 0..out_len {
             grad_in[ch * in_len + arg[ch * out_len + p]] += grad_out[ch * out_len + p];
@@ -183,28 +190,28 @@ fn maxpool2_bwd_flat(
 /// Preallocated scratch for [`Cnn1d`]: every activation and gradient
 /// lives in a contiguous `[channel × time]` buffer that only ever grows,
 /// so a reused scratch makes the steady-state CNN train/infer loop
-/// allocation-free.
+/// allocation-free — at either precision.
 #[derive(Debug, Clone, Default)]
-pub struct CnnScratch {
-    input: Vec<f64>,
-    z1: Vec<f64>,
-    a1: Vec<f64>,
-    p1: Vec<f64>,
+pub struct CnnScratch<S: Scalar = f64> {
+    input: Vec<S>,
+    z1: Vec<S>,
+    a1: Vec<S>,
+    p1: Vec<S>,
     arg1: Vec<usize>,
-    z2: Vec<f64>,
-    a2: Vec<f64>,
-    gap: Vec<f64>,
-    logits: Vec<f64>,
-    proba: Vec<f64>,
-    dlogits: Vec<f64>,
-    dgap: Vec<f64>,
-    da2: Vec<f64>,
-    dp1: Vec<f64>,
-    da1: Vec<f64>,
-    dinput: Vec<f64>,
+    z2: Vec<S>,
+    a2: Vec<S>,
+    gap: Vec<S>,
+    logits: Vec<S>,
+    proba: Vec<S>,
+    dlogits: Vec<S>,
+    dgap: Vec<S>,
+    da2: Vec<S>,
+    dp1: Vec<S>,
+    da1: Vec<S>,
+    dinput: Vec<S>,
 }
 
-impl CnnScratch {
+impl<S: Scalar> CnnScratch<S> {
     /// An empty scratch; buffers grow on first use.
     #[must_use]
     pub fn new() -> Self {
@@ -212,21 +219,22 @@ impl CnnScratch {
     }
 }
 
-/// A compact 1-D CNN classifier over `[channels][time]` windows.
+/// A compact 1-D CNN classifier over `[channels][time]` windows, generic
+/// over the kernel [`Scalar`] (`f64` by default).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Cnn1d {
-    conv1: Conv1d,
-    conv2: Conv1d,
+pub struct Cnn1d<S: Scalar = f64> {
+    conv1: Conv1d<S>,
+    conv2: Conv1d<S>,
     // dense head: weight[class][filter], bias[class]
-    head_w: Vec<f64>,
-    head_b: Vec<f64>,
+    head_w: Vec<S>,
+    head_b: Vec<S>,
     filters: usize,
     classes: usize,
     in_channels: usize,
     min_len: usize,
 }
 
-impl Cnn1d {
+impl<S: Scalar> Cnn1d<S> {
     /// A randomly initialized CNN: `in_channels` input channels,
     /// `filters` conv features, kernel width `kernel`, `classes` outputs.
     ///
@@ -254,7 +262,7 @@ impl Cnn1d {
         let conv2 = Conv1d::init(filters, filters, kernel, &mut rng);
         let limit = (6.0 / filters as f64).sqrt();
         let head_w = (0..classes * filters)
-            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * limit)
+            .map(|_| S::from_f64((rng.gen::<f64>() * 2.0 - 1.0) * limit))
             .collect();
         // Shortest window the two convolutions + pooling can digest.
         let min_len = 2 * kernel + 2 * (kernel - 1);
@@ -262,7 +270,7 @@ impl Cnn1d {
             conv1,
             conv2,
             head_w,
-            head_b: vec![0.0; classes],
+            head_b: vec![S::ZERO; classes],
             filters,
             classes,
             in_channels,
@@ -299,7 +307,7 @@ impl Cnn1d {
             + self.head_b.len()
     }
 
-    fn validate(&self, window: &[Vec<f64>]) -> Result<(), NnError> {
+    fn validate(&self, window: &[Vec<S>]) -> Result<(), NnError> {
         if window.len() != self.in_channels {
             return Err(NnError::DimensionMismatch {
                 expected: self.in_channels,
@@ -318,26 +326,26 @@ impl Cnn1d {
 
     /// Stage lengths for a window of `len` samples: conv1 out, pool out,
     /// conv2 out. Resizes every scratch buffer to the exact shape.
-    fn prepare_scratch(&self, ws: &mut CnnScratch, len: usize) -> (usize, usize, usize) {
+    fn prepare_scratch(&self, ws: &mut CnnScratch<S>, len: usize) -> (usize, usize, usize) {
         let l1 = self.conv1.out_len(len);
         let p1 = l1 / 2;
         let l2 = self.conv2.out_len(p1);
-        ws.input.resize(self.in_channels * len, 0.0);
-        ws.dinput.resize(self.in_channels * len, 0.0);
-        ws.z1.resize(self.filters * l1, 0.0);
-        ws.a1.resize(self.filters * l1, 0.0);
-        ws.da1.resize(self.filters * l1, 0.0);
-        ws.p1.resize(self.filters * p1, 0.0);
+        ws.input.resize(self.in_channels * len, S::ZERO);
+        ws.dinput.resize(self.in_channels * len, S::ZERO);
+        ws.z1.resize(self.filters * l1, S::ZERO);
+        ws.a1.resize(self.filters * l1, S::ZERO);
+        ws.da1.resize(self.filters * l1, S::ZERO);
+        ws.p1.resize(self.filters * p1, S::ZERO);
         ws.arg1.resize(self.filters * p1, 0);
-        ws.dp1.resize(self.filters * p1, 0.0);
-        ws.z2.resize(self.filters * l2, 0.0);
-        ws.a2.resize(self.filters * l2, 0.0);
-        ws.da2.resize(self.filters * l2, 0.0);
-        ws.gap.resize(self.filters, 0.0);
-        ws.dgap.resize(self.filters, 0.0);
-        ws.logits.resize(self.classes, 0.0);
-        ws.dlogits.resize(self.classes, 0.0);
-        ws.proba.resize(self.classes, 0.0);
+        ws.dp1.resize(self.filters * p1, S::ZERO);
+        ws.z2.resize(self.filters * l2, S::ZERO);
+        ws.a2.resize(self.filters * l2, S::ZERO);
+        ws.da2.resize(self.filters * l2, S::ZERO);
+        ws.gap.resize(self.filters, S::ZERO);
+        ws.dgap.resize(self.filters, S::ZERO);
+        ws.logits.resize(self.classes, S::ZERO);
+        ws.dlogits.resize(self.classes, S::ZERO);
+        ws.proba.resize(self.classes, S::ZERO);
         (l1, p1, l2)
     }
 
@@ -345,8 +353,8 @@ impl Cnn1d {
     /// Returns `(l1, p1, l2)` stage lengths for the backward pass.
     fn run_forward(
         &self,
-        ws: &mut CnnScratch,
-        window: &[Vec<f64>],
+        ws: &mut CnnScratch<S>,
+        window: &[Vec<S>],
     ) -> Result<(usize, usize, usize), NnError> {
         self.validate(window)?;
         let len = window[0].len();
@@ -360,8 +368,12 @@ impl Cnn1d {
         self.conv2.forward_flat(&ws.p1, p1, &mut ws.z2);
         relu_fwd_flat(&ws.z2, &mut ws.a2);
         // Global average pool to one value per filter.
+        let t2 = S::from_f64(l2 as f64);
         for f in 0..self.filters {
-            ws.gap[f] = ws.a2[f * l2..(f + 1) * l2].iter().sum::<f64>() / l2 as f64;
+            ws.gap[f] = ws.a2[f * l2..(f + 1) * l2]
+                .iter()
+                .fold(S::ZERO, |acc, &v| acc + v)
+                / t2;
         }
         self.head_into(&ws.gap, &mut ws.logits);
         Ok((l1, p1, l2))
@@ -375,9 +387,9 @@ impl Cnn1d {
     /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
     pub fn forward_with<'w>(
         &self,
-        ws: &'w mut CnnScratch,
-        window: &[Vec<f64>],
-    ) -> Result<&'w [f64], NnError> {
+        ws: &'w mut CnnScratch<S>,
+        window: &[Vec<S>],
+    ) -> Result<&'w [S], NnError> {
         self.run_forward(ws, window)?;
         Ok(&ws.logits)
     }
@@ -387,20 +399,18 @@ impl Cnn1d {
     /// # Errors
     ///
     /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
-    pub fn forward(&self, window: &[Vec<f64>]) -> Result<Vec<f64>, NnError> {
+    pub fn forward(&self, window: &[Vec<S>]) -> Result<Vec<S>, NnError> {
         let mut ws = CnnScratch::new();
         self.run_forward(&mut ws, window)?;
         Ok(ws.logits)
     }
 
-    fn head_into(&self, gap: &[f64], out: &mut [f64]) {
+    fn head_into(&self, gap: &[S], out: &mut [S]) {
         for (c, out_c) in out.iter_mut().enumerate() {
             *out_c = self.head_b[c]
-                + gap
-                    .iter()
-                    .enumerate()
-                    .map(|(f, &v)| self.head_w[c * self.filters + f] * v)
-                    .sum::<f64>();
+                + gap.iter().enumerate().fold(S::ZERO, |acc, (f, &v)| {
+                    acc + self.head_w[c * self.filters + f] * v
+                });
         }
     }
 
@@ -412,9 +422,9 @@ impl Cnn1d {
     /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
     pub fn predict_with<'w>(
         &self,
-        ws: &'w mut CnnScratch,
-        window: &[Vec<f64>],
-    ) -> Result<(usize, &'w [f64]), NnError> {
+        ws: &'w mut CnnScratch<S>,
+        window: &[Vec<S>],
+    ) -> Result<(usize, &'w [S]), NnError> {
         self.run_forward(ws, window)?;
         softmax_into(&ws.logits, &mut ws.proba);
         Ok((argmax(&ws.proba), &ws.proba))
@@ -425,25 +435,21 @@ impl Cnn1d {
     /// # Errors
     ///
     /// Returns [`NnError::DimensionMismatch`] for a wrong-shaped window.
-    pub fn predict(&self, window: &[Vec<f64>]) -> Result<(usize, Vec<f64>), NnError> {
+    pub fn predict(&self, window: &[Vec<S>]) -> Result<(usize, Vec<S>), NnError> {
         let mut ws = CnnScratch::new();
         let (class, _) = self.predict_with(&mut ws, window)?;
         Ok((class, ws.proba))
     }
 
     /// One SGD step on a single `(window, label)` example; returns the
-    /// cross-entropy loss before the update.
+    /// cross-entropy loss before the update. The rate is given in `f64`
+    /// and rounded to `S` once at entry.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::DimensionMismatch`] / [`NnError::LabelOutOfRange`]
     /// on invalid input.
-    pub fn train_step(
-        &mut self,
-        window: &[Vec<f64>],
-        label: usize,
-        lr: f64,
-    ) -> Result<f64, NnError> {
+    pub fn train_step(&mut self, window: &[Vec<S>], label: usize, lr: f64) -> Result<f64, NnError> {
         let mut ws = CnnScratch::new();
         self.train_step_with(&mut ws, window, label, lr)
     }
@@ -461,8 +467,8 @@ impl Cnn1d {
     #[allow(clippy::needless_range_loop)]
     pub fn train_step_with(
         &mut self,
-        ws: &mut CnnScratch,
-        window: &[Vec<f64>],
+        ws: &mut CnnScratch<S>,
+        window: &[Vec<S>],
         label: usize,
         lr: f64,
     ) -> Result<f64, NnError> {
@@ -473,15 +479,16 @@ impl Cnn1d {
                 classes: self.classes,
             });
         }
+        let lr = S::from_f64(lr);
         let (l1, p1, l2) = self.run_forward(ws, window)?;
         let len = window[0].len();
         softmax_into(&ws.logits, &mut ws.proba);
-        let loss = -ws.proba[label].max(1e-12).ln();
+        let loss = -ws.proba[label].max(S::from_f64(1e-12)).ln();
 
         // Head gradients.
         ws.dlogits.copy_from_slice(&ws.proba);
-        ws.dlogits[label] -= 1.0;
-        ws.dgap.fill(0.0);
+        ws.dlogits[label] -= S::ONE;
+        ws.dgap.fill(S::ZERO);
         for c in 0..self.classes {
             for f in 0..self.filters {
                 ws.dgap[f] += ws.dlogits[c] * self.head_w[c * self.filters + f];
@@ -495,7 +502,7 @@ impl Cnn1d {
         }
 
         // Back through GAP → ReLU → conv2.
-        let t2 = l2 as f64;
+        let t2 = S::from_f64(l2 as f64);
         for f in 0..self.filters {
             ws.da2[f * l2..(f + 1) * l2].fill(ws.dgap[f] / t2);
         }
@@ -508,7 +515,7 @@ impl Cnn1d {
         relu_bwd_flat(&ws.z1, &mut ws.da1);
         self.conv1
             .backward_flat(&ws.input, len, &ws.da1, l1, lr, &mut ws.dinput);
-        Ok(loss)
+        Ok(loss.to_f64())
     }
 }
 
@@ -726,13 +733,13 @@ mod tests {
 
     #[test]
     fn construction_and_shapes() {
-        let cnn = Cnn1d::new(2, 4, 3, 3, 0).unwrap();
+        let cnn = Cnn1d::<f64>::new(2, 4, 3, 3, 0).unwrap();
         assert_eq!(cnn.in_channels(), 2);
         assert_eq!(cnn.classes(), 3);
         assert!(cnn.parameter_count() > 0);
         assert!(cnn.min_window_len() >= 6);
-        assert!(Cnn1d::new(0, 4, 3, 3, 0).is_err());
-        assert!(Cnn1d::new(2, 4, 1, 3, 0).is_err());
+        assert!(Cnn1d::<f64>::new(0, 4, 3, 3, 0).is_err());
+        assert!(Cnn1d::<f64>::new(2, 4, 1, 3, 0).is_err());
     }
 
     #[test]
@@ -748,6 +755,38 @@ mod tests {
         let (label, proba) = cnn.predict(&toy_window(0, 0, 32)).unwrap();
         assert!(label < 3);
         assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f32_cnn_mirrors_f64_initialization_and_trains() {
+        let wide = Cnn1d::<f64>::new(2, 4, 3, 3, 22).unwrap();
+        let mut narrow = Cnn1d::<f32>::new(2, 4, 3, 3, 22).unwrap();
+        for (&a, &b) in wide.conv1.weight.iter().zip(&narrow.conv1.weight) {
+            assert_eq!(b, a as f32);
+        }
+        for (&a, &b) in wide.head_w.iter().zip(&narrow.head_w) {
+            assert_eq!(b, a as f32);
+        }
+        let mut ws = CnnScratch::<f32>::new();
+        let mut last = f64::INFINITY;
+        for i in 0..10u64 {
+            let class = (i % 3) as usize;
+            let window: Vec<Vec<f32>> = toy_window(i, class, 24)
+                .into_iter()
+                .map(|ch| ch.into_iter().map(|v| v as f32).collect())
+                .collect();
+            last = narrow
+                .train_step_with(&mut ws, &window, class, 0.02)
+                .unwrap();
+        }
+        assert!(last.is_finite());
+        let window: Vec<Vec<f32>> = toy_window(99, 1, 32)
+            .into_iter()
+            .map(|ch| ch.into_iter().map(|v| v as f32).collect())
+            .collect();
+        let (label, proba) = narrow.predict_with(&mut ws, &window).unwrap();
+        assert!(label < 3);
+        assert!((proba.iter().sum::<f32>() - 1.0).abs() < 1e-4);
     }
 
     #[test]
@@ -835,7 +874,7 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let run = || {
-            let mut cnn = Cnn1d::new(2, 4, 3, 3, 5).unwrap();
+            let mut cnn = Cnn1d::<f64>::new(2, 4, 3, 3, 5).unwrap();
             for i in 0..20 {
                 let class = i % 3;
                 let _ = cnn.train_step(&toy_window(i as u64, class, 24), class, 0.02);

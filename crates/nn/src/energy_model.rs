@@ -7,6 +7,7 @@
 //! per-inference overhead (activation buffers, control, NVP state).
 
 use crate::mlp::Mlp;
+use crate::scalar::Scalar;
 use origin_types::{Energy, Power, SimDuration};
 
 /// Energy model for executing one MLP inference on the sensor node.
@@ -35,9 +36,10 @@ impl Default for InferenceEnergyModel {
 }
 
 impl InferenceEnergyModel {
-    /// Predicted energy of one inference of `model`.
+    /// Predicted energy of one inference of `model`. Counts active
+    /// weights only, so the estimate is identical at every precision.
     #[must_use]
-    pub fn inference_energy(&self, model: &Mlp) -> Energy {
+    pub fn inference_energy<S: Scalar>(&self, model: &Mlp<S>) -> Energy {
         let macs = model.macs() as f64;
         self.energy_per_mac * macs + self.energy_per_weight_fetch * macs + self.static_overhead
     }
@@ -50,7 +52,7 @@ impl InferenceEnergyModel {
     ///
     /// Panics when `layer` is out of range.
     #[must_use]
-    pub fn layer_energy(&self, model: &Mlp, layer: usize) -> Energy {
+    pub fn layer_energy<S: Scalar>(&self, model: &Mlp<S>, layer: usize) -> Energy {
         let active = model.layers()[layer].active_weights() as f64;
         self.energy_per_mac * active + self.energy_per_weight_fetch * active
     }
@@ -89,7 +91,7 @@ mod tests {
 
     #[test]
     fn unpruned_default_mlp_costs_hundreds_of_microjoules() {
-        let model = Mlp::new(&[28, 20, 6], 0).unwrap();
+        let model = Mlp::<f64>::new(&[28, 20, 6], 0).unwrap();
         let e = InferenceEnergyModel::default().inference_energy(&model);
         let uj = e.as_microjoules();
         assert!((200.0..330.0).contains(&uj), "unpruned cost {uj} uJ");
@@ -98,7 +100,7 @@ mod tests {
     #[test]
     fn pruning_reduces_energy_toward_static_floor() {
         let em = InferenceEnergyModel::default();
-        let mut model = Mlp::new(&[10, 10], 0).unwrap();
+        let mut model = Mlp::<f64>::new(&[10, 10], 0).unwrap();
         let full = em.inference_energy(&model);
         model.layers_mut()[0].set_mask(vec![false; 100]);
         let empty = em.inference_energy(&model);
@@ -109,7 +111,7 @@ mod tests {
     #[test]
     fn layer_energy_sums_to_dynamic_total() {
         let em = InferenceEnergyModel::default();
-        let model = Mlp::new(&[8, 6, 4], 1).unwrap();
+        let model = Mlp::<f64>::new(&[8, 6, 4], 1).unwrap();
         let dynamic: Energy = (0..2).map(|i| em.layer_energy(&model, i)).sum();
         let total = em.inference_energy(&model);
         let diff = (total - dynamic - em.static_floor()).as_microjoules();

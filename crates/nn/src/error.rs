@@ -35,6 +35,20 @@ pub enum NnError {
     /// An energy budget is unreachably small (below the model's static
     /// floor even with every weight pruned).
     BudgetUnreachable,
+    /// A quantization bit width outside the supported range (2..=16).
+    InvalidQuantBits {
+        /// The rejected width.
+        bits: u32,
+    },
+    /// A persisted model holds weights of a different scalar dtype than
+    /// the one being loaded (cross-dtype loads are refused; re-train or
+    /// re-save at the target precision instead of silently converting).
+    DtypeMismatch {
+        /// Dtype of the loading code path (`"f64"` / `"f32"`).
+        expected: &'static str,
+        /// Dtype recorded in the file.
+        found: &'static str,
+    },
     /// A persisted model file is malformed.
     ParseModel {
         /// Which section failed to parse.
@@ -84,6 +98,17 @@ impl PartialEq for NnError {
                 InvalidHyperparameter { name: a, value: b },
                 InvalidHyperparameter { name: c, value: d },
             ) => a == c && b.to_bits() == d.to_bits(),
+            (InvalidQuantBits { bits: a }, InvalidQuantBits { bits: b }) => a == b,
+            (
+                DtypeMismatch {
+                    expected: a,
+                    found: b,
+                },
+                DtypeMismatch {
+                    expected: c,
+                    found: d,
+                },
+            ) => a == c && b == d,
             (ParseModel { line: a, reason: b }, ParseModel { line: c, reason: d }) => {
                 a == c && b == d
             }
@@ -114,6 +139,15 @@ impl fmt::Display for NnError {
             }
             NnError::BudgetUnreachable => {
                 write!(f, "energy budget is below the model's static floor")
+            }
+            NnError::InvalidQuantBits { bits } => {
+                write!(f, "quantization width {bits} bits is outside 2..=16")
+            }
+            NnError::DtypeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "model file holds {found} weights but {expected} was requested"
+                )
             }
             NnError::ParseModel { line, reason } => {
                 write!(f, "cannot parse model file at `{line}`: {reason}")
@@ -154,6 +188,11 @@ mod tests {
                 value: -1.0,
             },
             NnError::BudgetUnreachable,
+            NnError::InvalidQuantBits { bits: 40 },
+            NnError::DtypeMismatch {
+                expected: "f64",
+                found: "f32",
+            },
             NnError::ParseModel {
                 line: "x",
                 reason: "y",

@@ -1,5 +1,6 @@
 //! Fully-connected layer with an optional pruning mask.
 
+use crate::scalar::Scalar;
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -15,19 +16,21 @@ use std::sync::OnceLock;
 /// products are `±0.0`, and under IEEE-754 round-to-nearest a running
 /// sum that starts at `+0.0` and only ever adds `±0.0` terms cannot
 /// leave `+0.0`, nor can adding `±0.0` change a nonzero partial sum.
+/// The argument is precision-independent — it holds at `f32` exactly as
+/// it does at `f64`.
 ///
 /// (An ELLPACK-style row-padded layout was benchmarked here and lost
 /// to this layout at both 70% and 90% sparsity on the paper-sized
 /// layers: padding rows to the densest row's width adds more
 /// multiply-adds than the uniform trip count saves.)
 #[derive(Debug, Clone)]
-struct CsrWeights {
+struct CsrWeights<S> {
     /// `row_ptr[r]..row_ptr[r + 1]` indexes the entries of row `r`.
     row_ptr: Vec<u32>,
     /// Column index of each active weight, ascending within a row.
     cols: Vec<u32>,
     /// Value of each active weight.
-    vals: Vec<f64>,
+    vals: Vec<S>,
 }
 
 /// A dense (fully-connected) layer: `y = W x + b`.
@@ -38,16 +41,16 @@ struct CsrWeights {
 /// additionally compiled to a `CsrWeights` form on first inference so
 /// the forward kernels skip masked weights entirely.
 #[derive(Debug, Clone)]
-pub struct Dense {
-    weights: Matrix,
-    bias: Vec<f64>,
+pub struct Dense<S: Scalar = f64> {
+    weights: Matrix<S>,
+    bias: Vec<S>,
     mask: Option<Vec<bool>>,
     /// Lazily-compiled sparse form; `None` inside the lock means the
     /// mask (if any) keeps every weight, so dense iteration is cheaper.
-    csr: OnceLock<Option<CsrWeights>>,
+    csr: OnceLock<Option<CsrWeights<S>>>,
 }
 
-impl PartialEq for Dense {
+impl<S: Scalar> PartialEq for Dense<S> {
     /// Compares the mathematical parameters only; the compiled sparse
     /// cache is derived state and deliberately ignored.
     fn eq(&self, other: &Self) -> bool {
@@ -55,9 +58,14 @@ impl PartialEq for Dense {
     }
 }
 
-impl Dense {
+impl<S: Scalar> Dense<S> {
     /// A layer with He-uniform initialized weights (suits the ReLU hidden
     /// activations).
+    ///
+    /// The uniform draw and scaling happen in `f64` and are narrowed at
+    /// the end, so every precision consumes the identical RNG stream
+    /// (the `f64` path is bitwise unchanged; the `f32` path sees the
+    /// same weights rounded once).
     ///
     /// # Panics
     ///
@@ -71,11 +79,11 @@ impl Dense {
         let limit = (6.0 / inputs as f64).sqrt();
         let mut weights = Matrix::zeros(outputs, inputs);
         for w in weights.as_mut_slice() {
-            *w = (rng.gen::<f64>() * 2.0 - 1.0) * limit;
+            *w = S::from_f64((rng.gen::<f64>() * 2.0 - 1.0) * limit);
         }
         Self {
             weights,
-            bias: vec![0.0; outputs],
+            bias: vec![S::ZERO; outputs],
             mask: None,
             csr: OnceLock::new(),
         }
@@ -95,13 +103,13 @@ impl Dense {
 
     /// The weight matrix.
     #[must_use]
-    pub fn weights(&self) -> &Matrix {
+    pub fn weights(&self) -> &Matrix<S> {
         &self.weights
     }
 
     /// The bias vector.
     #[must_use]
-    pub fn bias(&self) -> &[f64] {
+    pub fn bias(&self) -> &[S] {
         &self.bias
     }
 
@@ -122,8 +130,8 @@ impl Dense {
 
     /// Forward pass.
     #[must_use]
-    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.outputs()];
+    pub fn forward(&self, x: &[S]) -> Vec<S> {
+        let mut y = vec![S::ZERO; self.outputs()];
         self.forward_into(x, &mut y);
         y
     }
@@ -135,7 +143,7 @@ impl Dense {
     /// # Panics
     ///
     /// Panics when `x` or `out` does not match the layer shape.
-    pub fn forward_into(&self, x: &[f64], out: &mut [f64]) {
+    pub fn forward_into(&self, x: &[S], out: &mut [S]) {
         if let Some(csr) = self.compiled() {
             assert_eq!(x.len(), self.inputs(), "matvec dimension mismatch");
             assert_eq!(out.len(), self.outputs(), "matvec output length mismatch");
@@ -152,13 +160,12 @@ impl Dense {
                 *out_r = row_cols
                     .iter()
                     .zip(row_vals)
-                    .map(|(&c, &w)| w * x[c as usize])
-                    .sum();
+                    .fold(S::ZERO, |acc, (&c, &w)| acc + w * x[c as usize]);
             }
         } else {
             self.weights.matvec_into(x, out);
         }
-        for (yi, bi) in out.iter_mut().zip(&self.bias) {
+        for (yi, &bi) in out.iter_mut().zip(&self.bias) {
             *yi += bi;
         }
     }
@@ -166,9 +173,9 @@ impl Dense {
     /// Dense-only allocation-free forward pass, ignoring any compiled
     /// sparse form. The trainer uses this: backward invalidates the
     /// sparse cache every step, so compiling it mid-fit would thrash.
-    pub(crate) fn forward_dense_into(&self, x: &[f64], out: &mut [f64]) {
+    pub(crate) fn forward_dense_into(&self, x: &[S], out: &mut [S]) {
         self.weights.matvec_into(x, out);
-        for (yi, bi) in out.iter_mut().zip(&self.bias) {
+        for (yi, &bi) in out.iter_mut().zip(&self.bias) {
             *yi += bi;
         }
     }
@@ -183,7 +190,7 @@ impl Dense {
     ///
     /// Panics when the buffer lengths do not match `batch` × the layer
     /// shape.
-    pub fn forward_batch_into(&self, xs: &[f64], batch: usize, out: &mut [f64]) {
+    pub fn forward_batch_into(&self, xs: &[S], batch: usize, out: &mut [S]) {
         let (ins, outs) = (self.inputs(), self.outputs());
         if let Some(csr) = self.compiled() {
             assert_eq!(xs.len(), batch * ins, "batch input length mismatch");
@@ -193,18 +200,17 @@ impl Dense {
                 let (cols, vals) = (&csr.cols[lo..hi], &csr.vals[lo..hi]);
                 for e in 0..batch {
                     let x = &xs[e * ins..(e + 1) * ins];
-                    let sum: f64 = cols
+                    let sum = cols
                         .iter()
                         .zip(vals)
-                        .map(|(&c, &w)| w * x[c as usize])
-                        .sum();
+                        .fold(S::ZERO, |acc, (&c, &w)| acc + w * x[c as usize]);
                     out[e * outs + r] = sum + self.bias[r];
                 }
             }
         } else {
             self.weights.matvec_batch_into(xs, batch, out);
             for e in 0..batch {
-                for (yi, bi) in out[e * outs..(e + 1) * outs].iter_mut().zip(&self.bias) {
+                for (yi, &bi) in out[e * outs..(e + 1) * outs].iter_mut().zip(&self.bias) {
                     *yi += bi;
                 }
             }
@@ -216,13 +222,13 @@ impl Dense {
     /// with respect to the input.
     pub fn backward(
         &mut self,
-        x: &[f64],
-        dy: &[f64],
-        lr: f64,
-        momentum: f64,
-        velocity: &mut LayerVelocity,
-    ) -> Vec<f64> {
-        let mut dx = vec![0.0; self.inputs()];
+        x: &[S],
+        dy: &[S],
+        lr: S,
+        momentum: S,
+        velocity: &mut LayerVelocity<S>,
+    ) -> Vec<S> {
+        let mut dx = vec![S::ZERO; self.inputs()];
         self.backward_into(x, dy, lr, momentum, velocity, &mut dx);
         dx
     }
@@ -235,12 +241,12 @@ impl Dense {
     /// Panics when the slice lengths do not match the layer shape.
     pub fn backward_into(
         &mut self,
-        x: &[f64],
-        dy: &[f64],
-        lr: f64,
-        momentum: f64,
-        velocity: &mut LayerVelocity,
-        dx: &mut [f64],
+        x: &[S],
+        dy: &[S],
+        lr: S,
+        momentum: S,
+        velocity: &mut LayerVelocity<S>,
+        dx: &mut [S],
     ) {
         self.weights.matvec_transposed_into(dy, dx);
         // Weight and bias updates.
@@ -285,7 +291,7 @@ impl Dense {
     ///
     /// Returns [`crate::NnError::DimensionMismatch`] when the slices do
     /// not match the layer shape.
-    pub fn load_parameters(&mut self, weights: &[f64], bias: &[f64]) -> Result<(), crate::NnError> {
+    pub fn load_parameters(&mut self, weights: &[S], bias: &[S]) -> Result<(), crate::NnError> {
         if weights.len() != self.total_weights() {
             return Err(crate::NnError::DimensionMismatch {
                 expected: self.total_weights(),
@@ -324,7 +330,7 @@ impl Dense {
                 .as_slice()
                 .iter()
                 .zip(&mask)
-                .all(|(&w, &keep)| keep || w == 0.0),
+                .all(|(&w, &keep)| keep || w == S::ZERO),
             "stored weights are inconsistent with the mask: pruned position holds a nonzero value"
         );
         self.mask = Some(mask);
@@ -335,7 +341,7 @@ impl Dense {
         if let Some(mask) = &self.mask {
             for (w, &keep) in self.weights.as_mut_slice().iter_mut().zip(mask) {
                 if !keep {
-                    *w = 0.0;
+                    *w = S::ZERO;
                 }
             }
         }
@@ -351,7 +357,7 @@ impl Dense {
     /// The compiled sparse form, building it on first use. `None` when
     /// the layer has no mask or the mask keeps every weight (dense
     /// iteration is cheaper then).
-    fn compiled(&self) -> Option<&CsrWeights> {
+    fn compiled(&self) -> Option<&CsrWeights<S>> {
         self.mask.as_ref()?;
         self.csr
             .get_or_init(|| {
@@ -403,57 +409,57 @@ impl Dense {
 
 /// Momentum state for one layer.
 #[derive(Debug, Clone)]
-pub struct LayerVelocity {
-    pub(crate) weights: Matrix,
-    pub(crate) bias: Vec<f64>,
+pub struct LayerVelocity<S: Scalar = f64> {
+    pub(crate) weights: Matrix<S>,
+    pub(crate) bias: Vec<S>,
 }
 
-impl LayerVelocity {
+impl<S: Scalar> LayerVelocity<S> {
     /// Zero velocity matching `layer`'s shape.
     #[must_use]
-    pub fn zeros_like(layer: &Dense) -> Self {
+    pub fn zeros_like(layer: &Dense<S>) -> Self {
         Self {
             weights: Matrix::zeros(layer.outputs(), layer.inputs()),
-            bias: vec![0.0; layer.outputs()],
+            bias: vec![S::ZERO; layer.outputs()],
         }
     }
 }
 
 /// In-place ReLU.
-pub(crate) fn relu(x: &mut [f64]) {
+pub(crate) fn relu<S: Scalar>(x: &mut [S]) {
     for v in x {
-        if *v < 0.0 {
-            *v = 0.0;
+        if *v < S::ZERO {
+            *v = S::ZERO;
         }
     }
 }
 
 /// ReLU gradient gate: zeroes `grad[i]` where the pre-activation was ≤ 0.
-pub(crate) fn relu_backward(pre_activation: &[f64], grad: &mut [f64]) {
+pub(crate) fn relu_backward<S: Scalar>(pre_activation: &[S], grad: &mut [S]) {
     for (g, &a) in grad.iter_mut().zip(pre_activation) {
-        if a <= 0.0 {
-            *g = 0.0;
+        if a <= S::ZERO {
+            *g = S::ZERO;
         }
     }
 }
 
 /// Numerically-stable softmax.
 #[must_use]
-pub(crate) fn softmax(logits: &[f64]) -> Vec<f64> {
-    let mut out = vec![0.0; logits.len()];
+pub(crate) fn softmax<S: Scalar>(logits: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; logits.len()];
     softmax_into(logits, &mut out);
     out
 }
 
 /// Allocation-free [`softmax`]: same max-shift, exponentiation and
 /// normalization order, so the result is bitwise identical.
-pub(crate) fn softmax_into(logits: &[f64], out: &mut [f64]) {
+pub(crate) fn softmax_into<S: Scalar>(logits: &[S], out: &mut [S]) {
     debug_assert_eq!(logits.len(), out.len(), "softmax output length mismatch");
-    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max = logits.iter().copied().fold(S::NEG_INFINITY, S::max);
     for (o, &l) in out.iter_mut().zip(logits) {
         *o = (l - max).exp();
     }
-    let sum: f64 = out.iter().sum();
+    let sum = out.iter().fold(S::ZERO, |acc, &p| acc + p);
     for o in out.iter_mut() {
         *o /= sum;
     }
@@ -470,7 +476,7 @@ mod tests {
 
     #[test]
     fn init_shapes_and_bounds() {
-        let layer = Dense::init(4, 3, &mut rng());
+        let layer = Dense::<f64>::init(4, 3, &mut rng());
         assert_eq!(layer.inputs(), 4);
         assert_eq!(layer.outputs(), 3);
         assert_eq!(layer.total_weights(), 12);
@@ -478,6 +484,20 @@ mod tests {
         let limit = (6.0f64 / 4.0).sqrt();
         assert!(layer.weights().as_slice().iter().all(|w| w.abs() <= limit));
         assert!(layer.bias().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn init_draws_identical_rng_stream_across_dtypes() {
+        let w64 = Dense::<f64>::init(4, 3, &mut rng());
+        let w32 = Dense::<f32>::init(4, 3, &mut rng());
+        for (&a, &b) in w64
+            .weights()
+            .as_slice()
+            .iter()
+            .zip(w32.weights().as_slice())
+        {
+            assert_eq!(b, a as f32, "f32 init must be the rounded f64 init");
+        }
     }
 
     #[test]
@@ -555,6 +575,13 @@ mod tests {
     }
 
     #[test]
+    fn softmax_is_stable_at_f32() {
+        let p = softmax(&[1000.0f32, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
     fn set_mask_preserving_weights_keeps_stored_weights() {
         // Regression: this used to call apply_mask(), mutating storage on
         // the persistence path instead of trusting the serialized weights.
@@ -591,6 +618,26 @@ mod tests {
         layer.set_mask(mask);
         let x: Vec<f64> = (0..7).map(|_| r.gen::<f64>() * 4.0 - 2.0).collect();
         // Reference: dense math over the masked weight matrix.
+        let mut expect = layer.weights().matvec(&x);
+        for (yi, bi) in expect.iter_mut().zip(layer.bias()) {
+            *yi += bi;
+        }
+        let got = layer.forward(&x);
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn csr_forward_matches_dense_bitwise_at_f32() {
+        let mut r = rng();
+        let mut layer = Dense::<f32>::init(7, 5, &mut r);
+        let mask: Vec<bool> = (0..35).map(|_| r.gen::<f64>() < 0.3).collect();
+        layer.set_mask(mask);
+        let x: Vec<f32> = (0..7)
+            .map(|_| (r.gen::<f64>() * 4.0 - 2.0) as f32)
+            .collect();
         let mut expect = layer.weights().matvec(&x);
         for (yi, bi) in expect.iter_mut().zip(layer.bias()) {
             *yi += bi;

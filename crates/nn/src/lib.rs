@@ -22,6 +22,17 @@
 //!   Origin ensemble weights by;
 //! * [`ConfusionMatrix`] — accuracy accounting for every experiment table.
 //!
+//! The whole stack is generic over the sealed [`Scalar`] trait (`f64` and
+//! `f32`), with `f64` as the default type parameter everywhere — existing
+//! `Mlp` / `Workspace` / `SensorClassifier` code is unchanged, while
+//! `Mlp<f32>` etc. opt into the narrow compute path. Seeded weight
+//! initialization and SGD shuffling always draw the RNG in `f64` and
+//! round once, so both precisions consume identical random streams, and
+//! every kernel reduction uses one fixed fold order so results are
+//! bitwise reproducible at either width. Raw features, confidence scores
+//! and reports stay `f64` at the API boundary regardless of the kernel
+//! scalar.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,6 +62,7 @@ mod mlp;
 mod norm;
 mod prune;
 mod quantize;
+mod scalar;
 mod serialize;
 mod tensor;
 mod train;
@@ -66,6 +78,7 @@ pub use mlp::Mlp;
 pub use norm::Normalizer;
 pub use prune::{prune_to_energy, PruneReport};
 pub use quantize::{quantize_weights, QuantReport};
+pub use scalar::Scalar;
 pub use serialize::{load_classifier, save_classifier};
 pub use tensor::Matrix;
 pub use train::Trainer;
@@ -90,18 +103,18 @@ pub use workspace::Workspace;
 ///
 /// Panics when `probabilities` is empty.
 #[must_use]
-pub fn softmax_variance(probabilities: &[f64]) -> f64 {
+pub fn softmax_variance<S: Scalar>(probabilities: &[S]) -> f64 {
     assert!(
         !probabilities.is_empty(),
         "cannot take variance of empty vector"
     );
-    let n = probabilities.len() as f64;
-    let mean = probabilities.iter().sum::<f64>() / n;
-    probabilities
-        .iter()
-        .map(|p| (p - mean).powi(2))
-        .sum::<f64>()
-        / n
+    let n = S::from_f64(probabilities.len() as f64);
+    let mean = probabilities.iter().fold(S::ZERO, |acc, &p| acc + p) / n;
+    let var = probabilities.iter().fold(S::ZERO, |acc, &p| {
+        let d = p - mean;
+        acc + d * d
+    }) / n;
+    var.to_f64()
 }
 
 #[cfg(test)]
@@ -128,6 +141,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty")]
     fn empty_vector_panics() {
-        let _ = softmax_variance(&[]);
+        let _ = softmax_variance::<f64>(&[]);
     }
 }

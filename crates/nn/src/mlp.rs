@@ -2,6 +2,7 @@
 
 use crate::error::NnError;
 use crate::layer::{relu, softmax, softmax_into, Dense};
+use crate::scalar::Scalar;
 use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,7 +14,7 @@ use rand::SeedableRng;
 /// `max_by`'s last-maximum tie-break exactly for finite values, without a
 /// panicking comparator in the per-prediction hot path. An empty slice
 /// (impossible: output width is >= 1 by construction) yields index 0.
-pub(crate) fn argmax(proba: &[f64]) -> usize {
+pub(crate) fn argmax<S: Scalar>(proba: &[S]) -> usize {
     let mut best = 0usize;
     for i in 1..proba.len() {
         if proba[i] >= proba[best] {
@@ -23,20 +24,25 @@ pub(crate) fn argmax(proba: &[f64]) -> usize {
     best
 }
 
-/// A feed-forward classifier network.
+/// A feed-forward classifier network, generic over the kernel
+/// [`Scalar`] (`f64` by default).
 ///
 /// Hidden layers use ReLU; the output layer produces logits which
 /// [`Mlp::predict_proba`] turns into a softmax distribution. Architectures
 /// are given as layer widths, e.g. `[28, 20, 6]` = 28 features → 20 hidden
 /// units → 6 classes.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Mlp {
-    layers: Vec<Dense>,
+pub struct Mlp<S: Scalar = f64> {
+    layers: Vec<Dense<S>>,
     dims: Vec<usize>,
 }
 
-impl Mlp {
+impl<S: Scalar> Mlp<S> {
     /// A randomly initialized network with the given layer widths.
+    ///
+    /// The seeded initialization draws in `f64` regardless of `S`, so
+    /// every precision consumes the identical RNG stream (see
+    /// [`Dense::init`]).
     ///
     /// # Errors
     ///
@@ -78,12 +84,12 @@ impl Mlp {
 
     /// The layers, input-side first.
     #[must_use]
-    pub fn layers(&self) -> &[Dense] {
+    pub fn layers(&self) -> &[Dense<S>] {
         &self.layers
     }
 
     /// Mutable layer access (used by the pruner and trainer).
-    pub fn layers_mut(&mut self) -> &mut [Dense] {
+    pub fn layers_mut(&mut self) -> &mut [Dense<S>] {
         &mut self.layers
     }
 
@@ -111,7 +117,7 @@ impl Mlp {
     /// # Errors
     ///
     /// Returns [`NnError::DimensionMismatch`] when `x` has the wrong width.
-    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, NnError> {
+    pub fn forward(&self, x: &[S]) -> Result<Vec<S>, NnError> {
         if x.len() != self.input_dim() {
             return Err(NnError::DimensionMismatch {
                 expected: self.input_dim(),
@@ -134,7 +140,7 @@ impl Mlp {
     /// Returns `(pre_activations, activations)` where `activations[0]` is
     /// the input itself.
     #[cfg(test)]
-    pub(crate) fn forward_cached(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    pub(crate) fn forward_cached(&self, x: &[S]) -> (Vec<Vec<S>>, Vec<Vec<S>>) {
         let mut pre = Vec::with_capacity(self.layers.len());
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(x.to_vec());
@@ -159,7 +165,7 @@ impl Mlp {
     /// # Errors
     ///
     /// Returns [`NnError::DimensionMismatch`] when `x` has the wrong width.
-    pub fn forward_with<'w>(&self, ws: &'w mut Workspace, x: &[f64]) -> Result<&'w [f64], NnError> {
+    pub fn forward_with<'w>(&self, ws: &'w mut Workspace<S>, x: &[S]) -> Result<&'w [S], NnError> {
         self.run_forward(ws, x)?;
         Ok(&ws.acts[self.layers.len()])
     }
@@ -172,9 +178,9 @@ impl Mlp {
     /// Returns [`NnError::DimensionMismatch`] when `x` has the wrong width.
     pub fn predict_proba_with<'w>(
         &self,
-        ws: &'w mut Workspace,
-        x: &[f64],
-    ) -> Result<&'w [f64], NnError> {
+        ws: &'w mut Workspace<S>,
+        x: &[S],
+    ) -> Result<&'w [S], NnError> {
         self.run_forward(ws, x)?;
         softmax_into(&ws.acts[self.layers.len()], &mut ws.proba);
         Ok(&ws.proba)
@@ -182,7 +188,7 @@ impl Mlp {
 
     /// Shared allocation-free forward: leaves the logits in
     /// `ws.acts[layer_count]`.
-    fn run_forward(&self, ws: &mut Workspace, x: &[f64]) -> Result<(), NnError> {
+    fn run_forward(&self, ws: &mut Workspace<S>, x: &[S]) -> Result<(), NnError> {
         if x.len() != self.input_dim() {
             return Err(NnError::DimensionMismatch {
                 expected: self.input_dim(),
@@ -213,9 +219,9 @@ impl Mlp {
     /// multiple of the input width.
     pub fn forward_batch_with<'w>(
         &self,
-        ws: &'w mut Workspace,
-        xs: &[f64],
-    ) -> Result<&'w [f64], NnError> {
+        ws: &'w mut Workspace<S>,
+        xs: &[S],
+    ) -> Result<&'w [S], NnError> {
         if !xs.len().is_multiple_of(self.input_dim()) {
             return Err(NnError::DimensionMismatch {
                 expected: self.input_dim(),
@@ -249,7 +255,7 @@ impl Mlp {
     /// # Errors
     ///
     /// Returns [`NnError::DimensionMismatch`] when `x` has the wrong width.
-    pub fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, NnError> {
+    pub fn predict_proba(&self, x: &[S]) -> Result<Vec<S>, NnError> {
         Ok(softmax(&self.forward(x)?))
     }
 
@@ -260,7 +266,7 @@ impl Mlp {
     /// Panics when `x` has the wrong width (use [`Mlp::predict_proba`] for
     /// a fallible variant).
     #[must_use]
-    pub fn predict(&self, x: &[f64]) -> (usize, Vec<f64>) {
+    pub fn predict(&self, x: &[S]) -> (usize, Vec<S>) {
         let proba = self
             .predict_proba(x)
             .expect("input width matches model input dimension");
@@ -282,14 +288,14 @@ mod tests {
     #[test]
     fn construction_validates_architecture() {
         assert!(matches!(
-            Mlp::new(&[4], 0),
+            Mlp::<f64>::new(&[4], 0),
             Err(NnError::BadArchitecture(_))
         ));
         assert!(matches!(
-            Mlp::new(&[4, 0, 2], 0),
+            Mlp::<f64>::new(&[4, 0, 2], 0),
             Err(NnError::BadArchitecture(_))
         ));
-        let m = Mlp::new(&[4, 8, 3], 0).unwrap();
+        let m = Mlp::<f64>::new(&[4, 8, 3], 0).unwrap();
         assert_eq!(m.input_dim(), 4);
         assert_eq!(m.output_dim(), 3);
         assert_eq!(m.layers().len(), 2);
@@ -321,11 +327,27 @@ mod tests {
 
     #[test]
     fn seeding_is_deterministic() {
-        let a = Mlp::new(&[4, 8, 3], 5).unwrap();
-        let b = Mlp::new(&[4, 8, 3], 5).unwrap();
+        let a = Mlp::<f64>::new(&[4, 8, 3], 5).unwrap();
+        let b = Mlp::<f64>::new(&[4, 8, 3], 5).unwrap();
         assert_eq!(a, b);
-        let c = Mlp::new(&[4, 8, 3], 6).unwrap();
+        let c = Mlp::<f64>::new(&[4, 8, 3], 6).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f32_model_mirrors_f64_initialization() {
+        let wide = Mlp::<f64>::new(&[4, 8, 3], 5).unwrap();
+        let narrow = Mlp::<f32>::new(&[4, 8, 3], 5).unwrap();
+        for (l64, l32) in wide.layers().iter().zip(narrow.layers()) {
+            for (&a, &b) in l64
+                .weights()
+                .as_slice()
+                .iter()
+                .zip(l32.weights().as_slice())
+            {
+                assert_eq!(b, a as f32);
+            }
+        }
     }
 
     #[test]
@@ -387,7 +409,7 @@ mod tests {
 
     #[test]
     fn sparsity_reflects_masks() {
-        let mut m = Mlp::new(&[2, 2], 0).unwrap();
+        let mut m = Mlp::<f64>::new(&[2, 2], 0).unwrap();
         m.layers_mut()[0].set_mask(vec![true, false, true, false]);
         assert!((m.sparsity() - 0.5).abs() < 1e-12);
         assert_eq!(m.macs(), 2);

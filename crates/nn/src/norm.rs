@@ -1,6 +1,7 @@
 //! Per-feature standardization.
 
 use crate::error::NnError;
+use crate::scalar::Scalar;
 
 /// Per-feature z-score normalizer fitted on a training set.
 ///
@@ -112,16 +113,21 @@ impl Normalizer {
     }
 
     /// Allocation-free [`Normalizer::transform`]: standardizes `x` into
-    /// `out` (identical arithmetic, bitwise-equal results).
+    /// `out` (identical arithmetic, bitwise-equal results at `f64`).
+    ///
+    /// The output is generic over the kernel [`Scalar`]: statistics and
+    /// the z-score are always computed in `f64` — the raw-feature side of
+    /// the precision boundary — and each value is rounded to `S` exactly
+    /// once on the way out.
     ///
     /// # Panics
     ///
     /// Panics when `x` or `out` has the wrong width.
-    pub fn transform_into(&self, x: &[f64], out: &mut [f64]) {
+    pub fn transform_into<S: Scalar>(&self, x: &[f64], out: &mut [S]) {
         assert_eq!(x.len(), self.dim(), "feature width mismatch");
         assert_eq!(out.len(), self.dim(), "feature width mismatch");
         for ((o, &xi), (&m, &s)) in out.iter_mut().zip(x).zip(self.mean.iter().zip(&self.std)) {
-            *o = (xi - m) / s;
+            *o = S::from_f64((xi - m) / s);
         }
     }
 }
@@ -161,6 +167,18 @@ mod tests {
             Normalizer::fit(data.iter().map(Vec::as_slice)),
             Err(NnError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn f32_transform_rounds_the_f64_zscore() {
+        let data = [vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let norm = Normalizer::fit(data.iter().map(Vec::as_slice)).unwrap();
+        let wide = norm.transform(&[2.0, 40.0]);
+        let mut narrow = [0.0f32; 2];
+        norm.transform_into(&[2.0, 40.0], &mut narrow);
+        for (&w, &n) in wide.iter().zip(&narrow) {
+            assert_eq!(n, w as f32);
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::energy_model::InferenceEnergyModel;
 use crate::error::NnError;
 use crate::mlp::Mlp;
+use crate::scalar::Scalar;
 use crate::train::Trainer;
 use origin_types::Energy;
 
@@ -45,11 +46,11 @@ pub struct PruneReport {
 /// # Panics
 ///
 /// Panics when `step_fraction` ∉ `(0, 1)`.
-pub fn prune_to_energy(
-    model: &mut Mlp,
+pub fn prune_to_energy<S: Scalar>(
+    model: &mut Mlp<S>,
     energy_model: &InferenceEnergyModel,
     budget: Energy,
-    data: &[(Vec<f64>, usize)],
+    data: &[(Vec<S>, usize)],
     trainer: &Trainer,
     step_fraction: f64,
     fine_tune_epochs: usize,
@@ -228,7 +229,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "step fraction")]
     fn bad_step_fraction_panics() {
-        let mut model = Mlp::new(&[2, 2], 0).unwrap();
+        let mut model = Mlp::<f64>::new(&[2, 2], 0).unwrap();
         let _ = prune_to_energy(
             &mut model,
             &InferenceEnergyModel::default(),

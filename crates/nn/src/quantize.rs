@@ -10,8 +10,12 @@
 
 use crate::error::NnError;
 use crate::mlp::Mlp;
+use crate::scalar::Scalar;
 
 /// Outcome of quantizing a model.
+///
+/// Reported in `f64` regardless of the model's kernel scalar so reports
+/// from different precisions compare directly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantReport {
     /// Bit width applied.
@@ -29,14 +33,16 @@ pub struct QuantReport {
 ///
 /// # Errors
 ///
-/// Returns [`NnError::BadArchitecture`] when `bits` is outside `2..=16`.
-pub fn quantize_weights(model: &mut Mlp, bits: u8) -> Result<QuantReport, NnError> {
+/// Returns [`NnError::InvalidQuantBits`] when `bits` is outside `2..=16`.
+pub fn quantize_weights<S: Scalar>(model: &mut Mlp<S>, bits: u8) -> Result<QuantReport, NnError> {
     if !(2..=16).contains(&bits) {
-        return Err(NnError::BadArchitecture(vec![bits as usize]));
+        return Err(NnError::InvalidQuantBits {
+            bits: u32::from(bits),
+        });
     }
-    let levels = f64::from((1u32 << (bits - 1)) - 1);
+    let levels = S::from_f64(f64::from((1u32 << (bits - 1)) - 1));
     let mut scales = Vec::with_capacity(model.layers().len());
-    let mut sq_error = 0.0;
+    let mut sq_error = 0.0f64;
     let mut count = 0usize;
 
     for layer in model.layers_mut() {
@@ -44,17 +50,18 @@ pub fn quantize_weights(model: &mut Mlp, bits: u8) -> Result<QuantReport, NnErro
             .weights()
             .as_slice()
             .iter()
-            .fold(0.0f64, |m, w| m.max(w.abs()));
-        let scale = if max_abs > 0.0 { max_abs } else { 1.0 };
-        scales.push(scale);
-        let quantize = |w: f64| (w / scale * levels).round() / levels * scale;
-        let quantized: Vec<f64> = layer
+            .fold(S::ZERO, |m, w| m.max(w.abs()));
+        let scale = if max_abs > S::ZERO { max_abs } else { S::ONE };
+        scales.push(scale.to_f64());
+        let quantize = |w: S| (w / scale * levels).round() / levels * scale;
+        let quantized: Vec<S> = layer
             .weights()
             .as_slice()
             .iter()
             .map(|&w| {
                 let q = quantize(w);
-                sq_error += (q - w).powi(2);
+                let d = (q - w).to_f64();
+                sq_error += d * d;
                 q
             })
             .collect();
@@ -136,6 +143,18 @@ mod tests {
     }
 
     #[test]
+    fn quantizes_f32_models_too() {
+        let mut mlp = Mlp::<f32>::new(&[3, 10, 3], 4).unwrap();
+        let report = quantize_weights(&mut mlp, 8).unwrap();
+        assert_eq!(report.bits, 8);
+        assert!(report.rms_error >= 0.0 && report.rms_error.is_finite());
+        // Idempotence holds at f32 as well.
+        let once = mlp.clone();
+        quantize_weights(&mut mlp, 8).unwrap();
+        assert_eq!(mlp, once);
+    }
+
+    #[test]
     fn masked_weights_stay_zero() {
         let (mut mlp, _) = trained();
         let n = mlp.layers()[0].total_weights();
@@ -149,11 +168,23 @@ mod tests {
         }
     }
 
+    /// Out-of-range widths report the dedicated typed variant, not a
+    /// shape error dressed up as an architecture problem.
     #[test]
-    fn rejects_silly_widths() {
+    fn rejects_silly_widths_with_typed_error() {
         let (mut mlp, _) = trained();
-        assert!(quantize_weights(&mut mlp, 1).is_err());
-        assert!(quantize_weights(&mut mlp, 17).is_err());
+        assert_eq!(
+            quantize_weights(&mut mlp, 1).unwrap_err(),
+            NnError::InvalidQuantBits { bits: 1 }
+        );
+        assert_eq!(
+            quantize_weights(&mut mlp, 17).unwrap_err(),
+            NnError::InvalidQuantBits { bits: 17 }
+        );
+        assert_eq!(
+            quantize_weights(&mut mlp, 0).unwrap_err(),
+            NnError::InvalidQuantBits { bits: 0 }
+        );
     }
 
     #[test]

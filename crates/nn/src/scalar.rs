@@ -1,0 +1,268 @@
+//! The sealed floating-point scalar abstraction behind the NN stack.
+//!
+//! Every kernel in this crate — dense and CSR matrix–vector products,
+//! softmax, SGD, pruning, quantization, persistence — is generic over a
+//! [`Scalar`], with `f64` as the default (and the repository's
+//! determinism anchor: all golden results are produced at `f64`). `f32`
+//! is the opt-in reduced-precision path for embedded-class targets where
+//! memory traffic, not FLOPs, bounds inference cost; it halves weight
+//! and activation storage while running the *same* kernels with the
+//! *same* fixed reduction order.
+//!
+//! The trait is sealed: exactly `f64` and `f32` implement it. Future
+//! dtypes (fixed-point, bf16) would be added here, next to the two
+//! existing impls, so the kernel code never needs to change again.
+
+use core::fmt::{Debug, Display};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+mod sealed {
+    /// Prevents downstream impls so kernel behaviour stays auditable.
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// A floating-point element type the NN kernels can run on.
+///
+/// Implemented for `f64` (default, determinism anchor) and `f32`
+/// (reduced-precision variant). The trait is sealed — no other types can
+/// implement it.
+///
+/// Conversions from `f64` round to nearest; every seeded random draw in
+/// the stack is made in `f64` first and converted, so the `f32` path
+/// consumes exactly the same RNG stream as the `f64` path.
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + PartialOrd
+    + PartialEq
+    + Default
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Negative infinity (softmax max-shift seed).
+    const NEG_INFINITY: Self;
+    /// Stable dtype tag recorded in manifests, serialized models and
+    /// golden-file directories: `"f64"` or `"f32"`.
+    const DTYPE: &'static str;
+    /// Hex digits of one serialized value (`to_bits` width): 16 or 8.
+    const HEX_WIDTH: usize;
+
+    /// Nearest representable value to `v`.
+    fn from_f64(v: f64) -> Self;
+    /// Widens to `f64` (exact for both impls).
+    fn to_f64(self) -> f64;
+    /// `e^self`.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// IEEE maximum (NaN-ignoring, like `f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// Fused multiply-add `self * a + b` (single rounding).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Rounds half away from zero, like `f64::round`.
+    fn round(self) -> Self;
+    /// Neither infinite nor NaN.
+    fn is_finite(self) -> bool;
+    /// Raw IEEE bits, zero-extended to 64 (persistence format).
+    fn to_bits_u64(self) -> u64;
+    /// Rebuilds a value from [`Scalar::to_bits_u64`] output; `None` when
+    /// `bits` does not fit this dtype's width.
+    fn checked_from_bits(bits: u64) -> Option<Self>;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NEG_INFINITY: Self = f64::NEG_INFINITY;
+    const DTYPE: &'static str = "f64";
+    const HEX_WIDTH: usize = 16;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        f64::ln(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline]
+    fn round(self) -> Self {
+        f64::round(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn checked_from_bits(bits: u64) -> Option<Self> {
+        Some(f64::from_bits(bits))
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NEG_INFINITY: Self = f32::NEG_INFINITY;
+    const DTYPE: &'static str = "f32";
+    const HEX_WIDTH: usize = 8;
+
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)] // rounding is the point
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        f32::exp(self)
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        f32::ln(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline]
+    fn round(self) -> Self {
+        f32::round(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+    #[inline]
+    fn checked_from_bits(bits: u64) -> Option<Self> {
+        u32::try_from(bits).ok().map(f32::from_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_tags_are_stable() {
+        assert_eq!(<f64 as Scalar>::DTYPE, "f64");
+        assert_eq!(<f32 as Scalar>::DTYPE, "f32");
+        assert_eq!(<f64 as Scalar>::HEX_WIDTH, 16);
+        assert_eq!(<f32 as Scalar>::HEX_WIDTH, 8);
+    }
+
+    #[test]
+    fn f64_path_is_identity() {
+        for v in [0.0, -1.5, 1e300, f64::MIN_POSITIVE] {
+            assert_eq!(<f64 as Scalar>::from_f64(v).to_bits(), v.to_bits());
+            assert_eq!(Scalar::to_f64(v).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_roundtrips_through_bits() {
+        for v in [0.0f32, -1.5, 3.141_592_7, f32::MIN_POSITIVE] {
+            let bits = v.to_bits_u64();
+            assert!(bits <= u64::from(u32::MAX));
+            assert_eq!(<f32 as Scalar>::checked_from_bits(bits), Some(v));
+        }
+        // Bits wider than an f32 are rejected, not truncated.
+        assert_eq!(<f32 as Scalar>::checked_from_bits(1 << 40), None);
+        assert_eq!(
+            <f64 as Scalar>::checked_from_bits(1 << 40),
+            Some(f64::from_bits(1 << 40))
+        );
+    }
+
+    #[test]
+    fn conversion_rounds_to_nearest() {
+        let v = 0.1f64;
+        let narrowed = <f32 as Scalar>::from_f64(v);
+        assert!((narrowed.to_f64() - v).abs() < 1e-8);
+    }
+
+    #[test]
+    fn arithmetic_identities_hold() {
+        fn probe<S: Scalar>() {
+            assert_eq!(S::ZERO + S::ONE, S::ONE);
+            assert_eq!(S::ONE * S::ONE, S::ONE);
+            assert!(S::NEG_INFINITY < S::ZERO);
+            assert!(!S::NEG_INFINITY.is_finite());
+            assert_eq!(S::from_f64(-2.0).abs(), S::from_f64(2.0));
+            assert_eq!(S::from_f64(2.25).sqrt(), S::from_f64(1.5));
+            assert_eq!(S::from_f64(2.5).round(), S::from_f64(3.0));
+            assert_eq!(S::ZERO.max(S::ONE), S::ONE);
+            assert_eq!(S::ONE.mul_add(S::ONE, S::ONE), S::from_f64(2.0));
+        }
+        probe::<f64>();
+        probe::<f32>();
+    }
+}

@@ -4,16 +4,35 @@
 //! programmer or a (costly) bulk radio transfer; this module provides the
 //! artifact. The format is a line-oriented text file — human-inspectable,
 //! diff-able, and free of external dependencies — that round-trips a
-//! [`SensorClassifier`] bit-exactly (f64 values are hex-encoded).
+//! [`SensorClassifier`] bit-exactly (weights are hex-encoded at their
+//! native width: 16 digits for `f64`, 8 for `f32`).
+//!
+//! The line after the magic records the weight dtype (`dtype,f64` /
+//! `dtype,f32`). Loading a file into a classifier of a different scalar
+//! is refused with [`NnError::DtypeMismatch`]: a silent `f32`→`f64`
+//! widening would produce a model that is bitwise unlike anything that
+//! was ever trained, and a `f64`→`f32` narrowing would silently round
+//! every weight — re-train or re-save at the target precision instead.
 
 use crate::classifier::SensorClassifier;
 use crate::error::NnError;
 use crate::mlp::Mlp;
 use crate::norm::Normalizer;
+use crate::scalar::Scalar;
 use origin_types::{ActivityClass, ActivitySet};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 const MAGIC: &str = "origin-classifier v1";
+
+/// Maps a dtype tag from a model file to its canonical static string, so
+/// [`NnError::DtypeMismatch`] can carry it without allocating.
+fn canonical_dtype(tag: &str) -> Option<&'static str> {
+    match tag {
+        "f64" => Some("f64"),
+        "f32" => Some("f32"),
+        _ => None,
+    }
+}
 
 /// Writes `classifier` to `writer` in the v1 text format.
 ///
@@ -22,10 +41,14 @@ const MAGIC: &str = "origin-classifier v1";
 /// # Errors
 ///
 /// Returns [`NnError::Io`] when the underlying writer fails.
-pub fn save_classifier<W: Write>(classifier: &SensorClassifier, writer: W) -> Result<(), NnError> {
+pub fn save_classifier<S: Scalar, W: Write>(
+    classifier: &SensorClassifier<S>,
+    writer: W,
+) -> Result<(), NnError> {
     let mut w = BufWriter::new(writer);
     let io = NnError::from_io;
     writeln!(w, "{MAGIC}").map_err(io)?;
+    writeln!(w, "dtype,{}", S::DTYPE).map_err(io)?;
 
     let classes: Vec<String> = classifier
         .activities()
@@ -42,6 +65,8 @@ pub fn save_classifier<W: Write>(classifier: &SensorClassifier, writer: W) -> Re
         .collect();
     writeln!(w, "dims,{}", dims.join(",")).map_err(io)?;
 
+    // Normalizer statistics live on the f64 side of the precision
+    // boundary regardless of the weight dtype.
     writeln!(
         w,
         "normalizer_mean,{}",
@@ -76,9 +101,11 @@ pub fn save_classifier<W: Write>(classifier: &SensorClassifier, writer: W) -> Re
 ///
 /// # Errors
 ///
+/// * [`NnError::DtypeMismatch`] when the file holds a different scalar
+///   dtype than `S`.
 /// * [`NnError::ParseModel`] on a malformed file.
 /// * [`NnError::Io`] on underlying reader failure.
-pub fn load_classifier<R: Read>(reader: R) -> Result<SensorClassifier, NnError> {
+pub fn load_classifier<S: Scalar, R: Read>(reader: R) -> Result<SensorClassifier<S>, NnError> {
     let lines: Vec<String> = BufReader::new(reader)
         .lines()
         .collect::<Result<_, _>>()
@@ -99,6 +126,19 @@ pub fn load_classifier<R: Read>(reader: R) -> Result<SensorClassifier, NnError> 
         return Err(NnError::ParseModel {
             line: "magic",
             reason: "not an origin-classifier v1 file",
+        });
+    }
+
+    let dtype_line = take(&mut iter, "dtype")?;
+    let found =
+        canonical_dtype(field(&dtype_line, "dtype")?.trim()).ok_or(NnError::ParseModel {
+            line: "dtype",
+            reason: "unknown scalar dtype",
+        })?;
+    if found != S::DTYPE {
+        return Err(NnError::DtypeMismatch {
+            expected: S::DTYPE,
+            found,
         });
     }
 
@@ -136,7 +176,7 @@ pub fn load_classifier<R: Read>(reader: R) -> Result<SensorClassifier, NnError> 
     let std = parse_floats(&take(&mut iter, "normalizer_std")?, "normalizer_std")?;
     let normalizer = Normalizer::from_parts(mean, std)?;
 
-    let mut mlp = Mlp::new(&dims, 0)?;
+    let mut mlp = Mlp::<S>::new(&dims, 0)?;
     let layer_count = mlp.layers().len();
     // Read layer blocks; a block is `layer,i` / `weights,..` / `bias,..`
     // optionally followed by `mask,..`. The line after the final block is
@@ -149,8 +189,8 @@ pub fn load_classifier<R: Read>(reader: R) -> Result<SensorClassifier, NnError> 
                 reason: "layers out of order",
             });
         }
-        let weights = parse_floats(&take(&mut iter, "weights")?, "weights")?;
-        let bias = parse_floats(&take(&mut iter, "bias")?, "bias")?;
+        let weights: Vec<S> = parse_floats(&take(&mut iter, "weights")?, "weights")?;
+        let bias: Vec<S> = parse_floats(&take(&mut iter, "bias")?, "bias")?;
         mlp.layers_mut()[i].load_parameters(&weights, &bias)?;
 
         pending = take(&mut iter, "layer or mask or end")?;
@@ -196,21 +236,22 @@ fn field<'a>(line: &'a str, key: &'static str) -> Result<&'a str, NnError> {
         })
 }
 
-fn hex_floats(values: &[f64]) -> String {
+fn hex_floats<S: Scalar>(values: &[S]) -> String {
     values
         .iter()
-        .map(|v| format!("{:016x}", v.to_bits()))
+        .map(|v| format!("{:0width$x}", v.to_bits_u64(), width = S::HEX_WIDTH))
         .collect::<Vec<_>>()
         .join(",")
 }
 
-fn parse_floats(line: &str, key: &'static str) -> Result<Vec<f64>, NnError> {
+fn parse_floats<S: Scalar>(line: &str, key: &'static str) -> Result<Vec<S>, NnError> {
     field(line, key)?
         .split(',')
         .map(|v| {
             u64::from_str_radix(v.trim(), 16)
-                .map(f64::from_bits)
-                .map_err(|_| NnError::ParseModel {
+                .ok()
+                .and_then(S::checked_from_bits)
+                .ok_or(NnError::ParseModel {
                     line: key,
                     reason: "invalid hex float",
                 })
@@ -223,25 +264,38 @@ mod tests {
     use super::*;
     use crate::train::Trainer;
 
-    fn trained() -> SensorClassifier {
-        let data: Vec<(Vec<f64>, usize)> = (0..60)
+    fn toy_training_data() -> Vec<(Vec<f64>, usize)> {
+        (0..60)
             .map(|i| {
                 let label = i % 3;
                 (vec![label as f64 * 2.0, (i % 5) as f64 * 0.1], label)
             })
-            .collect();
-        let set = ActivitySet::new([
+            .collect()
+    }
+
+    fn small_set() -> ActivitySet {
+        ActivitySet::new([
             ActivityClass::Walking,
             ActivityClass::Running,
             ActivityClass::Jumping,
         ])
-        .unwrap();
-        SensorClassifier::train(&[6], &data, set, &Trainer::new().with_epochs(30), 9).unwrap()
+        .unwrap()
+    }
+
+    fn trained<S: Scalar>() -> SensorClassifier<S> {
+        SensorClassifier::train(
+            &[6],
+            &toy_training_data(),
+            small_set(),
+            &Trainer::new().with_epochs(30),
+            9,
+        )
+        .unwrap()
     }
 
     #[test]
     fn roundtrip_is_bit_exact() {
-        let clf = trained();
+        let clf = trained::<f64>();
         let mut buf = Vec::new();
         save_classifier(&clf, &mut buf).unwrap();
         let loaded = load_classifier(buf.as_slice()).unwrap();
@@ -249,24 +303,107 @@ mod tests {
     }
 
     #[test]
+    fn f32_roundtrip_is_bit_exact() {
+        let clf = trained::<f32>();
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("dtype,f32"));
+        let loaded: SensorClassifier<f32> = load_classifier(buf.as_slice()).unwrap();
+        assert_eq!(clf, loaded);
+    }
+
+    #[test]
+    fn dtype_header_is_written_and_enforced() {
+        let clf = trained::<f64>();
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.lines().nth(1) == Some("dtype,f64"));
+
+        // Loading an f64 file as f32 is refused with the typed error…
+        assert_eq!(
+            load_classifier::<f32, _>(buf.as_slice()).unwrap_err(),
+            NnError::DtypeMismatch {
+                expected: "f32",
+                found: "f64",
+            }
+        );
+        // …and the reverse direction likewise.
+        let clf32 = trained::<f32>();
+        let mut buf32 = Vec::new();
+        save_classifier(&clf32, &mut buf32).unwrap();
+        assert_eq!(
+            load_classifier::<f64, _>(buf32.as_slice()).unwrap_err(),
+            NnError::DtypeMismatch {
+                expected: "f64",
+                found: "f32",
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_dtype_is_a_parse_error() {
+        let clf = trained::<f64>();
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("dtype,f64", "dtype,f16");
+        assert!(matches!(
+            load_classifier::<f64, _>(text.as_bytes()),
+            Err(NnError::ParseModel { line: "dtype", .. })
+        ));
+    }
+
+    #[test]
+    fn f32_loader_rejects_overwide_hex() {
+        let clf = trained::<f32>();
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Splice a 16-digit (f64-width) value into an f32 weights line.
+        let tampered = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("weights,") {
+                    let mut vals: Vec<String> = rest.split(',').map(str::to_owned).collect();
+                    vals[0] = "3fe0000000000000".to_owned();
+                    format!("weights,{}", vals.join(","))
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(matches!(
+            load_classifier::<f32, _>(tampered.as_bytes()),
+            Err(NnError::ParseModel {
+                line: "weights",
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn roundtrip_preserves_masks() {
-        let mut clf = trained();
+        let mut clf = trained::<f64>();
         let n = clf.mlp().layers()[0].total_weights();
         let mask: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
         clf.mlp_mut().layers_mut()[0].set_mask(mask.clone());
         let mut buf = Vec::new();
         save_classifier(&clf, &mut buf).unwrap();
-        let loaded = load_classifier(buf.as_slice()).unwrap();
+        let loaded: SensorClassifier = load_classifier(buf.as_slice()).unwrap();
         assert_eq!(clf, loaded);
         assert_eq!(loaded.mlp().layers()[0].mask(), Some(mask.as_slice()));
     }
 
     #[test]
     fn loaded_model_classifies_identically() {
-        let clf = trained();
+        let clf = trained::<f64>();
         let mut buf = Vec::new();
         save_classifier(&clf, &mut buf).unwrap();
-        let loaded = load_classifier(buf.as_slice()).unwrap();
+        let loaded: SensorClassifier = load_classifier(buf.as_slice()).unwrap();
         for i in 0..10 {
             let x = vec![i as f64 * 0.37, (10 - i) as f64 * 0.11];
             assert_eq!(
@@ -280,34 +417,34 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(matches!(
-            load_classifier("not a model".as_bytes()),
+            load_classifier::<f64, _>("not a model".as_bytes()),
             Err(NnError::ParseModel { line: "magic", .. })
         ));
         assert!(matches!(
-            load_classifier("".as_bytes()),
+            load_classifier::<f64, _>("".as_bytes()),
             Err(NnError::ParseModel { .. })
         ));
     }
 
     #[test]
     fn rejects_truncated_file() {
-        let clf = trained();
+        let clf = trained::<f64>();
         let mut buf = Vec::new();
         save_classifier(&clf, &mut buf).unwrap();
         let truncated = &buf[..buf.len() / 2];
-        assert!(load_classifier(truncated).is_err());
+        assert!(load_classifier::<f64, _>(truncated).is_err());
     }
 
     #[test]
     fn rejects_tampered_mask() {
-        let mut clf = trained();
+        let mut clf = trained::<f64>();
         let n = clf.mlp().layers()[0].total_weights();
         clf.mlp_mut().layers_mut()[0].set_mask(vec![true; n]);
         let mut buf = Vec::new();
         save_classifier(&clf, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap().replace("mask,1", "mask,x");
         assert!(matches!(
-            load_classifier(text.as_bytes()),
+            load_classifier::<f64, _>(text.as_bytes()),
             Err(NnError::ParseModel { line: "mask", .. })
         ));
     }

@@ -1,19 +1,21 @@
 //! A minimal dense row-major matrix.
 
+use crate::scalar::Scalar;
 use core::fmt;
 
-/// A dense `rows × cols` matrix of `f64`, row-major.
+/// A dense `rows × cols` matrix, row-major, generic over the element
+/// [`Scalar`] (`f64` by default).
 ///
 /// Only the operations the MLP engine needs are provided; this is a
 /// substrate, not a linear-algebra library.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Matrix {
+pub struct Matrix<S: Scalar = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl Matrix {
+impl<S: Scalar> Matrix<S> {
     /// A `rows × cols` matrix of zeros.
     ///
     /// # Panics
@@ -25,7 +27,7 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![S::ZERO; rows * cols],
         }
     }
 
@@ -35,7 +37,7 @@ impl Matrix {
     ///
     /// Panics when `data.len() != rows * cols` or a dimension is zero.
     #[must_use]
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
         assert_eq!(
             data.len(),
@@ -63,7 +65,7 @@ impl Matrix {
     ///
     /// Panics on out-of-bounds indices.
     #[must_use]
-    pub fn get(&self, r: usize, c: usize) -> f64 {
+    pub fn get(&self, r: usize, c: usize) -> S {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
         self.data[r * self.cols + c]
     }
@@ -73,7 +75,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on out-of-bounds indices.
-    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+    pub fn set(&mut self, r: usize, c: usize, v: S) {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
         self.data[r * self.cols + c] = v;
     }
@@ -84,7 +86,7 @@ impl Matrix {
     ///
     /// Panics when `r` is out of bounds.
     #[must_use]
-    pub fn row(&self, r: usize) -> &[f64] {
+    pub fn row(&self, r: usize) -> &[S] {
         assert!(r < self.rows, "row out of bounds");
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -94,19 +96,19 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics when `r` is out of bounds.
-    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, r: usize) -> &mut [S] {
         assert!(r < self.rows, "row out of bounds");
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// The flat row-major data.
     #[must_use]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable flat row-major data.
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
         &mut self.data
     }
 
@@ -116,8 +118,8 @@ impl Matrix {
     ///
     /// Panics when `x.len() != cols`.
     #[must_use]
-    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.rows];
+    pub fn matvec(&self, x: &[S]) -> Vec<S> {
+        let mut out = vec![S::ZERO; self.rows];
         self.matvec_into(x, &mut out);
         out
     }
@@ -130,12 +132,15 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics when `x.len() != cols` or `out.len() != rows`.
-    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+    pub fn matvec_into(&self, x: &[S], out: &mut [S]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(out.len(), self.rows, "matvec output length mismatch");
         for (r, out_r) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            *out_r = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+            *out_r = row
+                .iter()
+                .zip(x)
+                .fold(S::ZERO, |acc, (&w, &xi)| acc + w * xi);
         }
     }
 
@@ -152,14 +157,17 @@ impl Matrix {
     ///
     /// Panics when `xs.len() != batch * cols` or
     /// `out.len() != batch * rows`.
-    pub fn matvec_batch_into(&self, xs: &[f64], batch: usize, out: &mut [f64]) {
+    pub fn matvec_batch_into(&self, xs: &[S], batch: usize, out: &mut [S]) {
         assert_eq!(xs.len(), batch * self.cols, "batch input length mismatch");
         assert_eq!(out.len(), batch * self.rows, "batch output length mismatch");
         for r in 0..self.rows {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for e in 0..batch {
                 let x = &xs[e * self.cols..(e + 1) * self.cols];
-                out[e * self.rows + r] = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+                out[e * self.rows + r] = row
+                    .iter()
+                    .zip(x)
+                    .fold(S::ZERO, |acc, (&w, &xi)| acc + w * xi);
             }
         }
     }
@@ -170,8 +178,8 @@ impl Matrix {
     ///
     /// Panics when `x.len() != rows`.
     #[must_use]
-    pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.cols];
+    pub fn matvec_transposed(&self, x: &[S]) -> Vec<S> {
+        let mut out = vec![S::ZERO; self.cols];
         self.matvec_transposed_into(x, &mut out);
         out
     }
@@ -182,14 +190,14 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics when `x.len() != rows` or `out.len() != cols`.
-    pub fn matvec_transposed_into(&self, x: &[f64], out: &mut [f64]) {
+    pub fn matvec_transposed_into(&self, x: &[S], out: &mut [S]) {
         assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
         assert_eq!(
             out.len(),
             self.cols,
             "matvec_transposed output length mismatch"
         );
-        out.fill(0.0);
+        out.fill(S::ZERO);
         for (r, &xr) in x.iter().enumerate() {
             for (c, out_c) in out.iter_mut().enumerate() {
                 *out_c += self.data[r * self.cols + c] * xr;
@@ -200,11 +208,11 @@ impl Matrix {
     /// Number of non-zero entries.
     #[must_use]
     pub fn count_nonzero(&self) -> usize {
-        self.data.iter().filter(|&&v| v != 0.0).count()
+        self.data.iter().filter(|&&v| v != S::ZERO).count()
     }
 }
 
-impl fmt::Display for Matrix {
+impl<S: Scalar> fmt::Display for Matrix<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix[{}x{}]", self.rows, self.cols)
     }
@@ -241,6 +249,13 @@ mod tests {
     }
 
     #[test]
+    fn matvec_works_at_f32() {
+        let m = Matrix::<f32>::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, -1.0]);
+        let y = m.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0f32, -1.0]);
+    }
+
+    #[test]
     fn matvec_transposed_works() {
         let m = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, -1.0]);
         let y = m.matvec_transposed(&[1.0, 2.0]);
@@ -265,17 +280,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn matvec_checks_dims() {
-        let _ = Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+        let _ = Matrix::<f64>::zeros(2, 3).matvec(&[1.0, 2.0]);
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_dims_panic() {
-        let _ = Matrix::zeros(0, 3);
+        let _ = Matrix::<f64>::zeros(0, 3);
     }
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(Matrix::zeros(3, 4).to_string(), "Matrix[3x4]");
+        assert_eq!(Matrix::<f64>::zeros(3, 4).to_string(), "Matrix[3x4]");
     }
 }

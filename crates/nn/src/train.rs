@@ -3,6 +3,7 @@
 use crate::error::NnError;
 use crate::layer::{relu, relu_backward, softmax_into, LayerVelocity};
 use crate::mlp::Mlp;
+use crate::scalar::Scalar;
 use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -11,6 +12,9 @@ use rand::SeedableRng;
 /// Mini-batch SGD-with-momentum trainer.
 ///
 /// Deterministic given its seed: shuffling is the only stochastic step.
+/// Hyper-parameters are stored in `f64` and converted to the model's
+/// [`Scalar`] once per [`Trainer::fit`] call, so the `f64` path is
+/// bitwise unchanged and the `f32` path sees correctly-rounded constants.
 ///
 /// ```
 /// use origin_nn::{Mlp, Trainer};
@@ -145,13 +149,23 @@ impl Trainer {
     /// Trains `model` on `(features, label)` pairs; returns the final
     /// epoch's mean cross-entropy loss.
     ///
+    /// The shuffle RNG draws the same stream regardless of `S`, and the
+    /// epoch loop is strictly sequential, so a given `(model, data, seed)`
+    /// produces bitwise-identical weights on every run — which is what
+    /// lets callers train the per-location models of a bank in parallel
+    /// without perturbing any result.
+    ///
     /// # Errors
     ///
     /// * [`NnError::EmptyTrainingSet`] on empty data.
     /// * [`NnError::DimensionMismatch`] when a feature vector has the wrong
     ///   width.
     /// * [`NnError::LabelOutOfRange`] when a label ≥ the output width.
-    pub fn fit(&self, model: &mut Mlp, data: &[(Vec<f64>, usize)]) -> Result<f64, NnError> {
+    pub fn fit<S: Scalar>(
+        &self,
+        model: &mut Mlp<S>,
+        data: &[(Vec<S>, usize)],
+    ) -> Result<f64, NnError> {
         if data.is_empty() {
             return Err(NnError::EmptyTrainingSet);
         }
@@ -171,7 +185,7 @@ impl Trainer {
         }
 
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut velocities: Vec<LayerVelocity> = model
+        let mut velocities: Vec<LayerVelocity<S>> = model
             .layers()
             .iter()
             .map(LayerVelocity::zeros_like)
@@ -181,19 +195,21 @@ impl Trainer {
         let mut ws = Workspace::new();
         ws.prepare(model.dims());
 
+        let hp = StepConstants::for_model(self, model.output_dim());
         for _ in 0..self.epochs {
             order.shuffle(&mut rng);
-            let mut epoch_loss = 0.0;
+            let mut epoch_loss = S::ZERO;
             for chunk in order.chunks(self.batch_size) {
                 // Per-sample SGD within the batch (batch size scales the
                 // effective step through the lr / batch normalization).
-                let scale = 1.0 / chunk.len() as f64;
+                let scale = S::from_f64(1.0 / chunk.len() as f64);
                 for &idx in chunk {
                     let (x, label) = &data[idx];
-                    epoch_loss += self.step(model, &mut velocities, &mut ws, x, *label, scale);
+                    epoch_loss +=
+                        Self::step(model, &hp, &mut velocities, &mut ws, x, *label, scale);
                 }
             }
-            final_loss = epoch_loss / data.len() as f64;
+            final_loss = (epoch_loss / S::from_f64(data.len() as f64)).to_f64();
         }
         Ok(final_loss)
     }
@@ -206,15 +222,15 @@ impl Trainer {
     /// `fit_matches_reference_bitwise`), and the forward pass uses the
     /// dense kernels only: backward invalidates the compiled sparse form
     /// every step, so compiling it mid-fit would thrash.
-    fn step(
-        &self,
-        model: &mut Mlp,
-        velocities: &mut [LayerVelocity],
-        ws: &mut Workspace,
-        x: &[f64],
+    fn step<S: Scalar>(
+        model: &mut Mlp<S>,
+        hp: &StepConstants<S>,
+        velocities: &mut [LayerVelocity<S>],
+        ws: &mut Workspace<S>,
+        x: &[S],
         label: usize,
-        scale: f64,
-    ) -> f64 {
+        scale: S,
+    ) -> S {
         let layer_count = model.layers().len();
         ws.acts[0].copy_from_slice(x);
         for i in 0..layer_count {
@@ -227,23 +243,18 @@ impl Trainer {
             }
         }
         softmax_into(&ws.pre[layer_count - 1], &mut ws.proba);
-        let loss = -ws.proba[label].max(1e-12).ln();
+        let loss = -ws.proba[label].max(hp.loss_floor).ln();
 
         // dL/dlogits for softmax + cross-entropy against the (optionally
         // smoothed) target distribution.
         let classes = ws.proba.len();
-        let off_target = if classes > 1 {
-            self.label_smoothing / (classes - 1) as f64
-        } else {
-            0.0
-        };
         let grad = &mut ws.grad[..classes];
         grad.copy_from_slice(&ws.proba);
         for (c, g) in grad.iter_mut().enumerate() {
             let target = if c == label {
-                1.0 - self.label_smoothing
+                hp.on_target
             } else {
-                off_target
+                hp.off_target
             };
             *g = (*g - target) * scale;
         }
@@ -256,8 +267,8 @@ impl Trainer {
             layer.backward_into(
                 &ws.acts[i],
                 &ws.grad[..out_width],
-                self.lr,
-                self.momentum,
+                hp.lr,
+                hp.momentum,
                 &mut velocities[i],
                 dx,
             );
@@ -272,13 +283,17 @@ impl Trainer {
     /// The original allocating trainer loop, kept verbatim as the golden
     /// reference for the bitwise-parity test of the workspace path.
     #[cfg(test)]
-    fn fit_reference(&self, model: &mut Mlp, data: &[(Vec<f64>, usize)]) -> Result<f64, NnError> {
+    fn fit_reference<S: Scalar>(
+        &self,
+        model: &mut Mlp<S>,
+        data: &[(Vec<S>, usize)],
+    ) -> Result<f64, NnError> {
         use crate::layer::softmax;
         if data.is_empty() {
             return Err(NnError::EmptyTrainingSet);
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut velocities: Vec<LayerVelocity> = model
+        let mut velocities: Vec<LayerVelocity<S>> = model
             .layers()
             .iter()
             .map(LayerVelocity::zeros_like)
@@ -286,29 +301,24 @@ impl Trainer {
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut final_loss = f64::INFINITY;
 
+        let hp = StepConstants::for_model(self, model.output_dim());
         for _ in 0..self.epochs {
             order.shuffle(&mut rng);
-            let mut epoch_loss = 0.0;
+            let mut epoch_loss = S::ZERO;
             for chunk in order.chunks(self.batch_size) {
-                let scale = 1.0 / chunk.len() as f64;
+                let scale = S::from_f64(1.0 / chunk.len() as f64);
                 for &idx in chunk {
                     let (x, label) = &data[idx];
                     let (pre, acts) = model.forward_cached(x);
                     let logits = pre.last().expect("at least one layer");
                     let proba = softmax(logits);
-                    epoch_loss += -proba[*label].max(1e-12).ln();
-                    let classes = proba.len();
-                    let off_target = if classes > 1 {
-                        self.label_smoothing / (classes - 1) as f64
-                    } else {
-                        0.0
-                    };
-                    let mut grad: Vec<f64> = proba;
+                    epoch_loss += -proba[*label].max(hp.loss_floor).ln();
+                    let mut grad: Vec<S> = proba;
                     for (c, g) in grad.iter_mut().enumerate() {
                         let target = if c == *label {
-                            1.0 - self.label_smoothing
+                            hp.on_target
                         } else {
-                            off_target
+                            hp.off_target
                         };
                         *g = (*g - target) * scale;
                     }
@@ -316,13 +326,8 @@ impl Trainer {
                     for i in (0..layer_count).rev() {
                         let input = &acts[i];
                         let layer = &mut model.layers_mut()[i];
-                        let mut dx = layer.backward(
-                            input,
-                            &grad,
-                            self.lr,
-                            self.momentum,
-                            &mut velocities[i],
-                        );
+                        let mut dx =
+                            layer.backward(input, &grad, hp.lr, hp.momentum, &mut velocities[i]);
                         if i > 0 {
                             relu_backward(&pre[i - 1], &mut dx);
                         }
@@ -330,9 +335,39 @@ impl Trainer {
                     }
                 }
             }
-            final_loss = epoch_loss / data.len() as f64;
+            final_loss = (epoch_loss / S::from_f64(data.len() as f64)).to_f64();
         }
         Ok(final_loss)
+    }
+}
+
+/// Hyper-parameters converted to the kernel scalar once per `fit` call.
+///
+/// All derived quantities (`off_target` in particular) are computed in
+/// `f64` first and rounded once, never re-derived in `S`, so the same
+/// constants feed every step of a run.
+struct StepConstants<S: Scalar> {
+    lr: S,
+    momentum: S,
+    on_target: S,
+    off_target: S,
+    loss_floor: S,
+}
+
+impl<S: Scalar> StepConstants<S> {
+    fn for_model(trainer: &Trainer, classes: usize) -> Self {
+        let off_target = if classes > 1 {
+            trainer.label_smoothing / (classes - 1) as f64
+        } else {
+            0.0
+        };
+        Self {
+            lr: S::from_f64(trainer.lr),
+            momentum: S::from_f64(trainer.momentum),
+            on_target: S::from_f64(1.0 - trainer.label_smoothing),
+            off_target: S::from_f64(off_target),
+            loss_floor: S::from_f64(1e-12),
+        }
     }
 }
 
@@ -378,6 +413,22 @@ mod tests {
         let la = Trainer::new().with_epochs(10).fit(&mut a, &data).unwrap();
         let lb = Trainer::new().with_epochs(10).fit(&mut b, &data).unwrap();
         assert_eq!(la, lb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_learns_and_repeats_at_f32() {
+        let data: Vec<(Vec<f32>, usize)> = blob_data(9, 20)
+            .into_iter()
+            .map(|(x, y)| (x.into_iter().map(|v| v as f32).collect(), y))
+            .collect();
+        let trainer = Trainer::new().with_epochs(60);
+        let mut a = Mlp::<f32>::new(&[2, 8, 3], 2).unwrap();
+        let la = trainer.fit(&mut a, &data).unwrap();
+        assert!(la.is_finite() && la < 0.2, "loss = {la}");
+        let mut b = Mlp::<f32>::new(&[2, 8, 3], 2).unwrap();
+        let lb = trainer.fit(&mut b, &data).unwrap();
+        assert_eq!(la.to_bits(), lb.to_bits());
         assert_eq!(a, b);
     }
 

@@ -1,32 +1,36 @@
 //! Reusable scratch buffers for the allocation-free kernel paths.
 
+use crate::scalar::Scalar;
+
 /// Preallocated scratch space threaded through [`Mlp`](crate::Mlp),
 /// [`Trainer`](crate::Trainer) and
-/// [`SensorClassifier`](crate::SensorClassifier) hot paths.
+/// [`SensorClassifier`](crate::SensorClassifier) hot paths, generic over
+/// the kernel [`Scalar`] (`f64` by default).
 ///
 /// Buffers only ever grow, so a `Workspace` reused across a steady-state
 /// train/infer loop performs zero heap allocations after the first call
-/// for a given model shape. Creating one is cheap (all buffers start
-/// empty); keep one per thread and per long-running loop.
+/// for a given model shape — at either precision. Creating one is cheap
+/// (all buffers start empty); keep one per thread and per long-running
+/// loop.
 #[derive(Debug, Clone, Default)]
-pub struct Workspace {
+pub struct Workspace<S: Scalar = f64> {
     /// Normalized-feature staging buffer (classifier input width).
-    pub(crate) features: Vec<f64>,
+    pub(crate) features: Vec<S>,
     /// Per-layer pre-activations `z = W a + b`; widths `dims[1..]`.
-    pub(crate) pre: Vec<Vec<f64>>,
+    pub(crate) pre: Vec<Vec<S>>,
     /// Per-layer activations; `acts[0]` is the input, widths = `dims`.
-    pub(crate) acts: Vec<Vec<f64>>,
+    pub(crate) acts: Vec<Vec<S>>,
     /// Softmax output buffer, output width.
-    pub(crate) proba: Vec<f64>,
+    pub(crate) proba: Vec<S>,
     /// Gradient ping-pong buffers, max layer width each.
-    pub(crate) grad: Vec<f64>,
+    pub(crate) grad: Vec<S>,
     /// Second gradient buffer (input gradient of the current layer).
-    pub(crate) dgrad: Vec<f64>,
+    pub(crate) dgrad: Vec<S>,
     /// Batched activation ping-pong buffers, `batch × max width` each.
-    pub(crate) batch: [Vec<f64>; 2],
+    pub(crate) batch: [Vec<S>; 2],
 }
 
-impl Workspace {
+impl<S: Scalar> Workspace<S> {
     /// An empty workspace; buffers grow on first use.
     #[must_use]
     pub fn new() -> Self {
@@ -41,20 +45,20 @@ impl Workspace {
             self.acts.resize_with(dims.len(), Vec::new);
         }
         for (a, &w) in self.acts.iter_mut().zip(dims) {
-            a.resize(w, 0.0);
+            a.resize(w, S::ZERO);
         }
         if self.pre.len() < dims.len() - 1 {
             self.pre.resize_with(dims.len() - 1, Vec::new);
         }
         for (p, &w) in self.pre.iter_mut().zip(&dims[1..]) {
-            p.resize(w, 0.0);
+            p.resize(w, S::ZERO);
         }
-        self.proba.resize(dims[dims.len() - 1], 0.0);
+        self.proba.resize(dims[dims.len() - 1], S::ZERO);
         if self.grad.len() < max {
-            self.grad.resize(max, 0.0);
+            self.grad.resize(max, S::ZERO);
         }
         if self.dgrad.len() < max {
-            self.dgrad.resize(max, 0.0);
+            self.dgrad.resize(max, S::ZERO);
         }
     }
 
@@ -64,10 +68,10 @@ impl Workspace {
         let max = dims.iter().copied().max().unwrap_or(0);
         for b in &mut self.batch {
             if b.len() < batch * max {
-                b.resize(batch * max, 0.0);
+                b.resize(batch * max, S::ZERO);
             }
         }
-        self.proba.resize(dims[dims.len() - 1], 0.0);
+        self.proba.resize(dims[dims.len() - 1], S::ZERO);
     }
 }
 
@@ -77,7 +81,7 @@ mod tests {
 
     #[test]
     fn prepare_sizes_buffers() {
-        let mut ws = Workspace::new();
+        let mut ws = Workspace::<f64>::new();
         ws.prepare(&[4, 8, 3]);
         assert_eq!(ws.acts.len(), 3);
         assert_eq!(ws.acts[0].len(), 4);
@@ -90,7 +94,7 @@ mod tests {
 
     #[test]
     fn buffers_only_grow() {
-        let mut ws = Workspace::new();
+        let mut ws = Workspace::<f32>::new();
         ws.prepare(&[10, 20, 5]);
         let cap = ws.grad.capacity();
         ws.prepare(&[4, 3]);

@@ -7,22 +7,38 @@
 //! per-`fit` setup. The assertions are exact counts, not bounds: one
 //! stray `Vec` in the hot path fails the test.
 //!
-//! Everything runs inside a single `#[test]` — the harness runs tests
-//! on separate threads, and the counter is process-global.
+//! The whole suite runs once per kernel scalar (`f64` and `f32`): the
+//! precision-generic refactor must not cost either path its guarantee.
+//!
+//! The counter is a thread-local, not a process-global: the libtest
+//! harness's own threads allocate at unpredictable times (event
+//! channels, output capture), and a global count intermittently blames
+//! those on whatever kernel happens to be inside a measured region.
+//! Only allocations made *by the measuring thread* can be the kernel's.
 
-use origin_nn::{Mlp, Trainer, Workspace};
+use origin_nn::{Mlp, Scalar, Trainer, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Count one allocation against the current thread. `try_with` because
+/// the allocator can be re-entered during TLS teardown, when the slot
+/// is already destroyed — those late allocations are unmeasurable and
+/// irrelevant.
+fn count_one() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
@@ -31,7 +47,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -39,16 +55,16 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Allocation count of `f`, exact.
+/// Allocation count of `f` on this thread, exact.
 fn allocations_in(f: impl FnOnce()) -> usize {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = ALLOCATIONS.with(|c| c.get());
     f();
-    ALLOCATIONS.load(Ordering::Relaxed) - before
+    ALLOCATIONS.with(|c| c.get()) - before
 }
 
 const DIMS: &[usize] = &[28, 20, 6];
 
-fn pruned_mlp(seed: u64) -> Mlp {
+fn pruned_mlp<S: Scalar>(seed: u64) -> Mlp<S> {
     let mut model = Mlp::new(DIMS, seed).expect("valid dims");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC5);
     for layer in model.layers_mut() {
@@ -60,12 +76,14 @@ fn pruned_mlp(seed: u64) -> Mlp {
     model
 }
 
-#[test]
-fn steady_state_kernels_do_not_allocate() {
+/// The full steady-state battery at one kernel precision.
+fn assert_steady_state_is_allocation_free<S: Scalar>() {
     let mut rng = StdRng::seed_from_u64(3);
-    let x: Vec<f64> = (0..DIMS[0]).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
-    let dense = Mlp::new(DIMS, 9).expect("valid dims");
-    let pruned = pruned_mlp(9);
+    let x: Vec<S> = (0..DIMS[0])
+        .map(|_| S::from_f64(rng.gen::<f64>() * 2.0 - 1.0))
+        .collect();
+    let dense: Mlp<S> = Mlp::new(DIMS, 9).expect("valid dims");
+    let pruned: Mlp<S> = pruned_mlp(9);
 
     // --- Inference: zero allocations after warm-up, independent of the
     // iteration count.
@@ -87,16 +105,18 @@ fn steady_state_kernels_do_not_allocate() {
                 }
             });
             assert_eq!(
-                count, 0,
-                "{name} inference allocated {count} times over {iterations} iterations"
+                count,
+                0,
+                "{name} {} inference allocated {count} times over {iterations} iterations",
+                S::DTYPE
             );
         }
     }
 
     // --- Batched inference: same guarantee through the batch kernel.
     {
-        let xs: Vec<f64> = (0..DIMS[0] * 32)
-            .map(|_| rng.gen::<f64>() * 2.0 - 1.0)
+        let xs: Vec<S> = (0..DIMS[0] * 32)
+            .map(|_| S::from_f64(rng.gen::<f64>() * 2.0 - 1.0))
             .collect();
         let mut ws = Workspace::new();
         let _ = pruned
@@ -109,17 +129,23 @@ fn steady_state_kernels_do_not_allocate() {
                     .expect("width matches");
             }
         });
-        assert_eq!(count, 0, "batched inference allocated {count} times");
+        assert_eq!(
+            count,
+            0,
+            "batched {} inference allocated {count} times",
+            S::DTYPE
+        );
     }
 
     // --- Training: `fit` pays a fixed setup cost (velocities, shuffle
     // order, workspace) but the epoch loop itself must be allocation
     // free, so the total count cannot depend on the epoch count.
     {
-        let data: Vec<(Vec<f64>, usize)> = (0..48)
+        let data: Vec<(Vec<S>, usize)> = (0..48)
             .map(|i| {
-                let features: Vec<f64> =
-                    (0..DIMS[0]).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+                let features: Vec<S> = (0..DIMS[0])
+                    .map(|_| S::from_f64(rng.gen::<f64>() * 2.0 - 1.0))
+                    .collect();
                 (features, i % DIMS[DIMS.len() - 1])
             })
             .collect();
@@ -127,16 +153,25 @@ fn steady_state_kernels_do_not_allocate() {
             .iter()
             .map(|&epochs| {
                 let trainer = Trainer::new().with_epochs(epochs).with_seed(7);
-                let mut model = Mlp::new(DIMS, 11).expect("valid dims");
+                let mut model: Mlp<S> = Mlp::new(DIMS, 11).expect("valid dims");
                 allocations_in(|| {
                     let _ = trainer.fit(&mut model, &data).expect("fits");
                 })
             })
             .collect();
         assert_eq!(
-            counts[0], counts[1],
-            "per-epoch allocations detected: 1 epoch = {} allocs, 9 epochs = {} allocs",
-            counts[0], counts[1]
+            counts[0],
+            counts[1],
+            "per-epoch {} allocations detected: 1 epoch = {} allocs, 9 epochs = {} allocs",
+            S::DTYPE,
+            counts[0],
+            counts[1]
         );
     }
+}
+
+#[test]
+fn steady_state_kernels_do_not_allocate() {
+    assert_steady_state_is_allocation_free::<f64>();
+    assert_steady_state_is_allocation_free::<f32>();
 }

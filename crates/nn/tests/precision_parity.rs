@@ -1,0 +1,204 @@
+//! Property tests pinning the `f32` compute path to the `f64` reference.
+//!
+//! The `Scalar` abstraction promises that `f32` is the *same algorithm*
+//! at a narrower width: identical reduction order, identical RNG draws
+//! (always taken at `f64` and narrowed), identical sparsity layout. These
+//! tests quantify what that buys: forward logits and softmax outputs stay
+//! within a small tolerance of the `f64` reference, predictions agree
+//! whenever the `f64` margin is not razor-thin, and the `f32` CSR kernel
+//! reproduces the dense masked arithmetic bitwise (the same invariant the
+//! `f64` goldens rely on).
+
+use origin_nn::{Mlp, Scalar, Trainer, Workspace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small random MLP at precision `S` with every layer masked by
+/// `keep_prob`; one seed produces structurally identical models at every
+/// precision (same draws, same masks).
+fn masked_mlp<S: Scalar>(dims: &[usize], seed: u64, keep_prob: f64) -> Mlp<S> {
+    let mut model = Mlp::<S>::new(dims, seed).expect("valid dims");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51C);
+    for layer in model.layers_mut() {
+        let mask: Vec<bool> = (0..layer.total_weights())
+            .map(|_| rng.gen::<f64>() < keep_prob)
+            .collect();
+        layer.set_mask(mask);
+    }
+    model
+}
+
+/// The shared random input, materialized at both precisions from the
+/// same `f64` draws.
+fn paired_input(n: usize, seed: u64) -> (Vec<f64>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wide: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+    let narrow: Vec<f32> = wide.iter().map(|&v| v as f32).collect();
+    (wide, narrow)
+}
+
+fn bits32(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Index of the largest element (ties to the first, both precisions).
+fn argmax<S: Scalar>(xs: &[S]) -> usize {
+    let mut best = 0;
+    for (i, v) in xs.iter().enumerate() {
+        if *v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+proptest! {
+    /// `f32` forward logits track the `f64` reference within a narrow
+    /// absolute tolerance, and the predicted class agrees whenever the
+    /// `f64` top-two margin is not inside that tolerance band.
+    #[test]
+    fn f32_forward_tracks_f64_reference(
+        ins in 1usize..10,
+        hidden in 1usize..8,
+        outs in 2usize..6,
+        seed in 0u64..500,
+        keep_prob in 0.0f64..1.0,
+        input_seed in 0u64..500,
+    ) {
+        let wide = masked_mlp::<f64>(&[ins, hidden, outs], seed, keep_prob);
+        let narrow = masked_mlp::<f32>(&[ins, hidden, outs], seed, keep_prob);
+        let (x64, x32) = paired_input(ins, input_seed);
+
+        let y64 = wide.forward(&x64).expect("width matches");
+        let y32 = narrow.forward(&x32).expect("width matches");
+        prop_assert_eq!(y64.len(), y32.len());
+
+        const TOL: f64 = 1e-3;
+        for (a, b) in y64.iter().zip(&y32) {
+            prop_assert!(
+                (a - f64::from(*b)).abs() < TOL,
+                "logit diverged: f64 {a} vs f32 {b}"
+            );
+        }
+
+        let top = argmax(&y64);
+        let margin = y64
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != top)
+            .map(|(_, v)| y64[top] - v)
+            .fold(f64::INFINITY, f64::min);
+        if margin > 2.0 * TOL {
+            prop_assert_eq!(
+                top,
+                argmax(&y32),
+                "classification flipped outside the tie band (margin {})",
+                margin
+            );
+        }
+    }
+
+    /// Softmax probabilities diverge by at most a small L1 distance — the
+    /// confidence scores the ensemble consumes are precision-stable.
+    #[test]
+    fn f32_softmax_divergence_is_bounded(
+        ins in 1usize..10,
+        outs in 2usize..6,
+        seed in 0u64..500,
+        keep_prob in 0.0f64..1.0,
+        input_seed in 0u64..500,
+    ) {
+        let wide = masked_mlp::<f64>(&[ins, ins + 2, outs], seed, keep_prob);
+        let narrow = masked_mlp::<f32>(&[ins, ins + 2, outs], seed, keep_prob);
+        let (x64, x32) = paired_input(ins, input_seed);
+
+        let p64 = wide.predict_proba(&x64).expect("width matches");
+        let p32 = narrow.predict_proba(&x32).expect("width matches");
+        let l1: f64 = p64
+            .iter()
+            .zip(&p32)
+            .map(|(a, b)| (a - f64::from(*b)).abs())
+            .sum();
+        prop_assert!(l1 < 1e-3, "softmax L1 divergence {l1}");
+        let sum: f32 = p32.iter().sum();
+        prop_assert!((f64::from(sum) - 1.0).abs() < 1e-5, "f32 sum {sum}");
+    }
+
+    /// The `f32` CSR kernel is bitwise against the dense masked reference
+    /// — layout optimizations stay exact at every precision, not just on
+    /// the `f64` golden path.
+    #[test]
+    fn f32_pruned_csr_matches_dense_masked_bitwise(
+        ins in 1usize..12,
+        hidden in 1usize..10,
+        outs in 2usize..6,
+        seed in 0u64..500,
+        keep_prob in 0.0f64..1.0,
+        input_seed in 0u64..500,
+    ) {
+        let model = masked_mlp::<f32>(&[ins, hidden, outs], seed, keep_prob);
+        let (_, x) = paired_input(ins, input_seed);
+
+        // Dense-masked reference: the plain matvec over the mask-zeroed
+        // weight matrix, ReLU on all but the last layer, exactly as in
+        // the f64 golden-parity suite.
+        let mut reference = x.clone();
+        let last = model.layers().len() - 1;
+        for (i, layer) in model.layers().iter().enumerate() {
+            let mut y = layer.weights().matvec(&reference);
+            for (yi, bi) in y.iter_mut().zip(layer.bias()) {
+                *yi += bi;
+            }
+            if i < last {
+                for v in &mut y {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            reference = y;
+        }
+
+        let sparse = model.forward(&x).expect("width matches");
+        prop_assert_eq!(bits32(&sparse), bits32(&reference));
+
+        let mut ws = Workspace::new();
+        let with_ws = model.forward_with(&mut ws, &x).expect("width matches");
+        prop_assert_eq!(bits32(with_ws), bits32(&reference));
+    }
+
+    /// Training at `f32` stays in lockstep with `f64` on an easy problem:
+    /// after a few epochs both precisions classify the separable training
+    /// points identically.
+    #[test]
+    fn f32_training_agrees_on_separable_data(
+        seed in 0u64..100,
+        spread in 1.0f64..3.0,
+    ) {
+        let data64: Vec<(Vec<f64>, usize)> = (0..24)
+            .map(|i| {
+                let label = i % 2;
+                let x = (label as f64 * 2.0 - 1.0) * spread + (i as f64) * 0.01;
+                (vec![x], label)
+            })
+            .collect();
+        let data32: Vec<(Vec<f32>, usize)> = data64
+            .iter()
+            .map(|(x, l)| (x.iter().map(|&v| v as f32).collect(), *l))
+            .collect();
+
+        let trainer = Trainer::new().with_epochs(120).with_seed(seed);
+        let mut wide = Mlp::<f64>::new(&[1, 4, 2], seed).expect("valid dims");
+        let mut narrow = Mlp::<f32>::new(&[1, 4, 2], seed).expect("valid dims");
+        trainer.fit(&mut wide, &data64).expect("valid data");
+        trainer.fit(&mut narrow, &data32).expect("valid data");
+
+        for ((x64, label), (x32, _)) in data64.iter().zip(&data32) {
+            let p64 = wide.predict_proba(x64).expect("width matches");
+            let p32 = narrow.predict_proba(x32).expect("width matches");
+            prop_assert_eq!(argmax(&p64), *label);
+            prop_assert_eq!(argmax(&p32), *label);
+        }
+    }
+}

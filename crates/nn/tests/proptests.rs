@@ -95,7 +95,7 @@ proptest! {
         seed in 0u64..1_000,
         mask_bits in proptest::collection::vec(proptest::bool::ANY, 12),
     ) {
-        let mut mlp = Mlp::new(&[3, 4], seed).expect("valid dims");
+        let mut mlp = Mlp::<f64>::new(&[3, 4], seed).expect("valid dims");
         let before = mlp.active_weights();
         mlp.layers_mut()[0].set_mask(mask_bits.clone());
         let after = mlp.active_weights();

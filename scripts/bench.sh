@@ -11,7 +11,10 @@
 #   2. bench_report                  — a self-contained median-of-samples
 #      harness that writes BENCH_sweep.json at the repo root (median ns,
 #      derived throughput, git revision) so each revision carries one
-#      comparable snapshot that needs no criterion output parsing.
+#      comparable snapshot that needs no criterion output parsing. The
+#      kernel rows are emitted at both precisions: f64 rows keep their
+#      historical names (comparable across revisions), the f32 twins
+#      carry an `_f32` suffix (e.g. `mlp_forward_pruned70_f32`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -20,6 +20,10 @@
 #   8. cargo test -q          — the full test suite, including the sweep
 #      determinism test (1 vs 8 threads, byte-identical manifests) and
 #      the zero-allocation / kernel-parity tests
+#   9. f32 compute path       — the precision-parity proptests and the
+#      per-dtype zero-allocation pins (crates/nn), then an f32 smoke of
+#      the sweep binary; the f64 goldens stay the determinism anchor,
+#      this step keeps the narrow path honest (DESIGN.md 3.2)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,5 +54,11 @@ cargo build --release -p origin-bench --quiet
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> f32 compute path (parity proptests, per-dtype alloc pins, sweep smoke)"
+cargo test -q -p origin-nn --test precision_parity
+cargo test -q -p origin-nn --test alloc_count
+cargo run -q --release -p origin-bench --bin sweep -- \
+    --precision f32 --seeds 1 --horizon 600 >/dev/null
 
 echo "==> all checks passed"
