@@ -38,7 +38,7 @@ fn bench_sweep(c: &mut Criterion) {
         group.bench_function(format!("threads_{threads}"), |b| {
             let opts = SweepOptions {
                 threads,
-                instrument: false,
+                ..SweepOptions::default()
             };
             b.iter(|| run_sweep(&ctx, &grid, &opts).expect("sweep succeeds"))
         });

@@ -12,11 +12,19 @@
 //!   explicitly, which must compile to the same code;
 //! * `metrics_observer` — the in-memory aggregator;
 //! * `jsonl_observer` — full event serialization into a `Vec<u8>` sink.
+//!
+//! The ledger arms extend the same promise to telemetry v2: with the
+//! ledger off (`wants_ledger() == false`, the default) the flow
+//! decomposition is never computed, so `noop_observer` stays within
+//! noise of `uninstrumented` even though the emission sites exist;
+//! `ledger_auditor` shows what a full conservation audit costs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use origin_bench::bench_models;
 use origin_core::{Deployment, PolicyKind, SimConfig, Simulator};
-use origin_telemetry::{JsonlObserver, MetricsObserver, NoopObserver};
+use origin_telemetry::{
+    JsonlObserver, LedgerAuditor, MetricsObserver, NoopObserver, RecordingObserver, WithLedger,
+};
 use origin_types::SimDuration;
 
 fn bench_observer_overhead(c: &mut Criterion) {
@@ -48,6 +56,20 @@ fn bench_observer_overhead(c: &mut Criterion) {
     group.bench_function("jsonl_observer", |b| {
         b.iter(|| {
             let mut observer = JsonlObserver::new(Vec::new());
+            sim.run_observed(&config, &mut observer)
+                .expect("valid cycle")
+        })
+    });
+    group.bench_function("ledger_auditor", |b| {
+        b.iter(|| {
+            let mut observer = LedgerAuditor::default();
+            sim.run_observed(&config, &mut observer)
+                .expect("valid cycle")
+        })
+    });
+    group.bench_function("ledger_recording", |b| {
+        b.iter(|| {
+            let mut observer = WithLedger(RecordingObserver::new());
             sim.run_observed(&config, &mut observer)
                 .expect("valid cycle")
         })

@@ -6,14 +6,25 @@
 //! pin one machine-readable snapshot (median ns, derived throughput, git
 //! revision) per revision without parsing harness output.
 //!
-//! Usage: `cargo run -p origin-bench --bin bench_report --release
-//! [out.json]`
+//! Usage: `cargo run -p origin-bench --bin bench_report --release --
+//! [out.json] [--baseline PATH] [--check] [--threshold PCT] [--quick]`
 //!
 //! The NN kernel micro-benches run at both precisions: the `f64` rows
 //! keep their historical names, the `f32` rows carry a `_f32` suffix, so
 //! one snapshot answers "what does the narrow path buy" per revision.
+//!
+//! The regression gate: `--baseline PATH` compares the fresh numbers
+//! against a previous snapshot (the baseline is read before the output
+//! is written, so baselining against the out path works) and prints a
+//! delta table; with `--check`, any row that slowed by more than
+//! `--threshold` percent (default 25) exits nonzero. `--quick` runs only
+//! the fast `f64` kernel rows and writes nothing — check.sh uses it as a
+//! warn-only smoke; scripts/bench.sh runs the full gate. Every full run
+//! also appends one compact line to `BENCH_history.jsonl` beside the
+//! snapshot, building a per-revision perf history.
 
 use origin_bench::bench_models;
+use origin_bench::regression::{BenchSnapshot, RegressionReport};
 use origin_bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy};
 use origin_core::experiments::{Dataset, ExperimentContext};
 use origin_core::{BaselineKind, Deployment, ModelVariant, PolicyKind};
@@ -161,10 +172,64 @@ fn kernel_benches<S: Scalar>(
     }
 }
 
+/// Parsed command line (see the module docs for the flag semantics).
+struct Cli {
+    out_path: String,
+    baseline: Option<String>,
+    check: bool,
+    threshold_pct: f64,
+    quick: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        out_path: "BENCH_sweep.json".to_owned(),
+        baseline: None,
+        check: false,
+        threshold_pct: 25.0,
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => cli.check = true,
+            "--quick" => cli.quick = true,
+            "--baseline" => {
+                cli.baseline = Some(args.next().expect("--baseline needs a path"));
+            }
+            "--threshold" => {
+                let value = args.next().expect("--threshold needs a percentage");
+                cli.threshold_pct = value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("invalid --threshold {value:?}"));
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag {flag:?}"),
+            positional => cli.out_path = positional.to_owned(),
+        }
+    }
+    cli
+}
+
+/// Seconds since the Unix epoch, for history-line stamps only.
+// History stamps are wall-clock metadata by definition; nothing
+// deterministic reads them back.
+#[allow(clippy::disallowed_methods)]
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+    let cli = parse_cli();
+    // Read the baseline before any output is written: baselining against
+    // the out path itself (the bench.sh flow) must see the old bytes.
+    let baseline = cli.baseline.as_ref().map(|path| {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        BenchSnapshot::parse(&text).unwrap_or_else(|e| panic!("baseline {path}: {e}"))
+    });
+
     let mut rows: Vec<(String, JsonValue)> = Vec::new();
     // (name, median ns/op, ops represented by one call)
     let push = |rows: &mut Vec<(String, JsonValue)>, name: &str, ns: f64, ops: f64| {
@@ -179,7 +244,56 @@ fn main() {
     };
 
     kernel_benches::<f64>(&push, &mut rows, "");
-    kernel_benches::<f32>(&push, &mut rows, "_f32");
+    if !cli.quick {
+        full_benches(&push, &mut rows);
+    }
+
+    let report = JsonValue::Object(vec![
+        ("git_rev".to_owned(), JsonValue::from(git_rev())),
+        (
+            "harness".to_owned(),
+            JsonValue::from("bench_report median-of-samples (see scripts/bench.sh)"),
+        ),
+        ("benches".to_owned(), JsonValue::Object(rows)),
+    ]);
+    let current = BenchSnapshot::parse(&report.render_pretty()).expect("own schema parses");
+
+    if cli.quick {
+        println!("quick mode: snapshot not written");
+    } else {
+        std::fs::write(&cli.out_path, report.render_pretty() + "\n")
+            .expect("report file is writable");
+        println!("wrote {}", cli.out_path);
+        let history_path =
+            std::path::Path::new(&cli.out_path).with_file_name("BENCH_history.jsonl");
+        let mut history = std::fs::read_to_string(&history_path).unwrap_or_default();
+        history.push_str(&current.history_line(unix_now()));
+        history.push('\n');
+        std::fs::write(&history_path, history).expect("history file is writable");
+        println!("appended {}", history_path.display());
+    }
+
+    if let Some(baseline) = baseline {
+        let gate = RegressionReport::compare(&baseline, &current, cli.threshold_pct);
+        println!(
+            "\nvs baseline {} (threshold +{:.0}%):",
+            baseline.git_rev, cli.threshold_pct
+        );
+        print!("{}", gate.render());
+        if cli.check && !gate.passed() {
+            eprintln!("bench regression gate FAILED");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The slow rows of the full snapshot: `f32` kernel twins, the trained
+/// classifier entry points, and the 16-cell sweep.
+fn full_benches(
+    push: &impl Fn(&mut Vec<(String, JsonValue)>, &str, f64, f64),
+    rows: &mut Vec<(String, JsonValue)>,
+) {
+    kernel_benches::<f32>(push, rows, "_f32");
 
     // Trained classifier: allocating entry point vs workspace entry
     // point (same kernels, isolates the steady-state allocation cost).
@@ -192,13 +306,13 @@ fn main() {
         let ns_alloc = median_ns(15, 10_000, || {
             let _ = black_box(clf.classify(black_box(&features))).expect("width matches");
         });
-        push(&mut rows, "classify_pruned_alloc", ns_alloc, 1.0);
+        push(rows, "classify_pruned_alloc", ns_alloc, 1.0);
         let mut ws = Workspace::new();
         let ns_ws = median_ns(15, 10_000, || {
             let _ =
                 black_box(clf.classify_with(&mut ws, black_box(&features))).expect("width matches");
         });
-        push(&mut rows, "classify_pruned_workspace", ns_ws, 1.0);
+        push(rows, "classify_pruned_workspace", ns_ws, 1.0);
     }
 
     // The 16-cell sweep grid from `benches/sweep.rs`, single-threaded.
@@ -221,23 +335,12 @@ fn main() {
         .with_sampled_users(2);
         let opts = SweepOptions {
             threads: 1,
-            instrument: false,
+            ..SweepOptions::default()
         };
         let cells = grid.len() as f64;
         let ns = median_ns(5, 1, || {
             let _ = black_box(run_sweep(&ctx, &grid, &opts)).expect("sweep succeeds");
         });
-        push(&mut rows, "sweep_16_cells_threads_1", ns, cells);
+        push(rows, "sweep_16_cells_threads_1", ns, cells);
     }
-
-    let report = JsonValue::Object(vec![
-        ("git_rev".to_owned(), JsonValue::from(git_rev())),
-        (
-            "harness".to_owned(),
-            JsonValue::from("bench_report median-of-samples (see scripts/bench.sh)"),
-        ),
-        ("benches".to_owned(), JsonValue::Object(rows)),
-    ]);
-    std::fs::write(&out_path, report.render_pretty() + "\n").expect("report file is writable");
-    println!("wrote {out_path}");
 }

@@ -36,7 +36,7 @@ fn run<S: Scalar>(args: &BenchArgs) {
         &grid,
         &SweepOptions {
             threads: args.threads(),
-            instrument: false,
+            ..SweepOptions::default()
         },
     )
     .expect("simulation succeeds");

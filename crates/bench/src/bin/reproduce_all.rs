@@ -9,10 +9,12 @@
 //! moves to `results/f32/`, keeping the published `f64` goldens intact;
 //! the manifest records the dtype either way.
 //!
-//! The independent experiment stages fan out over the sweep engine's
-//! worker pool (`--threads`, 0 = auto); every summary, result and
-//! manifest field is identical for any thread count — only the stage
-//! timings (wall-clock) differ.
+//! The independent experiment stages — and the per-location model
+//! training before them — fan out over the sweep engine's worker pool
+//! (`--threads`, 0 = auto); every summary, result and manifest field is
+//! identical for any thread count — only the stage timings (wall-clock)
+//! differ. The per-stage timing labels (`train_mhealth`, `nn_fit`,
+//! `nn_prune`, `nn_eval`, one per figure/table) are stable across widths.
 //!
 //! Besides the per-experiment text summaries, the run emits its telemetry
 //! record (see EXPERIMENTS.md §Telemetry):
@@ -325,12 +327,19 @@ fn run<S: Scalar>(args: &BenchArgs) {
 
     println!("training MHEALTH-like models (seed {seed}, {precision} kernels)...");
     // Kernel-level breakdown (nn_fit / nn_prune / nn_eval) lands in the
-    // manifest next to the aggregate training stage.
+    // manifest next to the aggregate training stage. Training fans out
+    // over the same worker pool as the stages (one location per worker);
+    // the bank — and the timing labels — are identical at any width.
     let ctx = {
         let mut kernel = StageTimings::new();
         let ctx = timings.time("train_mhealth", || {
-            ExperimentContext::<S>::new_instrumented(Dataset::Mhealth, seed, &mut kernel)
-                .expect("training succeeds")
+            ExperimentContext::<S>::new_instrumented_parallel(
+                Dataset::Mhealth,
+                seed,
+                args.threads(),
+                &mut kernel,
+            )
+            .expect("training succeeds")
         });
         for (name, elapsed) in kernel.iter() {
             timings.record(name, elapsed);

@@ -13,11 +13,18 @@
 //! `--policies LIST` (`origin12,bl2`), `--users N` (1; > 1 samples a
 //! cohort), `--horizon SECS` (3600), `--threads N` (0 = auto),
 //! `--instrument 1` (per-cell JSONL traces + metrics in the manifest),
+//! `--ledger 1` (stream the per-slot energy ledger, audit conservation
+//! per cell, and print a per-policy energy table; exits nonzero if any
+//! slot fails the audit), `--spans PATH` (write logical-time span traces
+//! for all cells to one JSONL file — feed it to `trace_summary`),
+//! `--progress 1` (cells/s + ETA heartbeat on stderr),
 //! `--precision {f64,f32}` (kernel dtype; `f64` is the golden default),
 //! `--json PATH` (write the merged run manifest).
 //!
 //! The report — and the `--json` manifest — is bitwise identical for any
-//! `--threads` value; only wall-clock changes.
+//! `--threads` value; only wall-clock changes. The ledger, span and
+//! progress paths never perturb the default stdout report: committed
+//! goldens regenerate byte-identically with or without them.
 
 use origin_bench::sweep::{
     available_threads, run_sweep, SweepGrid, SweepOptions, SweepPolicy, SweepReport,
@@ -70,6 +77,9 @@ fn run<S: Scalar>(args: &BenchArgs) {
     let horizon = args.u64_flag("horizon", ExperimentContext::<S>::DEFAULT_HORIZON_SECS);
     let threads = args.threads();
     let instrument = args.u64_flag("instrument", 0) != 0;
+    let ledger = args.u64_flag("ledger", 0) != 0;
+    let spans_path = args.flag("spans");
+    let progress = args.u64_flag("progress", 0) != 0;
     let precision = args.precision();
     let policies = SweepPolicy::parse_list(args.flag("policies").unwrap_or("origin12,bl2"))
         .unwrap_or_else(|e| panic!("{e}"));
@@ -109,16 +119,99 @@ fn run<S: Scalar>(args: &BenchArgs) {
         &SweepOptions {
             threads,
             instrument,
+            ledger,
+            spans: spans_path.is_some(),
+            progress,
         },
     )
     .expect("simulation succeeds");
 
     print_report(&report, seeds, grid.users.len());
+    if ledger {
+        print_energy_table(&report);
+    }
+    if let Some(path) = spans_path {
+        write_spans(&report, path);
+    }
     args.write_manifest(
         &report
             .to_manifest("sweep")
             .with_config("dtype", precision.label()),
     );
+    if ledger {
+        enforce_audit(&report);
+    }
+}
+
+/// Prints the per-policy mean energy breakdown (µJ per run) that the
+/// ledger pass makes visible. Only reached under `--ledger`, so the
+/// default stdout report stays byte-identical to the committed goldens.
+fn print_energy_table(report: &SweepReport) {
+    println!(
+        "\n{:<14} {:>14} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "policy", "offered_uJ", "harvested_uJ", "consumed_uJ", "loss_uJ", "clipped_uJ", "leaked_uJ"
+    );
+    for (i, policy) in report.grid.policies.iter().enumerate() {
+        let cells: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.cell.policy_idx == i)
+            .collect();
+        let n = cells.len().max(1) as f64;
+        let mean = |f: &dyn Fn(&origin_core::EnergyBreakdown) -> f64| {
+            cells
+                .iter()
+                .map(|c| f(&c.report.energy_breakdown()))
+                .sum::<f64>()
+                / n
+        };
+        println!(
+            "{:<14} {:>14.1} {:>14.1} {:>14.1} {:>12.1} {:>12.1} {:>12.1}",
+            policy.label(),
+            mean(&|e| e.offered.as_microjoules()),
+            mean(&|e| e.harvested.as_microjoules()),
+            mean(&|e| e.consumed.as_microjoules()),
+            mean(&|e| e.charge_loss.as_microjoules()),
+            mean(&|e| e.clipped.as_microjoules()),
+            mean(&|e| e.leaked.as_microjoules()),
+        );
+    }
+}
+
+/// Concatenates every cell's span trace into one JSONL file. Cell ids
+/// pre-partition the span id space (`cell_id << 32`), so the merged file
+/// is safe to aggregate as a whole.
+fn write_spans(report: &SweepReport, path: &str) {
+    let mut out = String::new();
+    for cell in &report.cells {
+        if let Some(spans) = cell.trace.as_ref().and_then(|t| t.spans.as_deref()) {
+            out.push_str(spans);
+        }
+    }
+    std::fs::write(path, &out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote span traces to {path}");
+}
+
+/// Fails the process if any cell's ledger audit found an unbalanced
+/// slot. The audit tolerance is 1e-9 µJ per slot (see
+/// `origin_telemetry::LedgerAuditor`).
+fn enforce_audit(report: &SweepReport) {
+    let mut slots = 0u64;
+    let mut max_residual = 0.0f64;
+    let mut violations = 0usize;
+    for cell in &report.cells {
+        if let Some(audit) = cell.trace.as_ref().and_then(|t| t.audit.as_ref()) {
+            slots += audit.slots_audited;
+            if audit.max_residual_uj.abs() > max_residual.abs() {
+                max_residual = audit.max_residual_uj;
+            }
+            violations += audit.violations.len();
+        }
+    }
+    eprintln!(
+        "ledger audit: {slots} slots, max residual {max_residual:.3e} uJ, {violations} violation(s)"
+    );
+    assert_eq!(violations, 0, "energy ledger failed conservation audit");
 }
 
 fn main() {

@@ -1,0 +1,68 @@
+//! Renders a flamegraph-style self-time table from logical-time span
+//! traces.
+//!
+//! Span traces are JSONL files of `SpanRecord`s keyed to simulation
+//! slots (never wall clocks) — `sweep --spans PATH` writes one, and any
+//! harness can via `SpanObserver::to_jsonl`. This binary aggregates one
+//! or more trace files by span path (`sim_run;policy_step;nn_kernel`)
+//! and prints total vs self ticks per path, most self-time first.
+//!
+//! Usage: `cargo run -p origin-bench --bin trace_summary --
+//! <spans.jsonl> [more.jsonl ...]`
+//!
+//! Records from different files are re-based into disjoint id spaces
+//! before aggregation, so summarizing several per-shard traces together
+//! is safe even when their span ids overlap.
+
+use origin_telemetry::{JsonValue, SpanRecord, SpanSummary};
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_summary <spans.jsonl> [more.jsonl ...]");
+        std::process::exit(2);
+    }
+
+    let mut records: Vec<SpanRecord> = Vec::new();
+    let mut skipped = 0usize;
+    let mut id_base = 0u64;
+    for path in &paths {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let mut file_max = 0u64;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let record = JsonValue::parse(line)
+                .ok()
+                .as_ref()
+                .and_then(SpanRecord::from_json);
+            match record {
+                Some(mut record) => {
+                    record.id += id_base;
+                    if let Some(parent) = record.parent.as_mut() {
+                        *parent += id_base;
+                    }
+                    file_max = file_max.max(record.id);
+                    records.push(record);
+                }
+                None => skipped += 1,
+            }
+        }
+        id_base = file_max + 1;
+    }
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} non-span lines");
+    }
+    if records.is_empty() {
+        eprintln!("no span records found in {} file(s)", paths.len());
+        std::process::exit(1);
+    }
+
+    let summary = SpanSummary::from_records(&records);
+    println!(
+        "{} spans over {} root ticks ({} file(s))",
+        records.len(),
+        summary.root_ticks,
+        paths.len()
+    );
+    print!("{}", summary.render());
+}

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod regression;
 pub mod sweep;
 
 use origin_core::{CoreError, ModelBank, SimConfig, SimReport, Simulator};

@@ -1,0 +1,283 @@
+//! The bench regression gate: compare two `BENCH_sweep.json` snapshots
+//! and fail when a benchmark slowed past a threshold.
+//!
+//! `scripts/bench.sh` pins one machine-readable snapshot per revision
+//! (see the `bench_report` binary). This module turns consecutive
+//! snapshots into a gate: parse both, join rows by benchmark name, and
+//! flag every row whose median worsened by more than `threshold_pct`
+//! percent. `bench_report --baseline BENCH_sweep.json --check` drives it
+//! and exits nonzero on any flagged row, so perf regressions fail a run
+//! instead of drifting in silently.
+//!
+//! Comparisons are tolerant of schema growth: rows present on only one
+//! side are reported but never flagged (a new benchmark is not a
+//! regression), and a baseline that fails to parse is an error, not a
+//! pass.
+
+use origin_telemetry::JsonValue;
+
+/// One parsed bench snapshot (the `BENCH_sweep.json` schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Git revision the snapshot was taken at (`"unknown"` outside a
+    /// checkout).
+    pub git_rev: String,
+    /// `(benchmark name, median ns/op)` rows, in file order.
+    pub benches: Vec<(String, f64)>,
+}
+
+impl BenchSnapshot {
+    /// Parses the `BENCH_sweep.json` schema
+    /// (`{"git_rev", "harness", "benches": {name: {"median_ns", ...}}}`).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed element: invalid JSON, a missing
+    /// `benches` object, or a row without a numeric `median_ns`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = JsonValue::parse(text).map_err(|e| format!("invalid snapshot JSON: {e:?}"))?;
+        let git_rev = root
+            .get("git_rev")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_owned();
+        let rows = root
+            .get("benches")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| "snapshot has no \"benches\" object".to_owned())?;
+        let mut benches = Vec::with_capacity(rows.len());
+        for (name, row) in rows {
+            let median_ns = row
+                .get("median_ns")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("bench {name:?} has no numeric \"median_ns\""))?;
+            benches.push((name.clone(), median_ns));
+        }
+        Ok(Self { git_rev, benches })
+    }
+
+    /// The median ns/op recorded for `name`, if present.
+    #[must_use]
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        self.benches
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, ns)| ns)
+    }
+
+    /// One compact JSONL history line for `BENCH_history.jsonl`:
+    /// `{"git_rev": ..., "recorded_unix": ..., "benches": {name: ns}}`.
+    ///
+    /// `recorded_unix` is a wall-clock stamp supplied by the caller (the
+    /// bench harness is exempt from the workspace's no-wall-clock rule;
+    /// this library stays clock-free).
+    #[must_use]
+    pub fn history_line(&self, recorded_unix: u64) -> String {
+        let benches = self
+            .benches
+            .iter()
+            .map(|(name, ns)| (name.clone(), JsonValue::from(*ns)))
+            .collect();
+        JsonValue::Object(vec![
+            ("git_rev".to_owned(), JsonValue::from(self.git_rev.clone())),
+            (
+                "recorded_unix".to_owned(),
+                JsonValue::from(recorded_unix as f64),
+            ),
+            ("benches".to_owned(), JsonValue::Object(benches)),
+        ])
+        .render()
+    }
+}
+
+/// One joined row of a baseline/current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionRow {
+    /// Benchmark name (shared key of the two snapshots).
+    pub name: String,
+    /// Baseline median, ns/op.
+    pub baseline_ns: f64,
+    /// Current median, ns/op.
+    pub current_ns: f64,
+    /// Signed slowdown in percent (positive = current is slower).
+    pub delta_pct: f64,
+    /// Whether `delta_pct` exceeded the gate threshold.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing a current snapshot against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionReport {
+    /// The gate threshold, in percent slowdown.
+    pub threshold_pct: f64,
+    /// Rows present in both snapshots, in current-snapshot order.
+    pub rows: Vec<RegressionRow>,
+    /// Names present on only one side (never flagged).
+    pub unmatched: Vec<String>,
+}
+
+impl RegressionReport {
+    /// Joins `current` against `baseline` and flags every row that
+    /// slowed by more than `threshold_pct` percent.
+    #[must_use]
+    pub fn compare(baseline: &BenchSnapshot, current: &BenchSnapshot, threshold_pct: f64) -> Self {
+        let mut rows = Vec::new();
+        let mut unmatched = Vec::new();
+        for (name, current_ns) in &current.benches {
+            match baseline.median_ns(name) {
+                Some(baseline_ns) if baseline_ns > 0.0 => {
+                    let delta_pct = (current_ns - baseline_ns) / baseline_ns * 100.0;
+                    rows.push(RegressionRow {
+                        name: name.clone(),
+                        baseline_ns,
+                        current_ns: *current_ns,
+                        delta_pct,
+                        regressed: delta_pct > threshold_pct,
+                    });
+                }
+                _ => unmatched.push(name.clone()),
+            }
+        }
+        for (name, _) in &baseline.benches {
+            if current.median_ns(name).is_none() {
+                unmatched.push(name.clone());
+            }
+        }
+        Self {
+            threshold_pct,
+            rows,
+            unmatched,
+        }
+    }
+
+    /// The flagged rows (slowdowns past the threshold).
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&RegressionRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+
+    /// Whether the gate passes (no row slowed past the threshold).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// A fixed-width comparison table, worst slowdown first, with flagged
+    /// rows marked `REGRESSED`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut rows: Vec<&RegressionRow> = self.rows.iter().collect();
+        rows.sort_by(|a, b| {
+            b.delta_pct
+                .partial_cmp(&a.delta_pct)
+                .unwrap_or(core::cmp::Ordering::Equal)
+        });
+        let mut out = format!(
+            "{:<42} {:>14} {:>14} {:>9}\n",
+            "bench", "baseline ns", "current ns", "delta"
+        );
+        for row in rows {
+            out.push_str(&format!(
+                "{:<42} {:>14.0} {:>14.0} {:>+8.1}%{}\n",
+                row.name,
+                row.baseline_ns,
+                row.current_ns,
+                row.delta_pct,
+                if row.regressed { "  REGRESSED" } else { "" }
+            ));
+        }
+        for name in &self.unmatched {
+            out.push_str(&format!("{name:<42} (present on one side only)\n"));
+        }
+        out.push_str(&format!(
+            "gate: {} of {} rows regressed past +{:.0}%\n",
+            self.regressions().len(),
+            self.rows.len(),
+            self.threshold_pct
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(rows: &[(&str, f64)]) -> BenchSnapshot {
+        BenchSnapshot {
+            git_rev: "abc1234".to_owned(),
+            benches: rows.iter().map(|&(n, v)| (n.to_owned(), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_bench_report_schema() {
+        let text = r#"{
+            "git_rev": "deadbee",
+            "harness": "bench_report median-of-samples",
+            "benches": {
+                "matvec_20x28": {"median_ns": 120.5, "ops_per_sec": 8298755.2},
+                "sweep_16_cells_threads_1": {"median_ns": 2.0e9, "ops_per_sec": 8.0}
+            }
+        }"#;
+        let snap = BenchSnapshot::parse(text).expect("parses");
+        assert_eq!(snap.git_rev, "deadbee");
+        assert_eq!(snap.benches.len(), 2);
+        assert_eq!(snap.median_ns("matvec_20x28"), Some(120.5));
+        assert_eq!(snap.median_ns("missing"), None);
+        assert!(BenchSnapshot::parse("{}").is_err());
+        assert!(BenchSnapshot::parse("not json").is_err());
+        assert!(BenchSnapshot::parse(r#"{"benches": {"a": {}}}"#).is_err());
+    }
+
+    #[test]
+    fn gate_flags_only_slowdowns_past_threshold() {
+        let base = snapshot(&[("a", 100.0), ("b", 100.0), ("c", 100.0), ("gone", 5.0)]);
+        let curr = snapshot(&[("a", 109.0), ("b", 140.0), ("c", 60.0), ("new", 7.0)]);
+        let report = RegressionReport::compare(&base, &curr, 10.0);
+        assert!(!report.passed());
+        let flagged = report.regressions();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].name, "b");
+        assert!((flagged[0].delta_pct - 40.0).abs() < 1e-9);
+        // Rows on one side only are surfaced, never flagged.
+        assert_eq!(report.unmatched, vec!["new".to_owned(), "gone".to_owned()]);
+        // A 9% slowdown and a speedup both pass at a 10% threshold.
+        assert!(report.rows.iter().any(|r| r.name == "a" && !r.regressed));
+        assert!(report.rows.iter().any(|r| r.name == "c" && !r.regressed));
+        let rendered = report.render();
+        assert!(rendered.contains("REGRESSED"));
+        assert!(rendered.contains("1 of 3 rows"));
+    }
+
+    #[test]
+    fn identical_snapshots_pass_at_zero_threshold() {
+        let base = snapshot(&[("a", 100.0), ("b", 250.0)]);
+        let report = RegressionReport::compare(&base, &base.clone(), 0.0);
+        assert!(report.passed());
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn history_line_is_one_compact_json_object() {
+        let snap = snapshot(&[("a", 100.0)]);
+        let line = snap.history_line(1_700_000_000);
+        assert!(!line.contains('\n'));
+        let parsed = JsonValue::parse(&line).expect("valid JSON");
+        assert_eq!(
+            parsed.get("git_rev").and_then(JsonValue::as_str),
+            Some("abc1234")
+        );
+        assert_eq!(
+            parsed.get("recorded_unix").and_then(JsonValue::as_f64),
+            Some(1_700_000_000.0)
+        );
+        assert_eq!(
+            parsed
+                .get("benches")
+                .and_then(|b| b.get("a"))
+                .and_then(JsonValue::as_f64),
+            Some(100.0)
+        );
+    }
+}

@@ -33,8 +33,12 @@ use origin_core::{
 };
 use origin_nn::Scalar;
 use origin_sensors::UserProfile;
-use origin_telemetry::{JsonValue, MetricsRegistry, RunManifest};
+use origin_telemetry::{
+    JsonValue, JsonlObserver, LedgerAuditReport, LedgerAuditor, MetricsObserver, MetricsRegistry,
+    RunManifest, SpanObserver, Tee,
+};
 use origin_types::UserId;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 // The deterministic fan-out primitive lives in `origin_core` now (model
@@ -266,18 +270,43 @@ pub struct SweepOptions {
     /// Record a per-cell JSONL event trace and metrics snapshot through
     /// the `SimObserver` stack (slower, more memory; results unchanged).
     pub instrument: bool,
+    /// Stream the per-slot energy ledger through each cell's trace and
+    /// audit conservation as the cell runs (implies a per-cell trace,
+    /// like [`SweepOptions::instrument`]; results unchanged).
+    pub ledger: bool,
+    /// Record a logical-time span trace per cell (implies a per-cell
+    /// trace; results unchanged).
+    pub spans: bool,
+    /// Stream cell-completion progress (counts, cells/s, ETA) to stderr.
+    /// Purely cosmetic: the report and manifest stay byte-identical.
+    pub progress: bool,
 }
 
-/// A cell's captured telemetry (present when
-/// [`SweepOptions::instrument`] was set).
+impl SweepOptions {
+    /// Whether any per-cell trace capture is requested.
+    #[must_use]
+    pub fn traced(&self) -> bool {
+        self.instrument || self.ledger || self.spans
+    }
+}
+
+/// A cell's captured telemetry (present when any of
+/// [`SweepOptions::instrument`], [`SweepOptions::ledger`] or
+/// [`SweepOptions::spans`] was set).
 #[derive(Debug, Clone)]
 pub struct CellTrace {
-    /// The JSONL event trace, one event per line.
+    /// The JSONL event trace, one event per line (includes the ledger
+    /// flow lines when [`SweepOptions::ledger`] was set).
     pub jsonl: String,
     /// Total events emitted.
     pub events: u64,
     /// Aggregated metrics from the event stream.
     pub metrics: MetricsRegistry,
+    /// The conservation audit (present when [`SweepOptions::ledger`]).
+    pub audit: Option<LedgerAuditReport>,
+    /// The span trace as JSONL (present when [`SweepOptions::spans`]),
+    /// with ids based at `cell_id << 32` so shards concatenate safely.
+    pub spans: Option<String>,
 }
 
 /// One evaluated cell.
@@ -419,7 +448,9 @@ impl SweepReport {
             .with_config("seeds", grid.seed_count)
             .with_config("users", grid.users.len())
             .with_config("policies", &policy_list)
-            .with_config("cells", self.cells.len());
+            .with_config("cells", self.cells.len())
+            .with_config("cells_total", grid.len())
+            .with_config("cells_completed", self.cells.len());
         for (i, policy) in grid.policies.iter().enumerate() {
             let key = key_label(&policy.label());
             let acc = self.accuracy_aggregate(i);
@@ -429,6 +460,9 @@ impl SweepReport {
                 .with_result(&format!("{key}_accuracy_std"), acc.std.into())
                 .with_result(&format!("{key}_accuracy_ci95"), acc.ci95.into())
                 .with_result(&format!("{key}_completion_mean"), com.mean.into());
+            for (suffix, value) in self.energy_means(i) {
+                manifest = manifest.with_result(&format!("{key}_{suffix}"), value.into());
+            }
         }
         for (i, policy) in grid.policies.iter().enumerate() {
             if policy.is_baseline() {
@@ -472,8 +506,54 @@ impl SweepReport {
             child = child
                 .with_metrics(&trace.metrics)
                 .with_result("events", JsonValue::from(trace.events));
+            if let Some(audit) = &trace.audit {
+                child = child
+                    .with_result("ledger_slots_audited", JsonValue::from(audit.slots_audited))
+                    .with_result("ledger_max_residual_uj", audit.max_residual_uj.into())
+                    .with_result("ledger_conserved", JsonValue::Bool(audit.conserved()));
+            }
+            if let Some(spans) = &trace.spans {
+                child = child.with_result(
+                    "span_records",
+                    JsonValue::from(spans.lines().count() as u64),
+                );
+            }
         }
         child
+    }
+
+    /// Per-arm mean energy flows in µJ, as `(result-key suffix, mean)`
+    /// pairs derived from each cell's [`SimReport::energy_breakdown`].
+    fn energy_means(&self, policy_idx: usize) -> Vec<(&'static str, f64)> {
+        let mean = |f: &dyn Fn(&SimReport) -> f64| {
+            Aggregate::from_values(&self.metric(policy_idx, f)).mean
+        };
+        vec![
+            (
+                "offered_uj_mean",
+                mean(&|r| r.energy_breakdown().offered.as_microjoules()),
+            ),
+            (
+                "harvested_uj_mean",
+                mean(&|r| r.energy_breakdown().harvested.as_microjoules()),
+            ),
+            (
+                "consumed_uj_mean",
+                mean(&|r| r.energy_breakdown().consumed.as_microjoules()),
+            ),
+            (
+                "charge_loss_uj_mean",
+                mean(&|r| r.energy_breakdown().charge_loss.as_microjoules()),
+            ),
+            (
+                "clipped_uj_mean",
+                mean(&|r| r.energy_breakdown().clipped.as_microjoules()),
+            ),
+            (
+                "leaked_uj_mean",
+                mean(&|r| r.energy_breakdown().leaked.as_microjoules()),
+            ),
+        ]
     }
 }
 
@@ -510,16 +590,17 @@ pub fn run_sweep<S: Scalar>(
     let harvest_sim = ctx.simulator();
     let baseline_sim = fully_powered_simulator(Arc::clone(&ctx.models));
     let cells = grid.cells();
-    let outcomes = parallel_map(opts.threads, &cells, |_, cell| {
-        run_cell(
-            ctx,
-            grid,
-            &harvest_sim,
-            &baseline_sim,
-            *cell,
-            opts.instrument,
-        )
-    });
+    let completed = AtomicUsize::new(0);
+    let evaluate = |_: usize, cell: &SweepCell| {
+        let outcome = run_cell(ctx, grid, &harvest_sim, &baseline_sim, *cell, opts);
+        completed.fetch_add(1, Ordering::Relaxed);
+        outcome
+    };
+    let outcomes = if opts.progress {
+        map_with_progress(opts.threads, &cells, &completed, evaluate)
+    } else {
+        parallel_map(opts.threads, &cells, evaluate)
+    };
     let mut results = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         results.push(outcome?);
@@ -530,13 +611,54 @@ pub fn run_sweep<S: Scalar>(
     })
 }
 
+/// [`parallel_map`] with a stderr progress reporter: completed/total cell
+/// counts, throughput and ETA, refreshed a few times a second.
+///
+/// Progress is wall-clock by nature and writes only to stderr; nothing
+/// here can reach the results (the `sweep_determinism` test pins that
+/// contract for the whole engine).
+#[allow(clippy::disallowed_methods)]
+fn map_with_progress<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    completed: &AtomicUsize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    use std::time::{Duration, Instant};
+    let total = items.len();
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let reporter = scope.spawn(|| loop {
+            std::thread::sleep(Duration::from_millis(250));
+            let done = completed.load(Ordering::Relaxed);
+            let secs = started.elapsed().as_secs_f64();
+            let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+            if stop.load(Ordering::Relaxed) || done >= total {
+                eprintln!("sweep: {done}/{total} cells in {secs:.1}s ({rate:.1} cells/s)");
+                break;
+            }
+            if rate > 0.0 {
+                let eta = (total - done) as f64 / rate;
+                eprintln!("sweep: {done}/{total} cells | {rate:.1} cells/s | ETA {eta:.0}s");
+            } else {
+                eprintln!("sweep: {done}/{total} cells");
+            }
+        });
+        let out = parallel_map(threads, items, f);
+        stop.store(true, Ordering::Relaxed);
+        let _ = reporter.join();
+        out
+    })
+}
+
 fn run_cell<S: Scalar>(
     ctx: &ExperimentContext<S>,
     grid: &SweepGrid,
     harvest_sim: &Simulator<S>,
     baseline_sim: &Simulator<S>,
     cell: SweepCell,
-    instrument: bool,
+    opts: &SweepOptions,
 ) -> Result<SweepCellResult, CoreError> {
     let policy = grid.policies[cell.policy_idx];
     let user = grid.users[cell.user_idx as usize];
@@ -554,24 +676,41 @@ fn run_cell<S: Scalar>(
             baseline_sim
         }
     };
-    if instrument {
-        let run = crate::run_instrumented(sim, &config)?;
-        Ok(SweepCellResult {
-            cell,
-            report: run.report,
-            trace: Some(CellTrace {
-                jsonl: run.jsonl,
-                events: run.events,
-                metrics: run.metrics,
-            }),
-        })
-    } else {
-        Ok(SweepCellResult {
+    if !opts.traced() {
+        return Ok(SweepCellResult {
             cell,
             report: sim.run(&config)?,
             trace: None,
-        })
+        });
     }
+    // One statically-dispatched stack: the JSONL/metrics pair is always
+    // present on a traced run, while the auditor and span recorder are
+    // `Option` observers that stay inert (and keep `wants_ledger` false)
+    // when their features are off.
+    let auditor = opts.ledger.then(LedgerAuditor::default);
+    let spans = opts.spans.then(|| {
+        SpanObserver::for_cell(&format!("cell_{:04} {}", cell.id, policy.label()))
+            .with_id_base((cell.id as u64) << 32)
+    });
+    let mut observer = Tee(
+        Tee(JsonlObserver::new(Vec::new()), MetricsObserver::new()),
+        Tee(auditor, spans),
+    );
+    let report = sim.run_observed(&config, &mut observer)?;
+    let Tee(Tee(jsonl, metrics), Tee(auditor, spans)) = observer;
+    let events = jsonl.events_written();
+    let bytes = jsonl.finish().expect("Vec<u8> writes are infallible");
+    Ok(SweepCellResult {
+        cell,
+        report,
+        trace: Some(CellTrace {
+            jsonl: String::from_utf8(bytes).expect("JSON output is UTF-8"),
+            events,
+            metrics: metrics.into_metrics(),
+            audit: auditor.map(LedgerAuditor::into_report),
+            spans: spans.map(|mut s| s.to_jsonl()),
+        }),
+    })
 }
 
 #[cfg(test)]
@@ -682,6 +821,9 @@ mod tests {
             &SweepOptions {
                 threads: 2,
                 instrument: true,
+                ledger: true,
+                spans: true,
+                ..SweepOptions::default()
             },
         )
         .expect("sweep succeeds");
@@ -694,6 +836,11 @@ mod tests {
         for cell in &report.cells {
             let trace = cell.trace.as_ref().expect("instrumented");
             assert_eq!(trace.jsonl.lines().count() as u64, trace.events);
+            let audit = trace.audit.as_ref().expect("ledger audit captured");
+            assert!(audit.slots_audited > 0);
+            assert!(audit.conserved(), "residual {}", audit.max_residual_uj);
+            let spans = trace.spans.as_ref().expect("span trace captured");
+            assert!(spans.lines().count() > 0);
         }
         let manifest = report.to_manifest("sweep_test");
         assert_eq!(manifest.children.len(), 4);
@@ -703,5 +850,13 @@ mod tests {
             .results
             .iter()
             .any(|(k, _)| k == "rr12_origin_win_rate_vs_bl_2"));
+        assert!(parsed
+            .results
+            .iter()
+            .any(|(k, _)| k == "rr12_origin_harvested_uj_mean"));
+        assert!(parsed
+            .children
+            .iter()
+            .all(|c| c.results.iter().any(|(k, _)| k == "ledger_conserved")));
     }
 }

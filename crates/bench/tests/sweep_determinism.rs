@@ -38,6 +38,11 @@ fn run(ctx: &ExperimentContext, threads: usize) -> SweepReport {
         &SweepOptions {
             threads,
             instrument: true,
+            ledger: true,
+            spans: true,
+            // Progress streams to stderr only; leaving it on here pins
+            // the claim that it cannot perturb the results.
+            progress: true,
         },
     )
     .expect("sweep succeeds")
@@ -64,6 +69,18 @@ fn one_thread_and_eight_threads_agree_bitwise() {
         let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
         assert_eq!(ta.jsonl, tb.jsonl, "trace diverged in cell {}", a.cell.id);
         assert_eq!(ta.events, tb.events);
+        // The ledger stream and its audit are part of the contract too:
+        // identical flows, residuals and span traces at any width.
+        assert_eq!(ta.audit, tb.audit, "audit diverged in cell {}", a.cell.id);
+        assert_eq!(ta.spans, tb.spans, "spans diverged in cell {}", a.cell.id);
+        let audit = ta.audit.as_ref().unwrap();
+        assert!(audit.slots_audited > 0);
+        assert!(
+            audit.conserved(),
+            "cell {} residual {}",
+            a.cell.id,
+            audit.max_residual_uj
+        );
     }
 
     // And the aggregates the binaries print.

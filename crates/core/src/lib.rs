@@ -71,4 +71,4 @@ pub use policy::{PolicyKind, PolicyState};
 pub use rank::RankTable;
 pub use recall::{RecallEntry, RecallStore};
 pub use schedule::{SlotKind, Slots};
-pub use sim::{SimConfig, SimReport, Simulator};
+pub use sim::{EnergyBreakdown, SimConfig, SimReport, Simulator};

@@ -11,13 +11,13 @@ use crate::error::CoreError;
 use crate::host::HostDevice;
 use crate::models::{ModelBank, ModelVariant};
 use crate::policy::{PolicyKind, PolicyState};
-use origin_energy::{DutyState, EnergyNode, NodeCounters};
+use origin_energy::{AdvanceFlows, DutyState, EnergyNode, NodeCounters};
 use origin_net::{Endpoint, Message, MessageBus};
 use origin_nn::{ConfusionMatrix, Scalar, Workspace};
 use origin_sensors::{
     add_noise_snr, sample_window, window_features, ActivityTimeline, TimelineConfig, UserProfile,
 };
-use origin_telemetry::{NoopObserver, SimEvent, SimObserver};
+use origin_telemetry::{DrawOp, LedgerEntry, NoopObserver, SimEvent, SimObserver};
 use origin_types::{ActivitySet, Energy, NodeId, SensorLocation, SimDuration, SimTime, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -177,7 +177,41 @@ pub struct SimReport {
     pub final_confidence: ConfidenceMatrix,
 }
 
+/// Whole-run energy totals summed over nodes, in the energy ledger's
+/// flow terms: `offered = harvested + charge_loss + clipped`, and the
+/// stored delta over the run is `harvested − consumed − leaked`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Energy offered by the harvester front-ends (pre-efficiency).
+    pub offered: Energy,
+    /// Energy actually stored into the capacitors.
+    pub harvested: Energy,
+    /// Energy drawn for duties, inference, radio and checkpoints.
+    pub consumed: Energy,
+    /// Energy lost to imperfect charge efficiency.
+    pub charge_loss: Energy,
+    /// Post-efficiency energy rejected at capacity.
+    pub clipped: Energy,
+    /// Capacitor self-discharge.
+    pub leaked: Energy,
+}
+
 impl SimReport {
+    /// Whole-run energy totals summed over the final node counters.
+    #[must_use]
+    pub fn energy_breakdown(&self) -> EnergyBreakdown {
+        let mut total = EnergyBreakdown::default();
+        for c in &self.node_counters {
+            total.offered += c.offered;
+            total.harvested += c.harvested;
+            total.consumed += c.consumed;
+            total.charge_loss += c.charge_loss;
+            total.clipped += c.clipped;
+            total.leaked += c.leaked;
+        }
+        total
+    }
+
     /// Overall top-1 accuracy; windows without output count as wrong.
     #[must_use]
     pub fn accuracy(&self) -> f64 {
@@ -344,6 +378,13 @@ impl<S: Scalar> Simulator<S> {
     /// report identical to [`Simulator::run`] on the same config
     /// (`tests/telemetry.rs` pins this byte-for-byte).
     ///
+    /// When `observer` answers `true` to [`SimObserver::wants_ledger`]
+    /// (e.g. a [`origin_telemetry::LedgerAuditor`] or any observer behind
+    /// [`origin_telemetry::WithLedger`]), the run additionally emits the
+    /// per-node, per-slot energy-ledger flow stream
+    /// ([`SimEvent::Ledger`]); the flag is read once at run start, so it
+    /// must be constant.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::BadCycle`] for an invalid ER-r cycle.
@@ -418,6 +459,21 @@ impl<S: Scalar> Simulator<S> {
             final_confidence: host.confidence().clone(),
         };
 
+        // Hoisted once per run: `wants_ledger` must answer constantly, so
+        // the uninstrumented path never pays for flow decomposition.
+        let ledger = observer.wants_ledger();
+        if ledger {
+            for (n, node) in nodes.iter().enumerate() {
+                observer.on_event(&SimEvent::Ledger {
+                    window: 0,
+                    node: NodeId::new(n as u32),
+                    entry: LedgerEntry::Opening {
+                        stored_uj: node.stored().as_microjoules(),
+                    },
+                });
+            }
+        }
+
         for w in 0..windows_total {
             let t0 = SimTime::from_micros(w * window.as_micros());
             let t1 = t0 + window;
@@ -461,7 +517,12 @@ impl<S: Scalar> Simulator<S> {
                     anticipated: truth, // payload only; content is opaque here
                 };
                 let bytes = frame.wire_size();
-                let _ = nodes[from.as_usize()].pay(self.deployment.costs().tx_cost(bytes));
+                let tx_cost = self.deployment.costs().tx_cost(bytes);
+                let paid = nodes[from.as_usize()].pay(tx_cost);
+                if ledger {
+                    let uj = if paid { tx_cost.as_microjoules() } else { 0.0 };
+                    emit_drawn(observer, w, from, DrawOp::RadioTx, uj);
+                }
                 bus.send_observed(
                     Endpoint::Node(from),
                     Endpoint::Node(to),
@@ -489,6 +550,9 @@ impl<S: Scalar> Simulator<S> {
                     harvested_uj: (node.counters().harvested - before.harvested).as_microjoules(),
                     stored_uj: node.stored().as_microjoules(),
                 });
+                if ledger {
+                    emit_advance_ledger(observer, w, NodeId::new(n as u32), node.last_advance());
+                }
             }
 
             // Inference attempts.
@@ -516,7 +580,8 @@ impl<S: Scalar> Simulator<S> {
                 }
                 let before = nodes[n].counters();
                 if !nodes[n].attempt_window(infer_cost[n]) {
-                    if nodes[n].counters().suspended > before.suspended {
+                    let suspended = nodes[n].counters().suspended > before.suspended;
+                    if suspended {
                         observer.on_event(&SimEvent::NvpCheckpoint {
                             window: w,
                             node: attempter,
@@ -527,7 +592,20 @@ impl<S: Scalar> Simulator<S> {
                         node: attempter,
                         sensed: true,
                     });
+                    if ledger {
+                        let uj = (nodes[n].counters().consumed - before.consumed).as_microjoules();
+                        let op = if suspended {
+                            DrawOp::Checkpoint
+                        } else {
+                            DrawOp::Lost
+                        };
+                        emit_drawn(observer, w, attempter, op, uj);
+                    }
                     continue;
+                }
+                if ledger {
+                    let uj = (nodes[n].counters().consumed - before.consumed).as_microjoules();
+                    emit_drawn(observer, w, attempter, DrawOp::Infer, uj);
                 }
                 completions_this += 1;
                 report.completions += 1;
@@ -558,7 +636,12 @@ impl<S: Scalar> Simulator<S> {
                     confidence: classification.confidence,
                 };
                 let bytes = frame.wire_size();
-                let _ = nodes[n].pay(self.deployment.costs().tx_cost(bytes));
+                let tx_cost = self.deployment.costs().tx_cost(bytes);
+                let paid = nodes[n].pay(tx_cost);
+                if ledger {
+                    let uj = if paid { tx_cost.as_microjoules() } else { 0.0 };
+                    emit_drawn(observer, w, attempter, DrawOp::RadioTx, uj);
+                }
                 bus.send_observed(
                     Endpoint::Node(attempter),
                     Endpoint::Host,
@@ -593,9 +676,29 @@ impl<S: Scalar> Simulator<S> {
             }
             // Nodes receive activation signals (pay the rx cost).
             for (n, node) in nodes.iter_mut().enumerate() {
-                for frame in bus.poll(Endpoint::Node(NodeId::new(n as u32)), t1) {
+                let id = NodeId::new(n as u32);
+                for frame in bus.poll(Endpoint::Node(id), t1) {
                     let bytes = frame.message.wire_size();
-                    let _ = node.pay(self.deployment.costs().rx_cost(bytes));
+                    let rx_cost = self.deployment.costs().rx_cost(bytes);
+                    let paid = node.pay(rx_cost);
+                    if ledger {
+                        let uj = if paid { rx_cost.as_microjoules() } else { 0.0 };
+                        emit_drawn(observer, w, id, DrawOp::RadioRx, uj);
+                    }
+                }
+            }
+
+            // All energy movement for this window is done: close the
+            // ledger slot on every node (scoring below draws nothing).
+            if ledger {
+                for (n, node) in nodes.iter().enumerate() {
+                    observer.on_event(&SimEvent::Ledger {
+                        window: w,
+                        node: NodeId::new(n as u32),
+                        entry: LedgerEntry::SlotClose {
+                            stored_uj: node.stored().as_microjoules(),
+                        },
+                    });
                 }
             }
 
@@ -622,6 +725,67 @@ impl<S: Scalar> Simulator<S> {
         report.final_confidence = host.confidence().clone();
         Ok(report)
     }
+}
+
+/// Emits the harvest-side ledger flows of one [`EnergyNode::advance`]
+/// call: `Harvested` (offered), `ChargeLoss`, `Clipped`, the duty
+/// `Drawn` and `Leaked`, in that fixed order.
+///
+/// Declared under `[hot-paths]` in `lint-allow.toml`: with the ledger
+/// enabled this runs once per node per window and must stay
+/// allocation-free.
+fn emit_advance_ledger<O: SimObserver>(
+    observer: &mut O,
+    window: u64,
+    node: NodeId,
+    flows: AdvanceFlows,
+) {
+    observer.on_event(&SimEvent::Ledger {
+        window,
+        node,
+        entry: LedgerEntry::Harvested {
+            uj: flows.offered.as_microjoules(),
+        },
+    });
+    observer.on_event(&SimEvent::Ledger {
+        window,
+        node,
+        entry: LedgerEntry::ChargeLoss {
+            uj: flows.charge_loss.as_microjoules(),
+        },
+    });
+    observer.on_event(&SimEvent::Ledger {
+        window,
+        node,
+        entry: LedgerEntry::Clipped {
+            uj: flows.clipped.as_microjoules(),
+        },
+    });
+    observer.on_event(&SimEvent::Ledger {
+        window,
+        node,
+        entry: LedgerEntry::Drawn {
+            op: DrawOp::Duty,
+            uj: flows.duty_drawn.as_microjoules(),
+        },
+    });
+    observer.on_event(&SimEvent::Ledger {
+        window,
+        node,
+        entry: LedgerEntry::Leaked {
+            uj: flows.leaked.as_microjoules(),
+        },
+    });
+}
+
+/// Emits one `Drawn` ledger entry. Declared under `[hot-paths]` in
+/// `lint-allow.toml` alongside [`emit_advance_ledger`].
+fn emit_drawn<O: SimObserver>(observer: &mut O, window: u64, node: NodeId, op: DrawOp, uj: f64) {
+    observer.on_event(&SimEvent::Ledger {
+        window,
+        node,
+        entry: LedgerEntry::Drawn { op, uj },
+    });
 }
 
 #[cfg(test)]
@@ -727,6 +891,45 @@ mod tests {
         // The other two still work.
         let others: u64 = report.node_counters[0].completed + report.node_counters[2].completed;
         assert_eq!(report.completions, others);
+    }
+
+    #[test]
+    fn ledger_conserves_energy_and_matches_breakdown() {
+        let sim = quick_sim();
+        let mut auditor = origin_telemetry::LedgerAuditor::default();
+        let report = sim
+            .run_observed(&short(PolicyKind::Origin { cycle: 12 }), &mut auditor)
+            .unwrap();
+        let audit = auditor.into_report();
+        assert!(audit.slots_audited > 0);
+        assert!(
+            audit.conserved(),
+            "max residual {} over {} slots ({} violations)",
+            audit.max_residual_uj,
+            audit.slots_audited,
+            audit.violations.len()
+        );
+        // The streamed flows must agree with the report's counters.
+        let breakdown = report.energy_breakdown();
+        assert!((audit.harvested_uj - breakdown.offered.as_microjoules()).abs() < 1e-6);
+        assert!((audit.drawn_uj - breakdown.consumed.as_microjoules()).abs() < 1e-6);
+        assert!((audit.leaked_uj - breakdown.leaked.as_microjoules()).abs() < 1e-6);
+        assert!((audit.clipped_uj - breakdown.clipped.as_microjoules()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_breakdown_splits_offered_energy() {
+        let sim = quick_sim();
+        let report = sim.run(&short(PolicyKind::NaiveAllOn)).unwrap();
+        let b = report.energy_breakdown();
+        assert!(b.offered > Energy::ZERO);
+        let split = b.harvested + b.charge_loss + b.clipped;
+        assert!(
+            (split.as_microjoules() - b.offered.as_microjoules()).abs() < 1e-6,
+            "offered {} != split {}",
+            b.offered,
+            split
+        );
     }
 
     #[test]

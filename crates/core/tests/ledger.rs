@@ -1,0 +1,221 @@
+//! Energy-ledger integration: per-slot conservation on every driver
+//! configuration, exact event accounting against the report's own
+//! counters, and the zero-perturbation guarantee of the ledger path.
+
+use origin_core::{Deployment, ModelBank, PolicyKind, SimConfig, Simulator};
+use origin_sensors::DatasetSpec;
+use origin_telemetry::{
+    DrawOp, LedgerAuditor, LedgerEntry, RecordingObserver, SimEvent, WithLedger,
+};
+use origin_types::{NodeId, SimDuration};
+
+fn quick_models() -> ModelBank {
+    let spec = DatasetSpec::mhealth_like().with_windows(10, 6);
+    ModelBank::<f64>::train(&spec, 21).expect("training succeeds")
+}
+
+fn quick_sim() -> Simulator {
+    Simulator::new(Deployment::builder().seed(21).build(), quick_models())
+}
+
+fn short(policy: PolicyKind) -> SimConfig {
+    SimConfig::new(policy)
+        .with_horizon(SimDuration::from_secs(300))
+        .with_seed(5)
+}
+
+fn audit(sim: &Simulator, cfg: &SimConfig) -> origin_telemetry::LedgerAuditReport {
+    let mut auditor = LedgerAuditor::default();
+    let report = sim.run_observed(cfg, &mut auditor).expect("run succeeds");
+    let audit = auditor.into_report();
+    assert_eq!(
+        audit.slots_audited,
+        report.windows * report.node_counters.len() as u64,
+        "every node-window closes exactly one audited slot"
+    );
+    assert!(
+        audit.conserved(),
+        "{}: {} violation(s), max residual {} uJ",
+        report.policy_label,
+        audit.violations.len(),
+        audit.max_residual_uj
+    );
+    audit
+}
+
+/// Conservation holds on every policy the paper evaluates, at the
+/// default 1e-9 µJ tolerance.
+#[test]
+fn ledger_conserves_on_every_policy() {
+    let sim = quick_sim();
+    for policy in [
+        PolicyKind::NaiveAllOn,
+        PolicyKind::RoundRobin { cycle: 3 },
+        PolicyKind::RoundRobin { cycle: 12 },
+        PolicyKind::Aas { cycle: 6 },
+        PolicyKind::Aasr { cycle: 12 },
+        PolicyKind::Origin { cycle: 12 },
+    ] {
+        let report = audit(&sim, &short(policy));
+        assert!(report.harvested_uj > 0.0);
+        assert!(report.drawn_uj > 0.0);
+    }
+}
+
+/// Conservation also holds on the ablation drivers: volatile CPU,
+/// steady supply, disabled nodes, sensor noise, oracle anticipation.
+#[test]
+fn ledger_conserves_on_ablation_drivers() {
+    let models = quick_models();
+    let volatile = Simulator::new(
+        Deployment::builder().seed(21).volatile_cpu().build(),
+        models.clone(),
+    );
+    audit(&volatile, &short(PolicyKind::NaiveAllOn));
+
+    let steady = Simulator::new(
+        Deployment::builder().seed(21).fully_powered().build(),
+        models.clone(),
+    );
+    let report = audit(&steady, &short(PolicyKind::NaiveAllOn));
+    assert!(report.harvested_uj > 0.0, "steady supply still flows");
+
+    let harvesting = Simulator::new(Deployment::builder().seed(21).build(), models);
+    audit(
+        &harvesting,
+        &short(PolicyKind::Origin { cycle: 12 }).with_disabled_nodes([NodeId::new(1)]),
+    );
+    audit(
+        &harvesting,
+        &short(PolicyKind::Origin { cycle: 12 }).with_noise_snr(10.0),
+    );
+    audit(
+        &harvesting,
+        &short(PolicyKind::Origin { cycle: 12 }).with_oracle_anticipation(),
+    );
+}
+
+/// The ledger stream has an exact shape: fixed per-node-per-window
+/// flows plus one `Drawn` entry per attempt outcome.
+#[test]
+fn ledger_event_counts_are_exact() {
+    let sim = quick_sim();
+    let cfg = short(PolicyKind::Origin { cycle: 12 });
+    let mut observer = WithLedger(RecordingObserver::new());
+    let report = sim.run_observed(&cfg, &mut observer).expect("run succeeds");
+
+    let nodes = report.node_counters.len() as u64;
+    let count = |f: &dyn Fn(&LedgerEntry) -> bool| {
+        observer
+            .0
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::Ledger { entry, .. } if f(entry)))
+            .count() as u64
+    };
+    assert_eq!(count(&|e| matches!(e, LedgerEntry::Opening { .. })), nodes);
+    let per_slot = report.windows * nodes;
+    assert_eq!(
+        count(&|e| matches!(e, LedgerEntry::Harvested { .. })),
+        per_slot
+    );
+    assert_eq!(
+        count(&|e| matches!(e, LedgerEntry::ChargeLoss { .. })),
+        per_slot
+    );
+    assert_eq!(
+        count(&|e| matches!(e, LedgerEntry::Clipped { .. })),
+        per_slot
+    );
+    assert_eq!(
+        count(&|e| matches!(e, LedgerEntry::Leaked { .. })),
+        per_slot
+    );
+    assert_eq!(
+        count(&|e| matches!(e, LedgerEntry::SlotClose { .. })),
+        per_slot
+    );
+    assert_eq!(
+        count(&|e| matches!(
+            e,
+            LedgerEntry::Drawn {
+                op: DrawOp::Duty,
+                ..
+            }
+        )),
+        per_slot,
+        "the duty draw is unconditional"
+    );
+    assert_eq!(
+        count(&|e| matches!(
+            e,
+            LedgerEntry::Drawn {
+                op: DrawOp::Infer,
+                ..
+            }
+        )),
+        report.completions
+    );
+    assert_eq!(
+        count(&|e| matches!(
+            e,
+            LedgerEntry::Drawn {
+                op: DrawOp::Checkpoint | DrawOp::Lost,
+                ..
+            }
+        )),
+        report.attempts - report.completions,
+        "every failed attempt draws exactly once"
+    );
+}
+
+/// Turning the ledger on cannot change the simulation: the report is
+/// byte-identical to an unobserved run (the PR 1 zero-perturbation
+/// guarantee extended to the ledger-enabled path).
+#[test]
+fn ledger_emission_does_not_perturb_the_simulation() {
+    let sim = quick_sim();
+    for policy in [
+        PolicyKind::NaiveAllOn,
+        PolicyKind::RoundRobin { cycle: 6 },
+        PolicyKind::Origin { cycle: 12 },
+    ] {
+        let cfg = short(policy);
+        let plain = sim.run(&cfg).expect("run succeeds");
+        let mut observer = WithLedger(RecordingObserver::new());
+        let observed = sim.run_observed(&cfg, &mut observer).expect("run succeeds");
+        assert!(observer
+            .0
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::Ledger { .. })));
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{observed:?}"),
+            "{policy:?}: ledger emission changed the simulation outcome"
+        );
+    }
+}
+
+/// The audit totals agree with the report's own energy breakdown
+/// (two independent accountings of the same run).
+#[test]
+fn audit_totals_match_the_report_breakdown() {
+    let sim = quick_sim();
+    let cfg = short(PolicyKind::Origin { cycle: 12 });
+    let mut auditor = LedgerAuditor::default();
+    let report = sim.run_observed(&cfg, &mut auditor).expect("run succeeds");
+    let audit = auditor.into_report();
+    let breakdown = report.energy_breakdown();
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-6;
+    assert!(close(
+        audit.harvested_uj,
+        breakdown.offered.as_microjoules()
+    ));
+    assert!(close(
+        audit.charge_loss_uj,
+        breakdown.charge_loss.as_microjoules()
+    ));
+    assert!(close(audit.clipped_uj, breakdown.clipped.as_microjoules()));
+    assert!(close(audit.leaked_uj, breakdown.leaked.as_microjoules()));
+}

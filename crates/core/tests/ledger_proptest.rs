@@ -1,0 +1,67 @@
+//! Property test: ledger conservation holds on randomly drawn
+//! (policy × seed × user) cells, not just the hand-picked configs of
+//! `tests/ledger.rs`.
+
+use origin_core::{Deployment, ModelBank, PolicyKind, SimConfig, Simulator};
+use origin_sensors::{DatasetSpec, UserProfile};
+use origin_telemetry::LedgerAuditor;
+use origin_types::{SimDuration, UserId};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One trained simulator shared across all proptest cases (training
+/// dominates the runtime; the cases only vary the run config).
+fn shared_sim() -> &'static Simulator {
+    static SIM: OnceLock<Simulator> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let spec = DatasetSpec::mhealth_like().with_windows(10, 6);
+        let models = ModelBank::<f64>::train(&spec, 21).expect("training succeeds");
+        Simulator::new(Deployment::builder().seed(21).build(), models)
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    (0usize..5, prop_oneof![Just(3u8), Just(6), Just(12)]).prop_map(|(kind, cycle)| match kind {
+        0 => PolicyKind::NaiveAllOn,
+        1 => PolicyKind::RoundRobin { cycle },
+        2 => PolicyKind::Aas { cycle },
+        3 => PolicyKind::Aasr { cycle },
+        _ => PolicyKind::Origin { cycle },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every slot of every random cell balances within 1e-9 µJ.
+    #[test]
+    fn random_cells_conserve_energy(
+        policy in arb_policy(),
+        seed in 0u64..1_000,
+        user_seed in 0u64..1_000,
+        spread in 0.0f64..0.3,
+    ) {
+        let cfg = SimConfig::new(policy)
+            .with_horizon(SimDuration::from_secs(120))
+            .with_seed(seed)
+            .with_user(UserProfile::sampled(UserId::new(0), spread, user_seed));
+        let mut auditor = LedgerAuditor::default();
+        let report = shared_sim()
+            .run_observed(&cfg, &mut auditor)
+            .expect("run succeeds");
+        let audit = auditor.into_report();
+        prop_assert_eq!(
+            audit.slots_audited,
+            report.windows * report.node_counters.len() as u64
+        );
+        prop_assert!(
+            audit.conserved(),
+            "{:?} seed {} user {} spread {}: max residual {} uJ",
+            policy,
+            seed,
+            user_seed,
+            spread,
+            audit.max_residual_uj
+        );
+    }
+}

@@ -27,6 +27,22 @@ pub struct Capacitor {
     leakage: Power,
 }
 
+/// Decomposition of one [`Capacitor::charge_accounted`] call into ledger
+/// flows. The identity `offered = stored_gain + charge_loss + clipped`
+/// holds to within a few ulps — it is exactly what the energy-ledger
+/// audit (`origin-telemetry`) checks per slot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChargeFlows {
+    /// Non-negative energy offered to the capacitor (pre-efficiency).
+    pub offered: Energy,
+    /// Energy actually added to the store.
+    pub stored_gain: Energy,
+    /// Energy lost to imperfect charge efficiency.
+    pub charge_loss: Energy,
+    /// Post-efficiency energy rejected at capacity (front-end shunt).
+    pub clipped: Energy,
+}
+
 impl Capacitor {
     /// A capacitor of the given capacity, starting empty, with ideal
     /// charging and a small default leakage (0.5 µW).
@@ -99,10 +115,24 @@ impl Capacitor {
     /// Adds harvested energy (after charge efficiency), clipping at
     /// capacity. Returns the energy actually stored.
     pub fn charge(&mut self, incoming: Energy) -> Energy {
-        let effective = incoming.clamp_non_negative() * self.charge_efficiency;
+        self.charge_accounted(incoming).stored_gain
+    }
+
+    /// [`Capacitor::charge`] with a full flow decomposition for the energy
+    /// ledger. The stored-energy arithmetic is the identical expression
+    /// sequence, so instrumented and plain runs stay byte-for-byte equal.
+    pub fn charge_accounted(&mut self, incoming: Energy) -> ChargeFlows {
+        let offered = incoming.clamp_non_negative();
+        let effective = offered * self.charge_efficiency;
         let before = self.stored;
         self.stored = (self.stored + effective).min(self.capacity);
-        self.stored - before
+        let stored_gain = self.stored - before;
+        ChargeFlows {
+            offered,
+            stored_gain,
+            charge_loss: offered - effective,
+            clipped: effective - stored_gain,
+        }
     }
 
     /// Draws `amount` if fully available; returns whether the draw
@@ -129,7 +159,15 @@ impl Capacitor {
 
     /// Applies self-discharge over `span`.
     pub fn leak(&mut self, span: SimDuration) {
+        let _ = self.leak_accounted(span);
+    }
+
+    /// [`Capacitor::leak`] returning the energy actually lost (leakage is
+    /// floored at an empty store, so the loss can be below `leakage × span`).
+    pub fn leak_accounted(&mut self, span: SimDuration) -> Energy {
+        let before = self.stored;
         self.stored = (self.stored - self.leakage.over(span)).clamp_non_negative();
+        before - self.stored
     }
 }
 
@@ -200,6 +238,35 @@ mod tests {
         let stored = cap.charge(uj(5.0) - uj(9.0));
         assert_eq!(stored, Energy::ZERO);
         assert_eq!(cap.stored(), uj(10.0));
+    }
+
+    #[test]
+    fn charge_accounted_decomposes_losses() {
+        let mut cap = Capacitor::new(uj(100.0))
+            .with_charge_efficiency(0.5)
+            .with_initial_charge(uj(90.0));
+        // 40 offered -> 20 effective, only 10 fits: 20 loss + 10 clipped.
+        let flows = cap.charge_accounted(uj(40.0));
+        assert_eq!(flows.offered, uj(40.0));
+        assert_eq!(flows.stored_gain, uj(10.0));
+        assert_eq!(flows.charge_loss, uj(20.0));
+        assert_eq!(flows.clipped, uj(10.0));
+        let total = flows.stored_gain + flows.charge_loss + flows.clipped;
+        assert!((total.as_microjoules() - 40.0).abs() < 1e-12);
+        assert_eq!(cap.stored(), uj(100.0));
+    }
+
+    #[test]
+    fn leak_accounted_reports_floored_loss() {
+        let mut cap = Capacitor::new(uj(100.0))
+            .with_initial_charge(uj(3.0))
+            .with_leakage(Power::from_microwatts(2.0));
+        let lost = cap.leak_accounted(SimDuration::from_secs(1));
+        assert!((lost.as_microjoules() - 2.0).abs() < 1e-12);
+        // Only 1 µJ remains; a long span loses exactly that, not 2 µJ.
+        let lost = cap.leak_accounted(SimDuration::from_secs(1));
+        assert!((lost.as_microjoules() - 1.0).abs() < 1e-12);
+        assert_eq!(cap.stored(), Energy::ZERO);
     }
 
     #[test]

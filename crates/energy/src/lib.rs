@@ -44,8 +44,8 @@ mod harvester;
 mod node;
 mod nvp;
 
-pub use capacitor::Capacitor;
+pub use capacitor::{Capacitor, ChargeFlows};
 pub use costs::{DutyState, EnergyCostTable};
 pub use harvester::Harvester;
-pub use node::{AttemptOutcome, EnergyNode, NodeCounters};
+pub use node::{AdvanceFlows, AttemptOutcome, EnergyNode, NodeCounters};
 pub use nvp::{InferenceJob, Nvp};

@@ -1,6 +1,6 @@
 //! The per-node energy state machine stepped by the simulator.
 
-use crate::capacitor::Capacitor;
+use crate::capacitor::{Capacitor, ChargeFlows};
 use crate::costs::{DutyState, EnergyCostTable};
 use crate::harvester::Harvester;
 use crate::nvp::{InferenceJob, Nvp};
@@ -46,6 +46,14 @@ pub struct NodeCounters {
     pub harvested: Energy,
     /// Total energy drawn for duties, inference, radio, checkpoints.
     pub consumed: Energy,
+    /// Total energy offered by the harvester front-end (pre-efficiency).
+    pub offered: Energy,
+    /// Total energy lost to imperfect charge efficiency.
+    pub charge_loss: Energy,
+    /// Total post-efficiency energy rejected at capacity.
+    pub clipped: Energy,
+    /// Total self-discharge leakage out of the capacitor.
+    pub leaked: Energy,
 }
 
 impl NodeCounters {
@@ -59,6 +67,27 @@ impl NodeCounters {
     pub fn mean_consumed_power(&self, span: origin_types::SimDuration) -> origin_types::Power {
         self.consumed.average_power(span)
     }
+}
+
+/// Energy-flow decomposition of the most recent [`EnergyNode::advance`]
+/// call, in the terms the energy ledger audits: the harvest split
+/// (offered = gain + charge loss + clipped), the duty draw and the slot
+/// leakage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdvanceFlows {
+    /// Energy offered by the harvester front-end (pre-efficiency).
+    pub offered: Energy,
+    /// Energy actually stored into the capacitor.
+    pub stored_gain: Energy,
+    /// Energy lost to imperfect charge efficiency.
+    pub charge_loss: Energy,
+    /// Post-efficiency energy rejected at capacity.
+    pub clipped: Energy,
+    /// Self-discharge over the advanced span.
+    pub leaked: Energy,
+    /// Energy drawn for the duty state (full cost, or the brownout
+    /// remainder).
+    pub duty_drawn: Energy,
 }
 
 /// One sensor node's complete energy model: harvester → capacitor → loads.
@@ -75,6 +104,7 @@ pub struct EnergyNode<S> {
     job: Option<InferenceJob>,
     job_resumed: bool,
     counters: NodeCounters,
+    last_advance: AdvanceFlows,
 }
 
 impl<S: PowerSource> EnergyNode<S> {
@@ -94,6 +124,7 @@ impl<S: PowerSource> EnergyNode<S> {
             job: None,
             job_resumed: false,
             counters: NodeCounters::default(),
+            last_advance: AdvanceFlows::default(),
         }
     }
 
@@ -121,6 +152,13 @@ impl<S: PowerSource> EnergyNode<S> {
         self.counters
     }
 
+    /// Energy-flow decomposition of the most recent
+    /// [`EnergyNode::advance`] call (all zero before the first call).
+    #[must_use]
+    pub fn last_advance(&self) -> AdvanceFlows {
+        self.last_advance
+    }
+
     /// Whether a checkpointed partial inference is pending.
     #[must_use]
     pub fn has_pending_job(&self) -> bool {
@@ -139,19 +177,40 @@ impl<S: PowerSource> EnergyNode<S> {
     /// window).
     pub fn advance(&mut self, from: SimTime, to: SimTime, duty: DutyState) -> bool {
         let harvested = self.harvester.harvest_between(from, to);
-        self.counters.harvested += self.capacitor.charge(harvested);
+        let ChargeFlows {
+            offered,
+            stored_gain,
+            charge_loss,
+            clipped,
+        } = self.capacitor.charge_accounted(harvested);
+        self.counters.harvested += stored_gain;
         let duty_cost = self.costs.duty_cost(duty);
         let paid = self.capacitor.try_draw(duty_cost);
-        if paid {
-            self.counters.consumed += duty_cost;
+        let duty_drawn = if paid {
+            duty_cost
         } else {
             // Brownout: the duty consumes whatever is left.
-            self.counters.consumed += self.capacitor.draw_up_to(duty_cost);
             self.counters.brownouts += 1;
-        }
-        if to > from {
-            self.capacitor.leak(to - from);
-        }
+            self.capacitor.draw_up_to(duty_cost)
+        };
+        self.counters.consumed += duty_drawn;
+        let leaked = if to > from {
+            self.capacitor.leak_accounted(to - from)
+        } else {
+            Energy::ZERO
+        };
+        self.counters.offered += offered;
+        self.counters.charge_loss += charge_loss;
+        self.counters.clipped += clipped;
+        self.counters.leaked += leaked;
+        self.last_advance = AdvanceFlows {
+            offered,
+            stored_gain,
+            charge_loss,
+            clipped,
+            leaked,
+            duty_drawn,
+        };
         paid
     }
 
@@ -307,6 +366,30 @@ mod tests {
             (stored - (50.0 - 0.8 - 0.25)).abs() < 1e-9,
             "stored={stored}"
         );
+    }
+
+    #[test]
+    fn advance_flows_balance_the_stored_delta() {
+        let mut n = node(100.0, 30.0, Nvp::default());
+        let before = n.stored();
+        let paid = n.advance(SimTime::ZERO, SimTime::from_secs(1), DutyState::Sense);
+        assert!(paid);
+        let flows = n.last_advance();
+        // 100 µJ offered; the 30 µJ capacitor clips most of it.
+        assert!(flows.offered > flows.stored_gain);
+        assert!(flows.clipped > Energy::ZERO);
+        let expected = before + flows.stored_gain - flows.duty_drawn - flows.leaked;
+        assert!(
+            (n.stored().as_microjoules() - expected.as_microjoules()).abs() < 1e-12,
+            "stored {} vs expected {expected}",
+            n.stored()
+        );
+        let split = flows.stored_gain + flows.charge_loss + flows.clipped;
+        assert!((split.as_microjoules() - flows.offered.as_microjoules()).abs() < 1e-12);
+        let c = n.counters();
+        assert_eq!(c.offered, flows.offered);
+        assert_eq!(c.clipped, flows.clipped);
+        assert_eq!(c.leaked, flows.leaked);
     }
 
     #[test]

@@ -27,6 +27,109 @@ impl Party {
     }
 }
 
+/// The operation a [`LedgerEntry::Drawn`] flow paid for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DrawOp {
+    /// The always-on duty load over one window (sensing + idle).
+    Duty,
+    /// A completed inference attempt (full window cost).
+    Infer,
+    /// A brownout checkpoint under non-volatile progress (NVP).
+    Checkpoint,
+    /// Energy wasted by a brownout on a volatile node (progress lost).
+    Lost,
+    /// A radio transmission (report or activation signal).
+    RadioTx,
+    /// A radio reception (host frame delivered to the node).
+    RadioRx,
+}
+
+impl DrawOp {
+    /// The JSONL / metrics name of this operation (snake_case).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DrawOp::Duty => "duty",
+            DrawOp::Infer => "infer",
+            DrawOp::Checkpoint => "checkpoint",
+            DrawOp::Lost => "lost",
+            DrawOp::RadioTx => "radio_tx",
+            DrawOp::RadioRx => "radio_rx",
+        }
+    }
+}
+
+/// One typed flow of the deterministic energy ledger.
+///
+/// Flows are per-node and per-window (the simulator's slot). The audit
+/// identity — checked by [`crate::LedgerAuditor`] — is
+///
+/// ```text
+/// stored(close) = stored(prev close)
+///               + harvested − charge_loss − clipped    (capacitor intake)
+///               − Σ drawn − leaked                     (capacitor outflow)
+/// ```
+///
+/// where `harvested` is the energy the harvester front-end *offered* to
+/// the capacitor, `charge_loss` the charge-efficiency loss, and `clipped`
+/// the part rejected because the capacitor was full.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LedgerEntry {
+    /// Audit anchor: the stored energy before the first window runs.
+    Opening {
+        /// Stored energy at simulation start (µJ).
+        stored_uj: f64,
+    },
+    /// Energy the harvester front-end offered to the capacitor.
+    Harvested {
+        /// Offered energy (µJ), before charge-efficiency loss.
+        uj: f64,
+    },
+    /// Energy lost to the capacitor's charge efficiency.
+    ChargeLoss {
+        /// Lost energy (µJ).
+        uj: f64,
+    },
+    /// Energy rejected because the capacitor was at capacity.
+    Clipped {
+        /// Rejected energy (µJ).
+        uj: f64,
+    },
+    /// Energy lost to capacitor leakage over the window.
+    Leaked {
+        /// Leaked energy (µJ).
+        uj: f64,
+    },
+    /// Energy drawn from the capacitor to pay for one operation.
+    Drawn {
+        /// What the draw paid for.
+        op: DrawOp,
+        /// Drawn energy (µJ).
+        uj: f64,
+    },
+    /// Audit anchor: the stored energy when the window's slot closed.
+    SlotClose {
+        /// Stored energy at slot close (µJ).
+        stored_uj: f64,
+    },
+}
+
+impl LedgerEntry {
+    /// The JSONL / metrics name of this flow (snake_case).
+    #[must_use]
+    pub fn flow(&self) -> &'static str {
+        match self {
+            LedgerEntry::Opening { .. } => "opening",
+            LedgerEntry::Harvested { .. } => "harvested",
+            LedgerEntry::ChargeLoss { .. } => "charge_loss",
+            LedgerEntry::Clipped { .. } => "clipped",
+            LedgerEntry::Leaked { .. } => "leaked",
+            LedgerEntry::Drawn { .. } => "drawn",
+            LedgerEntry::SlotClose { .. } => "slot_close",
+        }
+    }
+}
+
 /// One thing the simulated system did.
 ///
 /// Times are simulation time in microseconds (`at_us`); `window` is the
@@ -155,6 +258,16 @@ pub enum SimEvent {
         /// The matrix weight for (node, activity) after the update.
         weight: f64,
     },
+    /// One energy-ledger flow (emitted only when the observer opts in
+    /// via [`crate::SimObserver::wants_ledger`]).
+    Ledger {
+        /// Window index the flow belongs to.
+        window: u64,
+        /// The node whose capacitor the flow crossed.
+        node: NodeId,
+        /// The typed flow.
+        entry: LedgerEntry,
+    },
 }
 
 /// Discriminant-only mirror of [`SimEvent`], for counting and filtering.
@@ -186,6 +299,8 @@ pub enum EventKind {
     EnsembleVote,
     /// A [`SimEvent::ConfidenceUpdate`].
     ConfidenceUpdate,
+    /// A [`SimEvent::Ledger`].
+    Ledger,
 }
 
 impl EventKind {
@@ -206,6 +321,7 @@ impl EventKind {
             EventKind::RecallServed => "recall_served",
             EventKind::EnsembleVote => "ensemble_vote",
             EventKind::ConfidenceUpdate => "confidence_update",
+            EventKind::Ledger => "ledger",
         }
     }
 }
@@ -228,6 +344,7 @@ impl SimEvent {
             SimEvent::RecallServed { .. } => EventKind::RecallServed,
             SimEvent::EnsembleVote { .. } => EventKind::EnsembleVote,
             SimEvent::ConfidenceUpdate { .. } => EventKind::ConfidenceUpdate,
+            SimEvent::Ledger { .. } => EventKind::Ledger,
         }
     }
 
@@ -347,6 +464,30 @@ impl SimEvent {
                 push("activity", JsonValue::from(activity.label()));
                 push("weight", JsonValue::from(weight));
             }
+            SimEvent::Ledger {
+                window,
+                node,
+                entry,
+            } => {
+                push("window", JsonValue::from(window));
+                push("node", JsonValue::from(u64::from(node.as_u32())));
+                push("flow", JsonValue::from(entry.flow()));
+                match entry {
+                    LedgerEntry::Opening { stored_uj } | LedgerEntry::SlotClose { stored_uj } => {
+                        push("stored_uj", JsonValue::from(stored_uj));
+                    }
+                    LedgerEntry::Drawn { op, uj } => {
+                        push("op", JsonValue::from(op.name()));
+                        push("uj", JsonValue::from(uj));
+                    }
+                    LedgerEntry::Harvested { uj }
+                    | LedgerEntry::ChargeLoss { uj }
+                    | LedgerEntry::Clipped { uj }
+                    | LedgerEntry::Leaked { uj } => {
+                        push("uj", JsonValue::from(uj));
+                    }
+                }
+            }
         }
         JsonValue::Object(fields)
     }
@@ -372,6 +513,7 @@ mod tests {
             EventKind::RecallServed,
             EventKind::EnsembleVote,
             EventKind::ConfidenceUpdate,
+            EventKind::Ledger,
         ];
         let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());
@@ -405,6 +547,41 @@ mod tests {
         };
         let json = event.to_json();
         assert!(matches!(json.get("prediction"), Some(JsonValue::Null)));
+    }
+
+    #[test]
+    fn ledger_events_render_flow_and_op() {
+        let event = SimEvent::Ledger {
+            window: 7,
+            node: NodeId::new(1),
+            entry: LedgerEntry::Drawn {
+                op: DrawOp::Infer,
+                uj: 2.25,
+            },
+        };
+        let json = event.to_json();
+        assert_eq!(
+            json.get("event").and_then(JsonValue::as_str),
+            Some("ledger")
+        );
+        assert_eq!(json.get("flow").and_then(JsonValue::as_str), Some("drawn"));
+        assert_eq!(json.get("op").and_then(JsonValue::as_str), Some("infer"));
+        assert_eq!(json.get("uj").and_then(JsonValue::as_f64), Some(2.25));
+
+        let close = SimEvent::Ledger {
+            window: 7,
+            node: NodeId::new(1),
+            entry: LedgerEntry::SlotClose { stored_uj: 10.5 },
+        };
+        let json = close.to_json();
+        assert_eq!(
+            json.get("flow").and_then(JsonValue::as_str),
+            Some("slot_close")
+        );
+        assert_eq!(
+            json.get("stored_uj").and_then(JsonValue::as_f64),
+            Some(10.5)
+        );
     }
 
     #[test]

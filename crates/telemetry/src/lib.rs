@@ -11,9 +11,18 @@
 //! * [`SimObserver`] — the statically-dispatched observer trait the
 //!   simulator emits into. [`NoopObserver`] monomorphizes to nothing, so
 //!   the uninstrumented path keeps its speed;
-//! * [`MetricsRegistry`] — dependency-free counters, gauges and
-//!   fixed-bucket histograms, with a hand-rolled Prometheus text
-//!   exposition writer ([`write_prometheus`]);
+//! * [`LedgerEntry`] / [`LedgerAuditor`] — a typed per-slot energy
+//!   ledger (opening balance, harvested/lost/clipped/leaked flows, every
+//!   draw by operation, closing balance) with a replay auditor that
+//!   proves conservation to [`DEFAULT_EPSILON_UJ`] per node per window.
+//!   Emission is pay-for-use: [`SimObserver::wants_ledger`] defaults to
+//!   `false` and [`WithLedger`] opts a sink in;
+//! * [`SpanObserver`] — hierarchical trace spans keyed to *logical* sim
+//!   ticks (never wall clocks), serialized to JSONL and folded into
+//!   self-time tables by [`SpanSummary`];
+//! * [`MetricsRegistry`] — dependency-free counters, float counters,
+//!   gauges and fixed-bucket histograms, with a hand-rolled Prometheus
+//!   text exposition writer ([`write_prometheus`]);
 //! * [`StageTimings`] — lightweight wall-clock timing scopes for the
 //!   pipeline stages (training, simulation, reporting);
 //! * [`RunManifest`] — a machine-readable JSON record of one experiment
@@ -39,17 +48,23 @@
 mod event;
 mod json;
 mod jsonl;
+mod ledger;
 mod manifest;
 mod metrics;
 mod observer;
 mod prometheus;
+mod span;
 mod timing;
 
-pub use event::{EventKind, Party, SimEvent};
+pub use event::{DrawOp, EventKind, LedgerEntry, Party, SimEvent};
 pub use json::{JsonError, JsonValue};
 pub use jsonl::JsonlObserver;
+pub use ledger::{LedgerAuditReport, LedgerAuditor, LedgerViolation, DEFAULT_EPSILON_UJ};
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricsRegistry};
-pub use observer::{MetricsObserver, NoopObserver, RecordingObserver, SimObserver, Tee};
+pub use observer::{
+    MetricsObserver, NoopObserver, RecordingObserver, SimObserver, Tee, WithLedger,
+};
 pub use prometheus::write_prometheus;
+pub use span::{SpanKind, SpanObserver, SpanRecord, SpanSummary, SpanSummaryRow};
 pub use timing::StageTimings;

@@ -107,6 +107,7 @@ impl Histogram {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
+    fcounters: BTreeMap<String, f64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
 }
@@ -129,6 +130,19 @@ impl MetricsRegistry {
             *v += by;
         } else {
             self.counters.insert(name.to_owned(), by);
+        }
+    }
+
+    /// Adds `by` to floating-point counter `name` (creating it at zero).
+    ///
+    /// Fractional counters carry physical quantities (microjoules) whose
+    /// sub-unit remainders a `u64` counter would truncate away; they live
+    /// in their own namespace and render as Prometheus counters.
+    pub fn fadd(&mut self, name: &str, by: f64) {
+        if let Some(v) = self.fcounters.get_mut(name) {
+            *v += by;
+        } else {
+            self.fcounters.insert(name.to_owned(), by);
         }
     }
 
@@ -160,6 +174,12 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Floating-point counter `name`'s value (0.0 when absent).
+    #[must_use]
+    pub fn fcounter(&self, name: &str) -> f64 {
+        self.fcounters.get(name).copied().unwrap_or(0.0)
+    }
+
     /// Gauge `name`'s value.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Option<f64> {
@@ -177,6 +197,11 @@ impl MetricsRegistry {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// All floating-point counters in name order.
+    pub fn fcounters(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.fcounters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
     /// All gauges in name order.
     pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
         self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
@@ -190,23 +215,39 @@ impl MetricsRegistry {
     /// Whether nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.fcounters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
     }
 
     /// Renders the registry as a JSON object (`{"counters": {...},
-    /// "gauges": {...}, "histograms": {...}}`) for run manifests.
+    /// "gauges": {...}, "histograms": {...}}`) for run manifests. An
+    /// `"fcounters"` member appears only when floating-point counters
+    /// exist, so ledger-free manifests keep their original shape.
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::Object(vec![
-            (
-                "counters".into(),
+        let mut fields: Vec<(String, JsonValue)> = vec![(
+            "counters".into(),
+            JsonValue::Object(
+                self.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), JsonValue::from(v)))
+                    .collect(),
+            ),
+        )];
+        if !self.fcounters.is_empty() {
+            fields.push((
+                "fcounters".into(),
                 JsonValue::Object(
-                    self.counters
+                    self.fcounters
                         .iter()
                         .map(|(k, &v)| (k.clone(), JsonValue::from(v)))
                         .collect(),
                 ),
-            ),
+            ));
+        }
+        fields.extend([
             (
                 "gauges".into(),
                 JsonValue::Object(
@@ -225,7 +266,8 @@ impl MetricsRegistry {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        JsonValue::Object(fields)
     }
 }
 
@@ -240,6 +282,27 @@ mod tests {
         m.inc("x");
         m.add("x", 4);
         assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn fcounters_accumulate_fractions() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.fcounter("e"), 0.0);
+        m.fadd("e", 0.25);
+        m.fadd("e", 1.5);
+        assert_eq!(m.fcounter("e"), 1.75);
+        assert!(!m.is_empty());
+        let json = m.to_json();
+        assert_eq!(
+            json.get("fcounters")
+                .and_then(|f| f.get("e"))
+                .and_then(JsonValue::as_f64),
+            Some(1.75)
+        );
+        // A registry without fcounters keeps the original 3-key shape.
+        let mut plain = MetricsRegistry::new();
+        plain.inc("c");
+        assert!(plain.to_json().get("fcounters").is_none());
     }
 
     #[test]

@@ -19,6 +19,18 @@ use std::collections::BTreeMap;
 pub trait SimObserver {
     /// Called once per event, in emission order.
     fn on_event(&mut self, event: &SimEvent);
+
+    /// Whether the simulator should emit [`SimEvent::Ledger`] flows.
+    ///
+    /// The energy ledger multiplies the event volume several-fold, so it
+    /// is opt-in: the simulator hoists this flag once per run and skips
+    /// every ledger emission site when it is `false`. Defaults to `false`;
+    /// audit sinks (and [`WithLedger`]) override it. The flag must be
+    /// constant for the lifetime of a run.
+    #[must_use]
+    fn wants_ledger(&self) -> bool {
+        false
+    }
 }
 
 /// Forward through mutable references so call sites can lend an observer
@@ -26,6 +38,25 @@ pub trait SimObserver {
 impl<O: SimObserver + ?Sized> SimObserver for &mut O {
     fn on_event(&mut self, event: &SimEvent) {
         (**self).on_event(event);
+    }
+
+    fn wants_ledger(&self) -> bool {
+        (**self).wants_ledger()
+    }
+}
+
+/// `None` observes nothing; `Some` forwards. Lets a statically-typed
+/// observer stack (e.g. a [`Tee`] tree) include optional sinks — an
+/// absent [`crate::LedgerAuditor`] arm keeps `wants_ledger` off.
+impl<O: SimObserver> SimObserver for Option<O> {
+    fn on_event(&mut self, event: &SimEvent) {
+        if let Some(observer) = self {
+            observer.on_event(event);
+        }
+    }
+
+    fn wants_ledger(&self) -> bool {
+        self.as_ref().is_some_and(SimObserver::wants_ledger)
     }
 }
 
@@ -92,7 +123,12 @@ impl SimObserver for RecordingObserver {
 /// * `origin_confidence` histogram — per-completion classifier
 ///   confidence;
 /// * `origin_radio_bytes_total{outcome}` — delivered vs dropped payload
-///   bytes.
+///   bytes;
+/// * `origin_ledger_microjoules_total{flow}` /
+///   `origin_ledger_drawn_microjoules_total{op}` /
+///   `origin_ledger_slots_total` — energy-ledger flow totals (µJ, f64
+///   counters) and audited slot count, present only when the run was
+///   ledger-enabled (see [`SimObserver::wants_ledger`]).
 #[derive(Debug, Clone, Default)]
 pub struct MetricsObserver {
     metrics: MetricsRegistry,
@@ -188,6 +224,33 @@ impl SimObserver for MetricsObserver {
                     bytes as u64,
                 );
             }
+            SimEvent::Ledger { entry, .. } => match entry {
+                crate::LedgerEntry::Harvested { uj }
+                | crate::LedgerEntry::ChargeLoss { uj }
+                | crate::LedgerEntry::Clipped { uj }
+                | crate::LedgerEntry::Leaked { uj } => {
+                    self.metrics.fadd(
+                        &format!(
+                            "origin_ledger_microjoules_total{{flow=\"{}\"}}",
+                            entry.flow()
+                        ),
+                        uj,
+                    );
+                }
+                crate::LedgerEntry::Drawn { op, uj } => {
+                    self.metrics.fadd(
+                        &format!(
+                            "origin_ledger_drawn_microjoules_total{{op=\"{}\"}}",
+                            op.name()
+                        ),
+                        uj,
+                    );
+                }
+                crate::LedgerEntry::SlotClose { .. } => {
+                    self.metrics.inc("origin_ledger_slots_total");
+                }
+                crate::LedgerEntry::Opening { .. } => {}
+            },
             _ => {}
         }
     }
@@ -206,6 +269,33 @@ impl<A: SimObserver, B: SimObserver> SimObserver for Tee<A, B> {
     fn on_event(&mut self, event: &SimEvent) {
         self.0.on_event(event);
         self.1.on_event(event);
+    }
+
+    fn wants_ledger(&self) -> bool {
+        self.0.wants_ledger() || self.1.wants_ledger()
+    }
+}
+
+/// Turns on ledger emission for any inner observer.
+///
+/// The wrapper forwards every event unchanged but answers `true` to
+/// [`SimObserver::wants_ledger`], so `WithLedger(RecordingObserver::new())`
+/// captures the full flow stream and `WithLedger(NoopObserver)` is the
+/// ledger-enabled no-op arm of the overhead benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WithLedger<O>(
+    /// The observer receiving the (now ledger-bearing) stream.
+    pub O,
+);
+
+impl<O: SimObserver> SimObserver for WithLedger<O> {
+    #[inline(always)]
+    fn on_event(&mut self, event: &SimEvent) {
+        self.0.on_event(event);
+    }
+
+    fn wants_ledger(&self) -> bool {
+        true
     }
 }
 
@@ -275,6 +365,62 @@ mod tests {
         tee.on_event(&attempt(0));
         assert_eq!(tee.0.events().len(), 1);
         assert_eq!(tee.1.total(), 1);
+    }
+
+    #[test]
+    fn wants_ledger_defaults_off_and_propagates() {
+        assert!(!NoopObserver.wants_ledger());
+        assert!(!RecordingObserver::new().wants_ledger());
+        assert!(WithLedger(NoopObserver).wants_ledger());
+        assert!(Tee(NoopObserver, WithLedger(NoopObserver)).wants_ledger());
+        assert!(!Tee(NoopObserver, MetricsObserver::new()).wants_ledger());
+        let mut wrapped = WithLedger(NoopObserver);
+        let lent: &mut WithLedger<NoopObserver> = &mut wrapped;
+        assert!(lent.wants_ledger());
+    }
+
+    #[test]
+    fn optional_observer_forwards_only_when_present() {
+        let mut absent: Option<RecordingObserver> = None;
+        absent.on_event(&attempt(0));
+        assert!(absent.is_none());
+        assert!(!absent.wants_ledger());
+        assert!(!Some(RecordingObserver::new()).wants_ledger());
+        assert!(Some(WithLedger(NoopObserver)).wants_ledger());
+        let mut present = Some(RecordingObserver::new());
+        present.on_event(&attempt(1));
+        assert_eq!(present.unwrap().events().len(), 1);
+    }
+
+    #[test]
+    fn metrics_observer_folds_ledger_flows() {
+        let mut obs = MetricsObserver::new();
+        let node = NodeId::new(0);
+        for entry in [
+            crate::LedgerEntry::Harvested { uj: 1.5 },
+            crate::LedgerEntry::Harvested { uj: 0.25 },
+            crate::LedgerEntry::Drawn {
+                op: crate::DrawOp::Infer,
+                uj: 0.5,
+            },
+            crate::LedgerEntry::SlotClose { stored_uj: 3.0 },
+        ] {
+            obs.on_event(&SimEvent::Ledger {
+                window: 0,
+                node,
+                entry,
+            });
+        }
+        let m = obs.metrics();
+        assert_eq!(
+            m.fcounter("origin_ledger_microjoules_total{flow=\"harvested\"}"),
+            1.75
+        );
+        assert_eq!(
+            m.fcounter("origin_ledger_drawn_microjoules_total{op=\"infer\"}"),
+            0.5
+        );
+        assert_eq!(m.counter("origin_ledger_slots_total"), 1);
     }
 
     #[test]

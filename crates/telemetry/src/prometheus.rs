@@ -2,10 +2,41 @@
 //!
 //! Registry names may carry an inline label set
 //! (`origin_events_total{event="window_start"}`); the family name before
-//! the brace groups the `# TYPE` header so a scrape parses cleanly.
+//! the brace groups the `# HELP`/`# TYPE` headers so a scrape parses
+//! cleanly. Metric names follow the Prometheus unit conventions —
+//! cumulative energy families end in `_microjoules_total`, slot counts
+//! in `_slots_total` — and every family carries a `# HELP` line (the
+//! known Origin families get curated text, anything else a generic one).
 
 use crate::metrics::MetricsRegistry;
 use std::io::{self, Write};
+
+/// Curated `# HELP` text for the metric families the observers emit.
+fn help_text(family: &str) -> Option<&'static str> {
+    Some(match family {
+        "origin_events_total" => "Simulation events observed, by event kind.",
+        "origin_node_harvested_microjoules_total" => {
+            "Cumulative harvested energy credited to each node, in microjoules."
+        }
+        "origin_node_stored_microjoules" => {
+            "Stored capacitor energy per node at the last harvest slice, in microjoules."
+        }
+        "origin_stored_headroom" => {
+            "Stored energy at each inference attempt, as a fraction of capacity."
+        }
+        "origin_slot_attempters" => "Nodes attempting inference per window.",
+        "origin_confidence" => "Reported classifier confidence per completed inference.",
+        "origin_radio_bytes_total" => "Radio payload bytes, by direction.",
+        "origin_ledger_microjoules_total" => {
+            "Energy-ledger flows (harvested, charge_loss, clipped, leaked), in microjoules."
+        }
+        "origin_ledger_drawn_microjoules_total" => {
+            "Energy drawn from storage, by operation (duty, infer, checkpoint, ...), in microjoules."
+        }
+        "origin_ledger_slots_total" => "Per-node ledger slots closed (audit granularity).",
+        _ => return None,
+    })
+}
 
 /// Family name (before any `{label}` suffix), sanitized to the
 /// Prometheus charset.
@@ -48,9 +79,10 @@ fn number(v: f64) -> String {
 
 /// Writes `metrics` in Prometheus text exposition format.
 ///
-/// Counters and gauges become single samples under a `# TYPE` header
-/// (one header per family, in name order); histograms expand to
-/// cumulative `_bucket{le=...}` samples plus `_sum` and `_count`.
+/// Counters (integer and floating-point) and gauges become single
+/// samples under `# HELP`/`# TYPE` headers (one pair per family, in name
+/// order); histograms expand to cumulative `_bucket{le=...}` samples
+/// plus `_sum` and `_count`.
 ///
 /// # Errors
 ///
@@ -60,6 +92,9 @@ pub fn write_prometheus<W: Write>(out: &mut W, metrics: &MetricsRegistry) -> io:
     let mut header = |out: &mut W, name: &str, kind: &str| -> io::Result<()> {
         let fam = family(name);
         if fam != last_family {
+            let help =
+                help_text(&fam).map_or_else(|| format!("Origin {kind} {fam}."), str::to_owned);
+            writeln!(out, "# HELP {fam} {help}")?;
             writeln!(out, "# TYPE {fam} {kind}")?;
             last_family = fam;
         }
@@ -70,12 +105,21 @@ pub fn write_prometheus<W: Write>(out: &mut W, metrics: &MetricsRegistry) -> io:
         header(out, name, "counter")?;
         writeln!(out, "{} {}", sample(name), value)?;
     }
+    // Floating-point counters (the energy ledger's µJ flows) render as
+    // ordinary counter families; fractional values are legal samples.
+    for (name, value) in metrics.fcounters() {
+        header(out, name, "counter")?;
+        writeln!(out, "{} {}", sample(name), number(value))?;
+    }
     for (name, value) in metrics.gauges() {
         header(out, name, "gauge")?;
         writeln!(out, "{} {}", sample(name), number(value))?;
     }
     for (name, histogram) in metrics.histograms() {
         let fam = family(name);
+        let help =
+            help_text(&fam).map_or_else(|| format!("Origin histogram {fam}."), str::to_owned);
+        writeln!(out, "# HELP {fam} {help}")?;
         writeln!(out, "# TYPE {fam} histogram")?;
         let mut cumulative = 0u64;
         for (bound, count) in histogram
@@ -99,7 +143,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn families_get_one_type_header() {
+    fn families_get_one_help_and_type_header() {
         let mut m = MetricsRegistry::new();
         m.add("origin_events_total{event=\"a\"}", 1);
         m.add("origin_events_total{event=\"b\"}", 2);
@@ -111,10 +155,35 @@ mod tests {
             text.matches("# TYPE origin_events_total counter").count(),
             1
         );
+        // Every family carries exactly one HELP line; known families get
+        // curated text, unknown ones a generic fallback.
+        assert_eq!(
+            text.matches("# HELP origin_events_total Simulation events observed")
+                .count(),
+            1
+        );
+        assert!(text.contains("# HELP origin_stored Origin gauge origin_stored.\n"));
         assert!(text.contains("origin_events_total{event=\"a\"} 1\n"));
         assert!(text.contains("origin_events_total{event=\"b\"} 2\n"));
         assert!(text.contains("# TYPE origin_stored gauge\n"));
         assert!(text.contains("origin_stored{node=\"0\"} 1.5\n"));
+    }
+
+    #[test]
+    fn ledger_fcounters_render_as_counter_families() {
+        let mut m = MetricsRegistry::new();
+        m.fadd("origin_ledger_microjoules_total{flow=\"harvested\"}", 12.25);
+        m.fadd("origin_ledger_drawn_microjoules_total{op=\"duty\"}", 3.5);
+        m.add("origin_ledger_slots_total", 7);
+        let mut buf = Vec::new();
+        write_prometheus(&mut buf, &m).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# HELP origin_ledger_microjoules_total Energy-ledger flows"));
+        assert!(text.contains("# TYPE origin_ledger_microjoules_total counter\n"));
+        assert!(text.contains("origin_ledger_microjoules_total{flow=\"harvested\"} 12.25\n"));
+        assert!(text.contains("origin_ledger_drawn_microjoules_total{op=\"duty\"} 3.5\n"));
+        assert!(text.contains("# HELP origin_ledger_slots_total Per-node ledger slots closed"));
+        assert!(text.contains("origin_ledger_slots_total 7\n"));
     }
 
     #[test]
@@ -126,6 +195,7 @@ mod tests {
         let mut buf = Vec::new();
         write_prometheus(&mut buf, &m).unwrap();
         let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# HELP origin_headroom Origin histogram origin_headroom.\n"));
         assert!(text.contains("# TYPE origin_headroom histogram\n"));
         assert!(text.contains("origin_headroom_bucket{le=\"1\"} 1\n"));
         assert!(text.contains("origin_headroom_bucket{le=\"2\"} 2\n"));

@@ -1,0 +1,592 @@
+//! Logical-time trace spans derived from the event stream.
+//!
+//! Wall clocks are banned in the deterministic crates (origin-lint D1),
+//! so spans are keyed to *logical time*: one tick per non-ledger
+//! [`SimEvent`] the observer sees, and `slot` is the simulator's window
+//! index. The hierarchy is
+//!
+//! ```text
+//! sweep_cell (optional root, one per sweep cell)
+//! └─ sim_run (one per simulation)
+//!    └─ policy_step (one per window)
+//!       ├─ nn_kernel (one per inference attempt)
+//!       ├─ radio (leaf: tx/drop/activation signal)
+//!       └─ host_vote (leaf: recall/ensemble/confidence)
+//! ```
+//!
+//! A span covers the half-open tick range `[open_tick, close_tick)`, so
+//! its duration is exactly the number of events inside it and self-time
+//! (duration minus children) is well defined. Ledger events do not
+//! advance the clock: a ledger-enabled run yields the same spans as a
+//! ledger-free one.
+
+use crate::event::{EventKind, SimEvent};
+use crate::json::JsonValue;
+use crate::observer::SimObserver;
+use std::collections::BTreeMap;
+
+/// The level of a span in the trace hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One sweep cell (policy × seed × user), the optional root.
+    SweepCell,
+    /// One simulation run.
+    SimRun,
+    /// One policy step: a HAR window from `WindowStart` to the next.
+    PolicyStep,
+    /// One NN inference attempt on a node.
+    NnKernel,
+    /// A radio interaction (tx, drop, activation signal).
+    Radio,
+    /// Host-side vote machinery (recall, ensemble, confidence update).
+    HostVote,
+}
+
+impl SpanKind {
+    /// The JSONL name of this kind (snake_case).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::SweepCell => "sweep_cell",
+            SpanKind::SimRun => "sim_run",
+            SpanKind::PolicyStep => "policy_step",
+            SpanKind::NnKernel => "nn_kernel",
+            SpanKind::Radio => "radio",
+            SpanKind::HostVote => "host_vote",
+        }
+    }
+
+    /// Parses a [`SpanKind::name`] back to the kind.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sweep_cell" => Some(SpanKind::SweepCell),
+            "sim_run" => Some(SpanKind::SimRun),
+            "policy_step" => Some(SpanKind::PolicyStep),
+            "nn_kernel" => Some(SpanKind::NnKernel),
+            "radio" => Some(SpanKind::Radio),
+            "host_vote" => Some(SpanKind::HostVote),
+            _ => None,
+        }
+    }
+}
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span id, unique within one observer's stream.
+    pub id: u64,
+    /// Parent span id, `None` for the root.
+    pub parent: Option<u64>,
+    /// The hierarchy level.
+    pub kind: SpanKind,
+    /// The sim slot (window index) the span belongs to; 0 for roots.
+    pub slot: u64,
+    /// The node involved, when the span is node-scoped.
+    pub node: Option<u32>,
+    /// First tick inside the span.
+    pub open_tick: u64,
+    /// First tick after the span (half-open range).
+    pub close_tick: u64,
+    /// Free-form label (sweep cell key), empty otherwise.
+    pub label: String,
+}
+
+impl SpanRecord {
+    /// Span duration in ticks.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.close_tick.saturating_sub(self.open_tick)
+    }
+
+    /// Renders the span as one JSONL object.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("span".into(), JsonValue::from(self.kind.name())),
+            ("id".into(), JsonValue::from(self.id)),
+            (
+                "parent".into(),
+                match self.parent {
+                    Some(p) => JsonValue::from(p),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("slot".into(), JsonValue::from(self.slot)),
+            (
+                "node".into(),
+                match self.node {
+                    Some(n) => JsonValue::from(u64::from(n)),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("open_tick".into(), JsonValue::from(self.open_tick)),
+            ("close_tick".into(), JsonValue::from(self.close_tick)),
+        ];
+        if !self.label.is_empty() {
+            fields.push(("label".into(), JsonValue::from(self.label.as_str())));
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// Parses a span from its [`Self::to_json`] form; `None` when the
+    /// object is not a span record.
+    #[must_use]
+    pub fn from_json(json: &JsonValue) -> Option<Self> {
+        let kind = SpanKind::from_name(json.get("span")?.as_str()?)?;
+        Some(Self {
+            id: json.get("id")?.as_u64()?,
+            parent: json.get("parent").and_then(JsonValue::as_u64),
+            kind,
+            slot: json.get("slot")?.as_u64()?,
+            node: json
+                .get("node")
+                .and_then(JsonValue::as_u64)
+                .map(|n| n as u32),
+            open_tick: json.get("open_tick")?.as_u64()?,
+            close_tick: json.get("close_tick")?.as_u64()?,
+            label: json
+                .get("label")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_owned(),
+        })
+    }
+}
+
+/// A currently-open span.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    id: u64,
+    kind: SpanKind,
+    slot: u64,
+    node: Option<u32>,
+    open_tick: u64,
+}
+
+/// Derives hierarchical logical-time spans from the event stream.
+///
+/// Spans close on their natural boundary events (`WindowStart` closes the
+/// previous policy step, completion/brownout closes the kernel) and
+/// whatever is still open closes at [`SpanObserver::finish`]. Records are
+/// emitted in close order, like a flamegraph collector.
+#[derive(Debug, Clone, Default)]
+pub struct SpanObserver {
+    records: Vec<SpanRecord>,
+    next_id: u64,
+    tick: u64,
+    cell: Option<OpenSpan>,
+    cell_label: String,
+    run: Option<OpenSpan>,
+    step: Option<OpenSpan>,
+    kernel: Option<OpenSpan>,
+    finished: bool,
+}
+
+impl SpanObserver {
+    /// An observer rooted at a `sim_run` span.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An observer rooted at a labelled `sweep_cell` span (the sim run
+    /// nests under it).
+    #[must_use]
+    pub fn for_cell(label: &str) -> Self {
+        Self {
+            cell_label: label.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Starts span ids at `base`. Builder-style.
+    ///
+    /// Give each concurrently-traced run a disjoint id space (e.g.
+    /// `cell_index << 32`) so their records can be concatenated into one
+    /// JSONL file without parent references colliding.
+    #[must_use]
+    pub fn with_id_base(mut self, base: u64) -> Self {
+        self.next_id = base;
+        self
+    }
+
+    fn open(&mut self, kind: SpanKind, slot: u64, node: Option<u32>) -> OpenSpan {
+        let span = OpenSpan {
+            id: self.next_id,
+            kind,
+            slot,
+            node,
+            open_tick: self.tick,
+        };
+        self.next_id += 1;
+        span
+    }
+
+    fn close(&mut self, span: OpenSpan, parent: Option<u64>, close_tick: u64, label: &str) {
+        self.records.push(SpanRecord {
+            id: span.id,
+            parent,
+            kind: span.kind,
+            slot: span.slot,
+            node: span.node,
+            open_tick: span.open_tick,
+            close_tick,
+            label: label.to_owned(),
+        });
+    }
+
+    fn ensure_run(&mut self) {
+        if self.run.is_some() {
+            return;
+        }
+        if !self.cell_label.is_empty() && self.cell.is_none() {
+            self.cell = Some(self.open(SpanKind::SweepCell, 0, None));
+        }
+        self.run = Some(self.open(SpanKind::SimRun, 0, None));
+    }
+
+    fn close_kernel(&mut self, close_tick: u64) {
+        if let Some(kernel) = self.kernel.take() {
+            let parent = self.step.as_ref().or(self.run.as_ref()).map(|s| s.id);
+            self.close(kernel, parent, close_tick, "");
+        }
+    }
+
+    fn close_step(&mut self, close_tick: u64) {
+        self.close_kernel(close_tick);
+        if let Some(step) = self.step.take() {
+            let parent = self.run.as_ref().map(|s| s.id);
+            self.close(step, parent, close_tick, "");
+        }
+    }
+
+    /// The id of the innermost open span (leaf parent).
+    fn top_id(&self) -> Option<u64> {
+        self.kernel
+            .as_ref()
+            .or(self.step.as_ref())
+            .or(self.run.as_ref())
+            .map(|s| s.id)
+    }
+
+    fn leaf(&mut self, kind: SpanKind, slot: u64, node: Option<u32>, tick: u64) {
+        let parent = self.top_id();
+        let span = OpenSpan {
+            id: self.next_id,
+            kind,
+            slot,
+            node,
+            open_tick: tick,
+        };
+        self.next_id += 1;
+        self.close(span, parent, tick + 1, "");
+    }
+
+    /// Closes every open span at the current tick. Idempotent; called
+    /// automatically by [`Self::records`] and [`Self::to_jsonl`].
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let t = self.tick;
+        self.close_step(t);
+        if let Some(run) = self.run.take() {
+            let parent = self.cell.as_ref().map(|s| s.id);
+            self.close(run, parent, t, "");
+        }
+        if let Some(cell) = self.cell.take() {
+            let label = std::mem::take(&mut self.cell_label);
+            self.close(cell, None, t, &label);
+        }
+    }
+
+    /// All closed spans, finishing the stream first.
+    pub fn records(&mut self) -> &[SpanRecord] {
+        self.finish();
+        &self.records
+    }
+
+    /// Renders the closed spans as JSONL (one span object per line).
+    pub fn to_jsonl(&mut self) -> String {
+        self.finish();
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&record.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl SimObserver for SpanObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.finished || event.kind() == EventKind::Ledger {
+            return;
+        }
+        self.ensure_run();
+        let t = self.tick;
+        match *event {
+            SimEvent::WindowStart { window, .. } => {
+                self.close_step(t);
+                self.step = Some(self.open(SpanKind::PolicyStep, window, None));
+            }
+            SimEvent::InferenceAttempt { window, node, .. } => {
+                self.close_kernel(t);
+                self.kernel = Some(self.open(SpanKind::NnKernel, window, Some(node.as_u32())));
+            }
+            SimEvent::InferenceCompleted { .. } | SimEvent::InferenceBrownout { .. } => {
+                self.close_kernel(t + 1);
+            }
+            SimEvent::ActivationSignal { window, .. } => {
+                self.leaf(SpanKind::Radio, window, None, t);
+            }
+            SimEvent::MessageTx { .. } | SimEvent::MessageDrop { .. } => {
+                let slot = self.step.as_ref().map_or(0, |s| s.slot);
+                self.leaf(SpanKind::Radio, slot, None, t);
+            }
+            SimEvent::RecallServed { window, .. } | SimEvent::EnsembleVote { window, .. } => {
+                self.leaf(SpanKind::HostVote, window, None, t);
+            }
+            SimEvent::ConfidenceUpdate { node, .. } => {
+                let slot = self.step.as_ref().map_or(0, |s| s.slot);
+                self.leaf(SpanKind::HostVote, slot, Some(node.as_u32()), t);
+            }
+            _ => {}
+        }
+        self.tick = t + 1;
+    }
+}
+
+/// One row of the flamegraph-style summary: all spans sharing a path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummaryRow {
+    /// The kind path from the root, joined with `;` (flamegraph syntax).
+    pub path: String,
+    /// How many spans share this path.
+    pub count: u64,
+    /// Summed span durations, ticks.
+    pub total_ticks: u64,
+    /// Summed durations minus child durations, ticks.
+    pub self_ticks: u64,
+}
+
+/// A self-time aggregation of a span stream, grouped by path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanSummary {
+    /// Rows in descending self-time order.
+    pub rows: Vec<SpanSummaryRow>,
+    /// Ticks covered by root spans (the 100% mark for `self%`).
+    pub root_ticks: u64,
+}
+
+impl SpanSummary {
+    /// Aggregates `records` (any order) into per-path self-time rows.
+    #[must_use]
+    pub fn from_records(records: &[SpanRecord]) -> Self {
+        let by_id: BTreeMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+        let mut child_ticks: BTreeMap<u64, u64> = BTreeMap::new();
+        for record in records {
+            if let Some(parent) = record.parent {
+                *child_ticks.entry(parent).or_insert(0) += record.ticks();
+            }
+        }
+        let path_of = |record: &SpanRecord| -> String {
+            let mut chain = vec![record.kind.name()];
+            let mut cursor = record.parent;
+            while let Some(id) = cursor {
+                match by_id.get(&id) {
+                    Some(parent) => {
+                        chain.push(parent.kind.name());
+                        cursor = parent.parent;
+                    }
+                    None => break,
+                }
+            }
+            chain.reverse();
+            chain.join(";")
+        };
+        let mut rows: BTreeMap<String, SpanSummaryRow> = BTreeMap::new();
+        let mut root_ticks = 0u64;
+        for record in records {
+            if record.parent.is_none() {
+                root_ticks += record.ticks();
+            }
+            let ticks = record.ticks();
+            let nested = child_ticks.get(&record.id).copied().unwrap_or(0);
+            let row = rows
+                .entry(path_of(record))
+                .or_insert_with_key(|path| SpanSummaryRow {
+                    path: path.clone(),
+                    count: 0,
+                    total_ticks: 0,
+                    self_ticks: 0,
+                });
+            row.count += 1;
+            row.total_ticks += ticks;
+            row.self_ticks += ticks.saturating_sub(nested);
+        }
+        let mut rows: Vec<SpanSummaryRow> = rows.into_values().collect();
+        rows.sort_by(|a, b| b.self_ticks.cmp(&a.self_ticks).then(a.path.cmp(&b.path)));
+        Self { rows, root_ticks }
+    }
+
+    /// Renders the summary as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let path_width = self
+            .rows
+            .iter()
+            .map(|r| r.path.len())
+            .chain(std::iter::once("span path".len()))
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<path_width$}  {:>8}  {:>12}  {:>12}  {:>6}\n",
+            "span path", "spans", "ticks", "self", "self%"
+        ));
+        for row in &self.rows {
+            let pct = if self.root_ticks == 0 {
+                0.0
+            } else {
+                100.0 * row.self_ticks as f64 / self.root_ticks as f64
+            };
+            out.push_str(&format!(
+                "{:<path_width$}  {:>8}  {:>12}  {:>12}  {:>5.1}%\n",
+                row.path, row.count, row.total_ticks, row.self_ticks, pct
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_types::{ActivityClass, NodeId};
+
+    fn window_start(window: u64) -> SimEvent {
+        SimEvent::WindowStart {
+            window,
+            at_us: window * 2_000_000,
+            truth: ActivityClass::Walking,
+        }
+    }
+
+    fn attempt(window: u64, node: u32) -> SimEvent {
+        SimEvent::InferenceAttempt {
+            window,
+            node: NodeId::new(node),
+            headroom: 1.0,
+        }
+    }
+
+    fn completed(window: u64, node: u32) -> SimEvent {
+        SimEvent::InferenceCompleted {
+            window,
+            node: NodeId::new(node),
+            activity: ActivityClass::Walking,
+            confidence: 0.1,
+        }
+    }
+
+    #[test]
+    fn spans_nest_run_step_kernel() {
+        let mut obs = SpanObserver::new();
+        obs.on_event(&window_start(0));
+        obs.on_event(&attempt(0, 1));
+        obs.on_event(&completed(0, 1));
+        obs.on_event(&window_start(1));
+        let records = obs.records().to_vec();
+        let kernel = records
+            .iter()
+            .find(|r| r.kind == SpanKind::NnKernel)
+            .unwrap();
+        let step0 = records
+            .iter()
+            .find(|r| r.kind == SpanKind::PolicyStep && r.slot == 0)
+            .unwrap();
+        let run = records.iter().find(|r| r.kind == SpanKind::SimRun).unwrap();
+        assert_eq!(kernel.parent, Some(step0.id));
+        assert_eq!(step0.parent, Some(run.id));
+        assert_eq!(run.parent, None);
+        assert_eq!(kernel.node, Some(1));
+        // Kernel covers [attempt, completed] = ticks [1, 3).
+        assert_eq!((kernel.open_tick, kernel.close_tick), (1, 3));
+        // Step 0 covers [window_start, next window_start) = [0, 3).
+        assert_eq!((step0.open_tick, step0.close_tick), (0, 3));
+    }
+
+    #[test]
+    fn ledger_events_do_not_advance_the_clock() {
+        let mut with_ledger = SpanObserver::new();
+        let mut without = SpanObserver::new();
+        let events = [window_start(0), attempt(0, 0), completed(0, 0)];
+        for event in &events {
+            without.on_event(event);
+            with_ledger.on_event(event);
+            with_ledger.on_event(&SimEvent::Ledger {
+                window: 0,
+                node: NodeId::new(0),
+                entry: crate::LedgerEntry::Harvested { uj: 1.0 },
+            });
+        }
+        assert_eq!(with_ledger.to_jsonl(), without.to_jsonl());
+    }
+
+    #[test]
+    fn cell_root_wraps_the_run() {
+        let mut obs = SpanObserver::for_cell("origin/s0/u3");
+        obs.on_event(&window_start(0));
+        let records = obs.records();
+        let cell = records
+            .iter()
+            .find(|r| r.kind == SpanKind::SweepCell)
+            .unwrap();
+        let run = records.iter().find(|r| r.kind == SpanKind::SimRun).unwrap();
+        assert_eq!(run.parent, Some(cell.id));
+        assert_eq!(cell.label, "origin/s0/u3");
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let mut obs = SpanObserver::for_cell("cell");
+        obs.on_event(&window_start(0));
+        obs.on_event(&attempt(0, 2));
+        obs.on_event(&completed(0, 2));
+        let jsonl = obs.to_jsonl();
+        let parsed: Vec<SpanRecord> = jsonl
+            .lines()
+            .map(|line| SpanRecord::from_json(&JsonValue::parse(line).unwrap()).unwrap())
+            .collect();
+        assert_eq!(parsed, obs.records());
+    }
+
+    #[test]
+    fn summary_self_time_subtracts_children() {
+        let mut obs = SpanObserver::new();
+        obs.on_event(&window_start(0));
+        obs.on_event(&attempt(0, 0));
+        obs.on_event(&completed(0, 0));
+        obs.on_event(&window_start(1));
+        obs.on_event(&window_start(2));
+        let summary = SpanSummary::from_records(obs.records());
+        let step = summary
+            .rows
+            .iter()
+            .find(|r| r.path == "sim_run;policy_step")
+            .unwrap();
+        assert_eq!(step.count, 3);
+        // Steps cover ticks [0,3), [3,4), [4,5) = 5; the kernel [1,3) = 2.
+        assert_eq!(step.total_ticks, 5);
+        assert_eq!(step.self_ticks, 3);
+        let run = summary.rows.iter().find(|r| r.path == "sim_run").unwrap();
+        assert_eq!(run.self_ticks, 0);
+        assert_eq!(summary.root_ticks, 5);
+        let table = summary.render();
+        assert!(table.contains("sim_run;policy_step;nn_kernel"));
+        assert!(table.contains("self%"));
+    }
+}

@@ -8,7 +8,7 @@ use origin_repro::core::experiments::{run_fig6, Dataset, ExperimentContext};
 use origin_repro::core::CoreError;
 
 fn main() -> Result<(), CoreError> {
-    let ctx = ExperimentContext::new(Dataset::Mhealth, 42)?;
+    let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 42)?;
     println!("training done; adapting to 3 unseen users (20 dB SNR noise)...\n");
 
     let result = run_fig6(&ctx, 3, 200, 10, 20.0)?;

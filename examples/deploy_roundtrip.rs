@@ -32,7 +32,8 @@ fn main() -> Result<(), NnError> {
         .map(|s| (s.features.clone(), s.dense_label))
         .collect();
     let trainer = Trainer::new().with_epochs(140).with_label_smoothing(0.1)?;
-    let mut clf = SensorClassifier::train(&[18], &train, spec.activities.clone(), &trainer, seed)?;
+    let mut clf =
+        SensorClassifier::<f64>::train(&[18], &train, spec.activities.clone(), &trainer, seed)?;
     let em = InferenceEnergyModel::default();
     println!(
         "trained:   {:.1}% accuracy, {} per inference",

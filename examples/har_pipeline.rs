@@ -47,7 +47,8 @@ fn main() -> Result<(), NnError> {
         .map(|s| (s.features.clone(), s.dense_label))
         .collect();
     let trainer = Trainer::new().with_epochs(140).with_label_smoothing(0.1)?;
-    let mut clf = SensorClassifier::train(&[24], &train, spec.activities.clone(), &trainer, seed)?;
+    let mut clf =
+        SensorClassifier::<f64>::train(&[24], &train, spec.activities.clone(), &trainer, seed)?;
     let cm = clf.evaluate(&test)?;
     println!(
         "stage 3 — trained {:?} MLP: {:.1}% held-out accuracy",

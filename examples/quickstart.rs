@@ -17,7 +17,7 @@ fn main() -> Result<(), CoreError> {
     // The workspace's documented default experiment seed.
     let seed = 77;
     println!("training per-sensor classifiers (MHEALTH-like, seed {seed})...");
-    let models = ModelBank::train(&DatasetSpec::mhealth_like(), seed)?;
+    let models = ModelBank::<f64>::train(&DatasetSpec::mhealth_like(), seed)?;
     for loc in SensorLocation::ALL {
         let cm = models.validation_confusion(origin_repro::core::ModelVariant::Pruned, loc);
         println!(
@@ -83,7 +83,7 @@ fn main() -> Result<(), CoreError> {
         &grid,
         &SweepOptions {
             threads: 0, // auto: one worker per core
-            instrument: false,
+            ..SweepOptions::default()
         },
     )?;
     println!(

@@ -34,7 +34,7 @@ fn main() -> Result<(), CoreError> {
     }
 
     println!("\ntraining models (seed {seed})...");
-    let models = ModelBank::train(&DatasetSpec::mhealth_like(), seed)?;
+    let models = ModelBank::<f64>::train(&DatasetSpec::mhealth_like(), seed)?;
     let sim = Simulator::new(Deployment::builder().seed(seed).build(), models);
 
     println!("\n# policy frontier on harvested energy (1 simulated hour)");

@@ -15,6 +15,11 @@
 #      kernel rows are emitted at both precisions: f64 rows keep their
 #      historical names (comparable across revisions), the f32 twins
 #      carry an `_f32` suffix (e.g. `mlp_forward_pruned70_f32`).
+#
+# When a previous BENCH_sweep.json exists it becomes the baseline for the
+# regression gate: any row that slowed by more than 25% fails this script
+# (the baseline is read before the new snapshot overwrites it). Every run
+# also appends one line to BENCH_history.jsonl.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +32,13 @@ else
     cargo bench -p origin-bench
 fi
 
-echo "==> bench_report -> BENCH_sweep.json"
-cargo run --release -p origin-bench --bin bench_report BENCH_sweep.json
+if [[ -f BENCH_sweep.json ]]; then
+    echo "==> bench_report -> BENCH_sweep.json (gated against previous snapshot, threshold +25%)"
+    cargo run --release -p origin-bench --bin bench_report -- \
+        BENCH_sweep.json --baseline BENCH_sweep.json --check --threshold 25
+else
+    echo "==> bench_report -> BENCH_sweep.json (no previous snapshot; gate skipped)"
+    cargo run --release -p origin-bench --bin bench_report -- BENCH_sweep.json
+fi
 
 echo "==> wrote BENCH_sweep.json ($(git rev-parse --short HEAD))"

@@ -24,6 +24,9 @@
 #      per-dtype zero-allocation pins (crates/nn), then an f32 smoke of
 #      the sweep binary; the f64 goldens stay the determinism anchor,
 #      this step keeps the narrow path honest (DESIGN.md 3.2)
+#  10. bench_report --quick --check — a warn-only perf smoke against the
+#      committed BENCH_sweep.json (f64 kernel rows only, generous +50%
+#      threshold; scripts/bench.sh runs the full hard-fail gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,5 +63,14 @@ cargo test -q -p origin-nn --test precision_parity
 cargo test -q -p origin-nn --test alloc_count
 cargo run -q --release -p origin-bench --bin sweep -- \
     --precision f32 --seeds 1 --horizon 600 >/dev/null
+
+if [[ -f BENCH_sweep.json ]]; then
+    echo "==> bench_report --quick --check (perf smoke vs BENCH_sweep.json, warn-only)"
+    cargo run -q --release -p origin-bench --bin bench_report -- \
+        --quick --baseline BENCH_sweep.json --check --threshold 50 ||
+        echo "WARNING: quick perf smoke regressed (not blocking; scripts/bench.sh is the hard gate)"
+else
+    echo "==> no BENCH_sweep.json snapshot; skipping perf smoke"
+fi
 
 echo "==> all checks passed"

@@ -25,7 +25,7 @@
 //! use origin_repro::sensors::DatasetSpec;
 //!
 //! # fn main() -> Result<(), origin_repro::core::CoreError> {
-//! let models = ModelBank::train(&DatasetSpec::mhealth_like(), 42)?;
+//! let models = ModelBank::<f64>::train(&DatasetSpec::mhealth_like(), 42)?;
 //! let sim = Simulator::new(Deployment::builder().seed(42).build(), models);
 //! let report = sim.run(&SimConfig::new(PolicyKind::Origin { cycle: 12 }))?;
 //! println!("RR12 Origin: {:.2}% top-1", report.accuracy() * 100.0);
@@ -43,13 +43,13 @@
 //! use origin_repro::core::{BaselineKind, PolicyKind};
 //!
 //! # fn main() -> Result<(), origin_repro::core::CoreError> {
-//! let ctx = ExperimentContext::new(Dataset::Mhealth, 77)?;
+//! let ctx = ExperimentContext::<f64>::new(Dataset::Mhealth, 77)?;
 //! let grid = SweepGrid::new(77, vec![
 //!     SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
 //!     SweepPolicy::Baseline(BaselineKind::Baseline2),
 //! ])
 //! .with_seeds(5);
-//! let report = run_sweep(&ctx, &grid, &SweepOptions { threads: 0, instrument: false })?;
+//! let report = run_sweep(&ctx, &grid, &SweepOptions { threads: 0, ..SweepOptions::default() })?;
 //! println!("Origin: {}", report.accuracy_aggregate(0).fmt_pct());
 //! println!("win rate vs BL-2: {:.0}%", report.win_rate(0, 1) * 100.0);
 //! # Ok(())
