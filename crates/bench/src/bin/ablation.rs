@@ -6,7 +6,8 @@
 //!
 //! Each seed replica runs the full battery on its own derived RNG stream
 //! (the sweep engine's [`cell_stream`] derivation), sharing the one
-//! trained model bank. The output is independent of `--threads`.
+//! trained model bank. The output is independent of `--threads`. The
+//! shared CLI surface is documented in `docs/OPERATIONS.md`.
 
 use origin_bench::sweep::{cell_stream, parallel_map, Aggregate};
 use origin_bench::BenchArgs;

@@ -9,14 +9,68 @@
 //! per-user rows report the mean over those replicas, and the aggregate
 //! line carries the normal-approximation 95% confidence interval. The
 //! output is independent of `--threads`.
+//!
+//! `--population N` switches from the enumerated cohort to a sampled
+//! population streamed through the fleet engine ([`origin_bench::fleet`]):
+//! no per-user rows (users are not enumerable at that scale), but the
+//! same two-policy comparison with mean ± CI and paired win rate. See
+//! `docs/OPERATIONS.md` for when to prefer which.
 
+use origin_bench::fleet::{run_fleet, FleetOptions, FleetPlan};
 use origin_bench::sweep::{run_sweep, Aggregate, SweepGrid, SweepOptions, SweepPolicy};
 use origin_bench::{BenchArgs, Precision};
 use origin_core::experiments::{Dataset, ExperimentContext};
 use origin_core::{BaselineKind, PolicyKind};
 use origin_nn::Scalar;
 
+/// The sampled-population variant of the cohort study: same policy pair,
+/// streaming accumulators instead of retained cells.
+fn run_population<S: Scalar>(args: &BenchArgs, population: u32) {
+    let seed = args.u64_at(1, 77);
+    let seeds = u32::try_from(args.u64_flag("seeds", 1)).unwrap_or(1);
+    let ctx = ExperimentContext::<S>::new(Dataset::Mhealth, seed).expect("training succeeds");
+    let plan = FleetPlan::new(
+        seed,
+        vec![
+            SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+            SweepPolicy::Baseline(BaselineKind::Baseline2),
+        ],
+        population,
+    )
+    .with_seeds(seeds);
+    let opts = FleetOptions {
+        threads: args.threads(),
+        progress: args.u64_flag("progress", 0) != 0,
+        manifest_name: "cohort".to_owned(),
+        dtype: args.precision().label().to_owned(),
+        ..FleetOptions::default()
+    };
+    let report = run_fleet(&ctx, &plan, &opts).expect("simulation succeeds");
+
+    println!("# Cross-user population (n = {population} sampled, base seed {seed}, {seeds} seed replica(s))");
+    let origin = report.arms[0].accuracy.aggregate();
+    let bl2 = report.arms[1].accuracy.aggregate();
+    println!(
+        "Origin: {}   BL-2: {}   ({} runs per policy over {seeds} seed(s))",
+        origin.fmt_pct(),
+        bl2.fmt_pct(),
+        origin.n
+    );
+    println!(
+        "Origin wins {:.0}% of paired runs",
+        report.win_rate(0, 1) * 100.0
+    );
+    args.write_manifest(&report.to_manifest());
+}
+
 fn run<S: Scalar>(args: &BenchArgs) {
+    if let Some(population) = args.flag("population") {
+        let population = population
+            .parse::<u32>()
+            .unwrap_or_else(|e| panic!("--population {population:?}: {e}"));
+        run_population::<S>(args, population);
+        return;
+    }
     let users = u32::try_from(args.u64_at(0, 8)).unwrap_or(8);
     let seed = args.u64_at(1, 77);
     let seeds = u32::try_from(args.u64_flag("seeds", 3)).unwrap_or(3);

@@ -28,7 +28,9 @@
 //!
 //! Expect a few minutes in release mode: it trains four model banks
 //! (MHEALTH and PAMAP2, once per seed used) and runs several dozen
-//! one-hour simulations.
+//! one-hour simulations. The shared CLI surface — and the
+//! population-scale `sweep --population` mode that complements this
+//! enumerated reproduction — is documented in `docs/OPERATIONS.md`.
 
 use origin_bench::sweep::parallel_map;
 use origin_bench::{

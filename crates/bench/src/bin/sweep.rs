@@ -1,7 +1,9 @@
 //! The sweep engine on the command line: evaluate a (seed × policy ×
-//! user) grid in parallel and print per-policy aggregates.
+//! user) grid in parallel and print per-policy aggregates — or, with
+//! `--population N`, stream a sampled-population fleet study through
+//! O(1) accumulators with checkpoint/resume.
 //!
-//! Usage:
+//! Usage (enumerated grid):
 //!
 //! ```text
 //! cargo run -p origin-bench --bin sweep --release -- \
@@ -9,28 +11,56 @@
 //!     --threads 4 --json results/sweep.json
 //! ```
 //!
-//! Flags (all optional): `--seed BASE` (77), `--seeds N` (3),
-//! `--policies LIST` (`origin12,bl2`), `--users N` (1; > 1 samples a
-//! cohort), `--horizon SECS` (3600), `--threads N` (0 = auto),
-//! `--instrument 1` (per-cell JSONL traces + metrics in the manifest),
-//! `--ledger 1` (stream the per-slot energy ledger, audit conservation
-//! per cell, and print a per-policy energy table; exits nonzero if any
-//! slot fails the audit), `--spans PATH` (write logical-time span traces
-//! for all cells to one JSONL file — feed it to `trace_summary`),
-//! `--progress 1` (cells/s + ETA heartbeat on stderr),
+//! Usage (population study — see `docs/OPERATIONS.md` for the full
+//! operator's guide):
+//!
+//! ```text
+//! cargo run -p origin-bench --bin sweep --release -- \
+//!     --population 1000000 --policies origin12,rr12 --horizon 60 \
+//!     --threads 8 --checkpoint-every 16 --json results/population.json
+//! # interrupted? pick up where the last checkpoint left off:
+//! cargo run -p origin-bench --bin sweep --release -- \
+//!     --population 1000000 --policies origin12,rr12 --horizon 60 \
+//!     --threads 8 --checkpoint-every 16 --resume results/population.json \
+//!     --json results/population.json
+//! ```
+//!
+//! Flags (all optional): `--seed BASE` (77), `--seeds N` (3 enumerated,
+//! 1 population), `--policies LIST` (`origin12,bl2`), `--users N` (1;
+//! larger values sample a cohort), `--horizon SECS` (3600), `--threads N`
+//! (0 = auto), `--instrument 1` (per-cell JSONL traces + metrics in the
+//! manifest), `--ledger 1` (stream the per-slot energy ledger, audit
+//! conservation per cell, and print a per-policy energy table; exits
+//! nonzero if any slot fails the audit), `--spans PATH` (write
+//! logical-time span traces for all cells to one JSONL file — feed it to
+//! `trace_summary`), `--progress 1` (cells/s + ETA heartbeat on stderr),
 //! `--precision {f64,f32}` (kernel dtype; `f64` is the golden default),
 //! `--json PATH` (write the merged run manifest).
 //!
+//! Population-only flags: `--population N` (sample N users instead of
+//! enumerating a grid; per-cell flags `--instrument/--ledger/--spans`
+//! are rejected at this scale), `--shard-size N` (4096 columns per
+//! shard), `--checkpoint-every K` (write the manifest after every K
+//! completed shards; requires `--json`), `--resume PATH` (load a
+//! checkpoint manifest and skip its completed shards), `--max-shards N`
+//! (stop after N shards with a partial, resumable manifest).
+//!
 //! The report — and the `--json` manifest — is bitwise identical for any
-//! `--threads` value; only wall-clock changes. The ledger, span and
-//! progress paths never perturb the default stdout report: committed
-//! goldens regenerate byte-identically with or without them.
+//! `--threads` value, and a resumed run's final manifest is
+//! byte-identical to an uninterrupted one (`tests/sweep_determinism.rs`
+//! pins both). The ledger, span and progress paths never perturb the
+//! default stdout report: committed goldens regenerate byte-identically
+//! with or without them.
 
+use origin_bench::fleet::{
+    resume_states, run_fleet, FleetOptions, FleetPlan, FleetReport, DEFAULT_SHARD_SIZE,
+};
 use origin_bench::sweep::{
     available_threads, run_sweep, SweepGrid, SweepOptions, SweepPolicy, SweepReport,
 };
-use origin_bench::{BenchArgs, Precision};
+use origin_bench::{write_manifest_file, BenchArgs, Precision};
 use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_core::PopulationSpec;
 use origin_nn::Scalar;
 use origin_types::SimDuration;
 
@@ -70,7 +100,163 @@ fn print_report(report: &SweepReport, seeds: u32, users: usize) {
     }
 }
 
+/// Runs a `--population N` fleet study: sampled users, streaming
+/// accumulators, optional checkpoint/resume.
+fn run_population<S: Scalar>(args: &BenchArgs, population: u32) {
+    let base_seed = args.u64_flag("seed", 77);
+    let seeds = u32::try_from(args.u64_flag("seeds", 1)).unwrap_or(1);
+    let horizon = args.u64_flag("horizon", ExperimentContext::<S>::DEFAULT_HORIZON_SECS);
+    let shard_size = u32::try_from(args.u64_flag("shard-size", u64::from(DEFAULT_SHARD_SIZE)))
+        .unwrap_or(DEFAULT_SHARD_SIZE);
+    let checkpoint_every = args.u64_flag("checkpoint-every", 0);
+    let max_shards = args.flag("max-shards").map(|s| {
+        s.parse::<u64>()
+            .unwrap_or_else(|e| panic!("--max-shards {s:?}: {e}"))
+    });
+    let precision = args.precision();
+    let policies = SweepPolicy::parse_list(args.flag("policies").unwrap_or("origin12,bl2"))
+        .unwrap_or_else(|e| panic!("{e}"));
+    for flag in ["instrument", "ledger", "spans"] {
+        assert!(
+            args.flag(flag).is_none(),
+            "--{flag} captures per-cell traces and is not available with --population \
+             (the fleet engine keeps O(1) state per cell); drop --population to trace cells"
+        );
+    }
+    assert!(
+        checkpoint_every == 0 || args.json_path().is_some(),
+        "--checkpoint-every needs --json PATH: checkpoints are written to the manifest path"
+    );
+
+    let plan = FleetPlan::new(base_seed, policies, population)
+        .with_seeds(seeds)
+        .with_shard_size(shard_size)
+        .with_spec(PopulationSpec::default());
+    let resume = args.flag("resume").map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read checkpoint {path}: {e}"));
+        let manifest = origin_telemetry::RunManifest::parse(&text)
+            .unwrap_or_else(|e| panic!("checkpoint {path} does not parse: {e}"));
+        let states = resume_states(&manifest, &plan, horizon, precision.label())
+            .unwrap_or_else(|e| panic!("cannot resume from {path}: {e}"));
+        let done = states.iter().filter(|s| s.is_some()).count();
+        eprintln!(
+            "resuming from {path}: {done}/{} shards already complete",
+            plan.shard_count()
+        );
+        states
+    });
+
+    eprintln!("training MHEALTH-like models (seed {base_seed}, {precision} kernels)...");
+    let ctx = ExperimentContext::<S>::new(Dataset::Mhealth, base_seed)
+        .expect("training succeeds")
+        .with_horizon(SimDuration::from_secs(horizon));
+
+    let threads = args.threads();
+    let resolved = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    };
+    eprintln!(
+        "running {} cells in {} shards on {resolved} worker thread(s)...",
+        plan.cells_total(),
+        plan.shard_count()
+    );
+    println!(
+        "# Population study: {} cells ({} seeds x {} policies x {} sampled users, base seed {base_seed})\n",
+        plan.cells_total(),
+        seeds,
+        plan.policies.len(),
+        population
+    );
+
+    let opts = FleetOptions {
+        threads,
+        progress: args.u64_flag("progress", 0) != 0,
+        checkpoint_every,
+        checkpoint_path: args.json_path().map(std::path::Path::to_path_buf),
+        resume,
+        max_shards,
+        manifest_name: "sweep".to_owned(),
+        dtype: precision.label().to_owned(),
+    };
+    let report = run_fleet(&ctx, &plan, &opts).expect("simulation succeeds");
+
+    print_population_report(&report);
+    if let Some(path) = args.json_path() {
+        write_manifest_file(path, &report.to_manifest());
+    }
+}
+
+/// Prints the streamed per-arm statistics and the paired win-rate matrix.
+fn print_population_report(report: &FleetReport) {
+    if !report.complete() {
+        println!(
+            "# PARTIAL: {}/{} columns done — resume with --resume <manifest>\n",
+            report.columns_done,
+            report.plan.columns()
+        );
+    }
+    println!(
+        "{:<14} {:>8} {:>18} {:>8} {:>8} {:>8} {:>12}",
+        "policy", "n", "accuracy", "min", "max", "std", "completion"
+    );
+    for (i, policy) in report.plan.policies.iter().enumerate() {
+        let arm = &report.arms[i];
+        println!(
+            "{:<14} {:>8} {:>18} {:>7.2}% {:>7.2}% {:>7.2}% {:>11.2}%",
+            policy.label(),
+            arm.accuracy.n(),
+            arm.accuracy.aggregate().fmt_pct(),
+            arm.accuracy.min() * 100.0,
+            arm.accuracy.max() * 100.0,
+            arm.accuracy.std() * 100.0,
+            arm.completion.mean() * 100.0
+        );
+    }
+    println!(
+        "\n{:<14} {:>14} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "policy", "offered_uJ", "harvested_uJ", "consumed_uJ", "loss_uJ", "clipped_uJ", "leaked_uJ"
+    );
+    for (i, policy) in report.plan.policies.iter().enumerate() {
+        let arm = &report.arms[i];
+        println!(
+            "{:<14} {:>14.1} {:>14.1} {:>14.1} {:>12.1} {:>12.1} {:>12.1}",
+            policy.label(),
+            arm.offered_uj.mean(),
+            arm.harvested_uj.mean(),
+            arm.consumed_uj.mean(),
+            arm.charge_loss_uj.mean(),
+            arm.clipped_uj.mean(),
+            arm.leaked_uj.mean(),
+        );
+    }
+    println!();
+    for (a, pa) in report.plan.policies.iter().enumerate() {
+        for (b, pb) in report.plan.policies.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            println!(
+                "win rate {} vs {}: {:.0}% of {} paired columns",
+                pa.label(),
+                pb.label(),
+                report.win_rate(a, b) * 100.0,
+                report.columns_done
+            );
+        }
+    }
+}
+
 fn run<S: Scalar>(args: &BenchArgs) {
+    if let Some(population) = args.flag("population") {
+        let population = population
+            .parse::<u32>()
+            .unwrap_or_else(|e| panic!("--population {population:?}: {e}"));
+        run_population::<S>(args, population);
+        return;
+    }
     let base_seed = args.u64_flag("seed", 77);
     let seeds = u32::try_from(args.u64_flag("seeds", 3)).unwrap_or(3);
     let users = u32::try_from(args.u64_flag("users", 1)).unwrap_or(1);

@@ -1,0 +1,940 @@
+//! Population-scale streaming sweep engine: sharded execution, O(1)
+//! online accumulators, checkpoint/resume.
+//!
+//! The enumerated engine ([`run_sweep`](crate::sweep::run_sweep)) keeps
+//! every cell result; fine for paper-scale grids, memory-bound long
+//! before a million users. This module evaluates a **sampled population**
+//! ([`PopulationSpec`]) instead, streaming every cell through per-shard
+//! [`OnlineStats`] accumulators so memory stays O(shards × arms)
+//! regardless of population size.
+//!
+//! Determinism contract (DESIGN.md §11 walks through the design):
+//!
+//! * the shard layout is a pure function of the plan — a *shard* is a
+//!   contiguous range of *columns* (a column = one `(seed replica, user)`
+//!   pair, running every policy arm back-to-back so the policy pairing of
+//!   the enumerated engine is preserved exactly);
+//! * workers race only for *which* shard to run next; each shard folds
+//!   its own accumulators, and the final merge walks shards in index
+//!   order — so the output is bitwise identical at any `--threads`;
+//! * shard accumulator state serializes bit-exactly into the
+//!   [`RunManifest`] ([`OnlineStats::encode`]); a run resumed from a
+//!   checkpoint therefore finishes with **byte-identical** output to an
+//!   uninterrupted run (`tests/sweep_determinism.rs` pins both claims).
+
+use crate::stats::OnlineStats;
+use crate::sweep::{cell_stream, key_label, SweepPolicy};
+use origin_core::experiments::ExperimentContext;
+use origin_core::{
+    fully_powered_simulator, CoreError, PolicyKind, PopulationSpec, SimConfig, SimReport, Simulator,
+};
+use origin_nn::Scalar;
+use origin_telemetry::{JsonValue, ProgressMeter, RunManifest};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The description of one population sweep: which policies, how many
+/// sampled users and seed replicas, and how the column space is sharded.
+///
+/// The plan is pure data — two equal plans always describe bit-identical
+/// sweeps — and everything in it is stamped into the manifest so a
+/// checkpoint can refuse to resume under a different plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPlan {
+    /// Base seed every cell stream and every population draw derives
+    /// from.
+    pub base_seed: u64,
+    /// Number of seed replicas (each re-runs the same population under a
+    /// fresh world).
+    pub seed_count: u32,
+    /// The policy arms, all run per column (paired, like the enumerated
+    /// engine).
+    pub policies: Vec<SweepPolicy>,
+    /// Number of sampled users.
+    pub population: u32,
+    /// The population's parameter distributions.
+    pub spec: PopulationSpec,
+    /// Columns per shard (the checkpoint granularity).
+    pub shard_size: u32,
+}
+
+/// The default [`FleetPlan::shard_size`]: small enough that checkpoints
+/// are frequent at fleet scale, large enough that per-shard bookkeeping
+/// is noise.
+pub const DEFAULT_SHARD_SIZE: u32 = 4_096;
+
+impl FleetPlan {
+    /// A single-replica plan over `population` sampled users.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty policy list or a zero population.
+    #[must_use]
+    pub fn new(base_seed: u64, policies: Vec<SweepPolicy>, population: u32) -> Self {
+        assert!(!policies.is_empty(), "fleet plan needs at least one policy");
+        assert!(population > 0, "fleet plan needs at least one user");
+        Self {
+            base_seed,
+            seed_count: 1,
+            policies,
+            population,
+            spec: PopulationSpec::default(),
+            shard_size: DEFAULT_SHARD_SIZE,
+        }
+    }
+
+    /// Sets the number of seed replicas. Builder-style.
+    #[must_use]
+    pub fn with_seeds(mut self, seed_count: u32) -> Self {
+        self.seed_count = seed_count.max(1);
+        self
+    }
+
+    /// Sets the shard size (columns per shard). Builder-style.
+    #[must_use]
+    pub fn with_shard_size(mut self, shard_size: u32) -> Self {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+
+    /// Replaces the population distributions. Builder-style.
+    #[must_use]
+    pub fn with_spec(mut self, spec: PopulationSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Total columns: seed replicas × population.
+    #[must_use]
+    pub fn columns(&self) -> u64 {
+        u64::from(self.seed_count) * u64::from(self.population)
+    }
+
+    /// Total cells: columns × policy arms.
+    #[must_use]
+    pub fn cells_total(&self) -> u64 {
+        self.columns() * self.policies.len() as u64
+    }
+
+    /// Number of shards the column space splits into.
+    #[must_use]
+    pub fn shard_count(&self) -> u64 {
+        self.columns().div_ceil(u64::from(self.shard_size))
+    }
+
+    /// Shard `shard`'s column range as `(first_column, length)`.
+    #[must_use]
+    pub fn shard_range(&self, shard: u64) -> (u64, u64) {
+        let from = shard * u64::from(self.shard_size);
+        let len = u64::from(self.shard_size).min(self.columns().saturating_sub(from));
+        (from, len)
+    }
+
+    /// The manifest `config` entries that identify this plan (plus the
+    /// run's horizon and dtype). Resume refuses a checkpoint whose
+    /// fingerprint differs in any entry.
+    #[must_use]
+    pub fn fingerprint(&self, horizon_secs: u64, dtype: &str) -> Vec<(String, String)> {
+        let policy_list = self
+            .policies
+            .iter()
+            .map(SweepPolicy::label)
+            .collect::<Vec<_>>()
+            .join(", ");
+        vec![
+            ("mode".into(), "population".into()),
+            ("seeds".into(), self.seed_count.to_string()),
+            ("population".into(), self.population.to_string()),
+            ("policies".into(), policy_list),
+            ("shard_size".into(), self.shard_size.to_string()),
+            ("horizon_secs".into(), horizon_secs.to_string()),
+            ("dtype".into(), dtype.to_owned()),
+            ("gait_spread".into(), self.spec.gait_spread.to_string()),
+            ("harvest_sigma".into(), self.spec.harvest_sigma.to_string()),
+            ("dwell_spread".into(), self.spec.dwell_spread.to_string()),
+            ("snr_mean_db".into(), self.spec.snr_mean_db.to_string()),
+            ("snr_std_db".into(), self.spec.snr_std_db.to_string()),
+        ]
+    }
+
+    /// The unique manifest key fragment of arm `i` (index-prefixed so
+    /// duplicate labels cannot collide in shard state).
+    fn arm_state_key(&self, i: usize) -> String {
+        format!("arm{i}_{}", key_label(&self.policies[i].label()))
+    }
+}
+
+/// Streaming statistics of one policy arm: accuracy, completion rate and
+/// the six energy-ledger channels, each an [`OnlineStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmStats {
+    /// Top-1 accuracy per cell.
+    pub accuracy: OnlineStats,
+    /// Window completion rate per cell.
+    pub completion: OnlineStats,
+    /// Offered (incident) energy per cell, µJ.
+    pub offered_uj: OnlineStats,
+    /// Harvested energy per cell, µJ.
+    pub harvested_uj: OnlineStats,
+    /// Consumed energy per cell, µJ.
+    pub consumed_uj: OnlineStats,
+    /// Charge-transfer loss per cell, µJ.
+    pub charge_loss_uj: OnlineStats,
+    /// Clipped (capacitor-full) energy per cell, µJ.
+    pub clipped_uj: OnlineStats,
+    /// Leaked energy per cell, µJ.
+    pub leaked_uj: OnlineStats,
+}
+
+impl Default for ArmStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArmStats {
+    /// An empty arm accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            accuracy: OnlineStats::new(),
+            completion: OnlineStats::new(),
+            offered_uj: OnlineStats::new(),
+            harvested_uj: OnlineStats::new(),
+            consumed_uj: OnlineStats::new(),
+            charge_loss_uj: OnlineStats::new(),
+            clipped_uj: OnlineStats::new(),
+            leaked_uj: OnlineStats::new(),
+        }
+    }
+
+    /// Folds one cell's report in (the fleet engine's per-cell hot path).
+    pub fn push(&mut self, report: &SimReport) {
+        let e = report.energy_breakdown();
+        self.accuracy.push(report.accuracy());
+        self.completion.push(report.completion_rate());
+        self.offered_uj.push(e.offered.as_microjoules());
+        self.harvested_uj.push(e.harvested.as_microjoules());
+        self.consumed_uj.push(e.consumed.as_microjoules());
+        self.charge_loss_uj.push(e.charge_loss.as_microjoules());
+        self.clipped_uj.push(e.clipped.as_microjoules());
+        self.leaked_uj.push(e.leaked.as_microjoules());
+    }
+
+    /// Folds another arm accumulator in (fixed order — see
+    /// [`OnlineStats::merge`]).
+    pub fn merge(&mut self, other: &Self) {
+        self.accuracy.merge(&other.accuracy);
+        self.completion.merge(&other.completion);
+        self.offered_uj.merge(&other.offered_uj);
+        self.harvested_uj.merge(&other.harvested_uj);
+        self.consumed_uj.merge(&other.consumed_uj);
+        self.charge_loss_uj.merge(&other.charge_loss_uj);
+        self.clipped_uj.merge(&other.clipped_uj);
+        self.leaked_uj.merge(&other.leaked_uj);
+    }
+
+    /// Serializes all eight accumulators bit-exactly
+    /// (`"/"`-joined [`OnlineStats::encode`] fields, fixed order).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        [
+            &self.accuracy,
+            &self.completion,
+            &self.offered_uj,
+            &self.harvested_uj,
+            &self.consumed_uj,
+            &self.charge_loss_uj,
+            &self.clipped_uj,
+            &self.leaked_uj,
+        ]
+        .map(OnlineStats::encode)
+        .join("/")
+    }
+
+    /// Parses [`ArmStats::encode`] output back, bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field when `text` is not an eight-field
+    /// encoding.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let fields: Vec<&str> = text.split('/').collect();
+        if fields.len() != 8 {
+            return Err(format!(
+                "arm state has {} fields, expected 8: {text:?}",
+                fields.len()
+            ));
+        }
+        let stat = |i: usize| OnlineStats::decode(fields[i]);
+        Ok(Self {
+            accuracy: stat(0)?,
+            completion: stat(1)?,
+            offered_uj: stat(2)?,
+            harvested_uj: stat(3)?,
+            consumed_uj: stat(4)?,
+            charge_loss_uj: stat(5)?,
+            clipped_uj: stat(6)?,
+            leaked_uj: stat(7)?,
+        })
+    }
+
+    /// The manifest `results` entries for this arm under key fragment
+    /// `key` — the same `*_uj_mean` family the enumerated engine emits,
+    /// plus the streaming extras (CI, min, max).
+    #[must_use]
+    pub fn result_entries(&self, key: &str) -> Vec<(String, JsonValue)> {
+        vec![
+            (format!("{key}_n"), JsonValue::from(self.accuracy.n())),
+            (format!("{key}_accuracy_mean"), self.accuracy.mean().into()),
+            (format!("{key}_accuracy_std"), self.accuracy.std().into()),
+            (format!("{key}_accuracy_ci95"), self.accuracy.ci95().into()),
+            (format!("{key}_accuracy_min"), self.accuracy.min().into()),
+            (format!("{key}_accuracy_max"), self.accuracy.max().into()),
+            (
+                format!("{key}_completion_mean"),
+                self.completion.mean().into(),
+            ),
+            (
+                format!("{key}_offered_uj_mean"),
+                self.offered_uj.mean().into(),
+            ),
+            (
+                format!("{key}_harvested_uj_mean"),
+                self.harvested_uj.mean().into(),
+            ),
+            (
+                format!("{key}_consumed_uj_mean"),
+                self.consumed_uj.mean().into(),
+            ),
+            (
+                format!("{key}_charge_loss_uj_mean"),
+                self.charge_loss_uj.mean().into(),
+            ),
+            (
+                format!("{key}_clipped_uj_mean"),
+                self.clipped_uj.mean().into(),
+            ),
+            (
+                format!("{key}_leaked_uj_mean"),
+                self.leaked_uj.mean().into(),
+            ),
+        ]
+    }
+}
+
+/// One completed shard's accumulator state: per-arm statistics plus the
+/// strict pairwise win counts of its columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardState {
+    /// Shard index in the plan's layout.
+    pub shard: u64,
+    /// Columns this shard folded (always the full [`FleetPlan::shard_range`]
+    /// length — only whole shards are checkpointed).
+    pub columns: u64,
+    /// Per-arm accumulators, indexed like [`FleetPlan::policies`].
+    pub arms: Vec<ArmStats>,
+    /// Flattened strict-win counts: `wins[a * arms + b]` counts columns
+    /// where arm `a`'s accuracy strictly exceeded arm `b`'s.
+    pub wins: Vec<u64>,
+}
+
+impl ShardState {
+    fn empty(shard: u64, arm_count: usize) -> Self {
+        Self {
+            shard,
+            columns: 0,
+            arms: vec![ArmStats::new(); arm_count],
+            wins: vec![0; arm_count * arm_count],
+        }
+    }
+
+    /// Renders this shard as a checkpoint child manifest. All state goes
+    /// into `config` entries (strings), so nothing passes through JSON
+    /// float formatting.
+    #[must_use]
+    pub fn to_child(&self, plan: &FleetPlan) -> RunManifest {
+        let (from, _) = plan.shard_range(self.shard);
+        let mut child = RunManifest::new(&shard_name(self.shard), plan.base_seed, "")
+            .with_config("shard", self.shard)
+            .with_config("columns_from", from)
+            .with_config("columns", self.columns);
+        for (i, arm) in self.arms.iter().enumerate() {
+            child = child.with_config(&plan.arm_state_key(i), arm.encode());
+        }
+        let wins = self
+            .wins
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        child.with_config("wins", wins)
+    }
+
+    /// Parses a checkpoint child back into shard state, bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or malformed entry.
+    pub fn from_child(child: &RunManifest, plan: &FleetPlan) -> Result<Self, String> {
+        let shard = child
+            .config_u64("shard")
+            .ok_or_else(|| format!("checkpoint child {:?} has no shard index", child.name))?;
+        if shard >= plan.shard_count() {
+            return Err(format!(
+                "checkpoint shard {shard} is outside the plan's {} shards",
+                plan.shard_count()
+            ));
+        }
+        let columns = child
+            .config_u64("columns")
+            .ok_or_else(|| format!("shard {shard} checkpoint has no column count"))?;
+        let (_, expected) = plan.shard_range(shard);
+        if columns != expected {
+            return Err(format!(
+                "shard {shard} checkpoint covers {columns} columns, expected {expected}"
+            ));
+        }
+        let arm_count = plan.policies.len();
+        let mut arms = Vec::with_capacity(arm_count);
+        for i in 0..arm_count {
+            let key = plan.arm_state_key(i);
+            let encoded = child
+                .config_value(&key)
+                .ok_or_else(|| format!("shard {shard} checkpoint is missing arm state {key:?}"))?;
+            arms.push(ArmStats::decode(encoded)?);
+        }
+        let wins = child
+            .config_value("wins")
+            .ok_or_else(|| format!("shard {shard} checkpoint is missing win counts"))?
+            .split(',')
+            .map(|w| {
+                w.parse::<u64>()
+                    .map_err(|e| format!("shard {shard} win count {w:?}: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if wins.len() != arm_count * arm_count {
+            return Err(format!(
+                "shard {shard} checkpoint has {} win counts, expected {}",
+                wins.len(),
+                arm_count * arm_count
+            ));
+        }
+        Ok(Self {
+            shard,
+            columns,
+            arms,
+            wins,
+        })
+    }
+}
+
+fn shard_name(shard: u64) -> String {
+    format!("shard_{shard:05}")
+}
+
+/// Execution knobs for [`run_fleet`]. Like the enumerated engine's
+/// options, none of these may influence the results — threads, progress,
+/// checkpoint cadence and resume state only change *how* the answer is
+/// computed, never the answer.
+#[derive(Debug, Clone, Default)]
+pub struct FleetOptions {
+    /// Worker threads; 0 means all available.
+    pub threads: usize,
+    /// Stream cell-completion progress to stderr (cosmetic only).
+    pub progress: bool,
+    /// Write a checkpoint manifest after every N completed shards
+    /// (0 = off). Requires [`FleetOptions::checkpoint_path`].
+    pub checkpoint_every: u64,
+    /// Where checkpoints land (atomically: temp file + rename).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Shard states recovered from a checkpoint
+    /// ([`resume_states`]); completed shards are not re-run.
+    pub resume: Option<Vec<Option<ShardState>>>,
+    /// Run at most this many (incomplete) shards, then stop with a
+    /// partial report — the time-boxing/interruption hook the
+    /// checkpoint/resume tests drive.
+    pub max_shards: Option<u64>,
+    /// The manifest name checkpoints are written under.
+    pub manifest_name: String,
+    /// The kernel dtype label stamped into the manifest fingerprint
+    /// ("f64"/"f32" — [`crate::Precision::label`]).
+    pub dtype: String,
+}
+
+/// The outcome of a fleet run: merged per-arm statistics, pairwise win
+/// counts, and every shard's state (for the manifest's audit trail and
+/// for resumption when the run was partial).
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The plan that was executed.
+    pub plan: FleetPlan,
+    /// The horizon the cells ran at, whole seconds.
+    pub horizon_secs: u64,
+    /// The kernel dtype ("f64"/"f32").
+    pub dtype: String,
+    /// Merged per-arm statistics over all completed shards (merged in
+    /// shard-index order).
+    pub arms: Vec<ArmStats>,
+    /// Merged strict pairwise win counts (`wins[a * arms + b]`).
+    pub wins: Vec<u64>,
+    /// Columns completed (equals [`FleetPlan::columns`] when complete).
+    pub columns_done: u64,
+    /// Per-shard states; `None` for shards not yet run (partial runs).
+    pub shards: Vec<Option<ShardState>>,
+    /// The manifest name ([`FleetOptions::manifest_name`]).
+    pub name: String,
+}
+
+impl FleetReport {
+    /// Whether every shard completed.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.columns_done == self.plan.columns()
+    }
+
+    /// Fraction of completed columns where arm `a`'s accuracy strictly
+    /// exceeded arm `b`'s. Columns are paired: both arms simulated the
+    /// same world (same [`cell_stream`] seed, same sampled user).
+    #[must_use]
+    pub fn win_rate(&self, a: usize, b: usize) -> f64 {
+        if self.columns_done == 0 {
+            return 0.0;
+        }
+        self.wins[a * self.plan.policies.len() + b] as f64 / self.columns_done as f64
+    }
+
+    /// Renders the run (or checkpoint — same format) as a manifest:
+    /// the plan fingerprint and completion counters in `config`, the
+    /// merged per-arm statistics and pairwise win rates in `results`,
+    /// and one child per completed shard carrying its bit-exact
+    /// accumulator state.
+    #[must_use]
+    pub fn to_manifest(&self) -> RunManifest {
+        let plan = &self.plan;
+        let policy_list = plan
+            .policies
+            .iter()
+            .map(SweepPolicy::label)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut manifest = RunManifest::new(&self.name, plan.base_seed, &policy_list);
+        for (key, value) in plan.fingerprint(self.horizon_secs, &self.dtype) {
+            manifest = manifest.with_config(&key, value);
+        }
+        manifest = manifest
+            .with_config("columns", plan.columns())
+            .with_config("columns_done", self.columns_done)
+            .with_config("shards_total", plan.shard_count())
+            .with_config(
+                "shards_done",
+                self.shards.iter().filter(|s| s.is_some()).count(),
+            )
+            .with_config("cells_total", plan.cells_total())
+            .with_config(
+                "cells_completed",
+                self.columns_done * plan.policies.len() as u64,
+            );
+        for (i, policy) in plan.policies.iter().enumerate() {
+            let key = key_label(&policy.label());
+            for (k, v) in self.arms[i].result_entries(&key) {
+                manifest = manifest.with_result(&k, v);
+            }
+        }
+        for (a, pa) in plan.policies.iter().enumerate() {
+            for (b, pb) in plan.policies.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let key = format!(
+                    "{}_win_rate_vs_{}",
+                    key_label(&pa.label()),
+                    key_label(&pb.label())
+                );
+                manifest = manifest.with_result(&key, self.win_rate(a, b).into());
+            }
+        }
+        for state in self.shards.iter().flatten() {
+            manifest = manifest.with_child(state.to_child(plan));
+        }
+        manifest
+    }
+}
+
+/// Recovers per-shard states from a checkpoint manifest, refusing any
+/// checkpoint whose plan fingerprint (seeds, population, policies, shard
+/// size, horizon, dtype, distributions) differs from `plan`.
+///
+/// # Errors
+///
+/// Describes the first mismatched fingerprint entry or malformed shard
+/// child.
+pub fn resume_states(
+    checkpoint: &RunManifest,
+    plan: &FleetPlan,
+    horizon_secs: u64,
+    dtype: &str,
+) -> Result<Vec<Option<ShardState>>, String> {
+    if checkpoint.seed != plan.base_seed {
+        return Err(format!(
+            "checkpoint base seed {} does not match the requested {}",
+            checkpoint.seed, plan.base_seed
+        ));
+    }
+    for (key, expected) in plan.fingerprint(horizon_secs, dtype) {
+        match checkpoint.config_value(&key) {
+            Some(found) if found == expected => {}
+            Some(found) => {
+                return Err(format!(
+                    "checkpoint {key} = {found:?} does not match the requested {expected:?}"
+                ))
+            }
+            None => return Err(format!("checkpoint has no {key:?} config entry")),
+        }
+    }
+    let mut states: Vec<Option<ShardState>> =
+        vec![None; usize::try_from(plan.shard_count()).unwrap_or(usize::MAX)];
+    for child in &checkpoint.children {
+        let state = ShardState::from_child(child, plan)?;
+        let slot = usize::try_from(state.shard).map_err(|_| "shard index overflow".to_owned())?;
+        states[slot] = Some(state);
+    }
+    Ok(states)
+}
+
+/// Evaluates `plan` over `ctx`, streaming every cell through shard
+/// accumulators.
+///
+/// Memory is O(shards × arms): no cell result is retained. With
+/// [`FleetOptions::checkpoint_every`] set, completed-shard state is
+/// serialized to [`FleetOptions::checkpoint_path`] as the run goes;
+/// passing recovered state back through [`FleetOptions::resume`] skips
+/// those shards and still produces byte-identical final output.
+///
+/// # Errors
+///
+/// Returns the failing shard with the lowest index (deterministic even
+/// though later shards may have failed too).
+///
+/// # Panics
+///
+/// Panics when a checkpoint file cannot be written (the experiment
+/// binaries' error channel).
+pub fn run_fleet<S: Scalar>(
+    ctx: &ExperimentContext<S>,
+    plan: &FleetPlan,
+    opts: &FleetOptions,
+) -> Result<FleetReport, CoreError> {
+    let horizon_secs = ctx.horizon.as_micros() / 1_000_000;
+    let harvest_sim = ctx.simulator();
+    let baseline_sim = fully_powered_simulator(Arc::clone(&ctx.models));
+    let shard_count = usize::try_from(plan.shard_count()).unwrap_or(usize::MAX);
+    let states = match &opts.resume {
+        Some(recovered) => {
+            assert_eq!(
+                recovered.len(),
+                shard_count,
+                "resume state does not match the plan's shard count"
+            );
+            recovered.clone()
+        }
+        None => vec![None; shard_count],
+    };
+    let arms = plan.policies.len();
+    let resumed_columns: u64 = states.iter().flatten().map(|s| s.columns).sum();
+    let todo: Vec<u64> = {
+        let mut todo: Vec<u64> = (0..plan.shard_count())
+            .filter(|&s| states[usize::try_from(s).unwrap_or(usize::MAX)].is_none())
+            .collect();
+        if let Some(max) = opts.max_shards {
+            todo.truncate(usize::try_from(max).unwrap_or(usize::MAX));
+        }
+        todo
+    };
+    let todo_count = todo.len() as u64;
+
+    let cells_done = AtomicU64::new(resumed_columns * arms as u64);
+    let shards_done_this_run = AtomicU64::new(0);
+    let shared = Mutex::new(states);
+    let errors: Mutex<Vec<(u64, CoreError)>> = Mutex::new(Vec::new());
+    let next = AtomicUsize::new(0);
+    let threads = if opts.threads == 0 {
+        crate::sweep::available_threads()
+    } else {
+        opts.threads
+    }
+    .min(todo.len().max(1));
+
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&shard) = todo.get(i) else { break };
+        match run_shard(ctx, plan, &harvest_sim, &baseline_sim, shard, &cells_done) {
+            Ok(state) => {
+                let done = shards_done_this_run.fetch_add(1, Ordering::Relaxed) + 1;
+                let snapshot = {
+                    let mut guard = shared.lock().expect("shard state lock poisoned");
+                    guard[usize::try_from(shard).unwrap_or(usize::MAX)] = Some(state);
+                    let due = opts.checkpoint_every > 0
+                        && opts.checkpoint_path.is_some()
+                        && (done.is_multiple_of(opts.checkpoint_every) || done == todo_count);
+                    due.then(|| guard.clone())
+                };
+                if let Some(snapshot) = snapshot {
+                    if let Some(path) = &opts.checkpoint_path {
+                        write_checkpoint(
+                            path,
+                            &assemble(plan, horizon_secs, snapshot, opts, arms).to_manifest(),
+                            done,
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                errors.lock().expect("error lock poisoned").push((shard, e));
+                break;
+            }
+        }
+    };
+
+    if opts.progress {
+        run_workers_with_progress(plan, threads, &cells_done, &worker);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 1..threads {
+                scope.spawn(worker);
+            }
+            worker();
+        });
+    }
+
+    let mut failures = errors.into_inner().expect("error lock poisoned");
+    failures.sort_by_key(|(shard, _)| *shard);
+    if let Some((_, error)) = failures.into_iter().next() {
+        return Err(error);
+    }
+    let states = shared.into_inner().expect("shard state lock poisoned");
+    Ok(assemble(plan, horizon_secs, states, opts, arms))
+}
+
+/// Merges shard states in index order into the final report — the one
+/// place merge order is decided, so it cannot vary with scheduling.
+fn assemble(
+    plan: &FleetPlan,
+    horizon_secs: u64,
+    states: Vec<Option<ShardState>>,
+    opts: &FleetOptions,
+    arms: usize,
+) -> FleetReport {
+    let mut merged = vec![ArmStats::new(); arms];
+    let mut wins = vec![0u64; arms * arms];
+    let mut columns_done = 0u64;
+    for state in states.iter().flatten() {
+        for (into, from) in merged.iter_mut().zip(&state.arms) {
+            into.merge(from);
+        }
+        for (into, from) in wins.iter_mut().zip(&state.wins) {
+            *into += from;
+        }
+        columns_done += state.columns;
+    }
+    FleetReport {
+        plan: plan.clone(),
+        horizon_secs,
+        dtype: opts.dtype.clone(),
+        arms: merged,
+        wins,
+        columns_done,
+        shards: states,
+        name: opts.manifest_name.clone(),
+    }
+}
+
+/// Runs one shard's columns, folding every cell into fresh accumulators.
+fn run_shard<S: Scalar>(
+    ctx: &ExperimentContext<S>,
+    plan: &FleetPlan,
+    harvest_sim: &Simulator<S>,
+    baseline_sim: &Simulator<S>,
+    shard: u64,
+    cells_done: &AtomicU64,
+) -> Result<ShardState, CoreError> {
+    let arms = plan.policies.len();
+    let (from, len) = plan.shard_range(shard);
+    let mut state = ShardState::empty(shard, arms);
+    let mut accuracies = vec![0.0f64; arms];
+    for column in from..from + len {
+        let seed_idx = u32::try_from(column / u64::from(plan.population)).unwrap_or(u32::MAX);
+        let user_idx = u32::try_from(column % u64::from(plan.population)).unwrap_or(u32::MAX);
+        let user = plan.spec.sample_user(plan.base_seed, user_idx);
+        let sim_seed = cell_stream(plan.base_seed, seed_idx, user_idx);
+        for (i, policy) in plan.policies.iter().enumerate() {
+            let mut config = SimConfig::new(PolicyKind::NaiveAllOn)
+                .with_horizon(ctx.horizon)
+                .with_seed(sim_seed)
+                .with_user(user.profile)
+                .with_dwell_scale(user.dwell_scale)
+                .with_harvest_scale(user.harvest_scale)
+                .with_noise_snr(user.snr_db);
+            let sim = match policy {
+                SweepPolicy::Policy(kind) => {
+                    config.policy = *kind;
+                    harvest_sim
+                }
+                SweepPolicy::Baseline(kind) => {
+                    config.variant = kind.variant();
+                    baseline_sim
+                }
+            };
+            let report = sim.run(&config)?;
+            accuracies[i] = report.accuracy();
+            state.arms[i].push(&report);
+        }
+        for a in 0..arms {
+            for b in 0..arms {
+                if a != b && accuracies[a] > accuracies[b] {
+                    state.wins[a * arms + b] += 1;
+                }
+            }
+        }
+        state.columns += 1;
+        cells_done.fetch_add(arms as u64, Ordering::Relaxed);
+    }
+    Ok(state)
+}
+
+/// The worker pool plus a stderr heartbeat thread. Wall-clock by nature
+/// and stderr-only by contract: nothing here can reach the results.
+#[allow(clippy::disallowed_methods)]
+fn run_workers_with_progress(
+    plan: &FleetPlan,
+    threads: usize,
+    cells_done: &AtomicU64,
+    worker: &(impl Fn() + Sync),
+) {
+    use std::time::{Duration, Instant};
+    let meter = ProgressMeter::new("fleet", "cells", plan.cells_total());
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let reporter = scope.spawn(|| loop {
+            std::thread::sleep(Duration::from_millis(250));
+            let done = cells_done.load(Ordering::Relaxed);
+            let secs = started.elapsed().as_secs_f64();
+            if stop.load(Ordering::Relaxed) || done >= meter.total() {
+                eprintln!("{}", meter.final_line(done, secs));
+                break;
+            }
+            eprintln!("{}", meter.line(done, secs));
+        });
+        for _ in 1..threads {
+            scope.spawn(worker);
+        }
+        worker();
+        stop.store(true, Ordering::Relaxed);
+        let _ = reporter.join();
+    });
+}
+
+/// Atomically replaces the checkpoint at `path` (unique temp file +
+/// rename, so an interrupted write can never corrupt a resumable
+/// checkpoint). Concurrent writers each use their own temp file; the
+/// last rename wins.
+fn write_checkpoint(path: &Path, manifest: &RunManifest, token: u64) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {parent:?}: {e}"));
+        }
+    }
+    let mut text = manifest.render_pretty();
+    text.push('\n');
+    let tmp = path.with_extension(format!("tmp{token}"));
+    std::fs::write(&tmp, text).unwrap_or_else(|e| panic!("cannot write {tmp:?}: {e}"));
+    std::fs::rename(&tmp, path)
+        .unwrap_or_else(|e| panic!("cannot move checkpoint to {path:?}: {e}"));
+    eprintln!("checkpoint: {} ({} shards banked)", path.display(), token);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FleetPlan {
+        FleetPlan::new(
+            7,
+            vec![
+                SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+                SweepPolicy::Policy(PolicyKind::RoundRobin { cycle: 12 }),
+            ],
+            10,
+        )
+        .with_seeds(2)
+        .with_shard_size(3)
+    }
+
+    #[test]
+    fn shard_layout_covers_the_column_space_exactly() {
+        let p = plan();
+        assert_eq!(p.columns(), 20);
+        assert_eq!(p.cells_total(), 40);
+        assert_eq!(p.shard_count(), 7);
+        let mut covered = 0;
+        for s in 0..p.shard_count() {
+            let (from, len) = p.shard_range(s);
+            assert_eq!(from, covered);
+            covered += len;
+            assert!(len >= 1 && len <= 3);
+        }
+        assert_eq!(covered, p.columns());
+        assert_eq!(p.shard_range(6), (18, 2), "last shard is short");
+    }
+
+    #[test]
+    fn shard_state_round_trips_bit_exactly_through_a_child_manifest() {
+        let p = plan();
+        let mut state = ShardState::empty(3, 2);
+        state.columns = 3;
+        for x in [0.25, -0.0, 1e-300] {
+            state.arms[0].accuracy.push(x);
+            state.arms[1].harvested_uj.push(x * 3.0);
+        }
+        state.wins = vec![0, 2, 1, 0];
+        let child = state.to_child(&p);
+        let back = ShardState::from_child(&child, &p).expect("round-trips");
+        assert_eq!(back, state);
+        assert_eq!(back.arms[0].encode(), state.arms[0].encode());
+    }
+
+    #[test]
+    fn resume_rejects_fingerprint_drift() {
+        let p = plan();
+        let report = FleetReport {
+            plan: p.clone(),
+            horizon_secs: 60,
+            dtype: "f64".into(),
+            arms: vec![ArmStats::new(); 2],
+            wins: vec![0; 4],
+            columns_done: 0,
+            shards: vec![None; 7],
+            name: "fleet".into(),
+        };
+        let manifest = report.to_manifest();
+        assert!(resume_states(&manifest, &p, 60, "f64").is_ok());
+        assert!(resume_states(&manifest, &p, 61, "f64")
+            .unwrap_err()
+            .contains("horizon_secs"));
+        assert!(resume_states(&manifest, &p, 60, "f32")
+            .unwrap_err()
+            .contains("dtype"));
+        let bigger = p.clone().with_shard_size(5);
+        assert!(resume_states(&manifest, &bigger, 60, "f64")
+            .unwrap_err()
+            .contains("shard_size"));
+        let mut other_seed = p;
+        other_seed.base_seed = 8;
+        assert!(resume_states(&manifest, &other_seed, 60, "f64")
+            .unwrap_err()
+            .contains("base seed"));
+    }
+}

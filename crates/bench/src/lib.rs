@@ -4,13 +4,18 @@
 //! per paper figure/table — see DESIGN.md §5); the Criterion performance
 //! benchmarks live in `benches/`. This library carries the pieces they
 //! share: small-model training for benchmarks, the common `--json <path>`
-//! CLI flag, and the telemetry plumbing (instrumented simulation runs and
-//! run-manifest assembly — see EXPERIMENTS.md §Telemetry).
+//! CLI flag, the telemetry plumbing (instrumented simulation runs and
+//! run-manifest assembly — see EXPERIMENTS.md §Telemetry), the enumerated
+//! sweep engine ([`sweep`]), the streaming accumulators ([`stats`]) and
+//! the population-scale fleet engine ([`fleet`] — DESIGN.md §11). The
+//! binaries' command-line surface is documented in `docs/OPERATIONS.md`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod fleet;
 pub mod regression;
+pub mod stats;
 pub mod sweep;
 
 use origin_core::{CoreError, ModelBank, SimConfig, SimReport, Simulator};
@@ -312,6 +317,9 @@ pub fn sim_config_entries(config: &SimConfig) -> Vec<(String, String)> {
         ("alpha".to_owned(), config.alpha.to_string()),
         ("dwell_scale".to_owned(), config.dwell_scale.to_string()),
     ];
+    if config.harvest_scale != 1.0 {
+        entries.push(("harvest_scale".to_owned(), config.harvest_scale.to_string()));
+    }
     if let Some(snr) = config.noise_snr_db {
         entries.push(("noise_snr_db".to_owned(), snr.to_string()));
     }
@@ -537,5 +545,12 @@ mod tests {
         assert_eq!(get("seed"), Some("11"));
         assert_eq!(get("noise_snr_db"), Some("20"));
         assert_eq!(get("horizon_secs"), Some("3600"));
+        // harvest_scale only appears when it deviates from 1.0 (the
+        // enumerated goldens keep their exact byte shape).
+        assert_eq!(get("harvest_scale"), None);
+        let scaled = sim_config_entries(&config.with_harvest_scale(0.5));
+        assert!(scaled
+            .iter()
+            .any(|(k, v)| k == "harvest_scale" && v == "0.5"));
     }
 }

@@ -1,0 +1,439 @@
+//! Streaming sample statistics for fleet-scale sweeps.
+//!
+//! An enumerated sweep keeps every cell and computes its statistics in a
+//! two-pass sweep over the buffer ([`Aggregate::from_values`]). A
+//! population sweep cannot afford the buffer: [`OnlineStats`] holds the
+//! same information — count, mean, second central moment, min, max — in
+//! O(1) space using Welford's online update, and merges across shards
+//! with the parallel (Chan et al.) combination rule.
+//!
+//! Two properties matter for the engine's determinism contract
+//! (DESIGN.md §11):
+//!
+//! * merging is performed in **fixed shard order** — floating-point
+//!   Welford merges are associative only to rounding error, so the
+//!   engine never lets the schedule pick the order;
+//! * accumulator state serializes **bit-exactly** ([`OnlineStats::encode`]
+//!   hex-encodes the `f64` bit patterns), so a sweep resumed from a
+//!   checkpoint finishes with byte-identical output to an uninterrupted
+//!   run.
+
+/// Sample statistics over one metric of one policy arm.
+///
+/// Produced either from a full buffer ([`Aggregate::from_values`], the
+/// enumerated sweep path) or from a streaming accumulator
+/// ([`OnlineStats::aggregate`], the population path); `tests/welford.rs`
+/// pins the two paths to within 1e-12 of each other.
+///
+/// # Examples
+///
+/// ```
+/// use origin_bench::sweep::Aggregate;
+///
+/// let agg = Aggregate::from_values(&[0.90, 0.92, 0.91]);
+/// assert_eq!(agg.n, 3);
+/// assert!((agg.mean - 0.91).abs() < 1e-12);
+/// assert!(agg.fmt_pct().starts_with("91.00% ±"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Sample count.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// (`1.96·std/√n`; 0 for n < 2).
+    pub ci95: f64,
+}
+
+impl Aggregate {
+    /// Statistics of `values` (mean / sample std / 95% CI half-width).
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Self {
+                n,
+                mean: 0.0,
+                std: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Self {
+                n,
+                mean,
+                std: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let std = var.sqrt();
+        Self {
+            n,
+            mean,
+            std,
+            ci95: 1.96 * std / (n as f64).sqrt(),
+        }
+    }
+
+    /// `"91.52% ± 0.34"` — the mean and CI half-width as percentages.
+    #[must_use]
+    pub fn fmt_pct(&self) -> String {
+        format!("{:.2}% ± {:.2}", self.mean * 100.0, self.ci95 * 100.0)
+    }
+}
+
+/// Welford online accumulator: count, mean, M2 (second central moment),
+/// min and max in O(1) space.
+///
+/// Push samples with [`OnlineStats::push`], combine shard accumulators
+/// with [`OnlineStats::merge`] (in fixed shard order — see the module
+/// docs), and read the same mean/std/CI an [`Aggregate`] would report.
+///
+/// # Examples
+///
+/// ```
+/// use origin_bench::sweep::{Aggregate, OnlineStats};
+///
+/// let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+/// let mut online = OnlineStats::new();
+/// for v in values {
+///     online.push(v);
+/// }
+/// let two_pass = Aggregate::from_values(&values);
+/// assert_eq!(online.n(), 8);
+/// assert!((online.mean() - two_pass.mean).abs() < 1e-12);
+/// assert!((online.std() - two_pass.std).abs() < 1e-12);
+/// assert_eq!(online.min(), 2.0);
+/// assert_eq!(online.max(), 9.0);
+/// // Bit-exact round-trip for checkpoints:
+/// assert_eq!(OnlineStats::decode(&online.encode()).unwrap(), online);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample in (Welford's update; no allocation — this is
+    /// the fleet engine's per-cell hot path, declared in
+    /// `lint-allow.toml` `[hot-paths]`).
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Folds another accumulator in (Chan et al. parallel combination).
+    ///
+    /// Merging an empty side is an exact no-op — the other side's bits
+    /// come through unchanged — which is what makes a resumed sweep
+    /// bit-identical to an uninterrupted one. Merging two non-empty
+    /// accumulators is associative only to rounding error, so callers
+    /// must merge in a fixed order (the engine merges by shard index).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (other.n as f64 / n as f64);
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64 / n as f64);
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sample count.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n as f64 - 1.0)).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% CI (0 for n < 2).
+    #[must_use]
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen (0 when empty, matching [`OnlineStats::mean`]).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample seen (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The [`Aggregate`] view of this accumulator (what reports print).
+    #[must_use]
+    pub fn aggregate(&self) -> Aggregate {
+        Aggregate {
+            n: usize::try_from(self.n).unwrap_or(usize::MAX),
+            mean: self.mean(),
+            std: self.std(),
+            ci95: self.ci95(),
+        }
+    }
+
+    /// Serializes the accumulator **bit-exactly** as
+    /// `"n:mean:m2:min:max"` with each `f64` as its 16-hex-digit IEEE-754
+    /// bit pattern. Checkpoints store this in manifest `config` entries
+    /// (strings), sidestepping JSON float formatting entirely.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        format!(
+            "{}:{:016x}:{:016x}:{:016x}:{:016x}",
+            self.n,
+            self.mean.to_bits(),
+            self.m2.to_bits(),
+            self.min.to_bits(),
+            self.max.to_bits()
+        )
+    }
+
+    /// Parses [`OnlineStats::encode`] output back, bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field when `text` is not a five-field
+    /// encoding.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let mut parts = text.split(':');
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| format!("accumulator state {text:?} is missing the {what} field"))
+        };
+        let n = next("n")?
+            .parse::<u64>()
+            .map_err(|e| format!("accumulator count in {text:?}: {e}"))?;
+        let bits = |what: &str, raw: &str| {
+            u64::from_str_radix(raw, 16)
+                .map(f64::from_bits)
+                .map_err(|e| format!("accumulator {what} bits in {text:?}: {e}"))
+        };
+        let mean = next("mean").and_then(|raw| bits("mean", raw))?;
+        let m2 = next("m2").and_then(|raw| bits("m2", raw))?;
+        let min = next("min").and_then(|raw| bits("min", raw))?;
+        let max = next("max").and_then(|raw| bits("max", raw))?;
+        if parts.next().is_some() {
+            return Err(format!("accumulator state {text:?} has trailing fields"));
+        }
+        Ok(Self {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic value stream for property-style loops (the
+    /// real `proptest` dependency is unavailable offline; a counted loop
+    /// over splitmix64 draws covers the same ground deterministically).
+    fn stream(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_matches_two_pass_aggregate() {
+        for (seed, len) in [(1u64, 1usize), (2, 2), (3, 7), (4, 100), (5, 1000)] {
+            let values = stream(seed, len);
+            let mut online = OnlineStats::new();
+            for &v in &values {
+                online.push(v);
+            }
+            let two_pass = Aggregate::from_values(&values);
+            assert_eq!(online.n() as usize, two_pass.n);
+            assert!((online.mean() - two_pass.mean).abs() < 1e-12, "seed {seed}");
+            assert!((online.std() - two_pass.std).abs() < 1e-12, "seed {seed}");
+            assert!((online.ci95() - two_pass.ci95).abs() < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn merge_of_splits_matches_whole_stream() {
+        let values = stream(11, 500);
+        let mut whole = OnlineStats::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        for split in [1, 7, 250, 499] {
+            let (a, b) = values.split_at(split);
+            let mut left = OnlineStats::new();
+            let mut right = OnlineStats::new();
+            for &v in a {
+                left.push(v);
+            }
+            for &v in b {
+                right.push(v);
+            }
+            left.merge(&right);
+            assert_eq!(left.n(), whole.n());
+            assert!((left.mean() - whole.mean()).abs() < 1e-12, "split {split}");
+            assert!((left.std() - whole.std()).abs() < 1e-12, "split {split}");
+            assert_eq!(left.min(), whole.min());
+            assert_eq!(left.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_a_bitwise_no_op() {
+        let mut acc = OnlineStats::new();
+        for &v in &stream(13, 64) {
+            acc.push(v);
+        }
+        let before = acc.encode();
+        acc.merge(&OnlineStats::new());
+        assert_eq!(acc.encode(), before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&acc);
+        assert_eq!(empty.encode(), before);
+    }
+
+    #[test]
+    fn merge_is_associative_to_rounding_error_only() {
+        // (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) agree to ~1e-12 but not always
+        // bitwise — which is exactly why the engine merges in fixed
+        // shard order instead of letting the schedule decide.
+        let chunks: Vec<Vec<f64>> = (0..3).map(|i| stream(20 + i, 97)).collect();
+        let acc = |values: &[f64]| {
+            let mut s = OnlineStats::new();
+            for &v in values {
+                s.push(v);
+            }
+            s
+        };
+        let (a, b, c) = (acc(&chunks[0]), acc(&chunks[1]), acc(&chunks[2]));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left.n(), right.n());
+        assert!((left.mean() - right.mean()).abs() < 1e-12);
+        assert!((left.std() - right.std()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_round_trips_bit_patterns() {
+        // Signed zero, subnormals and infinities all survive — the JSON
+        // number path would lose -0.0, which is why checkpoints encode
+        // bits instead.
+        for v in [0.0, -0.0, 1.5, -3.25e-308, f64::INFINITY, 1e300] {
+            let mut s = OnlineStats::new();
+            s.push(v);
+            let back = OnlineStats::decode(&s.encode()).expect("decodes");
+            assert_eq!(back.encode(), s.encode());
+            assert_eq!(back.mean().to_bits(), s.mean().to_bits());
+        }
+        let empty = OnlineStats::new();
+        assert_eq!(OnlineStats::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_state() {
+        assert!(OnlineStats::decode("").is_err());
+        assert!(OnlineStats::decode("3:abc").is_err());
+        assert!(OnlineStats::decode("x:0:0:0:0").is_err());
+        assert!(OnlineStats::decode("1:0:0:0:zz").is_err());
+        assert!(OnlineStats::decode("1:0:0:0:0:0").is_err());
+    }
+
+    #[test]
+    fn empty_reads_as_zeroes() {
+        let s = OnlineStats::new();
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.ci95(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.aggregate(), Aggregate::from_values(&[]));
+    }
+}

@@ -5,18 +5,27 @@
 //! **bitwise deterministic regardless of thread count**:
 //!
 //! * each cell derives its RNG stream from its grid coordinates (seed
-//!   replica × user) through a splitmix64 finalizer — no cell ever reads
-//!   another cell's RNG, and no RNG state is shared across workers;
+//!   replica × user) through a splitmix64 finalizer ([`cell_stream`]) —
+//!   no cell ever reads another cell's RNG, and no RNG state is shared
+//!   across workers;
 //! * the policy axis deliberately does **not** enter the stream, so every
 //!   policy in a cell column sees the same simulated world and
 //!   comparisons (win rates) are paired;
-//! * results land in a pre-sized buffer indexed by cell id — workers
-//!   race only for *which* cell to run next, never for where a result
-//!   goes — and aggregation (mean, std, 95% CI, win rate) happens after
-//!   the join, in cell-id order;
+//! * workers race only for *which* cell to run next, never for what a
+//!   result means — aggregation (mean, std, 95% CI, win rate) happens
+//!   after the join, in cell-id order;
 //! * the trained models and deployment are shared across workers through
 //!   the [`ExperimentContext`]'s `Arc` handles, so training happens once
 //!   per dataset rather than once per cell.
+//!
+//! This is the **enumerated** engine: it retains every cell result
+//! ([`SweepReport::cells`]), which is exactly right for paper-scale grids
+//! where per-cell traces and child manifests matter. For
+//! population-scale studies (10⁵–10⁶ sampled users) the sibling
+//! [`fleet`](crate::fleet) engine streams cells through O(1)
+//! [`OnlineStats`] accumulators instead and adds checkpoint/resume;
+//! the two engines share [`cell_stream`], the
+//! policy-pairing discipline and the manifest result-key vocabulary.
 //!
 //! The engine threads the existing [`SimObserver`](origin_telemetry::SimObserver)
 //! machinery through: with [`SweepOptions::instrument`] each cell records
@@ -25,7 +34,8 @@
 //!
 //! The `sweep` binary exposes the engine on the command line
 //! (`--seeds N --policies origin12,bl2 --users N --threads N --json …`);
-//! `cohort`, `ablation` and `reproduce_all` run on top of it.
+//! `cohort`, `ablation` and `reproduce_all` run on top of it. The full
+//! CLI surface is documented in `docs/OPERATIONS.md`.
 
 use origin_core::experiments::{cohort_user, ExperimentContext};
 use origin_core::{
@@ -35,7 +45,7 @@ use origin_nn::Scalar;
 use origin_sensors::UserProfile;
 use origin_telemetry::{
     JsonValue, JsonlObserver, LedgerAuditReport, LedgerAuditor, MetricsObserver, MetricsRegistry,
-    RunManifest, SpanObserver, Tee,
+    ProgressMeter, RunManifest, SpanObserver, Tee,
 };
 use origin_types::UserId;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -45,6 +55,11 @@ use std::sync::Arc;
 // training shares it); the sweep engine re-exports it so existing
 // `origin_bench::sweep::parallel_map` callers keep working.
 pub use origin_core::{available_threads, parallel_map};
+
+// `Aggregate` moved to `crate::stats` when the streaming accumulators
+// landed; re-exported here so `origin_bench::sweep::Aggregate` callers
+// keep working.
+pub use crate::stats::{Aggregate, OnlineStats};
 
 /// splitmix64 finalizer: a bijective avalanche mix, the standard way to
 /// turn structured coordinates into decorrelated RNG seeds.
@@ -60,10 +75,24 @@ fn mix64(mut z: u64) -> u64 {
 ///
 /// The policy axis is intentionally absent: all policies of one
 /// (seed, user) column share a world, which keeps policy comparisons
-/// paired (the same timeline, link losses and runtime noise).
+/// paired (the same timeline, link losses and runtime noise). The
+/// fleet engine ([`crate::fleet`]) shares this derivation, so a
+/// population column sees the same world family as an enumerated cell
+/// at the same coordinates.
 ///
 /// Streams are truncated to 53 bits so a cell's seed survives the JSON
 /// manifest round-trip exactly (the manifest's number type is an `f64`).
+///
+/// # Examples
+///
+/// ```
+/// use origin_bench::sweep::cell_stream;
+///
+/// // Deterministic, decorrelated, and 53-bit JSON-safe.
+/// assert_eq!(cell_stream(77, 0, 1), cell_stream(77, 0, 1));
+/// assert_ne!(cell_stream(77, 0, 1), cell_stream(77, 1, 0));
+/// assert!(cell_stream(77, 0, 1) < (1 << 53));
+/// ```
 #[must_use]
 pub fn cell_stream(base_seed: u64, seed_idx: u32, user_idx: u32) -> u64 {
     mix64(base_seed ^ mix64((u64::from(seed_idx) << 32) | u64::from(user_idx))) & ((1 << 53) - 1)
@@ -99,6 +128,16 @@ impl SweepPolicy {
     ///
     /// Accepted: `naive`, `bl1`, `bl2`, and `rr`/`aas`/`aasr`/`origin`
     /// followed by the ER-r cycle (`origin12`, `aasr6`, `rr3`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use origin_bench::sweep::SweepPolicy;
+    ///
+    /// assert_eq!(SweepPolicy::parse("origin12").unwrap().label(), "RR12 Origin");
+    /// assert!(SweepPolicy::parse("bl2").unwrap().is_baseline());
+    /// assert!(SweepPolicy::parse("warp9").is_err());
+    /// ```
     ///
     /// # Errors
     ///
@@ -156,6 +195,24 @@ impl core::fmt::Display for SweepPolicy {
 }
 
 /// A full factorial (seed replica × policy × user) grid.
+///
+/// Grids enumerate every combination and retain every cell — the
+/// paper-scale shape. For sampled populations at fleet scale, use a
+/// [`FleetPlan`](crate::fleet::FleetPlan) instead.
+///
+/// # Examples
+///
+/// ```
+/// use origin_bench::sweep::{SweepGrid, SweepPolicy};
+///
+/// let grid = SweepGrid::new(77, SweepPolicy::parse_list("origin12,bl2").unwrap())
+///     .with_seeds(3)
+///     .with_sampled_users(2);
+/// assert_eq!(grid.len(), 12); // 3 seeds x 2 policies x 2 users
+/// // Paired arms share a world; the policy axis never enters the stream.
+/// let cells = grid.cells();
+/// assert_eq!(cells[0].sim_seed, cells[2].sim_seed);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
     /// Base seed every cell stream is derived from.
@@ -321,65 +378,18 @@ pub struct SweepCellResult {
 }
 
 /// The joined sweep: every cell in id order plus the grid it came from.
+///
+/// Aggregation ([`SweepReport::accuracy_aggregate`],
+/// [`SweepReport::win_rate`]) is two-pass over the retained cells; the
+/// fleet engine's [`FleetReport`](crate::fleet::FleetReport) produces
+/// the same statistics from streamed [`OnlineStats`] without retaining
+/// cells.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
     /// The grid that was evaluated.
     pub grid: SweepGrid,
     /// Per-cell results, indexed by cell id.
     pub cells: Vec<SweepCellResult>,
-}
-
-/// Sample statistics over one metric of one policy arm.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Aggregate {
-    /// Sample count.
-    pub n: usize,
-    /// Sample mean.
-    pub mean: f64,
-    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
-    pub std: f64,
-    /// Half-width of the normal-approximation 95% confidence interval
-    /// (`1.96·std/√n`; 0 for n < 2).
-    pub ci95: f64,
-}
-
-impl Aggregate {
-    /// Statistics of `values` (mean / sample std / 95% CI half-width).
-    #[must_use]
-    pub fn from_values(values: &[f64]) -> Self {
-        let n = values.len();
-        if n == 0 {
-            return Self {
-                n,
-                mean: 0.0,
-                std: 0.0,
-                ci95: 0.0,
-            };
-        }
-        let mean = values.iter().sum::<f64>() / n as f64;
-        if n < 2 {
-            return Self {
-                n,
-                mean,
-                std: 0.0,
-                ci95: 0.0,
-            };
-        }
-        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
-        let std = var.sqrt();
-        Self {
-            n,
-            mean,
-            std,
-            ci95: 1.96 * std / (n as f64).sqrt(),
-        }
-    }
-
-    /// `"91.52% ± 0.34"` — the mean and CI half-width as percentages.
-    #[must_use]
-    pub fn fmt_pct(&self) -> String {
-        format!("{:.2}% ± {:.2}", self.mean * 100.0, self.ci95 * 100.0)
-    }
 }
 
 impl SweepReport {
@@ -557,9 +567,11 @@ impl SweepReport {
     }
 }
 
-/// Sanitizes a policy label into a manifest/metric key fragment.
+/// Sanitizes a policy label into a manifest/metric key fragment
+/// (shared with the fleet engine so both manifests speak the same
+/// result-key vocabulary).
 #[must_use]
-fn key_label(label: &str) -> String {
+pub(crate) fn key_label(label: &str) -> String {
     label
         .chars()
         .map(|c| {
@@ -612,7 +624,8 @@ pub fn run_sweep<S: Scalar>(
 }
 
 /// [`parallel_map`] with a stderr progress reporter: completed/total cell
-/// counts, throughput and ETA, refreshed a few times a second.
+/// counts, throughput and ETA, refreshed a few times a second
+/// (formatting via [`ProgressMeter`], shared with the fleet engine).
 ///
 /// Progress is wall-clock by nature and writes only to stderr; nothing
 /// here can reach the results (the `sweep_determinism` test pins that
@@ -625,25 +638,19 @@ fn map_with_progress<T: Sync, R: Send>(
     f: impl Fn(usize, &T) -> R + Sync,
 ) -> Vec<R> {
     use std::time::{Duration, Instant};
-    let total = items.len();
+    let meter = ProgressMeter::new("sweep", "cells", items.len() as u64);
     let stop = AtomicBool::new(false);
     let started = Instant::now();
     std::thread::scope(|scope| {
         let reporter = scope.spawn(|| loop {
             std::thread::sleep(Duration::from_millis(250));
-            let done = completed.load(Ordering::Relaxed);
+            let done = completed.load(Ordering::Relaxed) as u64;
             let secs = started.elapsed().as_secs_f64();
-            let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
-            if stop.load(Ordering::Relaxed) || done >= total {
-                eprintln!("sweep: {done}/{total} cells in {secs:.1}s ({rate:.1} cells/s)");
+            if stop.load(Ordering::Relaxed) || done >= meter.total() {
+                eprintln!("{}", meter.final_line(done, secs));
                 break;
             }
-            if rate > 0.0 {
-                let eta = (total - done) as f64 / rate;
-                eprintln!("sweep: {done}/{total} cells | {rate:.1} cells/s | ETA {eta:.0}s");
-            } else {
-                eprintln!("sweep: {done}/{total} cells");
-            }
+            eprintln!("{}", meter.line(done, secs));
         });
         let out = parallel_map(threads, items, f);
         stop.store(true, Ordering::Relaxed);

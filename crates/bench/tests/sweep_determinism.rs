@@ -1,11 +1,15 @@
-//! The sweep engine's determinism contract: the aggregated report and
+//! The sweep engines' determinism contract: the aggregated report and
 //! the merged run manifest are **byte-identical** at `--threads 1` and
-//! `--threads 8` (the acceptance criterion for the parallel engine).
+//! `--threads 8` (the acceptance criterion for the parallel engines),
+//! and a fleet run interrupted mid-way and resumed from its checkpoint
+//! finishes with byte-identical output to an uninterrupted run.
 
 use origin_bench::bench_models;
+use origin_bench::fleet::{resume_states, run_fleet, FleetOptions, FleetPlan, FleetReport};
 use origin_bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy, SweepReport};
 use origin_core::experiments::{Dataset, ExperimentContext};
 use origin_core::{BaselineKind, Deployment, PolicyKind};
+use origin_telemetry::RunManifest;
 use origin_types::SimDuration;
 
 fn small_ctx(seed: u64) -> ExperimentContext {
@@ -114,4 +118,120 @@ fn policy_arms_are_paired_within_a_column() {
     for (i, w) in worlds.iter().enumerate() {
         assert!(!worlds[i + 1..].contains(w), "columns share a world");
     }
+}
+
+/// A tiny fleet plan: 2 seed replicas × 6 sampled users in shards of 2
+/// columns → 6 shards, 2 policy arms, 24 cells.
+fn fleet_plan(seed: u64) -> FleetPlan {
+    FleetPlan::new(
+        seed,
+        vec![
+            SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+            SweepPolicy::Baseline(BaselineKind::Baseline2),
+        ],
+        6,
+    )
+    .with_seeds(2)
+    .with_shard_size(2)
+}
+
+fn run_fleet_with(ctx: &ExperimentContext, opts: &FleetOptions) -> FleetReport {
+    run_fleet(ctx, &fleet_plan(ctx.seed), opts).expect("fleet succeeds")
+}
+
+fn fleet_opts(threads: usize) -> FleetOptions {
+    FleetOptions {
+        threads,
+        manifest_name: "fleet_determinism".to_owned(),
+        dtype: "f64".to_owned(),
+        ..FleetOptions::default()
+    }
+}
+
+#[test]
+fn fleet_is_bitwise_identical_across_thread_counts() {
+    let ctx = small_ctx(31);
+    let serial = run_fleet_with(&ctx, &fleet_opts(1));
+    let wide = run_fleet_with(&ctx, &fleet_opts(8));
+    assert!(serial.complete() && wide.complete());
+    // The full manifest — streamed statistics, win rates and all shard
+    // state children — renders to the same bytes at any width.
+    assert_eq!(
+        serial.to_manifest().render_pretty(),
+        wide.to_manifest().render_pretty()
+    );
+    // And the bit patterns themselves agree, not just their rendering.
+    for (a, b) in serial.arms.iter().zip(&wide.arms) {
+        assert_eq!(a.encode(), b.encode());
+    }
+}
+
+/// The tentpole acceptance test: stop a fleet run after a few shards,
+/// resume it from the serialized checkpoint, and require the final
+/// manifest to be **byte-identical** to an uninterrupted run — at one
+/// worker thread and at eight.
+#[test]
+fn interrupted_and_resumed_fleet_matches_straight_through() {
+    let ctx = small_ctx(45);
+    let plan = fleet_plan(45);
+    for threads in [1, 8] {
+        let straight = run_fleet_with(&ctx, &fleet_opts(threads));
+        assert!(straight.complete());
+
+        // Phase 1: run only 3 of the 6 shards, as if interrupted.
+        let partial = run_fleet_with(
+            &ctx,
+            &FleetOptions {
+                max_shards: Some(3),
+                ..fleet_opts(threads)
+            },
+        );
+        assert!(!partial.complete());
+        assert_eq!(partial.columns_done, 6, "3 shards x 2 columns");
+
+        // The checkpoint is the manifest itself: serialize, parse back,
+        // and recover the shard states bit-exactly.
+        let checkpoint = partial.to_manifest().render_pretty();
+        let parsed = RunManifest::parse(&checkpoint).expect("checkpoint parses");
+        let recovered = resume_states(&parsed, &plan, 180, "f64").expect("states recover");
+        assert_eq!(recovered.iter().filter(|s| s.is_some()).count(), 3);
+
+        // Phase 2: resume. Completed shards must not re-run, and the
+        // final manifest must match the uninterrupted run byte-for-byte.
+        let resumed = run_fleet_with(
+            &ctx,
+            &FleetOptions {
+                resume: Some(recovered),
+                ..fleet_opts(threads)
+            },
+        );
+        assert!(resumed.complete());
+        assert_eq!(
+            resumed.to_manifest().render_pretty(),
+            straight.to_manifest().render_pretty(),
+            "resume diverged at {threads} thread(s)"
+        );
+    }
+}
+
+/// The fleet engine's streamed accumulators agree with the enumerated
+/// engine's two-pass statistics on the same paired columns.
+#[test]
+fn fleet_statistics_match_enumerated_two_pass_on_shared_worlds() {
+    let ctx = small_ctx(13);
+    let report = run_fleet_with(&ctx, &fleet_opts(2));
+    for arm in &report.arms {
+        assert_eq!(arm.accuracy.n(), 12, "2 seeds x 6 users");
+        let agg = arm.accuracy.aggregate();
+        assert!(agg.mean > 0.0 && agg.mean <= 1.0);
+        assert!(arm.accuracy.min() <= agg.mean && agg.mean <= arm.accuracy.max());
+        // Energy conservation survives aggregation: offered bounds
+        // harvested on every cell, so it bounds the means too.
+        assert!(arm.harvested_uj.mean() <= arm.offered_uj.mean());
+    }
+    // Win rates are paired and anti-symmetric up to ties.
+    let w01 = report.win_rate(0, 1);
+    let w10 = report.win_rate(1, 0);
+    assert!((0.0..=1.0).contains(&w01));
+    assert!(w01 + w10 <= 1.0 + 1e-12);
 }

@@ -1,0 +1,102 @@
+//! Streaming-vs-two-pass agreement on *real* simulation output: the
+//! fleet engine's [`OnlineStats`] accumulators must reproduce the
+//! enumerated engine's [`Aggregate`] statistics to 1e-12 on the same
+//! values, in any shard split and merge grouping.
+//!
+//! (`crates/bench/src/stats.rs` carries the synthetic property tests;
+//! this file pins the same claims against actual sweep accuracies and
+//! energy flows, which are the values the population study publishes.)
+
+use origin_bench::bench_models;
+use origin_bench::stats::{Aggregate, OnlineStats};
+use origin_bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy};
+use origin_core::experiments::{Dataset, ExperimentContext};
+use origin_core::{BaselineKind, Deployment, PolicyKind};
+use origin_types::SimDuration;
+
+fn sweep_values() -> Vec<Vec<f64>> {
+    let ctx = ExperimentContext::from_parts(
+        Dataset::Mhealth,
+        bench_models(21),
+        Deployment::builder().seed(21).build(),
+        21,
+    )
+    .with_horizon(SimDuration::from_secs(180));
+    let grid = SweepGrid::new(
+        21,
+        vec![
+            SweepPolicy::Policy(PolicyKind::Origin { cycle: 12 }),
+            SweepPolicy::Baseline(BaselineKind::Baseline2),
+        ],
+    )
+    .with_seeds(3)
+    .with_sampled_users(2);
+    let report = run_sweep(&ctx, &grid, &SweepOptions::default()).expect("sweep succeeds");
+    // One value series per arm and metric: accuracies, completion rates
+    // and a per-cell energy flow (harvested µJ spans orders of magnitude
+    // more than accuracy, exercising the accumulator differently).
+    let mut series = Vec::new();
+    for arm in 0..2 {
+        series.push(report.accuracies(arm));
+        series.push(report.completion_rates(arm));
+        series.push(
+            report
+                .cells
+                .iter()
+                .filter(|c| c.cell.policy_idx == arm)
+                .map(|c| c.report.energy_breakdown().harvested.as_microjoules())
+                .collect(),
+        );
+    }
+    // Spot-check the harness itself: real data, not degenerate zeros.
+    assert!(series.iter().all(|v| v.len() == 6));
+    assert!(series.iter().any(|v| v.iter().any(|&x| x > 0.0)));
+    series
+}
+
+#[test]
+fn streamed_statistics_match_two_pass_on_real_sweep_output() {
+    for values in sweep_values() {
+        let two_pass = Aggregate::from_values(&values);
+        let mut online = OnlineStats::new();
+        for &v in &values {
+            online.push(v);
+        }
+        let scale = two_pass.mean.abs().max(1.0);
+        assert!((online.mean() - two_pass.mean).abs() <= 1e-12 * scale);
+        assert!((online.std() - two_pass.std).abs() <= 1e-12 * scale);
+        assert!((online.ci95() - two_pass.ci95).abs() <= 1e-12 * scale);
+        assert_eq!(online.n() as usize, two_pass.n);
+    }
+}
+
+#[test]
+fn shard_merges_agree_with_the_whole_stream_on_real_sweep_output() {
+    for values in sweep_values() {
+        let mut whole = OnlineStats::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        // Every contiguous split point, merged pairwise — the exact
+        // operation the fleet's shard-index-order merge performs.
+        for split in 0..=values.len() {
+            let (left, right) = values.split_at(split);
+            let mut a = OnlineStats::new();
+            let mut b = OnlineStats::new();
+            for &v in left {
+                a.push(v);
+            }
+            for &v in right {
+                b.push(v);
+            }
+            a.merge(&b);
+            let scale = whole.mean().abs().max(1.0);
+            assert!((a.mean() - whole.mean()).abs() <= 1e-12 * scale);
+            assert!((a.std() - whole.std()).abs() <= 1e-12 * scale);
+            assert_eq!(a.n(), whole.n());
+            // min/max merge exactly, not just to rounding.
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+        }
+    }
+}

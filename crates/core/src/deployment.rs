@@ -111,13 +111,25 @@ impl Deployment {
     /// [`SensorLocation::index`]).
     #[must_use]
     pub fn build_nodes(&self) -> Vec<EnergyNode<NodeSource>> {
+        self.build_nodes_scaled(1.0)
+    }
+
+    /// [`Deployment::build_nodes`] with every location's harvest power
+    /// multiplied by `harvest_scale` — the per-user harvester placement
+    /// factor population sweeps draw from
+    /// `origin_core::PopulationSpec`. A scale of `1.0` is bit-identical
+    /// to [`Deployment::build_nodes`]; steady (fully-powered) supplies
+    /// ignore the scale entirely, and a hybrid node's battery trickle is
+    /// unscaled (only the harvested share varies per user).
+    #[must_use]
+    pub fn build_nodes_scaled(&self, harvest_scale: f64) -> Vec<EnergyNode<NodeSource>> {
         let trace = self.base_trace();
         SensorLocation::ALL
             .iter()
             .map(|&loc| {
                 let scaled = ScaledSource::new(
                     TraceSource::looping(trace.clone()),
-                    self.location_scale[loc.index()],
+                    self.location_scale[loc.index()] * harvest_scale,
                 );
                 let source = if self.fully_powered {
                     // Effectively unlimited: three orders of magnitude
@@ -331,6 +343,36 @@ mod tests {
         let node = &mut nodes[0];
         assert!(!node.attempt_window(Energy::from_microjoules(90.0)));
         assert_eq!(node.counters().lost, 1);
+    }
+
+    #[test]
+    fn harvest_scale_multiplies_and_unit_scale_is_identity() {
+        let d = Deployment::builder().seed(6).build();
+        let horizon = SimTime::from_secs(300);
+        let harvested = |nodes: &[EnergyNode<NodeSource>]| {
+            nodes[0]
+                .harvester()
+                .harvest_between(SimTime::ZERO, horizon)
+                .as_microjoules()
+        };
+        let base = harvested(&d.build_nodes());
+        assert_eq!(
+            base,
+            harvested(&d.build_nodes_scaled(1.0)),
+            "1.0 is identity"
+        );
+        // The rectifier floor subtracts *after* scaling, so 2× incident
+        // yields strictly more than 2× − floor but not exactly 2×.
+        let doubled = harvested(&d.build_nodes_scaled(2.0));
+        let halved = harvested(&d.build_nodes_scaled(0.5));
+        assert!(doubled > 1.5 * base, "doubled = {doubled}, base = {base}");
+        assert!(halved < 0.75 * base, "halved = {halved}, base = {base}");
+        // A steady fully-powered supply ignores the scale.
+        let fp = Deployment::builder().fully_powered().build();
+        assert_eq!(
+            harvested(&fp.build_nodes()),
+            harvested(&fp.build_nodes_scaled(0.5))
+        );
     }
 
     #[test]

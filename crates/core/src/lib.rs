@@ -29,7 +29,7 @@
 //!
 //! # fn main() -> Result<(), origin_core::CoreError> {
 //! let spec = DatasetSpec::mhealth_like();
-//! let models = ModelBank::train(&spec, 42)?;
+//! let models = ModelBank::<f64>::train(&spec, 42)?;
 //! let deployment = Deployment::builder().seed(42).build();
 //! let config = SimConfig::new(PolicyKind::Origin { cycle: 12 })
 //!     .with_horizon(SimDuration::from_secs(3_600));
@@ -52,6 +52,7 @@ mod host;
 mod models;
 mod parallel;
 mod policy;
+mod population;
 mod rank;
 mod recall;
 mod schedule;
@@ -68,6 +69,7 @@ pub use host::HostDevice;
 pub use models::{ModelBank, ModelVariant};
 pub use parallel::{available_threads, parallel_map};
 pub use policy::{PolicyKind, PolicyState};
+pub use population::{PopulationSpec, PopulationUser};
 pub use rank::RankTable;
 pub use recall::{RecallEntry, RecallStore};
 pub use schedule::{SlotKind, Slots};

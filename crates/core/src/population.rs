@@ -1,0 +1,243 @@
+//! Sampled user populations for fleet-scale sweeps.
+//!
+//! An enumerated `--users N` grid evaluates a handful of cohort wearers;
+//! a *population* sweep instead draws every wearer's parameters from
+//! documented distributions, so `--population 1000000` describes one
+//! million distinct (gait, harvest, duty, placement) combinations without
+//! materializing anything per user. Four per-user factors are sampled
+//! (see [`PopulationSpec`] for the exact distributions):
+//!
+//! * **gait** — the [`UserProfile`] frequency/amplitude/phase/noise
+//!   deviations of Section III-C ("gaits of two different people may
+//!   significantly vary");
+//! * **harvest scale** — a log-normal multiplier on the deployment's
+//!   per-location harvest power, modelling harvester placement and office
+//!   RF conditions varying across wearers;
+//! * **duty profile** — a uniform dwell-time scale: some users switch
+//!   activities quickly, some dwell long;
+//! * **body placement noise** — a per-user runtime sensing SNR in dB,
+//!   modelling strap tightness and sensor placement quality.
+//!
+//! Sampling is a pure function of `(base_seed, user_idx)` through a
+//! dedicated splitmix64 stream: it never touches the `rand` crate, so the
+//! drawn population is identical on every platform and rand version, and
+//! it is independent of the seed-replica axis — replica `s` of user `u`
+//! re-runs the *same person* under a different simulated world, keeping
+//! the seed axis a pure statistical replicate (the same pairing
+//! discipline the sweep engine applies to the policy axis).
+
+use origin_sensors::UserProfile;
+use origin_types::UserId;
+
+/// The golden-ratio increment of the splitmix64 sequence.
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Domain separator: population sampling must not collide with the sweep
+/// engine's per-cell stream derivation, which mixes the same base seed.
+const POPULATION_DOMAIN: u64 = 0x0509_07A7_10AD_0A11;
+
+/// A self-contained splitmix64 generator.
+///
+/// Deliberately *not* `rand`: population draws must be bit-identical
+/// across platforms and dependency versions, because the drawn parameters
+/// feed the bitwise-deterministic sweep manifests.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(SPLITMIX_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    fn next_signed(&mut self) -> f64 {
+        self.next_f64() * 2.0 - 1.0
+    }
+
+    /// Standard normal via Box–Muller (one draw per call; the paired
+    /// draw is discarded to keep the stream layout simple and fixed).
+    fn next_normal(&mut self) -> f64 {
+        // Guard the logarithm: remap [0, 1) to (0, 1].
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// The per-user parameter distributions of a sampled population.
+///
+/// Every field documents its own distribution; [`PopulationSpec::default`]
+/// is the calibrated population the `--population` mode ships with, and
+/// DESIGN.md §11 records the rationale. All draws come from one
+/// splitmix64 stream keyed by `(base_seed, user_idx)` — see
+/// [`PopulationSpec::sample_user`].
+///
+/// # Examples
+///
+/// ```
+/// use origin_core::PopulationSpec;
+///
+/// let spec = PopulationSpec::default();
+/// let alice = spec.sample_user(77, 0);
+/// let again = spec.sample_user(77, 0);
+/// assert_eq!(alice, again); // pure function of (seed, user index)
+/// assert_ne!(alice, spec.sample_user(77, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationSpec {
+    /// Gait deviation spread: [`UserProfile`] frequency/noise scales are
+    /// uniform in `1 ± gait_spread` and the amplitude scale in
+    /// `1 ± 1.5·gait_spread` (mirroring [`UserProfile::sampled`]'s
+    /// in-distribution cohort shape). Default `0.08`.
+    pub gait_spread: f64,
+    /// Harvest-scale log-normal sigma: the per-user multiplier on the
+    /// deployment's harvest power is `exp(σ·z)`, `z ~ N(0, 1)` — median
+    /// exactly `1.0` — clamped to `[0.25, 4.0]`. Default `0.35`.
+    pub harvest_sigma: f64,
+    /// Duty-profile spread: activity dwell times scale uniformly in
+    /// `1 ± dwell_spread`. Default `0.3`.
+    pub dwell_spread: f64,
+    /// Mean of the per-user runtime sensing SNR in dB (body placement
+    /// noise). Default `30.0`.
+    pub snr_mean_db: f64,
+    /// Standard deviation of the SNR draw in dB; the draw is clamped to
+    /// `[10, 60]` dB. Default `5.0`.
+    pub snr_std_db: f64,
+}
+
+impl Default for PopulationSpec {
+    fn default() -> Self {
+        Self {
+            gait_spread: 0.08,
+            harvest_sigma: 0.35,
+            dwell_spread: 0.3,
+            snr_mean_db: 30.0,
+            snr_std_db: 5.0,
+        }
+    }
+}
+
+/// One sampled member of a population: a gait profile plus the
+/// environment/placement factors a `SimConfig` applies around it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationUser {
+    /// The wearer's gait deviations.
+    pub profile: UserProfile,
+    /// Multiplier on the deployment's per-location harvest power
+    /// (`SimConfig::harvest_scale`); `1.0` is the calibrated office.
+    pub harvest_scale: f64,
+    /// Activity dwell-time scale (`SimConfig::dwell_scale`).
+    pub dwell_scale: f64,
+    /// Runtime sensing SNR in dB (`SimConfig::noise_snr_db`).
+    pub snr_db: f64,
+}
+
+impl PopulationSpec {
+    /// Draws user `user_idx` of the population under `base_seed`.
+    ///
+    /// Pure and stateless: the same `(base_seed, user_idx)` always yields
+    /// the same user, on any platform, independent of how many users are
+    /// sampled, in which order, or on which thread. The seed-replica axis
+    /// deliberately does not enter the key, so every replica re-simulates
+    /// the same person under a fresh world.
+    ///
+    /// Draw order is fixed (gait ×4, harvest, dwell, SNR); changing it
+    /// would redraw the whole population and is a manifest-breaking
+    /// change.
+    #[must_use]
+    pub fn sample_user(&self, base_seed: u64, user_idx: u32) -> PopulationUser {
+        let key = base_seed ^ POPULATION_DOMAIN ^ u64::from(user_idx).wrapping_mul(SPLITMIX_GAMMA);
+        let mut rng = SplitMix64::new(key);
+        let freq_scale = 1.0 + self.gait_spread * rng.next_signed();
+        let amp_scale = 1.0 + self.gait_spread * 1.5 * rng.next_signed();
+        let phase = rng.next_f64() * core::f64::consts::TAU;
+        let noise_scale = 1.0 + self.gait_spread * rng.next_signed();
+        let harvest_scale = (self.harvest_sigma * rng.next_normal()).exp();
+        let dwell_scale = 1.0 + self.dwell_spread * rng.next_signed();
+        let snr_db = self.snr_mean_db + self.snr_std_db * rng.next_normal();
+        PopulationUser {
+            profile: UserProfile {
+                user: UserId::new(user_idx),
+                freq_scale,
+                amp_scale,
+                phase,
+                noise_scale,
+            },
+            harvest_scale: harvest_scale.clamp(0.25, 4.0),
+            dwell_scale: dwell_scale.max(0.05),
+            snr_db: snr_db.clamp(10.0, 60.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let spec = PopulationSpec::default();
+        let a = spec.sample_user(77, 42);
+        assert_eq!(a, spec.sample_user(77, 42));
+        assert_ne!(a, spec.sample_user(77, 43));
+        assert_ne!(a, spec.sample_user(78, 42));
+        assert_eq!(a.profile.user, UserId::new(42));
+    }
+
+    #[test]
+    fn draws_respect_documented_bounds() {
+        let spec = PopulationSpec::default();
+        for u in 0..5_000 {
+            let p = spec.sample_user(9, u);
+            assert!((p.profile.freq_scale - 1.0).abs() <= spec.gait_spread + 1e-12);
+            assert!((p.profile.amp_scale - 1.0).abs() <= 1.5 * spec.gait_spread + 1e-12);
+            assert!((0.0..core::f64::consts::TAU).contains(&p.profile.phase));
+            assert!((0.25..=4.0).contains(&p.harvest_scale));
+            assert!((p.dwell_scale - 1.0).abs() <= spec.dwell_spread + 1e-12);
+            assert!((10.0..=60.0).contains(&p.snr_db));
+        }
+    }
+
+    #[test]
+    fn harvest_scale_is_median_one_and_snr_centers_on_mean() {
+        let spec = PopulationSpec::default();
+        let n = 20_000u32;
+        let below = (0..n)
+            .filter(|&u| spec.sample_user(1, u).harvest_scale < 1.0)
+            .count() as f64
+            / f64::from(n);
+        assert!(
+            (below - 0.5).abs() < 0.02,
+            "log-normal median drifted: {below}"
+        );
+        let snr_mean = (0..n).map(|u| spec.sample_user(1, u).snr_db).sum::<f64>() / f64::from(n);
+        assert!(
+            (snr_mean - spec.snr_mean_db).abs() < 0.2,
+            "snr mean {snr_mean}"
+        );
+    }
+
+    #[test]
+    fn population_draw_ignores_the_seed_replica_axis() {
+        // The key is (base_seed, user): the caller passes the same pair
+        // for every seed replica, and nothing else perturbs the draw.
+        let spec = PopulationSpec::default();
+        let draws: Vec<PopulationUser> = (0..3).map(|_| spec.sample_user(5, 7)).collect();
+        assert!(draws.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -39,6 +39,11 @@ pub struct SimConfig {
     pub noise_snr_db: Option<f64>,
     /// Scales activity dwell times (1.0 = class-typical).
     pub dwell_scale: f64,
+    /// Multiplies the deployment's per-location harvest power (1.0 = the
+    /// calibrated office). Population sweeps draw this per user
+    /// ([`crate::PopulationSpec`]); steady fully-powered sources ignore
+    /// it.
+    pub harvest_scale: f64,
     /// Which classifier variant the nodes run.
     pub variant: ModelVariant,
     /// Confidence-matrix moving-average rate.
@@ -64,6 +69,7 @@ impl SimConfig {
             user: UserProfile::nominal(UserId::new(0)),
             noise_snr_db: None,
             dwell_scale: 1.0,
+            harvest_scale: 1.0,
             variant: ModelVariant::Pruned,
             alpha: ConfidenceMatrix::DEFAULT_ALPHA,
             disabled_nodes: Vec::new(),
@@ -110,6 +116,16 @@ impl SimConfig {
     #[must_use]
     pub fn with_dwell_scale(mut self, scale: f64) -> Self {
         self.dwell_scale = scale;
+        self
+    }
+
+    /// Scales the deployment's harvest power for this run. Builder-style.
+    ///
+    /// `1.0` is bit-identical to not setting a scale at all, so the
+    /// committed f64 goldens are unaffected by this knob existing.
+    #[must_use]
+    pub fn with_harvest_scale(mut self, scale: f64) -> Self {
+        self.harvest_scale = scale;
         self
     }
 
@@ -408,7 +424,8 @@ impl<S: Scalar> Simulator<S> {
             config.horizon,
         );
 
-        let mut nodes: Vec<EnergyNode<NodeSource>> = self.deployment.build_nodes();
+        let mut nodes: Vec<EnergyNode<NodeSource>> =
+            self.deployment.build_nodes_scaled(config.harvest_scale);
         let node_count = nodes.len();
         let mut policy = PolicyState::new(config.policy, self.models.rank_table(), node_count)?;
 

@@ -9,6 +9,17 @@
 use std::fmt;
 
 /// A JSON document node.
+///
+/// ```
+/// use origin_telemetry::JsonValue;
+///
+/// let doc = JsonValue::Object(vec![
+///     ("name".into(), JsonValue::Str("origin".into())),
+///     ("cells".into(), JsonValue::Num(24.0)),
+/// ]);
+/// let text = doc.render();
+/// assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// `null`.

@@ -25,6 +25,9 @@
 //!   text exposition writer ([`write_prometheus`]);
 //! * [`StageTimings`] — lightweight wall-clock timing scopes for the
 //!   pipeline stages (training, simulation, reporting);
+//! * [`ProgressMeter`] — pure `done/total` heartbeat-line formatting for
+//!   long sweeps (the wall clock and reporter thread stay with the
+//!   caller, so progress can never perturb results);
 //! * [`RunManifest`] — a machine-readable JSON record of one experiment
 //!   run (config, seed, policy, metrics, timings, artifacts) so accuracy
 //!   and energy can be tracked across changes;
@@ -52,6 +55,7 @@ mod ledger;
 mod manifest;
 mod metrics;
 mod observer;
+mod progress;
 mod prometheus;
 mod span;
 mod timing;
@@ -65,6 +69,7 @@ pub use metrics::{Histogram, MetricsRegistry};
 pub use observer::{
     MetricsObserver, NoopObserver, RecordingObserver, SimObserver, Tee, WithLedger,
 };
+pub use progress::ProgressMeter;
 pub use prometheus::write_prometheus;
 pub use span::{SpanKind, SpanObserver, SpanRecord, SpanSummary, SpanSummaryRow};
 pub use timing::StageTimings;

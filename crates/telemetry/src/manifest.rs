@@ -100,6 +100,53 @@ impl RunManifest {
         self
     }
 
+    /// Looks up config knob `key` (last occurrence wins, matching
+    /// [`RunManifest::with_config`] append semantics).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use origin_telemetry::RunManifest;
+    ///
+    /// let m = RunManifest::new("sweep", 77, "Origin").with_config("users", 4);
+    /// assert_eq!(m.config_value("users"), Some("4"));
+    /// assert_eq!(m.config_value("missing"), None);
+    /// ```
+    #[must_use]
+    pub fn config_value(&self, key: &str) -> Option<&str> {
+        self.config
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// [`RunManifest::config_value`] parsed as a `u64` (`None` when the
+    /// knob is absent or not an unsigned integer). Checkpoint resume uses
+    /// this to read back counters like `cells_total`.
+    #[must_use]
+    pub fn config_u64(&self, key: &str) -> Option<u64> {
+        self.config_value(key).and_then(|v| v.parse().ok())
+    }
+
+    /// The first child manifest named `name` (e.g. one shard of a
+    /// checkpointed fleet sweep).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use origin_telemetry::RunManifest;
+    ///
+    /// let m = RunManifest::new("fleet", 7, "Origin")
+    ///     .with_child(RunManifest::new("shard_0000", 7, ""));
+    /// assert!(m.find_child("shard_0000").is_some());
+    /// assert!(m.find_child("shard_0001").is_none());
+    /// ```
+    #[must_use]
+    pub fn find_child(&self, name: &str) -> Option<&RunManifest> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
     /// Renders the manifest as a JSON object. The `"children"` array is
     /// only present when children were merged in, so single-run manifests
     /// keep their original shape.

@@ -1,0 +1,114 @@
+//! Progress-line formatting for long-running sweeps.
+//!
+//! The sweep engine streams `done/total` heartbeats to stderr while a
+//! grid or population runs. The *formatting* lives here — a pure
+//! function of the counters, so it is testable and shared by every
+//! driver — while the wall-clock sampling and the reporter thread stay
+//! in the caller (progress is cosmetic by contract: nothing here may
+//! reach a report or manifest).
+
+/// Formats `done/total` progress lines for one named long-running unit
+/// of work (cells of a sweep, shards of a fleet run).
+///
+/// The meter holds no clock: callers sample elapsed wall time themselves
+/// and pass it in, which keeps this type deterministic and testable.
+///
+/// # Examples
+///
+/// ```
+/// use origin_telemetry::ProgressMeter;
+///
+/// let meter = ProgressMeter::new("sweep", "cells", 400);
+/// assert_eq!(
+///     meter.line(100, 10.0),
+///     "sweep: 100/400 cells | 10.0 cells/s | ETA 30s"
+/// );
+/// assert_eq!(meter.final_line(400, 40.0), "sweep: 400/400 cells in 40.0s (10.0 cells/s)");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgressMeter {
+    label: String,
+    unit: String,
+    total: u64,
+}
+
+impl ProgressMeter {
+    /// A meter for `total` units of `unit`, prefixed with `label`.
+    #[must_use]
+    pub fn new(label: &str, unit: &str, total: u64) -> Self {
+        Self {
+            label: label.to_owned(),
+            unit: unit.to_owned(),
+            total,
+        }
+    }
+
+    /// The total this meter counts toward.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The heartbeat line for `done` units after `elapsed_secs`:
+    /// `"label: done/total unit | rate unit/s | ETA Ns"`. Rate and ETA
+    /// are omitted while the rate is still zero.
+    #[must_use]
+    pub fn line(&self, done: u64, elapsed_secs: f64) -> String {
+        let rate = if elapsed_secs > 0.0 {
+            done as f64 / elapsed_secs
+        } else {
+            0.0
+        };
+        if rate > 0.0 {
+            let eta = self.total.saturating_sub(done) as f64 / rate;
+            format!(
+                "{}: {done}/{} {} | {rate:.1} {}/s | ETA {eta:.0}s",
+                self.label, self.total, self.unit, self.unit
+            )
+        } else {
+            format!("{}: {done}/{} {}", self.label, self.total, self.unit)
+        }
+    }
+
+    /// The closing line once work stops:
+    /// `"label: done/total unit in Ss (rate unit/s)"`.
+    #[must_use]
+    pub fn final_line(&self, done: u64, elapsed_secs: f64) -> String {
+        let rate = if elapsed_secs > 0.0 {
+            done as f64 / elapsed_secs
+        } else {
+            0.0
+        };
+        format!(
+            "{}: {done}/{} {} in {elapsed_secs:.1}s ({rate:.1} {}/s)",
+            self.label, self.total, self.unit, self.unit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_cover_all_phases() {
+        let m = ProgressMeter::new("fleet", "shards", 10);
+        assert_eq!(m.total(), 10);
+        // No rate yet: plain counter.
+        assert_eq!(m.line(0, 0.0), "fleet: 0/10 shards");
+        // Steady state: rate + ETA.
+        assert_eq!(
+            m.line(5, 10.0),
+            "fleet: 5/10 shards | 0.5 shards/s | ETA 10s"
+        );
+        // ETA never goes negative past the total.
+        assert_eq!(
+            m.line(12, 6.0),
+            "fleet: 12/10 shards | 2.0 shards/s | ETA 0s"
+        );
+        assert_eq!(
+            m.final_line(10, 20.0),
+            "fleet: 10/10 shards in 20.0s (0.5 shards/s)"
+        );
+    }
+}

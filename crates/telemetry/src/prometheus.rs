@@ -77,7 +77,8 @@ fn number(v: f64) -> String {
     }
 }
 
-/// Writes `metrics` in Prometheus text exposition format.
+/// Writes `metrics` (a [`MetricsRegistry`], typically filled by
+/// [`crate::MetricsObserver`]) in Prometheus text exposition format.
 ///
 /// Counters (integer and floating-point) and gauges become single
 /// samples under `# HELP`/`# TYPE` headers (one pair per family, in name

@@ -1,4 +1,9 @@
 //! Lightweight wall-clock timing scopes for pipeline stages.
+//!
+//! Timings are observability output only — they land in a
+//! [`crate::RunManifest`] as a `timings` section (via
+//! [`StageTimings::to_json`]) and never feed back into the simulation,
+//! so instrumented runs stay byte-identical to plain ones.
 
 use crate::json::JsonValue;
 use std::time::{Duration, Instant};

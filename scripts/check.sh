@@ -24,7 +24,10 @@
 #      per-dtype zero-allocation pins (crates/nn), then an f32 smoke of
 #      the sweep binary; the f64 goldens stay the determinism anchor,
 #      this step keeps the narrow path honest (DESIGN.md 3.2)
-#  10. bench_report --quick --check — a warn-only perf smoke against the
+#  10. population smoke       — a 10k-user fleet sweep under a 2 GB
+#      address-space cap, asserting the manifest reports every cell
+#      complete (pins the O(1)-memory streaming path, DESIGN.md §11)
+#  11. bench_report --quick --check — a warn-only perf smoke against the
 #      committed BENCH_sweep.json (f64 kernel rows only, generous +50%
 #      threshold; scripts/bench.sh runs the full hard-fail gate)
 set -euo pipefail
@@ -63,6 +66,19 @@ cargo test -q -p origin-nn --test precision_parity
 cargo test -q -p origin-nn --test alloc_count
 cargo run -q --release -p origin-bench --bin sweep -- \
     --precision f32 --seeds 1 --horizon 600 >/dev/null
+
+echo "==> population smoke (10k sampled users, streaming fleet engine, 2 GB cap)"
+pop_json="$(mktemp /tmp/origin_population_smoke.XXXXXX.json)"
+# ulimit -v caps the address space: the fleet engine streams cells
+# through O(1) accumulators, so 20k cells must fit comfortably in 2 GB.
+(
+    ulimit -v 2097152
+    ./target/release/sweep --population 10000 --policies origin12,rr12 \
+        --horizon 15 --shard-size 512 --threads 8 --json "$pop_json" >/dev/null 2>&1
+)
+grep -q '"cells_total": "20000"' "$pop_json"
+grep -q '"cells_completed": "20000"' "$pop_json"
+rm -f "$pop_json"
 
 if [[ -f BENCH_sweep.json ]]; then
     echo "==> bench_report --quick --check (perf smoke vs BENCH_sweep.json, warn-only)"
