@@ -11,10 +11,16 @@
 //!   plus the old dense-masked cost for reference;
 //! * `mlp_train_epoch` — one epoch of the zero-allocation trainer loop;
 //! * `batched_inference` — 32 windows through the batched kernel versus
-//!   one-at-a-time.
+//!   one-at-a-time;
+//! * `forward_batch` — the pruned-layer batch kernel at n = 1/8/32:
+//!   n = 1 is the latency floor one window pays, the larger sizes show
+//!   what the batch-example unrolling amortizes.
+//!
+//! Unsuffixed entries measure the default `unrolled` kernel path;
+//! `_scalar` twins time the bitwise-identical scalar reference.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use origin_nn::{Matrix, Mlp, Trainer, Workspace};
+use origin_nn::{KernelPath, Matrix, Mlp, Trainer, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,7 +53,12 @@ fn bench_matvec(c: &mut Criterion) {
         let mut out = vec![0.0; rows];
         group.throughput(Throughput::Elements((rows * cols) as u64));
         group.bench_function(format!("{rows}x{cols}"), |b| {
-            b.iter(|| m.matvec_into(black_box(&x), black_box(&mut out)))
+            b.iter(|| {
+                m.matvec_into_path(black_box(&x), black_box(&mut out), KernelPath::default())
+            })
+        });
+        group.bench_function(format!("{rows}x{cols}_scalar"), |b| {
+            b.iter(|| m.matvec_into_path(black_box(&x), black_box(&mut out), KernelPath::Scalar))
         });
     }
     group.finish();
@@ -91,7 +102,14 @@ fn bench_mlp_inference(c: &mut Criterion) {
         let mut out = vec![0.0; layer0.outputs()];
         let mut out2 = vec![0.0; layer0.outputs()];
         group.bench_function(format!("csr_{sparsity}"), |b| {
-            b.iter(|| layer0.forward_into(black_box(&x), black_box(&mut out)))
+            b.iter(|| {
+                layer0.forward_into_path(black_box(&x), black_box(&mut out), KernelPath::default())
+            })
+        });
+        group.bench_function(format!("csr_{sparsity}_scalar"), |b| {
+            b.iter(|| {
+                layer0.forward_into_path(black_box(&x), black_box(&mut out), KernelPath::Scalar)
+            })
         });
         group.bench_function(format!("masked_dense_{sparsity}"), |b| {
             b.iter(|| {
@@ -117,6 +135,48 @@ fn bench_train_epoch(c: &mut Criterion) {
         let mut model = Mlp::new(DIMS, 11).expect("valid dims");
         b.iter(|| trainer.fit(&mut model, black_box(&data)).expect("fits"))
     });
+    let scalar = Trainer::new()
+        .with_epochs(1)
+        .with_seed(7)
+        .with_kernel_path(KernelPath::Scalar);
+    c.bench_function("mlp_train_epoch_28x20x6_n64_scalar", |b| {
+        let mut model = Mlp::new(DIMS, 11).expect("valid dims");
+        b.iter(|| scalar.fit(&mut model, black_box(&data)).expect("fits"))
+    });
+}
+
+/// Batch-size sensitivity of the pruned-layer batch kernel.
+fn bench_forward_batch_sizes(c: &mut Criterion) {
+    let model = pruned_mlp(0.90, 9);
+    let layer0 = &model.layers()[0];
+    let mut group = c.benchmark_group("forward_batch");
+    for n in [1usize, 8, 32] {
+        let mut rng = StdRng::seed_from_u64(21);
+        let xs = random_vec(DIMS[0] * n, &mut rng);
+        let mut out = vec![0.0; layer0.outputs() * n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                layer0.forward_batch_into_path(
+                    black_box(&xs),
+                    n,
+                    black_box(&mut out),
+                    KernelPath::default(),
+                )
+            })
+        });
+        group.bench_function(format!("n{n}_scalar"), |b| {
+            b.iter(|| {
+                layer0.forward_batch_into_path(
+                    black_box(&xs),
+                    n,
+                    black_box(&mut out),
+                    KernelPath::Scalar,
+                )
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_batched_inference(c: &mut Criterion) {
@@ -157,6 +217,7 @@ criterion_group!(
     bench_matvec,
     bench_mlp_inference,
     bench_train_epoch,
-    bench_batched_inference
+    bench_batched_inference,
+    bench_forward_batch_sizes
 );
 criterion_main!(benches);

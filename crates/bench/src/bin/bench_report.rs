@@ -12,6 +12,11 @@
 //! The NN kernel micro-benches run at both precisions: the `f64` rows
 //! keep their historical names, the `f32` rows carry a `_f32` suffix, so
 //! one snapshot answers "what does the narrow path buy" per revision.
+//! Unsuffixed rows measure the default `unrolled` kernel path; `_scalar`
+//! twins re-time the same kernels on the scalar reference so the
+//! snapshot also answers "what does the unrolling buy". A `machine`
+//! object records the CPU model, compile-time target features and
+//! default kernel path the numbers were taken under.
 //!
 //! The regression gate: `--baseline PATH` compares the fresh numbers
 //! against a previous snapshot (the baseline is read before the output
@@ -28,7 +33,7 @@ use origin_bench::regression::{BenchSnapshot, RegressionReport};
 use origin_bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy};
 use origin_core::experiments::{Dataset, ExperimentContext};
 use origin_core::{BaselineKind, Deployment, ModelVariant, PolicyKind};
-use origin_nn::{Mlp, Scalar, Trainer, Workspace};
+use origin_nn::{KernelPath, Mlp, Scalar, Trainer, Workspace};
 use origin_telemetry::JsonValue;
 use origin_types::{SensorLocation, SimDuration};
 use rand::rngs::StdRng;
@@ -86,12 +91,17 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
-/// The NN kernel micro-benches at precision `S`; `suffix` distinguishes
-/// the dtype in the row names ("" keeps the historical `f64` keys).
+/// The NN kernel micro-benches at precision `S` on `path`; `suffix`
+/// distinguishes dtype and kernel path in the row names ("" keeps the
+/// historical `f64` keys, which — like every unsuffixed row — measure
+/// the default [`KernelPath::Unrolled`]; `_scalar` rows are the A/B
+/// reference).
+#[allow(clippy::too_many_lines)]
 fn kernel_benches<S: Scalar>(
     push: &impl Fn(&mut Vec<(String, JsonValue)>, &str, f64, f64),
     rows: &mut Vec<(String, JsonValue)>,
     suffix: &str,
+    path: KernelPath,
 ) {
     let mut rng = StdRng::seed_from_u64(5);
     let x: Vec<S> = random_vec(DIMS[0], &mut rng);
@@ -104,7 +114,7 @@ fn kernel_benches<S: Scalar>(
         let ns = median_ns(15, 20_000, || {
             layer0
                 .weights()
-                .matvec_into(black_box(&x), black_box(&mut out));
+                .matvec_into_path(black_box(&x), black_box(&mut out), path);
         });
         push(rows, &format!("matvec_20x28{suffix}"), ns, 1.0);
     }
@@ -117,14 +127,14 @@ fn kernel_benches<S: Scalar>(
         let pct = (sparsity * 100.0) as u32;
         let mut out = vec![S::ZERO; layer0.outputs()];
         let ns_csr = median_ns(15, 20_000, || {
-            layer0.forward_into(black_box(&x), black_box(&mut out));
+            layer0.forward_into_path(black_box(&x), black_box(&mut out), path);
         });
         push(rows, &format!("pruned{pct}_layer_csr{suffix}"), ns_csr, 1.0);
         let mut out2 = vec![S::ZERO; layer0.outputs()];
         let ns_dense = median_ns(15, 20_000, || {
             layer0
                 .weights()
-                .matvec_into(black_box(&x), black_box(&mut out2));
+                .matvec_into_path(black_box(&x), black_box(&mut out2), path);
             for (o, &bv) in out2.iter_mut().zip(layer0.bias()) {
                 *o += bv;
             }
@@ -137,6 +147,28 @@ fn kernel_benches<S: Scalar>(
         );
     }
 
+    // Batch-size sensitivity of the batched CSR layer kernel: n = 1
+    // pins the latency floor a single window pays, n = 8/32 show the
+    // per-example amortization the batch dimension buys.
+    {
+        let model = pruned_mlp::<S>(0.90, 9);
+        let layer0 = &model.layers()[0];
+        for n in [1usize, 8, 32] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let xs: Vec<S> = random_vec(DIMS[0] * n, &mut rng);
+            let mut out = vec![S::ZERO; layer0.outputs() * n];
+            let ns = median_ns(15, 10_000, || {
+                layer0.forward_batch_into_path(black_box(&xs), n, black_box(&mut out), path);
+            });
+            push(
+                rows,
+                &format!("pruned90_forward_batch_n{n}{suffix}"),
+                ns,
+                n as f64,
+            );
+        }
+    }
+
     // Whole-MLP logit path, dense vs pruned (workspace, zero-alloc).
     for (name, model) in [
         (
@@ -145,7 +177,7 @@ fn kernel_benches<S: Scalar>(
         ),
         ("mlp_forward_pruned70", pruned_mlp::<S>(0.70, 9)),
     ] {
-        let mut ws = Workspace::new();
+        let mut ws = Workspace::with_kernel_path(path);
         let ns = median_ns(15, 10_000, || {
             let _ = black_box(model.forward_with(&mut ws, black_box(&x))).expect("width matches");
         });
@@ -158,7 +190,10 @@ fn kernel_benches<S: Scalar>(
         let data: Vec<(Vec<S>, usize)> = (0..64)
             .map(|i| (random_vec(DIMS[0], &mut rng), i % DIMS[DIMS.len() - 1]))
             .collect();
-        let trainer = Trainer::new().with_epochs(1).with_seed(7);
+        let trainer = Trainer::new()
+            .with_epochs(1)
+            .with_seed(7)
+            .with_kernel_path(path);
         let mut model = Mlp::<S>::new(DIMS, 11).expect("valid dims");
         let ns = median_ns(9, 50, || {
             let _ = black_box(trainer.fit(&mut model, black_box(&data))).expect("fits");
@@ -243,7 +278,7 @@ fn main() {
         ));
     };
 
-    kernel_benches::<f64>(&push, &mut rows, "");
+    kernel_benches::<f64>(&push, &mut rows, "", KernelPath::default());
     if !cli.quick {
         full_benches(&push, &mut rows);
     }
@@ -254,6 +289,7 @@ fn main() {
             "harness".to_owned(),
             JsonValue::from("bench_report median-of-samples (see scripts/bench.sh)"),
         ),
+        ("machine".to_owned(), machine_metadata()),
         ("benches".to_owned(), JsonValue::Object(rows)),
     ]);
     let current = BenchSnapshot::parse(&report.render_pretty()).expect("own schema parses");
@@ -287,13 +323,59 @@ fn main() {
     }
 }
 
-/// The slow rows of the full snapshot: `f32` kernel twins, the trained
-/// classifier entry points, and the 16-cell sweep.
+/// Where the numbers came from: CPU model, the compile-time target
+/// features the kernels were built against, and the default kernel
+/// path the unsuffixed rows measure. [`BenchSnapshot::parse`] ignores
+/// unknown top-level keys, so older baselines stay comparable.
+fn machine_metadata() -> JsonValue {
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_owned())
+        })
+        .unwrap_or_else(|| "unknown".to_owned());
+    // Compile-time (cfg!) features: what the autovectorizer was actually
+    // allowed to emit — deliberately not a runtime CPUID probe (lint D1).
+    let mut features: Vec<&str> = Vec::new();
+    macro_rules! feat {
+        ($name:literal) => {
+            if cfg!(target_feature = $name) {
+                features.push($name);
+            }
+        };
+    }
+    feat!("sse2");
+    feat!("sse4.2");
+    feat!("avx");
+    feat!("avx2");
+    feat!("fma");
+    feat!("avx512f");
+    JsonValue::Object(vec![
+        ("cpu_model".to_owned(), JsonValue::from(cpu_model)),
+        (
+            "target_features".to_owned(),
+            JsonValue::from(features.join(",")),
+        ),
+        (
+            "default_kernel_path".to_owned(),
+            JsonValue::from(KernelPath::default().label()),
+        ),
+    ])
+}
+
+/// The slow rows of the full snapshot: the scalar-reference A/B twins,
+/// `f32` kernel twins (both paths), the trained classifier entry
+/// points, and the 16-cell sweep.
 fn full_benches(
     push: &impl Fn(&mut Vec<(String, JsonValue)>, &str, f64, f64),
     rows: &mut Vec<(String, JsonValue)>,
 ) {
-    kernel_benches::<f32>(push, rows, "_f32");
+    kernel_benches::<f64>(push, rows, "_scalar", KernelPath::Scalar);
+    kernel_benches::<f32>(push, rows, "_f32", KernelPath::default());
+    kernel_benches::<f32>(push, rows, "_f32_scalar", KernelPath::Scalar);
 
     // Trained classifier: allocating entry point vs workspace entry
     // point (same kernels, isolates the steady-state allocation cost).

@@ -2,7 +2,8 @@
 //! extension studies — and writes each report under `results/`.
 //!
 //! Usage: `cargo run -p origin-bench --bin reproduce_all --release -- [seed]
-//! [out_dir] [--threads N] [--precision {f64,f32}] [--json <path>]`
+//! [out_dir] [--threads N] [--precision {f64,f32}]
+//! [--kernel-path {scalar,unrolled}] [--json <path>]`
 //!
 //! With `--precision f32` the whole pipeline (training, pruning,
 //! inference) runs on `f32` kernels and the default output directory
@@ -40,8 +41,8 @@ use origin_core::experiments::{
     run_ablation, run_cohort, run_depth_sweep, run_fig1, run_fig2, run_fig4, run_fig5, run_fig6,
     run_power_study, run_table1, Dataset, ExperimentContext,
 };
-use origin_core::{PolicyKind, SimConfig};
-use origin_nn::Scalar;
+use origin_core::PolicyKind;
+use origin_nn::{KernelPath, Scalar};
 use origin_telemetry::{write_prometheus, JsonValue, RunManifest, StageTimings};
 use origin_types::SimDuration;
 use std::fmt::Write as _;
@@ -174,7 +175,9 @@ fn run_stage<S: Scalar>(stage: Stage, ctx: &ExperimentContext<S>, seed: u64) -> 
                 ctx.clone()
             } else {
                 println!("training PAMAP2-like models (seed {seed})...");
-                ExperimentContext::<S>::new(Dataset::Pamap2, seed).expect("training succeeds")
+                ExperimentContext::<S>::new(Dataset::Pamap2, seed)
+                    .expect("training succeeds")
+                    .with_kernel_path(ctx.kernel_path)
             };
             let f5 = run_fig5(&dctx).expect("fig5");
             let _ = writeln!(s, "# Fig. 5 {} (seed {seed})", f5.dataset);
@@ -332,6 +335,7 @@ fn run<S: Scalar>(args: &BenchArgs) {
     // manifest next to the aggregate training stage. Training fans out
     // over the same worker pool as the stages (one location per worker);
     // the bank — and the timing labels — are identical at any width.
+    let kernel_path = args.kernel_path();
     let ctx = {
         let mut kernel = StageTimings::new();
         let ctx = timings.time("train_mhealth", || {
@@ -346,7 +350,7 @@ fn run<S: Scalar>(args: &BenchArgs) {
         for (name, elapsed) in kernel.iter() {
             timings.record(name, elapsed);
         }
-        ctx
+        ctx.with_kernel_path(kernel_path)
     };
 
     // Fan the independent stages out over the worker pool; collect in
@@ -365,6 +369,11 @@ fn run<S: Scalar>(args: &BenchArgs) {
     .with_config("dtype", precision.label())
     .with_config("out_dir", dir.display().to_string())
     .with_config("trace_horizon_secs", TRACE_HORIZON_SECS);
+    // Recorded only when non-default, mirroring sim_config_entries: the
+    // default-path manifest stays byte-stable across this provenance knob.
+    if kernel_path != KernelPath::default() {
+        manifest = manifest.with_config("kernel_path", kernel_path.label());
+    }
     for output in outputs {
         save(dir, &output.file, &output.text);
         timings.record(output.stage.name(), output.elapsed);
@@ -377,9 +386,9 @@ fn run<S: Scalar>(args: &BenchArgs) {
     // with the full observer stack, so the repo ships real event data.
     let sim = ctx.simulator();
     for policy in [PolicyKind::NaiveAllOn, PolicyKind::Origin { cycle: 12 }] {
-        let config = SimConfig::new(policy)
-            .with_horizon(SimDuration::from_secs(TRACE_HORIZON_SECS))
-            .with_seed(seed);
+        let config = ctx
+            .sim_config(policy)
+            .with_horizon(SimDuration::from_secs(TRACE_HORIZON_SECS));
         let label = policy.label().to_lowercase().replace(' ', "_");
         let run = timings.time("trace", || {
             run_instrumented(&sim, &config).expect("valid cycle")

@@ -35,7 +35,11 @@
 //! logical-time span traces for all cells to one JSONL file — feed it to
 //! `trace_summary`), `--progress 1` (cells/s + ETA heartbeat on stderr),
 //! `--precision {f64,f32}` (kernel dtype; `f64` is the golden default),
-//! `--json PATH` (write the merged run manifest).
+//! `--kernel-path {scalar,unrolled}` (NN kernel implementation; the two
+//! are bitwise identical, so the default `unrolled` changes nothing but
+//! speed — the flag exists for A/B verification, and the manifest
+//! records it only when non-default), `--json PATH` (write the merged
+//! run manifest).
 //!
 //! Population-only flags: `--population N` (sample N users instead of
 //! enumerating a grid; per-cell flags `--instrument/--ledger/--spans`
@@ -61,7 +65,7 @@ use origin_bench::sweep::{
 use origin_bench::{write_manifest_file, BenchArgs, Precision};
 use origin_core::experiments::{Dataset, ExperimentContext};
 use origin_core::PopulationSpec;
-use origin_nn::Scalar;
+use origin_nn::{KernelPath, Scalar};
 use origin_types::SimDuration;
 
 fn print_report(report: &SweepReport, seeds: u32, users: usize) {
@@ -180,12 +184,17 @@ fn run_population<S: Scalar>(args: &BenchArgs, population: u32) {
         max_shards,
         manifest_name: "sweep".to_owned(),
         dtype: precision.label().to_owned(),
+        kernel_path: args.kernel_path(),
     };
     let report = run_fleet(&ctx, &plan, &opts).expect("simulation succeeds");
 
     print_population_report(&report);
     if let Some(path) = args.json_path() {
-        write_manifest_file(path, &report.to_manifest());
+        let mut manifest = report.to_manifest();
+        if opts.kernel_path != KernelPath::default() {
+            manifest = manifest.with_config("kernel_path", opts.kernel_path.label());
+        }
+        write_manifest_file(path, &manifest);
     }
 }
 
@@ -299,6 +308,7 @@ fn run<S: Scalar>(args: &BenchArgs) {
         grid.users.len()
     );
 
+    let kernel_path = args.kernel_path();
     let report = run_sweep(
         &ctx,
         &grid,
@@ -308,6 +318,7 @@ fn run<S: Scalar>(args: &BenchArgs) {
             ledger,
             spans: spans_path.is_some(),
             progress,
+            kernel_path,
         },
     )
     .expect("simulation succeeds");
@@ -319,11 +330,13 @@ fn run<S: Scalar>(args: &BenchArgs) {
     if let Some(path) = spans_path {
         write_spans(&report, path);
     }
-    args.write_manifest(
-        &report
-            .to_manifest("sweep")
-            .with_config("dtype", precision.label()),
-    );
+    let mut manifest = report
+        .to_manifest("sweep")
+        .with_config("dtype", precision.label());
+    if kernel_path != KernelPath::default() {
+        manifest = manifest.with_config("kernel_path", kernel_path.label());
+    }
+    args.write_manifest(&manifest);
     if ledger {
         enforce_audit(&report);
     }

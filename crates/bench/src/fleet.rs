@@ -28,7 +28,7 @@ use origin_core::experiments::ExperimentContext;
 use origin_core::{
     fully_powered_simulator, CoreError, PolicyKind, PopulationSpec, SimConfig, SimReport, Simulator,
 };
-use origin_nn::Scalar;
+use origin_nn::{KernelPath, Scalar};
 use origin_telemetry::{JsonValue, ProgressMeter, RunManifest};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -461,6 +461,10 @@ pub struct FleetOptions {
     /// The kernel dtype label stamped into the manifest fingerprint
     /// ("f64"/"f32" — [`crate::Precision::label`]).
     pub dtype: String,
+    /// The NN [`KernelPath`] every cell's simulation dispatches to. Both
+    /// paths are bitwise identical, so this never changes the report —
+    /// it exists for scalar-vs-unrolled A/B verification runs.
+    pub kernel_path: KernelPath,
 }
 
 /// The outcome of a fleet run: merged per-arm statistics, pairwise win
@@ -669,7 +673,15 @@ pub fn run_fleet<S: Scalar>(
     let worker = || loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(&shard) = todo.get(i) else { break };
-        match run_shard(ctx, plan, &harvest_sim, &baseline_sim, shard, &cells_done) {
+        match run_shard(
+            ctx,
+            plan,
+            &harvest_sim,
+            &baseline_sim,
+            shard,
+            opts.kernel_path,
+            &cells_done,
+        ) {
             Ok(state) => {
                 let done = shards_done_this_run.fetch_add(1, Ordering::Relaxed) + 1;
                 let snapshot = {
@@ -751,12 +763,14 @@ fn assemble(
 }
 
 /// Runs one shard's columns, folding every cell into fresh accumulators.
+#[allow(clippy::too_many_arguments)]
 fn run_shard<S: Scalar>(
     ctx: &ExperimentContext<S>,
     plan: &FleetPlan,
     harvest_sim: &Simulator<S>,
     baseline_sim: &Simulator<S>,
     shard: u64,
+    kernel_path: KernelPath,
     cells_done: &AtomicU64,
 ) -> Result<ShardState, CoreError> {
     let arms = plan.policies.len();
@@ -775,7 +789,8 @@ fn run_shard<S: Scalar>(
                 .with_user(user.profile)
                 .with_dwell_scale(user.dwell_scale)
                 .with_harvest_scale(user.harvest_scale)
-                .with_noise_snr(user.snr_db);
+                .with_noise_snr(user.snr_db)
+                .with_kernel_path(kernel_path);
             let sim = match policy {
                 SweepPolicy::Policy(kind) => {
                     config.policy = *kind;

@@ -19,7 +19,7 @@ pub mod stats;
 pub mod sweep;
 
 use origin_core::{CoreError, ModelBank, SimConfig, SimReport, Simulator};
-use origin_nn::Scalar;
+use origin_nn::{KernelPath, Scalar};
 use origin_sensors::DatasetSpec;
 use origin_telemetry::{
     JsonValue, JsonlObserver, MetricsObserver, MetricsRegistry, RunManifest, Tee,
@@ -223,6 +223,23 @@ impl BenchArgs {
             })
     }
 
+    /// The NN kernel path: `--kernel-path {scalar,unrolled}`, defaulting
+    /// to [`KernelPath::Unrolled`] (the fast path; both are bitwise
+    /// identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown kernel-path value (the binaries have no
+    /// error channel).
+    #[must_use]
+    pub fn kernel_path(&self) -> KernelPath {
+        self.flag("kernel-path")
+            .map_or_else(KernelPath::default, |s| match KernelPath::parse(s) {
+                Some(p) => p,
+                None => panic!("unknown kernel path {s:?} (expected scalar or unrolled)"),
+            })
+    }
+
     /// The `--json` destination, when requested.
     #[must_use]
     pub fn json_path(&self) -> Option<&Path> {
@@ -319,6 +336,15 @@ pub fn sim_config_entries(config: &SimConfig) -> Vec<(String, String)> {
     ];
     if config.harvest_scale != 1.0 {
         entries.push(("harvest_scale".to_owned(), config.harvest_scale.to_string()));
+    }
+    // Recorded only when non-default, like harvest_scale: the committed
+    // goldens stay byte-stable, and both paths are bitwise-identical
+    // anyway — the entry is provenance for A/B runs.
+    if config.kernel_path != KernelPath::default() {
+        entries.push((
+            "kernel_path".to_owned(),
+            config.kernel_path.label().to_owned(),
+        ));
     }
     if let Some(snr) = config.noise_snr_db {
         entries.push(("noise_snr_db".to_owned(), snr.to_string()));
@@ -548,9 +574,16 @@ mod tests {
         // harvest_scale only appears when it deviates from 1.0 (the
         // enumerated goldens keep their exact byte shape).
         assert_eq!(get("harvest_scale"), None);
-        let scaled = sim_config_entries(&config.with_harvest_scale(0.5));
+        // Same policy for kernel_path: absent at the default (Unrolled),
+        // recorded for A/B runs on the scalar reference path.
+        assert_eq!(get("kernel_path"), None);
+        let scaled = sim_config_entries(&config.clone().with_harvest_scale(0.5));
         assert!(scaled
             .iter()
             .any(|(k, v)| k == "harvest_scale" && v == "0.5"));
+        let scalar = sim_config_entries(&config.with_kernel_path(KernelPath::Scalar));
+        assert!(scalar
+            .iter()
+            .any(|(k, v)| k == "kernel_path" && v == "scalar"));
     }
 }

@@ -41,7 +41,7 @@ use origin_core::experiments::{cohort_user, ExperimentContext};
 use origin_core::{
     fully_powered_simulator, BaselineKind, CoreError, PolicyKind, SimConfig, SimReport, Simulator,
 };
-use origin_nn::Scalar;
+use origin_nn::{KernelPath, Scalar};
 use origin_sensors::UserProfile;
 use origin_telemetry::{
     JsonValue, JsonlObserver, LedgerAuditReport, LedgerAuditor, MetricsObserver, MetricsRegistry,
@@ -337,6 +337,10 @@ pub struct SweepOptions {
     /// Stream cell-completion progress (counts, cells/s, ETA) to stderr.
     /// Purely cosmetic: the report and manifest stay byte-identical.
     pub progress: bool,
+    /// The NN [`KernelPath`] every cell's simulation dispatches to. Both
+    /// paths are bitwise identical, so this knob keeps the determinism
+    /// contract trivially; it exists for scalar-vs-unrolled A/B runs.
+    pub kernel_path: KernelPath,
 }
 
 impl SweepOptions {
@@ -672,7 +676,8 @@ fn run_cell<S: Scalar>(
     let mut config = SimConfig::new(PolicyKind::NaiveAllOn)
         .with_horizon(ctx.horizon)
         .with_seed(cell.sim_seed)
-        .with_user(user);
+        .with_user(user)
+        .with_kernel_path(opts.kernel_path);
     let sim = match policy {
         SweepPolicy::Policy(kind) => {
             config.policy = kind;

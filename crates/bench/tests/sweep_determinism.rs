@@ -9,6 +9,7 @@ use origin_bench::fleet::{resume_states, run_fleet, FleetOptions, FleetPlan, Fle
 use origin_bench::sweep::{run_sweep, SweepGrid, SweepOptions, SweepPolicy, SweepReport};
 use origin_core::experiments::{Dataset, ExperimentContext};
 use origin_core::{BaselineKind, Deployment, PolicyKind};
+use origin_nn::KernelPath;
 use origin_telemetry::RunManifest;
 use origin_types::SimDuration;
 
@@ -47,6 +48,7 @@ fn run(ctx: &ExperimentContext, threads: usize) -> SweepReport {
             // Progress streams to stderr only; leaving it on here pins
             // the claim that it cannot perturb the results.
             progress: true,
+            kernel_path: KernelPath::default(),
         },
     )
     .expect("sweep succeeds")

@@ -57,9 +57,7 @@ pub fn run_ablation_seeded<S: Scalar>(
     seed: u64,
 ) -> Result<AblationReport, CoreError> {
     let sim = ctx.simulator();
-    let base = SimConfig::new(PolicyKind::Aas { cycle })
-        .with_horizon(ctx.horizon)
-        .with_seed(seed);
+    let base = ctx.sim_config(PolicyKind::Aas { cycle }).with_seed(seed);
 
     let aas = sim.run(&base)?;
     let aasr = sim.run(&SimConfig {

@@ -9,7 +9,6 @@ use super::ExperimentContext;
 use crate::baseline::{run_baseline_on, BaselineKind};
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
-use crate::sim::SimConfig;
 use origin_nn::Scalar;
 use origin_sensors::UserProfile;
 use origin_types::UserId;
@@ -111,8 +110,8 @@ pub fn run_cohort_seeded<S: Scalar>(
     for u in 0..users {
         let profile = cohort_user(seed, u);
         let user_id = profile.user;
-        let base = SimConfig::new(PolicyKind::Origin { cycle: 12 })
-            .with_horizon(ctx.horizon)
+        let base = ctx
+            .sim_config(PolicyKind::Origin { cycle: 12 })
             .with_seed(seed.wrapping_add(u64::from(u)))
             .with_user(profile);
         let origin = sim.run(&base)?;

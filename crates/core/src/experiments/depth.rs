@@ -10,7 +10,6 @@
 use super::ExperimentContext;
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
-use crate::sim::SimConfig;
 use origin_nn::Scalar;
 use origin_types::ActivityClass;
 
@@ -67,11 +66,7 @@ pub fn run_depth_sweep<S: Scalar>(
     let sim = ctx.simulator();
     let mut points = Vec::with_capacity(cycles.len());
     for &cycle in cycles {
-        let report = sim.run(
-            &SimConfig::new(PolicyKind::Origin { cycle })
-                .with_horizon(ctx.horizon)
-                .with_seed(ctx.seed),
-        )?;
+        let report = sim.run(&ctx.sim_config(PolicyKind::Origin { cycle }))?;
         points.push(DepthPoint {
             cycle,
             accuracy: report.accuracy(),

@@ -31,9 +31,7 @@ pub struct Fig1Result {
 /// Propagates simulation failures.
 pub fn run_fig1<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<Fig1Result, CoreError> {
     let sim = ctx.simulator();
-    let base = SimConfig::new(PolicyKind::NaiveAllOn)
-        .with_horizon(ctx.horizon)
-        .with_seed(ctx.seed);
+    let base = ctx.sim_config(PolicyKind::NaiveAllOn);
 
     let naive = sim.run(&base)?;
     let (all, some, none) = naive.completion_breakdown();

@@ -38,7 +38,7 @@ pub fn run_fig2<S: Scalar>(
     let activities: Vec<ActivityClass> = ctx.models.activities().iter().collect();
     let classes = activities.len();
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xF162);
-    let mut ws = Workspace::new();
+    let mut ws = Workspace::with_kernel_path(ctx.kernel_path);
     let user = UserProfile::sampled(UserId::new(100), 0.08, ctx.seed);
 
     let mut confusions = vec![ConfusionMatrix::new(classes); SensorLocation::COUNT];

@@ -46,9 +46,7 @@ pub fn run_fig4<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<Fig4Result, Cor
     let mut aas_overall = Vec::new();
 
     for &cycle in &cycles {
-        let base = SimConfig::new(PolicyKind::RoundRobin { cycle })
-            .with_horizon(ctx.horizon)
-            .with_seed(ctx.seed);
+        let base = ctx.sim_config(PolicyKind::RoundRobin { cycle });
         let rr_report = sim.run(&base)?;
         rr.push(per_activity(&rr_report, &activities));
         rr_overall.push(rr_report.accuracy());

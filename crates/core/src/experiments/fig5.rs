@@ -47,9 +47,7 @@ impl Fig5Result {
 pub fn run_fig5<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<Fig5Result, CoreError> {
     let sim = ctx.simulator();
     let activities: Vec<ActivityClass> = ctx.models.activities().iter().collect();
-    let base = SimConfig::new(PolicyKind::NaiveAllOn)
-        .with_horizon(ctx.horizon)
-        .with_seed(ctx.seed);
+    let base = ctx.sim_config(PolicyKind::NaiveAllOn);
 
     let mut rows = Vec::new();
     for cycle in [3u8, 6, 9, 12] {

@@ -30,8 +30,9 @@ pub use table1::{run_table1, Table1Result};
 use crate::deployment::Deployment;
 use crate::error::CoreError;
 use crate::models::ModelBank;
-use crate::sim::Simulator;
-use origin_nn::Scalar;
+use crate::policy::PolicyKind;
+use crate::sim::{SimConfig, Simulator};
+use origin_nn::{KernelPath, Scalar};
 use origin_sensors::DatasetSpec;
 use origin_types::SimDuration;
 use std::sync::Arc;
@@ -90,6 +91,11 @@ pub struct ExperimentContext<S: Scalar = f64> {
     pub seed: u64,
     /// Per-policy simulated duration.
     pub horizon: SimDuration,
+    /// The NN [`KernelPath`] every experiment's simulations dispatch to.
+    /// Both paths are bitwise identical, so this never changes a result
+    /// — it exists so `--kernel-path` A/B runs cover the whole
+    /// reproduction pipeline.
+    pub kernel_path: KernelPath,
 }
 
 impl<S: Scalar> ExperimentContext<S> {
@@ -165,6 +171,7 @@ impl<S: Scalar> ExperimentContext<S> {
             deployment: Arc::new(deployment),
             seed,
             horizon: SimDuration::from_secs(Self::DEFAULT_HORIZON_SECS),
+            kernel_path: KernelPath::default(),
         }
     }
 
@@ -173,6 +180,26 @@ impl<S: Scalar> ExperimentContext<S> {
     pub fn with_horizon(mut self, horizon: SimDuration) -> Self {
         self.horizon = horizon;
         self
+    }
+
+    /// Overrides the NN kernel path (default [`KernelPath::Unrolled`]).
+    /// Builder-style. Every experiment's [`SimConfig`]s inherit it via
+    /// [`ExperimentContext::sim_config`].
+    #[must_use]
+    pub fn with_kernel_path(mut self, path: KernelPath) -> Self {
+        self.kernel_path = path;
+        self
+    }
+
+    /// A [`SimConfig`] for `policy` carrying this context's horizon and
+    /// kernel path — the one constructor every experiment goes through,
+    /// so provenance knobs cannot be forgotten at an individual site.
+    #[must_use]
+    pub fn sim_config(&self, policy: PolicyKind) -> SimConfig {
+        SimConfig::new(policy)
+            .with_horizon(self.horizon)
+            .with_seed(self.seed)
+            .with_kernel_path(self.kernel_path)
     }
 
     /// A simulator bound to this context. Cheap: the deployment and

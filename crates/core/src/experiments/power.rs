@@ -43,9 +43,7 @@ pub struct PowerReport {
 /// Propagates simulation failures.
 pub fn run_power_study<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<PowerReport, CoreError> {
     let sim = ctx.simulator();
-    let base = SimConfig::new(PolicyKind::NaiveAllOn)
-        .with_horizon(ctx.horizon)
-        .with_seed(ctx.seed);
+    let base = ctx.sim_config(PolicyKind::NaiveAllOn);
 
     let mut rows = Vec::new();
     let span = ctx.horizon;

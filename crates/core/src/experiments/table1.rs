@@ -4,7 +4,6 @@ use super::ExperimentContext;
 use crate::baseline::{run_baseline, BaselineKind};
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
-use crate::sim::SimConfig;
 use origin_nn::Scalar;
 use origin_types::ActivityClass;
 
@@ -60,9 +59,7 @@ impl Table1Result {
 /// Propagates simulation failures.
 pub fn run_table1<S: Scalar>(ctx: &ExperimentContext<S>) -> Result<Table1Result, CoreError> {
     let sim = ctx.simulator();
-    let base = SimConfig::new(PolicyKind::Origin { cycle: 12 })
-        .with_horizon(ctx.horizon)
-        .with_seed(ctx.seed);
+    let base = ctx.sim_config(PolicyKind::Origin { cycle: 12 });
 
     let origin = sim.run(&base)?;
     let bl2 = run_baseline(BaselineKind::Baseline2, &ctx.models, &base)?.report;

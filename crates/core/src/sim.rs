@@ -13,7 +13,7 @@ use crate::models::{ModelBank, ModelVariant};
 use crate::policy::{PolicyKind, PolicyState};
 use origin_energy::{AdvanceFlows, DutyState, EnergyNode, NodeCounters};
 use origin_net::{Endpoint, Message, MessageBus};
-use origin_nn::{ConfusionMatrix, Scalar, Workspace};
+use origin_nn::{ConfusionMatrix, KernelPath, Scalar, Workspace};
 use origin_sensors::{
     add_noise_snr, sample_window, window_features, ActivityTimeline, TimelineConfig, UserProfile,
 };
@@ -55,6 +55,12 @@ pub struct SimConfig {
     /// host's classification — the oracle-anticipation ablation that
     /// upper-bounds what better activity prediction could buy AAS.
     pub oracle_anticipation: bool,
+    /// Which NN kernel implementations the run's inference workspace
+    /// dispatches to. Both paths are bitwise identical (`Unrolled`, the
+    /// default, is the fast one); the knob exists for A/B benching and
+    /// regression bisection, and is recorded in manifests only when
+    /// non-default.
+    pub kernel_path: KernelPath,
 }
 
 impl SimConfig {
@@ -74,6 +80,7 @@ impl SimConfig {
             alpha: ConfidenceMatrix::DEFAULT_ALPHA,
             disabled_nodes: Vec::new(),
             oracle_anticipation: false,
+            kernel_path: KernelPath::default(),
         }
     }
 
@@ -147,6 +154,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_oracle_anticipation(mut self) -> Self {
         self.oracle_anticipation = true;
+        self
+    }
+
+    /// Pins the NN [`KernelPath`] for the run (default
+    /// [`KernelPath::Unrolled`]; both paths are bitwise identical).
+    /// Builder-style.
+    #[must_use]
+    pub fn with_kernel_path(mut self, path: KernelPath) -> Self {
+        self.kernel_path = path;
         self
     }
 }
@@ -445,8 +461,9 @@ impl<S: Scalar> Simulator<S> {
         let mut bus = MessageBus::new(self.deployment.link(), node_count);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x51AB_1E5E);
         // One reusable NN workspace per run keeps the per-window inference
-        // hot path allocation-free (bitwise-identical to `classify`).
-        let mut ws = Workspace::new();
+        // hot path allocation-free (bitwise-identical to `classify`),
+        // pinned to the config's kernel path.
+        let mut ws = Workspace::with_kernel_path(config.kernel_path);
 
         // Per-node attempt energy (sense is paid through the duty).
         let infer_cost: Vec<Energy> = SensorLocation::ALL

@@ -366,8 +366,19 @@ fn fn_body_range(toks: &[Token], fn_name: &str) -> Option<(usize, usize)> {
     let mut i = 0usize;
     while i + 1 < toks.len() {
         if toks[i].is_ident("fn") && toks[i + 1].is_ident(fn_name) {
+            // Scan past the signature for the body's `{`. A `;` ends a
+            // bodiless signature only at bracket depth 0 — array types
+            // like `[S; N]` in parameters or the return type nest a `;`
+            // inside `[...]` that must not read as a terminator.
             let mut k = i + 2;
-            while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+            let mut nest = 0usize;
+            while k < toks.len() {
+                match toks[k].kind {
+                    TokKind::Punct('(' | '[') => nest += 1,
+                    TokKind::Punct(')' | ']') => nest = nest.saturating_sub(1),
+                    TokKind::Punct('{' | ';') if nest == 0 => break,
+                    _ => {}
+                }
                 k += 1;
             }
             if k >= toks.len() || toks[k].is_punct(';') {
@@ -493,6 +504,22 @@ mod tests {
         let f = lint_source(src, &ctx("bench", &hot));
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("vec!"));
+    }
+
+    #[test]
+    fn d4_finds_fns_with_array_types_in_signature() {
+        // The `;` inside `[S; B]` / `[&[u32]; 4]` is part of a type, not
+        // a bodiless-signature terminator.
+        let src = r"
+            fn hot<const B: usize>(x: &[u32]) -> [&[u32]; B] {
+                let v = x.to_vec();
+                [&[]; B]
+            }
+        ";
+        let hot = vec!["hot".to_string()];
+        let f = lint_source(src, &ctx("bench", &hot));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("to_vec"), "{:?}", f[0].message);
     }
 
     #[test]

@@ -1,0 +1,737 @@
+//! Unrolled (vectorized) implementations of the NN hot kernels.
+//!
+//! # The reduction-order invariant
+//!
+//! Every kernel in this module is **bitwise identical** to its scalar
+//! reference in [`crate::tensor`] / [`crate::layer`]. The scalar kernels
+//! fix a per-output reduction order (ascending column / CSR-entry index),
+//! and floating-point addition is not associative, so the only legal way
+//! to go faster is to exploit parallelism *across independent outputs*:
+//! rows of the weight matrix, examples of a batch, elements of the
+//! backward input-gradient. Each kernel here blocks one of those
+//! independent dimensions into several accumulator chains while leaving
+//! every individual chain's operation sequence untouched — all in safe
+//! Rust (the crate root is `#![forbid(unsafe_code)]`, lint rule D5).
+//!
+//! The block *shapes* are chosen by measurement per kernel, not by a
+//! single LANES constant, because the kernels are bound by different
+//! resources. The dense forward matvecs interleave [`Scalar::LANES`]
+//! rows (8 at `f32`, 4 at `f64`): the scalar fold is a *latency*-bound
+//! dependent add chain, and LANES independent chains turn it
+//! *throughput*-bound. The transposed matvec uses 4-row blocks at both
+//! dtypes, fusing four accumulator load/stores into one; the CSR
+//! gather blocks 4 rows at `f64` but keeps the streaming scalar shape
+//! at `f32`, where blocking measured slower (the sparse gather is a
+//! scalar load no matter the width). The SGD update keeps the scalar
+//! shape outright:
+//! an element-wise stream the autovectorizer already handles, where
+//! row-blocking measurably hurt. Each kernel's doc comment records its
+//! own rationale.
+//!
+//! Remainder rows/examples (tails that do not fill a block) run the
+//! exact scalar reference loop, so shapes that do not divide evenly are
+//! still bitwise-pinned (covered by the parity proptests).
+//!
+//! # Dispatch policy
+//!
+//! Selection is an explicit, deterministic API: a [`KernelPath`] chosen
+//! once at [`Workspace`](crate::Workspace) construction (or on
+//! [`Trainer`](crate::Trainer) / `SimConfig` builders) and recorded in
+//! run manifests when it differs from the default. There is **no**
+//! ambient CPU-feature or environment probing inside the deterministic
+//! crates (lint rule D1): the same binary given the same flags runs the
+//! same code on every machine, and because both paths are bitwise-equal,
+//! even flipping the path cannot perturb a result — only its speed.
+
+use crate::scalar::Scalar;
+
+/// Which implementation of the hot kernels a [`Workspace`](crate::Workspace)
+/// (and everything threaded through it) executes.
+///
+/// Both paths produce bitwise-identical results (pinned by the parity
+/// proptests); they differ only in speed. `Unrolled` is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPath {
+    /// The original scalar kernels: one dependent accumulator chain per
+    /// output. Kept as the executable reference for A/B benching and for
+    /// bisecting any suspected kernel regression.
+    Scalar,
+    /// Row/batch-blocked kernels: several independent accumulator
+    /// chains per block (the module docs record each kernel's measured
+    /// shape), shaped for the autovectorizer. Bitwise-equal to `Scalar`.
+    #[default]
+    Unrolled,
+}
+
+impl KernelPath {
+    /// Stable label recorded in manifests and bench metadata:
+    /// `"scalar"` or `"unrolled"`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Unrolled => "unrolled",
+        }
+    }
+
+    /// Parses a [`KernelPath::label`] back; `None` for anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(Self::Scalar),
+            "unrolled" => Some(Self::Unrolled),
+            _ => None,
+        }
+    }
+}
+
+/// Splits a `B * cols` block into `B` row slices of exactly `cols`.
+#[inline]
+fn rows<S, const B: usize>(block: &[S], cols: usize) -> [&[S]; B] {
+    let mut out: [&[S]; B] = [&[]; B];
+    let mut rest = block;
+    for slot in &mut out {
+        let (head, tail) = rest.split_at(cols);
+        *slot = head;
+        rest = tail;
+    }
+    out
+}
+
+/// Unrolled dense matrix–vector product: `out = data * x` where `data`
+/// is row-major with `out.len()` rows of `cols` elements.
+///
+/// Blocks of [`Scalar::LANES`] rows run LANES interleaved accumulator
+/// chains; remainder rows run the scalar fold. Each row's chain visits
+/// columns in ascending order — bitwise-equal to
+/// [`Matrix::matvec_into`](crate::Matrix::matvec_into).
+#[inline]
+pub(crate) fn matvec_unrolled<S: Scalar>(data: &[S], cols: usize, x: &[S], out: &mut [S]) {
+    match S::LANES {
+        8 => matvec_block::<S, 8>(data, cols, x, out),
+        _ => matvec_block::<S, 4>(data, cols, x, out),
+    }
+}
+
+fn matvec_block<S: Scalar, const B: usize>(data: &[S], cols: usize, x: &[S], out: &mut [S]) {
+    debug_assert_eq!(data.len(), out.len() * cols);
+    debug_assert_eq!(x.len(), cols);
+    let mut blocks = data.chunks_exact(B * cols);
+    let mut outs = out.chunks_exact_mut(B);
+    for (block, out_b) in (&mut blocks).zip(&mut outs) {
+        let row: [&[S]; B] = rows(block, cols);
+        let mut acc = [S::ZERO; B];
+        for (c, &xc) in x.iter().enumerate() {
+            for (l, a) in acc.iter_mut().enumerate() {
+                *a += row[l][c] * xc;
+            }
+        }
+        out_b.copy_from_slice(&acc);
+    }
+    for (row, out_r) in blocks
+        .remainder()
+        .chunks_exact(cols)
+        .zip(outs.into_remainder())
+    {
+        *out_r = row
+            .iter()
+            .zip(x)
+            .fold(S::ZERO, |acc, (&w, &xi)| acc + w * xi);
+    }
+}
+
+/// Unrolled batched matvec: `xs` holds `batch` inputs of width `cols`,
+/// `out` receives `batch` outputs of width `rows` at `out[e * rows + r]`.
+///
+/// Rows are blocked (not examples) so the kernel still wins at
+/// `batch == 1`; per-`(row, example)` reduction order is unchanged from
+/// [`Matrix::matvec_batch_into`](crate::Matrix::matvec_batch_into).
+#[inline]
+pub(crate) fn matvec_batch_unrolled<S: Scalar>(
+    data: &[S],
+    rows: usize,
+    cols: usize,
+    xs: &[S],
+    batch: usize,
+    out: &mut [S],
+) {
+    match S::LANES {
+        8 => matvec_batch_block::<S, 8>(data, rows, cols, xs, batch, out),
+        _ => matvec_batch_block::<S, 4>(data, rows, cols, xs, batch, out),
+    }
+}
+
+fn matvec_batch_block<S: Scalar, const B: usize>(
+    data: &[S],
+    n_rows: usize,
+    cols: usize,
+    xs: &[S],
+    batch: usize,
+    out: &mut [S],
+) {
+    debug_assert_eq!(data.len(), n_rows * cols);
+    debug_assert_eq!(xs.len(), batch * cols);
+    debug_assert_eq!(out.len(), batch * n_rows);
+    let mut blocks = data.chunks_exact(B * cols);
+    let mut r0 = 0;
+    for block in &mut blocks {
+        let row: [&[S]; B] = rows(block, cols);
+        for e in 0..batch {
+            let x = &xs[e * cols..(e + 1) * cols];
+            let mut acc = [S::ZERO; B];
+            for (c, &xc) in x.iter().enumerate() {
+                for (l, a) in acc.iter_mut().enumerate() {
+                    *a += row[l][c] * xc;
+                }
+            }
+            for (l, &a) in acc.iter().enumerate() {
+                out[e * n_rows + r0 + l] = a;
+            }
+        }
+        r0 += B;
+    }
+    for row in blocks.remainder().chunks_exact(cols) {
+        for e in 0..batch {
+            let x = &xs[e * cols..(e + 1) * cols];
+            out[e * n_rows + r0] = row
+                .iter()
+                .zip(x)
+                .fold(S::ZERO, |acc, (&w, &xi)| acc + w * xi);
+        }
+        r0 += 1;
+    }
+}
+
+/// Unrolled transposed matvec: `out = dataᵀ * x`, `data` row-major with
+/// `x.len()` rows of `cols` elements.
+///
+/// The scalar reference accumulates `out[c] += data[r][c] * x[r]` with
+/// `r` outermost; blocking four rows fuses four updates of each
+/// `out[c]` into one pass (one load/store of the accumulator instead of
+/// four) while keeping the per-element add order (`r` ascending) —
+/// bitwise-equal to
+/// [`Matrix::matvec_transposed_into`](crate::Matrix::matvec_transposed_into).
+/// The four row slices walk in lockstep via a fused `zip`, so the `c`
+/// loop is a bounds-check-free element-wise stream the autovectorizer
+/// handles directly; 4 is a measured choice at both dtypes.
+#[inline]
+pub(crate) fn matvec_transposed_unrolled<S: Scalar>(
+    data: &[S],
+    cols: usize,
+    x: &[S],
+    out: &mut [S],
+) {
+    debug_assert_eq!(data.len(), x.len() * cols);
+    debug_assert_eq!(out.len(), cols);
+    out.fill(S::ZERO);
+    let mut wblocks = data.chunks_exact(4 * cols);
+    let mut xblocks = x.chunks_exact(4);
+    for (wb, xb) in (&mut wblocks).zip(&mut xblocks) {
+        let [r0, r1, r2, r3]: [&[S]; 4] = rows(wb, cols);
+        let (x0, x1, x2, x3) = (xb[0], xb[1], xb[2], xb[3]);
+        for ((((out_c, &w0), &w1), &w2), &w3) in out.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3) {
+            let mut v = *out_c;
+            v += w0 * x0;
+            v += w1 * x1;
+            v += w2 * x2;
+            v += w3 * x3;
+            *out_c = v;
+        }
+    }
+    for (row, &xr) in wblocks
+        .remainder()
+        .chunks_exact(cols)
+        .zip(xblocks.remainder())
+    {
+        for (out_c, &w) in out.iter_mut().zip(row) {
+            *out_c += w * xr;
+        }
+    }
+}
+
+/// Unrolled CSR forward gather: `out[r] = bias[r] + Σ vals[k] *
+/// x[cols[k]]` over row `r`'s span of the compiled sparse form. The
+/// bias add is fused into the gather (saving a second pass over `out`),
+/// and is still the last operation applied to each output after its
+/// fold — the exact per-element order of the unfused
+/// gather-then-bias-loop form, so fusing changes no bits.
+///
+/// Like every kernel here the gather *streams* the column/value arrays
+/// with a running `split_at` instead of re-slicing per-row spans out of
+/// `row_ptr` (the scalar reference already does; see
+/// [`Dense::forward_into`](crate::Dense::forward_into)) — the per-entry
+/// gather is a scalar load no matter the block width, so the only
+/// levers are bookkeeping and accumulator traffic. Measurement split
+/// the verdict by dtype: at `f64`, four-row blocks with an accumulator
+/// array win (~1.2×) by batching the output stores and keeping four
+/// short fold chains in flight; at `f32` the same blocking *lost*
+/// consistently to the plain streaming loop (half-width entries pack
+/// rows denser per cache line, and the block's extra `row_ptr`
+/// arithmetic outweighs any overlap), so the `f32` arm runs
+/// [`csr_matvec_stream`] — the same function the scalar path calls.
+/// Every row's fold visits its CSR entries in ascending order on both
+/// arms — bitwise-equal to the scalar loop.
+#[inline]
+pub(crate) fn csr_matvec_unrolled<S: Scalar>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    vals: &[S],
+    bias: &[S],
+    x: &[S],
+    out: &mut [S],
+) {
+    match S::LANES {
+        8 => csr_matvec_stream(row_ptr, cols, vals, bias, x, out),
+        _ => csr_matvec_block::<S, 4>(row_ptr, cols, vals, bias, x, out),
+    }
+}
+
+/// The streaming per-row gather (scalar shape, with the previous row
+/// pointer carried in a register instead of re-loaded): optimal at
+/// `f32`. This is also the scalar reference itself —
+/// [`Dense::forward_into`](crate::Dense::forward_into) calls this very
+/// function, so at `f32` both kernel paths execute the *same* copy of
+/// the loop and the A/B bench rows cannot drift apart through code
+/// layout (two identical twins in one binary measured up to 1.4× apart
+/// depending on which one the linker placed well).
+#[inline(never)]
+pub(crate) fn csr_matvec_stream<S: Scalar>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    vals: &[S],
+    bias: &[S],
+    x: &[S],
+    out: &mut [S],
+) {
+    debug_assert_eq!(row_ptr.len(), out.len() + 1);
+    debug_assert_eq!(bias.len(), out.len());
+    let mut prev = row_ptr[0];
+    let start = prev as usize;
+    let (mut c_rest, mut v_rest) = (&cols[start..], &vals[start..]);
+    for ((out_r, &b), &ptr) in out.iter_mut().zip(bias).zip(&row_ptr[1..]) {
+        let len = (ptr - prev) as usize;
+        prev = ptr;
+        let (row_c, tail_c) = c_rest.split_at(len);
+        let (row_v, tail_v) = v_rest.split_at(len);
+        c_rest = tail_c;
+        v_rest = tail_v;
+        *out_r = row_c
+            .iter()
+            .zip(row_v)
+            .fold(S::ZERO, |acc, (&c, &w)| acc + w * x[c as usize])
+            + b;
+    }
+}
+
+#[inline(never)]
+fn csr_matvec_block<S: Scalar, const B: usize>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    vals: &[S],
+    bias: &[S],
+    x: &[S],
+    out: &mut [S],
+) {
+    let n_rows = out.len();
+    debug_assert_eq!(row_ptr.len(), n_rows + 1);
+    debug_assert_eq!(bias.len(), n_rows);
+    let start = row_ptr[0] as usize;
+    let (mut c_rest, mut v_rest) = (&cols[start..], &vals[start..]);
+    let mut r0 = 0;
+    while r0 + B <= n_rows {
+        let mut acc = [S::ZERO; B];
+        for (l, a) in acc.iter_mut().enumerate() {
+            let len = (row_ptr[r0 + l + 1] - row_ptr[r0 + l]) as usize;
+            let (row_c, tail_c) = c_rest.split_at(len);
+            let (row_v, tail_v) = v_rest.split_at(len);
+            c_rest = tail_c;
+            v_rest = tail_v;
+            *a = row_c
+                .iter()
+                .zip(row_v)
+                .fold(S::ZERO, |acc, (&c, &w)| acc + w * x[c as usize])
+                + bias[r0 + l];
+        }
+        out[r0..r0 + B].copy_from_slice(&acc);
+        r0 += B;
+    }
+    for ((r, out_r), &b) in out.iter_mut().enumerate().skip(r0).zip(&bias[r0..]) {
+        let len = (row_ptr[r + 1] - row_ptr[r]) as usize;
+        let (row_c, tail_c) = c_rest.split_at(len);
+        let (row_v, tail_v) = v_rest.split_at(len);
+        c_rest = tail_c;
+        v_rest = tail_v;
+        *out_r = row_c
+            .iter()
+            .zip(row_v)
+            .fold(S::ZERO, |acc, (&c, &w)| acc + w * x[c as usize])
+            + b;
+    }
+}
+
+/// Unrolled batched CSR forward: for each weight row `r`, LANES examples
+/// share the row's column/value stream; writes `out[e * n_rows + r] =
+/// Σ + bias[r]` exactly as the scalar batch kernel does.
+///
+/// Here the *batch* dimension is blocked (the row's entries are reloaded
+/// per block anyway, and examples are perfectly uniform lanes); per-
+/// `(row, example)` reduction order is unchanged from
+/// [`Dense::forward_batch_into`](crate::Dense::forward_batch_into).
+#[inline]
+#[allow(clippy::too_many_arguments)] // flattened CSR spans + batch geometry
+pub(crate) fn csr_matvec_batch_unrolled<S: Scalar>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    vals: &[S],
+    bias: &[S],
+    xs: &[S],
+    ins: usize,
+    batch: usize,
+    out: &mut [S],
+) {
+    match S::LANES {
+        8 => csr_matvec_batch_block::<S, 8>(row_ptr, cols, vals, bias, xs, ins, batch, out),
+        _ => csr_matvec_batch_block::<S, 4>(row_ptr, cols, vals, bias, xs, ins, batch, out),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // flattened CSR spans + batch geometry
+fn csr_matvec_batch_block<S: Scalar, const B: usize>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    vals: &[S],
+    bias: &[S],
+    xs: &[S],
+    ins: usize,
+    batch: usize,
+    out: &mut [S],
+) {
+    let n_rows = bias.len();
+    debug_assert_eq!(row_ptr.len(), n_rows + 1);
+    debug_assert_eq!(xs.len(), batch * ins);
+    debug_assert_eq!(out.len(), batch * n_rows);
+    for r in 0..n_rows {
+        let lo = row_ptr[r] as usize;
+        let hi = row_ptr[r + 1] as usize;
+        let (row_c, row_v) = (&cols[lo..hi], &vals[lo..hi]);
+        let br = bias[r];
+        let mut e0 = 0;
+        while e0 + B <= batch {
+            let xe: [&[S]; B] = rows(&xs[e0 * ins..(e0 + B) * ins], ins);
+            let mut acc = [S::ZERO; B];
+            for (&c, &w) in row_c.iter().zip(row_v) {
+                let c = c as usize;
+                for (l, a) in acc.iter_mut().enumerate() {
+                    *a += w * xe[l][c];
+                }
+            }
+            for (l, &a) in acc.iter().enumerate() {
+                out[(e0 + l) * n_rows + r] = a + br;
+            }
+            e0 += B;
+        }
+        for e in e0..batch {
+            let x = &xs[e * ins..(e + 1) * ins];
+            let sum = row_c
+                .iter()
+                .zip(row_v)
+                .fold(S::ZERO, |acc, (&c, &w)| acc + w * x[c as usize]);
+            out[e * n_rows + r] = sum + br;
+        }
+    }
+}
+
+/// SGD-with-momentum weight update for the unrolled path: for every
+/// `(r, c)`, `v[r][c] = momentum * v[r][c] - lr * (dy[r] * x[c]);
+/// w[r][c] += v[r][c]`.
+///
+/// Every element is touched exactly once with a fixed operation
+/// sequence, so any traversal order is bitwise-equal to the scalar
+/// row-major loop in [`Dense::backward_into`](crate::Dense::backward_into).
+/// This one deliberately keeps the scalar shape: the update is already a
+/// pure element-wise stream over the row-major weight/velocity planes —
+/// independent across every element, no reduction — so the
+/// autovectorizer maps it onto vector registers as-is, and row-blocking
+/// it (measured) only *added* index arithmetic and lane bookkeeping.
+/// The fused `zip` over the three planes is the whole optimization:
+/// it drops the bounds checks the indexed scalar loop pays. Kept as a
+/// distinct entry point so the dispatch surface stays uniform and a
+/// future layout change can re-specialize it.
+#[inline]
+pub(crate) fn sgd_update_unrolled<S: Scalar>(
+    weights: &mut [S],
+    velocity: &mut [S],
+    cols: usize,
+    x: &[S],
+    dy: &[S],
+    lr: S,
+    momentum: S,
+) {
+    debug_assert_eq!(weights.len(), dy.len() * cols);
+    debug_assert_eq!(velocity.len(), weights.len());
+    debug_assert_eq!(x.len(), cols);
+    for ((wrow, vrow), &dyr) in weights
+        .chunks_exact_mut(cols)
+        .zip(velocity.chunks_exact_mut(cols))
+        .zip(dy)
+    {
+        for ((w, v), &xc) in wrow.iter_mut().zip(vrow).zip(x) {
+            let grad = dyr * xc;
+            *v = momentum * *v - lr * grad;
+            *w += *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_path_labels_round_trip() {
+        assert_eq!(KernelPath::default(), KernelPath::Unrolled);
+        for p in [KernelPath::Scalar, KernelPath::Unrolled] {
+            assert_eq!(KernelPath::parse(p.label()), Some(p));
+        }
+        assert_eq!(KernelPath::parse("avx512"), None);
+    }
+
+    /// Deterministic pseudo-random fill — the tests must not depend on an
+    /// RNG crate so they run everywhere the kernels do.
+    fn fill<S: Scalar>(seed: u64, n: usize) -> Vec<S> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                S::from_f64((state % 2000) as f64 / 500.0 - 2.0)
+            })
+            .collect()
+    }
+
+    fn scalar_matvec<S: Scalar>(data: &[S], cols: usize, x: &[S], out: &mut [S]) {
+        for (r, out_r) in out.iter_mut().enumerate() {
+            *out_r = data[r * cols..(r + 1) * cols]
+                .iter()
+                .zip(x)
+                .fold(S::ZERO, |acc, (&w, &xi)| acc + w * xi);
+        }
+    }
+
+    fn probe_shapes() -> Vec<(usize, usize)> {
+        // Rows chosen to exercise 0, partial and full blocks at both
+        // LANES = 4 and LANES = 8, including % 8 != 0 tails.
+        vec![
+            (1, 1),
+            (3, 5),
+            (4, 7),
+            (7, 3),
+            (8, 28),
+            (13, 9),
+            (20, 28),
+            (24, 1),
+        ]
+    }
+
+    #[test]
+    fn matvec_block_matches_scalar_bitwise() {
+        fn probe<S: Scalar>() {
+            for (rows, cols) in probe_shapes() {
+                let data = fill::<S>(rows as u64 * 31 + cols as u64, rows * cols);
+                let x = fill::<S>(cols as u64 + 7, cols);
+                let mut want = vec![S::ZERO; rows];
+                let mut got = vec![S::ZERO; rows];
+                scalar_matvec(&data, cols, &x, &mut want);
+                matvec_unrolled(&data, cols, &x, &mut got);
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                    "matvec {rows}x{cols} {}",
+                    S::DTYPE
+                );
+            }
+        }
+        probe::<f64>();
+        probe::<f32>();
+    }
+
+    #[test]
+    fn matvec_batch_block_matches_scalar_bitwise() {
+        fn probe<S: Scalar>() {
+            for (rows, cols) in probe_shapes() {
+                for batch in [1usize, 2, 8] {
+                    let data = fill::<S>(rows as u64 * 17 + cols as u64, rows * cols);
+                    let xs = fill::<S>(batch as u64 * 13, batch * cols);
+                    let mut want = vec![S::ZERO; batch * rows];
+                    let mut got = vec![S::ZERO; batch * rows];
+                    for e in 0..batch {
+                        let mut y = vec![S::ZERO; rows];
+                        scalar_matvec(&data, cols, &xs[e * cols..(e + 1) * cols], &mut y);
+                        for (r, &v) in y.iter().enumerate() {
+                            want[e * rows + r] = v;
+                        }
+                    }
+                    matvec_batch_unrolled(&data, rows, cols, &xs, batch, &mut got);
+                    assert_eq!(
+                        got.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                        "batch matvec {rows}x{cols} n={batch} {}",
+                        S::DTYPE
+                    );
+                }
+            }
+        }
+        probe::<f64>();
+        probe::<f32>();
+    }
+
+    #[test]
+    fn matvec_transposed_block_matches_scalar_bitwise() {
+        fn probe<S: Scalar>() {
+            for (rows, cols) in probe_shapes() {
+                let data = fill::<S>(rows as u64 * 11 + cols as u64, rows * cols);
+                let x = fill::<S>(rows as u64 + 3, rows);
+                let mut want = vec![S::ZERO; cols];
+                for (r, &xr) in x.iter().enumerate() {
+                    for (c, w) in want.iter_mut().enumerate() {
+                        *w += data[r * cols + c] * xr;
+                    }
+                }
+                let mut got = vec![S::ZERO; cols];
+                matvec_transposed_unrolled(&data, cols, &x, &mut got);
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                    "matvec_t {rows}x{cols} {}",
+                    S::DTYPE
+                );
+            }
+        }
+        probe::<f64>();
+        probe::<f32>();
+    }
+
+    /// Builds a CSR form with deliberately ragged row lengths (including
+    /// empty rows) to stress the common-prefix/tail split.
+    fn ragged_csr<S: Scalar>(rows: usize, cols: usize, seed: u64) -> (Vec<u32>, Vec<u32>, Vec<S>) {
+        let dense = fill::<S>(seed, rows * cols);
+        let mut row_ptr = vec![0u32];
+        let (mut c_idx, mut vals) = (Vec::new(), Vec::new());
+        for r in 0..rows {
+            for c in 0..cols {
+                // Keep-pattern varies per row so lengths are ragged.
+                if (r * 7 + c * 3 + (seed as usize)) % (r % 5 + 2) == 0 {
+                    c_idx.push(c as u32);
+                    vals.push(dense[r * cols + c]);
+                }
+            }
+            row_ptr.push(c_idx.len() as u32);
+        }
+        (row_ptr, c_idx, vals)
+    }
+
+    #[test]
+    fn csr_block_matches_scalar_bitwise() {
+        fn probe<S: Scalar>() {
+            for (rows, cols) in probe_shapes() {
+                let (row_ptr, c_idx, vals) = ragged_csr::<S>(rows, cols, 5);
+                let x = fill::<S>(99, cols);
+                let bias1 = fill::<S>(11, rows);
+                let mut want = vec![S::ZERO; rows];
+                for r in 0..rows {
+                    let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+                    want[r] = c_idx[lo..hi]
+                        .iter()
+                        .zip(&vals[lo..hi])
+                        .fold(S::ZERO, |acc, (&c, &w)| acc + w * x[c as usize])
+                        + bias1[r];
+                }
+                // Both single-vector variants must match the reference
+                // bitwise, regardless of which one the dtype dispatch
+                // would pick.
+                for variant in 0..2 {
+                    let mut got = vec![S::ZERO; rows];
+                    if variant == 0 {
+                        csr_matvec_stream(&row_ptr, &c_idx, &vals, &bias1, &x, &mut got);
+                    } else {
+                        csr_matvec_block::<S, 4>(&row_ptr, &c_idx, &vals, &bias1, &x, &mut got);
+                    }
+                    assert_eq!(
+                        got.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                        "csr {rows}x{cols} {} variant {variant}",
+                        S::DTYPE
+                    );
+                }
+
+                for batch in [1usize, 3, 8, 9] {
+                    let bias = fill::<S>(7, rows);
+                    let xs = fill::<S>(batch as u64, batch * cols);
+                    let mut want_b = vec![S::ZERO; batch * rows];
+                    for e in 0..batch {
+                        let xe = &xs[e * cols..(e + 1) * cols];
+                        for r in 0..rows {
+                            let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+                            let sum = c_idx[lo..hi]
+                                .iter()
+                                .zip(&vals[lo..hi])
+                                .fold(S::ZERO, |acc, (&c, &w)| acc + w * xe[c as usize]);
+                            want_b[e * rows + r] = sum + bias[r];
+                        }
+                    }
+                    let mut got_b = vec![S::ZERO; batch * rows];
+                    csr_matvec_batch_unrolled(
+                        &row_ptr, &c_idx, &vals, &bias, &xs, cols, batch, &mut got_b,
+                    );
+                    assert_eq!(
+                        got_b.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                        want_b.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                        "csr batch {rows}x{cols} n={batch} {}",
+                        S::DTYPE
+                    );
+                }
+            }
+        }
+        probe::<f64>();
+        probe::<f32>();
+    }
+
+    #[test]
+    fn sgd_update_block_matches_scalar_bitwise() {
+        fn probe<S: Scalar>() {
+            for (rows, cols) in probe_shapes() {
+                let (lr, momentum) = (S::from_f64(0.05), S::from_f64(0.9));
+                let x = fill::<S>(1, cols);
+                let dy = fill::<S>(2, rows);
+                let mut w_want = fill::<S>(3, rows * cols);
+                let mut v_want = fill::<S>(4, rows * cols);
+                let mut w_got = w_want.clone();
+                let mut v_got = v_want.clone();
+                for (r, &dyr) in dy.iter().enumerate() {
+                    for (c, &xc) in x.iter().enumerate() {
+                        let i = r * cols + c;
+                        let grad = dyr * xc;
+                        v_want[i] = momentum * v_want[i] - lr * grad;
+                        w_want[i] += v_want[i];
+                    }
+                }
+                sgd_update_unrolled(&mut w_got, &mut v_got, cols, &x, &dy, lr, momentum);
+                assert_eq!(
+                    w_got.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                    w_want.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                    "sgd weights {rows}x{cols} {}",
+                    S::DTYPE
+                );
+                assert_eq!(
+                    v_got.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                    v_want.iter().map(|v| v.to_bits_u64()).collect::<Vec<_>>(),
+                    "sgd velocity {rows}x{cols} {}",
+                    S::DTYPE
+                );
+            }
+        }
+        probe::<f64>();
+        probe::<f32>();
+    }
+}

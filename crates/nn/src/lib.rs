@@ -33,6 +33,16 @@
 //! and reports stay `f64` at the API boundary regardless of the kernel
 //! scalar.
 //!
+//! The hot kernels additionally come in two bitwise-identical
+//! implementations selected by an explicit [`KernelPath`] (see
+//! [`kernels`]-module docs): the scalar reference, and row/batch-blocked
+//! variants (several independent accumulator chains per block, shapes
+//! chosen by measurement per kernel) the autovectorizer maps onto SIMD
+//! registers.
+//! `Unrolled` is the default; dispatch is pinned at [`Workspace`] (or
+//! [`Trainer`]) construction and recorded in run manifests — never probed
+//! from the environment.
+//!
 //! # Examples
 //!
 //! ```
@@ -56,6 +66,7 @@ mod classifier;
 mod cnn;
 mod energy_model;
 mod error;
+pub mod kernels;
 mod layer;
 mod metrics;
 mod mlp;
@@ -72,6 +83,7 @@ pub use classifier::{Classification, ScoredClass, SensorClassifier};
 pub use cnn::{Cnn1d, CnnScratch};
 pub use energy_model::InferenceEnergyModel;
 pub use error::NnError;
+pub use kernels::KernelPath;
 pub use layer::Dense;
 pub use metrics::ConfusionMatrix;
 pub use mlp::Mlp;

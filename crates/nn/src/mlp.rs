@@ -196,10 +196,11 @@ impl<S: Scalar> Mlp<S> {
             });
         }
         ws.prepare(&self.dims);
+        let path = ws.path;
         ws.acts[0].copy_from_slice(x);
         for (i, layer) in self.layers.iter().enumerate() {
             let (head, tail) = ws.acts.split_at_mut(i + 1);
-            layer.forward_into(&head[i], &mut tail[0]);
+            layer.forward_into_path(&head[i], &mut tail[0], path);
             if i + 1 < self.layers.len() {
                 relu(&mut tail[0]);
             }
@@ -230,6 +231,7 @@ impl<S: Scalar> Mlp<S> {
         }
         let batch = xs.len() / self.input_dim();
         ws.prepare_batch(&self.dims, batch);
+        let path = ws.path;
         ws.batch[0][..xs.len()].copy_from_slice(xs);
         let mut flip = false;
         for (i, layer) in self.layers.iter().enumerate() {
@@ -240,7 +242,7 @@ impl<S: Scalar> Mlp<S> {
                 (&lo[0], &mut hi[0])
             };
             let out = &mut dst[..batch * self.dims[i + 1]];
-            layer.forward_batch_into(&src[..batch * self.dims[i]], batch, out);
+            layer.forward_batch_into_path(&src[..batch * self.dims[i]], batch, out, path);
             if i + 1 < self.layers.len() {
                 relu(out);
             }

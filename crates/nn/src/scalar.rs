@@ -64,6 +64,11 @@ pub trait Scalar:
     const DTYPE: &'static str;
     /// Hex digits of one serialized value (`to_bits` width): 16 or 8.
     const HEX_WIDTH: usize;
+    /// Row-block width of the unrolled dense matvec kernels (see
+    /// [`crate::kernels`]): 8 at `f32`, 4 at `f64` — one 256-bit vector
+    /// register of independent accumulators either way. The sparse and
+    /// transposed kernels pick their own measured block shapes.
+    const LANES: usize;
 
     /// Nearest representable value to `v`.
     fn from_f64(v: f64) -> Self;
@@ -98,6 +103,7 @@ impl Scalar for f64 {
     const NEG_INFINITY: Self = f64::NEG_INFINITY;
     const DTYPE: &'static str = "f64";
     const HEX_WIDTH: usize = 16;
+    const LANES: usize = 4;
 
     #[inline]
     fn from_f64(v: f64) -> Self {
@@ -155,6 +161,7 @@ impl Scalar for f32 {
     const NEG_INFINITY: Self = f32::NEG_INFINITY;
     const DTYPE: &'static str = "f32";
     const HEX_WIDTH: usize = 8;
+    const LANES: usize = 8;
 
     #[inline]
     #[allow(clippy::cast_possible_truncation)] // rounding is the point
@@ -217,6 +224,8 @@ mod tests {
         assert_eq!(<f32 as Scalar>::DTYPE, "f32");
         assert_eq!(<f64 as Scalar>::HEX_WIDTH, 16);
         assert_eq!(<f32 as Scalar>::HEX_WIDTH, 8);
+        assert_eq!(<f64 as Scalar>::LANES, 4);
+        assert_eq!(<f32 as Scalar>::LANES, 8);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! A minimal dense row-major matrix.
 
+use crate::kernels::{self, KernelPath};
 use crate::scalar::Scalar;
 use core::fmt;
 
@@ -144,6 +145,24 @@ impl<S: Scalar> Matrix<S> {
         }
     }
 
+    /// [`Matrix::matvec_into`] through an explicit [`KernelPath`]:
+    /// `Scalar` runs the reference fold, `Unrolled` runs the row-blocked
+    /// kernel from [`crate::kernels`]. Both are bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into_path(&self, x: &[S], out: &mut [S], path: KernelPath) {
+        match path {
+            KernelPath::Scalar => self.matvec_into(x, out),
+            KernelPath::Unrolled => {
+                assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+                assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+                kernels::matvec_unrolled(&self.data, self.cols, x, out);
+            }
+        }
+    }
+
     /// Batched matrix–vector product: `xs` holds `batch` row-major input
     /// vectors of width `cols`; `out` receives `batch` output vectors of
     /// width `rows`.
@@ -168,6 +187,23 @@ impl<S: Scalar> Matrix<S> {
                     .iter()
                     .zip(x)
                     .fold(S::ZERO, |acc, (&w, &xi)| acc + w * xi);
+            }
+        }
+    }
+
+    /// [`Matrix::matvec_batch_into`] through an explicit [`KernelPath`]
+    /// (bitwise identical either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer lengths do not match `batch` × the shape.
+    pub fn matvec_batch_into_path(&self, xs: &[S], batch: usize, out: &mut [S], path: KernelPath) {
+        match path {
+            KernelPath::Scalar => self.matvec_batch_into(xs, batch, out),
+            KernelPath::Unrolled => {
+                assert_eq!(xs.len(), batch * self.cols, "batch input length mismatch");
+                assert_eq!(out.len(), batch * self.rows, "batch output length mismatch");
+                kernels::matvec_batch_unrolled(&self.data, self.rows, self.cols, xs, batch, out);
             }
         }
     }
@@ -201,6 +237,27 @@ impl<S: Scalar> Matrix<S> {
         for (r, &xr) in x.iter().enumerate() {
             for (c, out_c) in out.iter_mut().enumerate() {
                 *out_c += self.data[r * self.cols + c] * xr;
+            }
+        }
+    }
+
+    /// [`Matrix::matvec_transposed_into`] through an explicit
+    /// [`KernelPath`] (bitwise identical either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != rows` or `out.len() != cols`.
+    pub fn matvec_transposed_into_path(&self, x: &[S], out: &mut [S], path: KernelPath) {
+        match path {
+            KernelPath::Scalar => self.matvec_transposed_into(x, out),
+            KernelPath::Unrolled => {
+                assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
+                assert_eq!(
+                    out.len(),
+                    self.cols,
+                    "matvec_transposed output length mismatch"
+                );
+                kernels::matvec_transposed_unrolled(&self.data, self.cols, x, out);
             }
         }
     }

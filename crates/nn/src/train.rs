@@ -1,6 +1,7 @@
 //! Seeded mini-batch SGD training on cross-entropy.
 
 use crate::error::NnError;
+use crate::kernels::KernelPath;
 use crate::layer::{relu, relu_backward, softmax_into, LayerVelocity};
 use crate::mlp::Mlp;
 use crate::scalar::Scalar;
@@ -38,6 +39,7 @@ pub struct Trainer {
     batch_size: usize,
     seed: u64,
     label_smoothing: f64,
+    kernel_path: KernelPath,
 }
 
 impl Default for Trainer {
@@ -49,6 +51,7 @@ impl Default for Trainer {
             batch_size: 16,
             seed: 0x0816_1214,
             label_smoothing: 0.0,
+            kernel_path: KernelPath::default(),
         }
     }
 }
@@ -124,6 +127,16 @@ impl Trainer {
         self
     }
 
+    /// Pins the [`KernelPath`] the fit loop executes (default
+    /// [`KernelPath::Unrolled`]). Both paths produce bitwise-identical
+    /// weights; this exists for A/B benching and regression bisection.
+    /// Builder-style.
+    #[must_use]
+    pub fn with_kernel_path(mut self, path: KernelPath) -> Self {
+        self.kernel_path = path;
+        self
+    }
+
     /// Enables label smoothing: the one-hot target becomes `1 - eps` on
     /// the true class and `eps / (K - 1)` elsewhere. Builder-style.
     ///
@@ -192,7 +205,7 @@ impl Trainer {
             .collect();
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut final_loss = f64::INFINITY;
-        let mut ws = Workspace::new();
+        let mut ws = Workspace::with_kernel_path(self.kernel_path);
         ws.prepare(model.dims());
 
         let hp = StepConstants::for_model(self, model.output_dim());
@@ -232,11 +245,12 @@ impl Trainer {
         scale: S,
     ) -> S {
         let layer_count = model.layers().len();
+        let path = ws.path;
         ws.acts[0].copy_from_slice(x);
         for i in 0..layer_count {
             let layer = &model.layers()[i];
             let (head, tail) = ws.acts.split_at_mut(i + 1);
-            layer.forward_dense_into(&head[i], &mut ws.pre[i]);
+            layer.forward_dense_into_path(&head[i], &mut ws.pre[i], path);
             tail[0].copy_from_slice(&ws.pre[i]);
             if i + 1 < layer_count {
                 relu(&mut tail[0]);
@@ -264,13 +278,14 @@ impl Trainer {
             let out_width = model.dims()[i + 1];
             let layer = &mut model.layers_mut()[i];
             let dx = &mut ws.dgrad[..in_width];
-            layer.backward_into(
+            layer.backward_into_path(
                 &ws.acts[i],
                 &ws.grad[..out_width],
                 hp.lr,
                 hp.momentum,
                 &mut velocities[i],
                 dx,
+                path,
             );
             if i > 0 {
                 relu_backward(&ws.pre[i - 1], dx);
@@ -472,6 +487,36 @@ mod tests {
                     y.bias().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
                 );
             }
+        }
+    }
+
+    /// The unrolled kernels must not perturb training by a single bit:
+    /// a full fit under `KernelPath::Scalar` and one under
+    /// `KernelPath::Unrolled` end with byte-identical models.
+    #[test]
+    fn fit_paths_are_bitwise_identical() {
+        let data = blob_data(11, 12);
+        for masked in [false, true] {
+            let mut a = Mlp::new(&[2, 7, 3], 5).unwrap();
+            if masked {
+                let mask: Vec<bool> = (0..a.layers()[0].total_weights())
+                    .map(|i| i % 4 != 2)
+                    .collect();
+                a.layers_mut()[0].set_mask(mask);
+            }
+            let mut b = a.clone();
+            let trainer = Trainer::new().with_epochs(6);
+            let la = trainer
+                .clone()
+                .with_kernel_path(KernelPath::Unrolled)
+                .fit(&mut a, &data)
+                .unwrap();
+            let lb = trainer
+                .with_kernel_path(KernelPath::Scalar)
+                .fit(&mut b, &data)
+                .unwrap();
+            assert_eq!(la.to_bits(), lb.to_bits());
+            assert_eq!(a, b, "masked = {masked}");
         }
     }
 

@@ -1,5 +1,6 @@
 //! Reusable scratch buffers for the allocation-free kernel paths.
 
+use crate::kernels::KernelPath;
 use crate::scalar::Scalar;
 
 /// Preallocated scratch space threaded through [`Mlp`](crate::Mlp),
@@ -28,13 +29,33 @@ pub struct Workspace<S: Scalar = f64> {
     pub(crate) dgrad: Vec<S>,
     /// Batched activation ping-pong buffers, `batch × max width` each.
     pub(crate) batch: [Vec<S>; 2],
+    /// Which kernel implementations every pass through this workspace
+    /// executes. Chosen once at construction (deterministic dispatch —
+    /// no ambient probing); both paths are bitwise identical.
+    pub(crate) path: KernelPath,
 }
 
 impl<S: Scalar> Workspace<S> {
-    /// An empty workspace; buffers grow on first use.
+    /// An empty workspace; buffers grow on first use. Runs the default
+    /// [`KernelPath::Unrolled`] kernels.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty workspace pinned to an explicit [`KernelPath`].
+    #[must_use]
+    pub fn with_kernel_path(path: KernelPath) -> Self {
+        Self {
+            path,
+            ..Self::default()
+        }
+    }
+
+    /// The kernel path this workspace dispatches to.
+    #[must_use]
+    pub fn kernel_path(&self) -> KernelPath {
+        self.path
     }
 
     /// Grows the single-example buffers to fit a network with layer
@@ -90,6 +111,13 @@ mod tests {
         assert_eq!(ws.pre[1].len(), 3);
         assert_eq!(ws.proba.len(), 3);
         assert!(ws.grad.len() >= 8 && ws.dgrad.len() >= 8);
+    }
+
+    #[test]
+    fn kernel_path_is_pinned_at_construction() {
+        assert_eq!(Workspace::<f64>::new().kernel_path(), KernelPath::Unrolled);
+        let ws = Workspace::<f32>::with_kernel_path(KernelPath::Scalar);
+        assert_eq!(ws.kernel_path(), KernelPath::Scalar);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! per-`fit` setup. The assertions are exact counts, not bounds: one
 //! stray `Vec` in the hot path fails the test.
 //!
-//! The whole suite runs once per kernel scalar (`f64` and `f32`): the
-//! precision-generic refactor must not cost either path its guarantee.
+//! The whole suite runs once per kernel scalar (`f64` and `f32`) and
+//! once per kernel path (scalar and unrolled): neither the
+//! precision-generic refactor nor the block-unrolled kernels may cost
+//! any path its guarantee.
 //!
 //! The counter is a thread-local, not a process-global: the libtest
 //! harness's own threads allocate at unpredictable times (event
@@ -16,7 +18,7 @@
 //! those on whatever kernel happens to be inside a measured region.
 //! Only allocations made *by the measuring thread* can be the kernel's.
 
-use origin_nn::{Mlp, Scalar, Trainer, Workspace};
+use origin_nn::{KernelPath, Mlp, Scalar, Trainer, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -76,8 +78,8 @@ fn pruned_mlp<S: Scalar>(seed: u64) -> Mlp<S> {
     model
 }
 
-/// The full steady-state battery at one kernel precision.
-fn assert_steady_state_is_allocation_free<S: Scalar>() {
+/// The full steady-state battery at one kernel precision and path.
+fn assert_steady_state_is_allocation_free<S: Scalar>(path: KernelPath) {
     let mut rng = StdRng::seed_from_u64(3);
     let x: Vec<S> = (0..DIMS[0])
         .map(|_| S::from_f64(rng.gen::<f64>() * 2.0 - 1.0))
@@ -88,7 +90,7 @@ fn assert_steady_state_is_allocation_free<S: Scalar>() {
     // --- Inference: zero allocations after warm-up, independent of the
     // iteration count.
     for (name, model) in [("dense", &dense), ("pruned", &pruned)] {
-        let mut ws = Workspace::new();
+        let mut ws = Workspace::with_kernel_path(path);
         // Warm-up sizes the workspace and (for the pruned model) builds
         // the compiled sparse form.
         let _ = model.forward_with(&mut ws, &x).expect("width matches");
@@ -107,8 +109,9 @@ fn assert_steady_state_is_allocation_free<S: Scalar>() {
             assert_eq!(
                 count,
                 0,
-                "{name} {} inference allocated {count} times over {iterations} iterations",
-                S::DTYPE
+                "{name} {} {} inference allocated {count} times over {iterations} iterations",
+                S::DTYPE,
+                path.label()
             );
         }
     }
@@ -118,7 +121,7 @@ fn assert_steady_state_is_allocation_free<S: Scalar>() {
         let xs: Vec<S> = (0..DIMS[0] * 32)
             .map(|_| S::from_f64(rng.gen::<f64>() * 2.0 - 1.0))
             .collect();
-        let mut ws = Workspace::new();
+        let mut ws = Workspace::with_kernel_path(path);
         let _ = pruned
             .forward_batch_with(&mut ws, &xs)
             .expect("width matches");
@@ -132,8 +135,9 @@ fn assert_steady_state_is_allocation_free<S: Scalar>() {
         assert_eq!(
             count,
             0,
-            "batched {} inference allocated {count} times",
-            S::DTYPE
+            "batched {} {} inference allocated {count} times",
+            S::DTYPE,
+            path.label()
         );
     }
 
@@ -152,7 +156,10 @@ fn assert_steady_state_is_allocation_free<S: Scalar>() {
         let counts: Vec<usize> = [1usize, 9]
             .iter()
             .map(|&epochs| {
-                let trainer = Trainer::new().with_epochs(epochs).with_seed(7);
+                let trainer = Trainer::new()
+                    .with_epochs(epochs)
+                    .with_seed(7)
+                    .with_kernel_path(path);
                 let mut model: Mlp<S> = Mlp::new(DIMS, 11).expect("valid dims");
                 allocations_in(|| {
                     let _ = trainer.fit(&mut model, &data).expect("fits");
@@ -162,8 +169,9 @@ fn assert_steady_state_is_allocation_free<S: Scalar>() {
         assert_eq!(
             counts[0],
             counts[1],
-            "per-epoch {} allocations detected: 1 epoch = {} allocs, 9 epochs = {} allocs",
+            "per-epoch {} {} allocations detected: 1 epoch = {} allocs, 9 epochs = {} allocs",
             S::DTYPE,
+            path.label(),
             counts[0],
             counts[1]
         );
@@ -172,6 +180,8 @@ fn assert_steady_state_is_allocation_free<S: Scalar>() {
 
 #[test]
 fn steady_state_kernels_do_not_allocate() {
-    assert_steady_state_is_allocation_free::<f64>();
-    assert_steady_state_is_allocation_free::<f32>();
+    for path in [KernelPath::Scalar, KernelPath::Unrolled] {
+        assert_steady_state_is_allocation_free::<f64>(path);
+        assert_steady_state_is_allocation_free::<f32>(path);
+    }
 }

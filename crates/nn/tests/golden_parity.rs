@@ -5,7 +5,7 @@
 //! must reproduce the dense masked arithmetic *bitwise*, not just
 //! approximately — the repository's golden results depend on it.
 
-use origin_nn::{Mlp, Workspace};
+use origin_nn::{KernelPath, Mlp, Trainer, Workspace};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,6 +101,86 @@ proptest! {
                 .expect("width matches");
             prop_assert_eq!(bits(single), bits(&batched[e * outs..(e + 1) * outs]));
         }
+    }
+
+    /// The unrolled kernel path == the scalar reference, bitwise, for
+    /// arbitrary shapes (including remainder tails where rows % LANES
+    /// != 0), masks and inputs, through the forward, batched-forward
+    /// and dense-matvec entry points.
+    #[test]
+    fn unrolled_path_matches_scalar_bitwise(
+        ins in 1usize..24,
+        hidden in 1usize..20,
+        outs in 2usize..11,
+        batch in 1usize..10,
+        seed in 0u64..500,
+        keep_prob in 0.0f64..1.0,
+        input_seed in 0u64..500,
+    ) {
+        let model = masked_mlp(&[ins, hidden, outs], seed, keep_prob);
+        let mut rng = StdRng::seed_from_u64(input_seed);
+        let xs: Vec<f64> = (0..ins * batch).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+
+        // Single-example forward, both paths.
+        let mut ws_s = Workspace::with_kernel_path(KernelPath::Scalar);
+        let mut ws_u = Workspace::with_kernel_path(KernelPath::Unrolled);
+        let scalar = model.forward_with(&mut ws_s, &xs[..ins]).expect("width matches").to_vec();
+        let unrolled = model.forward_with(&mut ws_u, &xs[..ins]).expect("width matches");
+        prop_assert_eq!(bits(&scalar), bits(unrolled));
+
+        // Batched forward, both paths.
+        let scalar_b = model.forward_batch_with(&mut ws_s, &xs).expect("width matches").to_vec();
+        let unrolled_b = model.forward_batch_with(&mut ws_u, &xs).expect("width matches");
+        prop_assert_eq!(bits(&scalar_b), bits(unrolled_b));
+
+        // Raw dense kernels (unmasked weights; covers transposed too).
+        let layer0 = &model.layers()[0];
+        let mut out_s = vec![0.0; hidden];
+        let mut out_u = vec![0.0; hidden];
+        layer0.weights().matvec_into_path(&xs[..ins], &mut out_s, KernelPath::Scalar);
+        layer0.weights().matvec_into_path(&xs[..ins], &mut out_u, KernelPath::Unrolled);
+        prop_assert_eq!(bits(&out_s), bits(&out_u));
+        let dy: Vec<f64> = (0..hidden).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        let mut dx_s = vec![0.0; ins];
+        let mut dx_u = vec![0.0; ins];
+        layer0.weights().matvec_transposed_into_path(&dy, &mut dx_s, KernelPath::Scalar);
+        layer0.weights().matvec_transposed_into_path(&dy, &mut dx_u, KernelPath::Unrolled);
+        prop_assert_eq!(bits(&dx_s), bits(&dx_u));
+    }
+
+    /// A whole training run on the unrolled path == the scalar path,
+    /// bitwise: identical final loss and identical final models.
+    #[test]
+    fn training_paths_match_bitwise(
+        ins in 1usize..10,
+        outs in 2usize..6,
+        n in 4usize..20,
+        seed in 0u64..200,
+        keep_prob in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7A1);
+        let data: Vec<(Vec<f64>, usize)> = (0..n)
+            .map(|i| ((0..ins).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect(), i % outs))
+            .collect();
+        let mut scalar = masked_mlp(&[ins, ins + 3, outs], seed, keep_prob);
+        let mut unrolled = scalar.clone();
+        let loss_s = Trainer::new()
+            .with_epochs(3)
+            .with_seed(seed)
+            .with_kernel_path(KernelPath::Scalar)
+            .fit(&mut scalar, &data)
+            .expect("fits");
+        let loss_u = Trainer::new()
+            .with_epochs(3)
+            .with_seed(seed)
+            .with_kernel_path(KernelPath::Unrolled)
+            .fit(&mut unrolled, &data)
+            .expect("fits");
+        prop_assert_eq!(loss_s.to_bits(), loss_u.to_bits());
+        let x: Vec<f64> = (0..ins).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        let out_s = scalar.forward(&x).expect("width matches");
+        let out_u = unrolled.forward(&x).expect("width matches");
+        prop_assert_eq!(bits(&out_s), bits(&out_u));
     }
 
     /// `set_mask_preserving_weights` never changes what forward computes

@@ -9,7 +9,7 @@
 //! reproduces the dense masked arithmetic bitwise (the same invariant the
 //! `f64` goldens rely on).
 
-use origin_nn::{Mlp, Scalar, Trainer, Workspace};
+use origin_nn::{KernelPath, Mlp, Scalar, Trainer, Workspace};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -166,6 +166,61 @@ proptest! {
         let mut ws = Workspace::new();
         let with_ws = model.forward_with(&mut ws, &x).expect("width matches");
         prop_assert_eq!(bits32(with_ws), bits32(&reference));
+    }
+
+    /// The `f32` unrolled kernel path (8-wide row blocks) == the `f32`
+    /// scalar reference, bitwise, for arbitrary shapes — including
+    /// remainder tails where rows % 8 != 0 — masks, batch sizes and a
+    /// short training run. The same invariant the `f64` suite pins at
+    /// its 4-wide width.
+    #[test]
+    fn f32_unrolled_path_matches_scalar_bitwise(
+        ins in 1usize..24,
+        hidden in 1usize..20,
+        outs in 2usize..11,
+        batch in 1usize..10,
+        seed in 0u64..500,
+        keep_prob in 0.0f64..1.0,
+        input_seed in 0u64..500,
+    ) {
+        let model = masked_mlp::<f32>(&[ins, hidden, outs], seed, keep_prob);
+        let (_, xs) = paired_input(ins * batch, input_seed);
+
+        let mut ws_s = Workspace::with_kernel_path(KernelPath::Scalar);
+        let mut ws_u = Workspace::with_kernel_path(KernelPath::Unrolled);
+        let scalar = model.forward_with(&mut ws_s, &xs[..ins]).expect("width matches").to_vec();
+        let unrolled = model.forward_with(&mut ws_u, &xs[..ins]).expect("width matches");
+        prop_assert_eq!(bits32(&scalar), bits32(unrolled));
+
+        let scalar_b = model.forward_batch_with(&mut ws_s, &xs).expect("width matches").to_vec();
+        let unrolled_b = model.forward_batch_with(&mut ws_u, &xs).expect("width matches");
+        prop_assert_eq!(bits32(&scalar_b), bits32(unrolled_b));
+
+        let mut rng = StdRng::seed_from_u64(input_seed ^ 0xB7);
+        let data: Vec<(Vec<f32>, usize)> = (0..8)
+            .map(|i| {
+                let x: Vec<f32> = (0..ins).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) as f32).collect();
+                (x, i % outs)
+            })
+            .collect();
+        let mut m_s = model.clone();
+        let mut m_u = model.clone();
+        let loss_s = Trainer::new()
+            .with_epochs(2)
+            .with_seed(seed)
+            .with_kernel_path(KernelPath::Scalar)
+            .fit(&mut m_s, &data)
+            .expect("fits");
+        let loss_u = Trainer::new()
+            .with_epochs(2)
+            .with_seed(seed)
+            .with_kernel_path(KernelPath::Unrolled)
+            .fit(&mut m_u, &data)
+            .expect("fits");
+        prop_assert_eq!(loss_s.to_bits(), loss_u.to_bits());
+        let out_s = m_s.forward(&xs[..ins]).expect("width matches");
+        let out_u = m_u.forward(&xs[..ins]).expect("width matches");
+        prop_assert_eq!(bits32(&out_s), bits32(&out_u));
     }
 
     /// Training at `f32` stays in lockstep with `f64` on an easy problem:

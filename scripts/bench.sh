@@ -14,12 +14,20 @@
 #      comparable snapshot that needs no criterion output parsing. The
 #      kernel rows are emitted at both precisions: f64 rows keep their
 #      historical names (comparable across revisions), the f32 twins
-#      carry an `_f32` suffix (e.g. `mlp_forward_pruned70_f32`).
+#      carry an `_f32` suffix (e.g. `mlp_forward_pruned70_f32`). The
+#      unsuffixed rows measure the default unrolled kernel path; the
+#      `_scalar` twins time the scalar reference, and a `machine` object
+#      records the CPU and compile-time target features.
 #
 # When a previous BENCH_sweep.json exists it becomes the baseline for the
 # regression gate: any row that slowed by more than 25% fails this script
 # (the baseline is read before the new snapshot overwrites it). Every run
 # also appends one line to BENCH_history.jsonl.
+#
+# After a deliberate kernel change shifts the performance floor (e.g. the
+# PR introducing the unrolled kernel path), run this script once on the
+# reference machine and commit the refreshed BENCH_sweep.json so the
+# gate's baseline reflects the new kernels rather than the old ones.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -24,10 +24,13 @@
 #      per-dtype zero-allocation pins (crates/nn), then an f32 smoke of
 #      the sweep binary; the f64 goldens stay the determinism anchor,
 #      this step keeps the narrow path honest (DESIGN.md 3.2)
-#  10. population smoke       — a 10k-user fleet sweep under a 2 GB
+#  10. kernel-path A/B        — the same sweep under --kernel-path scalar
+#      and unrolled, at both dtypes, byte-compared (the end-to-end
+#      mirror of the kernel-level parity proptests, DESIGN.md 3.3)
+#  11. population smoke       — a 10k-user fleet sweep under a 2 GB
 #      address-space cap, asserting the manifest reports every cell
 #      complete (pins the O(1)-memory streaming path, DESIGN.md §11)
-#  11. bench_report --quick --check — a warn-only perf smoke against the
+#  12. bench_report --quick --check — a warn-only perf smoke against the
 #      committed BENCH_sweep.json (f64 kernel rows only, generous +50%
 #      threshold; scripts/bench.sh runs the full hard-fail gate)
 set -euo pipefail
@@ -66,6 +69,21 @@ cargo test -q -p origin-nn --test precision_parity
 cargo test -q -p origin-nn --test alloc_count
 cargo run -q --release -p origin-bench --bin sweep -- \
     --precision f32 --seeds 1 --horizon 600 >/dev/null
+
+echo "==> kernel-path A/B (scalar vs unrolled sweep reports, byte-identical)"
+# The unrolled kernels must be bitwise twins of the scalar reference all
+# the way up the stack: the same sweep under both paths (and at both
+# dtypes) has to produce identical stdout reports, not just close ones.
+kp_a="$(mktemp /tmp/origin_kernel_path.XXXXXX.a)"
+kp_b="$(mktemp /tmp/origin_kernel_path.XXXXXX.b)"
+for prec in f64 f32; do
+    ./target/release/sweep --precision "$prec" --seeds 1 --horizon 600 \
+        --kernel-path unrolled >"$kp_a"
+    ./target/release/sweep --precision "$prec" --seeds 1 --horizon 600 \
+        --kernel-path scalar >"$kp_b"
+    cmp "$kp_a" "$kp_b"
+done
+rm -f "$kp_a" "$kp_b"
 
 echo "==> population smoke (10k sampled users, streaming fleet engine, 2 GB cap)"
 pop_json="$(mktemp /tmp/origin_population_smoke.XXXXXX.json)"
