@@ -9,7 +9,7 @@
 //! moving average method" (Section III-C).
 
 use origin_nn::{Scalar, SensorClassifier};
-use origin_types::{ActivityClass, ActivitySet, NodeId};
+use origin_types::{sum_ordered, ActivityClass, ActivitySet, NodeId};
 
 /// Per (sensor × class) confidence weights with exponential moving-average
 /// adaptation.
@@ -94,7 +94,7 @@ impl ConfidenceMatrix {
                 counts[c.dense_label] += 1;
             }
             let fallback = {
-                let total: f64 = sums.iter().sum();
+                let total = sum_ordered(sums.iter().copied());
                 let n: u64 = counts.iter().sum();
                 if n == 0 {
                     1.0 / classes as f64

@@ -11,7 +11,7 @@ use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use origin_nn::Scalar;
 use origin_sensors::UserProfile;
-use origin_types::UserId;
+use origin_types::{sum_ordered, UserId};
 use std::sync::Arc;
 
 /// One user's pair of operating points.
@@ -67,8 +67,8 @@ fn stats(values: impl Iterator<Item = f64>) -> (f64, f64) {
     let values: Vec<f64> = values.collect();
     assert!(!values.is_empty(), "cohort must not be empty");
     let n = values.len() as f64;
-    let mean = values.iter().sum::<f64>() / n;
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let mean = sum_ordered(values.iter().copied()) / n;
+    let var = sum_ordered(values.iter().map(|v| (v - mean).powi(2))) / n;
     (mean, var.sqrt())
 }
 

@@ -5,7 +5,7 @@ use crate::baseline::{run_baseline, BaselineKind};
 use crate::error::CoreError;
 use crate::policy::PolicyKind;
 use origin_nn::Scalar;
-use origin_types::ActivityClass;
+use origin_types::{sum_ordered, ActivityClass};
 
 /// One Table I row.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +48,7 @@ impl Table1Result {
     /// (the paper reports +2.72 for MHEALTH).
     #[must_use]
     pub fn mean_vs_bl2(&self) -> f64 {
-        self.rows.iter().map(Table1Row::vs_bl2).sum::<f64>() / self.rows.len() as f64
+        sum_ordered(self.rows.iter().map(Table1Row::vs_bl2)) / self.rows.len() as f64
     }
 }
 

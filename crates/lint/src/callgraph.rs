@@ -1,0 +1,426 @@
+//! The workspace call graph: one node per non-test `fn`, edges from
+//! conservative name-based call resolution.
+//!
+//! The graph deliberately **over-approximates**: a call site resolves to
+//! *every* workspace function it could plausibly name, and calls that
+//! resolve to nothing (std/library methods) produce no edge. That is the
+//! right polarity for the transitive rules — D6/D8 walk the graph to
+//! prove the *absence* of allocation/panic on a path, so a spurious edge
+//! can only produce a finding a human then audits (and waives), never
+//! silently hide one behind an unresolved call.
+//!
+//! Resolution, by call shape (see [`crate::parse::CallShape`]):
+//!
+//! * `recv.name(...)` — every impl/trait method named `name`.
+//! * `Qual::name(...)` — methods of `impl Qual`; failing that, functions
+//!   in a module file `qual.rs`; failing that, free functions of the
+//!   crate `origin_qual`/`qual`. `Self::name` resolves within the
+//!   caller's own impl, and an unmatched qualifier (`f64`, `Vec`, …) is
+//!   a std call with no edge.
+//! * `name(...)` — free functions named `name`: same file first, then
+//!   same crate, then workspace-wide (imported cross-crate calls).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::parse::{CallShape, FileAnalysis};
+use crate::workspace::SourceFile;
+
+/// One function in the graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Index of the defining file in the workspace file list.
+    pub file_idx: usize,
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// Short crate name (`nn`, `core`, …).
+    pub crate_name: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl/trait type, `None` for free functions.
+    pub qual: Option<String>,
+    /// Unrestricted `pub`.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Body token range in the defining file's token stream.
+    pub body: Option<(usize, usize)>,
+}
+
+impl Node {
+    /// `file.rs::name` — the label used in reported call chains.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}::{}", self.file, self.name)
+    }
+}
+
+/// The whole-workspace call graph.
+pub struct CallGraph {
+    /// All non-test functions, in (file, source-order) order.
+    pub nodes: Vec<Node>,
+    /// Adjacency: `edges[n]` is sorted and deduplicated.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over `files`/`analyses` (parallel slices).
+    ///
+    /// `deps` is the transitive intra-workspace dependency map from
+    /// [`crate::workspace::crate_deps`]: a cross-crate edge is kept only
+    /// when the caller's crate (transitively) depends on the callee's.
+    /// A caller crate with no entry keeps every edge, so an empty map —
+    /// manifest-less fixture trees — disables the filter entirely. The
+    /// one false-negative this admits is dynamic dispatch *into* a crate
+    /// the caller does not depend on (an observer trait implemented
+    /// upstream); those boundaries are exactly the non-deterministic
+    /// sinks the transitive rules do not traverse anyway.
+    #[must_use]
+    pub fn build(
+        files: &[SourceFile],
+        analyses: &[FileAnalysis],
+        deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        for (file_idx, (file, fa)) in files.iter().zip(analyses).enumerate() {
+            for f in &fa.items.fns {
+                if f.in_test {
+                    continue;
+                }
+                nodes.push(Node {
+                    file_idx,
+                    file: file.rel.clone(),
+                    crate_name: file.crate_name.clone(),
+                    name: f.name.clone(),
+                    qual: f.qual.clone(),
+                    is_pub: f.is_pub,
+                    line: f.line,
+                    body: f.body,
+                });
+            }
+        }
+
+        // Resolution indexes.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_file: BTreeMap<(usize, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_all: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut stem_of_file: BTreeMap<usize, &str> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            let stem = file
+                .rel
+                .rsplit('/')
+                .next()
+                .and_then(|n| n.strip_suffix(".rs"))
+                .unwrap_or("");
+            stem_of_file.insert(fi, stem);
+        }
+        let mut fns_by_stem: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            if let Some(q) = &n.qual {
+                methods.entry(&n.name).or_default().push(id);
+                by_qual.entry((q, &n.name)).or_default().push(id);
+            } else {
+                free_by_file
+                    .entry((n.file_idx, &n.name))
+                    .or_default()
+                    .push(id);
+                free_by_crate
+                    .entry((&n.crate_name, &n.name))
+                    .or_default()
+                    .push(id);
+                free_all.entry(&n.name).or_default().push(id);
+            }
+            if let Some(stem) = stem_of_file.get(&n.file_idx) {
+                fns_by_stem.entry((stem, &n.name)).or_default().push(id);
+            }
+        }
+
+        // Edges: walk every node's body, skipping nested fn bodies
+        // (they are nodes of their own).
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (id, n) in nodes.iter().enumerate() {
+            let Some(body) = n.body else { continue };
+            let fa = &analyses[n.file_idx];
+            let nested: Vec<(usize, usize)> = fa
+                .items
+                .fns
+                .iter()
+                .filter_map(|f| f.body)
+                .filter(|&(s, e)| body.0 < s && e <= body.1)
+                .collect();
+            let mut targets = BTreeSet::new();
+            for call in crate::parse::calls_in(&fa.toks, body, &nested) {
+                let resolved: &[usize] = match &call.shape {
+                    CallShape::Method => methods.get(call.name.as_str()).map_or(&[], Vec::as_slice),
+                    CallShape::Qualified(q) if q == "Self" => {
+                        // Within the caller's own impl, falling back to
+                        // any same-file definition of the name.
+                        if let Some(cq) = &n.qual {
+                            if let Some(v) = by_qual.get(&(cq.as_str(), call.name.as_str())) {
+                                v.as_slice()
+                            } else {
+                                &[]
+                            }
+                        } else {
+                            free_by_file
+                                .get(&(n.file_idx, call.name.as_str()))
+                                .map_or(&[], Vec::as_slice)
+                        }
+                    }
+                    CallShape::Qualified(q) => {
+                        if let Some(v) = by_qual.get(&(q.as_str(), call.name.as_str())) {
+                            v.as_slice()
+                        } else if let Some(v) = fns_by_stem.get(&(q.as_str(), call.name.as_str())) {
+                            v.as_slice()
+                        } else {
+                            let crate_ref = q.strip_prefix("origin_").unwrap_or(q);
+                            let crate_ref = if crate_ref == "crate" {
+                                n.crate_name.as_str()
+                            } else {
+                                crate_ref
+                            };
+                            free_by_crate
+                                .get(&(crate_ref, call.name.as_str()))
+                                .map_or(&[], Vec::as_slice)
+                        }
+                    }
+                    CallShape::Bare => {
+                        if let Some(v) = free_by_file.get(&(n.file_idx, call.name.as_str())) {
+                            v.as_slice()
+                        } else if let Some(v) =
+                            free_by_crate.get(&(n.crate_name.as_str(), call.name.as_str()))
+                        {
+                            v.as_slice()
+                        } else {
+                            free_all.get(call.name.as_str()).map_or(&[], Vec::as_slice)
+                        }
+                    }
+                };
+                for &t in resolved {
+                    if t == id {
+                        continue;
+                    }
+                    let callee_crate = &nodes[t].crate_name;
+                    if *callee_crate != n.crate_name {
+                        if let Some(reachable) = deps.get(&n.crate_name) {
+                            if !reachable.contains(callee_crate) {
+                                continue;
+                            }
+                        }
+                    }
+                    targets.insert(t);
+                }
+            }
+            edges[id] = targets.into_iter().collect();
+        }
+
+        CallGraph { nodes, edges }
+    }
+
+    /// Every node matching `file`/`name` (a `[hot-paths]` entry may name
+    /// several same-named functions, e.g. one per impl).
+    #[must_use]
+    pub fn find(&self, file: &str, name: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.file == file && n.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Deterministic BFS from `roots`, expanding only through nodes for
+    /// which `allowed` holds. Returns `node → parent` (`usize::MAX` for
+    /// roots), which encodes a shortest call chain to every reachable
+    /// node.
+    #[must_use]
+    pub fn reach(
+        &self,
+        roots: &[usize],
+        allowed: &dyn Fn(&Node) -> bool,
+    ) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut sorted_roots: Vec<usize> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        for &r in &sorted_roots {
+            if parent.insert(r, usize::MAX).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if !parent.contains_key(&v) && allowed(&self.nodes[v]) {
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain `root → … → node` as `file.rs::fn` labels, given
+    /// the parent map from [`CallGraph::reach`].
+    #[must_use]
+    pub fn chain(&self, parents: &BTreeMap<usize, usize>, mut node: usize) -> Vec<String> {
+        let mut chain = vec![self.nodes[node].label()];
+        while let Some(&p) = parents.get(&node) {
+            if p == usize::MAX {
+                break;
+            }
+            chain.push(self.nodes[p].label());
+            node = p;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, crate_name: &str) -> SourceFile {
+        SourceFile {
+            abs: std::path::PathBuf::from(rel),
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            is_crate_root: false,
+        }
+    }
+
+    fn graph(sources: &[(&str, &str, &str)]) -> CallGraph {
+        let files: Vec<SourceFile> = sources.iter().map(|(r, c, _)| file(r, c)).collect();
+        let analyses: Vec<FileAnalysis> = sources
+            .iter()
+            .map(|(_, _, s)| FileAnalysis::new(s))
+            .collect();
+        CallGraph::build(&files, &analyses, &BTreeMap::new())
+    }
+
+    #[test]
+    fn dependency_filter_prunes_impossible_cross_crate_edges() {
+        let files = vec![
+            file("crates/nn/src/a.rs", "nn"),
+            file("crates/core/src/b.rs", "core"),
+        ];
+        let analyses = vec![
+            FileAnalysis::new("pub fn kernel() { helper(); }"),
+            FileAnalysis::new("pub fn helper() {}"),
+        ];
+        // `nn` depends only on `types`; the name-resolved edge into
+        // `core` cannot be a real call.
+        let mut deps = BTreeMap::new();
+        deps.insert("nn".to_string(), BTreeSet::from(["types".to_string()]));
+        let g = CallGraph::build(&files, &analyses, &deps);
+        let kernel = g.find("crates/nn/src/a.rs", "kernel")[0];
+        assert!(g.edges[kernel].is_empty());
+        // Without an entry for `nn`, the same edge is kept.
+        let g = CallGraph::build(&files, &analyses, &BTreeMap::new());
+        assert_eq!(g.edges[kernel].len(), 1);
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file_then_same_crate() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                "pub fn top() { helper(); } fn helper() { other(); }",
+            ),
+            ("crates/a/src/other.rs", "a", "pub fn other() {}"),
+            ("crates/b/src/lib.rs", "b", "pub fn other() {}"),
+        ]);
+        let top = g.find("crates/a/src/lib.rs", "top")[0];
+        let helper = g.find("crates/a/src/lib.rs", "helper")[0];
+        let other_a = g.find("crates/a/src/other.rs", "other")[0];
+        assert_eq!(g.edges[top], vec![helper]);
+        // Same-crate `other` wins; crate `b` gets no edge.
+        assert_eq!(g.edges[helper], vec![other_a]);
+    }
+
+    #[test]
+    fn method_calls_resolve_across_crates_by_name() {
+        let g = graph(&[
+            (
+                "crates/core/src/sim.rs",
+                "core",
+                "struct Sim; impl Sim { fn step(&self) { self.model.forward(); } }",
+            ),
+            (
+                "crates/nn/src/mlp.rs",
+                "nn",
+                "pub struct Mlp; impl Mlp { pub fn forward(&self) {} }",
+            ),
+        ]);
+        let step = g.find("crates/core/src/sim.rs", "step")[0];
+        let fwd = g.find("crates/nn/src/mlp.rs", "forward")[0];
+        assert_eq!(g.edges[step], vec![fwd]);
+    }
+
+    #[test]
+    fn qualified_calls_use_impl_then_module_stem() {
+        let g = graph(&[
+            (
+                "crates/nn/src/layer.rs",
+                "nn",
+                "fn f() { kernels::rows(1); Mlp::new(); f64::mul_add(); }",
+            ),
+            ("crates/nn/src/kernels.rs", "nn", "pub fn rows(n: usize) {}"),
+            (
+                "crates/nn/src/mlp.rs",
+                "nn",
+                "pub struct Mlp; impl Mlp { pub fn new() {} }",
+            ),
+        ]);
+        let f = g.find("crates/nn/src/layer.rs", "f")[0];
+        let rows = g.find("crates/nn/src/kernels.rs", "rows")[0];
+        let new = g.find("crates/nn/src/mlp.rs", "new")[0];
+        // `f64::mul_add` matches no impl/module/crate: std, no edge.
+        assert_eq!(g.edges[f], vec![rows, new]);
+    }
+
+    #[test]
+    fn reach_reports_shortest_chains_and_respects_the_filter() {
+        let g = graph(&[
+            (
+                "crates/nn/src/a.rs",
+                "nn",
+                "pub fn root() { mid(); } fn mid() { leaf(); } fn leaf() {}",
+            ),
+            (
+                "crates/bench/src/b.rs",
+                "bench",
+                "pub fn leaf() {}", // same name, other crate
+            ),
+        ]);
+        let root = g.find("crates/nn/src/a.rs", "root")[0];
+        let leaf = g.find("crates/nn/src/a.rs", "leaf")[0];
+        let parents = g.reach(&[root], &|n| n.crate_name == "nn");
+        assert!(parents.contains_key(&leaf));
+        let chain = g.chain(&parents, leaf);
+        assert_eq!(
+            chain,
+            vec![
+                "crates/nn/src/a.rs::root",
+                "crates/nn/src/a.rs::mid",
+                "crates/nn/src/a.rs::leaf"
+            ]
+        );
+        // The bench-crate `leaf` is filtered out.
+        let bench_leaf = g.find("crates/bench/src/b.rs", "leaf")[0];
+        assert!(!parents.contains_key(&bench_leaf));
+    }
+
+    #[test]
+    fn test_fns_are_not_nodes() {
+        let g = graph(&[(
+            "crates/nn/src/a.rs",
+            "nn",
+            "#[cfg(test)] mod tests { fn helper() {} } pub fn real() {}",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].name, "real");
+    }
+}

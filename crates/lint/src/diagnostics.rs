@@ -1,11 +1,15 @@
 //! Finding type and its human / JSON renderings.
+//!
+//! The `--json` document schema is pinned by DESIGN.md §10 and a golden
+//! fixture test; every field added here must be reflected in both.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Stable rule id (`D1` … `D5`).
+    /// Stable rule id (`D1` … `D9`, or `ALLOW` for stale waivers).
     pub rule: &'static str,
     /// Repo-relative file path with forward slashes.
     pub file: String,
@@ -17,6 +21,10 @@ pub struct Finding {
     pub snippet: String,
     /// Why this is a violation and what to do instead.
     pub message: String,
+    /// For call-graph rules (D6/D8): the witness path, rendered as
+    /// `file.rs::fn` labels from the root to the flagged function.
+    /// Empty for token-local rules.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -29,34 +37,56 @@ impl Finding {
         if !self.snippet.is_empty() {
             let _ = writeln!(s, "   |  {}", self.snippet);
         }
+        if !self.chain.is_empty() {
+            let _ = writeln!(s, "   = via {}", self.chain.join(" -> "));
+        }
         s
     }
 
-    /// One JSON object, fully escaped.
+    /// One JSON object, fully escaped. `chain` is always present (empty
+    /// array for token-local rules) so consumers need no key probing.
     #[must_use]
     pub fn render_json(&self) -> String {
+        let chain: Vec<String> = self.chain.iter().map(|c| json_string(c)).collect();
         format!(
-            "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"snippet\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"snippet\":{},\"message\":{},\"chain\":[{}]}}",
             json_string(self.rule),
             json_string(&self.file),
             self.line,
             self.col,
             json_string(&self.snippet),
-            json_string(&self.message)
+            json_string(&self.message),
+            chain.join(",")
         )
     }
+}
+
+/// Per-rule finding counts, sorted by rule id (so `ALLOW` first, then
+/// `D1` … `D9`). Rules with zero findings are omitted.
+#[must_use]
+pub fn by_rule_counts(findings: &[Finding]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    counts
 }
 
 /// Renders a full report as a single JSON document.
 #[must_use]
 pub fn render_json_report(findings: &[Finding], files_scanned: usize, allowed: usize) -> String {
     let body: Vec<String> = findings.iter().map(Finding::render_json).collect();
+    let by_rule: Vec<String> = by_rule_counts(findings)
+        .iter()
+        .map(|(rule, n)| format!("{}:{n}", json_string(rule)))
+        .collect();
     format!(
-        "{{\"findings\":[{}],\"summary\":{{\"findings\":{},\"files_scanned\":{},\"allowlisted\":{}}}}}",
+        "{{\"findings\":[{}],\"summary\":{{\"findings\":{},\"files_scanned\":{},\"allowlisted\":{},\"by_rule\":{{{}}}}}}}",
         body.join(","),
         findings.len(),
         files_scanned,
-        allowed
+        allowed,
+        by_rule.join(",")
     )
 }
 
@@ -93,6 +123,7 @@ mod tests {
             col: 3,
             snippet: "let t = Instant::now(); // \"why\"".to_string(),
             message: "wall-clock".to_string(),
+            chain: Vec::new(),
         }
     }
 
@@ -101,20 +132,36 @@ mod tests {
         let h = sample().render_human();
         assert!(h.contains("error[D1]"));
         assert!(h.contains("crates/core/src/sim.rs:7:3"));
+        assert!(!h.contains("via"), "no chain line for token-local rules");
     }
 
     #[test]
     fn json_escapes_quotes() {
         let j = sample().render_json();
         assert!(j.contains("\\\"why\\\""));
+        assert!(j.contains("\"chain\":[]"));
         assert!(!j.contains("\n"));
     }
 
     #[test]
+    fn chain_renders_in_both_formats() {
+        let mut f = sample();
+        f.rule = "D6";
+        f.chain = vec!["a.rs::root".to_string(), "b.rs::leaf".to_string()];
+        let h = f.render_human();
+        assert!(h.contains("= via a.rs::root -> b.rs::leaf"));
+        let j = f.render_json();
+        assert!(j.contains("\"chain\":[\"a.rs::root\",\"b.rs::leaf\"]"));
+    }
+
+    #[test]
     fn report_counts_match() {
-        let r = render_json_report(&[sample()], 12, 3);
+        let mut d6 = sample();
+        d6.rule = "D6";
+        let r = render_json_report(&[sample(), sample(), d6], 12, 3);
         assert!(r.contains("\"files_scanned\":12"));
         assert!(r.contains("\"allowlisted\":3"));
-        assert!(r.contains("\"findings\":1"));
+        assert!(r.contains("\"findings\":3"));
+        assert!(r.contains("\"by_rule\":{\"D1\":2,\"D6\":1}"));
     }
 }

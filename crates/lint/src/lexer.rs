@@ -365,4 +365,91 @@ mod tests {
             1
         );
     }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_fake_tokens_and_quotes() {
+        // The body contains an embedded `"` plus text that looks like
+        // rule triggers; none of it may leak out as tokens.
+        let src = "let s = r#\"HashMap::new() \"quoted\" .unwrap()\"#; after();";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "after"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_single_literals() {
+        let toks = lex("let a = b\"bytes\"; let c = br#\"raw bytes \"inner\"\"#; done()");
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 2, "each byte/raw-byte string is one literal");
+        assert!(idents("let a = b\"x\"; done()").iter().any(|s| s == "done"));
+    }
+
+    #[test]
+    fn multi_line_raw_strings_keep_line_tracking() {
+        // Positions after a raw string spanning three lines must stay
+        // correct, or every later finding misreports its line.
+        let src = "let s = r#\"line one\nline two\nline three\"#;\nmarker();";
+        let toks = lex(src);
+        let marker = toks
+            .iter()
+            .find(|t| t.is_ident("marker"))
+            .expect("marker survives");
+        assert_eq!((marker.line, marker.col), (4, 1));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        // Two levels of nesting plus a `*/`-looking string afterwards.
+        let src = "/* a /* b /* c */ b */ a */ fn live() {}\n/* unterminated at eof";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "live"]);
+        // And line counters advance through multi-line block comments.
+        let toks = lex("/* one\ntwo\nthree */ here");
+        let here = toks.iter().find(|t| t.is_ident("here")).expect("survives");
+        assert_eq!((here.line, here.col), (3, 10));
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_following_tokens() {
+        // `'}'`, `'\''`, and a unicode char — each must close properly so
+        // the trailing call is still visible.
+        for src in [
+            "let c = '}'; probe()",
+            r"let c = '\''; probe()",
+            "let c = 'λ'; probe()",
+        ] {
+            let ids = idents(src);
+            assert!(ids.iter().any(|s| s == "probe"), "lost probe in {src}");
+            let lits = lex(src)
+                .into_iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count();
+            assert_eq!(lits, 1, "char literal miscounted in {src}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_next_to_generics_stay_invisible() {
+        // `<'a,` and `&'static` shapes: no literal tokens, idents intact.
+        let toks = lex("impl<'a, T> Foo<'a, T> { fn f(&'a self) -> &'static str { \"\" } }");
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 1, "only the empty string literal remains");
+        assert!(toks.iter().any(|t| t.is_ident("self")));
+    }
+
+    #[test]
+    fn cfg_test_attribute_spans_survive_lexing_with_positions() {
+        // The `#[cfg(test)]` attribute tokens keep exact line/col so the
+        // rules layer can mask the region they introduce.
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests { fn b() {} }";
+        let toks = lex(src);
+        let hash = toks.iter().find(|t| t.is_punct('#')).expect("attr hash");
+        assert_eq!((hash.line, hash.col), (2, 1));
+        let cfg = toks.iter().find(|t| t.is_ident("cfg")).expect("cfg ident");
+        assert_eq!((cfg.line, cfg.col), (2, 3));
+        let test_id = toks
+            .iter()
+            .find(|t| t.is_ident("test"))
+            .expect("test ident");
+        assert_eq!((test_id.line, test_id.col), (2, 7));
+    }
 }

@@ -10,7 +10,10 @@
 //! silently breaks reproducibility. This crate enforces those invariants
 //! at lint time, before code lands.
 //!
-//! Rules (see [`rules`] for the scoping tables):
+//! The pass has two layers. Token-local rules inspect one file at a
+//! time; call-graph rules build a whole-workspace call graph (see
+//! [`parse`] and [`callgraph`] — hand-rolled, dependency-free) and walk
+//! it. Rules (see [`rules`] for the scoping tables):
 //!
 //! * **D1** — no ambient nondeterminism (wall clocks, OS entropy,
 //!   environment reads) in the deterministic crates.
@@ -21,6 +24,17 @@
 //!   in `lint-allow.toml` (`[hot-paths]`).
 //! * **D5** — every crate root carries `#![forbid(unsafe_code)]` and
 //!   `#![deny(missing_docs)]`.
+//! * **D6** — *transitive* hot-path purity: every function reachable
+//!   from a `[hot-paths]` root is allocation-free and panic-free (the
+//!   closure of D4 over the call graph, with the witness call chain in
+//!   every finding).
+//! * **D7** — no order-hiding float reductions (`.sum()`/`.product()`/
+//!   `fold` over floats, `mul_add`, `partial_cmp` sorts) in the
+//!   deterministic crates.
+//! * **D8** — panic-reachability: no call path from the public API of a
+//!   typed-error crate to a panic site in any deterministic crate.
+//! * **D9** — the public API surface matches the committed
+//!   `lint-api.txt` snapshot (regenerate with `--api-snapshot`).
 //!
 //! Audited exceptions live in the committed `lint-allow.toml`; every
 //! waiver must carry a written `reason`, and stale waivers (matching no
@@ -30,8 +44,11 @@
 //! output); `scripts/check.sh` runs it between clippy and rustdoc.
 
 pub mod allowlist;
+pub mod api;
+pub mod callgraph;
 pub mod diagnostics;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod workspace;
 
@@ -40,6 +57,7 @@ use std::path::Path;
 
 use allowlist::Allowlist;
 use diagnostics::Finding;
+use parse::FileAnalysis;
 use rules::FileContext;
 
 /// Outcome of a full workspace pass.
@@ -51,6 +69,24 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of findings waived by the allowlist.
     pub allowed: usize,
+}
+
+/// Every workspace source file, its raw text, and its parsed analysis,
+/// index-aligned across the three vectors.
+type AnalyzedWorkspace = (Vec<workspace::SourceFile>, Vec<String>, Vec<FileAnalysis>);
+
+/// Reads and analyzes every workspace source file once.
+fn analyze_workspace(root: &Path) -> Result<AnalyzedWorkspace, String> {
+    let files = workspace::collect_sources(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    let mut analyses = Vec::with_capacity(files.len());
+    for file in &files {
+        let src = fs::read_to_string(&file.abs)
+            .map_err(|e| format!("reading {}: {e}", file.abs.display()))?;
+        analyses.push(FileAnalysis::new(&src));
+        sources.push(src);
+    }
+    Ok((files, sources, analyses))
 }
 
 /// Lints the workspace rooted at `root` against the allowlist at
@@ -66,12 +102,11 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
         .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
     let allow =
         Allowlist::parse(&allow_src).map_err(|e| format!("{}: {e}", allow_path.display()))?;
-    let files = workspace::collect_sources(root)?;
+    let (files, sources, analyses) = analyze_workspace(root)?;
 
+    // Token-local rules, one file at a time.
     let mut raw = Vec::new();
-    for file in &files {
-        let src = fs::read_to_string(&file.abs)
-            .map_err(|e| format!("reading {}: {e}", file.abs.display()))?;
+    for ((file, src), fa) in files.iter().zip(&sources).zip(&analyses) {
         let empty = Vec::new();
         let hot = allow.hot_paths.get(&file.rel).unwrap_or(&empty);
         let ctx = FileContext {
@@ -80,7 +115,7 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
             is_crate_root: file.is_crate_root,
             hot_fns: hot,
         };
-        raw.extend(rules::lint_source(&src, &ctx));
+        raw.extend(rules::lint_file(fa, src, &ctx));
     }
 
     // Hot-path files that vanished entirely (rename/delete) would
@@ -97,8 +132,26 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
                     "hot-path file `{file}` is not in the workspace; fix the \
                      `hot-paths` list in lint-allow.toml"
                 ),
+                chain: Vec::new(),
             });
         }
+    }
+
+    // Call-graph rules over the whole workspace.
+    let deps = workspace::crate_deps(root);
+    let graph = callgraph::CallGraph::build(&files, &analyses, &deps);
+    raw.extend(rules::lint_transitive(
+        &graph,
+        &analyses,
+        &sources,
+        &allow.hot_paths,
+    ));
+
+    // D9 — API snapshot, active once a `lint-api.txt` is committed at
+    // the root (absence skips the rule so fixture trees opt in).
+    if let Ok(snapshot) = fs::read_to_string(root.join("lint-api.txt")) {
+        let surface = api::surface(&files, &analyses);
+        raw.extend(api::d9_check(&surface, &snapshot));
     }
 
     let (findings, allowed) = apply_allowlist(raw, &allow);
@@ -107,6 +160,17 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
         files_scanned: files.len(),
         allowed,
     })
+}
+
+/// Renders the D9 public-API snapshot (`lint-api.txt` content) for the
+/// workspace at `root`.
+///
+/// # Errors
+///
+/// Returns a description when a source file cannot be read.
+pub fn api_snapshot(root: &Path) -> Result<String, String> {
+    let (files, _sources, analyses) = analyze_workspace(root)?;
+    Ok(api::render_snapshot(&api::surface(&files, &analyses)))
 }
 
 /// Splits findings into surviving violations and waived ones, and turns
@@ -140,6 +204,7 @@ fn apply_allowlist(raw: Vec<Finding>, allow: &Allowlist) -> (Vec<Finding>, usize
             ),
             message: "stale waiver: matches no current finding; delete it or fix the pattern"
                 .to_string(),
+            chain: Vec::new(),
         });
     }
     kept.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
@@ -159,6 +224,7 @@ mod tests {
             col: 1,
             snippet: snippet.to_string(),
             message: String::new(),
+            chain: Vec::new(),
         }
     }
 

@@ -3,25 +3,30 @@
 //! CLI for the workspace determinism & hot-path static-analysis pass.
 //!
 //! ```text
-//! origin-lint [--json] [--root DIR] [--allowlist FILE] [--list-rules]
+//! origin-lint [--json] [--root DIR] [--allowlist FILE] [--list-rules] [--api-snapshot]
 //! ```
+//!
+//! `--api-snapshot` regenerates `lint-api.txt` at the root (the D9
+//! baseline) instead of linting.
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use origin_lint::diagnostics::render_json_report;
-use origin_lint::{rules, run};
+use origin_lint::diagnostics::{by_rule_counts, render_json_report};
+use origin_lint::{api_snapshot, rules, run};
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut snapshot = false;
     let mut root = PathBuf::from(".");
     let mut allow: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--api-snapshot" => snapshot = true,
             "--root" => match args.next() {
                 Some(v) => root = PathBuf::from(v),
                 None => return usage("--root needs a directory"),
@@ -36,21 +41,53 @@ fn main() -> ExitCode {
                      D2  no HashMap/HashSet in deterministic crates\n\
                      D3  no unwrap/expect/panic!/todo! in typed-error crates ({})\n\
                      D4  no allocation inside declared hot-path kernels\n\
-                     D5  crate roots forbid(unsafe_code) + deny(missing_docs)\n",
+                     D5  crate roots forbid(unsafe_code) + deny(missing_docs)\n\
+                     D6  transitive hot-path purity: everything reachable from a\n\
+                     \x20   [hot-paths] root is allocation- and panic-free\n\
+                     D7  no order-hiding float reductions (sum/product/fold,\n\
+                     \x20   mul_add, partial_cmp sorts) in deterministic crates\n\
+                     D8  no call path from a typed-error crate's public API to a\n\
+                     \x20   panic site in a deterministic crate\n\
+                     D9  public API matches the lint-api.txt snapshot\n",
                     rules::DETERMINISTIC_CRATES.join(", "),
                     rules::TYPED_ERROR_CRATES.join(", "),
                 );
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("origin-lint [--json] [--root DIR] [--allowlist FILE] [--list-rules]");
+                println!(
+                    "origin-lint [--json] [--root DIR] [--allowlist FILE] \
+                     [--list-rules] [--api-snapshot]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
-    let allow = allow.unwrap_or_else(|| root.join("lint-allow.toml"));
 
+    if snapshot {
+        return match api_snapshot(&root) {
+            Ok(content) => {
+                let path = root.join("lint-api.txt");
+                match std::fs::write(&path, content) {
+                    Ok(()) => {
+                        println!("origin-lint: wrote {}", path.display());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("origin-lint: error: writing {}: {e}", path.display());
+                        ExitCode::from(2)
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("origin-lint: error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let allow = allow.unwrap_or_else(|| root.join("lint-allow.toml"));
     match run(&root, &allow) {
         Ok(report) => {
             if json {
@@ -62,10 +99,19 @@ fn main() -> ExitCode {
                 for f in &report.findings {
                     print!("{}", f.render_human());
                 }
+                let by_rule: Vec<String> = by_rule_counts(&report.findings)
+                    .iter()
+                    .map(|(rule, n)| format!("{rule}:{n}"))
+                    .collect();
                 println!(
-                    "origin-lint: {} file(s), {} finding(s), {} allowlisted",
+                    "origin-lint: {} file(s), {} finding(s){}, {} allowlisted",
                     report.files_scanned,
                     report.findings.len(),
+                    if by_rule.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" [{}]", by_rule.join(" "))
+                    },
                     report.allowed
                 );
             }
@@ -84,6 +130,9 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("origin-lint: {msg}");
-    eprintln!("usage: origin-lint [--json] [--root DIR] [--allowlist FILE] [--list-rules]");
+    eprintln!(
+        "usage: origin-lint [--json] [--root DIR] [--allowlist FILE] \
+         [--list-rules] [--api-snapshot]"
+    );
     ExitCode::from(2)
 }

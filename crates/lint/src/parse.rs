@@ -1,0 +1,520 @@
+//! Item extraction: function definitions, call sites and the public
+//! surface of one file, recovered from the token stream.
+//!
+//! This is deliberately **not** a Rust parser. The call-graph rules
+//! (D6/D8) and the API snapshot (D9) need three things a single token
+//! scan can recover reliably: where each `fn` body starts and ends,
+//! which `impl`/`trait` block (if any) a function lives in, and the
+//! `(name, qualifier, shape)` of every call expression inside a body.
+//! Everything else — types, generics, trait resolution — is handled by
+//! the conservative name-based resolution in [`crate::callgraph`].
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::rules::test_region_mask;
+
+/// One `fn` definition found in a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name (`Mlp` for `impl<S> Mlp<S>`),
+    /// or `None` for a free function.
+    pub qual: Option<String>,
+    /// `pub` with no restriction (`pub(crate)` and friends are *not*
+    /// public API).
+    pub is_pub: bool,
+    /// Whether the definition sits under `#[cfg(test)]` / `#[test]`.
+    pub in_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Token range of the body, exclusive of the outer braces; `None`
+    /// for bodiless trait-method signatures.
+    pub body: Option<(usize, usize)>,
+}
+
+/// How a call site is written, which determines how it resolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallShape {
+    /// `recv.name(...)` — resolves by name against impl methods.
+    Method,
+    /// `Qual::name(...)` — resolves against `impl Qual` methods, a
+    /// module file `qual.rs`, or a crate `origin_qual`.
+    Qualified(String),
+    /// `name(...)` — resolves against free functions (same file, then
+    /// same crate, then workspace-wide).
+    Bare,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (`forward_into`, `push`, …).
+    pub name: String,
+    /// Syntactic shape of the call.
+    pub shape: CallShape,
+    /// 1-based line of the callee identifier.
+    pub line: u32,
+    /// 1-based column of the callee identifier.
+    pub col: u32,
+}
+
+/// A public non-`fn` item (`pub struct` / `enum` / `trait` / `type` /
+/// `const` / `static`), for the D9 surface snapshot.
+#[derive(Debug, Clone)]
+pub struct PubItem {
+    /// Item keyword (`struct`, `enum`, …).
+    pub kind: String,
+    /// Item name.
+    pub name: String,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Function definitions, in source order (nested `fn`s included).
+    pub fns: Vec<FnDef>,
+    /// Public non-function items, in source order.
+    pub pub_items: Vec<PubItem>,
+}
+
+/// Tokens plus the derived masks/items for one file, computed once and
+/// shared by the per-file rules and the workspace passes.
+pub struct FileAnalysis {
+    /// The token stream.
+    pub toks: Vec<Token>,
+    /// Per-token `#[cfg(test)]` / `#[test]` mask.
+    pub test_mask: Vec<bool>,
+    /// Extracted items.
+    pub items: ParsedFile,
+}
+
+impl FileAnalysis {
+    /// Lexes and parses `src`.
+    #[must_use]
+    pub fn new(src: &str) -> Self {
+        let toks = lex(src);
+        let test_mask = test_region_mask(&toks);
+        let items = parse_items(&toks, &test_mask);
+        FileAnalysis {
+            toks,
+            test_mask,
+            items,
+        }
+    }
+}
+
+/// Keywords that look like `ident (` call sites but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "fn", "in", "as", "move", "else", "let",
+    "mut", "ref", "box", "await", "yield",
+];
+
+/// Extracts every `fn` definition and public item from a token stream.
+#[must_use]
+pub fn parse_items(toks: &[Token], test_mask: &[bool]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    // Stack of (brace_depth_at_open, qualifier) for impl/trait blocks.
+    let mut quals: Vec<(usize, Option<String>)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if quals.last().is_some_and(|(d, _)| *d >= depth) {
+                    quals.pop();
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "impl" || t.text == "trait" => {
+                // This arm shadows the generic pub-item arm below, so a
+                // `pub trait` registers its surface entry here.
+                if t.text == "trait"
+                    && is_pub_before(toks, i)
+                    && !test_mask.get(i).copied().unwrap_or(false)
+                {
+                    if let Some(name_tok) = toks.get(i + 1) {
+                        if name_tok.kind == TokKind::Ident {
+                            out.pub_items.push(PubItem {
+                                kind: t.text.clone(),
+                                name: name_tok.text.clone(),
+                                line: t.line,
+                            });
+                        }
+                    }
+                }
+                let (qual, brace) = impl_qualifier(toks, i);
+                match brace {
+                    // `impl Type { … }`: register the qualifier for fns
+                    // inside; the matching `}` pops it.
+                    Some(b) => {
+                        quals.push((depth, qual));
+                        depth += 1;
+                        i = b + 1;
+                    }
+                    // `impl Trait for Type;`-style or malformed: skip.
+                    None => i += 1,
+                }
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let Some(name_tok) = toks.get(i + 1) else {
+                    break;
+                };
+                if name_tok.kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let body = fn_body_range_at(toks, i);
+                out.fns.push(FnDef {
+                    name: name_tok.text.clone(),
+                    qual: quals.last().and_then(|(_, q)| q.clone()),
+                    is_pub: is_pub_before(toks, i),
+                    in_test: test_mask.get(i).copied().unwrap_or(false),
+                    line: t.line,
+                    col: t.col,
+                    body,
+                });
+                // Continue *inside* the signature/body so nested fns and
+                // inner impl blocks are discovered too.
+                i += 2;
+            }
+            TokKind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "struct" | "enum" | "type" | "const" | "static"
+                ) && is_pub_before(toks, i)
+                    && !test_mask.get(i).copied().unwrap_or(false) =>
+            {
+                if let Some(name_tok) = toks.get(i + 1) {
+                    if name_tok.kind == TokKind::Ident {
+                        out.pub_items.push(PubItem {
+                            kind: t.text.clone(),
+                            name: name_tok.text.clone(),
+                            line: t.line,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// The qualifier of an `impl`/`trait` block starting at `toks[i]`, plus
+/// the index of its opening `{`.
+///
+/// `impl<S: Scalar> Mlp<S>` → `Mlp`; `impl Display for SimReport` →
+/// `SimReport`; `trait Scalar` → `Scalar`. The qualifier is the last
+/// path segment of the (post-`for`) type, generics stripped.
+fn impl_qualifier(toks: &[Token], i: usize) -> (Option<String>, Option<usize>) {
+    let mut j = i + 1;
+    let mut angle = 0usize;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut in_for = false;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle = angle.saturating_sub(1),
+            TokKind::Punct('{') if angle == 0 => {
+                let qual = if in_for { after_for } else { last_ident };
+                return (qual, Some(j));
+            }
+            TokKind::Punct(';') if angle == 0 => return (None, None),
+            TokKind::Ident if angle == 0 => {
+                let text = &toks[j].text;
+                if text == "for" {
+                    in_for = true;
+                } else if text == "where" {
+                    // Bounds follow; the type name is already captured.
+                } else if in_for {
+                    after_for = Some(text.clone());
+                } else {
+                    last_ident = Some(text.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, None)
+}
+
+/// Whether the item keyword at `toks[i]` is preceded by an unrestricted
+/// `pub` (skipping `const` / `unsafe` / `async` / `extern "C"`).
+fn is_pub_before(toks: &[Token], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        match &toks[k].kind {
+            TokKind::Ident
+                if matches!(
+                    toks[k].text.as_str(),
+                    "const" | "unsafe" | "async" | "extern"
+                ) =>
+            {
+                continue;
+            }
+            TokKind::Literal => continue, // the "C" in `extern "C"`
+            TokKind::Punct(')') => {
+                // `pub(crate)` / `pub(super)`: restricted, not public.
+                return false;
+            }
+            TokKind::Ident if toks[k].text == "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Token range (exclusive of braces) of the body of the `fn` keyword at
+/// `toks[i]`, or `None` for a bodiless signature.
+fn fn_body_range_at(toks: &[Token], i: usize) -> Option<(usize, usize)> {
+    // Scan past the signature for the body's `{`. A `;` ends a bodiless
+    // signature only at bracket depth 0 — array types like `[S; N]`
+    // nest a `;` inside `[...]` that must not read as a terminator.
+    let mut k = i + 2;
+    let mut nest = 0usize;
+    let mut angle = 0usize;
+    while k < toks.len() {
+        match toks[k].kind {
+            TokKind::Punct('(' | '[') => nest += 1,
+            TokKind::Punct(')' | ']') => nest = nest.saturating_sub(1),
+            TokKind::Punct('<') if nest == 0 => angle += 1,
+            TokKind::Punct('>') if nest == 0 => angle = angle.saturating_sub(1),
+            TokKind::Punct('{') if nest == 0 && angle == 0 => break,
+            TokKind::Punct(';') if nest == 0 && angle == 0 => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= toks.len() {
+        return None;
+    }
+    let start = k + 1;
+    let mut depth = 1usize;
+    k += 1;
+    while k < toks.len() && depth > 0 {
+        match toks[k].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => depth -= 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((start, k.saturating_sub(1)))
+}
+
+/// Extracts the call sites inside the token range `body`, skipping any
+/// sub-ranges in `skip` (nested `fn` bodies, which are separate graph
+/// nodes of their own).
+#[must_use]
+pub fn calls_in(toks: &[Token], body: (usize, usize), skip: &[(usize, usize)]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = body.0;
+    while i < body.1.min(toks.len()) {
+        if let Some(&(_, end)) = skip.iter().find(|(s, e)| *s <= i && i < *e) {
+            i = end;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        // A nested definition's name (`fn inner(` inside this body) is
+        // not a call of `inner`.
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // An ident is a callee when followed by `(`, optionally through
+        // a `::<…>` turbofish. `name!(…)` is a macro, not a call.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is_punct(':'))
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|n| n.is_punct('<'))
+        {
+            let mut angle = 1usize;
+            j += 3;
+            while j < toks.len() && angle > 0 {
+                match toks[j].kind {
+                    TokKind::Punct('<') => angle += 1,
+                    TokKind::Punct('>') => angle = angle.saturating_sub(1),
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|n| n.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let shape = if i > body.0 && toks[i - 1].is_punct('.') {
+            CallShape::Method
+        } else if i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+            // `Qual::name(` — the segment before the `::`; `<T as
+            // Trait>::name(` has a `>` there and resolves like a method.
+            match toks.get(i.wrapping_sub(3)) {
+                Some(q) if q.kind == TokKind::Ident => CallShape::Qualified(q.text.clone()),
+                Some(q) if q.is_punct('>') => CallShape::Method,
+                _ => CallShape::Bare,
+            }
+        } else {
+            CallShape::Bare
+        };
+        out.push(CallSite {
+            name: t.text.clone(),
+            shape,
+            line: t.line,
+            col: t.col,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        let toks = lex(src);
+        let mask = test_region_mask(&toks);
+        parse_items(&toks, &mask)
+    }
+
+    #[test]
+    fn free_and_impl_fns_get_their_qualifiers() {
+        let src = r"
+            pub fn free() {}
+            struct Mlp;
+            impl Mlp {
+                pub fn forward(&self) {}
+                fn hidden(&self) {}
+            }
+            impl<S: Scalar> Workspace<S> {
+                pub fn with_capacity(n: usize) -> Self { Self }
+            }
+            impl core::fmt::Display for Report {
+                fn fmt(&self) {}
+            }
+        ";
+        let p = parse(src);
+        let by_name: Vec<(String, Option<String>, bool)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.qual.clone(), f.is_pub))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("free".into(), None, true),
+                ("forward".into(), Some("Mlp".into()), true),
+                ("hidden".into(), Some("Mlp".into()), false),
+                ("with_capacity".into(), Some("Workspace".into()), true),
+                ("fmt".into(), Some("Report".into()), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn restricted_pub_is_not_public() {
+        let p = parse("pub(crate) fn a() {} pub const fn b() {} fn c() {}");
+        assert_eq!(
+            p.fns.iter().map(|f| f.is_pub).collect::<Vec<_>>(),
+            vec![false, true, false]
+        );
+    }
+
+    #[test]
+    fn trait_blocks_qualify_and_bodiless_sigs_have_no_body() {
+        let p = parse("pub trait Scalar { fn zero() -> Self; fn one() -> Self { Self::zero() } }");
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].qual.as_deref(), Some("Scalar"));
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+        assert_eq!(p.pub_items.len(), 1);
+        assert_eq!(p.pub_items[0].kind, "trait");
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = r"
+            pub fn lib() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+            }
+        ";
+        let p = parse(src);
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+    }
+
+    #[test]
+    fn nested_fns_are_separate_defs() {
+        let p = parse("fn outer() { fn inner() {} inner(); }");
+        assert_eq!(p.fns.len(), 2);
+        let outer = &p.fns[0];
+        let inner = &p.fns[1];
+        assert!(outer.body.expect("outer body").0 < inner.body.expect("inner body").0);
+    }
+
+    #[test]
+    fn pub_items_capture_types() {
+        let p = parse(
+            "pub struct A; pub enum B {} struct Private; pub type C = A; pub const K: u32 = 1;",
+        );
+        let kinds: Vec<&str> = p.pub_items.iter().map(|i| i.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["struct", "enum", "type", "const"]);
+    }
+
+    #[test]
+    fn call_shapes_are_classified() {
+        let src = "fn f() { g(); x.m(); Mlp::new(); kernels::rows(0); v.sum::<f64>(); h!(); }";
+        let toks = lex(src);
+        let mask = test_region_mask(&toks);
+        let p = parse_items(&toks, &mask);
+        let body = p.fns[0].body.expect("body");
+        let calls = calls_in(&toks, body, &[]);
+        let got: Vec<(String, CallShape)> = calls
+            .iter()
+            .map(|c| (c.name.clone(), c.shape.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("g".into(), CallShape::Bare),
+                ("m".into(), CallShape::Method),
+                ("new".into(), CallShape::Qualified("Mlp".into())),
+                ("rows".into(), CallShape::Qualified("kernels".into())),
+                ("sum".into(), CallShape::Method),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_skipped_in_call_extraction() {
+        let src = "fn outer() { fn inner() { alloc(); } inner(); }";
+        let toks = lex(src);
+        let mask = test_region_mask(&toks);
+        let p = parse_items(&toks, &mask);
+        let outer = p.fns[0].body.expect("outer");
+        let inner = p.fns[1].body.expect("inner");
+        let calls = calls_in(&toks, outer, &[inner]);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].name, "inner");
+    }
+}

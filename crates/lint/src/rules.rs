@@ -1,4 +1,6 @@
-//! The rule set: D1–D5, each a pattern over a file's token stream.
+//! The rule set: token-local rules D1–D5 and D7 over one file's token
+//! stream, plus the call-graph rules D6/D8 over the whole workspace
+//! (D9, the API snapshot, lives in [`crate::api`]).
 //!
 //! | id | scope | invariant |
 //! |----|-------|-----------|
@@ -7,21 +9,32 @@
 //! | D3 | typed-error crates | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in non-test lib code |
 //! | D4 | declared hot paths | no allocation calls inside the zero-alloc kernel functions |
 //! | D5 | crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` present |
+//! | D6 | functions *reachable* from `[hot-paths]` roots | no allocation, and no panic outside the D3-audited crates — the transitive closure of D4 |
+//! | D7 | deterministic crates | no reassociable float folds: float `.sum()`/`.product()`, `mul_add` (FMA contracts rounding), `sort_unstable` on floats |
+//! | D8 | public API of typed-error crates | no call path to a panic site in a non-typed-error crate |
+//! | D9 | whole workspace | public surface matches the committed `lint-api.txt` snapshot |
 //!
 //! Scoping is by crate (derived from the file path); test code — items
 //! under `#[cfg(test)]` or `#[test]` — is excluded for every rule.
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{CallGraph, Node};
 use crate::diagnostics::Finding;
-use crate::lexer::{lex, TokKind, Token};
+use crate::lexer::{TokKind, Token};
+use crate::parse::FileAnalysis;
 
 /// Crates whose simulation results must be reproducible by construction:
-/// everything on the deterministic side of the telemetry boundary.
-pub const DETERMINISTIC_CRATES: &[&str] =
-    &["types", "sensors", "energy", "net", "trace", "nn", "core"];
+/// everything on the deterministic side of the telemetry boundary, plus
+/// the linter itself (its reports must be byte-stable too).
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "types", "sensors", "energy", "net", "trace", "nn", "core", "lint",
+];
 
 /// Crates that export a typed error and therefore must not panic from
-/// library code (rule D3).
-pub const TYPED_ERROR_CRATES: &[&str] = &["nn", "core", "trace", "types"];
+/// library code (rule D3). `lint` returns `Result<_, String>` everywhere
+/// and holds itself to the same no-panic bar.
+pub const TYPED_ERROR_CRATES: &[&str] = &["nn", "core", "trace", "types", "lint"];
 
 /// Everything the analyzer needs to know about one file.
 pub struct FileContext<'a> {
@@ -35,11 +48,19 @@ pub struct FileContext<'a> {
     pub hot_fns: &'a [String],
 }
 
-/// Runs every applicable rule on `src`, returning the findings.
+/// Runs every token-local rule on `src`, returning the findings.
+/// Convenience wrapper over [`lint_file`] for one-shot use.
 #[must_use]
 pub fn lint_source(src: &str, ctx: &FileContext<'_>) -> Vec<Finding> {
-    let toks = lex(src);
-    let test_mask = test_region_mask(&toks);
+    lint_file(&FileAnalysis::new(src), src, ctx)
+}
+
+/// Runs every token-local rule (D1–D5, D7) on an already-analyzed file.
+/// The call-graph rules D6/D8 run separately in [`lint_transitive`].
+#[must_use]
+pub fn lint_file(fa: &FileAnalysis, src: &str, ctx: &FileContext<'_>) -> Vec<Finding> {
+    let toks = &fa.toks;
+    let test_mask = &fa.test_mask;
     let lines: Vec<&str> = src.lines().collect();
     let snippet = |line: u32| -> String {
         lines
@@ -56,26 +77,29 @@ pub fn lint_source(src: &str, ctx: &FileContext<'_>) -> Vec<Finding> {
             continue;
         }
         if deterministic {
-            if let Some(msg) = d1_match(&toks, i) {
+            if let Some(msg) = d1_match(toks, i) {
                 findings.push(finding("D1", ctx, &toks[i], snippet(toks[i].line), msg));
             }
-            if let Some(msg) = d2_match(&toks, i) {
+            if let Some(msg) = d2_match(toks, i) {
                 findings.push(finding("D2", ctx, &toks[i], snippet(toks[i].line), msg));
+            }
+            if let Some(msg) = d7_match(toks, i) {
+                findings.push(finding("D7", ctx, &toks[i], snippet(toks[i].line), msg));
             }
         }
         if typed_error {
-            if let Some(msg) = d3_match(&toks, i) {
+            if let Some(msg) = d3_match(toks, i) {
                 findings.push(finding("D3", ctx, &toks[i], snippet(toks[i].line), msg));
             }
         }
     }
 
     for fn_name in ctx.hot_fns {
-        d4_check_fn(&toks, &test_mask, fn_name, ctx, &snippet, &mut findings);
+        d4_check_fn(toks, test_mask, fn_name, ctx, &snippet, &mut findings);
     }
 
     if ctx.is_crate_root {
-        d5_check_root(&toks, ctx, &mut findings);
+        d5_check_root(toks, ctx, &mut findings);
     }
 
     findings.sort_by_key(|f| (f.line, f.col, f.rule));
@@ -96,13 +120,15 @@ fn finding(
         col: tok.col,
         snippet,
         message,
+        chain: Vec::new(),
     }
 }
 
 /// Marks tokens inside `#[test]` / `#[cfg(test)]` items. The mask covers
 /// the attribute itself through the end of the item it decorates (the
 /// matching `}` of its body, or the terminating `;`).
-fn test_region_mask(toks: &[Token]) -> Vec<bool> {
+#[must_use]
+pub fn test_region_mask(toks: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -144,7 +170,11 @@ fn test_region_mask(toks: &[Token]) -> Vec<bool> {
                     }
                 }
                 // The item ends at a `;` before any `{`, or at the matching
-                // `}` of its first brace block.
+                // `}` of its first brace block. Either way `k` is left one
+                // past the item's final token — masking further would
+                // swallow the `#` of a directly following attribute (two
+                // consecutive `#[cfg(test)]` mods, back-to-back `#[test]`
+                // fns).
                 while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
                     k += 1;
                 }
@@ -159,11 +189,13 @@ fn test_region_mask(toks: &[Token]) -> Vec<bool> {
                         }
                         k += 1;
                     }
+                } else if k < toks.len() {
+                    k += 1; // include the terminating `;`
                 }
-                for m in mask.iter_mut().take((k + 1).min(toks.len())).skip(i) {
+                for m in mask.iter_mut().take(k.min(toks.len())).skip(i) {
                     *m = true;
                 }
-                i = k + 1;
+                i = k;
                 continue;
             }
             i = j;
@@ -288,6 +320,136 @@ fn d3_match(toks: &[Token], i: usize) -> Option<String> {
     None
 }
 
+/// D7 — reassociable / rounding-sensitive float reductions. The
+/// scalar≡unrolled bitwise proof depends on every float reduction having
+/// one explicit association order, so in the deterministic crates:
+///
+/// * float `.sum()` / `.product()` — `Iterator::sum` is *currently* a
+///   sequential fold, but the order is an implementation detail, and the
+///   same source line silently reassociates under `par_iter`-style
+///   refactors. Use `origin_types::sum_ordered` (a named left fold).
+/// * `.fold(...)` in float context — ordered, but the association lives
+///   in an inline closure a refactor can change without review; hoist it
+///   into a named helper or waive with the intended order documented.
+/// * `mul_add` — fuses with a single rounding, so results differ from
+///   `a * b + c` and from non-FMA targets.
+/// * `.sort_unstable_by(...partial_cmp...)` — `partial_cmp` on floats
+///   has no total order (NaN), so tie handling is unspecified; use
+///   `total_cmp`.
+fn d7_match(toks: &[Token], i: usize) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    if i > 0 && toks[i - 1].is_ident("fn") {
+        return None; // a definition, not a call
+    }
+    let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+    let (is_call, generics) = call_shape(toks, i);
+    if !is_call {
+        return None;
+    }
+    match t.text.as_str() {
+        "sum" | "product" if prev_dot && float_context(toks, i, &generics) => Some(format!(
+            "float `.{}()` hides its reduction order; use `origin_types::sum_ordered` \
+             (or an explicit named fold) so the association order is part of the code",
+            t.text
+        )),
+        "fold" if prev_dot && float_context(toks, i, &generics) => Some(
+            "float `fold` keeps its association order in an inline closure; hoist it \
+             into a named ordered helper (see `origin_types::sum_ordered`) or waive \
+             with the intended order documented"
+                .to_string(),
+        ),
+        "mul_add" => Some(
+            "`mul_add` fuses multiply-add with a single rounding, so results differ \
+             bitwise from `a * b + c`; write the unfused expression"
+                .to_string(),
+        ),
+        name if name.starts_with("sort_unstable") && prev_dot => {
+            if comparator_uses_partial_cmp(toks, i) {
+                Some(
+                    "float sort via `partial_cmp` has no total order (NaN ties are \
+                     unspecified); use `total_cmp` for a deterministic order"
+                        .to_string(),
+                )
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Is token `i` the name of a call — `name(`, possibly with a turbofish
+/// `name::<T, …>(` — and which idents appear in the turbofish?
+fn call_shape(toks: &[Token], i: usize) -> (bool, Vec<String>) {
+    let mut k = i + 1;
+    let mut generics = Vec::new();
+    if toks.get(k).is_some_and(|t| t.is_punct(':'))
+        && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(k + 2).is_some_and(|t| t.is_punct('<'))
+    {
+        let mut depth = 1usize;
+        k += 3;
+        while k < toks.len() && depth > 0 {
+            match &toks[k].kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => depth -= 1,
+                TokKind::Ident => generics.push(toks[k].text.clone()),
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    (toks.get(k).is_some_and(|t| t.is_punct('(')), generics)
+}
+
+/// Float-typed context for a reduction at token `i`: an `f64`/`f32` in
+/// the turbofish, or anywhere in the enclosing statement back to the
+/// nearest `;`/`{`/`}` (catches `let x: f64 = xs.iter().sum();` and
+/// `fn mean(xs: &[f64]) -> f64 { xs.iter().sum() }`-style one-liners).
+/// Type-inferred reductions with no float token in the statement are a
+/// documented gap — the fixture corpus and DESIGN.md §10 spell it out.
+fn float_context(toks: &[Token], i: usize, generics: &[String]) -> bool {
+    if generics.iter().any(|g| g == "f64" || g == "f32") {
+        return true;
+    }
+    let mut k = i;
+    let mut steps = 0usize;
+    while k > 0 && steps < 96 {
+        k -= 1;
+        steps += 1;
+        match &toks[k].kind {
+            TokKind::Punct(';' | '{' | '}') => break,
+            TokKind::Ident if toks[k].text == "f64" || toks[k].text == "f32" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Does the argument list of the sort call at token `i` mention
+/// `partial_cmp`?
+fn comparator_uses_partial_cmp(toks: &[Token], i: usize) -> bool {
+    let mut k = i + 1;
+    if !toks.get(k).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    let mut depth = 1usize;
+    k += 1;
+    while k < toks.len() && depth > 0 {
+        match &toks[k].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => depth -= 1,
+            TokKind::Ident if toks[k].text == "partial_cmp" => return true,
+            _ => {}
+        }
+        k += 1;
+    }
+    false
+}
+
 /// D4 — allocation calls inside a declared zero-alloc kernel body.
 fn d4_check_fn(
     toks: &[Token],
@@ -308,6 +470,7 @@ fn d4_check_fn(
                 "hot-path function `{fn_name}` not found in this file; fix the \
                  `hot-paths` list in lint-allow.toml"
             ),
+            chain: Vec::new(),
         });
         return;
     };
@@ -323,6 +486,7 @@ fn d4_check_fn(
                 col: toks[i].col,
                 snippet: snippet(toks[i].line),
                 message: format!("{msg} inside zero-alloc kernel `{fn_name}`"),
+                chain: Vec::new(),
             });
         }
     }
@@ -439,6 +603,7 @@ fn d5_check_root(toks: &[Token], ctx: &FileContext<'_>, findings: &mut Vec<Findi
             col: 1,
             snippet: String::new(),
             message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+            chain: Vec::new(),
         });
     }
     if !docs_denied {
@@ -449,7 +614,162 @@ fn d5_check_root(toks: &[Token], ctx: &FileContext<'_>, findings: &mut Vec<Findi
             col: 1,
             snippet: String::new(),
             message: "crate root lacks `#![deny(missing_docs)]`".to_string(),
+            chain: Vec::new(),
         });
+    }
+}
+
+/// Runs the call-graph rules D6 and D8 over the whole workspace.
+///
+/// `analyses` and `sources` are parallel to the file list the graph was
+/// built from; `hot_paths` is the `[hot-paths]` table of the allowlist.
+#[must_use]
+pub fn lint_transitive(
+    graph: &CallGraph,
+    analyses: &[FileAnalysis],
+    sources: &[String],
+    hot_paths: &BTreeMap<String, Vec<String>>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    d6_pass(graph, analyses, sources, hot_paths, &mut findings);
+    d8_pass(graph, analyses, sources, &mut findings);
+    findings
+}
+
+/// Trimmed source line `line` of `src`.
+fn line_snippet(src: &str, line: u32) -> String {
+    src.lines()
+        .nth(line as usize - 1)
+        .map_or(String::new(), |l| l.trim().to_string())
+}
+
+/// D6 — transitive hot-path purity. Every function reachable from a
+/// `[hot-paths]` root must be allocation-free (the roots themselves are
+/// already scanned by D4, so only callees are re-checked) and, outside
+/// the D3-audited typed-error crates, panic-free. Traversal stays inside
+/// the deterministic crates plus the roots' own crates — a hot kernel
+/// calling out into an observer/telemetry sink is the no-op-observer
+/// boundary, which D4 already pins at the call site.
+fn d6_pass(
+    graph: &CallGraph,
+    analyses: &[FileAnalysis],
+    sources: &[String],
+    hot_paths: &BTreeMap<String, Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut roots: Vec<usize> = Vec::new();
+    for (file, fns) in hot_paths {
+        for name in fns {
+            roots.extend(graph.find(file, name));
+        }
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    let root_set: BTreeSet<usize> = roots.iter().copied().collect();
+    let root_crates: BTreeSet<&str> = roots
+        .iter()
+        .map(|&r| graph.nodes[r].crate_name.as_str())
+        .collect();
+    let allowed = |n: &Node| {
+        DETERMINISTIC_CRATES.contains(&n.crate_name.as_str())
+            || root_crates.contains(n.crate_name.as_str())
+    };
+    let parents = graph.reach(&roots, &allowed);
+
+    for &id in parents.keys() {
+        let node = &graph.nodes[id];
+        let is_root = root_set.contains(&id);
+        let Some((start, end)) = node.body else {
+            continue;
+        };
+        let fa = &analyses[node.file_idx];
+        let in_typed = TYPED_ERROR_CRATES.contains(&node.crate_name.as_str());
+        for i in start..end {
+            if fa.test_mask[i] {
+                continue;
+            }
+            let alloc = if is_root {
+                None
+            } else {
+                d4_alloc_match(&fa.toks, i)
+            };
+            let panic = if in_typed {
+                None
+            } else {
+                d3_match(&fa.toks, i)
+            };
+            for msg in [alloc, panic].into_iter().flatten() {
+                let chain = graph.chain(&parents, id);
+                findings.push(Finding {
+                    rule: "D6",
+                    file: node.file.clone(),
+                    line: fa.toks[i].line,
+                    col: fa.toks[i].col,
+                    snippet: line_snippet(&sources[node.file_idx], fa.toks[i].line),
+                    message: format!(
+                        "{msg} — in `{}`, reachable from hot kernel `{}`",
+                        node.label(),
+                        chain.first().cloned().unwrap_or_default()
+                    ),
+                    chain,
+                });
+            }
+        }
+    }
+}
+
+/// D8 — panic-reachability: D3 pushed through the call graph. Roots are
+/// the unrestricted-`pub` functions of the typed-error crates; any panic
+/// site reachable from them in a deterministic crate *outside* the
+/// typed-error set (whose own bodies D3 already audits line-by-line) is
+/// a leak of a panic past a typed-error API.
+fn d8_pass(
+    graph: &CallGraph,
+    analyses: &[FileAnalysis],
+    sources: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    let roots: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_pub && TYPED_ERROR_CRATES.contains(&n.crate_name.as_str()))
+        .map(|(i, _)| i)
+        .collect();
+    let allowed = |n: &Node| DETERMINISTIC_CRATES.contains(&n.crate_name.as_str());
+    let parents = graph.reach(&roots, &allowed);
+
+    for &id in parents.keys() {
+        let node = &graph.nodes[id];
+        if TYPED_ERROR_CRATES.contains(&node.crate_name.as_str()) {
+            continue;
+        }
+        let Some((start, end)) = node.body else {
+            continue;
+        };
+        let fa = &analyses[node.file_idx];
+        for i in start..end {
+            if fa.test_mask[i] {
+                continue;
+            }
+            if let Some(msg) = d3_match(&fa.toks, i) {
+                let chain = graph.chain(&parents, id);
+                findings.push(Finding {
+                    rule: "D8",
+                    file: node.file.clone(),
+                    line: fa.toks[i].line,
+                    col: fa.toks[i].col,
+                    snippet: line_snippet(&sources[node.file_idx], fa.toks[i].line),
+                    message: format!(
+                        "{msg} — in `{}`, reachable from public API `{}` of a \
+                         typed-error crate",
+                        node.label(),
+                        chain.first().cloned().unwrap_or_default()
+                    ),
+                    chain,
+                });
+            }
+        }
     }
 }
 
@@ -548,5 +868,187 @@ mod tests {
     fn cfg_not_test_is_still_linted() {
         let src = "#[cfg(not(test))] pub fn f() { let t = Instant::now(); }";
         assert_eq!(lint_source(src, &ctx("core", &[])).len(), 1);
+    }
+
+    #[test]
+    fn consecutive_test_items_are_all_masked() {
+        // Regression: masking an item must stop at its closing `}` — one
+        // token further swallows the `#` of the next attribute, leaving
+        // every second `#[cfg(test)]` mod (or `#[test]` fn) unmasked.
+        let src = r#"
+            fn lib() -> u32 { 1 }
+            #[cfg(test)]
+            mod a {
+                #[test]
+                fn t1() { Some(1).unwrap(); }
+                #[test]
+                fn t2() { Some(2).unwrap(); }
+            }
+            #[cfg(test)]
+            mod b {
+                #[test]
+                fn t3() { let s: f64 = [1.0f64].iter().sum(); let _ = s; }
+            }
+        "#;
+        assert!(lint_source(src, &ctx("nn", &[])).is_empty());
+    }
+
+    #[test]
+    fn d7_flags_float_sum_by_turbofish_and_context() {
+        let turbofish = "fn f(xs: &[u64]) -> f64 { xs.iter().map(|x| g(x)).sum::<f64>() }";
+        let f = lint_source(turbofish, &ctx("core", &[]));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D7");
+
+        let back_scan = "fn mean(xs: &[f64]) -> f64 { let s: f64 = xs.iter().sum(); s }";
+        assert_eq!(lint_source(back_scan, &ctx("core", &[])).len(), 1);
+
+        let int_sum = "fn count(xs: &[u64]) -> u64 { xs.iter().sum() }";
+        assert!(lint_source(int_sum, &ctx("core", &[])).is_empty());
+    }
+
+    #[test]
+    fn d7_flags_mul_add_and_partial_cmp_sorts() {
+        let fma = "fn f(a: f64, b: f64, c: f64) -> f64 { a.mul_add(b, c) }";
+        let f = lint_source(fma, &ctx("nn", &[]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("mul_add"));
+        // A trait *definition* of mul_add is not a call.
+        let def = "trait S { fn mul_add(self, a: Self, b: Self) -> Self; }";
+        assert!(lint_source(def, &ctx("nn", &[])).is_empty());
+
+        let sort =
+            "fn f(xs: &mut [f64]) { xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let f = lint_source(sort, &ctx("energy", &[]));
+        assert!(f.iter().any(|x| x.message.contains("total_cmp")), "{f:?}");
+        let total = "fn f(xs: &mut [f64]) { xs.sort_unstable_by(f64::total_cmp); }";
+        assert!(lint_source(total, &ctx("energy", &[])).is_empty());
+    }
+
+    #[test]
+    fn d7_only_applies_to_deterministic_crates() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        assert!(lint_source(src, &ctx("telemetry", &[])).is_empty());
+    }
+
+    fn graph_of(sources: &[(&str, &str, &str)]) -> (CallGraph, Vec<FileAnalysis>, Vec<String>) {
+        let files: Vec<crate::workspace::SourceFile> = sources
+            .iter()
+            .map(|(rel, cr, _)| crate::workspace::SourceFile {
+                abs: std::path::PathBuf::from(rel),
+                rel: (*rel).to_string(),
+                crate_name: (*cr).to_string(),
+                is_crate_root: false,
+            })
+            .collect();
+        let analyses: Vec<FileAnalysis> = sources
+            .iter()
+            .map(|(_, _, s)| FileAnalysis::new(s))
+            .collect();
+        let srcs: Vec<String> = sources.iter().map(|(_, _, s)| (*s).to_string()).collect();
+        (
+            CallGraph::build(&files, &analyses, &BTreeMap::new()),
+            analyses,
+            srcs,
+        )
+    }
+
+    #[test]
+    fn d6_flags_allocation_in_a_transitive_callee_with_chain() {
+        let (g, fas, srcs) = graph_of(&[(
+            "crates/nn/src/k.rs",
+            "nn",
+            "pub fn kernel(out: &mut [f64]) { helper(out); }\n\
+             fn helper(out: &mut [f64]) { let v = out.to_vec(); out[0] = v[0]; }",
+        )]);
+        let mut hot = BTreeMap::new();
+        hot.insert("crates/nn/src/k.rs".to_string(), vec!["kernel".to_string()]);
+        let f = lint_transitive(&g, &fas, &srcs, &hot);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D6");
+        assert_eq!(
+            f[0].chain,
+            vec!["crates/nn/src/k.rs::kernel", "crates/nn/src/k.rs::helper"]
+        );
+        assert!(f[0].message.contains("reachable from hot kernel"));
+    }
+
+    #[test]
+    fn d6_does_not_rescan_root_bodies_for_alloc() {
+        // The root's own body is D4's job; D6 only checks callees.
+        let (g, fas, srcs) = graph_of(&[(
+            "crates/nn/src/k.rs",
+            "nn",
+            "pub fn kernel() { let v = vec![1]; drop(v); }",
+        )]);
+        let mut hot = BTreeMap::new();
+        hot.insert("crates/nn/src/k.rs".to_string(), vec!["kernel".to_string()]);
+        assert!(lint_transitive(&g, &fas, &srcs, &hot).is_empty());
+    }
+
+    #[test]
+    fn d6_flags_panic_outside_typed_error_crates_only() {
+        let (g, fas, srcs) = graph_of(&[
+            (
+                "crates/nn/src/k.rs",
+                "nn",
+                "pub fn kernel(e: f64) { energy_helper(e); }",
+            ),
+            (
+                "crates/energy/src/h.rs",
+                "energy",
+                "pub fn energy_helper(e: f64) { assert_fine(e).unwrap(); }\n\
+                 fn assert_fine(e: f64) -> Result<(), ()> { if e < 0.0 { Err(()) } else { Ok(()) } }",
+            ),
+        ]);
+        let mut hot = BTreeMap::new();
+        hot.insert("crates/nn/src/k.rs".to_string(), vec!["kernel".to_string()]);
+        let f = lint_transitive(&g, &fas, &srcs, &hot);
+        // The unwrap in `energy` (not a typed-error crate) is a D6; it is
+        // also a D8 because `kernel` is pub in a typed-error crate.
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "D6" && x.file.contains("energy")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn d8_chains_from_public_api_to_panic_site() {
+        let (g, fas, srcs) = graph_of(&[
+            (
+                "crates/core/src/sim.rs",
+                "core",
+                "pub fn step(e: f64) -> Result<(), ()> { drain(e); Ok(()) }",
+            ),
+            (
+                "crates/energy/src/cap.rs",
+                "energy",
+                "pub fn drain(e: f64) { let _ = level(e).expect(\"non-negative\"); }\n\
+                 fn level(e: f64) -> Option<f64> { (e >= 0.0).then_some(e) }",
+            ),
+        ]);
+        let f = lint_transitive(&g, &fas, &srcs, &BTreeMap::new());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D8");
+        assert_eq!(
+            f[0].chain,
+            vec![
+                "crates/core/src/sim.rs::step",
+                "crates/energy/src/cap.rs::drain"
+            ]
+        );
+        assert!(f[0].message.contains("public API"));
+    }
+
+    #[test]
+    fn d8_does_not_reflag_typed_error_crate_bodies() {
+        // A panic in `nn` itself is D3's finding, not D8's.
+        let (g, fas, srcs) = graph_of(&[(
+            "crates/nn/src/a.rs",
+            "nn",
+            "pub fn api() { inner(); } fn inner() { Some(1).unwrap(); }",
+        )]);
+        assert!(lint_transitive(&g, &fas, &srcs, &BTreeMap::new()).is_empty());
     }
 }

@@ -1,5 +1,6 @@
 //! Workspace discovery: which files to lint and under which crate scope.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -54,6 +55,73 @@ pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
     }
     out.sort_by(|a, b| a.rel.cmp(&b.rel));
     Ok(out)
+}
+
+/// The transitive intra-workspace dependency closure of every crate,
+/// keyed and valued by short crate name, read from the `origin-*` keys
+/// of each `crates/*/Cargo.toml` (and the root manifest, as `repro`).
+///
+/// Used by [`crate::callgraph`] to prune name-resolution edges a crate
+/// could not actually take (a call in `nn` cannot land in `core` when
+/// `nn` does not depend on `core`). Crates with *no* manifest — fixture
+/// trees — get no entry, which the graph treats as "allow everything",
+/// so the filter can only remove edges when the layout is known.
+#[must_use]
+pub fn crate_deps(root: &Path) -> BTreeMap<String, BTreeSet<String>> {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut manifests: Vec<(String, PathBuf)> =
+        vec![("repro".to_string(), root.join("Cargo.toml"))];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|d| d.ok().map(|d| d.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            manifests.push((name, dir.join("Cargo.toml")));
+        }
+    }
+    for (name, manifest) in manifests {
+        let Ok(src) = fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let deps = direct.entry(name).or_default();
+        for line in src.lines() {
+            let key = line.split('=').next().unwrap_or("").trim();
+            let key = key.split('.').next().unwrap_or("");
+            if let Some(dep) = key
+                .strip_prefix("origin-")
+                .or_else(|| key.strip_prefix("origin_"))
+            {
+                deps.insert(dep.replace('-', "_"));
+            }
+        }
+    }
+    // Fixed-point transitive closure (the graph is tiny).
+    loop {
+        let mut grew = false;
+        let snapshot = direct.clone();
+        for deps in direct.values_mut() {
+            let indirect: BTreeSet<String> = deps
+                .iter()
+                .filter_map(|d| snapshot.get(d))
+                .flatten()
+                .cloned()
+                .collect();
+            for d in indirect {
+                grew |= deps.insert(d);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    direct
 }
 
 fn walk(

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: a clean crate whose only findings are D9 drift against the
+//! committed `lint-api.txt` snapshot beside this tree — one addition
+//! (`added_later`), one waived addition (`added_but_waived`), and one
+//! removal (the snapshot's `retired_fn` line, which has no source line
+//! to annotate, so the D9 test pins it explicitly).
+//!
+//! This file is test data for origin-lint — it is never compiled.
+
+/// In the snapshot: no drift.
+pub fn kept(x: u64) -> u64 {
+    x
+}
+
+/// Not in the snapshot: surfaces as a D9 addition at this line.
+pub fn added_later(x: u64) -> u64 {
+    x + 1
+}
+
+/// Not in the snapshot either, but waived by the allowlist beside this
+/// tree: masked-by-waiver D9 case.
+pub fn added_but_waived(x: u64) -> u64 {
+    x + 2
+}

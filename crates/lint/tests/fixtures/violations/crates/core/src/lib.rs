@@ -43,6 +43,18 @@ pub fn first(xs: &[u32]) -> u32 {
     *head
 }
 
+/// Public API of a typed-error crate whose callee in the energy fixture
+/// panics: the panic site (not this line) is the D8 finding.
+pub fn report_frame(raw: f64) -> f64 {
+    front_frame(raw)
+}
+
+/// Same shape, but the callee's panic is waived in the allowlist — the
+/// exact-set harness proves the waiver absorbs exactly that finding.
+pub fn emergency_vent(raw: f64) -> f64 {
+    vent_heat(raw)
+}
+
 #[cfg(test)]
 mod tests {
     // Test code is exempt from D3: no marker, and the harness's

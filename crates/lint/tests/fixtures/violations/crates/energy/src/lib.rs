@@ -1,8 +1,36 @@
 //! Fixture: a crate root missing both mandatory strictness attributes. //~ ERROR D5
 //!
+//! It also hosts the panic witnesses for the call-graph rules: energy is
+//! *not* a typed-error crate, so panics here are never D3 — they only
+//! surface when a call chain makes them someone else's problem (D6 from
+//! a hot kernel, D8 from a typed-error crate's public API).
+//!
 //! This file is test data for origin-lint — it is never compiled.
 
 /// Harmless content; the violation is what the root *lacks*.
 pub fn joules(uj: f64) -> f64 {
     uj * 1e-6
+}
+
+/// Reached from the *private* hot kernel `hot_tick` in the nn fixture:
+/// panicking here breaks transitive hot-path purity (D6's panic arm —
+/// not D3, because energy is not typed-error, and not D8, because the
+/// only caller is private).
+pub fn drain_cell(charge: f64) -> f64 {
+    let level = Some(charge).expect("charge present"); //~ ERROR D6
+    level * 0.5
+}
+
+/// Reached from `report_frame`, a public function of the typed-error
+/// core fixture crate: the panic leaks past a typed-error API — D8.
+pub fn front_frame(raw: f64) -> f64 {
+    let v = Some(raw).expect("frame present"); //~ ERROR D8
+    v + 1.0
+}
+
+/// Reachable and panicking, but *waived*: the fixture allowlist masks
+/// this line by its unique expect message, so it carries no marker.
+pub fn vent_heat(raw: f64) -> f64 {
+    let v = Some(raw).expect("vent is open");
+    v * 0.9
 }

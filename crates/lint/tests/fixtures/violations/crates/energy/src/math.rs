@@ -1,0 +1,42 @@
+//! Fixture: float fold-order hazards (rule D7). Each marked line hides
+//! or forks a reduction/rounding order in a deterministic crate.
+//!
+//! This file is test data for origin-lint — it is never compiled.
+
+/// Turbofish float sum: the reduction order is the library's, not ours.
+pub fn total_uw(samples: &[f64]) -> f64 {
+    samples.iter().copied().sum::<f64>() //~ ERROR D7
+}
+
+/// Context-typed float sum (no turbofish): caught by the statement scan.
+pub fn mean_uw(samples: &[f64]) -> f64 {
+    let total: f64 = samples.iter().copied().sum(); //~ ERROR D7
+    total / samples.len() as f64
+}
+
+/// Float product behind the same order-hiding adapter.
+pub fn attenuation(factors: &[f64]) -> f64 {
+    factors.iter().copied().product::<f64>() //~ ERROR D7
+}
+
+/// Float fold: ordered today, but the association hides in a closure.
+pub fn charge_integral(deltas: &[f64]) -> f64 {
+    let joules: f64 = deltas.iter().fold(0.0, |acc, d| acc + d); //~ ERROR D7
+    joules
+}
+
+/// FMA: one rounding instead of two, forking results by target CPU.
+pub fn fused_step(v: f64, dv: f64, dt: f64) -> f64 {
+    dv.mul_add(dt, v) //~ ERROR D7
+}
+
+/// Float sort with a non-total order: NaN tie handling is unspecified.
+pub fn rank_cells(levels: &mut [f64]) {
+    levels.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite")); //~ ERROR D7
+}
+
+/// A D7 violation that is *waived*: the fixture allowlist masks this
+/// line via the unique `raw_uw` identifier, so it carries no marker.
+pub fn debug_total(raw_uw: &[f64]) -> f64 {
+    raw_uw.iter().copied().sum::<f64>()
+}

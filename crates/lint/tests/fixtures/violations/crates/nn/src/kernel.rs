@@ -1,17 +1,32 @@
 //! Fixture: a declared zero-alloc kernel (`hot_loop` appears under
-//! `[hot-paths]` in the fixture allowlist) with seeded allocations.
+//! `[hot-paths]` in the fixture allowlist) with seeded allocations, plus
+//! calls into `scratch.rs` whose allocations are *transitive* (D6)
+//! findings, and a private hot root (`hot_tick`) whose callee in the
+//! energy fixture crate panics — D6's panic arm, with no D8 overlap
+//! because a private function is not a public-API root.
 //!
 //! This file is test data for origin-lint — it is never compiled.
 
-/// The "kernel": every allocation in its body is a D4 violation.
+use crate::scratch::fill_scratch;
+
+/// The "kernel": every allocation in its body is a D4 violation, and the
+/// allocations inside `fill_scratch` (one call away) are D6 violations.
 pub fn hot_loop(xs: &[f64], out: &mut [f64]) {
     let mut scratch: Vec<f64> = Vec::new(); //~ ERROR D4
     scratch.extend(xs.iter().copied());
     let copy = xs.to_vec(); //~ ERROR D4
     let boxed = Box::new(copy.len()); //~ ERROR D4
+    let extra = fill_scratch(out.len());
     for (o, x) in out.iter_mut().zip(&scratch) {
-        *o = *x * *boxed as f64;
+        *o = *x * *boxed as f64 + extra.len() as f64;
     }
+}
+
+/// Declared hot (see the fixture allowlist) but *private*: not a D8
+/// root, so the panic inside `drain_cell` (energy fixture crate) is
+/// D6's finding alone.
+fn hot_tick(charge: f64) -> f64 {
+    drain_cell(charge)
 }
 
 /// Not declared hot: the same allocations are fine here.

@@ -1,0 +1,30 @@
+//! Fixture: transitive callees of the declared hot kernel `hot_loop`.
+//!
+//! None of these functions appear under `[hot-paths]`, so every
+//! allocation here is a D6 (transitive) finding, not a D4 (direct) one —
+//! and `grow_tail` sits two call-graph edges from the root, so its
+//! finding must carry the full three-hop chain
+//! `hot_loop -> fill_scratch -> grow_tail` in `--json` output.
+//!
+//! This file is test data for origin-lint — it is never compiled.
+
+/// First hop from `hot_loop`: allocates, then descends one level more.
+pub fn fill_scratch(n: usize) -> Vec<f64> {
+    let page = spare_page();
+    let mut buf: Vec<f64> = Vec::with_capacity(n); //~ ERROR D6
+    grow_tail(&mut buf, n.max(page.len()));
+    buf
+}
+
+/// Second hop: `hot_loop -> fill_scratch -> grow_tail`.
+fn grow_tail(buf: &mut Vec<f64>, n: usize) {
+    let tail = vec![0.0; n]; //~ ERROR D6
+    buf.extend(tail);
+}
+
+/// Reachable and allocating, but *waived*: the fixture allowlist masks
+/// this line with a narrow pattern, so it carries no marker — the
+/// exact-set harness proves the waiver absorbs exactly this finding.
+pub fn spare_page() -> Vec<u8> {
+    Vec::with_capacity(4096)
+}

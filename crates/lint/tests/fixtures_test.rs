@@ -104,13 +104,123 @@ fn findings_match_annotations_exactly() {
 }
 
 #[test]
+fn d6_transitive_hot_path_allocations_are_reported() {
+    assert_rule("D6");
+}
+
+#[test]
+fn d7_float_fold_order_hazards_are_reported() {
+    assert_rule("D7");
+}
+
+#[test]
+fn d8_reachable_panics_past_typed_error_apis_are_reported() {
+    assert_rule("D8");
+}
+
+#[test]
+fn fixture_waivers_absorb_exactly_the_three_masked_findings() {
+    // One deliberately waived violation per call-graph-era rule
+    // (D6/D7/D8) is seeded without a marker; the exact-set tests above
+    // prove those lines do not surface, and this count proves the
+    // waivers matched something (i.e. none of them is stale).
+    let root = fixture_root("violations");
+    let report = origin_lint::run(&root, &root.join("lint-allow.toml")).expect("lint runs");
+    assert_eq!(
+        report.allowed, 3,
+        "expected exactly the D6/D7/D8 waivers to fire"
+    );
+    assert!(
+        report.findings.iter().all(|f| f.rule != "ALLOW"),
+        "no waiver may be stale in the violations fixture"
+    );
+}
+
+#[test]
+fn d6_findings_carry_the_full_call_chain() {
+    let root = fixture_root("violations");
+    let report = origin_lint::run(&root, &root.join("lint-allow.toml")).expect("lint runs");
+    let deep = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "D6" && f.file.ends_with("scratch.rs") && f.snippet.contains("vec!"))
+        .expect("the grow_tail allocation is a D6 finding");
+    assert_eq!(
+        deep.chain,
+        vec![
+            "crates/nn/src/kernel.rs::hot_loop".to_string(),
+            "crates/nn/src/scratch.rs::fill_scratch".to_string(),
+            "crates/nn/src/scratch.rs::grow_tail".to_string(),
+        ],
+        "three-hop chain must be reported root-first"
+    );
+    let panic_leak = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "D6" && f.snippet.contains("charge present"))
+        .expect("the drain_cell panic is a D6 finding");
+    assert_eq!(
+        panic_leak.chain,
+        vec![
+            "crates/nn/src/kernel.rs::hot_tick".to_string(),
+            "crates/energy/src/lib.rs::drain_cell".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn d9_api_drift_reports_additions_and_removals() {
+    let root = fixture_root("api-drift");
+    let report = origin_lint::run(&root, &root.join("lint-allow.toml")).expect("lint runs");
+    assert_eq!(report.allowed, 1, "the waived addition must be absorbed");
+    assert_eq!(
+        report.findings.len(),
+        2,
+        "one addition + one removal: {:#?}",
+        report.findings
+    );
+    let addition = report
+        .findings
+        .iter()
+        .find(|f| f.file == "crates/types/src/lib.rs")
+        .expect("addition anchors at the new pub item's source line");
+    assert_eq!(addition.rule, "D9");
+    assert!(
+        addition.message.contains("added_later"),
+        "{}",
+        addition.message
+    );
+    let removal = report
+        .findings
+        .iter()
+        .find(|f| f.file == "lint-api.txt")
+        .expect("removal anchors in the snapshot file");
+    assert_eq!(removal.rule, "D9");
+    assert_eq!(
+        removal.line, 6,
+        "retired_fn sits on line 6 of the fixture snapshot"
+    );
+    assert!(
+        removal.snippet.contains("retired_fn"),
+        "{}",
+        removal.snippet
+    );
+}
+
+#[test]
 fn stale_waivers_surface_as_findings() {
     let root = fixture_root("stale");
     let report = origin_lint::run(&root, &root.join("lint-allow.toml")).expect("lint runs");
     assert_eq!(report.allowed, 0, "nothing real to waive in this fixture");
-    assert_eq!(report.findings.len(), 1);
-    assert_eq!(report.findings[0].rule, "ALLOW");
-    assert!(report.findings[0].message.contains("stale waiver"));
+    assert_eq!(
+        report.findings.len(),
+        5,
+        "one stale waiver per rule generation (D3/D6/D7/D8/D9)"
+    );
+    for f in &report.findings {
+        assert_eq!(f.rule, "ALLOW");
+        assert!(f.message.contains("stale waiver"), "{}", f.message);
+    }
 }
 
 #[test]
@@ -122,6 +232,50 @@ fn binary_exits_nonzero_on_violations() {
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1), "violations must fail the gate");
+}
+
+#[test]
+fn json_schema_is_pinned_for_a_transitive_finding() {
+    // Golden test for the machine-readable schema documented in
+    // DESIGN.md §10: every key, the key order, and the root-first chain
+    // are part of the contract consumed by scripts/check.sh and CI.
+    let root = fixture_root("violations");
+    let report = origin_lint::run(&root, &root.join("lint-allow.toml")).expect("lint runs");
+    let deep = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "D6" && f.snippet.contains("vec!"))
+        .expect("the grow_tail allocation is a D6 finding");
+    let golden = concat!(
+        "{\"rule\":\"D6\",",
+        "\"file\":\"crates/nn/src/scratch.rs\",",
+        "\"line\":21,\"col\":16,",
+        "\"snippet\":\"let tail = vec![0.0; n]; //~ ERROR D6\",",
+        "\"message\":\"`vec!` allocates — in `crates/nn/src/scratch.rs::grow_tail`, ",
+        "reachable from hot kernel `crates/nn/src/kernel.rs::hot_loop`\",",
+        "\"chain\":[\"crates/nn/src/kernel.rs::hot_loop\",",
+        "\"crates/nn/src/scratch.rs::fill_scratch\",",
+        "\"crates/nn/src/scratch.rs::grow_tail\"]}"
+    );
+    assert_eq!(deep.render_json(), golden);
+
+    // The binary embeds the same object in its report, and the summary
+    // carries per-rule counts.
+    let out = Command::new(env!("CARGO_BIN_EXE_origin-lint"))
+        .args(["--json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert!(
+        stdout.contains(golden),
+        "golden object missing from {stdout}"
+    );
+    assert!(
+        stdout.contains("\"by_rule\":{"),
+        "summary lacks by_rule: {stdout}"
+    );
+    assert!(stdout.contains("\"D6\":"), "by_rule lacks D6: {stdout}");
 }
 
 #[test]

@@ -576,17 +576,17 @@ mod tests {
                 }
             }
         }
-        for o in 0..conv.out_channels {
-            for i in 0..conv.in_channels {
+        for (o, g_ch) in grad_out.iter().enumerate().take(conv.out_channels) {
+            for (i, in_ch) in input.iter().enumerate().take(conv.in_channels) {
                 for t in 0..conv.kernel {
                     let mut dw = 0.0;
                     for p in 0..out_len {
-                        dw += grad_out[o][p] * input[i][p + t];
+                        dw += g_ch[p] * in_ch[p + t];
                     }
                     conv.weight[(o * conv.in_channels + i) * conv.kernel + t] -= lr * dw;
                 }
             }
-            let db: f64 = grad_out[o].iter().sum();
+            let db: f64 = g_ch.iter().sum();
             conv.bias[o] -= lr * db;
         }
         grad_in

@@ -621,7 +621,7 @@ mod tests {
         for r in 0..rows {
             for c in 0..cols {
                 // Keep-pattern varies per row so lengths are ragged.
-                if (r * 7 + c * 3 + (seed as usize)) % (r % 5 + 2) == 0 {
+                if (r * 7 + c * 3 + (seed as usize)).is_multiple_of(r % 5 + 2) {
                     c_idx.push(c as u32);
                     vals.push(dense[r * cols + c]);
                 }

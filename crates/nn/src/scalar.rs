@@ -84,8 +84,6 @@ pub trait Scalar:
     fn abs(self) -> Self;
     /// IEEE maximum (NaN-ignoring, like `f64::max`).
     fn max(self, other: Self) -> Self;
-    /// Fused multiply-add `self * a + b` (single rounding).
-    fn mul_add(self, a: Self, b: Self) -> Self;
     /// Rounds half away from zero, like `f64::round`.
     fn round(self) -> Self;
     /// Neither infinite nor NaN.
@@ -132,10 +130,6 @@ impl Scalar for f64 {
     #[inline]
     fn max(self, other: Self) -> Self {
         f64::max(self, other)
-    }
-    #[inline]
-    fn mul_add(self, a: Self, b: Self) -> Self {
-        f64::mul_add(self, a, b)
     }
     #[inline]
     fn round(self) -> Self {
@@ -193,10 +187,6 @@ impl Scalar for f32 {
         f32::max(self, other)
     }
     #[inline]
-    fn mul_add(self, a: Self, b: Self) -> Self {
-        f32::mul_add(self, a, b)
-    }
-    #[inline]
     fn round(self) -> Self {
         f32::round(self)
     }
@@ -238,7 +228,7 @@ mod tests {
 
     #[test]
     fn f32_roundtrips_through_bits() {
-        for v in [0.0f32, -1.5, 3.141_592_7, f32::MIN_POSITIVE] {
+        for v in [0.0f32, -1.5, core::f32::consts::PI, f32::MIN_POSITIVE] {
             let bits = v.to_bits_u64();
             assert!(bits <= u64::from(u32::MAX));
             assert_eq!(<f32 as Scalar>::checked_from_bits(bits), Some(v));
@@ -269,7 +259,6 @@ mod tests {
             assert_eq!(S::from_f64(2.25).sqrt(), S::from_f64(1.5));
             assert_eq!(S::from_f64(2.5).round(), S::from_f64(3.0));
             assert_eq!(S::ZERO.max(S::ONE), S::ONE);
-            assert_eq!(S::ONE.mul_add(S::ONE, S::ONE), S::from_f64(2.0));
         }
         probe::<f64>();
         probe::<f32>();

@@ -10,6 +10,7 @@
 
 use crate::imu::ImuSample;
 use crate::window::ImuWindow;
+use origin_types::sum_ordered;
 
 /// Features computed per channel.
 pub const FEATURES_PER_CHANNEL: usize = 4;
@@ -61,8 +62,8 @@ pub fn window_features(window: &ImuWindow) -> Vec<f64> {
 
 fn push_channel_features(signal: &[f64], sample_rate_hz: f64, out: &mut Vec<f64>) {
     let n = signal.len() as f64;
-    let mean = signal.iter().sum::<f64>() / n;
-    let var = signal.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let mean = sum_ordered(signal.iter().copied()) / n;
+    let var = sum_ordered(signal.iter().map(|v| (v - mean).powi(2))) / n;
     let std = var.sqrt();
 
     // Mean-crossing rate (normalized to [0, 1]).

@@ -3,7 +3,7 @@
 use crate::imu::{ImuConfig, ImuSample};
 use crate::signature::ActivitySignature;
 use crate::user::UserProfile;
-use origin_types::ActivityClass;
+use origin_types::{sum_ordered, ActivityClass};
 use rand::Rng;
 use rand_distr_shim::StandardNormal;
 
@@ -136,13 +136,12 @@ impl ImuWindow {
         let n = self.samples.len() as f64;
         let mut total = 0.0;
         for ch in 0..ImuSample::CHANNELS {
-            let mean: f64 = self.samples.iter().map(|s| s.channels()[ch]).sum::<f64>() / n;
-            total += self
-                .samples
-                .iter()
-                .map(|s| (s.channels()[ch] - mean).powi(2))
-                .sum::<f64>()
-                / n;
+            let mean = sum_ordered(self.samples.iter().map(|s| s.channels()[ch])) / n;
+            total += sum_ordered(
+                self.samples
+                    .iter()
+                    .map(|s| (s.channels()[ch] - mean).powi(2)),
+            ) / n;
         }
         total / ImuSample::CHANNELS as f64
     }

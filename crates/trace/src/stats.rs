@@ -1,6 +1,6 @@
 //! Summary statistics over trace samples.
 
-use origin_types::Power;
+use origin_types::{sum_ordered, Power};
 
 /// Summary statistics of a power trace, used to calibrate synthetic traces
 /// against the shapes reported for the ReSiRCa office trace and to derive
@@ -29,8 +29,8 @@ impl TraceStats {
     pub fn from_samples(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "cannot summarize an empty trace");
         let n = samples.len() as f64;
-        let mean = samples.iter().sum::<f64>() / n;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        let mean = sum_ordered(samples.iter().copied()) / n;
+        let var = sum_ordered(samples.iter().map(|s| (s - mean).powi(2))) / n;
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
         let pct = |q: f64| -> f64 {

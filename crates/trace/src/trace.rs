@@ -2,7 +2,7 @@
 
 use crate::error::TraceError;
 use crate::stats::TraceStats;
-use origin_types::{Energy, Power, SimDuration, SimTime};
+use origin_types::{sum_ordered, Energy, Power, SimDuration, SimTime};
 
 /// A power time-series sampled at a fixed interval.
 ///
@@ -142,7 +142,7 @@ impl PowerTrace {
     /// from our harvesting trace" (Section IV-C) — this is that number.
     #[must_use]
     pub fn mean_power(&self) -> Power {
-        let sum: f64 = self.samples_uw.iter().sum();
+        let sum = sum_ordered(self.samples_uw.iter().copied());
         Power::from_microwatts(sum / self.samples_uw.len() as f64)
     }
 

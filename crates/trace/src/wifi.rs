@@ -14,7 +14,7 @@
 //!    while a sensor that attempts continuously mostly browns out.
 
 use crate::trace::PowerTrace;
-use origin_types::SimDuration;
+use origin_types::{sum_ordered, SimDuration};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -259,14 +259,14 @@ impl WifiOfficeModel {
             .zip(row.iter().copied())
             .filter(|&(to, _)| to != from)
             .collect();
-        let total: f64 = off_diag.iter().map(|&(_, w)| w).sum();
+        let total = sum_ordered(off_diag.iter().map(|&(_, w)| w));
         if total <= 0.0 {
             // Degenerate row: fall back to uniform choice.
             for entry in &mut off_diag {
                 entry.1 = 1.0;
             }
         }
-        let total: f64 = off_diag.iter().map(|&(_, w)| w).sum();
+        let total = sum_ordered(off_diag.iter().map(|&(_, w)| w));
         let mut pick = rng.gen::<f64>() * total;
         for (to, w) in off_diag {
             pick -= w;

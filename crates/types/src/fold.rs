@@ -1,0 +1,96 @@
+//! Order-pinned float reductions.
+//!
+//! IEEE-754 addition and multiplication are not associative, so the
+//! *value* of a float reduction depends on the order its terms combine.
+//! `Iterator::sum` happens to fold left-to-right today, but that order
+//! is an implementation detail — and the same source line silently
+//! reassociates when a refactor swaps the iterator for a parallel or
+//! chunked one. The reproduction's bitwise guarantees need the order to
+//! be part of the code, so lint rule D7 bans bare float `.sum()` /
+//! `.product()` in the deterministic crates and points here.
+//!
+//! These helpers are exact drop-in replacements: a strict left fold in
+//! iteration order, the order `Iterator::sum`/`product` currently use,
+//! so switching a call site is bitwise invisible.
+
+/// Sums `it` left-to-right in iteration order: `((0 + x₀) + x₁) + …`.
+///
+/// Bitwise-identical to `it.sum::<f64>()` under the standard library's
+/// current sequential fold, with the order now pinned by contract.
+#[must_use]
+pub fn sum_ordered(it: impl Iterator<Item = f64>) -> f64 {
+    let mut acc = 0.0f64;
+    for x in it {
+        acc += x;
+    }
+    acc
+}
+
+/// [`sum_ordered`] for `f32` streams.
+#[must_use]
+pub fn sum_ordered_f32(it: impl Iterator<Item = f32>) -> f32 {
+    let mut acc = 0.0f32;
+    for x in it {
+        acc += x;
+    }
+    acc
+}
+
+/// Multiplies `it` left-to-right in iteration order: `((1 · x₀) · x₁) · …`.
+#[must_use]
+pub fn product_ordered(it: impl Iterator<Item = f64>) -> f64 {
+    let mut acc = 1.0f64;
+    for x in it {
+        acc *= x;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_iterator_sum_bitwise() {
+        // Terms chosen so a different association changes the result.
+        let xs = [1.0e16, 1.0, -1.0e16, 3.5, 0.1, -0.1, 1.0e-9];
+        assert_eq!(
+            sum_ordered(xs.iter().copied()).to_bits(),
+            xs.iter().copied().sum::<f64>().to_bits()
+        );
+        let f = [1.0e7f32, 1.0, -1.0e7, 0.25];
+        assert_eq!(
+            sum_ordered_f32(f.iter().copied()).to_bits(),
+            f.iter().copied().sum::<f32>().to_bits()
+        );
+    }
+
+    #[test]
+    fn matches_iterator_product_bitwise() {
+        let xs = [1.1, 0.9, 3.7, 1.0e-3, 2.0e2];
+        assert_eq!(
+            product_ordered(xs.iter().copied()).to_bits(),
+            xs.iter().copied().product::<f64>().to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_and_single_term_identities() {
+        assert_eq!(sum_ordered(std::iter::empty()).to_bits(), 0.0f64.to_bits());
+        assert_eq!(
+            product_ordered(std::iter::empty()).to_bits(),
+            1.0f64.to_bits()
+        );
+        assert_eq!(sum_ordered([2.5].into_iter()).to_bits(), 2.5f64.to_bits());
+    }
+
+    #[test]
+    fn order_actually_matters_for_these_terms() {
+        // Sanity: the guard terms really are association-sensitive, so
+        // the bitwise assertions above are not vacuous.
+        let xs = [1.0e16, 1.0, -1.0e16, 3.5];
+        let forward = sum_ordered(xs.iter().copied());
+        let reverse = sum_ordered(xs.iter().rev().copied());
+        assert_ne!(forward.to_bits(), reverse.to_bits());
+    }
+}

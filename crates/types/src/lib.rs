@@ -27,12 +27,14 @@
 
 pub mod activity;
 pub mod error;
+pub mod fold;
 pub mod ids;
 pub mod quantity;
 pub mod time;
 
 pub use activity::{ActivityClass, ActivitySet};
 pub use error::TypesError;
+pub use fold::{product_ordered, sum_ordered, sum_ordered_f32};
 pub use ids::{NodeId, UserId};
 pub use quantity::{Energy, Power};
 pub use time::{SimDuration, SimTime};

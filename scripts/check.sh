@@ -6,9 +6,12 @@
 # Runs the checks CI expects, in fail-fast order (cheapest first):
 #   1. cargo fmt --check      — formatting drift
 #   2. cargo clippy -D warnings — lints across the whole workspace
-#   3. origin-lint --json     — workspace determinism & hot-path rules
-#      (D1–D5, see DESIGN.md "Static analysis"); fails on any finding
-#      not waived in lint-allow.toml
+#   3. origin-lint --json     — workspace determinism, hot-path,
+#      call-graph, and API-surface rules (D1–D9, see DESIGN.md §10);
+#      fails on any finding not waived in lint-allow.toml, prints the
+#      per-rule counts, and hard-fails if the timed lint run (call-graph
+#      construction included) exceeds 10 s — the analyzer must stay
+#      cheap enough to run on every commit
 #   4. cargo deny check       — dependency audit (skipped when the
 #      cargo-deny binary is not installed; config in deny.toml)
 #   5. cargo doc -D warnings  — rustdoc builds clean (broken intra-doc
@@ -42,8 +45,29 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> origin-lint (determinism & hot-path rules, lint-allow.toml)"
-cargo run -q -p origin-lint -- --json
+echo "==> origin-lint (determinism, hot-path, call-graph & API rules, lint-allow.toml)"
+# Build first so the timed run below measures the analyzer, not rustc.
+cargo build -q -p origin-lint
+lint_json="$(mktemp /tmp/origin_lint.XXXXXX.json)"
+lint_t0="$(date +%s%N)"
+if ! ./target/debug/origin-lint --json >"$lint_json"; then
+    # Re-run in human mode so the failure is readable in the log.
+    ./target/debug/origin-lint || true
+    rm -f "$lint_json"
+    exit 1
+fi
+lint_t1="$(date +%s%N)"
+lint_ms=$(( (lint_t1 - lint_t0) / 1000000 ))
+# Surface the per-rule counts and the human summary line for the log.
+./target/debug/origin-lint | tail -1
+echo "    lint wall-clock: ${lint_ms} ms"
+if (( lint_ms > 10000 )); then
+    echo "ERROR: origin-lint took ${lint_ms} ms (> 10 s); the analyzer must stay fast enough for every commit" >&2
+    rm -f "$lint_json"
+    exit 1
+fi
+grep -q '"by_rule"' "$lint_json"
+rm -f "$lint_json"
 
 if command -v cargo-deny >/dev/null 2>&1; then
     echo "==> cargo deny check"
